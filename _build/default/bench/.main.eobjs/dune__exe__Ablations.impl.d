@@ -1,0 +1,1 @@
+bench/ablations.ml: Cdcompiler Compdiff Fuzz Juliet List Minic Option Printf Projects

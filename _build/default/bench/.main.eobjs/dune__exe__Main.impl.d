@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array List Overhead Printf String Sys Table_juliet Table_projects

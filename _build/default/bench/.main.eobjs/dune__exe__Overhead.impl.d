@@ -1,0 +1,1 @@
+bench/overhead.ml: Analyze Bechamel Benchmark Cdcompiler Cdutil Cdvm Compdiff Fuzz Hashtbl Instance Lazy List Measure Minic Option Printf Projects Staged String Test Time Toolkit Unix

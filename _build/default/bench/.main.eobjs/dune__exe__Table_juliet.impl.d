@@ -1,0 +1,1 @@
+bench/table_juliet.ml: Cdcompiler Cdutil Compdiff Juliet List Printf Stats String Tablefmt Unix

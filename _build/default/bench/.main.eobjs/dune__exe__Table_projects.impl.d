@@ -1,0 +1,1 @@
+bench/table_projects.ml: Cdcompiler Cdutil Compdiff List Printf Projects Stats String Tablefmt Unix

@@ -1,0 +1,37 @@
+(* Benchmark harness entry point: regenerates every table and figure of
+   the paper's evaluation section, plus the Section 5 overhead numbers
+   and the design-choice ablations from DESIGN.md.
+
+   Usage:  dune exec bench/main.exe [section...]
+   Sections: table2 table3 figure1 table4 table5 table6 figure2 overhead
+             ablations (default: all). *)
+
+let sections : (string * (unit -> unit)) list =
+  [
+    ("table2", Table_juliet.table2);
+    ("table3", Table_juliet.table3);
+    ("figure1", Table_juliet.figure1);
+    ("table4", Table_projects.table4);
+    ("table5", Table_projects.table5);
+    ("table6", Table_projects.table6);
+    ("figure2", Table_projects.figure2);
+    ("overhead", Overhead.run);
+    ("ablations", Ablations.run);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let to_run =
+    if requested = [] then sections
+    else
+      List.filter_map
+        (fun name ->
+          match List.assoc_opt name sections with
+          | Some f -> Some (name, f)
+          | None ->
+            Printf.eprintf "unknown section %s (available: %s)\n" name
+              (String.concat " " (List.map fst sections));
+            None)
+        requested
+  in
+  List.iter (fun (_, f) -> f ()) to_run

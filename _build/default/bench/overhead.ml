@@ -1,0 +1,142 @@
+(* Section 5 "Overhead": differential execution with k implementations
+   costs ~k x a plain execution; a well-chosen pair retains most of the
+   detection at ~2x. Measured two ways: a wall-clock fuzzing-throughput
+   comparison, and Bechamel micro-benchmarks of the building blocks. *)
+
+open Bechamel
+open Toolkit
+
+let sample_project () = Option.get (Projects.Registry.by_name "readelf")
+
+let wallclock () =
+  let p = sample_project () in
+  let tp = Projects.Project.frontend p in
+  let time_campaign profiles =
+    let config =
+      {
+        Fuzz.Compdiff_afl.default_config with
+        Fuzz.Compdiff_afl.seeds = p.Projects.Project.seeds;
+        max_execs = 1_500;
+        fuel = 60_000;
+        profiles;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let c = Fuzz.Compdiff_afl.run ~config tp in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, float_of_int c.Fuzz.Compdiff_afl.fuzz.Fuzz.Fuzzer.execs /. dt)
+  in
+  (* k = 0: plain AFL++ (no differential binaries at all) *)
+  let t_plain =
+    let config =
+      {
+        Fuzz.Fuzzer.default_config with
+        Fuzz.Fuzzer.seeds = p.Projects.Project.seeds;
+        max_execs = 1_500;
+        fuel = 60_000;
+      }
+    in
+    let u = Cdcompiler.Pipeline.compile Cdcompiler.Profiles.fuzz_profile tp in
+    let t0 = Unix.gettimeofday () in
+    let c = Fuzz.Fuzzer.run ~config u in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, float_of_int c.Fuzz.Fuzzer.execs /. dt)
+  in
+  let pair =
+    [ Cdcompiler.Profiles.gccx "O0"; Cdcompiler.Profiles.clangx "O3" ]
+  in
+  let t_pair = time_campaign pair in
+  let t_full = time_campaign Cdcompiler.Profiles.all in
+  let row name (dt, eps) base =
+    [ name; Printf.sprintf "%.2fs" dt; Printf.sprintf "%.0f" eps;
+      Printf.sprintf "%.1fx" (base /. eps) ]
+  in
+  let _, base_eps = t_plain in
+  Cdutil.Tablefmt.print
+    ~title:"Overhead (Section 5): fuzzing throughput vs differential set size"
+    ~header:[ "configuration"; "time"; "execs/s"; "slowdown" ]
+    [
+      row "plain AFL++ (k=0)" t_plain base_eps;
+      row "CompDiff {gccx-O0, clangx-O3} (k=2)" t_pair base_eps;
+      row "CompDiff all implementations (k=10)" t_full base_eps;
+    ]
+
+(* --- Bechamel micro-benchmarks --- *)
+
+let listing1_tp =
+  lazy
+    (match
+       Minic.frontend_of_source
+         "int dump_data(int offset, int len) {\n\
+          \  if (offset + len > 1000) { return -1; }\n\
+          \  if (offset + len < offset) { return -1; }\n\
+          \  return len;\n\
+          }\n\
+          int main() { print(\"%d\\n\", dump_data(getchar(), 101)); return 0; }"
+     with
+    | Ok tp -> tp
+    | Error e -> failwith e)
+
+let bench_tests () =
+  let tp = Lazy.force listing1_tp in
+  let unit_O0 = Cdcompiler.Pipeline.compile (Cdcompiler.Profiles.gccx "O0") tp in
+  let oracle2 =
+    Compdiff.Oracle.create
+      ~profiles:[ Cdcompiler.Profiles.gccx "O0"; Cdcompiler.Profiles.clangx "O3" ]
+      ~fuel:50_000 tp
+  in
+  let oracle10 = Compdiff.Oracle.create ~fuel:50_000 tp in
+  [
+    Test.make ~name:"murmur3 (1KiB)"
+      (Staged.stage
+         (let s = String.make 1024 'x' in
+          fun () -> ignore (Cdutil.Murmur3.hash32 s)));
+    Test.make ~name:"frontend+compile gccx-O0"
+      (Staged.stage (fun () ->
+           ignore (Cdcompiler.Pipeline.compile (Cdcompiler.Profiles.gccx "O0") tp)));
+    Test.make ~name:"frontend+compile clangx-O3"
+      (Staged.stage (fun () ->
+           ignore (Cdcompiler.Pipeline.compile (Cdcompiler.Profiles.clangx "O3") tp)));
+    Test.make ~name:"vm exec (one binary)"
+      (Staged.stage (fun () ->
+           ignore
+             (Cdvm.Exec.run
+                ~config:{ Cdvm.Exec.default_config with Cdvm.Exec.input = "A" }
+                unit_O0)));
+    Test.make ~name:"oracle check k=2"
+      (Staged.stage (fun () -> ignore (Compdiff.Oracle.check oracle2 ~input:"A")));
+    Test.make ~name:"oracle check k=10"
+      (Staged.stage (fun () -> ignore (Compdiff.Oracle.check oracle10 ~input:"A")));
+  ]
+
+let microbench () =
+  print_endline "Bechamel micro-benchmarks (monotonic clock):";
+  print_endline "============================================";
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:(Some 100) ()
+  in
+  let grouped =
+    Test.make_grouped ~name:"compdiff" ~fmt:"%s %s" (bench_tests ())
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results =
+    List.map (fun i -> Analyze.all ols i raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            Printf.printf "  %-40s %14.1f ns/run (%s)\n" name est measure
+          | _ -> ())
+        tbl)
+    merged;
+  print_newline ()
+
+let run () =
+  wallclock ();
+  microbench ()

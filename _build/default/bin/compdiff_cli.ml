@@ -1,0 +1,333 @@
+(* The compdiff command-line tool.
+
+   Subcommands mirror the paper's workflow on MiniC source files:
+
+     compdiff compile FILE -p gccx-O2 --dump-ir
+     compdiff run FILE -p clangx-O3 --input 'AB'
+     compdiff diff FILE --input 'AB'
+     compdiff fuzz FILE --execs 5000
+     compdiff juliet --per-cwe 8
+     compdiff projects --name tcpdump --execs 4000
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let frontend_of_file path =
+  match Minic.frontend_of_source (read_file path) with
+  | Ok tp -> tp
+  | Error msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 2
+
+let profile_of_name name =
+  match Cdcompiler.Profiles.by_name name with
+  | Some p -> p
+  | None ->
+    if name = "clangx-Os-buggy" then Cdcompiler.Profiles.clangx_os_buggy
+    else begin
+      Printf.eprintf "unknown profile %s; available: %s\n" name
+        (String.concat ", "
+           (List.map (fun p -> p.Cdcompiler.Policy.pname) Cdcompiler.Profiles.all));
+      exit 2
+    end
+
+(* --- common args --- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file.")
+
+let profile_arg =
+  Arg.(
+    value
+    & opt string "gccx-O0"
+    & info [ "p"; "profile" ] ~docv:"PROFILE"
+        ~doc:"Compiler implementation (e.g. gccx-O0, clangx-O3).")
+
+let input_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "input" ] ~docv:"BYTES" ~doc:"Program input (stdin bytes).")
+
+let fuel_arg =
+  Arg.(
+    value & opt int 200_000
+    & info [ "fuel" ] ~docv:"N" ~doc:"Execution fuel (instruction budget).")
+
+(* --- compile --- *)
+
+let compile_cmd =
+  let dump_ir =
+    Arg.(value & flag & info [ "dump-ir" ] ~doc:"Dump the IR of every function.")
+  in
+  let action file pname dump =
+    let tp = frontend_of_file file in
+    let u = Cdcompiler.Pipeline.compile (profile_of_name pname) tp in
+    Printf.printf "compiled %s with %s: %d functions, %d globals\n" file
+      u.Cdcompiler.Ir.impl_name
+      (List.length u.Cdcompiler.Ir.funcs)
+      (List.length u.Cdcompiler.Ir.globals);
+    if dump then
+      List.iter
+        (fun (_, f) -> print_string (Cdcompiler.Ir.dump_func f))
+        u.Cdcompiler.Ir.funcs;
+    0
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a MiniC file with one implementation.")
+    Term.(const action $ file_arg $ profile_arg $ dump_ir)
+
+(* --- run --- *)
+
+let run_cmd =
+  let action file pname input fuel =
+    let tp = frontend_of_file file in
+    let u = Cdcompiler.Pipeline.compile (profile_of_name pname) tp in
+    let r =
+      Cdvm.Exec.run ~config:{ Cdvm.Exec.default_config with Cdvm.Exec.input; fuel } u
+    in
+    print_string r.Cdvm.Exec.stdout;
+    Printf.printf "[%s: %s, fuel used %d]\n" pname
+      (Cdvm.Trap.status_to_string r.Cdvm.Exec.status)
+      r.Cdvm.Exec.fuel_used;
+    match r.Cdvm.Exec.status with Cdvm.Trap.Exit c -> c | _ -> 1
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and execute a MiniC file.")
+    Term.(const action $ file_arg $ profile_arg $ input_arg $ fuel_arg)
+
+(* --- diff --- *)
+
+let diff_cmd =
+  let strip_addr =
+    Arg.(
+      value & flag
+      & info [ "strip-addresses" ] ~doc:"Normalize 0x... addresses before comparing.")
+  in
+  let action file input fuel strip =
+    let tp = frontend_of_file file in
+    let normalize =
+      if strip then Compdiff.Normalize.strip_hex_addresses
+      else Compdiff.Normalize.identity
+    in
+    let o = Compdiff.Oracle.create ~fuel ~normalize tp in
+    match Compdiff.Oracle.check o ~input with
+    | Compdiff.Oracle.Agree obs ->
+      Printf.printf "all %d implementations agree (%s)\n"
+        (List.length (Compdiff.Oracle.names o))
+        (Cdvm.Trap.status_to_string obs.Compdiff.Oracle.status);
+      print_string obs.Compdiff.Oracle.output;
+      0
+    | Compdiff.Oracle.Diverge obs ->
+      print_string (Compdiff.Oracle.report_to_string ~input obs);
+      1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Run one input through every implementation and compare outputs.")
+    Term.(const action $ file_arg $ input_arg $ fuel_arg $ strip_addr)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let action file pname input fuel =
+    let tp = frontend_of_file file in
+    let u = Cdcompiler.Pipeline.compile (profile_of_name pname) tp in
+    let events, status = Compdiff.Localize.trace ~fuel u ~input in
+    List.iteri
+      (fun i (e : Compdiff.Localize.event) ->
+        Printf.printf "%4d  [%s] %S\n" i e.Compdiff.Localize.ev_fn
+          e.Compdiff.Localize.ev_text)
+      events;
+    Printf.printf "status: %s\n" (Cdvm.Trap.status_to_string status);
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the observable-event trace of one implementation's execution.")
+    Term.(const action $ file_arg $ profile_arg $ input_arg $ fuel_arg)
+
+(* --- localize --- *)
+
+let localize_cmd =
+  let action file input fuel =
+    let tp = frontend_of_file file in
+    let o = Compdiff.Oracle.create ~fuel tp in
+    match Compdiff.Oracle.check o ~input with
+    | Compdiff.Oracle.Agree _ ->
+      Printf.printf "no divergence on this input; nothing to localize\n";
+      0
+    | Compdiff.Oracle.Diverge obs -> (
+      match
+        Compdiff.Localize.of_divergence ~fuel o (Compdiff.Oracle.binaries o) obs
+          ~input
+      with
+      | Some l ->
+        print_string (Compdiff.Localize.to_string l);
+        1
+      | None ->
+        Printf.printf
+          "outputs agree event-by-event; the divergence is in the termination status\n";
+        1)
+  in
+  Cmd.v
+    (Cmd.info "localize"
+       ~doc:
+         "Locate the first divergent observable event between two disagreeing implementations.")
+    Term.(const action $ file_arg $ input_arg $ fuel_arg)
+
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let execs =
+    Arg.(value & opt int 5_000 & info [ "execs" ] ~docv:"N" ~doc:"Execution budget.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Fuzzer RNG seed.")
+  in
+  let corpus =
+    Arg.(
+      value & opt_all string []
+      & info [ "i"; "corpus" ] ~docv:"BYTES" ~doc:"Initial seed input (repeatable).")
+  in
+  let action file execs seed corpus =
+    let tp = frontend_of_file file in
+    let config =
+      {
+        Fuzz.Compdiff_afl.default_config with
+        Fuzz.Compdiff_afl.max_execs = execs;
+        rng_seed = seed;
+        seeds = (if corpus = [] then [ "" ] else corpus);
+      }
+    in
+    let c = Fuzz.Compdiff_afl.run ~config tp in
+    Printf.printf "execs:            %d\n" c.Fuzz.Compdiff_afl.fuzz.Fuzz.Fuzzer.execs;
+    Printf.printf "queue entries:    %d\n"
+      (List.length c.Fuzz.Compdiff_afl.fuzz.Fuzz.Fuzzer.queue);
+    Printf.printf "edges covered:    %d\n"
+      c.Fuzz.Compdiff_afl.fuzz.Fuzz.Fuzzer.edges_covered;
+    Printf.printf "crashes:          %d\n"
+      (List.length c.Fuzz.Compdiff_afl.fuzz.Fuzz.Fuzzer.crashes);
+    Printf.printf "divergent inputs: %d (%d unique)\n"
+      (Compdiff.Triage.total_count c.Fuzz.Compdiff_afl.diffs)
+      (Compdiff.Triage.unique_count c.Fuzz.Compdiff_afl.diffs);
+    List.iter
+      (fun (e : Compdiff.Triage.diff_entry) ->
+        print_newline ();
+        print_string
+          (Compdiff.Oracle.report_to_string ~input:e.Compdiff.Triage.input
+             e.Compdiff.Triage.observations))
+      (Compdiff.Triage.representatives c.Fuzz.Compdiff_afl.diffs);
+    if Compdiff.Triage.total_count c.Fuzz.Compdiff_afl.diffs > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Fuzz a MiniC file with CompDiff-AFL++ (Algorithm 1).")
+    Term.(const action $ file_arg $ execs $ seed $ corpus)
+
+(* --- juliet --- *)
+
+let juliet_cmd =
+  let per_cwe =
+    Arg.(
+      value & opt int 8
+      & info [ "per-cwe" ] ~docv:"N" ~doc:"Variants per CWE (0 = full scaled suite).")
+  in
+  let action per_cwe =
+    let tests =
+      if per_cwe <= 0 then Juliet.Suite.full () else Juliet.Suite.quick ~per_cwe ()
+    in
+    Printf.printf "evaluating %d generated Juliet-style tests...\n%!"
+      (List.length tests);
+    let evals = Juliet.Eval.evaluate_suite tests in
+    let rows = Juliet.Eval.aggregate evals in
+    List.iter
+      (fun (r : Juliet.Eval.row) ->
+        Printf.printf "%-36s n=%-4d CompDiff %3.0f%%  sanitizers %3.0f%%  unique %d\n"
+          r.Juliet.Eval.label r.Juliet.Eval.total
+          (100. *. r.Juliet.Eval.r_compdiff)
+          (100. *. r.Juliet.Eval.r_san_total)
+          r.Juliet.Eval.unique)
+      rows;
+    0
+  in
+  Cmd.v
+    (Cmd.info "juliet" ~doc:"Evaluate tools on the generated benchmark suite.")
+    Term.(const action $ per_cwe)
+
+(* --- projects --- *)
+
+let projects_cmd =
+  let target_name =
+    Arg.(
+      value & opt (some string) None
+      & info [ "name" ] ~docv:"PROJECT" ~doc:"Single target (default: all 23).")
+  in
+  let execs =
+    Arg.(value & opt int 4_000 & info [ "execs" ] ~docv:"N" ~doc:"Budget per target.")
+  in
+  let action target_name execs =
+    let targets =
+      match target_name with
+      | None -> Projects.Registry.all
+      | Some n -> (
+        match Projects.Registry.by_name n with
+        | Some p -> [ p ]
+        | None ->
+          Printf.eprintf "unknown project %s; available: %s\n" n
+            (String.concat ", "
+               (List.map (fun p -> p.Projects.Project.pname) Projects.Registry.all));
+          exit 2)
+    in
+    List.iter
+      (fun (p : Projects.Project.t) ->
+        let r = Projects.Campaign.run_project ~max_execs:execs p in
+        Printf.printf "%-12s seeded=%d found=%d\n%!" p.Projects.Project.pname
+          (List.length p.Projects.Project.bugs)
+          (List.length r.Projects.Campaign.found);
+        List.iter
+          (fun (f : Projects.Campaign.found_bug) ->
+            Printf.printf "  [%s] %s (input %S)\n"
+              (Projects.Project.category_to_string
+                 f.Projects.Campaign.bug.Projects.Project.category)
+              f.Projects.Campaign.bug.Projects.Project.bug_id
+              f.Projects.Campaign.found_input)
+          r.Projects.Campaign.found)
+      targets;
+    0
+  in
+  Cmd.v
+    (Cmd.info "projects" ~doc:"Fuzz the synthetic real-world targets (Table 5).")
+    Term.(const action $ target_name $ execs)
+
+(* --- profiles --- *)
+
+let profiles_cmd =
+  let action () =
+    List.iter
+      (fun (p : Cdcompiler.Policy.profile) ->
+        Printf.printf "%-12s family=%-7s args=%s line=%s\n" p.Cdcompiler.Policy.pname
+          p.Cdcompiler.Policy.family
+          (match p.Cdcompiler.Policy.arg_order with
+          | Cdcompiler.Policy.Left_to_right -> "left-to-right"
+          | Cdcompiler.Policy.Right_to_left -> "right-to-left")
+          (match p.Cdcompiler.Policy.line with
+          | Cdcompiler.Policy.Ltoken -> "token"
+          | Cdcompiler.Policy.Lstmt -> "statement"))
+      Cdcompiler.Profiles.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "profiles" ~doc:"List the available compiler implementations.")
+    Term.(const action $ const ())
+
+let main_cmd =
+  let doc = "compiler-driven differential testing for MiniC programs" in
+  Cmd.group
+    (Cmd.info "compdiff" ~version:"1.0.0" ~doc)
+    [ compile_cmd; run_cmd; diff_cmd; trace_cmd; localize_cmd; fuzz_cmd; juliet_cmd; projects_cmd; profiles_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/evalorder_tcpdump.ml: Compdiff Hashtbl List Minic Option Printf Sanitizers String

@@ -1,0 +1,1 @@
+examples/evalorder_tcpdump.mli:

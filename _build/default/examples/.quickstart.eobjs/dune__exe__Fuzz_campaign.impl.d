@@ -1,0 +1,1 @@
+examples/fuzz_campaign.ml: Compdiff Fuzz List Option Printf Projects Sanitizers String

@@ -1,0 +1,1 @@
+examples/juliet_scan.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cdcompiler Cdvm Compdiff Minic Printf

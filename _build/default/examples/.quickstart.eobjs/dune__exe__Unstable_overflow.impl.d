@@ -1,0 +1,1 @@
+examples/unstable_overflow.ml: Array Cdcompiler Cdvm Compdiff Minic Printf

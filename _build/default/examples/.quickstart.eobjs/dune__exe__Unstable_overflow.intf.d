@@ -1,0 +1,1 @@
+examples/unstable_overflow.mli:

@@ -1,0 +1,1 @@
+lib/compiler/ir.ml: Array Buffer Hashtbl Int64 List Policy Printf String

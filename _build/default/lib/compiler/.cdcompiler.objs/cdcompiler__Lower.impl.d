@@ -1,0 +1,1 @@
+lib/compiler/lower.ml: Array Ast Buffer Hashtbl Int64 Ir List Minic Policy Printf String Tast

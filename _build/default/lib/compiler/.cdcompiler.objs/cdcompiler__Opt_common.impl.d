@@ -1,0 +1,1 @@
+lib/compiler/opt_common.ml: Array Int64 Ir List

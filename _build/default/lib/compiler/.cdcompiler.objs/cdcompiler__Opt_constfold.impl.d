@@ -1,0 +1,1 @@
+lib/compiler/opt_constfold.ml: Hashtbl Int64 Ir Opt_common

@@ -1,0 +1,1 @@
+lib/compiler/opt_copyprop.ml: Hashtbl Ir Opt_common

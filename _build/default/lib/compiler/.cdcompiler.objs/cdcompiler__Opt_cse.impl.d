@@ -1,0 +1,1 @@
+lib/compiler/opt_cse.ml: Hashtbl Ir List Opt_common

@@ -1,0 +1,1 @@
+lib/compiler/opt_dce.ml: Array Hashtbl Ir List Option

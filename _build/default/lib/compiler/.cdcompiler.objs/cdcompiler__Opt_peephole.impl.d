@@ -1,0 +1,1 @@
+lib/compiler/opt_peephole.ml: Array Hashtbl Int64 Ir List Option

@@ -1,0 +1,1 @@
+lib/compiler/opt_ubfold.ml: Hashtbl Int32 Int64 Ir List Opt_common

@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Ir List Lower Minic Opt_constfold Opt_copyprop Opt_cse Opt_dce Opt_inline Opt_peephole Opt_ubfold Policy Profiles

@@ -1,0 +1,1 @@
+lib/compiler/policy.ml: Cdutil Int64

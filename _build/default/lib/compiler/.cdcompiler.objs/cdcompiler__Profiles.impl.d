@@ -1,0 +1,1 @@
+lib/compiler/profiles.ml: List Policy

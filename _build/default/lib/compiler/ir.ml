@@ -1,0 +1,276 @@
+(* Register-based linear IR shared by all compiler implementations.
+
+   Lowering from the typed AST and every optimization pass produce this
+   IR; the VM ({!Cdvm.Exec}) interprets it. Design notes:
+
+   - Integer arithmetic carries a {!width} (MiniC [int] is 32-bit, [long]
+     64-bit) and a {!csem} marker saying whether the operation originated
+     from C-level *signed* arithmetic (whose overflow is undefined and
+     checked by UBSan) or from compiler-introduced address math (defined,
+     wrapping, never checked).
+   - Pointers are first-class values; [Ilea] materializes the address of a
+     global or frame slot, [Ipadd] does pointer arithmetic in cells.
+   - [__LINE__] does not survive lowering: each implementation bakes in a
+     constant according to its line-interpretation policy.
+   - Basic blocks are delimited by [Ilabel]; [Ijmp]/[Ibr]/[Iret] terminate
+     them. Fallthrough into a label is allowed. *)
+
+type reg = int
+type label = int
+
+type width = W32 | W64
+
+(* Origin of an integer operation, for sanitizer checks and folding rules. *)
+type csem =
+  | Csigned   (* source-level signed arithmetic: overflow is UB *)
+  | Cwrap     (* defined wrap-around (compiler-introduced, or masked) *)
+
+type ibin =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Bshl | Bshr
+  | Band | Bor | Bxor
+
+type fbin = FAdd | FSub | FMul | FDiv
+
+type cmp = Clt | Cle | Cgt | Cge | Ceq | Cne
+
+type cast =
+  | Sext3264      (* int -> long *)
+  | Trunc6432     (* long -> int *)
+  | I2F of width  (* signed int -> double *)
+  | F2I of width  (* double -> signed int, truncating *)
+  | P2I of width  (* pointer -> integer: absolute address (layout!) *)
+  | I2P           (* integer -> pointer: resolved via the address space *)
+
+type operand =
+  | Reg of reg
+  | ImmI of int64
+  | ImmF of float
+  | Nullptr
+
+(* print-format fragments after lowering *)
+type fmt_item =
+  | Flit of string
+  | Fint of operand        (* %d  signed 32 *)
+  | Flong of operand       (* %ld signed 64 *)
+  | Fuint of operand       (* %u *)
+  | Fhex of operand        (* %x *)
+  | Fchar of operand       (* %c *)
+  | Fstr of operand        (* %s : NUL-terminated cells *)
+  | Ffloat of operand      (* %f : 6 decimals *)
+  | Fptr of operand        (* %p : absolute address *)
+
+type instr =
+  | Iconst of reg * operand                      (* materialize an immediate *)
+  | Imov of reg * operand
+  | Ibin of ibin * width * csem * reg * operand * operand
+  | Ineg of width * csem * reg * operand
+  | Inot of width * reg * operand                (* bitwise complement *)
+  | Ifbin of fbin * reg * operand * operand
+  | Ifma of reg * operand * operand * operand    (* fused a*b + c *)
+  | Ifneg of reg * operand
+  | Icmp of cmp * width * reg * operand * operand
+  | Ifcmp of cmp * reg * operand * operand
+  | Ipcmp of cmp * reg * operand * operand       (* pointer comparison *)
+  | Ipadd of reg * operand * operand             (* ptr + cells *)
+  | Ipdiff of reg * operand * operand            (* ptr - ptr, in cells *)
+  | Icast of cast * reg * operand
+  | Ilea of reg * sym
+  | Iload of reg * operand                       (* [reg] <- mem[ptr] *)
+  | Istore of operand * operand                  (* mem[ptr] <- value *)
+  | Icall of reg option * string * operand list
+  | Ibuiltin of reg option * string * operand list
+  | Iprint of fmt_item list
+  | Ijmp of label
+  | Ibr of operand * label * label               (* cond, then, else *)
+  | Iret of operand option
+  | Ilabel of label
+  | Itrap of string                              (* compiler-emitted abort *)
+
+and sym =
+  | Sglobal of string
+  | Sslot of int         (* frame slot index *)
+
+type frame_slot = {
+  slot_name : string;    (* for diagnostics *)
+  slot_size : int;       (* in cells *)
+}
+
+type ifunc = {
+  name : string;
+  nparams : int;         (* parameters arrive in registers 0..nparams-1 *)
+  mutable nregs : int;
+  mutable slots : frame_slot array;
+  mutable code : instr array;
+  mutable label_cache : (int, int) Hashtbl.t option;
+      (* label -> pc map, computed once per compiled function and shared
+         by every execution of the binary *)
+}
+
+type iglobal = { g_name : string; g_size : int; g_init : int64 list }
+
+(* A compiled binary: IR for every function plus the runtime policies the
+   VM must apply (memory layout, uninitialized-value policy, ...), fixed
+   at compile time by the producing implementation. *)
+type unit_ = {
+  funcs : (string * ifunc) list;
+  globals : iglobal list;
+  runtime : Policy.runtime;
+  impl_name : string;    (* e.g. "gccx-O2", for reports *)
+}
+
+let func unit_ name = List.assoc_opt name unit_.funcs
+
+(* --- operand / instruction utilities --- *)
+
+let uses_of_operand = function Reg r -> [ r ] | ImmI _ | ImmF _ | Nullptr -> []
+
+let fmt_operands items =
+  List.concat_map
+    (function
+      | Flit _ -> []
+      | Fint o | Flong o | Fuint o | Fhex o | Fchar o | Fstr o | Ffloat o | Fptr o
+        -> [ o ])
+    items
+
+let uses = function
+  | Iconst (_, o) | Imov (_, o) | Ineg (_, _, _, o) | Inot (_, _, o)
+  | Ifneg (_, o) | Icast (_, _, o) | Iload (_, o) ->
+    uses_of_operand o
+  | Ibin (_, _, _, _, a, b)
+  | Ifbin (_, _, a, b)
+  | Icmp (_, _, _, a, b)
+  | Ifcmp (_, _, a, b)
+  | Ipcmp (_, _, a, b)
+  | Ipadd (_, a, b)
+  | Ipdiff (_, a, b)
+  | Istore (a, b) ->
+    uses_of_operand a @ uses_of_operand b
+  | Ifma (_, a, b, c) -> uses_of_operand a @ uses_of_operand b @ uses_of_operand c
+  | Icall (_, _, args) | Ibuiltin (_, _, args) -> List.concat_map uses_of_operand args
+  | Iprint items -> List.concat_map uses_of_operand (fmt_operands items)
+  | Ibr (c, _, _) -> uses_of_operand c
+  | Iret (Some o) -> uses_of_operand o
+  | Ilea _ | Ijmp _ | Iret None | Ilabel _ | Itrap _ -> []
+
+let def = function
+  | Iconst (r, _) | Imov (r, _)
+  | Ibin (_, _, _, r, _, _)
+  | Ineg (_, _, r, _) | Inot (_, r, _)
+  | Ifbin (_, r, _, _) | Ifma (r, _, _, _) | Ifneg (r, _)
+  | Icmp (_, _, r, _, _) | Ifcmp (_, r, _, _) | Ipcmp (_, r, _, _)
+  | Ipadd (r, _, _) | Ipdiff (r, _, _)
+  | Icast (_, r, _) | Ilea (r, _) | Iload (r, _) ->
+    Some r
+  | Icall (d, _, _) | Ibuiltin (d, _, _) -> d
+  | Istore _ | Iprint _ | Ijmp _ | Ibr _ | Iret _ | Ilabel _ | Itrap _ -> None
+
+(* Pure instructions may be removed when their result is unused. Loads are
+   impure only through faults; dead loads are still removable (real
+   compilers delete dead loads), as are dead divisions — deleting a dead
+   division whose divisor is zero is precisely one of the UB-exploiting
+   behaviours this system models. *)
+let removable_if_dead = function
+  | Iconst _ | Imov _ | Ibin _ | Ineg _ | Inot _ | Ifbin _ | Ifma _ | Ifneg _
+  | Icmp _ | Ifcmp _ | Ipcmp _ | Ipadd _ | Ipdiff _ | Icast _ | Ilea _ | Iload _ ->
+    true
+  | Istore _ | Icall _ | Ibuiltin _ | Iprint _ | Ijmp _ | Ibr _ | Iret _
+  | Ilabel _ | Itrap _ -> false
+
+(* --- pretty-printing, for dumps and tests --- *)
+
+let string_of_ibin = function
+  | Badd -> "add" | Bsub -> "sub" | Bmul -> "mul" | Bdiv -> "div"
+  | Bmod -> "mod" | Bshl -> "shl" | Bshr -> "shr" | Band -> "and"
+  | Bor -> "or" | Bxor -> "xor"
+
+let string_of_cmp = function
+  | Clt -> "lt" | Cle -> "le" | Cgt -> "gt" | Cge -> "ge" | Ceq -> "eq" | Cne -> "ne"
+
+let string_of_width = function W32 -> "32" | W64 -> "64"
+
+let string_of_operand = function
+  | Reg r -> Printf.sprintf "r%d" r
+  | ImmI v -> Int64.to_string v
+  | ImmF f -> Printf.sprintf "%g" f
+  | Nullptr -> "null"
+
+let string_of_sym = function
+  | Sglobal g -> "@" ^ g
+  | Sslot i -> Printf.sprintf "slot[%d]" i
+
+let string_of_instr ins =
+  let o = string_of_operand in
+  match ins with
+  | Iconst (r, v) -> Printf.sprintf "r%d = const %s" r (o v)
+  | Imov (r, a) -> Printf.sprintf "r%d = mov %s" r (o a)
+  | Ibin (op, w, sem, r, a, b) ->
+    Printf.sprintf "r%d = %s.%s%s %s, %s" r (string_of_ibin op) (string_of_width w)
+      (match sem with Csigned -> "s" | Cwrap -> "w")
+      (o a) (o b)
+  | Ineg (w, _, r, a) -> Printf.sprintf "r%d = neg.%s %s" r (string_of_width w) (o a)
+  | Inot (w, r, a) -> Printf.sprintf "r%d = not.%s %s" r (string_of_width w) (o a)
+  | Ifbin (op, r, a, b) ->
+    let s = match op with FAdd -> "fadd" | FSub -> "fsub" | FMul -> "fmul" | FDiv -> "fdiv" in
+    Printf.sprintf "r%d = %s %s, %s" r s (o a) (o b)
+  | Ifma (r, a, b, c) -> Printf.sprintf "r%d = fma %s, %s, %s" r (o a) (o b) (o c)
+  | Ifneg (r, a) -> Printf.sprintf "r%d = fneg %s" r (o a)
+  | Icmp (c, w, r, a, b) ->
+    Printf.sprintf "r%d = cmp.%s.%s %s, %s" r (string_of_cmp c) (string_of_width w) (o a) (o b)
+  | Ifcmp (c, r, a, b) -> Printf.sprintf "r%d = fcmp.%s %s, %s" r (string_of_cmp c) (o a) (o b)
+  | Ipcmp (c, r, a, b) -> Printf.sprintf "r%d = pcmp.%s %s, %s" r (string_of_cmp c) (o a) (o b)
+  | Ipadd (r, p, off) -> Printf.sprintf "r%d = padd %s, %s" r (o p) (o off)
+  | Ipdiff (r, p, q) -> Printf.sprintf "r%d = pdiff %s, %s" r (o p) (o q)
+  | Icast (k, r, a) ->
+    let s =
+      match k with
+      | Sext3264 -> "sext" | Trunc6432 -> "trunc" | I2F _ -> "i2f"
+      | F2I _ -> "f2i" | P2I _ -> "p2i" | I2P -> "i2p"
+    in
+    Printf.sprintf "r%d = %s %s" r s (o a)
+  | Ilea (r, s) -> Printf.sprintf "r%d = lea %s" r (string_of_sym s)
+  | Iload (r, p) -> Printf.sprintf "r%d = load %s" r (o p)
+  | Istore (p, v) -> Printf.sprintf "store %s <- %s" (o p) (o v)
+  | Icall (None, f, args) ->
+    Printf.sprintf "call %s(%s)" f (String.concat ", " (List.map o args))
+  | Icall (Some r, f, args) ->
+    Printf.sprintf "r%d = call %s(%s)" r f (String.concat ", " (List.map o args))
+  | Ibuiltin (None, f, args) ->
+    Printf.sprintf "builtin %s(%s)" f (String.concat ", " (List.map o args))
+  | Ibuiltin (Some r, f, args) ->
+    Printf.sprintf "r%d = builtin %s(%s)" r f (String.concat ", " (List.map o args))
+  | Iprint items ->
+    let frag = function
+      | Flit s -> Printf.sprintf "%S" s
+      | Fint x -> "%d:" ^ o x
+      | Flong x -> "%ld:" ^ o x
+      | Fuint x -> "%u:" ^ o x
+      | Fhex x -> "%x:" ^ o x
+      | Fchar x -> "%c:" ^ o x
+      | Fstr x -> "%s:" ^ o x
+      | Ffloat x -> "%f:" ^ o x
+      | Fptr x -> "%p:" ^ o x
+    in
+    Printf.sprintf "print [%s]" (String.concat "; " (List.map frag items))
+  | Ijmp l -> Printf.sprintf "jmp L%d" l
+  | Ibr (c, t, f) -> Printf.sprintf "br %s, L%d, L%d" (o c) t f
+  | Iret None -> "ret"
+  | Iret (Some v) -> Printf.sprintf "ret %s" (o v)
+  | Ilabel l -> Printf.sprintf "L%d:" l
+  | Itrap msg -> Printf.sprintf "trap %S" msg
+
+let dump_func f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "func %s (params=%d regs=%d slots=%d)\n" f.name f.nparams f.nregs
+       (Array.length f.slots));
+  Array.iter
+    (fun ins ->
+      (match ins with
+      | Ilabel _ -> Buffer.add_string buf (string_of_instr ins)
+      | _ ->
+        Buffer.add_string buf "  ";
+        Buffer.add_string buf (string_of_instr ins));
+      Buffer.add_char buf '\n')
+    f.code;
+  Buffer.contents buf

@@ -1,0 +1,145 @@
+(* Shared helpers for the optimization passes.
+
+   All passes are local (basic-block scoped) except DCE's reachability and
+   the use-count based dead-code removal, which are whole-function. A
+   basic block starts at an [Ilabel] or right after a terminator. *)
+
+open Ir
+
+let is_terminator = function
+  | Ijmp _ | Ibr _ | Iret _ | Itrap _ -> true
+  | _ -> false
+
+(* Rewrite instructions sequentially; [reset] runs at every block boundary
+   so passes can drop their per-block state. Each input instruction may be
+   replaced by any list of instructions. *)
+let rewrite_local ~(reset : unit -> unit) (f : instr -> instr list)
+    (code : instr array) : instr array =
+  let out = ref [] in
+  reset ();
+  Array.iter
+    (fun ins ->
+      match ins with
+      | Ilabel _ ->
+        reset ();
+        out := ins :: !out
+      | _ ->
+        let repl = f ins in
+        List.iter (fun i -> out := i :: !out) repl;
+        if is_terminator ins then reset ())
+    code;
+  Array.of_list (List.rev !out)
+
+(* Arithmetic at IR widths. W32 values are kept sign-extended inside
+   int64; [norm] restores that invariant after an operation. *)
+let norm w v =
+  match w with
+  | W32 -> Int64.of_int32 (Int64.to_int32 v)
+  | W64 -> v
+
+let bits = function W32 -> 32 | W64 -> 64
+
+(* Fold an integer binop the way the *compiler* does it. Shifts with an
+   out-of-range count are folded to 0 (a legal choice for UB); the VM, by
+   contrast, masks the count like x86 hardware -- this asymmetry is one of
+   the modeled unstable behaviours. Division folding is refused when the
+   divisor is 0 so the runtime trap survives. *)
+let fold_ibin op w a b : int64 option =
+  let ( &&& ) f x = Some (norm w (f x)) in
+  match op with
+  | Badd -> (fun () -> Int64.add a b) &&& ()
+  | Bsub -> (fun () -> Int64.sub a b) &&& ()
+  | Bmul -> (fun () -> Int64.mul a b) &&& ()
+  | Bdiv ->
+    if b = 0L then None
+    else if a = Int64.min_int && b = -1L then None
+    else (fun () -> Int64.div a b) &&& ()
+  | Bmod ->
+    if b = 0L then None
+    else if a = Int64.min_int && b = -1L then None
+    else (fun () -> Int64.rem a b) &&& ()
+  | Bshl ->
+    let c = Int64.to_int b in
+    if c < 0 || c >= bits w then Some 0L else (fun () -> Int64.shift_left a c) &&& ()
+  | Bshr ->
+    let c = Int64.to_int b in
+    if c < 0 || c >= bits w then Some 0L
+    else (fun () -> Int64.shift_right a c) &&& ()
+  | Band -> (fun () -> Int64.logand a b) &&& ()
+  | Bor -> (fun () -> Int64.logor a b) &&& ()
+  | Bxor -> (fun () -> Int64.logxor a b) &&& ()
+
+let fold_icmp c a b : int64 =
+  let r =
+    match c with
+    | Clt -> a < b
+    | Cle -> a <= b
+    | Cgt -> a > b
+    | Cge -> a >= b
+    | Ceq -> a = b
+    | Cne -> a <> b
+  in
+  if r then 1L else 0L
+
+let fold_fcmp c a b : int64 =
+  let r =
+    match c with
+    | Clt -> a < b
+    | Cle -> a <= b
+    | Cgt -> a > b
+    | Cge -> a >= b
+    | Ceq -> a = b
+    | Cne -> a <> b
+  in
+  if r then 1L else 0L
+
+let fold_cast k (v : int64) : int64 option =
+  match k with
+  | Sext3264 -> Some v (* W32 values are already sign-extended *)
+  | Trunc6432 -> Some (norm W32 v)
+  | I2F _ | F2I _ | P2I _ | I2P -> None
+
+(* substitute register operands through a map *)
+let subst_operand lookup (o : operand) =
+  match o with
+  | Reg r -> (match lookup r with Some o' -> o' | None -> o)
+  | ImmI _ | ImmF _ | Nullptr -> o
+
+let map_operands f (ins : instr) : instr =
+  match ins with
+  | Iconst (r, o) -> Iconst (r, f o)
+  | Imov (r, o) -> Imov (r, f o)
+  | Ibin (op, w, s, r, a, b) -> Ibin (op, w, s, r, f a, f b)
+  | Ineg (w, s, r, a) -> Ineg (w, s, r, f a)
+  | Inot (w, r, a) -> Inot (w, r, f a)
+  | Ifbin (op, r, a, b) -> Ifbin (op, r, f a, f b)
+  | Ifma (r, a, b, c) -> Ifma (r, f a, f b, f c)
+  | Ifneg (r, a) -> Ifneg (r, f a)
+  | Icmp (c, w, r, a, b) -> Icmp (c, w, r, f a, f b)
+  | Ifcmp (c, r, a, b) -> Ifcmp (c, r, f a, f b)
+  | Ipcmp (c, r, a, b) -> Ipcmp (c, r, f a, f b)
+  | Ipadd (r, a, b) -> Ipadd (r, f a, f b)
+  | Ipdiff (r, a, b) -> Ipdiff (r, f a, f b)
+  | Icast (k, r, a) -> Icast (k, r, f a)
+  | Ilea _ -> ins
+  | Iload (r, p) -> Iload (r, f p)
+  | Istore (p, v) -> Istore (f p, f v)
+  | Icall (d, name, args) -> Icall (d, name, List.map f args)
+  | Ibuiltin (d, name, args) -> Ibuiltin (d, name, List.map f args)
+  | Iprint items ->
+    Iprint
+      (List.map
+         (function
+           | Flit s -> Flit s
+           | Fint o -> Fint (f o)
+           | Flong o -> Flong (f o)
+           | Fuint o -> Fuint (f o)
+           | Fhex o -> Fhex (f o)
+           | Fchar o -> Fchar (f o)
+           | Fstr o -> Fstr (f o)
+           | Ffloat o -> Ffloat (f o)
+           | Fptr o -> Fptr (f o))
+         items)
+  | Ijmp _ | Ilabel _ | Iret None | Itrap _ -> ins
+  | Ibr (c, t, e) -> Ibr (f c, t, e)
+  | Iret (Some o) -> Iret (Some (f o))

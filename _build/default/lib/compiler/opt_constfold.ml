@@ -1,0 +1,110 @@
+(* Constant folding and algebraic simplification (block-local).
+
+   Tracks registers holding known constants, substitutes them into uses,
+   folds fully-constant operations and branches on constants. The fold of
+   an out-of-range shift count to 0 (see {!Opt_common.fold_ibin}) is a
+   deliberate, legal UB exploitation that diverges from the masking
+   runtime. *)
+
+open Ir
+
+let run (f : ifunc) : ifunc =
+  let consts : (reg, operand) Hashtbl.t = Hashtbl.create 32 in
+  let reset () = Hashtbl.reset consts in
+  let lookup r = Hashtbl.find_opt consts r in
+  let kill r =
+    Hashtbl.remove consts r;
+    (* drop any mapping whose value mentions r -- cannot happen since we
+       only store immediates, but keep the invariant obvious *)
+    ()
+  in
+  let set_const r o = Hashtbl.replace consts r o in
+  let rewrite ins =
+    let ins = Opt_common.map_operands (Opt_common.subst_operand lookup) ins in
+    (match Ir.def ins with Some r -> kill r | None -> ());
+    match ins with
+    | Iconst (r, ((ImmI _ | ImmF _ | Nullptr) as v)) | Imov (r, ((ImmI _ | ImmF _ | Nullptr) as v)) ->
+      set_const r v;
+      [ ins ]
+    | Ibin (op, w, _, r, ImmI a, ImmI b) ->
+      (match Opt_common.fold_ibin op w a b with
+      | Some v ->
+        set_const r (ImmI v);
+        [ Iconst (r, ImmI v) ]
+      | None -> [ ins ])
+    (* an out-of-range constant shift count is UB regardless of the other
+       operand: fold the whole shift to the poison choice 0 *)
+    | Ibin ((Bshl | Bshr), w, _, r, _, ImmI c)
+      when c < 0L || c >= Int64.of_int (Opt_common.bits w) ->
+      set_const r (ImmI 0L);
+      [ Iconst (r, ImmI 0L) ]
+    (* algebraic identities *)
+    | Ibin (Badd, _, _, r, a, ImmI 0L) | Ibin (Badd, _, _, r, ImmI 0L, a)
+    | Ibin (Bsub, _, _, r, a, ImmI 0L)
+    | Ibin (Bmul, _, _, r, a, ImmI 1L) | Ibin (Bmul, _, _, r, ImmI 1L, a)
+    | Ibin (Bdiv, _, _, r, a, ImmI 1L)
+    | Ibin ((Bshl | Bshr), _, _, r, a, ImmI 0L)
+    | Ibin (Bor, _, _, r, a, ImmI 0L) | Ibin (Bor, _, _, r, ImmI 0L, a)
+    | Ibin (Bxor, _, _, r, a, ImmI 0L) | Ibin (Bxor, _, _, r, ImmI 0L, a) ->
+      (match a with
+      | ImmI _ | ImmF _ | Nullptr -> set_const r a
+      | Reg _ -> ());
+      [ Imov (r, a) ]
+    | Ibin (Bmul, _, _, r, _, ImmI 0L) | Ibin (Bmul, _, _, r, ImmI 0L, _)
+    | Ibin (Band, _, _, r, _, ImmI 0L) | Ibin (Band, _, _, r, ImmI 0L, _) ->
+      set_const r (ImmI 0L);
+      [ Iconst (r, ImmI 0L) ]
+    | Ineg (w, _, r, ImmI a) ->
+      let v = Opt_common.norm w (Int64.neg a) in
+      set_const r (ImmI v);
+      [ Iconst (r, ImmI v) ]
+    | Inot (w, r, ImmI a) ->
+      let v = Opt_common.norm w (Int64.lognot a) in
+      set_const r (ImmI v);
+      [ Iconst (r, ImmI v) ]
+    | Ifbin (op, r, ImmF a, ImmF b) ->
+      let v =
+        match op with
+        | FAdd -> a +. b
+        | FSub -> a -. b
+        | FMul -> a *. b
+        | FDiv -> a /. b
+      in
+      set_const r (ImmF v);
+      [ Iconst (r, ImmF v) ]
+    | Ifneg (r, ImmF a) ->
+      set_const r (ImmF (-.a));
+      [ Iconst (r, ImmF (-.a)) ]
+    | Icmp (c, _, r, ImmI a, ImmI b) ->
+      let v = Opt_common.fold_icmp c a b in
+      set_const r (ImmI v);
+      [ Iconst (r, ImmI v) ]
+    | Ifcmp (c, r, ImmF a, ImmF b) ->
+      let v = Opt_common.fold_fcmp c a b in
+      set_const r (ImmI v);
+      [ Iconst (r, ImmI v) ]
+    | Ipcmp (Ceq, r, Nullptr, Nullptr) ->
+      set_const r (ImmI 1L);
+      [ Iconst (r, ImmI 1L) ]
+    | Ipcmp (Cne, r, Nullptr, Nullptr) ->
+      set_const r (ImmI 0L);
+      [ Iconst (r, ImmI 0L) ]
+    | Icast (I2P, r, ImmI 0L) ->
+      set_const r Nullptr;
+      [ Iconst (r, Nullptr) ]
+    | Icast (I2F _, r, ImmI a) ->
+      let v = Int64.to_float a in
+      set_const r (ImmF v);
+      [ Iconst (r, ImmF v) ]
+    | Icast (k, r, ImmI a) ->
+      (match Opt_common.fold_cast k a with
+      | Some v ->
+        set_const r (ImmI v);
+        [ Iconst (r, ImmI v) ]
+      | None -> [ ins ])
+    | Ibr (ImmI c, t, e) -> [ Ijmp (if c <> 0L then t else e) ]
+    | Ibr (ImmF c, t, e) -> [ Ijmp (if c <> 0. then t else e) ]
+    | Ibr (Nullptr, _, e) -> [ Ijmp e ]
+    | _ -> [ ins ]
+  in
+  { f with code = Opt_common.rewrite_local ~reset rewrite f.code; label_cache = None }

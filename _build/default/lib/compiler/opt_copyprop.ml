@@ -1,0 +1,30 @@
+(* Block-local copy propagation.
+
+   Forwards [Imov r, Reg s] and immediate moves into later uses. Register
+   copies are invalidated when either side is redefined; memory is not
+   involved (registers cannot alias), so stores never invalidate. *)
+
+open Ir
+
+let run (f : ifunc) : ifunc =
+  let copies : (reg, operand) Hashtbl.t = Hashtbl.create 32 in
+  let reset () = Hashtbl.reset copies in
+  let lookup r = Hashtbl.find_opt copies r in
+  let kill r =
+    Hashtbl.remove copies r;
+    Hashtbl.iter
+      (fun k v -> match v with Reg s when s = r -> Hashtbl.remove copies k | _ -> ())
+      copies
+  in
+  let rewrite ins =
+    let ins = Opt_common.map_operands (Opt_common.subst_operand lookup) ins in
+    (match Ir.def ins with Some r -> kill r | None -> ());
+    (match ins with
+    | Imov (r, src) | Iconst (r, src) ->
+      (match src with
+      | Reg s when s = r -> ()
+      | _ -> Hashtbl.replace copies r src)
+    | _ -> ());
+    [ ins ]
+  in
+  { f with code = Opt_common.rewrite_local ~reset rewrite f.code; label_cache = None }

@@ -1,0 +1,75 @@
+(* Dead code elimination.
+
+   Two parts, run to a fixpoint:
+   1. unreachable code removal (blocks that no jump/branch/fallthrough can
+      reach are deleted -- this is how a folded UB guard disappears);
+   2. dead definition removal: pure instructions (including loads and
+      divisions!) whose destination register is never used anywhere in the
+      function are dropped. Deleting a dead division whose divisor may be
+      zero removes the runtime trap an unoptimized build still has --
+      deliberate UB-exploiting behavior. *)
+
+open Ir
+
+(* indices of instructions reachable from the entry *)
+let reachable (code : instr array) : bool array =
+  let n = Array.length code in
+  let label_pos = Hashtbl.create 16 in
+  Array.iteri
+    (fun i ins -> match ins with Ilabel l -> Hashtbl.replace label_pos l i | _ -> ())
+    code;
+  let seen = Array.make n false in
+  let rec walk i =
+    if i < n && not seen.(i) then begin
+      seen.(i) <- true;
+      match code.(i) with
+      | Ijmp l -> (match Hashtbl.find_opt label_pos l with Some j -> walk j | None -> ())
+      | Ibr (_, t, e) ->
+        (match Hashtbl.find_opt label_pos t with Some j -> walk j | None -> ());
+        (match Hashtbl.find_opt label_pos e with Some j -> walk j | None -> ())
+      | Iret _ | Itrap _ -> ()
+      | _ -> walk (i + 1)
+    end
+  in
+  if n > 0 then walk 0;
+  seen
+
+let remove_unreachable (f : ifunc) : ifunc * bool =
+  let seen = reachable f.code in
+  let changed = ref false in
+  let out = ref [] in
+  Array.iteri
+    (fun i ins ->
+      if seen.(i) then out := ins :: !out
+      else
+        match ins with
+        | Ilabel _ -> out := ins :: !out (* keep labels: cheap and safe *)
+        | _ -> changed := true)
+    f.code;
+  ({ f with code = Array.of_list (List.rev !out); label_cache = None }, !changed)
+
+let remove_dead_defs (f : ifunc) : ifunc * bool =
+  let use_count = Hashtbl.create 64 in
+  let bump r = Hashtbl.replace use_count r (1 + Option.value ~default:0 (Hashtbl.find_opt use_count r)) in
+  Array.iter (fun ins -> List.iter bump (Ir.uses ins)) f.code;
+  let changed = ref false in
+  let keep ins =
+    match Ir.def ins with
+    | Some r when Ir.removable_if_dead ins && not (Hashtbl.mem use_count r) ->
+      changed := true;
+      false
+    | _ -> true
+  in
+  let code = Array.of_list (List.filter keep (Array.to_list f.code)) in
+  ({ f with code; label_cache = None }, !changed)
+
+let run (f : ifunc) : ifunc =
+  let rec fixpoint f n =
+    if n = 0 then f
+    else begin
+      let f1, c1 = remove_unreachable f in
+      let f2, c2 = remove_dead_defs f1 in
+      if c1 || c2 then fixpoint f2 (n - 1) else f2
+    end
+  in
+  fixpoint f 16

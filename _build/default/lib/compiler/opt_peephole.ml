@@ -1,0 +1,121 @@
+(* Small pattern rewrites gated by individual profile flags:
+
+   - [strength]: multiply by a power of two becomes a shift (semantics
+     preserving under wrap-around; present for realism and as a
+     performance pass all levels above -O0 share);
+
+   - [promote_mul]: a 32-bit signed multiplication whose only use is an
+     immediate sign-extension to 64 bits is rewritten to a 64-bit multiply
+     of sign-extended operands. This changes semantics exactly when the
+     32-bit multiplication would overflow -- the paper's IntError example
+     (`long x = y + a * b` under clang -O1);
+
+   - [fp_contract]: a*b+c fuses into a single-rounding fma;
+
+   - [pow_to_exp2]: pow(2.0, x) becomes the cheaper exp2 libcall whose
+     last-bit results differ from pow (the paper's floating-point Misc
+     findings). *)
+
+open Ir
+
+let is_pow2 v = v > 1L && Int64.logand v (Int64.sub v 1L) = 0L
+
+let log2 v =
+  let rec go acc x = if x <= 1L then acc else go (acc + 1) (Int64.shift_right_logical x 1) in
+  go 0 v
+
+let strength (f : ifunc) : ifunc =
+  let code =
+    Array.map
+      (fun ins ->
+        match ins with
+        | Ibin (Bmul, w, _, r, a, ImmI c) when is_pow2 c ->
+          Ibin (Bshl, w, Cwrap, r, a, ImmI (Int64.of_int (log2 c)))
+        | Ibin (Bmul, w, _, r, ImmI c, a) when is_pow2 c ->
+          Ibin (Bshl, w, Cwrap, r, a, ImmI (Int64.of_int (log2 c)))
+        | other -> other)
+      f.code
+  in
+  { f with code; label_cache = None }
+
+(* single-use analysis over a whole function *)
+let use_counts (f : ifunc) =
+  let t = Hashtbl.create 64 in
+  Array.iter
+    (fun ins ->
+      List.iter
+        (fun r -> Hashtbl.replace t r (1 + Option.value ~default:0 (Hashtbl.find_opt t r)))
+        (Ir.uses ins))
+    f.code;
+  t
+
+let promote_mul (f : ifunc) : ifunc =
+  let uses = use_counts f in
+  let nregs = ref f.nregs in
+  let fresh () =
+    let r = !nregs in
+    incr nregs;
+    r
+  in
+  (* find: rM = mul.32s a, b ; ... ; rS = sext rM  with rM used once *)
+  let mul_def : (reg, operand * operand) Hashtbl.t = Hashtbl.create 16 in
+  let out = ref [] in
+  Array.iter
+    (fun ins ->
+      match ins with
+      | Ibin (Bmul, W32, Csigned, r, a, b) ->
+        Hashtbl.replace mul_def r (a, b);
+        out := ins :: !out
+      | Icast (Sext3264, rs, Reg rm) when Hashtbl.mem mul_def rm
+                                          && Hashtbl.find_opt uses rm = Some 1 ->
+        let a, b = Hashtbl.find mul_def rm in
+        let a64 = fresh () and b64 = fresh () in
+        out := Icast (Sext3264, a64, a) :: !out;
+        out := Icast (Sext3264, b64, b) :: !out;
+        out := Ibin (Bmul, W64, Csigned, rs, Reg a64, Reg b64) :: !out
+      | Ilabel _ ->
+        Hashtbl.reset mul_def;
+        out := ins :: !out
+      | _ ->
+        (match Ir.def ins with Some r -> Hashtbl.remove mul_def r | None -> ());
+        out := ins :: !out)
+    f.code;
+  { f with nregs = !nregs; code = Array.of_list (List.rev !out); label_cache = None }
+
+let fp_contract (f : ifunc) : ifunc =
+  let uses = use_counts f in
+  let mul_def : (reg, operand * operand) Hashtbl.t = Hashtbl.create 16 in
+  let out = ref [] in
+  Array.iter
+    (fun ins ->
+      match ins with
+      | Ifbin (FMul, r, a, b) ->
+        Hashtbl.replace mul_def r (a, b);
+        out := ins :: !out
+      | Ifbin (FAdd, r, Reg rm, c) when Hashtbl.mem mul_def rm
+                                        && Hashtbl.find_opt uses rm = Some 1 ->
+        let a, b = Hashtbl.find mul_def rm in
+        out := Ifma (r, a, b, c) :: !out
+      | Ifbin (FAdd, r, c, Reg rm) when Hashtbl.mem mul_def rm
+                                        && Hashtbl.find_opt uses rm = Some 1 ->
+        let a, b = Hashtbl.find mul_def rm in
+        out := Ifma (r, a, b, c) :: !out
+      | Ilabel _ ->
+        Hashtbl.reset mul_def;
+        out := ins :: !out
+      | _ ->
+        (match Ir.def ins with Some r -> Hashtbl.remove mul_def r | None -> ());
+        out := ins :: !out)
+    f.code;
+  { f with code = Array.of_list (List.rev !out); label_cache = None }
+
+let pow_to_exp2 (f : ifunc) : ifunc =
+  let code =
+    Array.map
+      (fun ins ->
+        match ins with
+        | Ibuiltin (d, "pow", [ ImmF 2.0; x ]) -> Ibuiltin (d, "exp2", [ x ])
+        | other -> other)
+      f.code
+  in
+  { f with code; label_cache = None }

@@ -1,0 +1,140 @@
+(* UB-exploiting simplifications. This pass is the heart of the unstable
+   code phenomenon: every rewrite here is justified ONLY by the assumption
+   that the program contains no undefined behavior.
+
+   1. Overflow-guard rewriting (Listing 1 of the paper):
+        x + y < x   becomes   y < 0       (signed: no-overflow assumed)
+        x < x + y   becomes   y > 0
+        x + c1 < c2 becomes   x < c2-c1   (when c2-c1 does not overflow)
+      With a constant non-negative y, constant folding then deletes the
+      guard entirely, exactly like clang -O2 does to dump_data().
+
+   2. Null-check elimination ([null_check_fold]): a pointer that has been
+      dereferenced earlier in the block is assumed non-null, so later
+      null tests fold to their "non-null" answer (gcc's famous
+      -fdelete-null-pointer-checks behaviour). *)
+
+open Ir
+
+type dinfo =
+  | Dadd of width * operand * operand (* signed add: lhs, rhs *)
+  | Dsub of width * operand * operand (* signed sub: lhs, rhs *)
+  | Dother
+
+let run ?(null_trap = false) ~null_fold (f : ifunc) : ifunc =
+  (* per-block: what defined each register, and which pointer registers
+     have been dereferenced *)
+  let defs : (reg, dinfo) Hashtbl.t = Hashtbl.create 32 in
+  let derefed : (reg, unit) Hashtbl.t = Hashtbl.create 16 in
+  let reset () =
+    Hashtbl.reset defs;
+    Hashtbl.reset derefed
+  in
+  let same_op a b =
+    match (a, b) with
+    | Reg x, Reg y -> x = y
+    | ImmI x, ImmI y -> x = y
+    | Nullptr, Nullptr -> true
+    | _ -> false
+  in
+  let add_info o =
+    match o with
+    | Reg r -> (match Hashtbl.find_opt defs r with Some d -> d | None -> Dother)
+    | ImmI _ | ImmF _ | Nullptr -> Dother
+  in
+  let rewrite ins =
+    let result =
+      match ins with
+      | Icmp (c, w, r, a, b) -> (
+        match (c, add_info a, add_info b) with
+        (* (x + y) OP x : rewrite under the no-overflow assumption *)
+        | Clt, Dadd (w', x, y), _ when w = w' && same_op b x ->
+          [ Icmp (Clt, w, r, y, ImmI 0L) ]
+        | Cle, Dadd (w', x, y), _ when w = w' && same_op b x ->
+          [ Icmp (Cle, w, r, y, ImmI 0L) ]
+        | Cgt, Dadd (w', x, y), _ when w = w' && same_op b x ->
+          [ Icmp (Cgt, w, r, y, ImmI 0L) ]
+        | Cge, Dadd (w', x, y), _ when w = w' && same_op b x ->
+          [ Icmp (Cge, w, r, y, ImmI 0L) ]
+        (* x OP (x + y) *)
+        | Clt, _, Dadd (w', x, y) when w = w' && same_op a x ->
+          [ Icmp (Cgt, w, r, y, ImmI 0L) ]
+        | Cle, _, Dadd (w', x, y) when w = w' && same_op a x ->
+          [ Icmp (Cge, w, r, y, ImmI 0L) ]
+        | Cgt, _, Dadd (w', x, y) when w = w' && same_op a x ->
+          [ Icmp (Clt, w, r, y, ImmI 0L) ]
+        | Cge, _, Dadd (w', x, y) when w = w' && same_op a x ->
+          [ Icmp (Cle, w, r, y, ImmI 0L) ]
+        (* (x - y) OP x : no-underflow assumption *)
+        | Clt, Dsub (w', x, y), _ when w = w' && same_op b x ->
+          [ Icmp (Cgt, w, r, y, ImmI 0L) ]
+        | Cle, Dsub (w', x, y), _ when w = w' && same_op b x ->
+          [ Icmp (Cge, w, r, y, ImmI 0L) ]
+        | Cgt, Dsub (w', x, y), _ when w = w' && same_op b x ->
+          [ Icmp (Clt, w, r, y, ImmI 0L) ]
+        | Cge, Dsub (w', x, y), _ when w = w' && same_op b x ->
+          [ Icmp (Cle, w, r, y, ImmI 0L) ]
+        (* x OP (x - y) *)
+        | Clt, _, Dsub (w', x, y) when w = w' && same_op a x ->
+          [ Icmp (Clt, w, r, y, ImmI 0L) ]
+        | Cgt, _, Dsub (w', x, y) when w = w' && same_op a x ->
+          [ Icmp (Cgt, w, r, y, ImmI 0L) ]
+        (* (x + c1) OP c2  ->  x OP (c2 - c1) when representable *)
+        | _, Dadd (w', x, ImmI c1), Dother when w = w' ->
+          (match b with
+          | ImmI c2 ->
+            let d = Int64.sub c2 c1 in
+            let fits =
+              match w with
+              | W32 -> d >= Int64.of_int32 Int32.min_int && d <= Int64.of_int32 Int32.max_int
+              | W64 -> true (* Int64 arithmetic cannot overflow here meaningfully *)
+            in
+            if fits then [ Icmp (c, w, r, x, ImmI d) ] else [ ins ]
+          | _ -> [ ins ])
+        | _ -> [ ins ])
+      (* a provably-null dereference is UB: emit a compiler trap (LLVM's
+         ud2), which crashes with a different signal than the natural
+         segfault of an unoptimized build *)
+      | Iload (_, Nullptr) when null_trap -> [ Itrap "null dereference" ]
+      | Istore (Nullptr, _) when null_trap -> [ Itrap "null dereference" ]
+      | Ipcmp (Ceq, r, Reg p, Nullptr) when null_fold && Hashtbl.mem derefed p ->
+        [ Iconst (r, ImmI 0L) ]
+      | Ipcmp (Cne, r, Reg p, Nullptr) when null_fold && Hashtbl.mem derefed p ->
+        [ Iconst (r, ImmI 1L) ]
+      | Ipcmp (Ceq, r, Nullptr, Reg p) when null_fold && Hashtbl.mem derefed p ->
+        [ Iconst (r, ImmI 0L) ]
+      | Ipcmp (Cne, r, Nullptr, Reg p) when null_fold && Hashtbl.mem derefed p ->
+        [ Iconst (r, ImmI 1L) ]
+      | _ -> [ ins ]
+    in
+    (* update block state from the ORIGINAL instruction *)
+    (match ins with
+    | Iload (_, Reg p) -> Hashtbl.replace derefed p ()
+    | Istore (Reg p, _) -> Hashtbl.replace derefed p ()
+    | _ -> ());
+    (match Ir.def ins with
+    | Some r ->
+      Hashtbl.remove defs r;
+      Hashtbl.remove derefed r;
+      (* a key mentioning r as operand is now stale *)
+      let mentions_r o = match o with Reg x -> x = r | _ -> false in
+      let stale =
+        Hashtbl.fold
+          (fun k v acc ->
+            match v with
+            | Dadd (_, x, y) | Dsub (_, x, y) ->
+              if mentions_r x || mentions_r y then k :: acc else acc
+            | Dother -> acc)
+          defs []
+      in
+      List.iter (Hashtbl.remove defs) stale
+    | None -> ());
+    (match ins with
+    | Ibin (Badd, w, Csigned, r, a, b) ->
+      if not (a = Reg r || b = Reg r) then Hashtbl.replace defs r (Dadd (w, a, b))
+    | Ibin (Bsub, w, Csigned, r, a, b) ->
+      if not (a = Reg r || b = Reg r) then Hashtbl.replace defs r (Dsub (w, a, b))
+    | _ -> ());
+    result
+  in
+  { f with code = Opt_common.rewrite_local ~reset rewrite f.code; label_cache = None }

@@ -1,0 +1,52 @@
+(* The compiler driver: front end once, then one backend run per profile.
+
+   [compile profile tprogram] produces the "binary" (an {!Ir.unit_}) that
+   the VM executes. [compile_all] builds the full differential set. *)
+
+open Ir
+
+let apply_func_passes (flags : Policy.opt_flags) (f : ifunc) : ifunc =
+  let ( |>? ) f (cond, pass) = if cond then pass f else f in
+  f
+  |>? (flags.Policy.constfold, Opt_constfold.run)
+  |>? (flags.Policy.copyprop, Opt_copyprop.run)
+  |>? (flags.Policy.cse, Opt_cse.run ~unsafe:flags.Policy.unsafe_copyprop)
+  |>? ( flags.Policy.ub_branch_fold || flags.Policy.null_deref_trap,
+        Opt_ubfold.run ~null_trap:flags.Policy.null_deref_trap
+          ~null_fold:flags.Policy.null_check_fold )
+  |>? (flags.Policy.constfold, Opt_constfold.run)
+  |>? (flags.Policy.copyprop, Opt_copyprop.run)
+  |>? (flags.Policy.promote_mul, Opt_peephole.promote_mul)
+  |>? (flags.Policy.strength, Opt_peephole.strength)
+  |>? (flags.Policy.fp_contract, Opt_peephole.fp_contract)
+  |>? (flags.Policy.pow_to_exp2, Opt_peephole.pow_to_exp2)
+  |>? (flags.Policy.dce, Opt_dce.run)
+
+let compile (profile : Policy.profile) (tp : Minic.Tast.tprogram) : unit_ =
+  let u0 = Lower.lower_program profile tp in
+  let flags = profile.Policy.flags in
+  (* first round of local optimization *)
+  let u1 =
+    { u0 with funcs = List.map (fun (n, f) -> (n, apply_func_passes flags f)) u0.funcs }
+  in
+  (* inlining, then a local round to clean the inlined bodies; a second
+     inline+cleanup round resolves call chains (an inlined body may itself
+     contain calls that only now become inlinable/foldable) *)
+  if flags.Policy.inline_limit > 0 then begin
+    let round u =
+      let u' = Opt_inline.run ~limit:flags.Policy.inline_limit u in
+      { u' with funcs = List.map (fun (n, f) -> (n, apply_func_passes flags f)) u'.funcs }
+    in
+    round (round u1)
+  end
+  else u1
+
+let compile_source (profile : Policy.profile) (src : string) :
+    (unit_, string) result =
+  match Minic.frontend_of_source src with
+  | Error _ as e -> e
+  | Ok tp -> Ok (compile profile tp)
+
+(* Compile one front-end result with every profile in the list. *)
+let compile_all ?(profiles = Profiles.all) (tp : Minic.Tast.tprogram) : unit_ list =
+  List.map (fun p -> compile p tp) profiles

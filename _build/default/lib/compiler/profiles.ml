@@ -1,0 +1,161 @@
+(* The concrete compiler implementations.
+
+   Two families ("gccx" and "clangx") times five optimization levels give
+   the ten implementations of the paper's default CompDiff configuration.
+   The families differ in unspecified-behaviour choices that mirror the
+   real gcc/clang differences the paper reports:
+
+   - argument evaluation order: gccx right-to-left, clangx left-to-right
+     (the Tcpdump EvalOrder bug, Listing 3);
+   - frame layout: gccx lays slots in source order, clangx reversed, and
+     padding shrinks as the optimization level grows (MemError / UninitMem
+     divergence);
+   - uninitialized-value patterns differ per family and level;
+   - clangx widens int multiplications feeding a long context starting at
+     -O1 (the IntError example in §4.3);
+   - gccx folds UB-guard branches from -O2, clangx already from -O1
+     (clang is the more aggressive UB exploiter in the paper's examples);
+   - __LINE__ reports the token line under clangx but the statement line
+     under gccx (the LINE category of Table 5);
+   - clangx at -O3 contracts a*b+c to fma and rewrites pow(2,x) to exp2
+     (the floating-point Misc findings of RQ2). *)
+
+open Policy
+
+let mklayout ~family ~level_idx =
+  let clang = family = "clangx" in
+  {
+    globals_base = (if clang then 0x2000 else 0x1000);
+    global_gap = (if clang then 1 else 0);
+    globals_reversed = clang;
+    stack_base = (if clang then 0x90000 else 0x80000);
+    stack_size = 0x2000;
+    frame_align = (if level_idx = 0 then 4 else 2);
+    (* real frames pack locals tightly; only the unoptimized clangx build
+       leaves one slack cell between slots *)
+    slot_gap = (if clang && level_idx = 0 then 1 else 0);
+    slots_reversed = clang;
+    heap_base = (if clang then 0x50000 else 0x40000);
+    heap_gap = (if clang then 1 else 0);
+    heap_reuse = (if clang then level_idx >= 1 else true);
+  }
+
+let mkruntime ~family ~level_idx =
+  let fam_seed = if family = "clangx" then 77 else 13 in
+  {
+    layout = mklayout ~family ~level_idx;
+    uninit_reg =
+      (* an unoptimizing build happens to hand out zeros (registers are
+         freshly spilled); optimized builds reuse registers -> junk *)
+      (if level_idx = 0 then Uzero else Upattern (fam_seed + (level_idx * 101)));
+    uninit_heap = Upattern (fam_seed + 9);
+    stack_seed = fam_seed * 31;
+    ptrcmp = Pabs;
+    memcpy_backward = (family = "clangx");
+  }
+
+let levels = [ ("O0", 0); ("O1", 1); ("O2", 2); ("O3", 3); ("Os", 1) ]
+
+let flags_of ~family ~level =
+  let clang = family = "clangx" in
+  match level with
+  | "O0" -> no_opt
+  | "O1" ->
+    {
+      no_opt with
+      constfold = true;
+      copyprop = true;
+      dce = true;
+      strength = true;
+      promote_scalars = true;
+      promote_mul = clang;
+      ub_branch_fold = clang;
+      null_deref_trap = clang;
+    }
+  | "O2" ->
+    {
+      no_opt with
+      constfold = true;
+      copyprop = true;
+      cse = true;
+      ub_branch_fold = true;
+      null_check_fold = true;
+      dce = true;
+      inline_limit = 24;
+      strength = true;
+      promote_mul = clang;
+      null_deref_trap = clang;
+      promote_scalars = true;
+    }
+  | "O3" ->
+    {
+      no_opt with
+      constfold = true;
+      copyprop = true;
+      cse = true;
+      ub_branch_fold = true;
+      null_check_fold = true;
+      dce = true;
+      inline_limit = 64;
+      strength = true;
+      promote_mul = clang;
+      null_deref_trap = clang;
+      promote_scalars = true;
+      fp_contract = clang;
+      pow_to_exp2 = clang;
+    }
+  | "Os" ->
+    {
+      no_opt with
+      constfold = true;
+      copyprop = true;
+      cse = true;
+      ub_branch_fold = true;
+      dce = true;
+      strength = false;
+      promote_mul = clang;
+      null_deref_trap = clang;
+      promote_scalars = true;
+    }
+  | _ -> invalid_arg "unknown optimization level"
+
+let make ~family ~level =
+  let level_idx = List.assoc level levels in
+  {
+    pname = family ^ "-" ^ level;
+    family;
+    level;
+    arg_order = (if family = "clangx" then Left_to_right else Right_to_left);
+    line = (if family = "clangx" then Ltoken else Lstmt);
+    flags = flags_of ~family ~level;
+    runtime = mkruntime ~family ~level_idx;
+  }
+
+let gccx level = make ~family:"gccx" ~level
+let clangx level = make ~family:"clangx" ~level
+
+(* The paper's default: both compilers at all five levels. *)
+let all : profile list =
+  List.concat_map
+    (fun (level, _) -> [ gccx level; clangx level ])
+    levels
+
+let by_name name = List.find_opt (fun p -> p.pname = name) all
+
+(* The fuzzer-facing build (B_fuzz in Algorithm 1): an unoptimizing build
+   whose VM run also records edge coverage. *)
+let fuzz_profile = gccx "O0"
+
+(* A deliberately miscompiling variant of clangx-Os: copy propagation that
+   ignores stores as clobbers of frame-slot loads. Used only by the RQ2
+   experiment to reproduce "CompDiff catches compiler bugs": it is NOT part
+   of {!all}. *)
+let clangx_os_buggy =
+  let base = clangx "Os" in
+  {
+    base with
+    pname = "clangx-Os-buggy";
+    flags = { base.flags with unsafe_copyprop = true };
+  }
+
+let extended_with_buggy = all @ [ clangx_os_buggy ]

@@ -1,0 +1,1 @@
+lib/core/localize.ml: Buffer Cdcompiler Cdvm List Oracle Printf

@@ -1,0 +1,1 @@
+lib/core/normalize.ml: Buffer List String

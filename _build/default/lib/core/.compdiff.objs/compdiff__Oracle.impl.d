@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Array Buffer Cdcompiler Cdutil Cdvm Hashtbl Ir List Minic Normalize Option Pipeline Policy Printf Profiles String

@@ -1,0 +1,1 @@
+lib/core/triage.ml: Array Cdutil Hashtbl List Oracle String

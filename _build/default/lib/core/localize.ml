@@ -1,0 +1,126 @@
+(* Fault-localization prototype (paper Section 5, "Fault localization and
+   bug report").
+
+   The paper observes that CompDiff bugs need not crash, so stack traces
+   are unavailable, and proposes comparing execution traces across
+   binaries — hard in general because optimizations reshape control flow.
+   This prototype uses the one trace level optimizations must preserve:
+   the sequence of *observable events* (executed print statements), each
+   tagged with its enclosing function. The first event where two binaries
+   disagree localizes the divergence to a function and an event index,
+   which is exactly the paper's bug-report granularity plus a starting
+   point for diagnosis. *)
+
+type event = {
+  ev_fn : string;      (* enclosing function of the print *)
+  ev_text : string;    (* rendered output of that statement *)
+}
+
+type localization = {
+  impl_a : string;
+  impl_b : string;
+  event_index : int;                 (* first differing observable event *)
+  before : event list;               (* shared prefix (up to 3 events) *)
+  at_a : event option;               (* the differing event in each binary *)
+  at_b : event option;
+}
+
+(* run one binary collecting its observable-event trace *)
+let trace ?(fuel = 200_000) (u : Cdcompiler.Ir.unit_) ~(input : string) :
+    event list * Cdvm.Trap.status =
+  let events = ref [] in
+  let on_print ~fn text = events := { ev_fn = fn; ev_text = text } :: !events in
+  let r =
+    Cdvm.Exec.run
+      ~config:
+        {
+          Cdvm.Exec.default_config with
+          Cdvm.Exec.input;
+          fuel;
+          on_print = Some on_print;
+        }
+      u
+  in
+  (List.rev !events, r.Cdvm.Exec.status)
+
+let rec first_diff i (a : event list) (b : event list) =
+  match (a, b) with
+  | [], [] -> None
+  | x :: xs, y :: ys when x = y -> first_diff (i + 1) xs ys
+  | x :: _, y :: _ -> Some (i, Some x, Some y)
+  | x :: _, [] -> Some (i, Some x, None)
+  | [], y :: _ -> Some (i, None, Some y)
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+(* Localize a divergence between two named implementations. Returns
+   [None] when their observable traces are identical (the divergence is
+   then in the termination status only). *)
+let between ?fuel ~(impl_a : string * Cdcompiler.Ir.unit_)
+    ~(impl_b : string * Cdcompiler.Ir.unit_) ~(input : string) () :
+    localization option =
+  let name_a, ua = impl_a and name_b, ub = impl_b in
+  let ta, _ = trace ?fuel ua ~input in
+  let tb, _ = trace ?fuel ub ~input in
+  match first_diff 0 ta tb with
+  | None -> None
+  | Some (i, ea, eb) ->
+    let prefix = take i ta in
+    let before =
+      let n = List.length prefix in
+      List.filteri (fun j _ -> j >= n - 3) prefix
+    in
+    Some { impl_a = name_a; impl_b = name_b; event_index = i; before; at_a = ea; at_b = eb }
+
+(* Pick two implementations with differing observations from an oracle
+   divergence and localize between them. *)
+let of_divergence ?fuel (oracle : Oracle.t)
+    (binaries : (string * Cdcompiler.Ir.unit_) list)
+    (obs : (string * Oracle.observation) list) ~(input : string) :
+    localization option =
+  match obs with
+  | [] -> None
+  | (first_name, first_obs) :: rest -> (
+    let c0 = Oracle.checksum oracle first_obs in
+    match
+      List.find_opt (fun (_, o) -> Oracle.checksum oracle o <> c0) rest
+    with
+    | None -> None
+    | Some (other_name, _) -> (
+      match
+        ( List.find_opt (fun (n, _) -> n = first_name) binaries,
+          List.find_opt (fun (n, _) -> n = other_name) binaries )
+      with
+      | Some a, Some b -> between ?fuel ~impl_a:a ~impl_b:b ~input ()
+      | _ -> None))
+
+let to_string (l : localization) : string =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "first divergent observation: event #%d (%s vs %s)\n"
+       l.event_index l.impl_a l.impl_b);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  shared   [%s] %S\n" e.ev_fn e.ev_text))
+    l.before;
+  (match (l.at_a, l.at_b) with
+  | Some a, Some b when a.ev_fn = b.ev_fn ->
+    Buffer.add_string buf
+      (Printf.sprintf "  diverges in function '%s':\n" a.ev_fn);
+    Buffer.add_string buf (Printf.sprintf "    %-12s %S\n" l.impl_a a.ev_text);
+    Buffer.add_string buf (Printf.sprintf "    %-12s %S\n" l.impl_b b.ev_text)
+  | Some a, Some b ->
+    Buffer.add_string buf
+      (Printf.sprintf "  control flow diverges: '%s' reaches %s, '%s' reaches %s\n"
+         l.impl_a a.ev_fn l.impl_b b.ev_fn)
+  | Some a, None ->
+    Buffer.add_string buf
+      (Printf.sprintf "  only %s observes [%s] %S; %s produced no further output\n"
+         l.impl_a a.ev_fn a.ev_text l.impl_b)
+  | None, Some b ->
+    Buffer.add_string buf
+      (Printf.sprintf "  only %s observes [%s] %S; %s produced no further output\n"
+         l.impl_b b.ev_fn b.ev_text l.impl_a)
+  | None, None -> Buffer.add_string buf "  traces identical\n");
+  Buffer.contents buf

@@ -1,0 +1,147 @@
+(* The CompDiff oracle (Section 3.1).
+
+   A program is compiled once per implementation; [check] runs every
+   binary on one input, normalizes the outputs, and compares their
+   MurmurHash3 checksums. Any disagreement is a divergence: for programs
+   with deterministic output this is a true positive by construction.
+
+   Timeouts follow RQ6: if only some binaries hang, the fuel budget is
+   escalated (up to a cap) until the set of hanging binaries stabilizes;
+   a residual mixed hang is reported as a divergence, an all-hang as
+   agreement. *)
+
+open Cdcompiler
+
+type observation = {
+  output : string;          (* normalized stdout *)
+  status : Cdvm.Trap.status;
+  fuel_used : int;
+}
+
+type verdict =
+  | Agree of observation
+  | Diverge of (string * observation) list
+      (* every implementation's observation, in implementation order *)
+
+type t = {
+  binaries : (string * Ir.unit_) list;
+  normalize : Normalize.filter;
+  base_fuel : int;
+  max_fuel : int;
+  compare_status : bool;    (* ablation knob: include exit/trap status *)
+}
+
+let create ?(profiles = Profiles.all) ?(normalize = Normalize.identity)
+    ?(fuel = 200_000) ?(max_fuel = 3_200_000) ?(compare_status = true)
+    (tp : Minic.Tast.tprogram) : t =
+  let binaries =
+    List.map (fun p -> (p.Policy.pname, Pipeline.compile p tp)) profiles
+  in
+  { binaries; normalize; base_fuel = fuel; max_fuel; compare_status }
+
+let of_binaries ?(normalize = Normalize.identity) ?(fuel = 200_000)
+    ?(max_fuel = 3_200_000) ?(compare_status = true)
+    (binaries : (string * Ir.unit_) list) : t =
+  { binaries; normalize; base_fuel = fuel; max_fuel; compare_status }
+
+let names t = List.map fst t.binaries
+let binaries t = t.binaries
+
+let run_one t ~fuel ~input (u : Ir.unit_) : observation =
+  let r =
+    Cdvm.Exec.run
+      ~config:{ Cdvm.Exec.default_config with Cdvm.Exec.input; fuel }
+      u
+  in
+  {
+    output = t.normalize r.Cdvm.Exec.stdout;
+    status = r.Cdvm.Exec.status;
+    fuel_used = r.Cdvm.Exec.fuel_used;
+  }
+
+(* checksum of what CompDiff compares for one observation *)
+let checksum t (o : observation) : int32 =
+  let status_part = if t.compare_status then Cdvm.Trap.signature o.status else "" in
+  Cdutil.Murmur3.hash32 (o.output ^ "\x00" ^ status_part)
+
+(* Run every binary on [input], escalating fuel while the hang set is
+   mixed (some binaries hang, some do not). *)
+let observe t ~(input : string) : (string * observation) list =
+  let rec attempt fuel =
+    let obs = List.map (fun (n, u) -> (n, run_one t ~fuel ~input u)) t.binaries in
+    let hangs, finished =
+      List.partition (fun (_, o) -> o.status = Cdvm.Trap.Hang) obs
+    in
+    if hangs = [] || finished = [] then obs
+    else if fuel >= t.max_fuel then obs
+    else attempt (fuel * 4)
+  in
+  attempt t.base_fuel
+
+let verdict_of_observations t (obs : (string * observation) list) : verdict =
+  match obs with
+  | [] -> invalid_arg "Oracle: no binaries"
+  | (_, first) :: rest ->
+    let c0 = checksum t first in
+    if List.for_all (fun (_, o) -> checksum t o = c0) rest then Agree first
+    else Diverge obs
+
+let check t ~(input : string) : verdict =
+  verdict_of_observations t (observe t ~input)
+
+let is_divergence = function Diverge _ -> true | Agree _ -> false
+
+(* Scan an input set; return the first bug-triggering input, like the
+   "save to diffs/" step of Algorithm 1. *)
+let find_bug t ~(inputs : string list) : (string * (string * observation) list) option
+    =
+  List.find_map
+    (fun input ->
+      match check t ~input with
+      | Diverge obs -> Some (input, obs)
+      | Agree _ -> None)
+    inputs
+
+let detects t ~(inputs : string list) : bool = find_bug t ~inputs <> None
+
+(* Group implementations by observed behaviour: the equivalence classes
+   that drive the subset studies of Figures 1 and 2. Returns a class id
+   per implementation, in implementation order. *)
+let partition t (obs : (string * observation) list) : int array =
+  let table : (int32, int) Hashtbl.t = Hashtbl.create 8 in
+  let next = ref 0 in
+  Array.of_list
+    (List.map
+       (fun (_, o) ->
+         let c = checksum t o in
+         match Hashtbl.find_opt table c with
+         | Some id -> id
+         | None ->
+           let id = !next in
+           incr next;
+           Hashtbl.add table c id;
+           id)
+       obs)
+
+(* human-readable divergence report, in the paper's bug-report format:
+   input, reproducing configurations, divergent outputs *)
+let report_to_string ~(input : string) (obs : (string * observation) list) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "=== CompDiff divergence report ===\n";
+  Buffer.add_string buf
+    (Printf.sprintf "input (%d bytes): %S\n" (String.length input) input);
+  let by_output = Hashtbl.create 8 in
+  List.iter
+    (fun (name, o) ->
+      let key = (o.output, Cdvm.Trap.status_to_string o.status) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_output key) in
+      Hashtbl.replace by_output key (name :: cur))
+    obs;
+  Hashtbl.iter
+    (fun (out, status) names ->
+      Buffer.add_string buf
+        (Printf.sprintf "--- %s (status %s):\n%s\n"
+           (String.concat ", " (List.rev names))
+           status out))
+    by_output;
+  Buffer.contents buf

@@ -1,0 +1,85 @@
+(** The CompDiff oracle (paper Section 3.1).
+
+    A program is compiled once with every implementation in the set;
+    {!check} runs all resulting binaries on one input, normalizes their
+    outputs, and compares MurmurHash3 checksums of
+    [(output, termination status)]. For a program with deterministic
+    output, any disagreement proves the presence of unstable code (or a
+    compiler bug) — the oracle has no false positives by construction.
+
+    Timeouts follow the paper's RQ6: when only part of the binaries hang,
+    the fuel budget is escalated (up to [max_fuel]) until the hang set
+    stabilizes; an all-hang is agreement, a residual mixed hang a
+    divergence. *)
+
+type observation = {
+  output : string;          (** normalized stdout *)
+  status : Cdvm.Trap.status;
+  fuel_used : int;
+}
+
+type verdict =
+  | Agree of observation
+      (** every implementation produced this observation *)
+  | Diverge of (string * observation) list
+      (** per-implementation observations, in implementation order *)
+
+type t
+
+val create :
+  ?profiles:Cdcompiler.Policy.profile list ->
+  ?normalize:Normalize.filter ->
+  ?fuel:int ->
+  ?max_fuel:int ->
+  ?compare_status:bool ->
+  Minic.Tast.tprogram ->
+  t
+(** [create tp] compiles [tp] with every profile (default: the paper's ten
+    implementations). [normalize] post-processes outputs before comparison
+    (default: identity). [fuel] is the base execution budget (default
+    200k instructions), escalated ×4 up to [max_fuel] under partial
+    timeout. [compare_status:false] restricts the oracle to stdout only
+    (the ablation of DESIGN.md). *)
+
+val of_binaries :
+  ?normalize:Normalize.filter ->
+  ?fuel:int ->
+  ?max_fuel:int ->
+  ?compare_status:bool ->
+  (string * Cdcompiler.Ir.unit_) list ->
+  t
+(** Like {!create} for already-compiled binaries. *)
+
+val names : t -> string list
+(** Implementation names, in the order [Diverge] reports them. *)
+
+val binaries : t -> (string * Cdcompiler.Ir.unit_) list
+(** The compiled binaries, for re-execution (e.g. trace localization). *)
+
+val checksum : t -> observation -> int32
+(** The MurmurHash3 checksum CompDiff compares (paper §3.2, "Output
+    examination"). *)
+
+val observe : t -> input:string -> (string * observation) list
+(** Run every binary on [input] with timeout escalation. *)
+
+val check : t -> input:string -> verdict
+(** [observe] followed by checksum comparison. *)
+
+val is_divergence : verdict -> bool
+
+val find_bug :
+  t -> inputs:string list -> (string * (string * observation) list) option
+(** First bug-triggering input of the set, with its observations — the
+    "save to diffs/" step of Algorithm 1. *)
+
+val detects : t -> inputs:string list -> bool
+
+val partition : t -> (string * observation) list -> int array
+(** Behaviour classes per implementation (same class = same checksum):
+    the raw material of the Figure 1/2 subset studies. *)
+
+val report_to_string : input:string -> (string * observation) list -> string
+(** Human-readable divergence report in the paper's bug-report format:
+    the triggering input, the reproducing configurations, and the
+    divergent outputs. *)

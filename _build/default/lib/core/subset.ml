@@ -1,0 +1,80 @@
+(* Subset studies (Figures 1 and 2, §4.2 and RQ4).
+
+   Every bug is summarized by its behaviour partition: a class id per
+   implementation (same class = same normalized output). A subset of
+   implementations detects the bug iff it straddles at least two classes.
+   Subsets are bitmasks over the implementation list, enumerated for every
+   size from 2 to n. *)
+
+type study_row = {
+  size : int;
+  box : Cdutil.Stats.box;                 (* detected-bug counts across subsets *)
+  best : int * int;                       (* (mask, count) *)
+  worst : int * int;
+}
+
+(* does the subset [mask] span >= 2 behaviour classes of [classes]? *)
+let detects_mask (classes : int array) (mask : int) : bool =
+  let seen = ref (-1) in
+  let distinct = ref false in
+  Array.iteri
+    (fun i c ->
+      if mask land (1 lsl i) <> 0 then begin
+        if !seen = -1 then seen := c else if !seen <> c then distinct := true
+      end)
+    classes;
+  !distinct
+
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go mask 0
+
+(* all bitmasks over n implementations with the given population *)
+let masks_of_size ~n ~size : int list =
+  let out = ref [] in
+  for mask = 1 to (1 lsl n) - 1 do
+    if popcount mask = size then out := mask :: !out
+  done;
+  List.rev !out
+
+let count_detected (partitions : int array list) (mask : int) : int =
+  List.fold_left
+    (fun acc classes -> if detects_mask classes mask then acc + 1 else acc)
+    0 partitions
+
+(* full study: one row per subset size *)
+let study ?(min_size = 2) ~(n : int) (partitions : int array list) : study_row list =
+  List.init (n - min_size + 1) (fun i ->
+      let size = min_size + i in
+      let masks = masks_of_size ~n ~size in
+      let scored = List.map (fun m -> (m, count_detected partitions m)) masks in
+      let counts = List.map snd scored in
+      let best =
+        List.fold_left (fun (bm, bc) (m, c) -> if c > bc then (m, c) else (bm, bc))
+          (0, min_int) scored
+      in
+      let worst =
+        List.fold_left (fun (bm, bc) (m, c) -> if c < bc then (m, c) else (bm, bc))
+          (0, max_int) scored
+      in
+      { size; box = Cdutil.Stats.box_of_ints counts; best; worst })
+
+let mask_to_names ~(names : string list) (mask : int) : string list =
+  List.filteri (fun i _ -> mask land (1 lsl i) <> 0) names
+
+(* The paper's practical recommendation (§4.2): at least two instances
+   from different compilers, one unoptimizing and one aggressively
+   optimizing. *)
+let recommend ~(names : string list) : string list =
+  let pick pred = List.find_opt pred names in
+  let a = pick (fun n -> n = "gccx-O0") in
+  let b = pick (fun n -> n = "clangx-O3") in
+  match (a, b) with
+  | Some x, Some y -> [ x; y ]
+  | _ -> (
+    match names with
+    | x :: _ -> (
+      match List.rev names with
+      | y :: _ when y <> x -> [ x; y ]
+      | _ -> [ x ])
+    | [] -> [])

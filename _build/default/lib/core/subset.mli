@@ -1,0 +1,36 @@
+(** Subset studies over compiler implementations (Figures 1 and 2,
+    §4.2/RQ4).
+
+    A detected bug is summarized by its behaviour partition — one class id
+    per implementation (see {!Oracle.partition}). A subset of
+    implementations detects the bug iff it spans at least two classes.
+    Subsets are bitmasks over the implementation list. *)
+
+type study_row = {
+  size : int;                        (** subset size *)
+  box : Cdutil.Stats.box;            (** detected-bug counts over all subsets *)
+  best : int * int;                  (** (mask, detected count) *)
+  worst : int * int;
+}
+
+val detects_mask : int array -> int -> bool
+(** [detects_mask classes mask]: does the subset straddle two behaviour
+    classes? *)
+
+val popcount : int -> int
+
+val masks_of_size : n:int -> size:int -> int list
+(** All C(n, size) subsets as bitmasks. *)
+
+val count_detected : int array list -> int -> int
+(** Bugs (partitions) detected by one subset. *)
+
+val study : ?min_size:int -> n:int -> int array list -> study_row list
+(** One row per subset size from [min_size] (default 2) to [n]: the data
+    behind the box plots of Figures 1 and 2. *)
+
+val mask_to_names : names:string list -> int -> string list
+
+val recommend : names:string list -> string list
+(** The paper's practical advice (§4.2): two instances from different
+    compilers, one unoptimizing and one aggressively optimizing. *)

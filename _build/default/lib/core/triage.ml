@@ -1,0 +1,67 @@
+(* Divergence triage.
+
+   Many inputs trigger the same underlying bug; like AFL crash dedup,
+   divergences are bucketed by a signature. Our signature is the shape of
+   the behaviour partition: which implementations agree with which (not
+   the concrete outputs, which often vary with the input bytes). *)
+
+type diff_entry = {
+  input : string;
+  observations : (string * Oracle.observation) list;
+  signature : int;
+}
+
+(* canonical-form partition signature: rename class ids in first-seen
+   order so the signature depends only on the grouping *)
+let signature_of_partition (classes : int array) : int =
+  let canon = Array.make (Array.length classes) 0 in
+  let next = ref 0 in
+  let map = Hashtbl.create 8 in
+  Array.iteri
+    (fun i c ->
+      match Hashtbl.find_opt map c with
+      | Some id -> canon.(i) <- id
+      | None ->
+        Hashtbl.add map c !next;
+        canon.(i) <- !next;
+        incr next)
+    classes;
+  let s = String.concat "," (Array.to_list (Array.map string_of_int canon)) in
+  Cdutil.Murmur3.hash s
+
+type t = {
+  mutable entries : diff_entry list;      (* newest first *)
+  mutable signatures : (int, int) Hashtbl.t; (* signature -> count *)
+}
+
+let create () = { entries = []; signatures = Hashtbl.create 16 }
+
+let add t (oracle : Oracle.t) ~(input : string)
+    (obs : (string * Oracle.observation) list) : [ `New | `Duplicate ] =
+  let classes = Oracle.partition oracle obs in
+  let signature = signature_of_partition classes in
+  let entry = { input; observations = obs; signature } in
+  t.entries <- entry :: t.entries;
+  match Hashtbl.find_opt t.signatures signature with
+  | Some n ->
+    Hashtbl.replace t.signatures signature (n + 1);
+    `Duplicate
+  | None ->
+    Hashtbl.add t.signatures signature 1;
+    `New
+
+let unique_count t = Hashtbl.length t.signatures
+let total_count t = List.length t.entries
+let entries t = List.rev t.entries
+
+(* one representative entry per signature *)
+let representatives t : diff_entry list =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun e ->
+      if Hashtbl.mem seen e.signature then false
+      else begin
+        Hashtbl.add seen e.signature ();
+        true
+      end)
+    (List.rev t.entries)

@@ -1,0 +1,34 @@
+(** Divergence triage (paper §3.2, "Bug-triggering inputs").
+
+    Many inputs trigger the same bug; entries are bucketed by a
+    canonical-form signature of the behaviour partition (which
+    implementations agree with which), the differential analogue of AFL
+    crash deduplication. *)
+
+type diff_entry = {
+  input : string;
+  observations : (string * Oracle.observation) list;
+  signature : int;
+}
+
+type t
+
+val signature_of_partition : int array -> int
+(** Renaming-invariant hash of a partition: [[0;0;1]] and [[1;1;0]] get
+    the same signature, [[0;1;0]] a different one. *)
+
+val create : unit -> t
+
+val add :
+  t -> Oracle.t -> input:string -> (string * Oracle.observation) list ->
+  [ `New | `Duplicate ]
+(** Record a divergent input; [`New] iff its signature was not seen. *)
+
+val unique_count : t -> int
+val total_count : t -> int
+
+val entries : t -> diff_entry list
+(** All recorded entries, oldest first. *)
+
+val representatives : t -> diff_entry list
+(** One entry per unique signature, oldest first. *)

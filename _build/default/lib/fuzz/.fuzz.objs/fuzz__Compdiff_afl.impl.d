@@ -1,0 +1,1 @@
+lib/fuzz/compdiff_afl.ml: Cdcompiler Cdvm Compdiff Fuzzer Minic Pipeline Policy Profiles Sanitizers

@@ -1,0 +1,1 @@
+lib/fuzz/compdiff_afl.mli: Cdcompiler Compdiff Fuzzer Minic Sanitizers

@@ -1,0 +1,1 @@
+lib/fuzz/fuzzer.ml: Bytes Cdcompiler Cdutil Cdvm Char Hashtbl List Mutator Queue Rng String

@@ -1,0 +1,1 @@
+lib/fuzz/mutator.ml: Bytes Cdutil Char Int32 Rng String

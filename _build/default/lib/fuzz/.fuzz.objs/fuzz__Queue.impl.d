@@ -1,0 +1,1 @@
+lib/fuzz/queue.ml: Array Cdutil String

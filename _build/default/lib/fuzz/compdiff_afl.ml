@@ -1,0 +1,92 @@
+(* CompDiff-AFL++ (Algorithm 1, complete).
+
+   The fuzzer drives an instrumented build [B_fuzz]; every generated
+   input additionally runs on the k differential binaries, whose outputs
+   are checksummed and compared. Diverging inputs land in the [diffs]
+   triage store ("save s' to disk" / the diffs/ directory of the paper).
+
+   Sanitizers remain compatible: passing [sanitizer] instruments B_fuzz
+   exactly like AFL++ would, without touching the differential set. *)
+
+open Cdcompiler
+
+type config = {
+  seeds : string list;
+  max_execs : int;
+  fuel : int;
+  rng_seed : int;
+  profiles : Policy.profile list;   (* the differential implementations *)
+  sanitizer : Sanitizers.San.kind option; (* on B_fuzz only *)
+  normalize : Compdiff.Normalize.filter;
+  diff_every : int;                 (* run the oracle on every nth input; 1 = paper *)
+  divergence_feedback : bool;
+      (* the paper's Section 5 proposal (NEZHA-style): treat an input
+         exhibiting a previously unseen divergence signature as
+         interesting, feeding it back into the mutation queue *)
+}
+
+let default_config =
+  {
+    seeds = [ "" ];
+    max_execs = 2_000;
+    fuel = 100_000;
+    rng_seed = 1;
+    profiles = Profiles.all;
+    sanitizer = None;
+    normalize = Compdiff.Normalize.identity;
+    diff_every = 1;
+    divergence_feedback = false;
+  }
+
+type campaign = {
+  fuzz : Fuzzer.campaign;
+  diffs : Compdiff.Triage.t;
+  oracle : Compdiff.Oracle.t;
+  diff_checks : int;                (* oracle invocations *)
+}
+
+let run ?(config = default_config) (tp : Minic.Tast.tprogram) : campaign =
+  let fuzz_unit = Pipeline.compile Profiles.fuzz_profile tp in
+  let oracle =
+    Compdiff.Oracle.create ~profiles:config.profiles ~normalize:config.normalize
+      ~fuel:config.fuel tp
+  in
+  let triage = Compdiff.Triage.create () in
+  let counter = ref 0 in
+  let checks = ref 0 in
+  let on_input input =
+    incr counter;
+    if !counter mod config.diff_every = 0 then begin
+      incr checks;
+      match Compdiff.Oracle.check oracle ~input with
+      | Compdiff.Oracle.Diverge obs ->
+        let freshness = Compdiff.Triage.add triage oracle ~input obs in
+        if config.divergence_feedback && freshness = `New then
+          Fuzzer.Interesting
+        else Fuzzer.Boring
+      | Compdiff.Oracle.Agree _ -> Fuzzer.Boring
+    end
+    else Fuzzer.Boring
+  in
+  let hooks =
+    match config.sanitizer with
+    | Some k -> Sanitizers.San.hooks k
+    | None -> Cdvm.Hooks.none
+  in
+  let fuzz =
+    Fuzzer.run
+      ~config:
+        {
+          Fuzzer.seeds = config.seeds;
+          max_execs = config.max_execs;
+          fuel = config.fuel;
+          rng_seed = config.rng_seed;
+          det_bytes = Fuzzer.default_config.Fuzzer.det_bytes;
+          hooks;
+          on_input = Some on_input;
+        }
+      fuzz_unit
+  in
+  { fuzz; diffs = triage; oracle; diff_checks = !checks }
+
+let found_divergence (c : campaign) = Compdiff.Triage.total_count c.diffs > 0

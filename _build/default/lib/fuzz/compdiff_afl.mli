@@ -1,0 +1,42 @@
+(** CompDiff-AFL++ — Algorithm 1 of the paper, complete.
+
+    A coverage-guided fuzzing loop drives the instrumented build
+    [B_fuzz]; every generated input additionally runs on the [k]
+    differential binaries, and inputs with divergent (normalized,
+    checksummed) outputs are saved and triaged.
+
+    Sanitizers compose exactly as in AFL++: they instrument [B_fuzz]
+    only, leaving the differential set untouched. *)
+
+type config = {
+  seeds : string list;              (** initial corpus *)
+  max_execs : int;                  (** execution budget on [B_fuzz] *)
+  fuel : int;                       (** per-execution instruction budget *)
+  rng_seed : int;
+  profiles : Cdcompiler.Policy.profile list;
+      (** the differential implementation set (default: all ten) *)
+  sanitizer : Sanitizers.San.kind option;
+      (** instrument [B_fuzz] with this sanitizer, as AFL++ would *)
+  normalize : Compdiff.Normalize.filter;
+      (** per-target output normalization (RQ5) *)
+  diff_every : int;
+      (** run the oracle on every [n]-th generated input; [1] is the
+          paper's configuration *)
+  divergence_feedback : bool;
+      (** the paper's Section 5 proposal (NEZHA-style): an input with a
+          previously unseen divergence signature is fed back into the
+          mutation queue even without new coverage *)
+}
+
+val default_config : config
+
+type campaign = {
+  fuzz : Fuzzer.campaign;           (** the underlying fuzzing run *)
+  diffs : Compdiff.Triage.t;        (** the "diffs/" directory *)
+  oracle : Compdiff.Oracle.t;
+  diff_checks : int;                (** oracle invocations *)
+}
+
+val run : ?config:config -> Minic.Tast.tprogram -> campaign
+
+val found_divergence : campaign -> bool

@@ -1,0 +1,117 @@
+(* AFL-style input mutators.
+
+   The havoc stage stacks a random number of the elementary mutations;
+   splice combines two queue entries. All randomness flows through
+   {!Cdutil.Rng} so campaigns are reproducible. *)
+
+open Cdutil
+
+let interesting8 = [| 0; 1; 2; 16; 32; 64; 100; 127; 128; 255; 254 |]
+let interesting32 =
+  [| 0l; 1l; -1l; 16l; 32l; 64l; 100l; 127l; 128l; 255l; 256l; 1024l;
+     32767l; -32768l; 65535l; 65536l; 100663045l; Int32.max_int; Int32.min_int |]
+
+let clone s = Bytes.of_string s
+
+let ensure_nonempty b = if Bytes.length b = 0 then Bytes.of_string "\000" else b
+
+let bitflip rng b =
+  let b = ensure_nonempty b in
+  let bit = Rng.int rng (Bytes.length b * 8) in
+  let i = bit / 8 and m = 1 lsl (bit mod 8) in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor m));
+  b
+
+let byte_set rng b =
+  let b = ensure_nonempty b in
+  let i = Rng.int rng (Bytes.length b) in
+  Bytes.set b i (Char.chr (Rng.int rng 256));
+  b
+
+let byte_interesting rng b =
+  let b = ensure_nonempty b in
+  let i = Rng.int rng (Bytes.length b) in
+  Bytes.set b i (Char.chr (Rng.choose rng interesting8 land 0xff));
+  b
+
+let arith rng b =
+  let b = ensure_nonempty b in
+  let i = Rng.int rng (Bytes.length b) in
+  let delta = Rng.int_in rng (-35) 35 in
+  Bytes.set b i (Char.chr ((Char.code (Bytes.get b i) + delta) land 0xff));
+  b
+
+(* overwrite 4 bytes with an interesting 32-bit value, little-endian *)
+let word_interesting rng b =
+  let b = ensure_nonempty b in
+  if Bytes.length b < 4 then byte_interesting rng b
+  else begin
+    let i = Rng.int rng (Bytes.length b - 3) in
+    let v = Rng.choose rng interesting32 in
+    for k = 0 to 3 do
+      Bytes.set b (i + k)
+        (Char.chr (Int32.to_int (Int32.shift_right_logical v (8 * k)) land 0xff))
+    done;
+    b
+  end
+
+let insert_byte rng b =
+  let n = Bytes.length b in
+  if n >= 4096 then b
+  else begin
+    let i = Rng.int rng (n + 1) in
+    let nb = Bytes.create (n + 1) in
+    Bytes.blit b 0 nb 0 i;
+    Bytes.set nb i (Char.chr (Rng.int rng 256));
+    Bytes.blit b i nb (i + 1) (n - i);
+    nb
+  end
+
+let delete_byte rng b =
+  let n = Bytes.length b in
+  if n <= 1 then b
+  else begin
+    let i = Rng.int rng n in
+    let nb = Bytes.create (n - 1) in
+    Bytes.blit b 0 nb 0 i;
+    Bytes.blit b (i + 1) nb i (n - 1 - i);
+    nb
+  end
+
+let dup_block rng b =
+  let n = Bytes.length b in
+  if n = 0 || n >= 4096 then ensure_nonempty b
+  else begin
+    let len = 1 + Rng.int rng (min 16 n) in
+    let src = Rng.int rng (n - len + 1) in
+    let dst = Rng.int rng (n + 1) in
+    let nb = Bytes.create (n + len) in
+    Bytes.blit b 0 nb 0 dst;
+    Bytes.blit b src nb dst len;
+    Bytes.blit b dst nb (dst + len) (n - dst);
+    nb
+  end
+
+let elementary =
+  [| bitflip; byte_set; byte_interesting; arith; word_interesting; insert_byte;
+     delete_byte; dup_block |]
+
+(* stacked havoc: 1..2^k elementary mutations *)
+let havoc rng (s : string) : string =
+  let steps = 1 lsl (1 + Rng.int rng 5) in
+  let b = ref (clone s) in
+  for _ = 1 to steps do
+    let m = Rng.choose rng elementary in
+    b := m rng !b
+  done;
+  Bytes.to_string !b
+
+(* splice two inputs at random midpoints, then havoc lightly *)
+let splice rng (a : string) (b : string) : string =
+  if String.length a = 0 || String.length b = 0 then havoc rng (a ^ b)
+  else begin
+    let i = Rng.int rng (String.length a) in
+    let j = Rng.int rng (String.length b) in
+    let merged = String.sub a 0 i ^ String.sub b j (String.length b - j) in
+    havoc rng merged
+  end

@@ -1,0 +1,27 @@
+(** AFL-style input mutators.
+
+    All randomness flows through {!Cdutil.Rng}, so identical seeds give
+    identical mutation streams and whole campaigns replay exactly. *)
+
+val interesting8 : int array
+(** AFL's interesting byte values. *)
+
+val interesting32 : int32 array
+(** AFL's interesting 32-bit values (written little-endian). *)
+
+val bitflip : Cdutil.Rng.t -> bytes -> bytes
+val byte_set : Cdutil.Rng.t -> bytes -> bytes
+val byte_interesting : Cdutil.Rng.t -> bytes -> bytes
+val arith : Cdutil.Rng.t -> bytes -> bytes
+(** Add a small delta (±35) to one byte. *)
+
+val word_interesting : Cdutil.Rng.t -> bytes -> bytes
+val insert_byte : Cdutil.Rng.t -> bytes -> bytes
+val delete_byte : Cdutil.Rng.t -> bytes -> bytes
+val dup_block : Cdutil.Rng.t -> bytes -> bytes
+
+val havoc : Cdutil.Rng.t -> string -> string
+(** Stack 2–32 elementary mutations. *)
+
+val splice : Cdutil.Rng.t -> string -> string -> string
+(** Merge two inputs at random cut points, then a light havoc. *)

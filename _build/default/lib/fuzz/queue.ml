@@ -1,0 +1,68 @@
+(* The seed queue.
+
+   Entries that exercised new coverage buckets enter the queue; selection
+   cycles round-robin with a mild power schedule favouring small, fast
+   seeds (AFL's favored heuristic, simplified). *)
+
+type entry = {
+  id : int;
+  data : string;
+  fuel_used : int;
+  found_at : int;           (* execution count when discovered *)
+}
+
+type t = {
+  mutable entries : entry array;
+  mutable n : int;
+  mutable cursor : int;
+  mutable next_id : int;
+}
+
+let create () = { entries = Array.make 16 { id = 0; data = ""; fuel_used = 0; found_at = 0 }; n = 0; cursor = 0; next_id = 0 }
+
+let length t = t.n
+
+let add t ~(data : string) ~(fuel_used : int) ~(found_at : int) : entry =
+  let e = { id = t.next_id; data; fuel_used; found_at } in
+  t.next_id <- t.next_id + 1;
+  if t.n = Array.length t.entries then begin
+    let bigger = Array.make (2 * t.n) e in
+    Array.blit t.entries 0 bigger 0 t.n;
+    t.entries <- bigger
+  end;
+  t.entries.(t.n) <- e;
+  t.n <- t.n + 1;
+  e
+
+let is_empty t = t.n = 0
+
+(* round-robin selection *)
+let select t : entry =
+  if t.n = 0 then invalid_arg "Queue.select: empty queue";
+  let e = t.entries.(t.cursor mod t.n) in
+  t.cursor <- t.cursor + 1;
+  e
+
+(* a random second parent for splicing *)
+let random_other t rng (not_id : int) : entry option =
+  if t.n <= 1 then None
+  else begin
+    let rec pick tries =
+      if tries = 0 then None
+      else begin
+        let e = t.entries.(Cdutil.Rng.int rng t.n) in
+        if e.id <> not_id then Some e else pick (tries - 1)
+      end
+    in
+    pick 4
+  end
+
+(* energy: how many mutations a seed receives per visit. Small and fast
+   seeds get more. *)
+let energy (e : entry) : int =
+  let base = 24 in
+  let size_bonus = if String.length e.data <= 16 then 8 else 0 in
+  let speed_bonus = if e.fuel_used < 2_000 then 8 else 0 in
+  base + size_bonus + speed_bonus
+
+let to_list t = Array.to_list (Array.sub t.entries 0 t.n)

@@ -1,0 +1,1 @@
+lib/juliet/cwe.ml: List Staticcheck

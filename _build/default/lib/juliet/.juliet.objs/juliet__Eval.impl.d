@@ -1,0 +1,1 @@
+lib/juliet/eval.ml: Array Cdcompiler Compdiff Cwe List Minic Sanitizers Staticcheck Testcase

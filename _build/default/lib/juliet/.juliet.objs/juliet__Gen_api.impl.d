@@ -1,0 +1,1 @@
+lib/juliet/gen_api.ml: Gen_common Int64 Minic Testcase

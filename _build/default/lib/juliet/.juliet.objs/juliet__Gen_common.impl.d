@@ -1,0 +1,1 @@
+lib/juliet/gen_common.ml: Cdutil List Minic

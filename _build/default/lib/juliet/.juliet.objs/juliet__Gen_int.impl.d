@@ -1,0 +1,1 @@
+lib/juliet/gen_int.ml: Char Gen_common Minic String Testcase

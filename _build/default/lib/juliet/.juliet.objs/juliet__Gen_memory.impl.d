@@ -1,0 +1,1 @@
+lib/juliet/gen_memory.ml: Char Gen_common Int64 List Minic String Testcase

@@ -1,0 +1,1 @@
+lib/juliet/gen_misc.ml: Gen_common Minic Testcase

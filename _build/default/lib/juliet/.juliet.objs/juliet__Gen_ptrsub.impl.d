@@ -1,0 +1,1 @@
+lib/juliet/gen_ptrsub.ml: Gen_common Minic Testcase

@@ -1,0 +1,1 @@
+lib/juliet/gen_uninit.ml: Gen_common Minic Testcase

@@ -1,0 +1,1 @@
+lib/juliet/suite.ml: Cwe Gen_api Gen_int Gen_memory Gen_misc Gen_ptrsub Gen_uninit Hashtbl List Option Printf Testcase

@@ -1,0 +1,1 @@
+lib/juliet/testcase.ml: Minic Printf

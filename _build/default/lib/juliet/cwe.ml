@@ -1,0 +1,82 @@
+(* The 20 CWE categories of Table 2, with the paper's test counts and the
+   scaled counts this reproduction generates (roughly 1/12, floor 4). *)
+
+type category =
+  | Memory_error      (* 121~127, 415, 416, 590 -- Table 3 row 1 *)
+  | Ub_api            (* 475 *)
+  | Bad_struct_ptr    (* 588 *)
+  | Bad_call          (* 685 *)
+  | Ub_general        (* 758 *)
+  | Int_error         (* 190, 191, 680 *)
+  | Div_zero          (* 369 *)
+  | Null_deref        (* 476 *)
+  | Uninit            (* 457, 665 *)
+  | Ptr_sub           (* 469 *)
+
+type info = {
+  id : int;
+  description : string;
+  category : category;
+  paper_count : int;
+}
+
+let all : info list =
+  [
+    { id = 121; description = "Stack Based Buffer Overflow"; category = Memory_error; paper_count = 2951 };
+    { id = 122; description = "Heap Based Buffer Overflow"; category = Memory_error; paper_count = 3575 };
+    { id = 124; description = "Buffer Underwrite"; category = Memory_error; paper_count = 1024 };
+    { id = 126; description = "Buffer Overread"; category = Memory_error; paper_count = 721 };
+    { id = 127; description = "Buffer Underread"; category = Memory_error; paper_count = 1022 };
+    { id = 415; description = "Double Free"; category = Memory_error; paper_count = 820 };
+    { id = 416; description = "Use After Free"; category = Memory_error; paper_count = 394 };
+    { id = 475; description = "Undefined Behavior for Input to API"; category = Ub_api; paper_count = 18 };
+    { id = 588; description = "Access Child of Non Struct. Pointer"; category = Bad_struct_ptr; paper_count = 80 };
+    { id = 590; description = "Free Memory Not on Heap"; category = Memory_error; paper_count = 2280 };
+    { id = 685; description = "Function Call With Incorrect #Args."; category = Bad_call; paper_count = 18 };
+    { id = 758; description = "Undefined Behavior"; category = Ub_general; paper_count = 523 };
+    { id = 190; description = "Integer Overflow"; category = Int_error; paper_count = 1564 };
+    { id = 191; description = "Integer Underflow"; category = Int_error; paper_count = 1169 };
+    { id = 369; description = "Divide by Zero"; category = Div_zero; paper_count = 437 };
+    { id = 476; description = "NULL Pointer Dereference"; category = Null_deref; paper_count = 306 };
+    { id = 680; description = "Integer Overflow to Buffer Overflow"; category = Int_error; paper_count = 196 };
+    { id = 457; description = "Use of Uninitialized Variable"; category = Uninit; paper_count = 928 };
+    { id = 665; description = "Improper Initialization"; category = Uninit; paper_count = 98 };
+    { id = 469; description = "Use of Pointer Sub. to Determine Size"; category = Ptr_sub; paper_count = 18 };
+  ]
+
+let scale = 12
+
+let scaled_count (i : info) = max 4 (i.paper_count / scale)
+
+let info id = List.find (fun i -> i.id = id) all
+
+let total_paper = List.fold_left (fun acc i -> acc + i.paper_count) 0 all
+let total_scaled = List.fold_left (fun acc i -> acc + scaled_count i) 0 all
+
+let category_to_string = function
+  | Memory_error -> "Memory error"
+  | Ub_api -> "UB for input to API"
+  | Bad_struct_ptr -> "Bad struct. pointer"
+  | Bad_call -> "Bad function call"
+  | Ub_general -> "UB"
+  | Int_error -> "Integer error"
+  | Div_zero -> "Divide by zero"
+  | Null_deref -> "Null pointer deref."
+  | Uninit -> "Uninitialized memory"
+  | Ptr_sub -> "UB of pointer Sub."
+
+(* which Finding kinds count as a true detection for a category when
+   scoring the static tools *)
+let matching_kinds (c : category) : Staticcheck.Finding.kind list =
+  let open Staticcheck.Finding in
+  match c with
+  | Memory_error -> [ Mem_error; Null_deref ]
+  | Ub_api -> [ Bad_call; Mem_error ]
+  | Bad_struct_ptr -> [ Mem_error; Bad_call ]
+  | Bad_call -> [ Bad_call ]
+  | Ub_general -> [ Ub_generic; Uninit; Int_error ]
+  | Int_error -> [ Int_error ]
+  | Div_zero -> [ Div_zero ]
+  | Null_deref -> [ Null_deref ]
+  | Uninit -> [ Uninit ]
+  | Ptr_sub -> [ Ptr_sub; Int_error ]

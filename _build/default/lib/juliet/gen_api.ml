@@ -1,0 +1,335 @@
+(* Generators for the API/UB CWEs: 475 (undefined behavior for input to
+   API), 588 (access of a non-struct pointer's "child"), 685 (bad function
+   call), 758 (general undefined behavior).
+
+   Modeling notes (documented in DESIGN.md):
+   - 475 uses overlapping memcpy: the copy direction is a per-libc choice,
+     so the result diverges; no sanitizer checks it;
+   - 685 (wrong argument count) cannot be typed in MiniC, so it is modeled
+     as the adjacent flaw Juliet drives at: an argument of the wrong kind
+     -- a pointer reinterpreted as an integer, whose value is the
+     layout-dependent address;
+   - 758 mixes unsequenced side effects in call arguments (Listing 3),
+     out-of-range constant shifts (folded to a UB value by optimizing
+     builds, masked by the hardware at -O0) and missing return values. *)
+
+open Minic.Ast
+open Minic.Builder
+open Gen_common
+
+(* ---------- CWE-475: undefined behavior for input to API ---------- *)
+
+let cwe475 ~index =
+  let rng = rng_for ~cwe:475 ~index in
+  let n = max 6 (small_size rng) in
+  let fill =
+    for_up "i" (int 0) (int n) [ set_idx (var "buf") (var "i") (var "i" +: int 1) ]
+  in
+  let dump =
+    [
+      for_up "i" (int 0) (int n) [ print "%d " [ idx (var "buf") (var "i") ] ];
+      print "\n" [];
+      ret (int 0);
+    ]
+  in
+  let shape_overlap_forward () =
+    let mk overlap =
+      with_test_func
+        ([ decl_arr Tint "buf" n; decl_arr Tint "tmp" n; fill ]
+        @ (if overlap then
+             [ expr (call "memcpy" [ var "buf" +: int 1; var "buf"; int (n - 1) ]) ]
+           else
+             [
+               expr (call "memcpy" [ var "tmp"; var "buf"; int (n - 1) ]);
+               expr (call "memcpy" [ var "buf" +: int 1; var "tmp"; int (n - 1) ]);
+             ])
+        @ dump)
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_overlap_backward () =
+    let mk overlap =
+      with_test_func
+        ([ decl_arr Tint "buf" n; decl_arr Tint "tmp" n; fill ]
+        @ (if overlap then
+             [ expr (call "memcpy" [ var "buf"; var "buf" +: int 2; int (n - 2) ]) ]
+           else
+             [
+               expr (call "memcpy" [ var "tmp"; var "buf" +: int 2; int (n - 2) ]);
+               expr (call "memcpy" [ var "buf"; var "tmp"; int (n - 2) ]);
+             ])
+        @ dump)
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let bad, good, inputs =
+    match index mod 2 with
+    | 0 -> shape_overlap_forward ()
+    | _ -> shape_overlap_backward ()
+  in
+  Testcase.make ~cwe:475 ~index ~inputs ~bad ~good ()
+
+(* ---------- CWE-588: access child of a non-struct pointer ---------- *)
+
+let cwe588 ~index =
+  let rng = rng_for ~cwe:588 ~index in
+  let k = salt rng in
+  let shape_scalar_as_array off =
+    (* a scalar treated as a record: reads past it hit layout-dependent
+       neighbours; [off] beyond the redzone models ASan's miss *)
+    let mk bad_access =
+      with_test_func
+        [
+          decl Tint "scalar" ~init:(int k);
+          decl Tint "other" ~init:(int (k * 2));
+          decl (Tptr Tint) "p" ~init:(addr (var "scalar"));
+          sink_print (if bad_access then idx (var "p") (int off) else deref (var "p"));
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_scalar_write off =
+    let mk bad_access =
+      with_test_func
+        [
+          decl Tint "scalar" ~init:(int 5);
+          decl Tint "witness" ~init:(int 100);
+          decl (Tptr Tint) "p" ~init:(addr (var "scalar"));
+          (if bad_access then set_idx (var "p") (int off) (int k)
+           else set_deref (var "p") (int k));
+          print "s=%d w=%d\n" [ var "scalar"; var "witness" ];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_int_as_ptr () =
+    (* reinterpret an integer global as a pointer-sized record *)
+    let mk bad_access =
+      with_test_func
+        ~globals:[ global "g" Tint ~init:[ 12L ]; global "h" Tint ~init:[ 34L ] ]
+        [
+          decl (Tptr Tint) "p" ~init:(addr (var "g"));
+          sink_print (if bad_access then idx (var "p") (int 1) else deref (var "p"));
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_far_read () =
+    (* reads stack junk far below the frame: beyond the redzone (ASan
+       miss), junk pattern differs per implementation *)
+    let mk bad_access =
+      with_test_func
+        [
+          decl Tint "scalar" ~init:(int k);
+          decl (Tptr Tint) "p" ~init:(addr (var "scalar"));
+          sink_print (if bad_access then idx (var "p") (int (-40)) else deref (var "p"));
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_far_write () =
+    let mk bad_access =
+      with_test_func
+        [
+          decl_arr Tint "big" 48;
+          decl Tint "scalar" ~init:(int 5);
+          decl (Tptr Tint) "p" ~init:(addr (var "scalar"));
+          for_up "j" (int 0) (int 48) [ set_idx (var "big") (var "j") (int 1) ];
+          (if bad_access then set_idx (var "p") (int (-25)) (int k)
+           else set_deref (var "p") (int k));
+          print "s=%d b=%d\n" [ var "scalar"; idx (var "big") (int 22) ];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let bad, good, inputs =
+    match index mod 5 with
+    | 0 -> shape_scalar_as_array 2
+    | 1 -> shape_far_read () (* beyond the redzone: ASan miss *)
+    | 2 -> shape_scalar_write 2
+    | 3 -> shape_far_write ()
+    | _ -> shape_int_as_ptr ()
+  in
+  Testcase.make ~cwe:588 ~index ~inputs ~bad ~good ()
+
+(* ---------- CWE-685: function call with wrong arguments ---------- *)
+
+let cwe685 ~index =
+  let rng = rng_for ~cwe:685 ~index in
+  let k = salt rng in
+  let helper =
+    func Tint "format_value" ~params:[ (Tint, "v") ]
+      [ sink_print (var "v"); ret (var "v" +: int 1) ]
+  in
+  let shape_ptr_as_int_global () =
+    let mk bad_call =
+      with_test_func
+        ~globals:[ global "g" Tint ~init:[ Int64.of_int k ] ]
+        ~helpers:[ helper ]
+        [
+          expr
+            (call "format_value"
+               [ (if bad_call then cast Tint (addr (var "g")) else var "g") ]);
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_ptr_as_int_heap () =
+    let mk bad_call =
+      with_test_func ~helpers:[ helper ]
+        [
+          decl (Tptr Tint) "p" ~init:(call "malloc" [ int 4 ]);
+          set_idx (var "p") (int 0) (int k);
+          expr
+            (call "format_value"
+               [ (if bad_call then cast Tint (var "p") else idx (var "p") (int 0)) ]);
+          expr (call "free" [ var "p" ]);
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let bad, good, inputs =
+    match index mod 2 with
+    | 0 -> shape_ptr_as_int_global ()
+    | _ -> shape_ptr_as_int_heap ()
+  in
+  Testcase.make ~cwe:685 ~index ~inputs ~bad ~good ()
+
+(* ---------- CWE-758: undefined behavior (general) ---------- *)
+
+let cwe758 ~index =
+  let rng = rng_for ~cwe:758 ~index in
+  let k = salt rng in
+  let shape_const_shift () =
+    (* constant out-of-range shift: the constant folder picks the "poison"
+       value 0, the hardware masks the count *)
+    let mk count =
+      with_test_func
+        [
+          decl Tint "x" ~init:(call "getchar" [] &: int 63);
+          sink_print (var "x" <<: int count);
+          ret (int 0);
+        ]
+    in
+    (mk 33, mk 3, [ "A" ])
+  in
+  let shape_runtime_shift () =
+    (* runtime out-of-range shift: masked identically everywhere, only
+       UBSan sees it *)
+    let mk offset =
+      with_test_func
+        [
+          decl Tint "s" ~init:(call "getchar" [] -: int offset);
+          sink_print (int (k + 1) <<: var "s");
+          ret (int 0);
+        ]
+    in
+    (mk 31, mk 63, [ "A" ]) (* 'A'=65: bad shift 34, good shift 2 *)
+  in
+  let shape_negative_shl () =
+    let mk positive =
+      with_test_func
+        [
+          decl Tint "v"
+            ~init:(if positive then call "getchar" [] &: int 31
+                   else int 0 -: (call "getchar" [] &: int 31));
+          sink_print (var "v" <<: int 2);
+          ret (int 0);
+        ]
+    in
+    (mk false, mk true, [ "A" ])
+  in
+  let shape_evalorder_static_buffer () =
+    (* Listing 3: both %s arguments are calls returning the same static
+       buffer; %s reads memory after all arguments were evaluated, so the
+       dumped strings depend on the evaluation order *)
+    let linkaddr_string =
+      func (Tptr Tint) "linkaddr_string" ~params:[ (Tint, "v") ]
+        [
+          decl_static (Tarr (Tint, 4)) "buffer";
+          set_idx (var "buffer") (int 0) (int 48 +: binop Mod (var "v") (int 10));
+          set_idx (var "buffer") (int 1) (int 0);
+          ret (var "buffer");
+        ]
+    in
+    let mk conflicting =
+      with_test_func ~helpers:[ linkaddr_string ]
+        (if conflicting then
+           [
+             print "who-is %s tell %s\n"
+               [
+                 call "linkaddr_string" [ int (1 + (k mod 3)) ];
+                 call "linkaddr_string" [ int (7 + (k mod 3)) ];
+               ];
+             ret (int 0);
+           ]
+         else
+           [
+             (* the fix the tcpdump developers applied: copy out each
+                string before the next call *)
+             decl Tint "a" ~init:(deref (call "linkaddr_string" [ int (1 + (k mod 3)) ]));
+             decl Tint "b" ~init:(deref (call "linkaddr_string" [ int (7 + (k mod 3)) ]));
+             print "who-is %c tell %c\n" [ var "a"; var "b" ];
+             ret (int 0);
+           ])
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_unsequenced_assign () =
+    let sum2 =
+      func Tint "sum2" ~params:[ (Tint, "a"); (Tint, "b") ]
+        [ ret (var "a" +: var "b") ]
+    in
+    let mk sequenced =
+      with_test_func ~helpers:[ sum2 ]
+        (if sequenced then
+           [
+             decl Tint "x" ~init:(int 0);
+             decl Tint "first" ~init:(assign (var "x") (int 1));
+             decl Tint "second" ~init:(assign (var "x") (int 2));
+             sink_print (call "sum2" [ var "first"; var "second" ] +: var "x");
+             ret (int 0);
+           ]
+         else
+           [
+             decl Tint "x" ~init:(int 0);
+             sink_print
+               (call "sum2" [ assign (var "x") (int 1); assign (var "x") (int 2) ]
+               +: var "x");
+             ret (int 0);
+           ])
+    in
+    (mk false, mk true, [ "" ])
+  in
+  let shape_missing_return () =
+    let mk returns =
+      let classify =
+        func Tint "classify" ~params:[ (Tint, "v") ]
+          ([ if_ (var "v" >: int 10) [ ret (int 1) ] [] ]
+          @ if returns then [ ret (int 0) ] else [])
+      in
+      with_test_func ~helpers:[ classify ]
+        [
+          sink_print (call "classify" [ int (k mod 10) ]);
+          ret (int 0);
+        ]
+    in
+    (mk false, mk true, [ "" ])
+  in
+  let bad, good, inputs =
+    match index mod 8 with
+    | 0 -> shape_const_shift ()
+    | 1 -> shape_runtime_shift ()
+    | 2 -> shape_negative_shl ()
+    | 3 | 6 -> shape_evalorder_static_buffer ()
+    | 4 | 7 -> shape_unsequenced_assign ()
+    | _ -> shape_missing_return ()
+  in
+  Testcase.make ~cwe:758 ~index ~inputs ~bad ~good ()

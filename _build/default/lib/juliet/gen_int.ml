@@ -1,0 +1,359 @@
+(* Generators for the integer-error CWEs: overflow (190), underflow (191)
+   and overflow-to-buffer-overflow (680).
+
+   Reproduction notes. At run time every implementation's hardware wraps
+   identically, so a plain executed signed overflow does NOT diverge --
+   CompDiff's detection rate on this family is low (11% in Table 3).
+   What does diverge:
+   - overflow guards folded away under the no-overflow assumption
+     (Listing 1);
+   - the widened multiplication of clangx -O1 (the §4.3 IntError example);
+   - overflow in pointer arithmetic, whose result is layout-dependent.
+   UBSan conversely flags executed *signed* overflow but is silent on the
+   "unsigned-style" wrap variants (modeled with masked long arithmetic,
+   like Juliet's many unsigned tests) and on truncating conversions. *)
+
+open Minic.Ast
+open Minic.Builder
+open Gen_common
+
+(* read one input byte as a guaranteed-positive scale-ish value *)
+let input_val name = decl Tint name ~init:(call "getchar" [] &: int 127)
+
+(* ---------- CWE-190: integer overflow ---------- *)
+
+let cwe190 ~index =
+  let rng = rng_for ~cwe:190 ~index in
+  let k = salt rng in
+  let shape_add_overflow () =
+    (* executed signed addition overflow, result printed: wraps the same
+       everywhere *)
+    let mk huge =
+      with_test_func
+        [
+          input_val "x";
+          decl Tint "y" ~init:(int (if huge then 2147483600 else 100) +: var "x");
+          sink_print (var "y");
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "A" ])
+  in
+  let shape_mul_overflow () =
+    let mk big =
+      with_test_func
+        [
+          input_val "x";
+          decl Tint "y" ~init:(var "x" *: int (if big then 100000000 else 3));
+          sink_print (var "y");
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "A" ])
+  in
+  let shape_trunc () =
+    (* long value truncated into int: lossy but identical everywhere *)
+    let mk big =
+      with_test_func
+        [
+          input_val "x";
+          decl Tlong "wide"
+            ~init:(cast Tlong (var "x") *: long (if big then 400000000 else 4));
+          decl Tint "narrow" ~init:(cast Tint (var "wide"));
+          sink_print (var "narrow");
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "A" ])
+  in
+  let shape_unsigned_wrap () =
+    (* Juliet's unsigned tests: wrap-around is well defined, nobody flags
+       it, yet it is counted as a flaw *)
+    let mk big =
+      with_test_func
+        [
+          input_val "x";
+          decl Tlong "u"
+            ~init:
+              (binop Band
+                 (cast Tlong (var "x") +: long64 (if big then 4294967290L else 10L))
+                 (long64 0xFFFFFFFFL));
+          print "u=%ld\n" [ var "u" ];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "A" ])
+  in
+  let shape_guard_fold () =
+    (* the Listing 1 pattern: the overflow check itself is unstable *)
+    let mk overflowing =
+      with_test_func
+        [
+          decl Tint "offset"
+            ~init:(int (if overflowing then 2147483000 else 1000));
+          decl Tint "len" ~init:(call "getchar" [] &: int 1023);
+          if_ (var "offset" +: var "len" <: var "offset")
+            [ print "rejected\n" []; ret (int (-1)) ]
+            [];
+          print "accepted %d\n" [ var "offset" +: var "len" ];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ String.make 1 (Char.chr 127) ])
+  in
+  let shape_promote_mul () =
+    (* §4.3: long x = a * b, widened by clangx -O1 *)
+    let mk big =
+      with_test_func
+        [
+          input_val "c";
+          decl Tint "a" ~init:(var "c" *: int (if big then 1000 else 2));
+          decl Tlong "x" ~init:(var "a" *: var "a");
+          print "x=%ld\n" [ var "x" ];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "d" ])
+  in
+  let shape_dead_overflow () =
+    let mk big =
+      with_test_func
+        [
+          input_val "x";
+          sink_dead "t" (var "x" +: int (if big then 2147483600 else 5));
+          print "done\n" [];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "A" ])
+  in
+  let shape_helper_overflow () =
+    let scale =
+      func Tint "scale" ~params:[ (Tint, "v"); (Tint, "by") ]
+        [ ret (var "v" *: var "by") ]
+    in
+    let mk big =
+      with_test_func ~helpers:[ scale ]
+        [
+          input_val "x";
+          sink_print (call "scale" [ var "x"; int (if big then 90000000 else 9) ]);
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "A" ])
+  in
+  (* overflow folded into address arithmetic: UBSan-silent, divergent
+     because the absolute address is layout-dependent *)
+  let shape_ptr_addr () =
+    let bad =
+      with_test_func
+        [
+          decl_arr Tint "buf" 8;
+          sink_print (cast Tint (var "buf" +: int (1000 + k)));
+          ret (int 0);
+        ]
+    in
+    let good =
+      with_test_func
+        [
+          decl_arr Tint "buf" 8;
+          set_idx (var "buf") (int 2) (int k);
+          sink_print (idx (var "buf") (int 2));
+          ret (int 0);
+        ]
+    in
+    (bad, good, [ "" ])
+  in
+  let bad, good, inputs =
+    match index mod 16 with
+    | 0 | 9 -> shape_add_overflow ()
+    | 1 | 10 -> shape_mul_overflow ()
+    | 2 | 5 | 11 -> shape_trunc ()
+    | 3 | 6 | 12 | 14 -> shape_unsigned_wrap ()
+    | 4 -> shape_guard_fold ()
+    | 7 -> shape_promote_mul ()
+    | 8 -> shape_dead_overflow ()
+    | 13 -> shape_helper_overflow ()
+    | _ -> shape_ptr_addr ()
+  in
+  Testcase.make ~cwe:190 ~index ~inputs ~bad ~good ()
+
+(* ---------- CWE-191: integer underflow ---------- *)
+
+let cwe191 ~index =
+  let rng = rng_for ~cwe:191 ~index in
+  let k = salt rng in
+  let shape_sub_underflow () =
+    let mk big =
+      with_test_func
+        [
+          input_val "x";
+          decl Tint "y"
+            ~init:(int (if big then -2147483600 else -100) -: var "x");
+          sink_print (var "y");
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "A" ])
+  in
+  let shape_guard_fold () =
+    (* if (x - y > x) underflow guard, folded under the no-UB assumption *)
+    let mk underflowing =
+      with_test_func
+        [
+          decl Tint "x" ~init:(int (if underflowing then -2147483000 else 0));
+          decl Tint "y" ~init:(call "getchar" [] &: int 1023);
+          if_ (var "x" -: var "y" >: var "x")
+            [ print "rejected\n" []; ret (int (-1)) ]
+            [];
+          print "accepted %d\n" [ var "x" -: var "y" ];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ String.make 1 (Char.chr 127) ])
+  in
+  let shape_unsigned_wrap () =
+    let mk under =
+      with_test_func
+        [
+          input_val "x";
+          decl Tlong "u"
+            ~init:
+              (binop Band
+                 (long64 (if under then 3L else 1000L) -: cast Tlong (var "x"))
+                 (long64 0xFFFFFFFFL));
+          print "u=%ld\n" [ var "u" ];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "d" ])
+  in
+  let shape_counter_underflow () =
+    (* a countdown that crosses zero and keeps going *)
+    let mk bad_guard =
+      with_test_func
+        [
+          decl Tint "count" ~init:(call "getchar" [] &: int 3);
+          decl Tint "total" ~init:(int 0);
+          while_
+            (if bad_guard then var "count" <>: int (-k) else var "count" >: int 0)
+            [ set "total" (var "total" +: int 1);
+              set "count" (var "count" -: int 1);
+              if_ (var "total" >: int 50) [ break_ ] [] ];
+          sink_print (var "total");
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "B" ])
+  in
+  let shape_dead_underflow () =
+    let mk big =
+      with_test_func
+        [
+          input_val "x";
+          sink_dead "t" (neg (int (if big then 2147483600 else 7)) -: var "x");
+          print "done\n" [];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "A" ])
+  in
+  let bad, good, inputs =
+    match index mod 8 with
+    | 0 | 4 -> shape_sub_underflow ()
+    | 1 -> shape_guard_fold ()
+    | 2 | 5 | 7 -> shape_unsigned_wrap ()
+    | 3 -> shape_counter_underflow ()
+    | _ -> shape_dead_underflow ()
+  in
+  Testcase.make ~cwe:191 ~index ~inputs ~bad ~good ()
+
+(* ---------- CWE-680: integer overflow to buffer overflow ---------- *)
+
+let cwe680 ~index =
+  let rng = rng_for ~cwe:680 ~index in
+  let n = small_size rng in
+  let shape_negative_malloc () =
+    (* len*scale overflows to a negative size; malloc fails; deref traps
+       everywhere identically *)
+    let mk overflow =
+      with_test_func
+        [
+          decl Tint "len"
+            ~init:(int (if overflow then 600000000 else 4));
+          decl Tint "bytes" ~init:(var "len" *: int 4);
+          decl (Tptr Tint) "p" ~init:(call "malloc" [ var "bytes" ]);
+          set_idx (var "p") (int 0) (int 5);
+          sink_print (idx (var "p") (int 0));
+          expr (call "free" [ var "p" ]);
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_mod_index () =
+    (* overflowed product reduced mod n can go negative: an underread
+       whose victim depends on the layout *)
+    let mk overflow =
+      with_test_func
+        [
+          input_val "x";
+          decl Tint "prod"
+            ~init:(var "x" *: int (if overflow then 100000000 else 3));
+          decl Tint "i" ~init:(var "prod" %: int n);
+          decl_arr Tint "pre" 4;
+          decl_arr Tint "buf" n;
+          set_idx (var "pre") (int 0) (int 66);
+          for_up "j" (int 0) (int n) [ set_idx (var "buf") (var "j") (int 1) ];
+          sink_print (idx (var "buf") (var "i"));
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "K" ])
+  in
+  let shape_promoted_size () =
+    (* the size survives in long under clangx -O1 but wraps elsewhere:
+       allocation sizes differ, then a fixed index is OOB only on some
+       implementations *)
+    let mk overflow =
+      with_test_func
+        [
+          input_val "c";
+          decl Tint "len"
+            ~init:(var "c" *: int (if overflow then 1000 else 1));
+          decl Tlong "need" ~init:(var "len" *: var "len");
+          if_
+            (var "need" <: long 0 ||: (var "need" >: long 1000000))
+            [ print "too big\n" []; ret (int 1) ]
+            [];
+          print "alloc %ld\n" [ var "need" ];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "d" ])
+  in
+  let shape_wild_index () =
+    let mk overflow =
+      with_test_func
+        [
+          input_val "x";
+          decl Tint "i"
+            ~init:
+              (if overflow then var "x" *: int 900000000
+               else binop Mod (var "x") (int n));
+          decl_arr Tint "buf" n;
+          set_idx (var "buf") (var "i") (int 3);
+          print "ok\n" [];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "B" ])
+  in
+  let bad, good, inputs =
+    match index mod 4 with
+    | 0 -> shape_negative_malloc ()
+    | 1 -> shape_mod_index ()
+    | 2 -> shape_promoted_size ()
+    | _ -> shape_wild_index ()
+  in
+  Testcase.make ~cwe:680 ~index ~inputs ~bad ~good ()

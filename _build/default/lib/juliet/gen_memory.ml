@@ -1,0 +1,791 @@
+(* Generators for the memory-error CWEs (Table 3, row 1): stack/heap
+   buffer overflow (121/122), buffer underwrite (124), buffer
+   over/under-read (126/127), double free (415), use after free (416) and
+   free of non-heap memory (590).
+
+   Shape design notes (what each shape is tuned to exercise):
+   - "adjacent" OOB accesses sit in the sanitizer redzone: ASan catches
+     them; the corrupted/read cell differs across layouts, so CompDiff
+     sees divergent output when the program prints an affected value;
+   - "far" OOB accesses land inside a neighbouring live object: ASan's
+     documented blind spot, still divergent for CompDiff;
+   - "dead" shapes never let the erroneous state reach the output: ASan
+     still catches the access, CompDiff by design cannot;
+   - free-of-non-heap traps identically in every implementation (glibc
+     abort), so CompDiff misses the whole CWE-590 slice, as discussed in
+     the paper's limitations. *)
+
+open Minic.Ast
+open Minic.Builder
+open Gen_common
+
+(* ---------- CWE-121: stack-based buffer overflow ---------- *)
+
+let cwe121 ~index =
+  let rng = rng_for ~cwe:121 ~index in
+  let n = small_size rng in
+  let v = salt rng in
+  let body_locals =
+    [
+      decl_arr Tint "buf" n;
+      decl Tint "marker" ~init:(int 1000);
+      for_up "z" (int 0) (int n) [ set_idx (var "buf") (var "z") (int 3) ];
+    ]
+  in
+  let observe =
+    [ print "m=%d b=%d\n" [ var "marker"; idx (var "buf") (int 0) ]; ret (int 0) ]
+  in
+  let opaque =
+    func Tint "opaque" ~params:[ (Tint, "x") ] [ ret (var "x") ]
+  in
+  (* [hidden]: index through an opaque call -- interval analysis loses it *)
+  let shape_direct_write ?(hidden = false) off =
+    let index o = if hidden then call "opaque" [ int o ] else int o in
+    let mk o =
+      with_test_func
+        ~helpers:(if hidden then [ opaque ] else [])
+        (body_locals @ [ set_idx (var "buf") (index o) (int v) ] @ observe)
+    in
+    (mk off, mk (n - 1), [ "" ])
+  in
+  let shape_helper () =
+    (* off-by-one loop bound passed to a helper *)
+    let helper count =
+      [
+        decl_arr Tint "buf" n;
+        decl Tint "marker" ~init:(int 777);
+        expr (call "fill" [ var "buf"; count ]);
+        print "m=%d b=%d\n" [ var "marker"; idx (var "buf") (int 0) ];
+        ret (int 0);
+      ]
+    in
+    let fill =
+      func Tvoid "fill"
+        ~params:[ (Tptr Tint, "b"); (Tint, "cnt") ]
+        [ for_up "i" (int 0) (var "cnt") [ set_idx (var "b") (var "i") (var "i") ] ]
+    in
+    let bad = with_test_func ~helpers:[ fill ] (helper (int (n + 1))) in
+    let good = with_test_func ~helpers:[ fill ] (helper (int n)) in
+    (bad, good, [ "" ])
+  in
+  let shape_guarded ~early_return_guard =
+    (* input-derived index with an off-by-one guard *)
+    let access = set_idx (var "buf") (var "i") (int v) in
+    let mk guard_ok =
+      let guard_stmts =
+        if early_return_guard then
+          [
+            if_
+              (var "i" <: int 0 ||: (var "i" >: int (if guard_ok then n - 1 else n)))
+              [ ret (int 0) ] [];
+            access;
+          ]
+        else
+          [
+            if_
+              (var "i" >=: int 0 &&: (var "i" <: int (if guard_ok then n else n + 1)))
+              [ access ] [];
+          ]
+      in
+      with_test_func
+        (body_locals
+        @ [ decl Tint "i" ~init:(call "getchar" [] -: int 48) ]
+        @ guard_stmts @ observe)
+    in
+    (* trigger: i = n, one past the end in the bad variant *)
+    (mk false, mk true, [ String.make 1 (Char.chr (48 + n)) ])
+  in
+  let shape_dead_read () =
+    let bad =
+      with_test_func
+        (body_locals
+        @ [ sink_dead "tmp" (idx (var "buf") (int n)); print "done\n" []; ret (int 0) ])
+    in
+    let good =
+      with_test_func
+        (body_locals
+        @ [ sink_dead "tmp" (idx (var "buf") (int (n - 1))); print "done\n" []; ret (int 0) ])
+    in
+    (bad, good, [ "" ])
+  in
+  let shape_read_printed off =
+    let bad =
+      with_test_func (body_locals @ [ sink_print (idx (var "buf") (int off)); ret (int 0) ])
+    in
+    let good =
+      with_test_func
+        (body_locals @ [ sink_print (idx (var "buf") (int (n - 1))); ret (int 0) ])
+    in
+    (bad, good, [ "" ])
+  in
+  let shape_far_jump () =
+    (* lands inside the neighbouring big buffer: ASan's blind spot *)
+    let locals =
+      [ decl_arr Tint "big" 64; decl_arr Tint "buf" 4; decl Tint "k" ~init:(int 3) ]
+    in
+    let seed_big =
+      block
+        [
+          for_up "j" (int 0) (int 64) [ set_idx (var "big") (var "j") (int 5) ];
+          for_up "j" (int 0) (int 4) [ set_idx (var "buf") (var "j") (int 2) ];
+        ]
+    in
+    let obs =
+      [
+        print "b=%d big=%d\n"
+          [ idx (var "buf") (int 0); idx (var "big") (int 30) ];
+        ret (int 0);
+      ]
+    in
+    let bad =
+      with_test_func
+        (locals @ [ seed_big; set_idx (var "buf") (int 30 +: var "k") (int v) ] @ obs)
+    in
+    let good =
+      with_test_func (locals @ [ seed_big; set_idx (var "buf") (var "k") (int v) ] @ obs)
+    in
+    (bad, good, [ "" ])
+  in
+  let shape_loop () =
+    let mk bound =
+      with_test_func
+        (body_locals
+        @ [
+            for_up "i" (int 0) bound [ set_idx (var "buf") (var "i") (var "i") ];
+          ]
+        @ observe)
+    in
+    (mk (int n +: int 1), mk (int n), [ "" ])
+  in
+  let shape_silent_write () =
+    (* guard arrays on both sides keep the stray write inside the frame,
+       and nothing it can corrupt is ever printed: the erroneous state
+       does not propagate (CompDiff's designed miss) *)
+    let locals =
+      [
+        decl_arr Tint "lo_guard" 4;
+        decl_arr Tint "buf" n;
+        decl_arr Tint "hi_guard" 4;
+      ]
+    in
+    let mk o =
+      with_test_func
+        (locals @ [ set_idx (var "buf") (int o) (int v); print "ok\n" []; ret (int 0) ])
+    in
+    (mk n, mk (n - 1), [ "" ])
+  in
+  let shape_unvalidated_input () =
+    let mk validated =
+      let access = set_idx (var "buf") (var "i") (int 1) in
+      with_test_func
+        (body_locals
+        @ [ decl Tint "i" ~init:(call "getchar" [] -: int 48) ]
+        @ (if validated then
+             (* robust but opaque to interval refinement: early return *)
+             [ if_ (var "i" <: int 0 ||: (var "i" >=: int n)) [ ret (int 0) ] [];
+               access ]
+           else [ access ])
+        @ observe)
+    in
+    (mk false, mk true, [ String.make 1 (Char.chr (48 + n + 1)) ])
+  in
+  let bad, good, inputs =
+    match index mod 10 with
+    | 0 -> shape_direct_write ~hidden:true n
+    | 1 -> shape_helper ()
+    | 2 -> shape_guarded ~early_return_guard:true
+    | 3 -> shape_direct_write (n + 2)
+    | 4 -> shape_dead_read ()
+    | 5 -> shape_read_printed (n + 1)
+    | 6 -> shape_far_jump ()
+    | 7 -> shape_loop ()
+    | 8 -> shape_silent_write ()
+    | _ -> shape_unvalidated_input ()
+  in
+  Testcase.make ~cwe:121 ~index ~inputs ~bad ~good ()
+
+(* ---------- CWE-122: heap-based buffer overflow ---------- *)
+
+let cwe122 ~index =
+  let rng = rng_for ~cwe:122 ~index in
+  let n = small_size rng in
+  let v = salt rng in
+  let alloc =
+    [
+      decl (Tptr Tint) "p" ~init:(call "malloc" [ int n ]);
+      decl (Tptr Tint) "q" ~init:(call "malloc" [ int n ]);
+      if_ (lnot (var "p") ||: lnot (var "q")) [ ret (int 1) ] [];
+      expr (call "memset" [ var "p"; int 11; int n ]);
+      expr (call "memset" [ var "q"; int 42; int n ]);
+      set_idx (var "q") (int 0) (int 4242);
+      set_idx (var "p") (int 0) (int 11);
+    ]
+  in
+  let observe =
+    [
+      print "p0=%d q0=%d\n" [ idx (var "p") (int 0); idx (var "q") (int 0) ];
+      expr (call "free" [ var "p" ]);
+      expr (call "free" [ var "q" ]);
+      ret (int 0);
+    ]
+  in
+  let shape_write off =
+    let mk o = with_test_func (alloc @ [ set_idx (var "p") (int o) (int v) ] @ observe) in
+    (mk off, mk (n - 1), [ "" ])
+  in
+  let shape_read off =
+    let mk o = with_test_func (alloc @ [ sink_print (idx (var "p") (int o)) ] @ observe) in
+    (mk off, mk (n - 1), [ "" ])
+  in
+  let shape_dead_read () =
+    let mk o =
+      with_test_func
+        (alloc @ [ sink_dead "tmp" (idx (var "p") (int o)); print "done\n" [] ] @ observe)
+    in
+    (mk n, mk (n - 1), [ "" ])
+  in
+  let shape_loop_fill () =
+    let mk bound =
+      with_test_func
+        (alloc
+        @ [ for_up "i" (int 0) bound [ set_idx (var "p") (var "i") (var "i" *: int 2) ] ]
+        @ observe)
+    in
+    (mk (int (n + 2)), mk (int n), [ "" ])
+  in
+  let shape_input_size () =
+    (* allocation size from input, fixed write index *)
+    let mk checked =
+      let stmts =
+        [
+          decl Tint "sz" ~init:(call "getchar" [] -: int 48);
+        ]
+        @ (if checked then [ if_ (var "sz" <: int 0 ||: (var "sz" <: int (n + 1))) [ ret (int 0) ] [] ] else [])
+        @ [
+            decl (Tptr Tint) "p" ~init:(call "malloc" [ var "sz" ]);
+            set_idx (var "p") (int n) (int v);
+            sink_print (idx (var "p") (int n));
+            expr (call "free" [ var "p" ]);
+            ret (int 0);
+          ]
+      in
+      with_test_func stmts
+    in
+    (* trigger: sz = 2 < n, so writing index n overflows the block *)
+    (mk false, mk true, [ "2"; String.make 1 (Char.chr (48 + n + 3)) ])
+  in
+  let shape_helper () =
+    let copy =
+      func Tvoid "copy_n"
+        ~params:[ (Tptr Tint, "dst"); (Tint, "cnt") ]
+        [ for_up "i" (int 0) (var "cnt") [ set_idx (var "dst") (var "i") (var "i") ] ]
+    in
+    let mk cnt =
+      with_test_func ~helpers:[ copy ]
+        (alloc @ [ expr (call "copy_n" [ var "p"; int cnt ]) ] @ observe)
+    in
+    (mk (n + 1), mk n, [ "" ])
+  in
+  let shape_far_write () =
+    (* far jump over the redzone into the adjacent heap block *)
+    let mk o = with_test_func (alloc @ [ set_idx (var "p") (int o) (int v) ] @ observe) in
+    (mk (n + 20), mk (n - 1), [ "" ])
+  in
+  let shape_memset_overflow () =
+    let mk len =
+      with_test_func
+        (alloc @ [ expr (call "memset" [ var "p"; int 9; int len ]) ] @ observe)
+    in
+    (mk (n + 1), mk n, [ "" ])
+  in
+  let bad, good, inputs =
+    match index mod 8 with
+    | 0 -> shape_write n
+    | 1 -> shape_read (n + 1)
+    | 2 -> shape_dead_read ()
+    | 3 -> shape_loop_fill ()
+    | 4 -> shape_input_size ()
+    | 5 -> shape_helper ()
+    | 6 -> shape_far_write ()
+    | _ -> shape_memset_overflow ()
+  in
+  Testcase.make ~cwe:122 ~index ~inputs ~bad ~good ()
+
+(* ---------- CWE-124: buffer underwrite ---------- *)
+
+let cwe124 ~index =
+  let rng = rng_for ~cwe:124 ~index in
+  let n = small_size rng in
+  let v = salt rng in
+  let stack_frame =
+    [
+      decl_arr Tint "before" 4;
+      decl_arr Tint "buf" n;
+      for_up "z" (int 0) (int 4) [ set_idx (var "before") (var "z") (int 31) ];
+      set_idx (var "buf") (int 0) (int 7);
+    ]
+  in
+  let observe =
+    [
+      print "a=%d z=%d b=%d\n"
+        [
+          idx (var "before") (int 0);
+          idx (var "before") (int 3);
+          idx (var "buf") (int 0);
+        ];
+      ret (int 0);
+    ]
+  in
+  let shape_stack off =
+    let mk o = with_test_func (stack_frame @ [ set_idx (var "buf") (int o) (int v) ] @ observe) in
+    (mk (-off), mk 0, [ "" ])
+  in
+  let shape_heap () =
+    let mk o =
+      with_test_func
+        [
+          decl (Tptr Tint) "q" ~init:(call "malloc" [ int 4 ]);
+          decl (Tptr Tint) "p" ~init:(call "malloc" [ int n ]);
+          set_idx (var "q") (int 3) (int 55);
+          set_idx (var "p") (int o) (int v);
+          print "q3=%d\n" [ idx (var "q") (int 3) ];
+          expr (call "free" [ var "p" ]);
+          expr (call "free" [ var "q" ]);
+          ret (int 0);
+        ]
+    in
+    (mk (-2), mk 0, [ "" ])
+  in
+  let shape_pointer_walk () =
+    (* decrement a pointer below the base in a loop *)
+    let mk steps =
+      with_test_func
+        (stack_frame
+        @ [
+            decl (Tptr Tint) "w" ~init:(var "buf" +: int 2);
+            for_up "i" (int 0) (int steps)
+              [ set_deref (var "w") (int v); set "w" (var "w" -: int 1) ];
+          ]
+        @ observe)
+    in
+    (mk 5, mk 2, [ "" ])
+  in
+  let shape_const_negative () =
+    let mk o = with_test_func (stack_frame @ [ set_idx (var "buf") (int o) (int v) ] @ observe) in
+    (mk (-1), mk 1, [ "" ])
+  in
+  let shape_input_index () =
+    let mk validated =
+      let access = set_idx (var "buf") (var "i") (int v) in
+      with_test_func
+        (stack_frame
+        @ [ decl Tint "i" ~init:(call "getchar" [] -: int 52) ]
+        @ (if validated then
+             [ if_ (var "i" <: int 0 ||: (var "i" >=: int n)) [ ret (int 0) ] []; access ]
+           else [ access ])
+        @ observe)
+    in
+    (mk false, mk true, [ "0" ]) (* '0' - 52 = -4 *)
+  in
+  let bad, good, inputs =
+    match index mod 5 with
+    | 0 -> shape_stack 1
+    | 1 -> shape_heap ()
+    | 2 -> shape_pointer_walk ()
+    | 3 -> shape_const_negative ()
+    | _ -> shape_input_index ()
+  in
+  Testcase.make ~cwe:124 ~index ~inputs ~bad ~good ()
+
+(* ---------- CWE-126: buffer overread ---------- *)
+
+let cwe126 ~index =
+  let rng = rng_for ~cwe:126 ~index in
+  let n = small_size rng in
+  let globals = [ global_arr "gbuf" Tint n ~init:(List.init n (fun i -> Int64.of_int (i + 1))); global "gnext" Tint ~init:[ 99L ] ] in
+  let shape_global off =
+    let mk o =
+      with_test_func ~globals
+        [
+          decl Tint "i" ~init:(int o);
+          sink_print (idx (var "gbuf") (var "i"));
+          ret (int 0);
+        ]
+    in
+    (mk off, mk (n - 1), [ "" ])
+  in
+  let shape_stack () =
+    let mk o =
+      with_test_func
+        [
+          decl_arr Tint "buf" n;
+          set_idx (var "buf") (int 0) (int 3);
+          sink_print (idx (var "buf") (int o));
+          ret (int 0);
+        ]
+    in
+    (mk (n + 1), mk 0, [ "" ])
+  in
+  let shape_heap () =
+    let mk o =
+      with_test_func
+        [
+          decl (Tptr Tint) "p" ~init:(call "malloc" [ int n ]);
+          expr (call "memset" [ var "p"; int 8; int n ]);
+          sink_print (idx (var "p") (int o));
+          expr (call "free" [ var "p" ]);
+          ret (int 0);
+        ]
+    in
+    (mk n, mk (n - 1), [ "" ])
+  in
+  let shape_strlen_unterminated () =
+    (* strlen walks past the end of a buffer that lost its terminator *)
+    let mk terminated =
+      with_test_func
+        [
+          decl_arr Tint "s" 4;
+          set_idx (var "s") (int 0) (int 65);
+          set_idx (var "s") (int 1) (int 66);
+          set_idx (var "s") (int 2) (int 67);
+          set_idx (var "s") (int 3) (int (if terminated then 0 else 68));
+          sink_print (call "strlen" [ var "s" ]);
+          ret (int 0);
+        ]
+    in
+    (mk false, mk true, [ "" ])
+  in
+  let shape_loop_sum () =
+    let mk bound =
+      with_test_func
+        [
+          decl_arr Tint "buf" n;
+          for_up "i" (int 0) (int n) [ set_idx (var "buf") (var "i") (int 2) ];
+          decl Tint "sum" ~init:(int 0);
+          for_up "i" (int 0) bound
+            [ set "sum" (var "sum" +: idx (var "buf") (var "i")) ];
+          sink_print (var "sum");
+          ret (int 0);
+        ]
+    in
+    (mk (int (n + 2)), mk (int n), [ "" ])
+  in
+  let bad, good, inputs =
+    match index mod 5 with
+    | 0 -> shape_global n
+    | 1 -> shape_stack ()
+    | 2 -> shape_heap ()
+    | 3 -> shape_strlen_unterminated ()
+    | _ -> shape_loop_sum ()
+  in
+  Testcase.make ~cwe:126 ~index ~inputs ~bad ~good ()
+
+(* ---------- CWE-127: buffer underread ---------- *)
+
+let cwe127 ~index =
+  let rng = rng_for ~cwe:127 ~index in
+  let n = small_size rng in
+  let shape_stack off =
+    let mk o =
+      with_test_func
+        [
+          decl_arr Tint "pre" 4;
+          decl_arr Tint "buf" n;
+          set_idx (var "pre") (int 3) (int 17);
+          set_idx (var "buf") (int 0) (int 5);
+          decl Tint "i" ~init:(int o);
+          sink_print (idx (var "buf") (var "i"));
+          ret (int 0);
+        ]
+    in
+    (mk (-off), mk 0, [ "" ])
+  in
+  let shape_heap () =
+    let mk o =
+      with_test_func
+        [
+          decl (Tptr Tint) "p" ~init:(call "malloc" [ int n ]);
+          expr (call "memset" [ var "p"; int 6; int n ]);
+          sink_print (idx (var "p") (int o));
+          expr (call "free" [ var "p" ]);
+          ret (int 0);
+        ]
+    in
+    (mk (-1), mk 0, [ "" ])
+  in
+  let shape_pointer_arith () =
+    let mk back =
+      with_test_func
+        [
+          decl_arr Tint "buf" n;
+          set_idx (var "buf") (int 0) (int 9);
+          decl (Tptr Tint) "p" ~init:(var "buf" +: int 2);
+          sink_print (deref (var "p" -: int back));
+          ret (int 0);
+        ]
+    in
+    (mk 4, mk 2, [ "" ])
+  in
+  let shape_input_index () =
+    let mk validated =
+      let access = sink_print (idx (var "buf") (var "i")) in
+      with_test_func
+        ([
+           decl_arr Tint "buf" n;
+           set_idx (var "buf") (int 0) (int 5);
+           decl Tint "i" ~init:(call "getchar" [] -: int 51);
+         ]
+        @ (if validated then
+             [ if_ (var "i" >=: int 0 &&: (var "i" <: int n)) [ access ] [] ]
+           else [ access ])
+        @ [ ret (int 0) ])
+    in
+    (mk false, mk true, [ "0" ])
+  in
+  let bad, good, inputs =
+    match index mod 4 with
+    | 0 -> shape_stack 1
+    | 1 -> shape_heap ()
+    | 2 -> shape_pointer_arith ()
+    | _ -> shape_input_index ()
+  in
+  Testcase.make ~cwe:127 ~index ~inputs ~bad ~good ()
+
+(* ---------- CWE-415: double free ---------- *)
+
+let cwe415 ~index =
+  let rng = rng_for ~cwe:415 ~index in
+  let n = small_size rng in
+  let shape_plain () =
+    (* double free at the end: allocator corruption never observed *)
+    let mk dbl =
+      with_test_func
+        ([
+           decl (Tptr Tint) "p" ~init:(call "malloc" [ int n ]);
+           set_idx (var "p") (int 0) (int 3);
+           sink_print (idx (var "p") (int 0));
+           expr (call "free" [ var "p" ]);
+         ]
+        @ (if dbl then [ expr (call "free" [ var "p" ]) ] else [])
+        @ [ ret (int 0) ])
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_alias_after () =
+    (* double free followed by two allocations that alias: observable *)
+    let mk dbl =
+      with_test_func
+        ([
+           decl (Tptr Tint) "p" ~init:(call "malloc" [ int n ]);
+           expr (call "free" [ var "p" ]);
+         ]
+        @ (if dbl then [ expr (call "free" [ var "p" ]) ] else [])
+        @ [
+            decl (Tptr Tint) "a" ~init:(call "malloc" [ int n ]);
+            decl (Tptr Tint) "b" ~init:(call "malloc" [ int n ]);
+            set_idx (var "a") (int 0) (int 111);
+            set_idx (var "b") (int 0) (int 222);
+            print "a=%d b=%d\n" [ idx (var "a") (int 0); idx (var "b") (int 0) ];
+            ret (int 0);
+          ])
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_helper () =
+    let release = func Tvoid "release" ~params:[ (Tptr Tint, "q") ] [ expr (call "free" [ var "q" ]) ] in
+    let mk dbl =
+      with_test_func ~helpers:[ release ]
+        ([
+           decl (Tptr Tint) "p" ~init:(call "malloc" [ int n ]);
+           expr (call "release" [ var "p" ]);
+         ]
+        @ (if dbl then [ expr (call "free" [ var "p" ]) ] else [])
+        @ [ print "done\n" []; ret (int 0) ])
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_conditional () =
+    (* bad: frees on both paths plus once after; good: single free but the
+       branchy flow still confuses join-based analyzers (FP source) *)
+    let mk dbl =
+      with_test_func
+        [
+          decl (Tptr Tint) "p" ~init:(call "malloc" [ int n ]);
+          decl Tint "c" ~init:(call "getchar" []);
+          if_ (var "c" ==: int 70)
+            [ expr (call "free" [ var "p" ]) ]
+            (if dbl then [ expr (call "free" [ var "p" ]) ] else []);
+          (if dbl then expr (call "free" [ var "p" ])
+           else if_ (var "c" <>: int 70) [ expr (call "free" [ var "p" ]) ] []);
+          print "done\n" [];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "F"; "x" ])
+  in
+  let bad, good, inputs =
+    match index mod 4 with
+    | 0 -> shape_plain ()
+    | 1 -> shape_alias_after ()
+    | 2 -> shape_helper ()
+    | _ -> shape_conditional ()
+  in
+  Testcase.make ~cwe:415 ~index ~inputs ~bad ~good ()
+
+(* ---------- CWE-416: use after free ---------- *)
+
+let cwe416 ~index =
+  let rng = rng_for ~cwe:416 ~index in
+  let n = small_size rng in
+  let v = salt rng in
+  let shape_read_after_realloc () =
+    (* allocator reuse policy differs across implementations *)
+    let mk uaf =
+      with_test_func
+        [
+          decl (Tptr Tint) "p" ~init:(call "malloc" [ int n ]);
+          set_idx (var "p") (int 0) (int 1111);
+          expr (call "free" [ var "p" ]);
+          decl (Tptr Tint) "q" ~init:(call "malloc" [ int n ]);
+          set_idx (var "q") (int 0) (int 2222);
+          sink_print (idx (if uaf then var "p" else var "q") (int 0));
+          expr (call "free" [ var "q" ]);
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_write_after_free () =
+    let mk uaf =
+      with_test_func
+        [
+          decl (Tptr Tint) "p" ~init:(call "malloc" [ int n ]);
+          expr (call "free" [ var "p" ]);
+          decl (Tptr Tint) "q" ~init:(call "malloc" [ int n ]);
+          set_idx (var "q") (int 0) (int 10);
+          set_idx (if uaf then var "p" else var "q") (int 0) (int v);
+          print "q0=%d\n" [ idx (var "q") (int 0) ];
+          expr (call "free" [ var "q" ]);
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_dead_uaf () =
+    let mk uaf =
+      with_test_func
+        [
+          decl (Tptr Tint) "p" ~init:(call "malloc" [ int n ]);
+          set_idx (var "p") (int 0) (int 5);
+          expr (call "free" [ var "p" ]);
+          (if uaf then sink_dead "tmp" (idx (var "p") (int 0))
+           else sink_dead "tmp" (int 5));
+          print "ok\n" [];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_helper_uaf () =
+    let release = func Tvoid "release" ~params:[ (Tptr Tint, "q") ] [ expr (call "free" [ var "q" ]) ] in
+    let mk uaf =
+      with_test_func ~helpers:[ release ]
+        ([
+           decl (Tptr Tint) "p" ~init:(call "malloc" [ int n ]);
+           set_idx (var "p") (int 0) (int 42);
+         ]
+        @ (if uaf then
+             [
+               expr (call "release" [ var "p" ]);
+               decl (Tptr Tint) "r" ~init:(call "malloc" [ int n ]);
+               set_idx (var "r") (int 0) (int 7);
+               sink_print (idx (var "p") (int 0));
+               expr (call "free" [ var "r" ]);
+             ]
+           else
+             [
+               sink_print (idx (var "p") (int 0));
+               expr (call "release" [ var "p" ]);
+             ])
+        @ [ ret (int 0) ])
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let bad, good, inputs =
+    match index mod 4 with
+    | 0 -> shape_read_after_realloc ()
+    | 1 -> shape_write_after_free ()
+    | 2 -> shape_dead_uaf ()
+    | _ -> shape_helper_uaf ()
+  in
+  Testcase.make ~cwe:416 ~index ~inputs ~bad ~good ()
+
+(* ---------- CWE-590: free of memory not on the heap ---------- *)
+
+let cwe590 ~index =
+  let rng = rng_for ~cwe:590 ~index in
+  let n = small_size rng in
+  let globals = [ global_arr "gbuf" Tint n ] in
+  let shape_stack () =
+    let mk bad_free =
+      with_test_func
+        ([ decl_arr Tint "buf" n; set_idx (var "buf") (int 0) (int 2) ]
+        @ (if bad_free then [ expr (call "free" [ var "buf" ]) ] else [])
+        @ [ sink_print (idx (var "buf") (int 0)); ret (int 0) ])
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_global () =
+    let mk bad_free =
+      with_test_func ~globals
+        ((if bad_free then [ expr (call "free" [ var "gbuf" ]) ] else [])
+        @ [ sink_print (idx (var "gbuf") (int 0)); ret (int 0) ])
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_interior () =
+    let mk interior =
+      with_test_func
+        [
+          decl (Tptr Tint) "p" ~init:(call "malloc" [ int n ]);
+          set_idx (var "p") (int 0) (int 1);
+          expr (call "free" [ (if interior then var "p" +: int 1 else var "p") ]);
+          print "done\n" [];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_addr_local () =
+    let mk bad_free =
+      with_test_func
+        ([ decl Tint "x" ~init:(int 3) ]
+        @ (if bad_free then [ expr (call "free" [ addr (var "x") ]) ] else [])
+        @ [ sink_print (var "x"); ret (int 0) ])
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_helper () =
+    let release = func Tvoid "release" ~params:[ (Tptr Tint, "q") ] [ expr (call "free" [ var "q" ]) ] in
+    let mk bad_free =
+      with_test_func ~helpers:[ release ]
+        [
+          decl_arr Tint "buf" n;
+          decl (Tptr Tint) "h" ~init:(call "malloc" [ int n ]);
+          set_idx (var "buf") (int 0) (int 4);
+          expr (call "release" [ (if bad_free then var "buf" else var "h") ]);
+          (if bad_free then expr (call "free" [ var "h" ]) else print "done\n" []);
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let bad, good, inputs =
+    match index mod 5 with
+    | 0 -> shape_stack ()
+    | 1 -> shape_global ()
+    | 2 -> shape_interior ()
+    | 3 -> shape_addr_local ()
+    | _ -> shape_helper ()
+  in
+  Testcase.make ~cwe:590 ~index ~inputs ~bad ~good ()

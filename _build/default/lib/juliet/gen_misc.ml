@@ -1,0 +1,244 @@
+(* Generators for CWE-369 (divide by zero) and CWE-476 (null pointer
+   dereference).
+
+   Divide-by-zero: a *live* integer division by zero traps identically in
+   every implementation, so CompDiff only detects the cases where an
+   optimizing build deletes the (dead) division an unoptimized build still
+   executes. Floating-point division by zero is well defined (inf) and
+   not checked by UBSan's default config -- those variants model the
+   paper's UBSan misses.
+
+   Null dereference: plain executed null dereferences trap everywhere;
+   divergence comes from (a) dead null loads deleted by DCE and (b) the
+   clangx-style rewrite of provably-null dereferences into a ud2-style
+   abort, which changes the crash kind. *)
+
+open Minic.Ast
+open Minic.Builder
+open Gen_common
+
+(* ---------- CWE-369: divide by zero ---------- *)
+
+let cwe369 ~index =
+  let rng = rng_for ~cwe:369 ~index in
+  let k = salt rng in
+  let opaque =
+    func Tint "opaque" ~params:[ (Tint, "x") ] [ ret (var "x") ]
+  in
+  (* divisor laundered through a call: invisible to the static tools,
+     identical at run time *)
+  let shape_live_div_opaque () =
+    let mk offset =
+      with_test_func ~helpers:[ opaque ]
+        [
+          decl Tint "z" ~init:(call "opaque" [ call "getchar" [] -: int offset ]);
+          sink_print (int (100 + k) /: var "z");
+          ret (int 0);
+        ]
+    in
+    (mk 65, mk 1, [ "A" ])
+  in
+  let shape_dead_div_opaque () =
+    let mk zero =
+      with_test_func ~helpers:[ opaque ]
+        [
+          decl Tint "z" ~init:(call "opaque" [ int (if zero then 0 else 3) ]);
+          sink_dead "t" (int (50 + k) /: var "z");
+          print "survived\n" [];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_live_div () =
+    let bad =
+      with_test_func
+        [
+          decl Tint "z" ~init:(call "getchar" [] -: int 65);
+          sink_print (int (100 + k) /: var "z");
+          ret (int 0);
+        ]
+    in
+    let good =
+      (* robust version: divisor forced strictly positive *)
+      with_test_func
+        [
+          decl Tint "z" ~init:(call "getchar" [] &: int 63 +: int 1);
+          sink_print (int (100 + k) /: var "z");
+          ret (int 0);
+        ]
+    in
+    (bad, good, [ "A" ])
+  in
+  let shape_live_mod () =
+    let mk offset =
+      with_test_func
+        [
+          decl Tint "z" ~init:(call "getchar" [] -: int offset);
+          sink_print (int (77 + k) %: var "z");
+          ret (int 0);
+        ]
+    in
+    (mk 65, mk 2, [ "A" ])
+  in
+  let shape_const_var () =
+    let mk zero =
+      with_test_func
+        [
+          decl Tint "z" ~init:(int (if zero then 0 else 5));
+          sink_print (int (30 + k) /: var "z");
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_dead_div () =
+    let mk zero =
+      with_test_func
+        [
+          decl Tint "z" ~init:(int (if zero then 0 else 3));
+          sink_dead "t" (int (50 + k) /: var "z");
+          print "survived\n" [];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_float_div () =
+    let mk zero =
+      with_test_func
+        [
+          decl Tdouble "d" ~init:(flt (if zero then 0.0 else 2.0));
+          sink_print (cast Tint (flt 10.0 /: var "d" +: flt 0.5));
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_float_div_input () =
+    let mk offset =
+      with_test_func
+        [
+          decl Tdouble "d" ~init:(cast Tdouble (call "getchar" [] -: int offset));
+          print "%f\n" [ flt 3.0 /: var "d" ];
+          ret (int 0);
+        ]
+    in
+    (mk 65, mk 1, [ "A" ])
+  in
+  let bad, good, inputs =
+    match index mod 10 with
+    | 0 -> shape_live_div ()
+    | 1 -> shape_live_mod ()
+    | 2 -> shape_const_var ()
+    | 3 -> shape_live_div_opaque ()
+    | 4 | 5 -> shape_dead_div ()
+    | 6 -> shape_dead_div_opaque ()
+    | 7 | 8 -> shape_float_div ()
+    | _ -> shape_float_div_input ()
+  in
+  Testcase.make ~cwe:369 ~index ~inputs ~bad ~good ()
+
+(* ---------- CWE-476: null pointer dereference ---------- *)
+
+let cwe476 ~index =
+  let rng = rng_for ~cwe:476 ~index in
+  let n = small_size rng in
+  let shape_const_null_read () =
+    (* provably null at compile time: clangx turns the load into a trap,
+       gccx segfaults -- the crash kinds diverge *)
+    let mk null =
+      with_test_func
+        [
+          decl_arr Tint "buf" n;
+          set_idx (var "buf") (int 0) (int 8);
+          decl (Tptr Tint) "p" ~init:(if null then null_ptr else var "buf");
+          sink_print (deref (var "p"));
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_const_null_write () =
+    let mk null =
+      with_test_func
+        [
+          decl_arr Tint "buf" n;
+          decl (Tptr Tint) "p" ~init:(if null then null_ptr else var "buf");
+          set_deref (var "p") (int 9);
+          print "wrote\n" [];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_dead_null_read () =
+    let mk null =
+      with_test_func
+        [
+          decl_arr Tint "buf" n;
+          set_idx (var "buf") (int 0) (int 1);
+          decl (Tptr Tint) "p" ~init:(if null then null_ptr else var "buf");
+          sink_dead "t" (deref (var "p"));
+          print "done\n" [];
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_helper_null () =
+    let fetch =
+      func Tint "fetch" ~params:[ (Tptr Tint, "q") ] [ ret (deref (var "q")) ]
+    in
+    let mk null =
+      with_test_func ~helpers:[ fetch ]
+        [
+          decl_arr Tint "buf" n;
+          set_idx (var "buf") (int 0) (int 3);
+          sink_print (call "fetch" [ (if null then null_ptr else var "buf") ]);
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_unchecked_malloc () =
+    (* allocation failure path: p is null only dynamically *)
+    let mk checked =
+      with_test_func
+        ([
+           decl (Tptr Tint) "p" ~init:(call "malloc" [ int 10000000 ]);
+         ]
+        @ (if checked then [ if_ (lnot (var "p")) [ ret (int 1) ] [] ] else [])
+        @ [
+            set_idx (var "p") (int 0) (int 4);
+            sink_print (idx (var "p") (int 0));
+            expr (call "free" [ var "p" ]);
+            ret (int 0);
+          ])
+    in
+    (mk false, mk true, [ "" ])
+  in
+  let shape_input_gated () =
+    let mk guarded =
+      with_test_func
+        ([
+           decl_arr Tint "buf" n;
+           set_idx (var "buf") (int 0) (int 2);
+           decl (Tptr Tint) "p" ~init:(var "buf");
+           if_ (call "getchar" [] ==: int 78) [ set "p" null_ptr ] [];
+         ]
+        @ (if guarded then [ if_ (lnot (var "p")) [ ret (int 1) ] [] ] else [])
+        @ [ sink_print (deref (var "p")); ret (int 0) ])
+    in
+    (mk false, mk true, [ "N"; "x" ])
+  in
+  let bad, good, inputs =
+    match index mod 8 with
+    | 0 | 5 -> shape_const_null_read ()
+    | 1 -> shape_const_null_write ()
+    | 2 | 6 -> shape_dead_null_read ()
+    | 3 -> shape_helper_null ()
+    | 4 -> shape_unchecked_malloc ()
+    | _ -> shape_input_gated ()
+  in
+  Testcase.make ~cwe:476 ~index ~inputs ~bad ~good ()

@@ -1,0 +1,89 @@
+(* Generator for CWE-469: using pointer subtraction to determine size.
+
+   Subtracting pointers into *different* objects is undefined; the result
+   under our implementations is the absolute address distance, which
+   depends entirely on the layout policy -- every variant diverges, no
+   sanitizer or (modeled) static tool has a check, matching Table 3's
+   0%/0%/.../100% row. *)
+
+open Minic.Ast
+open Minic.Builder
+open Gen_common
+
+let cwe469 ~index =
+  let rng = rng_for ~cwe:469 ~index in
+  let n = small_size rng in
+  let shape_two_globals () =
+    let globals = [ global_arr "a" Tint n; global_arr "b" Tint n ] in
+    let mk cross =
+      with_test_func ~globals
+        [
+          decl (Tptr Tint) "pa" ~init:(var "a");
+          decl (Tptr Tint) "pb" ~init:(if cross then var "b" else var "a" +: int n);
+          sink_print (var "pb" -: var "pa");
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_two_locals () =
+    let mk cross =
+      with_test_func
+        [
+          decl_arr Tint "x" n;
+          decl_arr Tint "y" n;
+          decl (Tptr Tint) "px" ~init:(var "x");
+          decl (Tptr Tint) "py" ~init:(if cross then var "y" else var "x" +: int 2);
+          decl Tint "size" ~init:(var "py" -: var "px");
+          sink_print (var "size");
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_heap_blocks () =
+    let mk cross =
+      with_test_func
+        [
+          decl (Tptr Tint) "p" ~init:(call "malloc" [ int n ]);
+          decl (Tptr Tint) "q" ~init:(call "malloc" [ int n ]);
+          decl Tint "dist"
+            ~init:((if cross then var "q" else var "p" +: int 1) -: var "p");
+          sink_print (var "dist");
+          expr (call "free" [ var "p" ]);
+          expr (call "free" [ var "q" ]);
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let shape_size_loop () =
+    (* the classic: iterate "end - start" elements where the pointers do
+       not share an object *)
+    let mk cross =
+      with_test_func
+        [
+          decl_arr Tint "src" n;
+          decl_arr Tint "other" 4;
+          decl (Tptr Tint) "start" ~init:(var "src");
+          decl (Tptr Tint) "fin"
+            ~init:(if cross then var "other" else var "src" +: int n);
+          decl Tint "count" ~init:(var "fin" -: var "start");
+          if_ (var "count" <: int 0) [ set "count" (int 0) ] [];
+          if_ (var "count" >: int 64) [ set "count" (int 64) ] [];
+          decl Tint "sum" ~init:(int 0);
+          for_up "i" (int 0) (var "count") [ set "sum" (var "sum" +: int 1) ];
+          sink_print (var "sum");
+          ret (int 0);
+        ]
+    in
+    (mk true, mk false, [ "" ])
+  in
+  let bad, good, inputs =
+    match index mod 4 with
+    | 0 -> shape_two_globals ()
+    | 1 -> shape_two_locals ()
+    | 2 -> shape_heap_blocks ()
+    | _ -> shape_size_loop ()
+  in
+  Testcase.make ~cwe:469 ~index ~inputs ~bad ~good ()

@@ -1,0 +1,238 @@
+(* Generators for CWE-457 (use of uninitialized variable) and CWE-665
+   (improper initialization).
+
+   This is the family where CompDiff shines in Table 3 (92% vs MSan's 7%):
+   most Juliet variants only *print* the uninitialized value, which MSan
+   deliberately does not flag (it reports decisions, not copies), while
+   the junk value itself differs between implementations (stack leftovers,
+   register-reuse patterns, layouts). The handful of branch-on-uninit
+   variants are the MSan-detectable slice. *)
+
+open Minic.Ast
+open Minic.Builder
+open Gen_common
+
+(* ---------- CWE-457: use of uninitialized variable ---------- *)
+
+let cwe457 ~index =
+  let rng = rng_for ~cwe:457 ~index in
+  let n = small_size rng in
+  let k = salt rng in
+  let shape_print_uninit () =
+    let mk init =
+      with_test_func
+        ([ decl Tint "x" ?init:(if init then Some (int k) else None) ]
+        @ [ sink_print (var "x"); ret (int 0) ])
+    in
+    (mk false, mk true, [ "" ])
+  in
+  let shape_print_uninit_slot () =
+    (* the address-taken variant stays in the stack frame at every level *)
+    let mk init =
+      with_test_func
+        [
+          decl Tint "x" ?init:(if init then Some (int k) else None);
+          decl (Tptr Tint) "px" ~init:(addr (var "x"));
+          sink_print (deref (var "px"));
+          ret (int 0);
+        ]
+    in
+    (mk false, mk true, [ "" ])
+  in
+  let shape_branch_uninit () =
+    (* MSan's detectable slice: the uninitialized value decides a branch *)
+    let mk init =
+      with_test_func
+        [
+          decl Tint "flag" ?init:(if init then Some (int 1) else None);
+          if_ (var "flag" >: int 0)
+            [ print "positive\n" [] ]
+            [ print "non-positive\n" [] ];
+          ret (int 0);
+        ]
+    in
+    (mk false, mk true, [ "" ])
+  in
+  let shape_heap_uninit () =
+    let mk init =
+      with_test_func
+        ([ decl (Tptr Tint) "p" ~init:(call "malloc" [ int n ]) ]
+        @ (if init then [ expr (call "memset" [ var "p"; int 0; int n ]) ] else [])
+        @ [
+            sink_print (idx (var "p") (int (n / 2)));
+            expr (call "free" [ var "p" ]);
+            ret (int 0);
+          ])
+    in
+    (mk false, mk true, [ "" ])
+  in
+  let shape_dead_uninit () =
+    let mk init =
+      with_test_func
+        [
+          decl Tint "x" ?init:(if init then Some (int 2) else None);
+          sink_dead "t" (var "x");
+          print "fin\n" [];
+          ret (int 0);
+        ]
+    in
+    (mk false, mk true, [ "" ])
+  in
+  let shape_conditional_init () =
+    (* the exiv2 shape (Listing 4): initialized only when input arrives *)
+    let mk always =
+      with_test_func
+        [
+          decl Tint "l" ?init:(if always then Some (int 0) else None);
+          decl Tint "c" ~init:(call "getchar" []);
+          if_ (var "c" >=: int 48) [ set "l" (var "c" -: int 48) ] [];
+          sink_print (var "l");
+          ret (int 0);
+        ]
+    in
+    (mk false, mk true, [ ""; "7" ])
+  in
+  let shape_arith_uninit () =
+    let mk init =
+      with_test_func
+        [
+          decl Tint "x" ?init:(if init then Some (int 1) else None);
+          decl Tint "y" ~init:(var "x" *: int 3 +: int k);
+          sink_print (var "y");
+          ret (int 0);
+        ]
+    in
+    (mk false, mk true, [ "" ])
+  in
+  let shape_partial_array () =
+    let mk full =
+      let bound = if full then n else n - 2 in
+      with_test_func
+        [
+          decl_arr Tint "buf" n;
+          for_up "i" (int 0) (int bound) [ set_idx (var "buf") (var "i") (int 5) ];
+          sink_print (idx (var "buf") (int (n - 1)));
+          ret (int 0);
+        ]
+    in
+    (mk false, mk true, [ "" ])
+  in
+  let shape_loop_init () =
+    (* good variant initializes inside a loop whose entry a join-based
+       analyzer cannot prove: static-tool FP fodder *)
+    let mk init_in_loop =
+      with_test_func
+        [
+          decl Tint "acc" ?init:(if init_in_loop then None else Some (int 0));
+          for_up "i" (int 0) (int 3)
+            [
+              (if init_in_loop then
+                 if_ (var "i" ==: int 0) [ set "acc" (int 0) ] []
+               else expr (int 0));
+              set "acc" (var "acc" +: var "i");
+            ];
+          sink_print (var "acc");
+          ret (int 0);
+        ]
+    in
+    (* bad: accumulator never initialized at all *)
+    let bad =
+      with_test_func
+        [
+          decl Tint "acc";
+          for_up "i" (int 0) (int 3) [ set "acc" (var "acc" +: var "i") ];
+          sink_print (var "acc");
+          ret (int 0);
+        ]
+    in
+    (bad, mk true, [ "" ])
+  in
+  let bad, good, inputs =
+    match index mod 10 with
+    | 0 | 4 -> shape_print_uninit ()
+    | 1 -> shape_print_uninit_slot ()
+    | 2 -> shape_branch_uninit ()
+    | 3 -> shape_heap_uninit ()
+    | 5 -> shape_dead_uninit ()
+    | 6 -> shape_conditional_init ()
+    | 7 -> shape_arith_uninit ()
+    | 8 -> shape_partial_array ()
+    | _ -> shape_loop_init ()
+  in
+  Testcase.make ~cwe:457 ~index ~inputs ~bad ~good ()
+
+(* ---------- CWE-665: improper initialization ---------- *)
+
+let cwe665 ~index =
+  let rng = rng_for ~cwe:665 ~index in
+  let n = max 6 (small_size rng) in
+  let shape_partial_memset () =
+    let mk full =
+      with_test_func
+        [
+          decl (Tptr Tint) "p" ~init:(call "malloc" [ int n ]);
+          expr (call "memset" [ var "p"; int 7; int (if full then n else n - 3) ]);
+          sink_print (idx (var "p") (int (n - 1)));
+          expr (call "free" [ var "p" ]);
+          ret (int 0);
+        ]
+    in
+    (mk false, mk true, [ "" ])
+  in
+  let shape_wrong_order () =
+    (* value consumed before the initializing call *)
+    let setup =
+      func Tvoid "setup" ~params:[ (Tptr Tint, "s") ] [ set_deref (var "s") (int 41) ]
+    in
+    let mk correct =
+      let use = sink_print (var "state") in
+      let init_call = expr (call "setup" [ addr (var "state") ]) in
+      with_test_func ~helpers:[ setup ]
+        ([ decl Tint "state" ]
+        @ (if correct then [ init_call; use ] else [ use; init_call ])
+        @ [ ret (int 0) ])
+    in
+    (mk false, mk true, [ "" ])
+  in
+  let shape_string_unterminated () =
+    let mk terminated =
+      with_test_func
+        [
+          decl_arr Tint "s" n;
+          set_idx (var "s") (int 0) (int 72);
+          set_idx (var "s") (int 1) (int 73);
+          (if terminated then set_idx (var "s") (int 2) (int 0)
+           else expr (int 0));
+          print "s=%s.\n" [ var "s" ];
+          ret (int 0);
+        ]
+    in
+    (mk false, mk true, [ "" ])
+  in
+  let shape_field_skipped () =
+    (* one "field" of a poor man's struct (array) left uninitialized *)
+    let mk full =
+      with_test_func
+        ([
+           decl_arr Tint "rec" 3;
+           set_idx (var "rec") (int 0) (int 1);
+           set_idx (var "rec") (int 1) (int 2);
+         ]
+        @ (if full then [ set_idx (var "rec") (int 2) (int 3) ] else [])
+        @ [
+            sink_print
+              (idx (var "rec") (int 0) +: idx (var "rec") (int 1)
+              +: idx (var "rec") (int 2));
+            ret (int 0);
+          ])
+    in
+    (mk false, mk true, [ "" ])
+  in
+  let bad, good, inputs =
+    match index mod 4 with
+    | 0 -> shape_partial_memset ()
+    | 1 -> shape_wrong_order ()
+    | 2 -> shape_string_unterminated ()
+    | _ -> shape_field_skipped ()
+  in
+  Testcase.make ~cwe:665 ~index ~inputs ~bad ~good ()

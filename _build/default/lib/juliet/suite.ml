@@ -1,0 +1,53 @@
+(* Suite assembly: the scaled Juliet-style benchmark. *)
+
+let generator_of_cwe (id : int) : index:int -> Testcase.t =
+  match id with
+  | 121 -> Gen_memory.cwe121
+  | 122 -> Gen_memory.cwe122
+  | 124 -> Gen_memory.cwe124
+  | 126 -> Gen_memory.cwe126
+  | 127 -> Gen_memory.cwe127
+  | 415 -> Gen_memory.cwe415
+  | 416 -> Gen_memory.cwe416
+  | 590 -> Gen_memory.cwe590
+  | 475 -> Gen_api.cwe475
+  | 588 -> Gen_api.cwe588
+  | 685 -> Gen_api.cwe685
+  | 758 -> Gen_api.cwe758
+  | 190 -> Gen_int.cwe190
+  | 191 -> Gen_int.cwe191
+  | 680 -> Gen_int.cwe680
+  | 369 -> Gen_misc.cwe369
+  | 476 -> Gen_misc.cwe476
+  | 457 -> Gen_uninit.cwe457
+  | 665 -> Gen_uninit.cwe665
+  | 469 -> Gen_ptrsub.cwe469
+  | _ -> invalid_arg (Printf.sprintf "Suite: unknown CWE %d" id)
+
+let generate_cwe ~(count : int) (id : int) : Testcase.t list =
+  let gen = generator_of_cwe id in
+  List.init count (fun index -> gen ~index)
+
+(* the full scaled suite (~1,500 tests) *)
+let full () : Testcase.t list =
+  List.concat_map
+    (fun (info : Cwe.info) -> generate_cwe ~count:(Cwe.scaled_count info) info.Cwe.id)
+    Cwe.all
+
+(* a smaller suite for unit tests and smoke runs *)
+let quick ?(per_cwe = 8) () : Testcase.t list =
+  List.concat_map
+    (fun (info : Cwe.info) ->
+      generate_cwe
+        ~count:(min per_cwe (Cwe.scaled_count info))
+        info.Cwe.id)
+    Cwe.all
+
+let count_by_cwe (tests : Testcase.t list) : (int * int) list =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (t : Testcase.t) ->
+      Hashtbl.replace tbl t.Testcase.cwe
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl t.Testcase.cwe)))
+    tests;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare

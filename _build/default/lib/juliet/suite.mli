@@ -1,0 +1,18 @@
+(** Assembly of the generated Juliet-style benchmark suite (Table 2).
+
+    Generation is deterministic: variant [i] of a CWE is a pure function
+    of [(cwe, i)], so the suite is identical across runs and machines. *)
+
+val generator_of_cwe : int -> index:int -> Testcase.t
+(** Generator for one CWE id (raises [Invalid_argument] on ids outside
+    Table 2's twenty). *)
+
+val generate_cwe : count:int -> int -> Testcase.t list
+
+val full : unit -> Testcase.t list
+(** The scaled suite: every CWE at [Cwe.scaled_count] (≈1,500 tests). *)
+
+val quick : ?per_cwe:int -> unit -> Testcase.t list
+(** A small slice for unit tests and smoke runs (default 8 per CWE). *)
+
+val count_by_cwe : Testcase.t list -> (int * int) list

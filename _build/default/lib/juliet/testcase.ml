@@ -1,0 +1,18 @@
+(* One generated benchmark test: a flawed ("bad") and a fixed ("good")
+   variant of the same program, plus the inputs on which dynamic tools are
+   exercised. Mirrors the structure of NIST Juliet test cases. *)
+
+type t = {
+  cwe : int;
+  index : int;
+  name : string;                (* e.g. "CWE121_v03" *)
+  bad : Minic.Ast.program;
+  good : Minic.Ast.program;
+  inputs : string list;         (* trigger inputs for dynamic analysis *)
+}
+
+let make ~cwe ~index ?(inputs = [ "" ]) ~bad ~good () =
+  { cwe; index; name = Printf.sprintf "CWE%d_v%02d" cwe index; bad; good; inputs }
+
+let frontend_bad (t : t) = Minic.frontend_exn t.bad
+let frontend_good (t : t) = Minic.frontend_exn t.good

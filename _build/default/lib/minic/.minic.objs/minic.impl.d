@@ -1,0 +1,1 @@
+lib/minic/minic.ml: Ast Builder Lexer Parser Pretty Tast Typecheck

@@ -1,0 +1,1 @@
+lib/minic/pretty.ml: Ast Buffer Float Format Int64 List String

@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Ast Char Format Hashtbl Int64 List Option Pretty Printf String Tast

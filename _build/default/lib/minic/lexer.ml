@@ -1,0 +1,268 @@
+(* Hand-written lexer for MiniC source text. *)
+
+type token =
+  | INT of int64
+  | LONGLIT of int64
+  | FLOAT of float
+  | STR of string
+  | IDENT of string
+  | KW of string           (* int long double void if else while for return
+                              break continue static print *)
+  | LINEKW                 (* __LINE__ *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACK | RBRACK
+  | SEMI | COMMA | QUESTION | COLON
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | SHL | SHR
+  | LT | LE | GT | GE | EQEQ | NEQ
+  | ANDAND | OROR
+  | ASSIGN
+  | PLUSEQ | MINUSEQ | STAREQ
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+type spanned = { tok : token; tline : int }
+
+exception Error of string * int
+
+let keywords =
+  [ "int"; "long"; "double"; "void"; "if"; "else"; "while"; "for";
+    "return"; "break"; "continue"; "static"; "print" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+type state = { src : string; mutable pos : int; mutable line : int }
+
+let peek_char st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek_char st with Some '\n' -> st.line <- st.line + 1 | _ -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_ws_and_comments st =
+  match peek_char st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+    while peek_char st <> None && peek_char st <> Some '\n' do
+      advance st
+    done;
+    skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+    advance st;
+    advance st;
+    let rec loop () =
+      match peek_char st with
+      | None -> raise (Error ("unterminated comment", st.line))
+      | Some '*' when peek2 st = Some '/' ->
+        advance st;
+        advance st
+      | Some _ ->
+        advance st;
+        loop ()
+    in
+    loop ();
+    skip_ws_and_comments st
+  | Some _ | None -> ()
+
+let int64_of_literal st text =
+  (* out-of-range literals are a lex error, not a crash *)
+  match Int64.of_string_opt text with
+  | Some v -> v
+  | None -> raise (Error (Printf.sprintf "integer literal %s out of range" text, st.line))
+
+let lex_number st =
+  let start = st.pos in
+  let hex =
+    peek_char st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X')
+  in
+  if hex then begin
+    advance st;
+    advance st;
+    let digits = ref 0 in
+    while (match peek_char st with Some c -> is_hex c | None -> false) do
+      incr digits;
+      advance st
+    done;
+    if !digits = 0 then raise (Error ("hexadecimal literal without digits", st.line));
+    let text = String.sub st.src start (st.pos - start) in
+    let v = int64_of_literal st text in
+    if peek_char st = Some 'L' then begin
+      advance st;
+      LONGLIT v
+    end
+    else INT v
+  end
+  else begin
+    while (match peek_char st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    let is_float =
+      peek_char st = Some '.'
+      && (match peek2 st with Some c -> is_digit c | None -> false)
+    in
+    if is_float then begin
+      advance st;
+      while (match peek_char st with Some c -> is_digit c | None -> false) do
+        advance st
+      done;
+      let text = String.sub st.src start (st.pos - start) in
+      FLOAT (float_of_string text)
+    end
+    else begin
+      let text = String.sub st.src start (st.pos - start) in
+      let v = int64_of_literal st text in
+      if peek_char st = Some 'L' then begin
+        advance st;
+        LONGLIT v
+      end
+      else INT v
+    end
+  end
+
+let lex_escape st =
+  match peek_char st with
+  | Some 'n' -> advance st; '\n'
+  | Some 't' -> advance st; '\t'
+  | Some 'r' -> advance st; '\r'
+  | Some '0' -> advance st; '\000'
+  | Some '\\' -> advance st; '\\'
+  | Some '\'' -> advance st; '\''
+  | Some '"' -> advance st; '"'
+  | Some c -> raise (Error (Printf.sprintf "bad escape '\\%c'" c, st.line))
+  | None -> raise (Error ("unterminated escape", st.line))
+
+let lex_string st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek_char st with
+    | None -> raise (Error ("unterminated string literal", st.line))
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      Buffer.add_char buf (lex_escape st);
+      loop ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ();
+  STR (Buffer.contents buf)
+
+let lex_char st =
+  advance st;
+  let c =
+    match peek_char st with
+    | Some '\\' ->
+      advance st;
+      lex_escape st
+    | Some c ->
+      advance st;
+      c
+    | None -> raise (Error ("unterminated char literal", st.line))
+  in
+  (match peek_char st with
+  | Some '\'' -> advance st
+  | _ -> raise (Error ("unterminated char literal", st.line)));
+  INT (Int64.of_int (Char.code c))
+
+let next_token st =
+  skip_ws_and_comments st;
+  let line = st.line in
+  let mk tok = { tok; tline = line } in
+  match peek_char st with
+  | None -> mk EOF
+  | Some c when is_digit c -> mk (lex_number st)
+  | Some '"' -> mk (lex_string st)
+  | Some '\'' -> mk (lex_char st)
+  | Some c when is_ident_start c ->
+    let start = st.pos in
+    while (match peek_char st with Some c -> is_ident_char c | None -> false) do
+      advance st
+    done;
+    let text = String.sub st.src start (st.pos - start) in
+    if text = "__LINE__" then mk LINEKW
+    else if List.mem text keywords then mk (KW text)
+    else mk (IDENT text)
+  | Some c ->
+    advance st;
+    let two expect a b = if peek_char st = Some expect then (advance st; a) else b in
+    let tok =
+      match c with
+      | '(' -> LPAREN
+      | ')' -> RPAREN
+      | '{' -> LBRACE
+      | '}' -> RBRACE
+      | '[' -> LBRACK
+      | ']' -> RBRACK
+      | ';' -> SEMI
+      | ',' -> COMMA
+      | '?' -> QUESTION
+      | ':' -> COLON
+      | '~' -> TILDE
+      | '^' -> CARET
+      | '%' -> PERCENT
+      | '+' ->
+        (match peek_char st with
+        | Some '+' -> advance st; PLUSPLUS
+        | Some '=' -> advance st; PLUSEQ
+        | _ -> PLUS)
+      | '-' ->
+        (match peek_char st with
+        | Some '-' -> advance st; MINUSMINUS
+        | Some '=' -> advance st; MINUSEQ
+        | _ -> MINUS)
+      | '*' -> two '=' STAREQ STAR
+      | '/' -> SLASH
+      | '&' -> two '&' ANDAND AMP
+      | '|' -> two '|' OROR PIPE
+      | '!' -> two '=' NEQ BANG
+      | '=' -> two '=' EQEQ ASSIGN
+      | '<' ->
+        (match peek_char st with
+        | Some '<' -> advance st; SHL
+        | Some '=' -> advance st; LE
+        | _ -> LT)
+      | '>' ->
+        (match peek_char st with
+        | Some '>' -> advance st; SHR
+        | Some '=' -> advance st; GE
+        | _ -> GT)
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c, line))
+    in
+    mk tok
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1 } in
+  let rec loop acc =
+    let t = next_token st in
+    if t.tok = EOF then List.rev (t :: acc) else loop (t :: acc)
+  in
+  loop []
+
+let token_to_string = function
+  | INT v -> Printf.sprintf "int(%Ld)" v
+  | LONGLIT v -> Printf.sprintf "long(%Ld)" v
+  | FLOAT f -> Printf.sprintf "float(%g)" f
+  | STR s -> Printf.sprintf "str(%S)" s
+  | IDENT s -> Printf.sprintf "ident(%s)" s
+  | KW s -> Printf.sprintf "kw(%s)" s
+  | LINEKW -> "__LINE__"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACK -> "[" | RBRACK -> "]" | SEMI -> ";" | COMMA -> ","
+  | QUESTION -> "?" | COLON -> ":" | PLUS -> "+" | MINUS -> "-"
+  | STAR -> "*" | SLASH -> "/" | PERCENT -> "%" | AMP -> "&"
+  | PIPE -> "|" | CARET -> "^" | TILDE -> "~" | BANG -> "!"
+  | SHL -> "<<" | SHR -> ">>" | LT -> "<" | LE -> "<=" | GT -> ">"
+  | GE -> ">=" | EQEQ -> "==" | NEQ -> "!=" | ANDAND -> "&&"
+  | OROR -> "||" | ASSIGN -> "=" | PLUSEQ -> "+=" | MINUSEQ -> "-="
+  | STAREQ -> "*=" | PLUSPLUS -> "++" | MINUSMINUS -> "--" | EOF -> "<eof>"

@@ -1,0 +1,21 @@
+(* Umbrella module re-exporting the MiniC front end.
+
+   [Minic.Ast] / [Minic.Parser] / [Minic.Typecheck] etc. are the names the
+   rest of the system uses; the individual modules stay separate files to
+   keep each phase small. *)
+
+module Ast = Ast
+module Lexer = Lexer
+module Parser = Parser
+module Pretty = Pretty
+module Tast = Tast
+module Typecheck = Typecheck
+module Builder = Builder
+
+(* Parse and type-check in one step. *)
+let frontend_of_source src =
+  match Parser.parse_program_result src with
+  | Error _ as e -> e
+  | Ok ast -> Typecheck.check_program_result ast
+
+let frontend_exn ast = Typecheck.check_program ast

@@ -1,0 +1,163 @@
+(* Pretty-printer: renders an AST back to MiniC concrete syntax.
+
+   Used to dump generated Juliet-style programs for inspection and by the
+   parser round-trip property tests ([parse (print p)] preserves meaning). *)
+
+open Ast
+
+let prec_of_binop = function
+  | Mul | Div | Mod -> 9
+  | Add | Sub -> 8
+  | Shl | Shr -> 7
+  | Lt | Le | Gt | Ge -> 6
+  | Eq | Ne -> 5
+  | Band -> 4
+  | Bxor -> 3
+  | Bor -> 2
+  | Land -> 1
+  | Lor -> 0
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Eq -> "==" | Ne -> "!="
+  | Band -> "&" | Bor -> "|" | Bxor -> "^"
+  | Land -> "&&" | Lor -> "||"
+
+let unop_str = function Neg -> "-" | Lnot -> "!" | Bnot -> "~"
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\000' -> Buffer.add_string buf "\\0"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* [ctx] is the precedence of the surrounding operator; parentheses are
+   emitted when the child binds less tightly. *)
+let rec pp_expr_prec ctx ppf e =
+  match e.e with
+  | EInt v -> Format.fprintf ppf "%Ld" v
+  | ELong v -> Format.fprintf ppf "%LdL" v
+  | EFloat f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Format.fprintf ppf "%.1f" f
+    else Format.fprintf ppf "%.17g" f
+  | EStr s -> Format.fprintf ppf "\"%s\"" (escape_string s)
+  | EVar v -> Format.pp_print_string ppf v
+  | ELine -> Format.pp_print_string ppf "__LINE__"
+  | EUnop (op, a) -> Format.fprintf ppf "%s%a" (unop_str op) (pp_expr_prec 10) a
+  | EBinop (op, a, b) ->
+    let p = prec_of_binop op in
+    let body ppf () =
+      Format.fprintf ppf "%a %s %a" (pp_expr_prec p) a (binop_str op)
+        (pp_expr_prec (p + 1)) b
+    in
+    if p < ctx then Format.fprintf ppf "(%a)" body () else body ppf ()
+  | ECall (f, args) ->
+    Format.fprintf ppf "%s(%a)" f
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (pp_expr_prec 0))
+      args
+  | EIndex (a, i) ->
+    Format.fprintf ppf "%a[%a]" (pp_expr_prec 10) a (pp_expr_prec 0) i
+  | EDeref a -> Format.fprintf ppf "*%a" (pp_expr_prec 10) a
+  | EAddr a -> Format.fprintf ppf "&%a" (pp_expr_prec 10) a
+  | EAssign (l, r) ->
+    let body ppf () =
+      Format.fprintf ppf "%a = %a" (pp_expr_prec 10) l (pp_expr_prec 0) r
+    in
+    if ctx > 0 then Format.fprintf ppf "(%a)" body () else body ppf ()
+  | ECast (t, a) -> Format.fprintf ppf "(%a) %a" pp_typ t (pp_expr_prec 10) a
+  | ECond (c, t, f) ->
+    Format.fprintf ppf "(%a ? %a : %a)" (pp_expr_prec 1) c (pp_expr_prec 0) t
+      (pp_expr_prec 0) f
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let rec base_and_array = function
+  | Tarr (t, n) ->
+    let base, dims = base_and_array t in
+    (base, n :: dims)
+  | t -> (t, [])
+
+let pp_decl_head ppf (t, name) =
+  let base, dims = base_and_array t in
+  Format.fprintf ppf "%a %s" pp_typ base name;
+  List.iter (fun n -> Format.fprintf ppf "[%d]" n) dims
+
+let rec pp_stmt indent ppf st =
+  let pad = String.make indent ' ' in
+  match st.s with
+  | SExpr e -> Format.fprintf ppf "%s%a;" pad pp_expr e
+  | SDecl d ->
+    Format.fprintf ppf "%s%s%a" pad
+      (if d.dstatic then "static " else "")
+      pp_decl_head (d.dtyp, d.dname);
+    (match d.dinit with
+    | Some e -> Format.fprintf ppf " = %a;" pp_expr e
+    | None -> Format.fprintf ppf ";")
+  | SIf (c, t, []) ->
+    Format.fprintf ppf "%sif (%a) {\n%a\n%s}" pad pp_expr c (pp_block (indent + 2)) t pad
+  | SIf (c, t, f) ->
+    Format.fprintf ppf "%sif (%a) {\n%a\n%s} else {\n%a\n%s}" pad pp_expr c
+      (pp_block (indent + 2)) t pad (pp_block (indent + 2)) f pad
+  | SWhile (c, b) ->
+    Format.fprintf ppf "%swhile (%a) {\n%a\n%s}" pad pp_expr c (pp_block (indent + 2)) b pad
+  | SReturn None -> Format.fprintf ppf "%sreturn;" pad
+  | SReturn (Some e) -> Format.fprintf ppf "%sreturn %a;" pad pp_expr e
+  | SBreak -> Format.fprintf ppf "%sbreak;" pad
+  | SContinue -> Format.fprintf ppf "%scontinue;" pad
+  | SPrint (fmt, []) -> Format.fprintf ppf "%sprint(\"%s\");" pad (escape_string fmt)
+  | SPrint (fmt, args) ->
+    Format.fprintf ppf "%sprint(\"%s\", %a);" pad (escape_string fmt)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_expr)
+      args
+  | SBlock b -> Format.fprintf ppf "%s{\n%a\n%s}" pad (pp_block (indent + 2)) b pad
+
+and pp_block indent ppf stmts =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "\n")
+    (pp_stmt indent) ppf stmts
+
+let pp_func ppf f =
+  let pp_params ppf = function
+    | [] -> Format.pp_print_string ppf "void"
+    | ps ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+        (fun ppf (t, n) -> pp_decl_head ppf (t, n))
+        ppf ps
+  in
+  Format.fprintf ppf "%a %s(%a) {\n%a\n}" pp_typ f.fret f.fname pp_params f.params
+    (pp_block 2) f.body
+
+let pp_global ppf g =
+  pp_decl_head ppf (g.gtyp, g.gname);
+  match g.ginit with
+  | [] -> Format.fprintf ppf ";"
+  | [ v ] -> Format.fprintf ppf " = %Ld;" v
+  | vs ->
+    Format.fprintf ppf " = {%s};" (String.concat ", " (List.map Int64.to_string vs))
+
+let pp_program ppf p =
+  List.iter (fun g -> Format.fprintf ppf "%a\n" pp_global g) p.globals;
+  if p.globals <> [] then Format.pp_print_newline ppf ();
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "\n\n")
+    pp_func ppf p.funcs
+
+let program_to_string p = Format.asprintf "%a\n" pp_program p
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let stmt_to_string s = Format.asprintf "%a" (pp_stmt 0) s

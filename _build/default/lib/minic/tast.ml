@@ -1,0 +1,61 @@
+(* Typed abstract syntax, the output of {!Typecheck} and the input of the
+   compiler's lowering phase.
+
+   Differences from {!Ast}:
+   - every expression carries its static type;
+   - implicit conversions are explicit [TCast] nodes;
+   - array-to-pointer decay is an explicit [TDecay] node;
+   - string literals and [static] locals have been hoisted to globals, so
+     the body only ever refers to [Vglobal] or [Vlocal] variables. *)
+
+type vkind = Vglobal | Vlocal
+
+type texpr = { te : tdesc; tty : Ast.typ; tloc : Ast.loc }
+
+and tdesc =
+  | TConstI of int64                 (* typed Tint or Tlong constant *)
+  | TConstF of float
+  | TStr of string                   (* name of the hoisted string global *)
+  | TVar of vkind * string
+  | TLine
+  | TUnop of Ast.unop * texpr
+  | TBinop of Ast.binop * texpr * texpr
+  | TCall of string * texpr list
+  | TIndex of texpr * texpr          (* pointer/array element access *)
+  | TDeref of texpr
+  | TAddr of texpr
+  | TAssign of texpr * texpr
+  | TCast of Ast.typ * texpr
+  | TDecay of texpr                  (* array value used as a pointer *)
+  | TCond of texpr * texpr * texpr
+
+type tstmt = { ts : tsdesc; tsloc : Ast.loc }
+
+and tsdesc =
+  | TSExpr of texpr
+  | TSDecl of Ast.typ * string * texpr option (* non-static local *)
+  | TSIf of texpr * tblock * tblock
+  | TSWhile of texpr * tblock
+  | TSReturn of texpr option
+  | TSBreak
+  | TSContinue
+  | TSPrint of string * texpr list
+  | TSBlock of tblock
+
+and tblock = tstmt list
+
+type tfunc = {
+  tfname : string;
+  tparams : (Ast.typ * string) list;
+  tfret : Ast.typ;
+  tbody : tblock;
+}
+
+type tprogram = { tglobals : Ast.global list; tfuncs : tfunc list }
+
+let rec is_lvalue e =
+  match e.te with
+  | TVar _ | TIndex _ | TDeref _ -> true
+  | TCast (_, inner) -> is_lvalue inner
+  | TConstI _ | TConstF _ | TStr _ | TLine | TUnop _ | TBinop _ | TCall _
+  | TAddr _ | TAssign _ | TDecay _ | TCond _ -> false

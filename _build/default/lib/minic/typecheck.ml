@@ -1,0 +1,454 @@
+(* Type checker and elaborator: {!Ast.program} -> {!Tast.tprogram}.
+
+   Besides checking, this pass performs the front-end desugarings every
+   compiler implementation must agree on (so that divergence can only come
+   from the back end): usual arithmetic conversions, array decay, hoisting
+   of string literals and [static] locals to globals, and alpha-renaming of
+   shadowed locals so that every local name is unique within a function. *)
+
+open Ast
+
+exception Type_error of string * loc
+
+let err loc fmt = Format.kasprintf (fun msg -> raise (Type_error (msg, loc))) fmt
+
+(* A scope entry either names a true local or aliases a hoisted global
+   (static locals). Both carry the resolved (unique) name. *)
+type entry =
+  | Slocal of string * typ
+  | Sglobal_alias of string * typ
+
+type env = {
+  globals : (string, typ) Hashtbl.t;
+  funcs : (string, typ list * typ) Hashtbl.t;
+  mutable scopes : (string * entry) list list; (* innermost first *)
+  mutable local_names : (string, int) Hashtbl.t; (* per-function rename counts *)
+  mutable hoisted : global list;                 (* reversed *)
+  strings : (string, string) Hashtbl.t;          (* literal -> global name *)
+  mutable counter : int;
+  mutable fname : string;
+}
+
+let fresh env prefix =
+  env.counter <- env.counter + 1;
+  Printf.sprintf "%s$%s$%d" prefix env.fname env.counter
+
+(* Unique local name within the current function. *)
+let unique_local env name =
+  match Hashtbl.find_opt env.local_names name with
+  | None ->
+    Hashtbl.add env.local_names name 1;
+    name
+  | Some k ->
+    Hashtbl.replace env.local_names name (k + 1);
+    Printf.sprintf "%s@%d" name k
+
+let lookup_var env name =
+  let rec in_scopes = function
+    | [] -> None
+    | scope :: rest ->
+      (match List.assoc_opt name scope with
+      | Some (Slocal (resolved, t)) -> Some (Tast.Vlocal, resolved, t)
+      | Some (Sglobal_alias (resolved, t)) -> Some (Tast.Vglobal, resolved, t)
+      | None -> in_scopes rest)
+  in
+  match in_scopes env.scopes with
+  | Some r -> Some r
+  | None ->
+    (match Hashtbl.find_opt env.globals name with
+    | Some t -> Some (Tast.Vglobal, name, t)
+    | None -> None)
+
+let add_scope_entry env name entry =
+  match env.scopes with
+  | scope :: rest -> env.scopes <- ((name, entry) :: scope) :: rest
+  | [] -> assert false
+
+let is_integer = function Tint | Tlong -> true | _ -> false
+let is_numeric = function Tint | Tlong | Tdouble -> true | _ -> false
+let is_scalar = function Tint | Tlong | Tdouble | Tptr _ -> true | _ -> false
+
+let mk te tty tloc = { Tast.te; tty; tloc }
+
+(* Insert a conversion from [e.tty] to [want]; identity when equal. *)
+let rec convert ?(explicit = false) want (e : Tast.texpr) =
+  let have = e.Tast.tty in
+  if equal_typ have want then e
+  else
+    match (have, want) with
+    | Tarr (t, _), Tptr t' when equal_typ t t' ->
+      mk (Tast.TDecay e) want e.Tast.tloc
+    | Tarr (t, _), Tptr _ ->
+      let decayed = mk (Tast.TDecay e) (Tptr t) e.Tast.tloc in
+      convert ~explicit want decayed
+    | (Tint | Tlong | Tdouble), (Tint | Tlong | Tdouble) ->
+      mk (Tast.TCast (want, e)) want e.Tast.tloc
+    | Tptr _, Tptr _ -> mk (Tast.TCast (want, e)) want e.Tast.tloc
+    | Tptr _, (Tint | Tlong) when explicit ->
+      mk (Tast.TCast (want, e)) want e.Tast.tloc
+    | (Tint | Tlong), Tptr _ when explicit ->
+      mk (Tast.TCast (want, e)) want e.Tast.tloc
+    | _ ->
+      err e.Tast.tloc "cannot convert %s to %s" (typ_to_string have)
+        (typ_to_string want)
+
+(* Usual arithmetic conversions: double > long > int. *)
+let arith_join loc a b =
+  match (a, b) with
+  | Tdouble, t when is_numeric t -> Tdouble
+  | t, Tdouble when is_numeric t -> Tdouble
+  | Tlong, t when is_integer t -> Tlong
+  | t, Tlong when is_integer t -> Tlong
+  | Tint, Tint -> Tint
+  | _ -> err loc "invalid operand types %s and %s" (typ_to_string a) (typ_to_string b)
+
+let decay_if_array (e : Tast.texpr) =
+  match e.Tast.tty with
+  | Tarr (t, _) -> mk (Tast.TDecay e) (Tptr t) e.Tast.tloc
+  | _ -> e
+
+(* Constant evaluation for static initializers. *)
+let rec const_eval (e : expr) : int64 option =
+  match e.e with
+  | EInt v | ELong v -> Some v
+  | EUnop (Neg, a) -> Option.map Int64.neg (const_eval a)
+  | EUnop (Bnot, a) -> Option.map Int64.lognot (const_eval a)
+  | EBinop (Add, a, b) -> const_map2 Int64.add a b
+  | EBinop (Sub, a, b) -> const_map2 Int64.sub a b
+  | EBinop (Mul, a, b) -> const_map2 Int64.mul a b
+  | _ -> None
+
+and const_map2 f a b =
+  match (const_eval a, const_eval b) with
+  | Some x, Some y -> Some (f x y)
+  | _ -> None
+
+let rec check_expr env (e : expr) : Tast.texpr =
+  let loc = e.eloc in
+  match e.e with
+  | EInt v -> mk (Tast.TConstI v) Tint loc
+  | ELong v -> mk (Tast.TConstI v) Tlong loc
+  | EFloat f -> mk (Tast.TConstF f) Tdouble loc
+  | ELine -> mk Tast.TLine Tint loc
+  | EStr s ->
+    let name =
+      match Hashtbl.find_opt env.strings s with
+      | Some n -> n
+      | None ->
+        let n = fresh env "str" in
+        Hashtbl.add env.strings s n;
+        let cells =
+          List.init (String.length s + 1) (fun i ->
+              if i < String.length s then Int64.of_int (Char.code s.[i]) else 0L)
+        in
+        env.hoisted <-
+          { gname = n; gtyp = Tarr (Tint, String.length s + 1); ginit = cells }
+          :: env.hoisted;
+        n
+    in
+    mk (Tast.TStr name) (Tptr Tint) loc
+  | EVar name ->
+    (match lookup_var env name with
+    | Some (kind, resolved, t) -> mk (Tast.TVar (kind, resolved)) t loc
+    | None -> err loc "unbound variable %s" name)
+  | EUnop (Lnot, a) ->
+    let ta = decay_if_array (check_expr env a) in
+    if not (is_scalar ta.Tast.tty) then err loc "! requires a scalar operand";
+    mk (Tast.TUnop (Lnot, ta)) Tint loc
+  | EUnop (op, a) ->
+    let ta = check_expr env a in
+    let t = ta.Tast.tty in
+    (match op with
+    | Neg when is_numeric t -> mk (Tast.TUnop (Neg, ta)) t loc
+    | Bnot when is_integer t -> mk (Tast.TUnop (Bnot, ta)) t loc
+    | Neg | Bnot -> err loc "invalid operand type %s" (typ_to_string t)
+    | Lnot -> assert false)
+  | EBinop ((Land | Lor) as op, a, b) ->
+    let ta = decay_if_array (check_expr env a) in
+    let tb = decay_if_array (check_expr env b) in
+    if not (is_scalar ta.Tast.tty && is_scalar tb.Tast.tty) then
+      err loc "logical operators require scalar operands";
+    mk (Tast.TBinop (op, ta, tb)) Tint loc
+  | EBinop (op, a, b) -> check_binop env loc op a b
+  | ECall (name, args) ->
+    let param_tys, ret =
+      match Hashtbl.find_opt env.funcs name with
+      | Some s -> s
+      | None ->
+        (match builtin_sig name with
+        | Some s -> s
+        | None -> err loc "unknown function %s" name)
+    in
+    if List.length args <> List.length param_tys then
+      err loc "%s expects %d arguments, got %d" name (List.length param_tys)
+        (List.length args);
+    let targs =
+      List.map2
+        (fun want arg ->
+          let ta = check_expr env arg in
+          match (want, ta.Tast.tty) with
+          | Tptr _, (Tptr _ | Tarr _) ->
+            (* builtins such as free/memcpy accept any pointer type *)
+            let p = decay_if_array ta in
+            if equal_typ p.Tast.tty want then p
+            else mk (Tast.TCast (want, p)) want p.Tast.tloc
+          | _ -> convert want ta)
+        param_tys args
+    in
+    mk (Tast.TCall (name, targs)) ret loc
+  | EIndex (a, i) ->
+    let ta = decay_if_array (check_expr env a) in
+    let ti = check_expr env i in
+    let elem =
+      match ta.Tast.tty with
+      | Tptr t -> t
+      | t -> err loc "cannot index a value of type %s" (typ_to_string t)
+    in
+    if not (is_integer ti.Tast.tty) then err loc "array index must be an integer";
+    mk (Tast.TIndex (ta, convert Tint ti)) elem loc
+  | EDeref a ->
+    let ta = decay_if_array (check_expr env a) in
+    (match ta.Tast.tty with
+    | Tptr t -> mk (Tast.TDeref ta) t loc
+    | t -> err loc "cannot dereference a value of type %s" (typ_to_string t))
+  | EAddr a ->
+    let ta = check_expr env a in
+    if not (Tast.is_lvalue ta) then err loc "& requires an lvalue";
+    (match ta.Tast.tty with
+    | Tarr (t, _) -> mk (Tast.TAddr ta) (Tptr t) loc
+    | t -> mk (Tast.TAddr ta) (Tptr t) loc)
+  | EAssign (l, r) ->
+    let tl = check_expr env l in
+    if not (Tast.is_lvalue tl) then err loc "assignment target is not an lvalue";
+    (match tl.Tast.tty with
+    | Tarr _ -> err loc "cannot assign to an array"
+    | _ -> ());
+    let tr = convert tl.Tast.tty (check_expr env r) in
+    mk (Tast.TAssign (tl, tr)) tl.Tast.tty loc
+  | ECast (t, a) ->
+    let ta = decay_if_array (check_expr env a) in
+    (convert ~explicit:true t ta : Tast.texpr)
+  | ECond (c, t, f) ->
+    let tc = decay_if_array (check_expr env c) in
+    if not (is_scalar tc.Tast.tty) then err loc "condition must be scalar";
+    let tt = decay_if_array (check_expr env t) in
+    let tf = decay_if_array (check_expr env f) in
+    let join =
+      if equal_typ tt.Tast.tty tf.Tast.tty then tt.Tast.tty
+      else if is_numeric tt.Tast.tty && is_numeric tf.Tast.tty then
+        arith_join loc tt.Tast.tty tf.Tast.tty
+      else err loc "branches of ?: have incompatible types"
+    in
+    mk (Tast.TCond (tc, convert join tt, convert join tf)) join loc
+
+and check_binop env loc op a b =
+  let ta = decay_if_array (check_expr env a) in
+  let tb = decay_if_array (check_expr env b) in
+  let tya = ta.Tast.tty and tyb = tb.Tast.tty in
+  let comparison = match op with Lt | Le | Gt | Ge | Eq | Ne -> true | _ -> false in
+  match (op, tya, tyb) with
+  | Add, Tptr _, (Tint | Tlong) ->
+    mk (Tast.TBinop (Add, ta, convert Tint tb)) tya loc
+  | Add, (Tint | Tlong), Tptr _ ->
+    mk (Tast.TBinop (Add, tb, convert Tint ta)) tyb loc
+  | Sub, Tptr _, (Tint | Tlong) ->
+    mk (Tast.TBinop (Sub, ta, convert Tint tb)) tya loc
+  | Sub, Tptr _, Tptr _ -> mk (Tast.TBinop (Sub, ta, tb)) Tint loc
+  | (Lt | Le | Gt | Ge | Eq | Ne), Tptr _, Tptr _ ->
+    (* cross-object relational comparison is the UB of Listing 2; the
+       checker, like a C compiler, accepts it *)
+    mk (Tast.TBinop (op, ta, tb)) Tint loc
+  | (Eq | Ne), Tptr _, (Tint | Tlong) ->
+    mk (Tast.TBinop (op, ta, convert ~explicit:true tya tb)) Tint loc
+  | (Eq | Ne), (Tint | Tlong), Tptr _ ->
+    mk (Tast.TBinop (op, convert ~explicit:true tyb ta, tb)) Tint loc
+  | (Shl | Shr), t, t' when is_integer t && is_integer t' ->
+    mk (Tast.TBinop (op, ta, convert Tint tb)) t loc
+  | (Band | Bor | Bxor | Mod), t, t' when is_integer t && is_integer t' ->
+    let j = arith_join loc t t' in
+    mk (Tast.TBinop (op, convert j ta, convert j tb)) j loc
+  | (Add | Sub | Mul | Div), t, t' when is_numeric t && is_numeric t' ->
+    let j = arith_join loc t t' in
+    mk (Tast.TBinop (op, convert j ta, convert j tb)) j loc
+  | _, t, t' when comparison && is_numeric t && is_numeric t' ->
+    let j = arith_join loc t t' in
+    mk (Tast.TBinop (op, convert j ta, convert j tb)) Tint loc
+  | _ ->
+    err loc "invalid operands to %s: %s and %s" (Pretty.binop_str op)
+      (typ_to_string tya) (typ_to_string tyb)
+
+(* --- print format string checking --- *)
+
+type fmt_spec = Fd | Fld | Fu | Fx | Fc | Fs | Ff | Fp
+
+let parse_fmt loc fmt =
+  let specs = ref [] in
+  let i = ref 0 in
+  let n = String.length fmt in
+  while !i < n do
+    if fmt.[!i] = '%' && !i + 1 < n then begin
+      (match fmt.[!i + 1] with
+      | 'd' -> specs := Fd :: !specs
+      | 'u' -> specs := Fu :: !specs
+      | 'x' -> specs := Fx :: !specs
+      | 'c' -> specs := Fc :: !specs
+      | 's' -> specs := Fs :: !specs
+      | 'f' -> specs := Ff :: !specs
+      | 'p' -> specs := Fp :: !specs
+      | 'l' ->
+        if !i + 2 < n && fmt.[!i + 2] = 'd' then begin
+          specs := Fld :: !specs;
+          incr i
+        end
+        else err loc "bad format specifier %%l"
+      | '%' -> ()
+      | c -> err loc "bad format specifier %%%c" c);
+      i := !i + 2
+    end
+    else incr i
+  done;
+  List.rev !specs
+
+let check_print env loc fmt args =
+  let specs = parse_fmt loc fmt in
+  if List.length specs <> List.length args then
+    err loc "print format expects %d arguments, got %d" (List.length specs)
+      (List.length args);
+  List.map2
+    (fun spec arg ->
+      let ta = decay_if_array (check_expr env arg) in
+      match (spec, ta.Tast.tty) with
+      | (Fd | Fu | Fx | Fc), Tint -> ta
+      | (Fd | Fu | Fx | Fc), Tlong -> convert Tint ta
+      | Fld, (Tint | Tlong) -> convert Tlong ta
+      | Ff, Tdouble -> ta
+      | Ff, (Tint | Tlong) -> convert Tdouble ta
+      | (Fs | Fp), Tptr _ -> ta
+      | _, t ->
+        err loc "format specifier does not match argument type %s" (typ_to_string t))
+    specs args
+
+(* --- statements --- *)
+
+type fctx = { ret : typ; in_loop : bool }
+
+let rec check_stmt env fctx (st : stmt) : Tast.tstmt list =
+  let loc = st.sloc in
+  let one ts = [ { Tast.ts; tsloc = loc } ] in
+  match st.s with
+  | SExpr e -> one (Tast.TSExpr (check_expr env e))
+  | SDecl d ->
+    if d.dtyp = Tvoid then err loc "cannot declare a void variable";
+    if d.dstatic then begin
+      let gname = fresh env ("static$" ^ d.dname) in
+      let init_cells =
+        match d.dinit with
+        | None -> []
+        | Some e ->
+          (match const_eval e with
+          | Some v -> [ v ]
+          | None -> err loc "static initializer must be a constant")
+      in
+      env.hoisted <- { gname; gtyp = d.dtyp; ginit = init_cells } :: env.hoisted;
+      add_scope_entry env d.dname (Sglobal_alias (gname, d.dtyp));
+      []
+    end
+    else begin
+      let tinit =
+        match d.dinit with
+        | None -> None
+        | Some e ->
+          let te = check_expr env e in
+          (match d.dtyp with
+          | Tarr _ -> err loc "array locals cannot have initializers"
+          | t -> Some (convert t te))
+      in
+      let resolved = unique_local env d.dname in
+      add_scope_entry env d.dname (Slocal (resolved, d.dtyp));
+      one (Tast.TSDecl (d.dtyp, resolved, tinit))
+    end
+  | SIf (c, t, f) ->
+    let tc = decay_if_array (check_expr env c) in
+    if not (is_scalar tc.Tast.tty) then err loc "if condition must be scalar";
+    one (Tast.TSIf (tc, check_block env fctx t, check_block env fctx f))
+  | SWhile (c, b) ->
+    let tc = decay_if_array (check_expr env c) in
+    if not (is_scalar tc.Tast.tty) then err loc "while condition must be scalar";
+    one (Tast.TSWhile (tc, check_block env { fctx with in_loop = true } b))
+  | SReturn None ->
+    if fctx.ret <> Tvoid then err loc "non-void function must return a value";
+    one (Tast.TSReturn None)
+  | SReturn (Some e) ->
+    if fctx.ret = Tvoid then err loc "void function cannot return a value";
+    let te = convert fctx.ret (check_expr env e) in
+    one (Tast.TSReturn (Some te))
+  | SBreak ->
+    if not fctx.in_loop then err loc "break outside a loop";
+    one Tast.TSBreak
+  | SContinue ->
+    if not fctx.in_loop then err loc "continue outside a loop";
+    one Tast.TSContinue
+  | SPrint (fmt, args) -> one (Tast.TSPrint (fmt, check_print env loc fmt args))
+  | SBlock b -> one (Tast.TSBlock (check_block env fctx b))
+
+and check_block env fctx stmts =
+  env.scopes <- [] :: env.scopes;
+  let result = List.concat_map (check_stmt env fctx) stmts in
+  (match env.scopes with
+  | _ :: rest -> env.scopes <- rest
+  | [] -> assert false);
+  result
+
+(* --- top level --- *)
+
+let check_func env (f : func) : Tast.tfunc =
+  env.fname <- f.fname;
+  env.local_names <- Hashtbl.create 16;
+  env.scopes <- [ [] ];
+  List.iter
+    (fun (t, name) ->
+      if t = Tvoid then err f.floc "void parameter in %s" f.fname;
+      add_scope_entry env name (Slocal (name, t));
+      Hashtbl.replace env.local_names name 1)
+    f.params;
+  let fctx = { ret = f.fret; in_loop = false } in
+  let tbody = check_block env fctx f.body in
+  env.scopes <- [];
+  { Tast.tfname = f.fname; tparams = f.params; tfret = f.fret; tbody }
+
+let check_program (p : program) : Tast.tprogram =
+  let env =
+    {
+      globals = Hashtbl.create 16;
+      funcs = Hashtbl.create 16;
+      scopes = [];
+      local_names = Hashtbl.create 16;
+      hoisted = [];
+      strings = Hashtbl.create 16;
+      counter = 0;
+      fname = "";
+    }
+  in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem env.globals g.gname then
+        err no_loc "duplicate global %s" g.gname;
+      if sizeof g.gtyp < List.length g.ginit then
+        err no_loc "initializer for %s is larger than the object" g.gname;
+      Hashtbl.add env.globals g.gname g.gtyp)
+    p.globals;
+  List.iter
+    (fun (f : func) ->
+      if Hashtbl.mem env.funcs f.fname then err f.floc "duplicate function %s" f.fname;
+      if is_builtin f.fname then err f.floc "%s shadows a builtin" f.fname;
+      Hashtbl.add env.funcs f.fname (List.map fst f.params, f.fret))
+    p.funcs;
+  if not (Hashtbl.mem env.funcs "main") then err no_loc "program has no main function";
+  let tfuncs = List.map (check_func env) p.funcs in
+  { Tast.tglobals = p.globals @ List.rev env.hoisted; tfuncs }
+
+let check_program_result p =
+  match check_program p with
+  | tp -> Ok tp
+  | exception Type_error (msg, loc) ->
+    Error (Printf.sprintf "type error at line %d: %s" loc.line msg)

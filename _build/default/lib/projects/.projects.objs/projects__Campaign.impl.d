@@ -1,0 +1,1 @@
+lib/projects/campaign.ml: Array Cdcompiler Compdiff Fuzz Hashtbl List Project Registry Sanitizers

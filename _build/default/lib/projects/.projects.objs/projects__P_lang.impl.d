@@ -1,0 +1,1 @@
+lib/projects/p_lang.ml: Project Skeleton Templates Templates_benign

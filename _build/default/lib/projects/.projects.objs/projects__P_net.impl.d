@@ -1,0 +1,1 @@
+lib/projects/p_net.ml: Compdiff Minic Project Skeleton Templates Templates_benign

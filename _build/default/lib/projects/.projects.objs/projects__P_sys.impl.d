@@ -1,0 +1,1 @@
+lib/projects/p_sys.ml: Project Skeleton Templates Templates_benign

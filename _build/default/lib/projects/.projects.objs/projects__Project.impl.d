@@ -1,0 +1,1 @@
+lib/projects/project.ml: Cdcompiler Compdiff List Minic Sanitizers String

@@ -1,0 +1,1 @@
+lib/projects/registry.ml: Hashtbl List Option P_binutils P_lang P_media P_net P_sys Project

@@ -1,0 +1,1 @@
+lib/projects/skeleton.ml: Char Compdiff List Minic Printf Project String Templates

@@ -1,0 +1,1 @@
+lib/projects/templates.ml: Char Minic Printf Project Sanitizers String

@@ -1,0 +1,1 @@
+lib/projects/templates_benign.ml: Minic Templates

@@ -1,0 +1,181 @@
+(* Fuzzing campaigns over the synthetic projects and the aggregation
+   behind Tables 5 and 6 and Figure 2. *)
+
+type found_bug = {
+  bug : Project.seeded_bug;
+  found_input : string;               (* a diffs/ entry attributed to it *)
+  partition : int array;              (* implementation behaviour classes *)
+}
+
+type project_result = {
+  project : Project.t;
+  campaign : Fuzz.Compdiff_afl.campaign;
+  found : found_bug list;
+  unattributed : int;                 (* divergent inputs matching no seeded bug *)
+}
+
+let run_project ?(max_execs = 6_000) ?(rng_seed = 7) (p : Project.t) :
+    project_result =
+  let tp = Project.frontend p in
+  let config =
+    {
+      Fuzz.Compdiff_afl.default_config with
+      Fuzz.Compdiff_afl.seeds = p.Project.seeds;
+      max_execs;
+      rng_seed;
+      fuel = 60_000;
+      profiles = Project.profiles_for p;
+      normalize = p.Project.normalize;
+    }
+  in
+  let campaign = Fuzz.Compdiff_afl.run ~config tp in
+  (* triage: attribute each divergent input to the seeded bug whose
+     trigger it satisfies; remember one representative per bug *)
+  let entries = Compdiff.Triage.entries campaign.Fuzz.Compdiff_afl.diffs in
+  let found_tbl : (string, found_bug) Hashtbl.t = Hashtbl.create 8 in
+  let unattributed = ref 0 in
+  List.iter
+    (fun (e : Compdiff.Triage.diff_entry) ->
+      match
+        List.find_opt
+          (fun (b : Project.seeded_bug) -> b.Project.trigger e.Compdiff.Triage.input)
+          p.Project.bugs
+      with
+      | Some b ->
+        if not (Hashtbl.mem found_tbl b.Project.bug_id) then begin
+          let partition =
+            Compdiff.Oracle.partition campaign.Fuzz.Compdiff_afl.oracle
+              e.Compdiff.Triage.observations
+          in
+          Hashtbl.replace found_tbl b.Project.bug_id
+            { bug = b; found_input = e.Compdiff.Triage.input; partition }
+        end
+      | None -> incr unattributed)
+    entries;
+  {
+    project = p;
+    campaign;
+    found = Hashtbl.fold (fun _ f acc -> f :: acc) found_tbl [];
+    unattributed = !unattributed;
+  }
+
+let run_all ?max_execs ?rng_seed () : project_result list =
+  List.map (fun p -> run_project ?max_execs ?rng_seed p) Registry.all
+
+(* --- Table 5 aggregation --- *)
+
+type t5_row = {
+  category : Project.bug_category;
+  seeded : int;
+  found : int;          (* = "Reported" in the paper's reading *)
+  confirmed : int;
+  fixed : int;
+}
+
+let categories =
+  [
+    Project.EvalOrder; Project.UninitMem; Project.IntError; Project.MemError;
+    Project.PointerCmp; Project.Line; Project.Misc;
+  ]
+
+let table5 (results : project_result list) : t5_row list =
+  let found_bugs = List.concat_map (fun (r : project_result) -> r.found) results in
+  List.map
+    (fun category ->
+      let seeded =
+        List.length
+          (List.filter
+             (fun (_, (b : Project.seeded_bug)) -> b.Project.category = category)
+             Registry.all_bugs)
+      in
+      let of_cat =
+        List.filter (fun f -> f.bug.Project.category = category) found_bugs
+      in
+      {
+        category;
+        seeded;
+        found = List.length of_cat;
+        confirmed =
+          List.length (List.filter (fun f -> f.bug.Project.confirmed) of_cat);
+        fixed = List.length (List.filter (fun f -> f.bug.Project.fixed) of_cat);
+      })
+    categories
+
+(* --- Table 6: which found bugs sanitizers also cover --- *)
+
+type t6_row = {
+  t6_category : Project.bug_category;
+  t6_found : int;
+  by_asan : int;
+  by_ubsan : int;
+  by_msan : int;
+  by_any : int;
+}
+
+(* check a sanitizer against a found bug: run the sanitizer-instrumented
+   build on the bug's witness and found inputs *)
+let sanitizer_covers (p : Project.t) (kind : Sanitizers.San.kind) (f : found_bug) :
+    bool =
+  let tp = Project.frontend p in
+  Sanitizers.San.detects ~fuel:60_000 kind tp
+    ~inputs:[ f.bug.Project.witness; f.found_input ]
+
+let table6 (results : project_result list) : t6_row list * int =
+  let rows =
+    List.filter_map
+      (fun category ->
+        let per_project =
+          List.concat_map
+            (fun (r : project_result) ->
+              List.filter_map
+                (fun f ->
+                  if f.bug.Project.category = category then Some (r.project, f)
+                  else None)
+                r.found)
+            results
+        in
+        if per_project = [] then None
+        else begin
+          let count kind =
+            List.length
+              (List.filter (fun (p, f) -> sanitizer_covers p kind f) per_project)
+          in
+          let asan = count Sanitizers.San.Asan in
+          let ubsan = count Sanitizers.San.Ubsan in
+          let msan = count Sanitizers.San.Msan in
+          let any =
+            List.length
+              (List.filter
+                 (fun (p, f) ->
+                   List.exists (fun k -> sanitizer_covers p k f) Sanitizers.San.all)
+                 per_project)
+          in
+          Some
+            {
+              t6_category = category;
+              t6_found = List.length per_project;
+              by_asan = asan;
+              by_ubsan = ubsan;
+              by_msan = msan;
+              by_any = any;
+            }
+        end)
+      categories
+  in
+  let total_any = List.fold_left (fun acc r -> acc + r.by_any) 0 rows in
+  (rows, total_any)
+
+(* --- Figure 2: subset study over the found real-world bugs --- *)
+
+let partitions (results : project_result list) : int array list =
+  List.concat_map
+    (fun (r : project_result) ->
+      List.map
+        (fun f ->
+          (* restrict to the standard ten implementations: MuJS runs with
+             the extended set, whose eleventh column is dropped *)
+          let n = List.length Cdcompiler.Profiles.all in
+          if Array.length f.partition > n then Array.sub f.partition 0 n
+          else f.partition)
+        r.found)
+    results

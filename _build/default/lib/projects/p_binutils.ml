@@ -1,0 +1,58 @@
+(* Binary-file analyzers: objdump, readelf, nm-new, sysdump (binutils
+   2.36.1 in the paper) plus their characteristic findings -- including
+   readelf's invalid pointer comparison (Listing 2) and the LINE
+   interpretation inconsistency. *)
+
+open Templates
+
+let objdump : Project.t =
+  Skeleton.make ~pname:"objdump" ~input_type:"Binary file" ~version:"2.36.1"
+    ~paper_kloc:"74K"
+    [
+      benign_magic ~uid:"objdump_hdr" ~tag:'E' ~magic:127;
+      bug_mem_oob ~uid:"objdump_sec" ~tag:'S';
+      bug_uninit_branch ~uid:"objdump_sym" ~tag:'Y';
+      bug_misc_ptrprint ~uid:"objdump_val" ~tag:'V';
+      benign_fields ~uid:"objdump_rel" ~tag:'R';
+      Templates_benign.tlv_walker ~uid:"objdump_notes" ~tag:'T';
+      Templates_benign.hash_chain ~uid:"objdump_symhash" ~tag:'Z';
+    ]
+
+let readelf : Project.t =
+  Skeleton.make ~pname:"readelf" ~input_type:"Binary file" ~version:"2.36.1"
+    ~paper_kloc:"72K"
+    [
+      benign_magic ~uid:"readelf_hdr" ~tag:'E' ~magic:127;
+      bug_mem_oob ~uid:"readelf_dyn" ~tag:'D';
+      bug_uninit_print ~uid:"readelf_note" ~tag:'N';
+      bug_ptrcmp ~uid:"readelf_dwarf" ~tag:'W';
+      bug_line ~uid:"readelf_diag" ~tag:'L';
+      benign_checksum ~uid:"readelf_crc" ~tag:'C';
+      Templates_benign.varint_reader ~uid:"readelf_uleb" ~tag:'V';
+      Templates_benign.hash_chain ~uid:"readelf_gnuhash" ~tag:'H';
+    ]
+
+let nm_new : Project.t =
+  Skeleton.make ~pname:"nm-new" ~input_type:"Binary file" ~version:"2.36.1"
+    ~paper_kloc:"55K"
+    [
+      benign_magic ~uid:"nm_hdr" ~tag:'E' ~magic:127;
+      bug_mem_uaf ~uid:"nm_symtab" ~tag:'S';
+      bug_uninit_branch ~uid:"nm_demangle" ~tag:'D';
+      bug_misc_addrkey ~uid:"nm_sort" ~tag:'O';
+      benign_statemachine ~uid:"nm_names" ~tag:'N';
+      Templates_benign.tlv_walker ~uid:"nm_stabs" ~tag:'T';
+      Templates_benign.fixed_point_scaler ~uid:"nm_sizes" ~tag:'X';
+    ]
+
+let sysdump : Project.t =
+  Skeleton.make ~pname:"sysdump" ~input_type:"Binary file" ~version:"2.36.1"
+    ~paper_kloc:"10K"
+    [
+      bug_mem_oob ~uid:"sysdump_rec" ~tag:'R';
+      bug_uninit_branch ~uid:"sysdump_hdr" ~tag:'H';
+      bug_misc_addrkey ~uid:"sysdump_idx" ~tag:'I';
+      benign_fields ~uid:"sysdump_raw" ~tag:'B';
+      Templates_benign.tlv_walker ~uid:"sysdump_it" ~tag:'T';
+      Templates_benign.varint_reader ~uid:"sysdump_len" ~tag:'V';
+    ]

@@ -1,0 +1,61 @@
+(* Language implementations and structured-text parsers: php, MuJS (the
+   target where the paper's CompDiff caught real compiler
+   miscompilations), jq, libxml2. *)
+
+open Templates
+
+let php : Project.t =
+  Skeleton.make ~pname:"php" ~input_type:"PHP" ~version:"7.4.26"
+    ~paper_kloc:"1.4M"
+    [
+      bug_uninit_branch ~uid:"php_opline" ~tag:'O';
+      bug_uninit_print ~uid:"php_zval" ~tag:'Z';
+      bug_int_guard ~uid:"php_strrepeat" ~tag:'S';
+      bug_line ~uid:"php_vardump" ~tag:'V';
+      bug_misc_addrkey ~uid:"php_objid" ~tag:'J';
+      benign_statemachine ~uid:"php_braces" ~tag:'B';
+      benign_checksum ~uid:"php_hash" ~tag:'H';
+      Templates_benign.base64_validator ~uid:"php_b64" ~tag:'E';
+      Templates_benign.rle_decoder ~uid:"php_serial" ~tag:'R';
+    ]
+
+let mujs : Project.t =
+  (* the RQ2 target: fuzzing it with the extended implementation set
+     (including the known-miscompiling clangx-Os-buggy) surfaces genuine
+     compiler bugs as divergences *)
+  Skeleton.make ~pname:"MuJS" ~input_type:"JavaScript" ~version:"1.1.3"
+    ~paper_kloc:"18K" ~nondeterministic:true ~needs_buggy_compiler:true
+    [
+      bug_misc_compiler ~uid:"mujs_regalloc" ~tag:'R';
+      bug_misc_compiler ~uid:"mujs_jsvalue" ~tag:'J';
+      bug_misc_compiler ~uid:"mujs_gcflag" ~tag:'G';
+      benign_statemachine ~uid:"mujs_parens" ~tag:'P';
+      benign_fields ~uid:"mujs_tokens" ~tag:'T';
+      Templates_benign.varint_reader ~uid:"mujs_const" ~tag:'V';
+      Templates_benign.hash_chain ~uid:"mujs_atoms" ~tag:'H';
+    ]
+
+let jq : Project.t =
+  Skeleton.make ~pname:"jq" ~input_type:"json" ~version:"1.6" ~paper_kloc:"46K"
+    [
+      bug_mem_oob ~uid:"jq_path" ~tag:'P';
+      bug_uninit_print ~uid:"jq_number" ~tag:'N';
+      bug_misc_addrkey ~uid:"jq_strtbl" ~tag:'S';
+      benign_statemachine ~uid:"jq_brackets" ~tag:'B';
+      benign_checksum ~uid:"jq_keys" ~tag:'K';
+      Templates_benign.varint_reader ~uid:"jq_num" ~tag:'V';
+      Templates_benign.base64_validator ~uid:"jq_b64" ~tag:'U';
+    ]
+
+let libxml2 : Project.t =
+  Skeleton.make ~pname:"libxml2" ~input_type:"XML" ~version:"2.9.12"
+    ~paper_kloc:"458K"
+    [
+      bug_mem_oob ~uid:"xml_attr" ~tag:'A';
+      bug_uninit_branch ~uid:"xml_ns" ~tag:'N';
+      bug_uninit_branch ~uid:"xml_dtd" ~tag:'D';
+      benign_statemachine ~uid:"xml_tags" ~tag:'T';
+      benign_fields ~uid:"xml_entities" ~tag:'E';
+      Templates_benign.base64_validator ~uid:"xml_cdata" ~tag:'B';
+      Templates_benign.hash_chain ~uid:"xml_atomtbl" ~tag:'H';
+    ]

@@ -1,0 +1,112 @@
+(* Multimedia targets: audio, images, PDF, video. exiv2 carries the
+   Listing 4 uninitialized-print; libtiff the "bad random value" finding;
+   the floating-point Misc findings live in libsndfile/ImageMagick/gpac
+   and brotli (in [P_sys]). *)
+
+open Templates
+
+let libsndfile : Project.t =
+  Skeleton.make ~pname:"libsndfile" ~input_type:"Audio" ~version:"1.0.31"
+    ~paper_kloc:"66K"
+    [
+      benign_magic ~uid:"snd_riff" ~tag:'R' ~magic:82;
+      bug_mem_oob ~uid:"snd_chunk" ~tag:'C';
+      bug_uninit_branch ~uid:"snd_fmt" ~tag:'F';
+      bug_misc_float ~uid:"snd_gain" ~tag:'G';
+      benign_fields ~uid:"snd_data" ~tag:'D';
+      Templates_benign.fixed_point_scaler ~uid:"snd_resample" ~tag:'X';
+      Templates_benign.tlv_walker ~uid:"snd_chunks" ~tag:'T';
+    ]
+
+let exiv2 : Project.t =
+  Skeleton.make ~pname:"exiv2" ~input_type:"Exiv2 image" ~version:"0.27.5"
+    ~paper_kloc:"384K"
+    [
+      benign_magic ~uid:"exiv2_jpg" ~tag:'J' ~magic:216;
+      bug_uninit_print ~uid:"exiv2_canon" ~tag:'C';
+      bug_uninit_branch ~uid:"exiv2_ifd" ~tag:'I';
+      bug_misc_rand ~uid:"exiv2_thumb" ~tag:'T';
+      benign_statemachine ~uid:"exiv2_xmp" ~tag:'X';
+      Templates_benign.varint_reader ~uid:"exiv2_rational" ~tag:'V';
+      Templates_benign.rle_decoder ~uid:"exiv2_preview" ~tag:'R';
+    ]
+
+let libtiff : Project.t =
+  Skeleton.make ~pname:"libtiff" ~input_type:"Tiff image" ~version:"4.3.0"
+    ~paper_kloc:"37K" ~nondeterministic:false
+    [
+      benign_magic ~uid:"tiff_hdr" ~tag:'I' ~magic:42;
+      bug_uninit_branch ~uid:"tiff_strip" ~tag:'S';
+      bug_uninit_print ~uid:"tiff_tag" ~tag:'T';
+      bug_int_promote ~uid:"tiff_dims" ~tag:'D';
+      bug_line ~uid:"tiff_warn" ~tag:'W';
+      bug_misc_rand ~uid:"tiff_fill" ~tag:'F';
+      Templates_benign.rle_decoder ~uid:"tiff_packbits" ~tag:'R';
+      Templates_benign.hash_chain ~uid:"tiff_tags" ~tag:'H';
+    ]
+
+let imagemagick : Project.t =
+  Skeleton.make ~pname:"ImageMagick" ~input_type:"Image" ~version:"7.1.0-23"
+    ~paper_kloc:"655K" ~nondeterministic:true
+    [
+      bug_mem_oob ~uid:"magick_pixels" ~tag:'P';
+      bug_uninit_branch ~uid:"magick_profile" ~tag:'R';
+      bug_line ~uid:"magick_assert" ~tag:'A';
+      bug_misc_float ~uid:"magick_gamma" ~tag:'G';
+      benign_checksum ~uid:"magick_sig" ~tag:'S';
+      benign_fields ~uid:"magick_meta" ~tag:'M';
+      Templates_benign.fixed_point_scaler ~uid:"magick_resize" ~tag:'X';
+      Templates_benign.tlv_walker ~uid:"magick_chunks" ~tag:'T';
+    ]
+
+let grok : Project.t =
+  Skeleton.make ~pname:"grok" ~input_type:"JPEG 2000" ~version:"9.7.0"
+    ~paper_kloc:"127K" ~nondeterministic:true
+    [
+      benign_magic ~uid:"grok_soc" ~tag:'O' ~magic:79;
+      bug_uninit_branch ~uid:"grok_tile" ~tag:'T';
+      bug_int_promote ~uid:"grok_res" ~tag:'R';
+      bug_misc_addrkey ~uid:"grok_cblk" ~tag:'C';
+      benign_statemachine ~uid:"grok_marker" ~tag:'M';
+      Templates_benign.fixed_point_scaler ~uid:"grok_dwt" ~tag:'X';
+      Templates_benign.hash_chain ~uid:"grok_prec" ~tag:'H';
+    ]
+
+let pdftotext : Project.t =
+  Skeleton.make ~pname:"pdftotext" ~input_type:"PDF" ~version:"4.03"
+    ~paper_kloc:"130K"
+    [
+      benign_magic ~uid:"pdf_hdr" ~tag:'P' ~magic:37;
+      bug_mem_oob ~uid:"pdf_xref" ~tag:'X';
+      bug_uninit_branch ~uid:"pdf_font" ~tag:'F';
+      bug_uninit_print ~uid:"pdf_encoding" ~tag:'E';
+      benign_statemachine ~uid:"pdf_objs" ~tag:'O';
+      Templates_benign.varint_reader ~uid:"pdf_stream" ~tag:'V';
+      Templates_benign.rle_decoder ~uid:"pdf_ascii85" ~tag:'R';
+    ]
+
+let pdftoppm : Project.t =
+  Skeleton.make ~pname:"pdftoppm" ~input_type:"PDF" ~version:"21.11.0"
+    ~paper_kloc:"203K"
+    [
+      benign_magic ~uid:"ppm_hdr" ~tag:'P' ~magic:37;
+      bug_uninit_branch ~uid:"ppm_render" ~tag:'R';
+      bug_misc_addrkey ~uid:"ppm_splash" ~tag:'S';
+      bug_misc_rand ~uid:"ppm_dither" ~tag:'D';
+      benign_fields ~uid:"ppm_page" ~tag:'G';
+      Templates_benign.fixed_point_scaler ~uid:"ppm_scale" ~tag:'X';
+      Templates_benign.hash_chain ~uid:"ppm_palette" ~tag:'H';
+    ]
+
+let gpac : Project.t =
+  Skeleton.make ~pname:"gpac" ~input_type:"Video" ~version:"2.0.0"
+    ~paper_kloc:"597K" ~nondeterministic:true
+    [
+      benign_magic ~uid:"gpac_ftyp" ~tag:'F' ~magic:102;
+      bug_uninit_branch ~uid:"gpac_track" ~tag:'T';
+      bug_int_guard ~uid:"gpac_sample" ~tag:'S';
+      bug_line ~uid:"gpac_isom" ~tag:'M';
+      benign_checksum ~uid:"gpac_box" ~tag:'B';
+      Templates_benign.varint_reader ~uid:"gpac_nal" ~tag:'V';
+      Templates_benign.fixed_point_scaler ~uid:"gpac_pts" ~tag:'X';
+    ]

@@ -1,0 +1,61 @@
+(* Network-facing targets: tcpdump (the EvalOrder discovery of Listing 3),
+   wireshark (timestamped warnings needing output normalization, RQ5),
+   and curl. *)
+
+open Minic.Ast
+open Minic.Builder
+open Templates
+
+let tcpdump : Project.t =
+  Skeleton.make ~pname:"tcpdump" ~input_type:"Network packet" ~version:"4.99.1"
+    ~paper_kloc:"99K" ~nondeterministic:true
+    [
+      benign_magic ~uid:"tcpdump_pcap" ~tag:'P' ~magic:212;
+      bug_evalorder ~uid:"tcpdump_arp" ~tag:'A';
+      bug_evalorder ~uid:"tcpdump_rarp" ~tag:'R';
+      bug_uninit_branch ~uid:"tcpdump_vlan" ~tag:'V';
+      benign_checksum ~uid:"tcpdump_ip" ~tag:'I';
+      benign_fields ~uid:"tcpdump_tcp" ~tag:'T';
+      Templates_benign.tlv_walker ~uid:"tcpdump_opts" ~tag:'L';
+      Templates_benign.hash_chain ~uid:"tcpdump_flows" ~tag:'H';
+    ]
+
+let wireshark : Project.t =
+  (* the banner stamps an epan warning with a time-of-day whose digits are
+     layout-derived: deterministic per binary, different across binaries,
+     and stripped by the timestamp filter exactly as in RQ5 *)
+  let banner =
+    [
+      print "10:44:2%d.40583%d [Epan WARNING] preferences reloaded\n"
+        [
+          cast Tint (var "wireshark_epan_cache") %: int 10;
+          cast Tint (var "wireshark_epan_cache") /: int 10 %: int 10;
+        ];
+    ]
+  in
+  Skeleton.make ~pname:"wireshark" ~input_type:"Network packet" ~version:"3.4.5"
+    ~paper_kloc:"4.6M" ~nondeterministic:true
+    ~normalize:Compdiff.Normalize.strip_timestamps ~banner
+    [
+      bug_misc_addrkey ~uid:"wireshark_epan" ~tag:'E';
+      bug_uninit_branch ~uid:"wireshark_dissect" ~tag:'D';
+      bug_uninit_branch ~uid:"wireshark_col" ~tag:'C';
+      bug_line ~uid:"wireshark_expert" ~tag:'X';
+      benign_statemachine ~uid:"wireshark_tlv" ~tag:'T';
+      benign_fields ~uid:"wireshark_frame" ~tag:'F';
+      Templates_benign.varint_reader ~uid:"wireshark_vint" ~tag:'V';
+      Templates_benign.rle_decoder ~uid:"wireshark_pcapng" ~tag:'R';
+    ]
+
+let curl : Project.t =
+  Skeleton.make ~pname:"curl" ~input_type:"URL" ~version:"7.80.0"
+    ~paper_kloc:"13K"
+    [
+      bug_mem_oob ~uid:"curl_query" ~tag:'Q';
+      bug_misc_addrkey ~uid:"curl_handle" ~tag:'H';
+      bug_misc_ptrprint ~uid:"curl_scheme" ~tag:'S';
+      benign_statemachine ~uid:"curl_escape" ~tag:'U';
+      benign_checksum ~uid:"curl_host" ~tag:'N';
+      Templates_benign.base64_validator ~uid:"curl_auth" ~tag:'B';
+      Templates_benign.varint_reader ~uid:"curl_chunk" ~tag:'V';
+    ]

@@ -1,0 +1,60 @@
+(* Crypto, archives and compression: openssl, ClamAV, libzip, brotli
+   (whose floating-point imprecision finding the developers committed to
+   fixing because it changed compressed output across compilers). *)
+
+open Templates
+
+let openssl : Project.t =
+  Skeleton.make ~pname:"openssl" ~input_type:"Binary file" ~version:"3.0.0"
+    ~paper_kloc:"702K"
+    [
+      benign_magic ~uid:"ssl_der" ~tag:'D' ~magic:48;
+      bug_mem_uaf ~uid:"ssl_session" ~tag:'S';
+      bug_uninit_branch ~uid:"ssl_ext" ~tag:'E';
+      bug_int_guard ~uid:"ssl_asn1len" ~tag:'L';
+      bug_misc_addrkey ~uid:"ssl_ctxid" ~tag:'C';
+      benign_checksum ~uid:"ssl_digest" ~tag:'G';
+      Templates_benign.varint_reader ~uid:"ssl_asn1tag" ~tag:'V';
+      Templates_benign.base64_validator ~uid:"ssl_pem" ~tag:'B';
+    ]
+
+let clamav : Project.t =
+  Skeleton.make ~pname:"ClamAV" ~input_type:"Binary file" ~version:"0.103.3"
+    ~paper_kloc:"239K"
+    [
+      benign_magic ~uid:"clam_pe" ~tag:'M' ~magic:90;
+      bug_mem_oob ~uid:"clam_section" ~tag:'S';
+      bug_uninit_branch ~uid:"clam_sigs" ~tag:'G';
+      bug_uninit_branch ~uid:"clam_heur" ~tag:'H';
+      bug_int_promote ~uid:"clam_unpack" ~tag:'U';
+      benign_fields ~uid:"clam_hdr" ~tag:'F';
+      Templates_benign.tlv_walker ~uid:"clam_res" ~tag:'T';
+      Templates_benign.rle_decoder ~uid:"clam_rle" ~tag:'R';
+    ]
+
+let libzip : Project.t =
+  Skeleton.make ~pname:"libzip" ~input_type:"Compress tool" ~version:"v1.8.0"
+    ~paper_kloc:"29K"
+    [
+      benign_magic ~uid:"zip_eocd" ~tag:'K' ~magic:80;
+      bug_mem_uaf ~uid:"zip_entry" ~tag:'E';
+      bug_uninit_branch ~uid:"zip_extfield" ~tag:'X';
+      bug_int_guard ~uid:"zip_cdoffset" ~tag:'C';
+      bug_misc_addrkey ~uid:"zip_source" ~tag:'S';
+      benign_checksum ~uid:"zip_crc" ~tag:'R';
+      Templates_benign.varint_reader ~uid:"zip_extra" ~tag:'V';
+      Templates_benign.hash_chain ~uid:"zip_names" ~tag:'H';
+    ]
+
+let brotli : Project.t =
+  Skeleton.make ~pname:"brotli" ~input_type:"Compress tool" ~version:"v1.0.9"
+    ~paper_kloc:"55K"
+    [
+      bug_int_promote ~uid:"brotli_window" ~tag:'W';
+      bug_misc_float ~uid:"brotli_bitcost" ~tag:'B';
+      benign_statemachine ~uid:"brotli_rle" ~tag:'R';
+      benign_fields ~uid:"brotli_dict" ~tag:'D';
+      benign_checksum ~uid:"brotli_check" ~tag:'C';
+      Templates_benign.rle_decoder ~uid:"brotli_runs" ~tag:'L';
+      Templates_benign.hash_chain ~uid:"brotli_ctx" ~tag:'H';
+    ]

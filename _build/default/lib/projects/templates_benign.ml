@@ -1,0 +1,184 @@
+(* Additional benign handler templates: realistic parsing machinery with
+   no seeded flaw. They give the fuzzer a genuine coverage landscape (so
+   queue growth and power scheduling matter, as on real targets) and make
+   each synthetic project behave like the format family it models. *)
+
+open Minic.Ast
+open Minic.Builder
+
+let handler ?(helpers = []) ?(globals = []) ~tag body : Templates.handler =
+  { Templates.tag; helpers; globals; body; bug = None }
+
+(* a TLV (type-length-value) walker: the bread and butter of every binary
+   format the paper's targets parse *)
+let tlv_walker ~uid ~tag : Templates.handler =
+  ignore uid;
+  handler ~tag
+    [
+      decl Tint "pos" ~init:(int 1);
+      decl Tint "records" ~init:(int 0);
+      decl Tint "bad" ~init:(int 0);
+      while_
+        (var "pos" +: int 1 <: call "input_len" [] &&: (var "records" <: int 12))
+        [
+          decl Tint "ty" ~init:(call "peek" [ var "pos" ]);
+          decl Tint "len" ~init:(call "peek" [ var "pos" +: int 1 ] &: int 15);
+          if_ (var "ty" ==: int 0) [ break_ ] [];
+          decl Tint "sum" ~init:(int 0);
+          for_up "i" (int 0) (var "len")
+            [
+              decl Tint "b" ~init:(call "peek" [ var "pos" +: int 2 +: var "i" ]);
+              if_ (var "b" <: int 0)
+                [ set "bad" (var "bad" +: int 1); break_ ]
+                [ set "sum" (var "sum" +: var "b") ];
+            ];
+          print "tlv type=%d len=%d sum=%d\n" [ var "ty"; var "len"; var "sum" ];
+          set "pos" (var "pos" +: int 2 +: var "len");
+          set "records" (var "records" +: int 1);
+        ];
+      print "%d records, %d truncated\n" [ var "records"; var "bad" ];
+    ]
+
+(* a varint (LEB128-style) reader *)
+let varint_reader ~uid ~tag : Templates.handler =
+  let f = uid ^ "_read_varint" in
+  handler ~tag
+    ~helpers:
+      [
+        func Tint f
+          ~params:[ (Tint, "start") ]
+          [
+            decl Tint "result" ~init:(int 0);
+            decl Tint "shift" ~init:(int 0);
+            decl Tint "i" ~init:(var "start");
+            while_
+              (var "shift" <: int 28)
+              [
+                decl Tint "b" ~init:(call "peek" [ var "i" ]);
+                if_ (var "b" <: int 0) [ ret (neg (int 1)) ] [];
+                set "result"
+                  (var "result" |: ((var "b" &: int 127) <<: var "shift"));
+                if_ ((var "b" &: int 128) ==: int 0) [ ret (var "result") ] [];
+                set "shift" (var "shift" +: int 7);
+                set "i" (var "i" +: int 1);
+              ];
+            ret (var "result");
+          ];
+      ]
+    [
+      decl Tint "v1" ~init:(call f [ int 1 ]);
+      decl Tint "v2" ~init:(call f [ int 3 ]);
+      if_ (var "v1" <: int 0 ||: (var "v2" <: int 0))
+        [ print "truncated varint\n" [] ]
+        [ print "varints %d %d\n" [ var "v1"; var "v2" ] ];
+    ]
+
+(* base64-flavoured alphabet validation and 4->3 length accounting *)
+let base64_validator ~uid ~tag : Templates.handler =
+  let f = uid ^ "_b64_class" in
+  handler ~tag
+    ~helpers:
+      [
+        func Tint f
+          ~params:[ (Tint, "c") ]
+          [
+            if_ (var "c" >=: int 65 &&: (var "c" <=: int 90)) [ ret (int 1) ] [];
+            if_ (var "c" >=: int 97 &&: (var "c" <=: int 122)) [ ret (int 1) ] [];
+            if_ (var "c" >=: int 48 &&: (var "c" <=: int 57)) [ ret (int 1) ] [];
+            if_ (var "c" ==: int 43 ||: (var "c" ==: int 47)) [ ret (int 1) ] [];
+            if_ (var "c" ==: int 61) [ ret (int 2) ] [];
+            ret (int 0);
+          ];
+      ]
+    [
+      decl Tint "valid" ~init:(int 0);
+      decl Tint "pad" ~init:(int 0);
+      decl Tint "i" ~init:(int 1);
+      while_
+        (var "i" <: call "input_len" [] &&: (var "i" <: int 40))
+        [
+          decl Tint "cls" ~init:(call f [ call "peek" [ var "i" ] ]);
+          if_ (var "cls" ==: int 0) [ break_ ] [];
+          if_ (var "cls" ==: int 2) [ set "pad" (var "pad" +: int 1) ]
+            [ set "valid" (var "valid" +: int 1) ];
+          set "i" (var "i" +: int 1);
+        ];
+      if_
+        ((var "valid" +: var "pad") %: int 4 ==: int 0 &&: (var "pad" <=: int 2))
+        [ print "b64 ok, %d bytes decoded\n" [ (var "valid" +: var "pad") /: int 4 *: int 3 -: var "pad" ] ]
+        [ print "b64 malformed at %d\n" [ var "valid" +: var "pad" ] ];
+    ]
+
+(* run-length decoding into a bounded buffer, with correct clamping *)
+let rle_decoder ~uid ~tag : Templates.handler =
+  let g = uid ^ "_rle_out" in
+  handler ~tag
+    ~globals:[ global_arr g Tint 32 ]
+    [
+      decl Tint "outpos" ~init:(int 0);
+      decl Tint "inpos" ~init:(int 1);
+      while_
+        (var "inpos" +: int 1 <: call "input_len" []
+        &&: (var "outpos" <: int 32))
+        [
+          decl Tint "count" ~init:(call "peek" [ var "inpos" ] &: int 7);
+          decl Tint "value" ~init:(call "peek" [ var "inpos" +: int 1 ] &: int 255);
+          for_up "i" (int 0) (var "count")
+            [
+              if_ (var "outpos" <: int 32)
+                [
+                  set_idx (var g) (var "outpos") (var "value");
+                  set "outpos" (var "outpos" +: int 1);
+                ]
+                [];
+            ];
+          set "inpos" (var "inpos" +: int 2);
+        ];
+      decl Tint "acc" ~init:(int 0);
+      for_up "i" (int 0) (var "outpos")
+        [ set "acc" (var "acc" ^: idx (var g) (var "i")) ];
+      print "rle %d cells, xor=%d\n" [ var "outpos"; var "acc" ];
+    ]
+
+(* a little hash-chain over the payload (symbol-table flavour) *)
+let hash_chain ~uid ~tag : Templates.handler =
+  let g = uid ^ "_buckets" in
+  handler ~tag
+    ~globals:[ global_arr g Tint 8 ]
+    [
+      for_up "i" (int 0) (int 8) [ set_idx (var g) (var "i") (int 0) ];
+      decl Tint "i" ~init:(int 1);
+      while_
+        (var "i" <: call "input_len" [] &&: (var "i" <: int 32))
+        [
+          decl Tint "h" ~init:((call "peek" [ var "i" ] *: int 31) &: int 7);
+          set_idx (var g) (var "h") (idx (var g) (var "h") +: int 1);
+          set "i" (var "i" +: int 1);
+        ];
+      decl Tint "max" ~init:(int 0);
+      decl Tint "arg" ~init:(int 0);
+      for_up "j" (int 0) (int 8)
+        [
+          if_ (idx (var g) (var "j") >: var "max")
+            [ set "max" (idx (var g) (var "j")); set "arg" (var "j") ]
+            [];
+        ];
+      print "hottest bucket %d (%d entries)\n" [ var "arg"; var "max" ];
+    ]
+
+(* fixed-point scaling arithmetic (image/audio resampling flavour),
+   carefully kept within defined ranges *)
+let fixed_point_scaler ~uid ~tag : Templates.handler =
+  ignore uid;
+  handler ~tag
+    [
+      decl Tint "num" ~init:(call "peek" [ int 1 ] &: int 63 |: int 1);
+      decl Tint "den" ~init:(call "peek" [ int 2 ] &: int 63 |: int 1);
+      decl Tint "acc" ~init:(int 0);
+      for_up "i" (int 0) (int 8)
+        [
+          decl Tint "sample" ~init:(call "peek" [ var "i" +: int 3 ] &: int 255);
+          set "acc" (var "acc" +: (var "sample" *: var "num" /: var "den"));
+        ];
+      print "scaled sum %d (ratio %d/%d)\n" [ var "acc"; var "num"; var "den" ];
+    ]

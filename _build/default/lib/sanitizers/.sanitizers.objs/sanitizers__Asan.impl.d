@@ -1,0 +1,1 @@
+lib/sanitizers/asan.ml: Cdvm Hooks Mem Printf Value

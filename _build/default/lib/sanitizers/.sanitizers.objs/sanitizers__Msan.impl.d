@@ -1,0 +1,1 @@
+lib/sanitizers/msan.ml: Cdvm Hooks

@@ -1,0 +1,1 @@
+lib/sanitizers/san.ml: Asan Cdcompiler Cdvm List Minic Msan Pipeline Profiles Ubsan

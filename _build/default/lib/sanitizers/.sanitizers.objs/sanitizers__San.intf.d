@@ -1,0 +1,1 @@
+lib/sanitizers/san.mli: Cdcompiler Cdvm Minic

@@ -1,0 +1,1 @@
+lib/sanitizers/ubsan.ml: Cdcompiler Cdvm Format Hooks Int64 Ir Mem Value

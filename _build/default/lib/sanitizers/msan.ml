@@ -1,0 +1,20 @@
+(* MemorySanitizer model.
+
+   Scope (Table 1): use of uninitialized memory. Like the real tool, a
+   report fires only when an uninitialized value is *used to make a
+   decision* -- a conditional branch or an address computation -- not when
+   it is merely copied or printed. (That is why the exiv2 example of
+   Listing 4, which only prints the uninitialized value, is missed by
+   MSan but caught by CompDiff.) *)
+
+open Cdvm
+
+let on_branch ~taint =
+  if taint then
+    raise (Hooks.Report "MemorySanitizer: use-of-uninitialized-value in branch")
+
+let on_deref_taint ~taint =
+  if taint then
+    raise (Hooks.Report "MemorySanitizer: use-of-uninitialized-value as pointer")
+
+let hooks : Hooks.t = { Hooks.none with Hooks.on_branch; on_deref_taint }

@@ -1,0 +1,49 @@
+(* Driver for sanitizer-instrumented runs.
+
+   A "sanitizer build" is the unoptimizing build (the fuzzer's compiler,
+   as in CompDiff-AFL++ where B_fuzz carries the sanitizer checks) plus
+   the corresponding VM hooks. *)
+
+open Cdcompiler
+
+type kind = Asan | Ubsan | Msan
+
+let name = function Asan -> "ASan" | Ubsan -> "UBSan" | Msan -> "MSan"
+
+let hooks = function
+  | Asan -> Asan.hooks
+  | Ubsan -> Ubsan.hooks
+  | Msan -> Msan.hooks
+
+let all = [ Asan; Ubsan; Msan ]
+
+(* the build sanitizers instrument: unoptimized, every local observable *)
+let build_profile = Profiles.gccx "O0"
+
+let run ?(fuel = 200_000) (kind : kind) (tp : Minic.Tast.tprogram) ~(input : string) :
+    Cdvm.Exec.result =
+  let u = Pipeline.compile build_profile tp in
+  Cdvm.Exec.run
+    ~config:
+      { Cdvm.Exec.default_config with Cdvm.Exec.input; fuel; hooks = hooks kind }
+    u
+
+(* Did this sanitizer report anything on any of the inputs? *)
+let detects ?fuel (kind : kind) (tp : Minic.Tast.tprogram) ~(inputs : string list) :
+    bool =
+  List.exists
+    (fun input ->
+      match (run ?fuel kind tp ~input).Cdvm.Exec.status with
+      | Cdvm.Trap.San_report _ -> true
+      | Cdvm.Trap.Exit _ | Cdvm.Trap.Trap _ | Cdvm.Trap.Hang -> false)
+    inputs
+
+(* First report message, for diagnostics. *)
+let first_report ?fuel (kind : kind) (tp : Minic.Tast.tprogram)
+    ~(inputs : string list) : string option =
+  List.find_map
+    (fun input ->
+      match (run ?fuel kind tp ~input).Cdvm.Exec.status with
+      | Cdvm.Trap.San_report msg -> Some msg
+      | Cdvm.Trap.Exit _ | Cdvm.Trap.Trap _ | Cdvm.Trap.Hang -> None)
+    inputs

@@ -1,0 +1,28 @@
+(** Driver for sanitizer-instrumented runs.
+
+    A "sanitizer build" is the unoptimizing build (the same compiler
+    configuration the fuzzer uses for [B_fuzz]) executed with the
+    corresponding VM hook set. A report terminates the run with
+    {!Cdvm.Trap.San_report}. *)
+
+type kind = Asan | Ubsan | Msan
+
+val name : kind -> string
+
+val hooks : kind -> Cdvm.Hooks.t
+(** The VM instrumentation implementing this sanitizer's checks (and its
+    documented blind spots — see {!Asan}, {!Ubsan}, {!Msan}). *)
+
+val all : kind list
+
+val build_profile : Cdcompiler.Policy.profile
+(** The compiler configuration sanitizer builds use. *)
+
+val run :
+  ?fuel:int -> kind -> Minic.Tast.tprogram -> input:string -> Cdvm.Exec.result
+
+val detects : ?fuel:int -> kind -> Minic.Tast.tprogram -> inputs:string list -> bool
+(** Did the sanitizer report anything on any of the inputs? *)
+
+val first_report :
+  ?fuel:int -> kind -> Minic.Tast.tprogram -> inputs:string list -> string option

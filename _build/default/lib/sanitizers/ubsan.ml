@@ -1,0 +1,81 @@
+(* UndefinedBehaviorSanitizer model.
+
+   Scope (Table 1): miscellaneous arithmetic UB -- signed overflow in
+   add/sub/mul, division by zero (and INT_MIN / -1), out-of-range and
+   negative shifts -- plus null-pointer dereference.
+
+   Like the real tool it checks the *operations the compiled code still
+   performs*: its scope is per-operation, so UB whose only consequence is
+   a divergent evaluation order, a stale pointer or an uninitialized read
+   is invisible to it. *)
+
+open Cdcompiler
+open Cdvm
+
+let int_min = function Ir.W32 -> -2147483648L | Ir.W64 -> Int64.min_int
+let int_max = function Ir.W32 -> 2147483647L | Ir.W64 -> Int64.max_int
+let bits = function Ir.W32 -> 32 | Ir.W64 -> 64
+
+let report fmt = Format.kasprintf (fun s -> raise (Hooks.Report ("UndefinedBehaviorSanitizer: " ^ s))) fmt
+
+(* precise overflow checks at the given width; W32 operands are stored
+   sign-extended so 64-bit arithmetic is exact for them *)
+let check_add w a b =
+  match w with
+  | Ir.W32 ->
+    let r = Int64.add a b in
+    if r < int_min w || r > int_max w then report "signed integer overflow: %Ld + %Ld" a b
+  | Ir.W64 ->
+    let r = Int64.add a b in
+    if (a > 0L && b > 0L && r < 0L) || (a < 0L && b < 0L && r >= 0L) then
+      report "signed integer overflow: %Ld + %Ld" a b
+
+let check_sub w a b =
+  match w with
+  | Ir.W32 ->
+    let r = Int64.sub a b in
+    if r < int_min w || r > int_max w then report "signed integer overflow: %Ld - %Ld" a b
+  | Ir.W64 ->
+    let r = Int64.sub a b in
+    if (a >= 0L && b < 0L && r < 0L) || (a < 0L && b > 0L && r > 0L) then
+      report "signed integer overflow: %Ld - %Ld" a b
+
+let check_mul w a b =
+  match w with
+  | Ir.W32 ->
+    let r = Int64.mul a b in
+    if r < int_min w || r > int_max w then report "signed integer overflow: %Ld * %Ld" a b
+  | Ir.W64 ->
+    if a <> 0L && b <> 0L then begin
+      let r = Int64.mul a b in
+      if Int64.div r b <> a then report "signed integer overflow: %Ld * %Ld" a b
+    end
+
+let on_signed_arith op w a b =
+  match op with
+  | Ir.Badd -> check_add w a b
+  | Ir.Bsub -> check_sub w a b
+  | Ir.Bmul -> check_mul w a b
+  | Ir.Bdiv | Ir.Bmod ->
+    if b = 0L then report "division by zero"
+    else if b = -1L && a = int_min w then
+      report "signed integer overflow: %Ld / -1" a
+  | Ir.Bshl ->
+    let c = Int64.to_int b in
+    if c < 0 || c >= bits w then report "shift exponent %Ld is out of range" b
+    else if a < 0L then report "left shift of negative value %Ld" a
+    else begin
+      (* shifting out significant bits of a positive value is also UB *)
+      let r = Int64.shift_left a c in
+      if r > int_max w || r < 0L then report "left shift overflows %Ld << %Ld" a b
+    end
+  | Ir.Bshr ->
+    let c = Int64.to_int b in
+    if c < 0 || c >= bits w then report "shift exponent %Ld is out of range" b
+  | Ir.Band | Ir.Bor | Ir.Bxor -> ()
+
+let on_access (m : Mem.t) (p : Value.ptr) _kind =
+  ignore m;
+  if Value.is_null p then report "null pointer dereference"
+
+let hooks : Hooks.t = { Hooks.none with Hooks.on_signed_arith; on_access }

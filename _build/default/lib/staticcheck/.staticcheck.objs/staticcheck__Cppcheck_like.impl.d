@@ -1,0 +1,1 @@
+lib/staticcheck/cppcheck_like.ml: Finding Format Hashtbl Int64 List Minic Option

@@ -1,0 +1,1 @@
+lib/staticcheck/finding.ml: Format

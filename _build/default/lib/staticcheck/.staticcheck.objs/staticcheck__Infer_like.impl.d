@@ -1,0 +1,1 @@
+lib/staticcheck/infer_like.ml: Finding Format Hashtbl List Minic Option

@@ -1,0 +1,1 @@
+lib/staticcheck/static_tools.ml: Coverity_like Cppcheck_like Finding Infer_like List Minic

@@ -1,0 +1,511 @@
+(* A Coverity-style analyzer: per-function abstract interpretation over an
+   interval domain with branch-condition refinement, plus an
+   allocated/freed/null pointer state machine.
+
+   Stronger than syntactic matching -- it follows data flow through
+   arithmetic and guards -- but joins at control-flow merges and a crude
+   one-step loop widening produce the characteristic "may" reports, i.e.
+   the non-negligible false positive rate Table 3 shows for static
+   tools. *)
+
+open Minic.Ast
+
+let tool = "coverity-like"
+
+(* --- interval domain --- *)
+
+type itv = { lo : int64; hi : int64 }
+
+let top = { lo = Int64.min_int; hi = Int64.max_int }
+let const v = { lo = v; hi = v }
+let input_itv = { lo = -1L; hi = 255L }
+let int32_min = -2147483648L
+let int32_max = 2147483647L
+
+let join a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let sat f a b =
+  (* saturating arithmetic to avoid int64 wrap inside the domain *)
+  let r = f a b in
+  if a > 0L && b > 0L && r < 0L then Int64.max_int
+  else if a < 0L && b < 0L && r > 0L then Int64.min_int
+  else r
+
+let add_itv a b = { lo = sat Int64.add a.lo b.lo; hi = sat Int64.add a.hi b.hi }
+let sub_itv a b = { lo = sat Int64.sub a.lo b.hi; hi = sat Int64.sub a.hi b.lo }
+
+let mul_itv a b =
+  let cands =
+    [ Int64.mul a.lo b.lo; Int64.mul a.lo b.hi; Int64.mul a.hi b.lo; Int64.mul a.hi b.hi ]
+  in
+  (* only trust multiplication of reasonably small intervals *)
+  let small v = v > -4611686018427387904L && v < 4611686018427387904L in
+  if List.for_all small [ a.lo; a.hi; b.lo; b.hi ] then
+    { lo = List.fold_left min Int64.max_int cands;
+      hi = List.fold_left max Int64.min_int cands }
+  else top
+
+(* --- pointer state --- *)
+
+type pstate = Palloc of int | Pfreed | Pnull | Pmaybe_null of int | Punknown
+(* Palloc n: heap block of n cells; Pmaybe_null: malloc result not yet
+   null-checked *)
+
+(* --- environment --- *)
+
+type vstate = { itv : itv; uninit : bool; pstate : pstate }
+
+let unknown_v = { itv = top; uninit = false; pstate = Punknown }
+let uninit_v = { itv = top; uninit = true; pstate = Punknown }
+
+type env = {
+  mutable findings : Finding.t list;
+  mutable vars : (string * vstate) list;     (* functional for easy snapshot *)
+  arrays : (string, int) Hashtbl.t;
+  mutable reported : (int * Finding.kind) list; (* dedup per line/kind *)
+}
+
+let report env kind line fmt =
+  Format.kasprintf
+    (fun message ->
+      if not (List.mem (line, kind) env.reported) then begin
+        env.reported <- (line, kind) :: env.reported;
+        env.findings <- Finding.make ~tool ~kind ~line message :: env.findings
+      end)
+    fmt
+
+let get env v =
+  match List.assoc_opt v env.vars with Some s -> s | None -> unknown_v
+
+let set env v s = env.vars <- (v, s) :: List.remove_assoc v env.vars
+
+(* --- expression evaluation --- *)
+
+let rec eval env (e : expr) : vstate =
+  let line = e.eloc.line in
+  match e.e with
+  | EInt v | ELong v -> { unknown_v with itv = const v }
+  | EFloat _ -> unknown_v
+  | EStr _ -> { unknown_v with pstate = Punknown }
+  | ELine -> { unknown_v with itv = const (Int64.of_int line) }
+  | EVar v ->
+    let s = get env v in
+    if s.uninit then begin
+      report env Finding.Uninit line "'%s' may be used uninitialized" v;
+      (* report once per variable *)
+      set env v { s with uninit = false }
+    end;
+    s
+  | EUnop (Neg, a) ->
+    let sa = eval env a in
+    { unknown_v with itv = sub_itv (const 0L) sa.itv }
+  | EUnop ((Lnot | Bnot), a) ->
+    ignore (eval env a);
+    { unknown_v with itv = top }
+  | EBinop (op, a, b) -> eval_binop env line op a b
+  | ECall ("getchar", _) | ECall ("peek", _) -> { unknown_v with itv = input_itv }
+  | ECall ("input_len", _) -> { unknown_v with itv = { lo = 0L; hi = 4096L } }
+  | ECall ("malloc", [ n ]) ->
+    let sn = eval env n in
+    let size = if sn.itv.lo = sn.itv.hi then Int64.to_int sn.itv.lo else -1 in
+    { unknown_v with pstate = Pmaybe_null size }
+  | ECall ("free", [ p ]) ->
+    (match p.e with
+    | EVar v when Hashtbl.mem env.arrays v ->
+      report env Finding.Mem_error line "free of non-heap array '%s'" v
+    | EVar v -> (
+      let s = get env v in
+      match s.pstate with
+      | Pfreed -> report env Finding.Mem_error line "double free of '%s'" v
+      | Palloc _ | Pmaybe_null _ | Punknown -> set env v { s with pstate = Pfreed }
+      | Pnull -> ())
+    | EAddr _ ->
+      report env Finding.Mem_error line "free of address-of expression"
+    | EBinop ((Add | Sub), _, _) ->
+      report env Finding.Mem_error line "free of interior pointer"
+    | _ -> ignore (eval env p));
+    unknown_v
+  | ECall ("memcpy", ([ d; s; _ ] as args)) ->
+    List.iter (fun a -> ignore (eval env a)) args;
+    let rec base (e : expr) =
+      match e.e with
+      | EVar v -> Some v
+      | EBinop ((Add | Sub), a, _) -> base a
+      | ECast (_, a) -> base a
+      | _ -> None
+    in
+    (match (base d, base s) with
+    | Some x, Some y when x = y ->
+      report env Finding.Bad_call line "memcpy with overlapping regions on '%s'" x
+    | _ -> ());
+    unknown_v
+  | ECall (_, args) ->
+    check_unsequenced_args env line args;
+    List.iter
+      (fun (a : expr) ->
+        (* passing a pointer reinterpreted as an integer: the CWE-685
+           shape (argument of the wrong kind) *)
+        (match a.e with
+        | ECast ((Tint | Tlong), { e = EAddr _; _ }) ->
+          report env Finding.Bad_call a.eloc.line
+            "pointer passed where an integer is expected"
+        | ECast ((Tint | Tlong), { e = EVar v; _ })
+          when (get env v).pstate <> Punknown || Hashtbl.mem env.arrays v ->
+          report env Finding.Bad_call a.eloc.line
+            "pointer '%s' passed as an integer argument" v
+        | _ -> ());
+        ignore (eval env a))
+      args;
+    unknown_v
+  | EIndex (base, idx) ->
+    check_index env line base idx;
+    unknown_v
+  | EDeref p ->
+    check_deref env line p;
+    unknown_v
+  | EAddr a ->
+    (* taking the address blesses the variable as initialized-by-alias *)
+    (match a.e with
+    | EVar v ->
+      let s = get env v in
+      set env v { s with uninit = false }
+    | _ -> ());
+    unknown_v
+  | EAssign (l, r) -> eval_assign env l r
+  | ECast (Tptr _, { e = EInt 0L; _ }) -> { unknown_v with pstate = Pnull }
+  | ECast ((Tint | Tlong), a) ->
+    let sa = eval env a in
+    { unknown_v with itv = sa.itv }
+  | ECast (_, a) ->
+    let sa = eval env a in
+    { sa with uninit = false }
+  | ECond (c, t, f) ->
+    ignore (eval env c);
+    let st = eval env t in
+    let sf = eval env f in
+    { unknown_v with itv = join st.itv sf.itv }
+
+and eval_binop env line op a b : vstate =
+  match op with
+  | Land | Lor ->
+    ignore (eval env a);
+    ignore (eval env b);
+    { unknown_v with itv = { lo = 0L; hi = 1L } }
+  | _ ->
+    let sa = eval env a in
+    let sb = eval env b in
+    let ia = sa.itv and ib = sb.itv in
+    (match op with
+    | Div | Mod ->
+      if ib.lo = 0L && ib.hi = 0L then
+        report env Finding.Div_zero line "division by zero"
+      else if ib.lo <= 0L && ib.hi >= 0L then
+        report env Finding.Div_zero line "possible division by zero"
+    | Mul ->
+      (* overflow reporting restricted to multiplications (additive "may
+         overflow" reports drowned users in noise and were dropped) *)
+      let r = mul_itv ia ib in
+      let is_int_mul =
+        match (a.e, b.e) with ELong _, _ | _, ELong _ -> false | _ -> true
+      in
+      if is_int_mul && r.lo <> Int64.min_int && r.hi <> Int64.max_int
+         && (r.hi > int32_max || r.lo < int32_min)
+      then report env Finding.Int_error line "possible signed integer overflow"
+    | Shl | Shr ->
+      if ib.lo = ib.hi && (ib.lo < 0L || ib.lo >= 32L) then
+        report env Finding.Ub_generic line "shift amount is out of range"
+      else if op = Shl && ia.hi < 0L then
+        report env Finding.Ub_generic line "left shift of a negative value"
+    | _ -> ());
+    let itv =
+      match op with
+      | Add -> add_itv ia ib
+      | Sub -> sub_itv ia ib
+      | Mul -> mul_itv ia ib
+      | Lt | Le | Gt | Ge | Eq | Ne -> { lo = 0L; hi = 1L }
+      | Mod when ib.lo > 0L -> { lo = 0L; hi = Int64.sub ib.hi 1L }
+      | Band when ib.lo = ib.hi && ib.lo >= 0L -> { lo = 0L; hi = ib.hi }
+      | Band when ia.lo = ia.hi && ia.lo >= 0L -> { lo = 0L; hi = ia.hi }
+      | _ -> top
+    in
+    { unknown_v with itv }
+
+and check_index env line base idx =
+  let si = eval env idx in
+  (match base.e with
+  | EVar arr -> (
+    let bound =
+      match Hashtbl.find_opt env.arrays arr with
+      | Some n -> Some n
+      | None -> (
+        match (get env arr).pstate with
+        | Palloc n when n > 0 -> Some n
+        | Pmaybe_null n when n > 0 -> Some n
+        | _ -> None)
+    in
+    (match (get env arr).pstate with
+    | Pfreed -> report env Finding.Mem_error line "use of '%s' after free" arr
+    | _ -> ());
+    match bound with
+    | Some n ->
+      let bn = Int64.of_int n in
+      let informed = si.itv.hi < 1_000_000_000L && si.itv.lo > -1_000_000_000L in
+      if si.itv.lo >= bn && informed then
+        report env Finding.Mem_error line "index always out of bounds for '%s'" arr
+      else if si.itv.hi >= bn && informed then
+        report env Finding.Mem_error line "index may exceed bounds of '%s'" arr
+      else if si.itv.hi < 0L && informed then
+        report env Finding.Mem_error line "index always negative for '%s'" arr
+      else if si.itv.lo < 0L && si.itv.lo > -10000L then
+        report env Finding.Mem_error line "index may be negative for '%s'" arr
+    | None -> ())
+  | _ -> ignore (eval env base))
+
+and check_deref env line p =
+  match p.e with
+  | EVar v -> (
+    let s = get env v in
+    match s.pstate with
+    | Pnull -> report env Finding.Null_deref line "null dereference of '%s'" v
+    | Pmaybe_null _ ->
+      report env Finding.Null_deref line "'%s' may be null (unchecked malloc)" v
+    | Pfreed -> report env Finding.Mem_error line "use of '%s' after free" v
+    | Palloc _ | Punknown ->
+      if s.uninit then report env Finding.Uninit line "dereference of uninitialized '%s'" v)
+  | _ -> ignore (eval env p)
+
+and eval_assign env (l : expr) (r : expr) : vstate =
+  let sr = eval env r in
+  (match l.e with
+  | EVar v ->
+    let pstate =
+      match r.e with
+      | EInt 0L -> Pnull
+      | ECast (Tptr _, { e = EInt 0L; _ }) -> Pnull
+      | _ -> sr.pstate
+    in
+    set env v { itv = sr.itv; uninit = false; pstate }
+  | EIndex (base, idx) ->
+    check_index env l.eloc.line base idx
+  | EDeref p -> check_deref env l.eloc.line p
+  | _ -> ());
+  sr
+
+(* two sibling arguments calling the same function, or assigning the same
+   variable: unsequenced side effects on shared state (CWE-758) *)
+and check_unsequenced_args env line (args : expr list) =
+  let rec callees acc (e : expr) =
+    match e.e with
+    | ECall (f, inner) -> List.fold_left callees (f :: acc) inner
+    | EAssign ({ e = EVar v; _ }, r) -> callees (("=" ^ v) :: acc) r
+    | EUnop (_, a) | ECast (_, a) | EDeref a | EAddr a -> callees acc a
+    | EBinop (_, a, b) | EIndex (a, b) -> callees (callees acc a) b
+    | ECond (a, b, c) -> callees (callees (callees acc a) b) c
+    | EAssign (a, b) -> callees (callees acc a) b
+    | EInt _ | ELong _ | EFloat _ | EStr _ | EVar _ | ELine -> acc
+  in
+  let per_arg = List.map (callees []) args in
+  let rec dup_across = function
+    | [] -> None
+    | cs :: rest ->
+      (match
+         List.find_opt (fun c -> List.exists (fun cs' -> List.mem c cs') rest) cs
+       with
+      | Some c -> Some c
+      | None -> dup_across rest)
+  in
+  match dup_across per_arg with
+  | Some c when String.length c > 0 && c.[0] = '=' ->
+    report env Finding.Ub_generic line
+      "unsequenced modifications of '%s' between arguments" (String.sub c 1 (String.length c - 1))
+  | Some c ->
+    report env Finding.Ub_generic line
+      "unsequenced calls to '%s' with potential side effects" c
+  | None -> ()
+
+(* --- condition refinement --- *)
+
+let refine env (c : expr) (truth : bool) =
+  let clamp_hi v bound =
+    let s = get env v in
+    if bound < s.itv.hi then set env v { s with itv = { s.itv with hi = bound } }
+  in
+  let clamp_lo v bound =
+    let s = get env v in
+    if bound > s.itv.lo then set env v { s with itv = { s.itv with lo = bound } }
+  in
+  let rec go (c : expr) truth =
+    match (c.e, truth) with
+    | EBinop (Land, a, b), true ->
+      go a true;
+      go b true
+    | EBinop (Lor, a, b), false ->
+      go a false;
+      go b false
+    | EUnop (Lnot, a), t -> go a (not t)
+    | EBinop (Lt, { e = EVar v; _ }, rhs), true -> (
+      match rhs.e with
+      | EInt k | ELong k -> clamp_hi v (Int64.sub k 1L)
+      | _ -> ())
+    | EBinop (Lt, { e = EVar v; _ }, rhs), false -> (
+      match rhs.e with EInt k | ELong k -> clamp_lo v k | _ -> ())
+    | EBinop (Le, { e = EVar v; _ }, rhs), true -> (
+      match rhs.e with EInt k | ELong k -> clamp_hi v k | _ -> ())
+    | EBinop (Le, { e = EVar v; _ }, rhs), false -> (
+      match rhs.e with EInt k | ELong k -> clamp_lo v (Int64.add k 1L) | _ -> ())
+    | EBinop (Gt, { e = EVar v; _ }, rhs), true -> (
+      match rhs.e with EInt k | ELong k -> clamp_lo v (Int64.add k 1L) | _ -> ())
+    | EBinop (Gt, { e = EVar v; _ }, rhs), false -> (
+      match rhs.e with EInt k | ELong k -> clamp_hi v k | _ -> ())
+    | EBinop (Ge, { e = EVar v; _ }, rhs), true -> (
+      match rhs.e with EInt k | ELong k -> clamp_lo v k | _ -> ())
+    | EBinop (Ge, { e = EVar v; _ }, rhs), false -> (
+      match rhs.e with EInt k | ELong k -> clamp_hi v (Int64.sub k 1L) | _ -> ())
+    | EBinop (Eq, { e = EVar v; _ }, rhs), true -> (
+      match rhs.e with
+      | EInt k | ELong k ->
+        let s = get env v in
+        set env v { s with itv = const k }
+      | _ -> ())
+    | EBinop (Ne, { e = EVar v; _ }, rhs), false -> (
+      match rhs.e with
+      | EInt k | ELong k ->
+        let s = get env v in
+        set env v { s with itv = const k }
+      | _ -> ())
+    (* null-check refinement: if (p) / if (p != 0) *)
+    | EVar v, true -> (
+      let s = get env v in
+      match s.pstate with
+      | Pmaybe_null n -> set env v { s with pstate = Palloc (max n 0) }
+      | _ -> ())
+    | EVar v, false -> (
+      let s = get env v in
+      match s.pstate with
+      | Pmaybe_null _ -> set env v { s with pstate = Pnull }
+      | _ -> ())
+    | EBinop (Ne, { e = EVar v; _ }, { e = EInt 0L; _ }), true
+    | EBinop (Ne, { e = EVar v; _ }, { e = ECast (_, { e = EInt 0L; _ }); _ }), true
+      -> (
+      let s = get env v in
+      match s.pstate with
+      | Pmaybe_null n -> set env v { s with pstate = Palloc (max n 0) }
+      | _ -> ())
+    | EBinop (Eq, { e = EVar v; _ }, { e = EInt 0L; _ }), false
+    | EBinop (Eq, { e = EVar v; _ }, { e = ECast (_, { e = EInt 0L; _ }); _ }), false
+      -> (
+      let s = get env v in
+      match s.pstate with
+      | Pmaybe_null n -> set env v { s with pstate = Palloc (max n 0) }
+      | _ -> ())
+    | _ -> ()
+  in
+  go c truth
+
+(* --- statements --- *)
+
+let join_states (a : (string * vstate) list) (b : (string * vstate) list) :
+    (string * vstate) list =
+  let names = List.sort_uniq compare (List.map fst a @ List.map fst b) in
+  List.map
+    (fun n ->
+      let sa = Option.value ~default:unknown_v (List.assoc_opt n a) in
+      let sb = Option.value ~default:unknown_v (List.assoc_opt n b) in
+      let pstate =
+        match (sa.pstate, sb.pstate) with
+        | x, y when x = y -> x
+        | Pfreed, _ | _, Pfreed -> Pfreed (* pessimistic: may be freed *)
+        | Pnull, _ | _, Pnull -> Punknown
+        | _ -> Punknown
+      in
+      (n, { itv = join sa.itv sb.itv; uninit = sa.uninit || sb.uninit; pstate }))
+    names
+
+let rec exec_stmt env (s : stmt) =
+  match s.s with
+  | SExpr e -> ignore (eval env e)
+  | SDecl d ->
+    (match d.dtyp with
+    | Tarr (_, n) ->
+      Hashtbl.replace env.arrays d.dname n;
+      set env d.dname unknown_v
+    | _ -> (
+      match d.dinit with
+      | Some e ->
+        let se = eval env e in
+        set env d.dname { se with uninit = false }
+      | None -> if d.dstatic then set env d.dname unknown_v else set env d.dname uninit_v))
+  | SIf (c, t, f) ->
+    ignore (eval env c);
+    let snapshot = env.vars in
+    refine env c true;
+    List.iter (exec_stmt env) t;
+    let after_then = env.vars in
+    env.vars <- snapshot;
+    refine env c false;
+    List.iter (exec_stmt env) f;
+    let after_else = env.vars in
+    env.vars <- join_states after_then after_else
+  | SWhile (c, b) ->
+    ignore (eval env c);
+    (* one abstract iteration, then widen every modified variable to top;
+       the loop may execute zero times, so uninit flags join with the
+       pre-loop state (the source of "may be uninitialized" reports on
+       loop-initialized variables) *)
+    let snapshot = env.vars in
+    refine env c true;
+    List.iter (exec_stmt env) b;
+    let after = env.vars in
+    let widened =
+      List.map
+        (fun (n, s_before) ->
+          match List.assoc_opt n after with
+          | Some s_after when s_after.itv <> s_before.itv ->
+            (n, { s_after with itv = top; uninit = s_after.uninit || s_before.uninit })
+          | Some s_after -> (n, { s_after with uninit = s_after.uninit || s_before.uninit })
+          | None -> (n, s_before))
+        snapshot
+    in
+    let new_vars =
+      List.filter (fun (n, _) -> not (List.mem_assoc n widened)) after
+    in
+    env.vars <- widened @ List.map (fun (n, s) -> (n, { s with itv = top })) new_vars
+  | SReturn (Some e) -> ignore (eval env e)
+  | SReturn None | SBreak | SContinue -> ()
+  | SPrint (_, args) ->
+    check_unsequenced_args env s.sloc.line args;
+    List.iter (fun a -> ignore (eval env a)) args
+  | SBlock b -> List.iter (exec_stmt env) b
+
+(* does this block definitely return on every path? *)
+let rec always_returns (b : block) : bool =
+  match List.rev b with
+  | [] -> false
+  | last :: _ -> (
+    match last.s with
+    | SReturn _ -> true
+    | SIf (_, t, f) -> always_returns t && always_returns f
+    | SBlock inner -> always_returns inner
+    | SWhile ({ e = EInt 1L; _ }, _) -> true (* while(1): treated as noreturn *)
+    | SExpr { e = ECall (("exit" | "abort"), _); _ } -> true
+    | _ -> false)
+
+let check (p : program) : Finding.t list =
+  let env =
+    { findings = []; vars = []; arrays = Hashtbl.create 16; reported = [] }
+  in
+  List.iter
+    (fun g ->
+      match g.gtyp with
+      | Tarr (_, n) -> Hashtbl.replace env.arrays g.gname n
+      | _ -> ())
+    p.globals;
+  List.iter
+    (fun (f : func) ->
+      env.vars <- List.map (fun (_, n) -> (n, unknown_v)) f.params;
+      List.iter (exec_stmt env) f.body;
+      if f.fret <> Tvoid && f.fname <> "main" && not (always_returns f.body) then
+        report env Finding.Ub_generic f.floc.line
+          "control may reach the end of non-void function '%s'" f.fname)
+    p.funcs;
+  List.rev env.findings

@@ -1,0 +1,34 @@
+(* Findings reported by the static analyzers. *)
+
+type kind =
+  | Mem_error      (* buffer overflow/underflow, UAF, double free, bad free *)
+  | Int_error      (* signed overflow / underflow / truncation *)
+  | Div_zero
+  | Null_deref
+  | Uninit
+  | Bad_call       (* wrong arguments, UB input to API *)
+  | Ptr_sub        (* pointer subtraction across objects *)
+  | Ub_generic     (* other undefined behaviour *)
+
+type t = {
+  tool : string;
+  kind : kind;
+  line : int;
+  message : string;
+}
+
+let kind_to_string = function
+  | Mem_error -> "memory-error"
+  | Int_error -> "integer-error"
+  | Div_zero -> "division-by-zero"
+  | Null_deref -> "null-dereference"
+  | Uninit -> "uninitialized-use"
+  | Bad_call -> "bad-call"
+  | Ptr_sub -> "pointer-subtraction"
+  | Ub_generic -> "undefined-behavior"
+
+let make ~tool ~kind ~line message = { tool; kind; line; message }
+
+let pp ppf f =
+  Format.fprintf ppf "[%s] line %d: %s (%s)" f.tool f.line f.message
+    (kind_to_string f.kind)

@@ -1,0 +1,23 @@
+(* Registry and uniform interface over the three static analyzers. *)
+
+type tool = Coverity | Cppcheck | Infer
+
+let name = function
+  | Coverity -> "Coverity-like"
+  | Cppcheck -> "Cppcheck-like"
+  | Infer -> "Infer-like"
+
+let all = [ Coverity; Cppcheck; Infer ]
+
+let check (t : tool) (p : Minic.Ast.program) : Finding.t list =
+  match t with
+  | Coverity -> Coverity_like.check p
+  | Cppcheck -> Cppcheck_like.check p
+  | Infer -> Infer_like.check p
+
+(* does the tool report anything at all on this program? *)
+let flags_program (t : tool) (p : Minic.Ast.program) : bool = check t p <> []
+
+(* does it report a finding of one of the given kinds? *)
+let flags_kinds (t : tool) (p : Minic.Ast.program) (kinds : Finding.kind list) : bool =
+  List.exists (fun f -> List.mem f.Finding.kind kinds) (check t p)

@@ -1,0 +1,1 @@
+lib/util/murmur3.ml: Char Int32 String

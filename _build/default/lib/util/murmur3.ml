@@ -1,0 +1,55 @@
+let rotl32 x r =
+  Int32.logor (Int32.shift_left x r) (Int32.shift_right_logical x (32 - r))
+
+let c1 = 0xcc9e2d51l
+let c2 = 0x1b873593l
+
+let mix_k1 k1 =
+  let k1 = Int32.mul k1 c1 in
+  let k1 = rotl32 k1 15 in
+  Int32.mul k1 c2
+
+let mix_h1 h1 k1 =
+  let h1 = Int32.logxor h1 k1 in
+  let h1 = rotl32 h1 13 in
+  Int32.add (Int32.mul h1 5l) 0xe6546b64l
+
+let fmix32 h =
+  let h = Int32.logxor h (Int32.shift_right_logical h 16) in
+  let h = Int32.mul h 0x85ebca6bl in
+  let h = Int32.logxor h (Int32.shift_right_logical h 13) in
+  let h = Int32.mul h 0xc2b2ae35l in
+  Int32.logxor h (Int32.shift_right_logical h 16)
+
+let byte s i = Int32.of_int (Char.code (String.unsafe_get s i))
+
+let block s i =
+  let b0 = byte s i
+  and b1 = byte s (i + 1)
+  and b2 = byte s (i + 2)
+  and b3 = byte s (i + 3) in
+  Int32.logor b0
+    (Int32.logor (Int32.shift_left b1 8)
+       (Int32.logor (Int32.shift_left b2 16) (Int32.shift_left b3 24)))
+
+let hash32 ?(seed = 0l) s =
+  let len = String.length s in
+  let nblocks = len / 4 in
+  let h1 = ref seed in
+  for i = 0 to nblocks - 1 do
+    let k1 = block s (i * 4) in
+    h1 := mix_h1 !h1 (mix_k1 k1)
+  done;
+  let tail = nblocks * 4 in
+  let k1 = ref 0l in
+  let rem = len land 3 in
+  if rem >= 3 then k1 := Int32.logxor !k1 (Int32.shift_left (byte s (tail + 2)) 16);
+  if rem >= 2 then k1 := Int32.logxor !k1 (Int32.shift_left (byte s (tail + 1)) 8);
+  if rem >= 1 then begin
+    k1 := Int32.logxor !k1 (byte s tail);
+    h1 := Int32.logxor !h1 (mix_k1 !k1)
+  end;
+  let h1 = Int32.logxor !h1 (Int32.of_int len) in
+  fmix32 h1
+
+let hash ?seed s = Int32.to_int (hash32 ?seed s) land 0x3FFFFFFF

@@ -1,0 +1,13 @@
+(** MurmurHash3 (x86 32-bit variant).
+
+    CompDiff-AFL++ compares the outputs of differential binaries by
+    checksum; the paper reuses AFL++'s MurmurHash3 for this purpose, so we
+    implement the same function. *)
+
+val hash32 : ?seed:int32 -> string -> int32
+(** [hash32 ?seed s] is the MurmurHash3_x86_32 hash of [s]. The default
+    seed is 0. *)
+
+val hash : ?seed:int32 -> string -> int
+(** [hash ?seed s] is [hash32] reinterpreted as a non-negative [int],
+    convenient as a hashtable key. *)

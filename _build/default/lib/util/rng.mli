@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the system (fuzzer mutations, test-suite
+    generation, seeded bug placement) draws from this splitmix64-based
+    generator so that whole experiments are reproducible from a single
+    integer seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy with the same state. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choose_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] uniform random bytes. *)
+
+val split : t -> t
+(** Derive an independent child generator; advances the parent. *)
+
+val mix : int -> int -> int
+(** [mix a b] is a stateless 62-bit positive hash of the pair, used to
+    derive stable sub-seeds. *)

@@ -1,0 +1,44 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(aligns = []) ~header rows =
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) (List.length header) rows in
+  let get l i = match List.nth_opt l i with Some x -> x | None -> "" in
+  let widths =
+    Array.init ncols (fun i ->
+        List.fold_left
+          (fun acc r -> max acc (String.length (get r i)))
+          (String.length (get header i))
+          rows)
+  in
+  let align_of i = match List.nth_opt aligns i with Some a -> a | None -> Left in
+  let line cells =
+    String.concat "  " (List.init ncols (fun i -> pad (align_of i) widths.(i) (get cells i)))
+  in
+  let sep =
+    String.concat "  " (List.init ncols (fun i -> String.make widths.(i) '-'))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  List.iter
+    (fun r ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (line r))
+    rows;
+  Buffer.contents buf
+
+let print ?aligns ~title ~header rows =
+  print_endline title;
+  print_endline (String.make (String.length title) '=');
+  print_endline (render ?aligns ~header rows);
+  print_newline ()
+
+let pct f = Printf.sprintf "%.0f%%" (100. *. f)

@@ -1,0 +1,18 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    All paper tables are emitted through this module so that the harness
+    output lines up into readable columns regardless of cell width. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the table out with a separator line under
+    the header. [aligns] defaults to all [Left]; a shorter list is padded
+    with [Left]. *)
+
+val print : ?aligns:align list -> title:string -> header:string list -> string list list -> unit
+(** [print ~title ~header rows] writes a titled table to stdout followed by
+    a blank line. *)
+
+val pct : float -> string
+(** [pct 0.372] is ["37%"] — percentage formatting used across Table 3. *)

@@ -1,0 +1,1 @@
+lib/vm/coverage.ml: Bytes Cdutil Char

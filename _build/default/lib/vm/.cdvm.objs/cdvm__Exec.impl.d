@@ -1,0 +1,1 @@
+lib/vm/exec.ml: Array Buffer Cdcompiler Char Coverage Float Hashtbl Hooks Int32 Int64 Ir List Mem Policy Printf String Trap Value

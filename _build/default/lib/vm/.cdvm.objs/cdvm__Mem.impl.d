@@ -1,0 +1,1 @@
+lib/vm/mem.ml: Array Cdcompiler Hashtbl Ir List Policy Trap Value

@@ -1,0 +1,60 @@
+(* AFL-style edge coverage map.
+
+   Basic blocks hash to map indices; an executed edge bumps a byte bucket
+   [(prev >> 1) xor cur]. The fuzzer compares maps through the classified
+   bucket trick AFL uses (counts quantized to powers of two) to decide
+   whether an input reached new behaviour. *)
+
+type t = {
+  map : Bytes.t;
+  mutable last_loc : int;
+}
+
+let size = 1 lsl 13
+
+let create () = { map = Bytes.make size '\000'; last_loc = 0 }
+
+let reset t =
+  Bytes.fill t.map 0 size '\000';
+  t.last_loc <- 0
+
+let block_id ~fname ~label = Cdutil.Rng.mix (Cdutil.Murmur3.hash fname) label land (size - 1)
+
+let hit t cur =
+  let edge = (t.last_loc lsr 1) lxor cur land (size - 1) in
+  let c = Char.code (Bytes.get t.map edge) in
+  if c < 255 then Bytes.set t.map edge (Char.chr (c + 1));
+  t.last_loc <- cur
+
+(* quantize a hit count into AFL's eight buckets *)
+let bucket = function
+  | 0 -> 0
+  | 1 -> 1
+  | 2 -> 2
+  | 3 -> 4
+  | n when n < 8 -> 8
+  | n when n < 16 -> 16
+  | n when n < 32 -> 32
+  | n when n < 128 -> 64
+  | _ -> 128
+
+(* fold the classified map into [virgin]; returns [true] if any new bucket
+   bit was seen (i.e. the input increased coverage) *)
+let merge_into ~virgin t =
+  let novel = ref false in
+  for i = 0 to size - 1 do
+    let b = bucket (Char.code (Bytes.get t.map i)) in
+    if b <> 0 then begin
+      let seen = Char.code (Bytes.get virgin i) in
+      if b land lnot seen <> 0 then begin
+        novel := true;
+        Bytes.set virgin i (Char.chr (seen lor b))
+      end
+    end
+  done;
+  !novel
+
+let count_nonzero t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr n) t.map;
+  !n

@@ -1,0 +1,561 @@
+(* The IR interpreter ("running a binary").
+
+   Execution is total over arbitrary (even UB-riddled) programs: type
+   confusions introduced by uninitialized junk or memory punning are
+   resolved by deterministic coercions, so two binaries never differ by
+   accident of the VM -- only through their compiled code and their
+   run-time policies.
+
+   Fuel plays the role of AFL++'s execution timeout: when it runs out the
+   status is [Hang], which the oracle treats with timeout escalation
+   rather than as an output. *)
+
+open Cdcompiler
+open Ir
+
+exception Exit_program of int
+exception Fuel_out
+exception Output_limit_exc
+
+type config = {
+  fuel : int;
+  max_output : int;
+  coverage : Coverage.t option;
+  hooks : Hooks.t;
+  input : string;
+  on_print : (fn:string -> string -> unit) option;
+      (* observation hook: called once per executed print statement with
+         the enclosing function and the rendered text; used by the
+         fault-localization prototype (paper Section 5) *)
+}
+
+let default_config =
+  {
+    fuel = 200_000;
+    max_output = 1 lsl 20;
+    coverage = None;
+    hooks = Hooks.none;
+    input = "";
+    on_print = None;
+  }
+
+type result = {
+  stdout : string;
+  status : Trap.status;
+  fuel_used : int;
+}
+
+type state = {
+  unit_ : Ir.unit_;
+  mem : Mem.t;
+  global_ids : (string, int) Hashtbl.t;
+  label_maps : (string, (int, int) Hashtbl.t) Hashtbl.t;
+  cfg : config;
+  out : Buffer.t;
+  mutable fuel_left : int;
+  mutable in_pos : int;
+  mutable depth : int;
+  mutable frame_seq : int;
+  uninit_reg : Policy.uninit_policy;
+}
+
+let label_map _st (f : ifunc) =
+  match f.label_cache with
+  | Some m -> m
+  | None ->
+    let m = Hashtbl.create 16 in
+    Array.iteri
+      (fun i ins -> match ins with Ilabel l -> Hashtbl.replace m l i | _ -> ())
+      f.code;
+    f.label_cache <- Some m;
+    m
+
+(* --- coercions: make every value usable at every type --- *)
+
+let as_int st (v : Value.t) : int64 =
+  match v with
+  | Value.Vint x -> x
+  | Value.Vfloat f -> Int64.bits_of_float f
+  | Value.Vptr p ->
+    if Value.is_null p then 0L else Int64.of_int (Mem.addr_of_ptr st.mem p)
+
+and as_float (v : Value.t) : float =
+  match v with
+  | Value.Vfloat f -> f
+  | Value.Vint x -> Int64.float_of_bits x
+  | Value.Vptr _ -> 0.
+
+and as_ptr st (v : Value.t) : Value.ptr =
+  match v with
+  | Value.Vptr p -> p
+  | Value.Vint x -> Mem.ptr_of_addr st.mem (Int64.to_int x)
+  | Value.Vfloat f -> Mem.ptr_of_addr st.mem (int_of_float f)
+
+(* --- per-call frame --- *)
+
+type frame = {
+  func : ifunc;
+  regs : Value.t array;
+  rtaint : bool array;
+  rwritten : bool array;
+  slot_ids : int array;
+  fseq : int;
+}
+
+let reg_junk st fr r =
+  match st.uninit_reg with
+  | Policy.Uzero -> Value.Vint 0L
+  | Policy.Upattern _ as p ->
+    Value.Vint (Policy.uninit_value p ~addr:((fr.fseq * 131) + r))
+
+let read_reg st fr r : Value.t * bool =
+  if fr.rwritten.(r) then (fr.regs.(r), fr.rtaint.(r))
+  else (reg_junk st fr r, true)
+
+let write_reg fr r (v : Value.t) (taint : bool) =
+  fr.regs.(r) <- v;
+  fr.rtaint.(r) <- taint;
+  fr.rwritten.(r) <- true
+
+let eval_operand st fr (o : operand) : Value.t * bool =
+  match o with
+  | Reg r -> read_reg st fr r
+  | ImmI v -> (Value.Vint v, false)
+  | ImmF f -> (Value.Vfloat f, false)
+  | Nullptr -> (Value.Vptr Value.null, false)
+
+(* --- integer semantics --- *)
+
+let bits = function W32 -> 32 | W64 -> 64
+
+let norm w v = match w with W32 -> Value.norm32 v | W64 -> v
+
+(* Hardware-style evaluation: shifts mask their count (x86), division by
+   zero and INT_MIN/-1 trap. The compiler's constant folder made different
+   choices for UB shifts -- that asymmetry is intentional. *)
+let eval_ibin op w (a : int64) (b : int64) : int64 =
+  match op with
+  | Badd -> norm w (Int64.add a b)
+  | Bsub -> norm w (Int64.sub a b)
+  | Bmul -> norm w (Int64.mul a b)
+  | Bdiv ->
+    if b = 0L then raise (Mem.Trapped Trap.Div_by_zero)
+    else if b = -1L && a = (match w with W32 -> -2147483648L | W64 -> Int64.min_int)
+    then raise (Mem.Trapped Trap.Div_by_zero) (* x86 #DE covers both *)
+    else norm w (Int64.div a b)
+  | Bmod ->
+    if b = 0L then raise (Mem.Trapped Trap.Div_by_zero)
+    else if b = -1L && a = (match w with W32 -> -2147483648L | W64 -> Int64.min_int)
+    then raise (Mem.Trapped Trap.Div_by_zero)
+    else norm w (Int64.rem a b)
+  | Bshl ->
+    let c = Int64.to_int b land (bits w - 1) in
+    norm w (Int64.shift_left a c)
+  | Bshr ->
+    let c = Int64.to_int b land (bits w - 1) in
+    norm w (Int64.shift_right a c)
+  | Band -> Int64.logand a b
+  | Bor -> Int64.logor a b
+  | Bxor -> Int64.logxor a b
+
+let eval_cmp c (a : int64) (b : int64) : int64 =
+  let r =
+    match c with
+    | Clt -> a < b
+    | Cle -> a <= b
+    | Cgt -> a > b
+    | Cge -> a >= b
+    | Ceq -> a = b
+    | Cne -> a <> b
+  in
+  if r then 1L else 0L
+
+let eval_fcmp c (a : float) (b : float) : int64 =
+  let r =
+    match c with
+    | Clt -> a < b
+    | Cle -> a <= b
+    | Cgt -> a > b
+    | Cge -> a >= b
+    | Ceq -> a = b
+    | Cne -> a <> b
+  in
+  if r then 1L else 0L
+
+(* --- memory access with hooks --- *)
+
+(* hooks run before the hardware consequence so a sanitizer can turn a
+   would-be trap (or a silent corruption) into a report *)
+let load st (p : Value.ptr) ~(ptaint : bool) : Value.t * bool =
+  st.cfg.hooks.Hooks.on_deref_taint ~taint:ptaint;
+  st.cfg.hooks.Hooks.on_access st.mem p Hooks.Aread;
+  if Value.is_null p then raise (Mem.Trapped Trap.Null_deref);
+  Mem.read_abs st.mem (Mem.addr_of_ptr st.mem p)
+
+let store st (p : Value.ptr) ~(ptaint : bool) (v : Value.t) (taint : bool) =
+  st.cfg.hooks.Hooks.on_deref_taint ~taint:ptaint;
+  st.cfg.hooks.Hooks.on_access st.mem p Hooks.Awrite;
+  if Value.is_null p then raise (Mem.Trapped Trap.Null_deref);
+  Mem.write_abs st.mem (Mem.addr_of_ptr st.mem p) v ~taint
+
+(* --- output --- *)
+
+let put st s =
+  Buffer.add_string st.out s;
+  if Buffer.length st.out > st.cfg.max_output then raise Output_limit_exc
+
+let read_cstring st (p : Value.ptr) : string =
+  let buf = Buffer.create 16 in
+  let rec go i =
+    if i >= 4096 then ()
+    else begin
+      let v, _ = load st { p with Value.off = p.Value.off + i } ~ptaint:false in
+      let c = Int64.to_int (as_int st v) land 0xff in
+      if c = 0 then ()
+      else begin
+        Buffer.add_char buf (Char.chr c);
+        go (i + 1)
+      end
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let print_item st fr (item : fmt_item) =
+  let value o = fst (eval_operand st fr o) in
+  match item with
+  | Flit s -> put st s
+  | Fint o ->
+    put st (Int32.to_string (Int64.to_int32 (as_int st (value o))))
+  | Flong o -> put st (Int64.to_string (as_int st (value o)))
+  | Fuint o ->
+    put st (Printf.sprintf "%Lu" (Int64.logand (as_int st (value o)) 0xFFFFFFFFL))
+  | Fhex o ->
+    put st (Printf.sprintf "%Lx" (Int64.logand (as_int st (value o)) 0xFFFFFFFFL))
+  | Fchar o ->
+    put st (String.make 1 (Char.chr (Int64.to_int (as_int st (value o)) land 0xff)))
+  | Fstr o -> put st (read_cstring st (as_ptr st (value o)))
+  | Ffloat o -> put st (Printf.sprintf "%f" (as_float (value o)))
+  | Fptr o ->
+    let p = as_ptr st (value o) in
+    let addr = if Value.is_null p then 0 else Mem.addr_of_ptr st.mem p in
+    put st (Printf.sprintf "0x%x" addr)
+
+(* --- builtins --- *)
+
+let exec_builtin st fr name (args : (Value.t * bool) list) : Value.t * bool =
+  ignore fr;
+  let int_arg i = as_int st (fst (List.nth args i)) in
+  let ptr_arg i = as_ptr st (fst (List.nth args i)) in
+  let float_arg i = as_float (fst (List.nth args i)) in
+  match name with
+  | "getchar" ->
+    if st.in_pos < String.length st.cfg.input then begin
+      let c = Char.code st.cfg.input.[st.in_pos] in
+      st.in_pos <- st.in_pos + 1;
+      (Value.Vint (Int64.of_int c), false)
+    end
+    else (Value.Vint (-1L), false)
+  | "input_len" -> (Value.Vint (Int64.of_int (String.length st.cfg.input)), false)
+  | "peek" ->
+    let i = Int64.to_int (int_arg 0) in
+    if i >= 0 && i < String.length st.cfg.input then
+      (Value.Vint (Int64.of_int (Char.code st.cfg.input.[i])), false)
+    else (Value.Vint (-1L), false)
+  | "malloc" ->
+    let n = Int64.to_int (int_arg 0) in
+    (Value.Vptr (Mem.malloc st.mem n), false)
+  | "free" ->
+    let p = ptr_arg 0 in
+    let cls = Mem.free st.mem p in
+    st.cfg.hooks.Hooks.on_free st.mem p cls;
+    (match cls with
+    | `Invalid -> raise (Mem.Trapped Trap.Invalid_free)
+    | `Ok | `Double | `Null -> ());
+    (Value.zero, false)
+  | "memset" ->
+    let p = ptr_arg 0 and v = int_arg 1 and n = Int64.to_int (int_arg 2) in
+    for i = 0 to n - 1 do
+      store st { p with Value.off = p.Value.off + i } ~ptaint:false
+        (Value.Vint (Value.norm32 v)) false
+    done;
+    (Value.zero, false)
+  | "memcpy" ->
+    (* copy direction is unspecified for overlapping regions; each libc
+       (i.e. each implementation's runtime) picks its own *)
+    let d = ptr_arg 0 and s = ptr_arg 1 and n = Int64.to_int (int_arg 2) in
+    let idx =
+      if st.unit_.runtime.Policy.memcpy_backward then List.init (max 0 n) (fun i -> n - 1 - i)
+      else List.init (max 0 n) (fun i -> i)
+    in
+    List.iter
+      (fun i ->
+        let v, t = load st { s with Value.off = s.Value.off + i } ~ptaint:false in
+        store st { d with Value.off = d.Value.off + i } ~ptaint:false v t)
+      idx;
+    (Value.zero, false)
+  | "strlen" ->
+    let p = ptr_arg 0 in
+    let rec go i =
+      if i >= 4096 then i
+      else begin
+        let v, _ = load st { p with Value.off = p.Value.off + i } ~ptaint:false in
+        if as_int st v = 0L then i else go (i + 1)
+      end
+    in
+    (Value.Vint (Int64.of_int (go 0)), false)
+  | "exit" -> raise (Exit_program (Int64.to_int (int_arg 0) land 0xff))
+  | "abort" -> raise (Mem.Trapped Trap.Abort_called)
+  | "pow" -> (Value.Vfloat (Float.pow (float_arg 0) (float_arg 1)), false)
+  | "sqrt" -> (Value.Vfloat (Float.sqrt (float_arg 0)), false)
+  | "exp2" ->
+    (* deliberately computed as e^(x ln 2): bit-level different from
+       pow(2,x), the floating-point divergence of RQ2 *)
+    (Value.Vfloat (Float.exp (float_arg 0 *. Float.log 2.)), false)
+  | "floor" -> (Value.Vfloat (Float.floor (float_arg 0)), false)
+  | _ -> invalid_arg ("Exec: unknown builtin " ^ name)
+
+(* --- main interpreter loop --- *)
+
+let max_depth = 256
+
+let rec call st (fname : string) (args : (Value.t * bool) list) : Value.t * bool =
+  let f =
+    match Ir.func st.unit_ fname with
+    | Some f -> f
+    | None -> invalid_arg ("Exec: unknown function " ^ fname)
+  in
+  if st.depth >= max_depth then raise (Mem.Trapped Trap.Stack_overflow);
+  st.depth <- st.depth + 1;
+  st.frame_seq <- st.frame_seq + 1;
+  let slot_ids = Mem.push_frame st.mem f.slots in
+  let fr =
+    {
+      func = f;
+      regs = Array.make (max 1 f.nregs) Value.zero;
+      rtaint = Array.make (max 1 f.nregs) false;
+      rwritten = Array.make (max 1 f.nregs) false;
+      slot_ids;
+      fseq = st.frame_seq;
+    }
+  in
+  List.iteri
+    (fun i (v, t) -> if i < f.nregs then write_reg fr i v t)
+    args;
+  (match st.cfg.coverage with
+  | Some cov -> Coverage.hit cov (Coverage.block_id ~fname ~label:(-1))
+  | None -> ());
+  let labels = label_map st f in
+  let result = run_code st fr labels in
+  Mem.pop_frame st.mem;
+  st.depth <- st.depth - 1;
+  result
+
+and run_code st fr labels : Value.t * bool =
+  let code = fr.func.code in
+  let n = Array.length code in
+  let pc = ref 0 in
+  let jump l =
+    match Hashtbl.find_opt labels l with
+    | Some i -> pc := i
+    | None -> invalid_arg (Printf.sprintf "Exec: missing label L%d in %s" l fr.func.name)
+  in
+  let return_value = ref (Value.zero, false) in
+  let running = ref true in
+  while !running do
+    if !pc >= n then begin
+      (* fell off the end of a function with no return: void epilogue *)
+      running := false
+    end
+    else begin
+      st.fuel_left <- st.fuel_left - 1;
+      if st.fuel_left <= 0 then raise Fuel_out;
+      let ins = code.(!pc) in
+      incr pc;
+      match ins with
+      | Ilabel l ->
+        (match st.cfg.coverage with
+        | Some cov ->
+          Coverage.hit cov (Coverage.block_id ~fname:fr.func.name ~label:l)
+        | None -> ())
+      | Iconst (r, o) | Imov (r, o) ->
+        let v, t = eval_operand st fr o in
+        write_reg fr r v t
+      | Ibin (op, w, sem, r, a, b) ->
+        let va, ta = eval_operand st fr a in
+        let vb, tb = eval_operand st fr b in
+        let ia = as_int st va and ib = as_int st vb in
+        if sem = Csigned then st.cfg.hooks.Hooks.on_signed_arith op w ia ib;
+        write_reg fr r (Value.Vint (eval_ibin op w ia ib)) (ta || tb)
+      | Ineg (w, sem, r, a) ->
+        let va, ta = eval_operand st fr a in
+        let ia = as_int st va in
+        if sem = Csigned then st.cfg.hooks.Hooks.on_signed_arith Bsub w 0L ia;
+        write_reg fr r (Value.Vint (norm w (Int64.neg ia))) ta
+      | Inot (w, r, a) ->
+        let va, ta = eval_operand st fr a in
+        write_reg fr r (Value.Vint (norm w (Int64.lognot (as_int st va)))) ta
+      | Ifbin (op, r, a, b) ->
+        let va, ta = eval_operand st fr a in
+        let vb, tb = eval_operand st fr b in
+        let x = as_float va and y = as_float vb in
+        let z =
+          match op with
+          | FAdd -> x +. y
+          | FSub -> x -. y
+          | FMul -> x *. y
+          | FDiv -> x /. y
+        in
+        write_reg fr r (Value.Vfloat z) (ta || tb)
+      | Ifma (r, a, b, c) ->
+        let va, ta = eval_operand st fr a in
+        let vb, tb = eval_operand st fr b in
+        let vc, tc = eval_operand st fr c in
+        write_reg fr r
+          (Value.Vfloat (Float.fma (as_float va) (as_float vb) (as_float vc)))
+          (ta || tb || tc)
+      | Ifneg (r, a) ->
+        let va, ta = eval_operand st fr a in
+        write_reg fr r (Value.Vfloat (-.as_float va)) ta
+      | Icmp (c, _w, r, a, b) ->
+        let va, ta = eval_operand st fr a in
+        let vb, tb = eval_operand st fr b in
+        write_reg fr r (Value.Vint (eval_cmp c (as_int st va) (as_int st vb))) (ta || tb)
+      | Ifcmp (c, r, a, b) ->
+        let va, ta = eval_operand st fr a in
+        let vb, tb = eval_operand st fr b in
+        write_reg fr r (Value.Vint (eval_fcmp c (as_float va) (as_float vb))) (ta || tb)
+      | Ipcmp (c, r, a, b) ->
+        let va, ta = eval_operand st fr a in
+        let vb, tb = eval_operand st fr b in
+        let pa = as_ptr st va and pb = as_ptr st vb in
+        write_reg fr r (Value.Vint (eval_pcmp st c pa pb)) (ta || tb)
+      | Ipadd (r, p, off) ->
+        let vp, tp = eval_operand st fr p in
+        let voff, toff = eval_operand st fr off in
+        let pp = as_ptr st vp in
+        let d = Int64.to_int (as_int st voff) in
+        write_reg fr r (Value.Vptr { pp with Value.off = pp.Value.off + d }) (tp || toff)
+      | Ipdiff (r, a, b) ->
+        let va, ta = eval_operand st fr a in
+        let vb, tb = eval_operand st fr b in
+        let pa = as_ptr st va and pb = as_ptr st vb in
+        let aa = if Value.is_null pa then 0 else Mem.addr_of_ptr st.mem pa in
+        let ab = if Value.is_null pb then 0 else Mem.addr_of_ptr st.mem pb in
+        write_reg fr r (Value.Vint (Value.norm32 (Int64.of_int (aa - ab)))) (ta || tb)
+      | Icast (k, r, a) ->
+        let va, ta = eval_operand st fr a in
+        write_reg fr r (eval_cast st k va) ta
+      | Ilea (r, Sglobal g) ->
+        (match Hashtbl.find_opt st.global_ids g with
+        | Some id -> write_reg fr r (Value.Vptr { Value.obj = id; off = 0 }) false
+        | None -> invalid_arg ("Exec: unknown global " ^ g))
+      | Ilea (r, Sslot i) ->
+        write_reg fr r (Value.Vptr { Value.obj = fr.slot_ids.(i); off = 0 }) false
+      | Iload (r, p) ->
+        let vp, tp = eval_operand st fr p in
+        let v, t = load st (as_ptr st vp) ~ptaint:tp in
+        write_reg fr r v t
+      | Istore (p, x) ->
+        let vp, tp = eval_operand st fr p in
+        let vx, tx = eval_operand st fr x in
+        store st (as_ptr st vp) ~ptaint:tp vx tx
+      | Icall (dest, fname, args) ->
+        let argv = List.map (eval_operand st fr) args in
+        let v, t = call st fname argv in
+        (match dest with Some r -> write_reg fr r v t | None -> ())
+      | Ibuiltin (dest, bname, args) ->
+        let argv = List.map (eval_operand st fr) args in
+        let v, t = exec_builtin st fr bname argv in
+        (match dest with Some r -> write_reg fr r v t | None -> ())
+      | Iprint items ->
+        (match st.cfg.on_print with
+        | None -> List.iter (print_item st fr) items
+        | Some notify ->
+          let before = Buffer.length st.out in
+          List.iter (print_item st fr) items;
+          let text =
+            Buffer.sub st.out before (Buffer.length st.out - before)
+          in
+          notify ~fn:fr.func.name text)
+      | Ijmp l -> jump l
+      | Ibr (c, lt, lf) ->
+        let vc, tc = eval_operand st fr c in
+        st.cfg.hooks.Hooks.on_branch ~taint:tc;
+        if Value.truthy vc then jump lt else jump lf
+      | Iret None ->
+        return_value := (Value.zero, false);
+        running := false
+      | Iret (Some o) ->
+        return_value := eval_operand st fr o;
+        running := false
+      | Itrap _ -> raise (Mem.Trapped Trap.Abort_called)
+    end
+  done;
+  !return_value
+
+and eval_pcmp st c (a : Value.ptr) (b : Value.ptr) : int64 =
+  let abs p = if Value.is_null p then 0 else Mem.addr_of_ptr st.mem p in
+  match c with
+  | Ceq -> if abs a = abs b then 1L else 0L
+  | Cne -> if abs a <> abs b then 1L else 0L
+  | Clt | Cle | Cgt | Cge ->
+    let xa, xb =
+      match st.unit_.runtime.Policy.ptrcmp with
+      | Policy.Pabs -> (abs a, abs b)
+      | Policy.Pobjseq ->
+        (* compare by allocation sequence, then offset; encode as a pair *)
+        ((a.Value.obj * 1_000_000) + a.Value.off, (b.Value.obj * 1_000_000) + b.Value.off)
+    in
+    eval_cmp c (Int64.of_int xa) (Int64.of_int xb)
+
+and eval_cast st k (v : Value.t) : Value.t =
+  match k with
+  | Sext3264 -> Value.Vint (as_int st v) (* W32 already sign-extended *)
+  | Trunc6432 -> Value.Vint (Value.norm32 (as_int st v))
+  | I2F _ -> Value.Vfloat (Int64.to_float (as_int st v))
+  | F2I w ->
+    let f = as_float v in
+    let x =
+      if Float.is_nan f || f >= 9.22e18 || f <= -9.22e18 then Int64.min_int
+      else Int64.of_float f
+    in
+    Value.Vint (norm w x)
+  | P2I w -> Value.Vint (norm w (as_int st v))
+  | I2P -> Value.Vptr (as_ptr st v)
+
+(* --- entry point --- *)
+
+let run ?(config = default_config) (u : Ir.unit_) : result =
+  let mem = Mem.create u.runtime u.globals in
+  let st =
+    {
+      unit_ = u;
+      mem;
+      global_ids = Mem.global_ids mem;
+      label_maps = Hashtbl.create 16;
+      cfg = config;
+      out = Buffer.create 256;
+      fuel_left = config.fuel;
+      in_pos = 0;
+      depth = 0;
+      frame_seq = 0;
+      uninit_reg = u.runtime.Policy.uninit_reg;
+    }
+  in
+  let status =
+    try
+      let v, _ = call st "main" [] in
+      Trap.Exit (Int64.to_int (as_int st v) land 0xff)
+    with
+    | Exit_program code -> Trap.Exit code
+    | Mem.Trapped t -> Trap.Trap t
+    | Fuel_out -> Trap.Hang
+    | Output_limit_exc -> Trap.Trap Trap.Output_limit
+    | Hooks.Report msg -> Trap.San_report msg
+  in
+  {
+    stdout = Buffer.contents st.out;
+    status;
+    fuel_used = config.fuel - st.fuel_left;
+  }

@@ -1,0 +1,392 @@
+(* The simulated address space.
+
+   Three flat regions -- globals, heap, stack -- whose cells are addressed
+   absolutely; an object table supplies provenance (bounds, liveness) on
+   top. The region bases, inter-object gaps, slot order and allocator
+   reuse strategy all come from the producing implementation's
+   {!Cdcompiler.Policy.layout}, so the same store performed by two
+   binaries can land on different victims -- the MemError/UninitMem
+   divergence mechanism.
+
+   Out-of-bounds or dangling accesses are resolved by absolute address:
+   inside a mapped region they silently read/write whatever is there;
+   outside, they trap. Uninitialized stack cells read deterministic
+   "junk" derived from the implementation's stack seed, and are never
+   cleared between frames (stack reuse), so uninitialized locals see
+   leftovers exactly like real stacks do. *)
+
+open Cdcompiler
+
+exception Trapped of Trap.t
+
+type obj_kind = Kglobal | Kstack | Kheap
+
+type obj = {
+  id : int;
+  kind : obj_kind;
+  base : int;              (* absolute address of cell 0 *)
+  size : int;              (* cells *)
+  mutable alive : bool;
+  oname : string;          (* diagnostics: global/slot name or "heap" *)
+}
+
+type t = {
+  layout : Policy.layout;
+  uninit_heap : Policy.uninit_policy;
+  stack_seed : int;
+  (* object table *)
+  mutable objects : obj array;        (* id -> obj; id 0 unused (null) *)
+  mutable nobjects : int;
+  (* globals region *)
+  globals_mem : Value.t array;
+  globals_taint : bool array;
+  globals_len : int;                  (* mapped extent in cells *)
+  globals_by_base : (int * int) array; (* (base, id), sorted by base *)
+  (* stack region: cells persist across frames (stack reuse) *)
+  stack_mem : Value.t array;
+  stack_taint : bool array;
+  stack_written : bool array;         (* lazily materialized junk *)
+  mutable sp : int;                   (* next free address (grows down) *)
+  mutable frames : frame list;        (* innermost first *)
+  (* heap region *)
+  mutable heap_mem : Value.t array;
+  mutable heap_taint : bool array;
+  mutable heap_break : int;           (* next fresh absolute address *)
+  mutable free_list : (int * int * int) list; (* (base, size, old_id), LIFO *)
+  mutable heap_by_base : (int, int) Hashtbl.t; (* base -> id, live or freed *)
+}
+
+and frame = {
+  f_base : int;                       (* lowest address of the frame *)
+  f_size : int;
+  f_slots : (int * int) array;        (* (slot offset within frame, obj id) *)
+}
+
+let stack_top m = m.layout.Policy.stack_base + m.layout.Policy.stack_size
+
+let fresh_obj m kind base size oname =
+  let id = m.nobjects in
+  let o = { id; kind; base; size; alive = true; oname } in
+  if id >= Array.length m.objects then begin
+    let bigger = Array.make (max 16 (2 * Array.length m.objects)) o in
+    Array.blit m.objects 0 bigger 0 (Array.length m.objects);
+    m.objects <- bigger
+  end;
+  m.objects.(id) <- o;
+  m.nobjects <- id + 1;
+  o
+
+let obj m id =
+  if id > 0 && id < m.nobjects then Some m.objects.(id) else None
+
+(* --- construction --- *)
+
+let create (runtime : Policy.runtime) (globals : Ir.iglobal list) : t =
+  let layout = runtime.Policy.layout in
+  (* lay out globals *)
+  let gap = layout.Policy.global_gap in
+  let total =
+    List.fold_left (fun acc g -> acc + g.Ir.g_size + gap) 0 globals
+  in
+  let globals_mem = Array.make (max 1 total) Value.zero in
+  let globals_taint = Array.make (max 1 total) false in
+  let m =
+    {
+      layout;
+      uninit_heap = runtime.Policy.uninit_heap;
+      stack_seed = runtime.Policy.stack_seed;
+      objects = Array.make 64 { id = 0; kind = Kglobal; base = 0; size = 0; alive = false; oname = "<null>" };
+      nobjects = 1;
+      globals_mem;
+      globals_taint;
+      globals_len = total;
+      globals_by_base = [||];
+      stack_mem = Array.make layout.Policy.stack_size Value.zero;
+      stack_taint = Array.make layout.Policy.stack_size true;
+      stack_written = Array.make layout.Policy.stack_size false;
+      sp = layout.Policy.stack_base + layout.Policy.stack_size;
+      frames = [];
+      heap_mem = Array.make 256 Value.zero;
+      heap_taint = Array.make 256 true;
+      heap_break = layout.Policy.heap_base;
+      free_list = [];
+      heap_by_base = Hashtbl.create 16;
+    }
+  in
+  let by_base = ref [] in
+  let cursor = ref 0 in
+  let placement =
+    if layout.Policy.globals_reversed then List.rev globals else globals
+  in
+  List.iter
+    (fun (g : Ir.iglobal) ->
+      let base = layout.Policy.globals_base + !cursor in
+      let o = fresh_obj m Kglobal base g.Ir.g_size g.Ir.g_name in
+      List.iteri
+        (fun i v ->
+          if i < g.Ir.g_size then globals_mem.(!cursor + i) <- Value.Vint v)
+        g.Ir.g_init;
+      by_base := (base, o.id) :: !by_base;
+      cursor := !cursor + g.Ir.g_size + gap)
+    placement;
+  { m with globals_by_base = Array.of_list (List.rev !by_base) }
+
+(* name -> object id, for Ilea *)
+let global_ids (m : t) : (string, int) Hashtbl.t =
+  let h = Hashtbl.create 16 in
+  Array.iter
+    (fun (_, id) ->
+      match obj m id with Some o -> Hashtbl.replace h o.oname id | None -> ())
+    m.globals_by_base;
+  h
+
+(* --- junk values --- *)
+
+let stack_junk m addr =
+  Value.Vint (Policy.uninit_value (Policy.Upattern m.stack_seed) ~addr)
+
+let heap_junk m addr = Value.Vint (Policy.uninit_value m.uninit_heap ~addr)
+
+(* --- absolute-address cell access --- *)
+
+type cell_ref =
+  | Cglobal of int   (* index into globals_mem *)
+  | Cstack of int    (* index into stack_mem *)
+  | Cheap of int     (* index into heap_mem *)
+
+let resolve_region m addr : cell_ref =
+  let l = m.layout in
+  if addr >= l.Policy.globals_base && addr < l.Policy.globals_base + m.globals_len
+  then Cglobal (addr - l.Policy.globals_base)
+  else if addr >= l.Policy.stack_base && addr < stack_top m then
+    Cstack (addr - l.Policy.stack_base)
+  else if addr >= l.Policy.heap_base && addr < m.heap_break then
+    Cheap (addr - l.Policy.heap_base)
+  else raise (Trapped (Trap.Segfault addr))
+
+let read_abs m addr : Value.t * bool =
+  match resolve_region m addr with
+  | Cglobal i -> (m.globals_mem.(i), m.globals_taint.(i))
+  | Cstack i ->
+    let v = if m.stack_written.(i) then m.stack_mem.(i) else stack_junk m addr in
+    (v, m.stack_taint.(i))
+  | Cheap i -> (m.heap_mem.(i), m.heap_taint.(i))
+
+let write_abs m addr (v : Value.t) ~(taint : bool) =
+  match resolve_region m addr with
+  | Cglobal i ->
+    m.globals_mem.(i) <- v;
+    m.globals_taint.(i) <- taint
+  | Cstack i ->
+    m.stack_mem.(i) <- v;
+    m.stack_written.(i) <- true;
+    m.stack_taint.(i) <- taint
+  | Cheap i ->
+    m.heap_mem.(i) <- v;
+    m.heap_taint.(i) <- taint
+
+(* --- pointer resolution --- *)
+
+let addr_of_ptr m (p : Value.ptr) : int =
+  if Value.is_wild p then p.Value.off
+  else
+    match obj m p.Value.obj with
+    | Some o -> o.base + p.Value.off
+    | None -> raise (Trapped (Trap.Segfault p.Value.off))
+
+(* absolute address -> (object, offset), if any object contains it *)
+let object_at m addr : (obj * int) option =
+  let l = m.layout in
+  if addr >= l.Policy.globals_base && addr < l.Policy.globals_base + m.globals_len
+  then begin
+    (* binary search over globals_by_base *)
+    let arr = m.globals_by_base in
+    let n = Array.length arr in
+    let rec search lo hi acc =
+      if lo > hi then acc
+      else begin
+        let mid = (lo + hi) / 2 in
+        let base, _ = arr.(mid) in
+        if base <= addr then search (mid + 1) hi (Some mid) else search lo (mid - 1) acc
+      end
+    in
+    match search 0 (n - 1) None with
+    | Some i ->
+      let base, id = arr.(i) in
+      let o = m.objects.(id) in
+      if addr < base + o.size then Some (o, addr - base) else None
+    | None -> None
+  end
+  else if addr >= l.Policy.stack_base && addr < stack_top m then begin
+    let rec in_frames = function
+      | [] -> None
+      | f :: rest ->
+        if addr >= f.f_base && addr < f.f_base + f.f_size then begin
+          let found = ref None in
+          Array.iter
+            (fun (off, id) ->
+              let o = m.objects.(id) in
+              let b = f.f_base + off in
+              if addr >= b && addr < b + o.size then found := Some (o, addr - b))
+            f.f_slots;
+          !found
+        end
+        else in_frames rest
+    in
+    in_frames m.frames
+  end
+  else if addr >= l.Policy.heap_base && addr < m.heap_break then begin
+    (* scan heap blocks by base: base <= addr < base+size *)
+    let found = ref None in
+    Hashtbl.iter
+      (fun base id ->
+        let o = m.objects.(id) in
+        if addr >= base && addr < base + o.size then found := Some (o, addr - base))
+      m.heap_by_base;
+    !found
+  end
+  else None
+
+(* forge a pointer from an integer address (int-to-pointer cast) *)
+let ptr_of_addr m addr : Value.ptr =
+  if addr = 0 then Value.null
+  else
+    match object_at m addr with
+    | Some (o, off) -> { Value.obj = o.id; off }
+    | None -> Value.wild addr
+
+(* --- stack frames --- *)
+
+let grow_gap n = n (* identity; kept for clarity *)
+
+(* Compute a frame layout for [slots] (size list in slot-index order) and
+   push it. Returns the slot object ids in slot-index order. *)
+let push_frame m (slots : Ir.frame_slot array) : int array =
+  let l = m.layout in
+  let n = Array.length slots in
+  let order = Array.init n (fun i -> i) in
+  let order =
+    if l.Policy.slots_reversed then Array.init n (fun i -> n - 1 - i) else order
+  in
+  let gap = grow_gap l.Policy.slot_gap in
+  (* total size with gaps and alignment *)
+  let raw =
+    Array.fold_left (fun acc (s : Ir.frame_slot) -> acc + s.Ir.slot_size + gap) 0 slots
+  in
+  let align = max 1 l.Policy.frame_align in
+  let size = max align ((raw + align - 1) / align * align) in
+  let base = m.sp - size in
+  if base < l.Policy.stack_base then raise (Trapped Trap.Stack_overflow);
+  m.sp <- base;
+  let ids = Array.make n 0 in
+  let offsets = Array.make n 0 in
+  let cursor = ref 0 in
+  Array.iter
+    (fun idx ->
+      let s = slots.(idx) in
+      offsets.(idx) <- !cursor;
+      let o = fresh_obj m Kstack (base + !cursor) s.Ir.slot_size s.Ir.slot_name in
+      ids.(idx) <- o.id;
+      cursor := !cursor + s.Ir.slot_size + gap)
+    order;
+  (* mark the frame's cells as uninitialized for taint purposes, but do NOT
+     clear values: stack reuse *)
+  let lo = base - l.Policy.stack_base in
+  for i = lo to lo + size - 1 do
+    m.stack_taint.(i) <- true
+  done;
+  let f_slots = Array.init n (fun i -> (offsets.(i), ids.(i))) in
+  m.frames <- { f_base = base; f_size = size; f_slots } :: m.frames;
+  ids
+
+let pop_frame m =
+  match m.frames with
+  | [] -> invalid_arg "Mem.pop_frame: no frame"
+  | f :: rest ->
+    Array.iter (fun (_, id) -> m.objects.(id).alive <- false) f.f_slots;
+    m.sp <- f.f_base + f.f_size;
+    m.frames <- rest
+
+(* --- heap --- *)
+
+let ensure_heap_capacity m needed =
+  let cap = Array.length m.heap_mem in
+  if needed > cap then begin
+    let ncap = max needed (2 * cap) in
+    let nm = Array.make ncap Value.zero in
+    let nt = Array.make ncap true in
+    Array.blit m.heap_mem 0 nm 0 cap;
+    Array.blit m.heap_taint 0 nt 0 cap;
+    m.heap_mem <- nm;
+    m.heap_taint <- nt
+  end
+
+let heap_limit_cells = 1 lsl 20
+
+let malloc m (n : int) : Value.ptr =
+  if n <= 0 || n > heap_limit_cells then Value.null
+  else begin
+    let l = m.layout in
+    let reuse =
+      if l.Policy.heap_reuse then begin
+        let rec take acc = function
+          | [] -> None
+          | (base, size, old_id) :: rest when size >= n ->
+            m.free_list <- List.rev_append acc rest;
+            Some (base, size, old_id)
+          | entry :: rest -> take (entry :: acc) rest
+        in
+        take [] m.free_list
+      end
+      else None
+    in
+    match reuse with
+    | Some (base, _size, old_id) ->
+      (* the old block's identity dies; its cells keep their contents but
+         become uninitialized-for-taint *)
+      Hashtbl.remove m.heap_by_base base;
+      (match obj m old_id with Some o -> o.alive <- false | None -> ());
+      let o = fresh_obj m Kheap base n "heap" in
+      Hashtbl.replace m.heap_by_base base o.id;
+      let lo = base - l.Policy.heap_base in
+      for i = lo to lo + n - 1 do
+        m.heap_taint.(i) <- true
+      done;
+      { Value.obj = o.id; off = 0 }
+    | None ->
+      let base = m.heap_break in
+      let o = fresh_obj m Kheap base n "heap" in
+      m.heap_break <- base + n + l.Policy.heap_gap;
+      ensure_heap_capacity m (m.heap_break - l.Policy.heap_base);
+      Hashtbl.replace m.heap_by_base base o.id;
+      (* fresh block: junk contents per policy *)
+      let lo = base - l.Policy.heap_base in
+      for i = 0 to n - 1 do
+        m.heap_mem.(lo + i) <- heap_junk m (base + i);
+        m.heap_taint.(lo + i) <- true
+      done;
+      { Value.obj = o.id; off = 0 }
+  end
+
+(* Returns what kind of free this was, so sanitizer hooks can classify it:
+   [`Ok], [`Double] or [`Invalid]. Without a sanitizer, a double free
+   corrupts the free list exactly like a real allocator; an invalid free
+   aborts like glibc. *)
+let free m (p : Value.ptr) : [ `Ok | `Double | `Invalid | `Null ] =
+  if Value.is_null p then `Null
+  else if Value.is_wild p then `Invalid
+  else
+    match obj m p.Value.obj with
+    | None -> `Invalid
+    | Some o ->
+      if o.kind <> Kheap || p.Value.off <> 0 then `Invalid
+      else if not o.alive then begin
+        (* double free: push the block again (allocator corruption) *)
+        m.free_list <- (o.base, o.size, o.id) :: m.free_list;
+        `Double
+      end
+      else begin
+        o.alive <- false;
+        m.free_list <- (o.base, o.size, o.id) :: m.free_list;
+        `Ok
+      end

@@ -1,0 +1,37 @@
+(* Runtime values.
+
+   32-bit integers are stored sign-extended inside [int64]; every 32-bit
+   operation re-normalizes through {!norm32}. Pointers carry provenance:
+   the object they were derived from plus a cell offset, which may be out
+   of bounds -- the *access* decides what that means, not the arithmetic,
+   matching C's provenance model. *)
+
+type ptr = { obj : int; off : int }
+
+let null = { obj = 0; off = 0 }
+let is_null p = p.obj = 0 && p.off = 0
+
+(* a forged pointer produced by an int-to-pointer cast that did not
+   resolve to any object at cast time; [off] holds the absolute address *)
+let wild addr = { obj = -1; off = addr }
+let is_wild p = p.obj = -1
+
+type t =
+  | Vint of int64
+  | Vfloat of float
+  | Vptr of ptr
+
+let norm32 v = Int64.of_int32 (Int64.to_int32 v)
+
+let zero = Vint 0L
+
+let truthy = function
+  | Vint v -> v <> 0L
+  | Vfloat f -> f <> 0.
+  | Vptr p -> not (is_null p)
+
+let to_string = function
+  | Vint v -> Int64.to_string v
+  | Vfloat f -> Printf.sprintf "%g" f
+  | Vptr p when is_null p -> "null"
+  | Vptr p -> Printf.sprintf "<obj%d+%d>" p.obj p.off

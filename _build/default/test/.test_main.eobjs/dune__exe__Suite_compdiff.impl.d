@@ -1,0 +1,1 @@
+test/suite_compdiff.ml: Alcotest Array Cdcompiler Cdvm Compdiff List Localize Minic Normalize Oracle String Subset Triage

@@ -1,0 +1,1 @@
+test/suite_compiler.ml: Alcotest Array Cdcompiler Cdvm Ir List Minic Pipeline Policy Printf Profiles QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_frontend_fuzz.ml: Alcotest Cdcompiler Cdvm List Minic Option Printf Projects QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/suite_fuzz.ml: Alcotest Cdcompiler Cdutil Compdiff Fuzz List Minic Sanitizers String

@@ -1,0 +1,1 @@
+test/suite_juliet.ml: Alcotest Array Cdcompiler Compdiff Juliet Lazy List Minic Printexc Printf Sanitizers

@@ -1,0 +1,1 @@
+test/suite_minic.ml: Alcotest Ast Builder Lexer List Minic Parser Pretty Printf QCheck QCheck_alcotest String Tast Test Typecheck

@@ -1,0 +1,1 @@
+test/suite_passes.ml: Alcotest Array Cdcompiler Cdvm Compdiff Ir Minic Opt_constfold Opt_copyprop Opt_cse Opt_dce Opt_peephole Opt_ubfold Option Pipeline Printf Profiles QCheck QCheck_alcotest String

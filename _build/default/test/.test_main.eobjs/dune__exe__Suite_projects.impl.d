@@ -1,0 +1,1 @@
+test/suite_projects.ml: Alcotest Cdcompiler Compdiff List Option Printexc Printf Projects Sanitizers

@@ -1,0 +1,1 @@
+test/suite_sanitizers.ml: Alcotest Minic San Sanitizers

@@ -1,0 +1,1 @@
+test/suite_static.ml: Alcotest Finding List Minic Static_tools Staticcheck

@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array Bytes Cdutil Gen Int64 List Murmur3 Printf QCheck QCheck_alcotest Rng Stats String Tablefmt Test

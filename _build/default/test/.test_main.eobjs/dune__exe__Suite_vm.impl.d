@@ -1,0 +1,1 @@
+test/suite_vm.ml: Alcotest Array Bytes Cdcompiler Cdvm Coverage Exec Hashtbl Ir List Mem Minic Option Pipeline Policy Printf Profiles Trap Value

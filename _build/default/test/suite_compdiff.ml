@@ -1,0 +1,317 @@
+(* Tests for the CompDiff core: oracle verdicts, output normalization,
+   timeout escalation, subset studies and triage. *)
+
+open Compdiff
+
+let frontend src =
+  match Minic.frontend_of_source src with
+  | Ok tp -> tp
+  | Error msg -> Alcotest.failf "front end: %s" msg
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- oracle --- *)
+
+let stable_src = "int main() { print(\"ok %d\\n\", getchar()); return 0; }"
+
+let unstable_src =
+  "int main() {\n\
+   \  int l;\n\
+   \  int c = getchar();\n\
+   \  if (c > 64) { l = c; }\n\
+   \  print(\"%d\\n\", l);\n\
+   \  return 0;\n\
+   }"
+
+let test_oracle_agree () =
+  let o = Oracle.create (frontend stable_src) in
+  match Oracle.check o ~input:"A" with
+  | Oracle.Agree obs -> Alcotest.(check string) "output" "ok 65\n" obs.Oracle.output
+  | Oracle.Diverge _ -> Alcotest.fail "expected agreement"
+
+let test_oracle_diverge () =
+  let o = Oracle.create (frontend unstable_src) in
+  check_bool "diverges on empty input" true (Oracle.is_divergence (Oracle.check o ~input:""));
+  check_bool "agrees on initializing input" false
+    (Oracle.is_divergence (Oracle.check o ~input:"Z"))
+
+let test_oracle_find_bug () =
+  let o = Oracle.create (frontend unstable_src) in
+  match Oracle.find_bug o ~inputs:[ "Z"; "Y"; ""; "X" ] with
+  | Some (input, _) -> Alcotest.(check string) "bug input" "" input
+  | None -> Alcotest.fail "expected to find the bug-triggering input"
+
+let test_oracle_subset_profiles () =
+  (* with two identical-family implementations the uninit bug may vanish *)
+  let profiles = [ Cdcompiler.Profiles.gccx "O2"; Cdcompiler.Profiles.gccx "O3" ] in
+  let o10 = Oracle.create (frontend unstable_src) in
+  let o2 = Oracle.create ~profiles (frontend unstable_src) in
+  let d10 = Oracle.is_divergence (Oracle.check o10 ~input:"") in
+  let d2 = Oracle.is_divergence (Oracle.check o2 ~input:"") in
+  check_bool "full set detects" true d10;
+  (* the small same-family subset is allowed to detect or miss; this test
+     pins the current behaviour so regressions surface *)
+  check_bool "subset result is deterministic" d2
+    (Oracle.is_divergence (Oracle.check o2 ~input:""))
+
+let test_oracle_partition () =
+  let o = Oracle.create (frontend stable_src) in
+  let obs = Oracle.observe o ~input:"A" in
+  let classes = Oracle.partition o obs in
+  Alcotest.(check (array int)) "all in one class" (Array.make 10 0) classes
+
+let test_oracle_timeout_escalation () =
+  (* terminates everywhere, but needs more fuel at -O0 than the base
+     budget: escalation must avoid the false positive *)
+  let src =
+    "int main() {\n\
+     \  int s = 0;\n\
+     \  for (int i = 0; i < 20000; i++) { s += i % 7; }\n\
+     \  print(\"%d\\n\", s);\n\
+     \  return 0;\n\
+     }"
+  in
+  let o = Oracle.create ~fuel:60_000 ~max_fuel:4_000_000 (frontend src) in
+  match Oracle.check o ~input:"" with
+  | Oracle.Agree _ -> ()
+  | Oracle.Diverge obs ->
+    Alcotest.failf "escalation failed: %s" (Oracle.report_to_string ~input:"" obs)
+
+let test_oracle_all_hang_agrees () =
+  let src = "int main() { while (1) { } return 0; }" in
+  let o = Oracle.create ~fuel:10_000 ~max_fuel:20_000 (frontend src) in
+  match Oracle.check o ~input:"" with
+  | Oracle.Agree obs ->
+    check_bool "status hang" true (obs.Oracle.status = Cdvm.Trap.Hang)
+  | Oracle.Diverge _ -> Alcotest.fail "all-hang must not be a divergence"
+
+let test_oracle_status_ablation () =
+  (* same stdout, different exit codes: caught only when comparing status *)
+  let src =
+    "int main() {\n\
+     \  int x;\n\
+     \  print(\"fixed\\n\");\n\
+     \  return x & 127;\n\
+     }"
+  in
+  let with_status = Oracle.create (frontend src) in
+  let without = Oracle.create ~compare_status:false (frontend src) in
+  let d1 = Oracle.is_divergence (Oracle.check with_status ~input:"") in
+  let d2 = Oracle.is_divergence (Oracle.check without ~input:"") in
+  check_bool "status comparison detects" true d1;
+  check_bool "output-only misses" false d2
+
+let test_report_format () =
+  let o = Oracle.create (frontend unstable_src) in
+  match Oracle.check o ~input:"" with
+  | Oracle.Diverge obs ->
+    let r = Oracle.report_to_string ~input:"" obs in
+    check_bool "mentions input" true
+      (String.length r > 0 && String.sub r 0 3 = "===")
+  | Oracle.Agree _ -> Alcotest.fail "expected divergence"
+
+(* --- normalize --- *)
+
+let test_normalize_timestamps () =
+  Alcotest.(check string) "strip ts" "<TS> [Epan WARNING]"
+    (Normalize.strip_timestamps "10:44:23.405830 [Epan WARNING]");
+  Alcotest.(check string) "no ts untouched" "hello 1:2"
+    (Normalize.strip_timestamps "hello 1:2")
+
+let test_normalize_addresses () =
+  Alcotest.(check string) "strip addr" "ptr=<ADDR> end"
+    (Normalize.strip_hex_addresses "ptr=0x7ffe123 end")
+
+let test_normalize_lines () =
+  Alcotest.(check string) "drop marked lines" "keep\nkeep2"
+    (Normalize.strip_lines_containing "[random]" "keep\nnoise [random] 42\nkeep2")
+
+let test_normalize_compose () =
+  let f = Normalize.compose [ Normalize.strip_timestamps; Normalize.strip_hex_addresses ] in
+  Alcotest.(check string) "both" "<TS> at <ADDR>" (f "10:00:00 at 0xdead")
+
+let test_normalize_makes_outputs_agree () =
+  (* %p output differs across layouts; address stripping removes the
+     divergence *)
+  let src = "int g;\nint main() { print(\"ptr %p\\n\", &g); return 0; }" in
+  let raw = Oracle.create (frontend src) in
+  let filtered =
+    Oracle.create ~normalize:Normalize.strip_hex_addresses (frontend src)
+  in
+  check_bool "raw %p diverges" true (Oracle.is_divergence (Oracle.check raw ~input:""));
+  check_bool "normalized agrees" false
+    (Oracle.is_divergence (Oracle.check filtered ~input:""))
+
+(* --- subset --- *)
+
+let test_subset_masks () =
+  check_int "C(4,2)" 6 (List.length (Subset.masks_of_size ~n:4 ~size:2));
+  check_int "C(10,2)" 45 (List.length (Subset.masks_of_size ~n:10 ~size:2));
+  check_int "C(10,10)" 1 (List.length (Subset.masks_of_size ~n:10 ~size:10))
+
+let test_subset_detects_mask () =
+  let classes = [| 0; 0; 1; 0 |] in
+  check_bool "straddles" true (Subset.detects_mask classes 0b0101);
+  check_bool "same class" false (Subset.detects_mask classes 0b1011);
+  check_bool "single impl" false (Subset.detects_mask classes 0b0100)
+
+let test_subset_study_monotone () =
+  (* detection counts never decrease with subset size (max over subsets) *)
+  let partitions =
+    [ [| 0; 0; 0; 1 |]; [| 0; 1; 1; 1 |]; [| 0; 0; 0; 0 |]; [| 0; 1; 0; 1 |] ]
+  in
+  let rows = Subset.study ~n:4 partitions in
+  check_int "three sizes" 3 (List.length rows);
+  let maxima = List.map (fun r -> snd r.Subset.best) rows in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  check_bool "max detection grows with size" true (monotone maxima)
+
+let test_subset_full_set_detects_all_detectable () =
+  let partitions = [ [| 0; 0; 0; 1 |]; [| 0; 0; 0; 0 |]; [| 0; 1; 0; 1 |] ] in
+  let full_mask = (1 lsl 4) - 1 in
+  check_int "full set detects the 2 detectable bugs" 2
+    (Subset.count_detected partitions full_mask)
+
+let test_subset_recommend () =
+  let names = List.map (fun p -> p.Cdcompiler.Policy.pname) Cdcompiler.Profiles.all in
+  Alcotest.(check (list string)) "recommendation" [ "gccx-O0"; "clangx-O3" ]
+    (Subset.recommend ~names)
+
+(* --- localize (the Section 5 prototype) --- *)
+
+let test_localize_listing1 () =
+  (* the first divergent observation must sit in dump_data *)
+  let src =
+    "int dump_data(int offset, int len) {\n\
+     \  if (offset + len > 100) { return -1; }\n\
+     \  if (offset + len < offset) { return -1; }\n\
+     \  print(\"dumping %d bytes\\n\", len);\n\
+     \  return 0;\n\
+     }\n\
+     int main() { print(\"r=%d\\n\", dump_data(2147483547, 101)); return 0; }"
+  in
+  let o = Oracle.create (frontend src) in
+  match Oracle.check o ~input:"" with
+  | Oracle.Agree _ -> Alcotest.fail "expected divergence"
+  | Oracle.Diverge obs -> (
+    match Localize.of_divergence o (Oracle.binaries o) obs ~input:"" with
+    | None -> Alcotest.fail "expected a localization"
+    | Some l ->
+      check_int "diverges at the first observation" 0 l.Localize.event_index;
+      let mentions_dump =
+        match (l.Localize.at_a, l.Localize.at_b) with
+        | Some a, Some b -> a.Localize.ev_fn = "dump_data" || b.Localize.ev_fn = "dump_data"
+        | _ -> false
+      in
+      check_bool "localized into dump_data" true mentions_dump;
+      check_bool "report renders" true (String.length (Localize.to_string l) > 0))
+
+let test_localize_shared_prefix () =
+  (* agreement on the first print, divergence on the second: index 1 and
+     a shared-prefix context *)
+  let src =
+    "int main() {\n\
+     \  print(\"header\\n\");\n\
+     \  int l;\n\
+     \  print(\"%d\\n\", l);\n\
+     \  return 0;\n\
+     }"
+  in
+  let o = Oracle.create (frontend src) in
+  match Oracle.check o ~input:"" with
+  | Oracle.Agree _ -> Alcotest.fail "expected divergence"
+  | Oracle.Diverge obs -> (
+    match Localize.of_divergence o (Oracle.binaries o) obs ~input:"" with
+    | None -> Alcotest.fail "expected a localization"
+    | Some l ->
+      check_int "second observation" 1 l.Localize.event_index;
+      check_int "one shared event kept as context" 1 (List.length l.Localize.before))
+
+let test_localize_none_on_status_only () =
+  (* divergence via exit code only: traces are identical *)
+  let src =
+    "int main() {\n\
+     \  int x;\n\
+     \  print(\"fixed\\n\");\n\
+     \  return x & 127;\n\
+     }"
+  in
+  let o = Oracle.create (frontend src) in
+  match Oracle.check o ~input:"" with
+  | Oracle.Agree _ -> Alcotest.fail "expected divergence"
+  | Oracle.Diverge obs ->
+    check_bool "no print-level localization" true
+      (Localize.of_divergence o (Oracle.binaries o) obs ~input:"" = None)
+
+(* --- triage --- *)
+
+let test_triage_dedup () =
+  let o = Oracle.create (frontend unstable_src) in
+  let t = Triage.create () in
+  (* the same uninit bug via two different non-initializing inputs *)
+  List.iter
+    (fun input ->
+      match Oracle.check o ~input with
+      | Oracle.Diverge obs -> ignore (Triage.add t o ~input obs)
+      | Oracle.Agree _ -> Alcotest.failf "expected divergence on %S" input)
+    [ ""; "!" ];
+  check_int "two entries" 2 (Triage.total_count t);
+  check_bool "deduplicated to fewer uniques" true (Triage.unique_count t <= 2);
+  check_int "representatives match uniques" (Triage.unique_count t)
+    (List.length (Triage.representatives t))
+
+let test_triage_signature_canonical () =
+  let s1 = Triage.signature_of_partition [| 0; 0; 1; 1 |] in
+  let s2 = Triage.signature_of_partition [| 1; 1; 0; 0 |] in
+  let s3 = Triage.signature_of_partition [| 0; 1; 0; 1 |] in
+  check_bool "renaming-invariant" true (s1 = s2);
+  check_bool "different groupings differ" true (s1 <> s3)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "compdiff.oracle",
+      [
+        tc "agree" test_oracle_agree;
+        tc "diverge" test_oracle_diverge;
+        tc "find bug" test_oracle_find_bug;
+        tc "subset profiles" test_oracle_subset_profiles;
+        tc "partition" test_oracle_partition;
+        tc "timeout escalation" test_oracle_timeout_escalation;
+        tc "all-hang agrees" test_oracle_all_hang_agrees;
+        tc "status ablation" test_oracle_status_ablation;
+        tc "report format" test_report_format;
+      ] );
+    ( "compdiff.normalize",
+      [
+        tc "timestamps" test_normalize_timestamps;
+        tc "addresses" test_normalize_addresses;
+        tc "line dropping" test_normalize_lines;
+        tc "composition" test_normalize_compose;
+        tc "%p agreement" test_normalize_makes_outputs_agree;
+      ] );
+    ( "compdiff.subset",
+      [
+        tc "mask counts" test_subset_masks;
+        tc "detects_mask" test_subset_detects_mask;
+        tc "study monotone" test_subset_study_monotone;
+        tc "full set" test_subset_full_set_detects_all_detectable;
+        tc "recommend" test_subset_recommend;
+      ] );
+    ( "compdiff.localize",
+      [
+        tc "listing1" test_localize_listing1;
+        tc "shared prefix" test_localize_shared_prefix;
+        tc "status-only divergence" test_localize_none_on_status_only;
+      ] );
+    ( "compdiff.triage",
+      [
+        tc "dedup" test_triage_dedup;
+        tc "canonical signature" test_triage_signature_canonical;
+      ] );
+  ]

@@ -1,0 +1,613 @@
+(* Tests for the compiler + VM pipeline.
+
+   The central correctness property of the whole reproduction is tested
+   here: all ten implementation profiles agree on well-defined programs
+   (legal compilers), and disagree on the paper's canonical unstable-code
+   examples (UB exploitation). *)
+
+open Cdcompiler
+
+let compile_run ?(input = "") ?(fuel = 200_000) profile src =
+  match Minic.frontend_of_source src with
+  | Error msg -> Alcotest.failf "front end: %s" msg
+  | Ok tp ->
+    let u = Pipeline.compile profile tp in
+    Cdvm.Exec.run ~config:{ Cdvm.Exec.default_config with input; fuel } u
+
+let outputs_all ?(input = "") ?(profiles = Profiles.all) src =
+  List.map
+    (fun p ->
+      let r = compile_run ~input p src in
+      (p.Policy.pname, r.Cdvm.Exec.stdout, r.Cdvm.Exec.status))
+    profiles
+
+let check_all_agree ?(input = "") name src =
+  match outputs_all ~input src with
+  | [] -> Alcotest.fail "no profiles"
+  | (_, out0, st0) :: rest ->
+    List.iter
+      (fun (pname, out, st) ->
+        Alcotest.(check string) (Printf.sprintf "%s: %s stdout" name pname) out0 out;
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %s status" name pname)
+          true
+          (Cdvm.Trap.equal_status st0 st))
+      rest
+
+let check_some_diverge ?(input = "") name src =
+  let results = outputs_all ~input src in
+  let distinct =
+    List.sort_uniq compare (List.map (fun (_, out, st) -> (out, st)) results)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected divergence across implementations" name)
+    true
+    (List.length distinct > 1)
+
+let gccx_O0 = Profiles.gccx "O0"
+let clangx_O2 = Profiles.clangx "O2"
+
+(* --- agreement on well-defined programs --- *)
+
+let test_hello () =
+  check_all_agree "hello" "int main() { print(\"hello world\\n\"); return 0; }"
+
+let test_arith_agree () =
+  check_all_agree "arith"
+    "int main() {\n\
+     \  int a = 17; int b = -5; long c = 1000000L;\n\
+     \  print(\"%d %d %d %d %d\\n\", a + b, a * b, a / b, a % b, a << 2);\n\
+     \  print(\"%ld %ld\\n\", c * c, c - 1L);\n\
+     \  print(\"%d %d %d\\n\", a < b, a == 17, b != 0);\n\
+     \  return 0;\n\
+     }"
+
+let test_control_flow_agree () =
+  check_all_agree "control flow"
+    "int main() {\n\
+     \  int sum = 0;\n\
+     \  for (int i = 0; i < 10; i++) { if (i % 2 == 0) sum += i; }\n\
+     \  int j = 0;\n\
+     \  while (1) { j++; if (j > 5) break; }\n\
+     \  print(\"%d %d\\n\", sum, j);\n\
+     \  return 0;\n\
+     }"
+
+let test_functions_agree () =
+  check_all_agree "functions"
+    "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n\
+     int twice(int x) { return 2 * x; }\n\
+     int main() { print(\"%d %d\\n\", fib(12), twice(21)); return 0; }"
+
+let test_arrays_agree () =
+  check_all_agree "arrays"
+    "int tab[5] = {10, 20, 30, 40, 50};\n\
+     int main() {\n\
+     \  int local[4];\n\
+     \  for (int i = 0; i < 4; i++) local[i] = tab[i] + 1;\n\
+     \  int *p = local;\n\
+     \  print(\"%d %d %d\\n\", local[0], p[3], tab[4]);\n\
+     \  return 0;\n\
+     }"
+
+let test_pointers_agree () =
+  check_all_agree "pointers"
+    "int g = 5;\n\
+     void bump(int *p, int by) { *p = *p + by; }\n\
+     int main() {\n\
+     \  int x = 1;\n\
+     \  bump(&x, 10);\n\
+     \  bump(&g, 2);\n\
+     \  int a[3];\n\
+     \  a[0] = 7; a[1] = 8; a[2] = 9;\n\
+     \  int *q = a + 1;\n\
+     \  print(\"%d %d %d %d\\n\", x, g, *q, q - a);\n\
+     \  return 0;\n\
+     }"
+
+let test_heap_agree () =
+  check_all_agree "heap"
+    "int main() {\n\
+     \  int *p = malloc(8);\n\
+     \  for (int i = 0; i < 8; i++) p[i] = i * i;\n\
+     \  int s = 0;\n\
+     \  for (int i = 0; i < 8; i++) s += p[i];\n\
+     \  free(p);\n\
+     \  int *q = malloc(4);\n\
+     \  q[0] = 1; q[3] = 4;\n\
+     \  print(\"%d %d %d\\n\", s, q[0], q[3]);\n\
+     \  free(q);\n\
+     \  return 0;\n\
+     }"
+
+let test_strings_agree () =
+  check_all_agree "strings"
+    "int main() {\n\
+     \  print(\"%s has %d chars\\n\", \"MiniC\", strlen(\"MiniC\"));\n\
+     \  return 0;\n\
+     }"
+
+let test_input_agree () =
+  check_all_agree ~input:"AB" "input"
+    "int main() {\n\
+     \  int a = getchar(); int b = getchar(); int c = getchar();\n\
+     \  print(\"%d %d %d %d\\n\", a, b, c, input_len());\n\
+     \  return 0;\n\
+     }"
+
+let test_statics_agree () =
+  check_all_agree "statics"
+    "int counter() { static int n = 100; n++; return n; }\n\
+     int main() { counter(); counter(); print(\"%d\\n\", counter()); return 0; }"
+
+let test_longs_agree () =
+  check_all_agree "longs"
+    "int main() {\n\
+     \  long big = 4000000000L;\n\
+     \  long sq = big * 2L;\n\
+     \  print(\"%ld %ld\\n\", sq, big / 7L);\n\
+     \  return 0;\n\
+     }"
+
+let test_doubles_agree () =
+  (* keep to operations the fp passes leave alone at every level *)
+  check_all_agree "doubles"
+    "int main() {\n\
+     \  double x = 1.5; double y = 2.25;\n\
+     \  print(\"%f %f %f\\n\", x + y, x * y, sqrt(4.0));\n\
+     \  return 0;\n\
+     }"
+
+let test_exit_code_agree () =
+  let results = outputs_all "int main() { return 42; }" in
+  List.iter
+    (fun (pname, _, st) ->
+      Alcotest.(check bool) (pname ^ " exit 42") true (st = Cdvm.Trap.Exit 42))
+    results
+
+let test_ternary_logic_agree () =
+  check_all_agree "ternary and logic"
+    "int check(int v) { return v > 10 ? 100 : -100; }\n\
+     int main() {\n\
+     \  int a = 5;\n\
+     \  int r = (a > 0 && a < 10) || a == 42;\n\
+     \  print(\"%d %d %d\\n\", r, check(11), check(9));\n\
+     \  return 0;\n\
+     }"
+
+(* --- canonical unstable-code divergences --- *)
+
+(* Listing 1: the overflow guard `offset + len < offset` is folded away by
+   optimizing implementations but honoured (wrapping) by -O0. *)
+let listing1_src =
+  "int dump_data(int offset, int len) {\n\
+   \  int size = 100;\n\
+   \  if (offset + len > size) { return -1; }\n\
+   \  if (offset + len < offset) { return -1; }\n\
+   \  print(\"dumping %d bytes at %d\\n\", len, offset);\n\
+   \  return 0;\n\
+   }\n\
+   int main() {\n\
+   \  int r = dump_data(2147483547, 101);\n\
+   \  print(\"r=%d\\n\", r);\n\
+   \  return 0;\n\
+   }"
+
+let test_listing1_diverges () =
+  let r0 = compile_run gccx_O0 listing1_src in
+  let r2 = compile_run clangx_O2 listing1_src in
+  Alcotest.(check bool) "O0 vs O2 outputs differ" true
+    (r0.Cdvm.Exec.stdout <> r2.Cdvm.Exec.stdout);
+  (* the unoptimized build honours the wrapped comparison and refuses *)
+  Alcotest.(check string) "O0 refuses" "r=-1\n" r0.Cdvm.Exec.stdout
+
+let test_listing1_good_variant_agrees () =
+  (* without overflow, all implementations agree *)
+  check_all_agree "listing1 in-range"
+    "int dump_data(int offset, int len) {\n\
+     \  int size = 100;\n\
+     \  if (offset + len > size) { return -1; }\n\
+     \  if (offset + len < offset) { return -1; }\n\
+     \  print(\"dumping %d bytes at %d\\n\", len, offset);\n\
+     \  return 0;\n\
+     }\n\
+     int main() { print(\"r=%d\\n\", dump_data(10, 20)); return 0; }"
+
+(* Listing 3 (Tcpdump): two calls with conflicting side effects as print
+   arguments, sharing a static buffer that %s reads at print time; gccx
+   evaluates right-to-left, clangx left-to-right. *)
+let evalorder_src =
+  "int *linkaddr_string(int v) {\n\
+   \  static int buffer[8];\n\
+   \  buffer[0] = 48 + v;\n\
+   \  buffer[1] = 0;\n\
+   \  return buffer;\n\
+   }\n\
+   int main() {\n\
+   \  print(\"who-is %s tell %s\\n\", linkaddr_string(1), linkaddr_string(2));\n\
+   \  return 0;\n\
+   }"
+
+let test_evalorder_diverges () =
+  let rg = compile_run gccx_O0 evalorder_src in
+  let rc = compile_run (Profiles.clangx "O0") evalorder_src in
+  Alcotest.(check bool) "gccx vs clangx differ" true
+    (rg.Cdvm.Exec.stdout <> rc.Cdvm.Exec.stdout)
+
+(* Uninitialized local used on an input-dependent path (Listing 4). *)
+let uninit_src =
+  "int main() {\n\
+   \  int l;\n\
+   \  int c = getchar();\n\
+   \  if (c > 64) { l = c; }\n\
+   \  print(\"%d\\n\", l);\n\
+   \  return 0;\n\
+   }"
+
+let test_uninit_diverges () =
+  (* empty input: l stays uninitialized *)
+  check_some_diverge ~input:"" "uninit" uninit_src
+
+let test_uninit_good_agrees () =
+  (* 'A' > 64 initializes l on every implementation *)
+  check_all_agree ~input:"A" "uninit-initialized" uninit_src
+
+(* Invalid pointer comparison (Listing 2): two distinct objects. *)
+let ptrcmp_src =
+  "int a[4];\n\
+   int b[4];\n\
+   int main() {\n\
+   \  if (a < b) { print(\"a first\\n\"); } else { print(\"b first\\n\"); }\n\
+   \  return 0;\n\
+   }"
+
+let test_ptrcmp_diverges () = check_some_diverge "ptrcmp" ptrcmp_src
+
+(* Dead division by zero: removed at -O2, traps at -O0. *)
+let deaddiv_src =
+  "int main() {\n\
+   \  int z = 0;\n\
+   \  int dead = 100 / z;\n\
+   \  print(\"alive\\n\");\n\
+   \  return 0;\n\
+   }"
+
+let test_dead_div_diverges () =
+  let r0 = compile_run gccx_O0 deaddiv_src in
+  let r2 = compile_run clangx_O2 deaddiv_src in
+  Alcotest.(check bool) "O0 traps" true
+    (r0.Cdvm.Exec.status = Cdvm.Trap.Trap Cdvm.Trap.Div_by_zero);
+  Alcotest.(check bool) "O2 survives" true (r2.Cdvm.Exec.status = Cdvm.Trap.Exit 0);
+  Alcotest.(check string) "O2 prints" "alive\n" r2.Cdvm.Exec.stdout
+
+(* Used division by zero traps everywhere. *)
+let test_live_div_traps_everywhere () =
+  let src =
+    "int main() { int z = 0; int d = 7 / z; print(\"%d\\n\", d); return 0; }"
+  in
+  List.iter
+    (fun p ->
+      let r = compile_run p src in
+      Alcotest.(check bool)
+        (p.Policy.pname ^ " traps")
+        true
+        (r.Cdvm.Exec.status = Cdvm.Trap.Trap Cdvm.Trap.Div_by_zero))
+    Profiles.all
+
+(* __LINE__ interpretation differs across families on multi-line
+   statements. *)
+let line_src =
+  "int main() {\n\
+   \  print(\"%d\\n\",\n\
+   \    __LINE__);\n\
+   \  return 0;\n\
+   }"
+
+let test_line_diverges () =
+  let rg = compile_run gccx_O0 line_src in
+  let rc = compile_run (Profiles.clangx "O0") line_src in
+  Alcotest.(check bool) "LINE differs" true (rg.Cdvm.Exec.stdout <> rc.Cdvm.Exec.stdout)
+
+let test_line_same_line_agrees () =
+  check_all_agree "single-line __LINE__"
+    "int main() { print(\"%d\\n\", __LINE__); return 0; }"
+
+(* promote_mul: clangx-O1 widens the multiplication, others wrap in 32. *)
+let widen_src =
+  (* operands must be runtime values or the front ends of every profile
+     would fold the product *)
+  "int main() {\n\
+   \  int c = getchar();\n\
+   \  int a = c * 1000;\n\
+   \  long x = a * a;\n\
+   \  print(\"%ld\\n\", x);\n\
+   \  return 0;\n\
+   }"
+
+let test_promote_mul_diverges () =
+  (* input 'd' = 100 -> a = 100000, a*a overflows 32 bits *)
+  let rg = compile_run ~input:"d" gccx_O0 widen_src in
+  let rc = compile_run ~input:"d" (Profiles.clangx "O1") widen_src in
+  Alcotest.(check bool) "wide mul differs" true
+    (rg.Cdvm.Exec.stdout <> rc.Cdvm.Exec.stdout);
+  Alcotest.(check string) "clangx-O1 computes wide" "10000000000\n" rc.Cdvm.Exec.stdout
+
+let test_promote_mul_defined_agrees () =
+  check_all_agree "small mul into long"
+    "int main() { int a = 11; int b = 13; long x = a * b; print(\"%ld\\n\", x); return 0; }"
+
+(* null-check removal after a dereference *)
+let nullfold_src =
+  "int read_field(int *p) {\n\
+   \  int v = *p;\n\
+   \  if (p == (int *) 0) { return -1; }\n\
+   \  return v;\n\
+   }\n\
+   int main() {\n\
+   \  int x = 9;\n\
+   \  print(\"%d\\n\", read_field(&x));\n\
+   \  return 0;\n\
+   }"
+
+let test_nullfold_agrees_when_nonnull () =
+  check_all_agree "null check with valid pointer" nullfold_src
+
+(* traps: hang, stack overflow, null deref consistent across impls *)
+let test_hang () =
+  let r = compile_run ~fuel:5_000 gccx_O0 "int main() { while (1) { } return 0; }" in
+  Alcotest.(check bool) "hang" true (r.Cdvm.Exec.status = Cdvm.Trap.Hang)
+
+let test_stack_overflow () =
+  let r =
+    compile_run gccx_O0
+      "int rec(int n) { int pad[10]; pad[0] = n; return rec(n + 1) + pad[0]; }\n\
+       int main() { return rec(0); }"
+  in
+  Alcotest.(check bool) "stack overflow" true
+    (r.Cdvm.Exec.status = Cdvm.Trap.Trap Cdvm.Trap.Stack_overflow)
+
+let test_null_deref_all () =
+  (* every implementation crashes, but clangx at -O1+ folds the provably
+     null dereference into a ud2-style abort while the others hit the
+     natural segv -- itself an observable divergence (the 476 mechanism) *)
+  let src = "int main() { int *p = (int *) 0; return *p; }" in
+  List.iter
+    (fun p ->
+      let r = compile_run p src in
+      let expected =
+        if p.Policy.flags.Policy.null_deref_trap then
+          Cdvm.Trap.Trap Cdvm.Trap.Abort_called
+        else Cdvm.Trap.Trap Cdvm.Trap.Null_deref
+      in
+      Alcotest.(check bool)
+        (p.Policy.pname ^ " null deref crash kind")
+        true
+        (r.Cdvm.Exec.status = expected))
+    Profiles.all
+
+(* far out-of-bounds write: segfault on every implementation *)
+let test_wild_write_traps () =
+  let src = "int g; int main() { int *p = &g; p[100000] = 1; return 0; }" in
+  List.iter
+    (fun prof ->
+      let r = compile_run prof src in
+      match r.Cdvm.Exec.status with
+      | Cdvm.Trap.Trap (Cdvm.Trap.Segfault _) -> ()
+      | s ->
+        Alcotest.failf "%s: expected segfault, got %s" prof.Policy.pname
+          (Cdvm.Trap.status_to_string s))
+    Profiles.all
+
+(* neighbouring-object OOB: silent corruption whose victim depends on the
+   layout -> divergence *)
+let oob_neighbor_src =
+  "int main() {\n\
+   \  int a[4];\n\
+   \  int b[4];\n\
+   \  a[0] = 1; a[1] = 1; a[2] = 1; a[3] = 1;\n\
+   \  b[0] = 2; b[1] = 2; b[2] = 2; b[3] = 2;\n\
+   \  int i = getchar() - 48;\n\
+   \  a[i] = 99;\n\
+   \  print(\"%d %d %d %d %d %d %d %d\\n\", a[0], a[1], a[2], a[3], b[0], b[1], b[2], b[3]);\n\
+   \  return 0;\n\
+   }"
+
+let test_oob_neighbor_diverges () =
+  (* i = 5: one cell past a[4] with gap/order differences between layouts *)
+  check_some_diverge ~input:"5" "stack OOB" oob_neighbor_src
+
+let test_oob_inbounds_agrees () = check_all_agree ~input:"2" "in-bounds" oob_neighbor_src
+
+(* use-after-free: allocator reuse differs across implementations *)
+let uaf_src =
+  "int main() {\n\
+   \  int *p = malloc(4);\n\
+   \  p[0] = 1111;\n\
+   \  free(p);\n\
+   \  int *q = malloc(4);\n\
+   \  q[0] = 2222;\n\
+   \  print(\"%d\\n\", p[0]);\n\
+   \  free(q);\n\
+   \  return 0;\n\
+   }"
+
+let test_uaf_diverges () = check_some_diverge "use after free" uaf_src
+
+(* pow vs exp2 rewriting at clangx -O3 *)
+let pow_src =
+  (* x1e12 magnifies the last-bit difference into the %f decimals *)
+  "int main() {\n\
+   \  double x = 0.731;\n\
+   \  print(\"%f\\n\", pow(2.0, x) * 1000000000000.0);\n\
+   \  return 0;\n\
+   }"
+
+let test_pow_rewrite_diverges () =
+  let rg = compile_run gccx_O0 pow_src in
+  let rc = compile_run (Profiles.clangx "O3") pow_src in
+  Alcotest.(check bool) "pow vs exp2" true (rg.Cdvm.Exec.stdout <> rc.Cdvm.Exec.stdout)
+
+(* --- IR-level pass unit tests --- *)
+
+let compile_get profile src fname =
+  match Minic.frontend_of_source src with
+  | Error msg -> Alcotest.failf "front end: %s" msg
+  | Ok tp ->
+    let u = Pipeline.compile profile tp in
+    (match Ir.func u fname with
+    | Some f -> f
+    | None -> Alcotest.failf "no function %s" fname)
+
+let count_instrs pred (f : Ir.ifunc) =
+  Array.fold_left (fun acc i -> if pred i then acc + 1 else acc) 0 f.Ir.code
+
+let test_constfold_folds () =
+  let f = compile_get clangx_O2 "int main() { return 2 + 3 * 4; }" "main" in
+  let has_mul =
+    count_instrs (function Ir.Ibin (Ir.Bmul, _, _, _, _, _) -> true | _ -> false) f
+  in
+  Alcotest.(check int) "mul folded away" 0 has_mul
+
+let test_dce_removes_dead () =
+  let f =
+    compile_get clangx_O2
+      "int main() { int dead = 5 * 391; int live = 2; return live; }" "main"
+  in
+  Alcotest.(check bool) "small body" true (Array.length f.Ir.code <= 4)
+
+let test_O0_does_not_optimize () =
+  let f = compile_get gccx_O0 "int main() { return 2 + 3 * 4; }" "main" in
+  let muls =
+    count_instrs (function Ir.Ibin (Ir.Bmul, _, _, _, _, _) -> true | _ -> false) f
+  in
+  Alcotest.(check int) "mul kept at O0" 1 muls
+
+let test_inline_at_O2 () =
+  let src = "int sq(int x) { return x * x; }\nint main() { return sq(5); }" in
+  let f2 = compile_get clangx_O2 src "main" in
+  let f0 = compile_get gccx_O0 src "main" in
+  let calls f =
+    count_instrs (function Ir.Icall _ -> true | _ -> false) f
+  in
+  Alcotest.(check int) "call inlined at O2" 0 (calls f2);
+  Alcotest.(check int) "call kept at O0" 1 (calls f0)
+
+let test_strength_reduction () =
+  let f =
+    compile_get (Profiles.gccx "O1") "int main() { int x = getchar(); return x * 8; }"
+      "main"
+  in
+  let shifts =
+    count_instrs (function Ir.Ibin (Ir.Bshl, _, _, _, _, _) -> true | _ -> false) f
+  in
+  Alcotest.(check bool) "mul by 8 became shift" true (shifts >= 1)
+
+let test_ubfold_removes_guard () =
+  let src =
+    "int main() {\n\
+     \  int x = getchar();\n\
+     \  if (x + 100 < x) { print(\"overflow\\n\"); return 1; }\n\
+     \  return 0;\n\
+     }"
+  in
+  let f = compile_get clangx_O2 src "main" in
+  let prints = count_instrs (function Ir.Iprint _ -> true | _ -> false) f in
+  Alcotest.(check int) "guarded print removed" 0 prints
+
+(* property: random well-defined arithmetic agrees across all profiles *)
+let gen_expr_src =
+  let open QCheck.Gen in
+  let rec go depth =
+    if depth = 0 then
+      oneof
+        [ map string_of_int (int_range 1 50); return "a"; return "b" ]
+    else
+      frequency
+        [
+          (2, map string_of_int (int_range 1 50));
+          (1, return "a");
+          (1, return "b");
+          ( 4,
+            map3
+              (fun op l r -> Printf.sprintf "(%s %s %s)" l op r)
+              (oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ])
+              (go (depth - 1)) (go (depth - 1)) );
+        ]
+  in
+  go 3
+
+let prop_welldefined_agree =
+  QCheck.Test.make ~name:"profiles agree on defined arithmetic" ~count:60
+    (QCheck.make gen_expr_src) (fun expr ->
+      (* a,b in [0,9]: small operands cannot overflow within depth-3 *)
+      let src =
+        Printf.sprintf
+          "int main() { int a = getchar() %% 10; int b = 7; print(\"%%d\\n\", %s); return 0; }"
+          expr
+      in
+      match outputs_all ~input:"5" src with
+      | [] -> false
+      | (_, out0, st0) :: rest ->
+        List.for_all
+          (fun (_, out, st) -> out = out0 && Cdvm.Trap.equal_status st st0)
+          rest)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "compiler.agreement",
+      [
+        tc "hello" test_hello;
+        tc "arith" test_arith_agree;
+        tc "control flow" test_control_flow_agree;
+        tc "functions" test_functions_agree;
+        tc "arrays" test_arrays_agree;
+        tc "pointers" test_pointers_agree;
+        tc "heap" test_heap_agree;
+        tc "strings" test_strings_agree;
+        tc "input" test_input_agree;
+        tc "statics" test_statics_agree;
+        tc "longs" test_longs_agree;
+        tc "doubles" test_doubles_agree;
+        tc "exit codes" test_exit_code_agree;
+        tc "ternary/logic" test_ternary_logic_agree;
+        tc "listing1 good" test_listing1_good_variant_agrees;
+        tc "uninit good" test_uninit_good_agrees;
+        tc "mul good" test_promote_mul_defined_agrees;
+        tc "nullfold good" test_nullfold_agrees_when_nonnull;
+        tc "line good" test_line_same_line_agrees;
+        tc "oob good" test_oob_inbounds_agrees;
+      ]
+      @ [ QCheck_alcotest.to_alcotest prop_welldefined_agree ] );
+    ( "compiler.divergence",
+      [
+        tc "listing1 overflow guard" test_listing1_diverges;
+        tc "eval order" test_evalorder_diverges;
+        tc "uninit local" test_uninit_diverges;
+        tc "pointer comparison" test_ptrcmp_diverges;
+        tc "dead division" test_dead_div_diverges;
+        tc "__LINE__" test_line_diverges;
+        tc "promote mul" test_promote_mul_diverges;
+        tc "stack OOB" test_oob_neighbor_diverges;
+        tc "use after free" test_uaf_diverges;
+        tc "pow/exp2" test_pow_rewrite_diverges;
+      ] );
+    ( "compiler.traps",
+      [
+        tc "live div traps" test_live_div_traps_everywhere;
+        tc "hang" test_hang;
+        tc "stack overflow" test_stack_overflow;
+        tc "null deref" test_null_deref_all;
+        tc "wild write" test_wild_write_traps;
+      ] );
+    ( "compiler.passes",
+      [
+        tc "constfold" test_constfold_folds;
+        tc "dce" test_dce_removes_dead;
+        tc "O0 no-opt" test_O0_does_not_optimize;
+        tc "inline" test_inline_at_O2;
+        tc "strength" test_strength_reduction;
+        tc "ubfold" test_ubfold_removes_guard;
+      ] );
+  ]

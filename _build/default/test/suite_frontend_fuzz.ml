@@ -1,0 +1,137 @@
+(* Robustness properties of the front end itself: the lexer and parser
+   must never crash with anything but their own error exceptions, and the
+   elaborated pipeline must be total on accepted programs.
+
+   (The compilers under differential test deserve the same scrutiny the
+   paper applies to gcc/clang: a front-end crash would poison every
+   implementation identically and hide bugs.) *)
+
+let check_bool = Alcotest.(check bool)
+
+(* random byte soup, biased toward MiniC-ish tokens *)
+let gen_soup =
+  let open QCheck.Gen in
+  let token =
+    oneofl
+      [
+        "int "; "long "; "double "; "if"; "else"; "while"; "return "; "break";
+        "print"; "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "+"; "-"; "*"; "/";
+        "%"; "="; "=="; "<"; ">"; "&&"; "||"; "&"; "|"; "^"; "<<"; ">>"; "!";
+        "~"; "?"; ":"; "x"; "y"; "foo"; "main"; "0"; "1"; "42"; "2147483647";
+        "0x1F"; "7L"; "1.5"; "\"str\""; "'c'"; "__LINE__"; "static "; "for";
+        "getchar()"; "malloc"; "free"; " "; "\n"; "//c\n"; "/*c*/";
+      ]
+  in
+  let* n = int_range 0 40 in
+  let* parts = list_repeat n token in
+  return (String.concat "" parts)
+
+let prop_lexer_total =
+  QCheck.Test.make ~name:"lexer is total (tokens or Lexer.Error)" ~count:500
+    (QCheck.make gen_soup) (fun src ->
+      match Minic.Lexer.tokenize src with
+      | _ -> true
+      | exception Minic.Lexer.Error _ -> true)
+
+let prop_parser_total =
+  QCheck.Test.make ~name:"parser is total (AST or parse error)" ~count:500
+    (QCheck.make gen_soup) (fun src ->
+      match Minic.Parser.parse_program_result src with
+      | Ok _ | Error _ -> true)
+
+let prop_frontend_total =
+  QCheck.Test.make ~name:"typechecker is total on parsed programs" ~count:500
+    (QCheck.make gen_soup) (fun src ->
+      match Minic.frontend_of_source src with Ok _ | Error _ -> true)
+
+(* raw byte soup, no token bias at all *)
+let prop_raw_bytes =
+  QCheck.Test.make ~name:"raw bytes never crash the front end" ~count:300
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 200))
+    (fun src ->
+      match Minic.frontend_of_source src with Ok _ | Error _ -> true)
+
+(* accepted random programs must compile and run on every implementation
+   without internal errors (traps/hangs are legitimate outcomes) *)
+let prop_accepted_programs_execute =
+  QCheck.Test.make ~name:"accepted soup compiles and executes everywhere" ~count:200
+    (QCheck.make gen_soup) (fun soup ->
+      let src = "int main() { " ^ soup ^ " ; return 0; }" in
+      match Minic.frontend_of_source src with
+      | Error _ -> true
+      | Ok tp ->
+        List.for_all
+          (fun p ->
+            let u = Cdcompiler.Pipeline.compile p tp in
+            match
+              Cdvm.Exec.run
+                ~config:{ Cdvm.Exec.default_config with Cdvm.Exec.fuel = 20_000 }
+                u
+            with
+            | _ -> true)
+          Cdcompiler.Profiles.all)
+
+let test_pretty_idempotent_on_projects () =
+  (* print-parse-print stabilizes on every synthetic project *)
+  List.iter
+    (fun (p : Projects.Project.t) ->
+      let s1 = Minic.Pretty.program_to_string p.Projects.Project.program in
+      match Minic.Parser.parse_program_result s1 with
+      | Error msg ->
+        Alcotest.failf "%s does not re-parse: %s" p.Projects.Project.pname msg
+      | Ok ast ->
+        Alcotest.(check string)
+          (p.Projects.Project.pname ^ " round trip")
+          s1
+          (Minic.Pretty.program_to_string ast))
+    Projects.Registry.all
+
+let test_pretty_roundtrip_preserves_behaviour () =
+  (* parsing the pretty-printed source yields observably equal binaries *)
+  List.iter
+    (fun pname ->
+      let p = Option.get (Projects.Registry.by_name pname) in
+      let src = Minic.Pretty.program_to_string p.Projects.Project.program in
+      let tp1 = Projects.Project.frontend p in
+      let tp2 =
+        match Minic.frontend_of_source src with
+        | Ok tp -> tp
+        | Error e -> Alcotest.failf "%s: %s" pname e
+      in
+      let run tp input =
+        let u = Cdcompiler.Pipeline.compile (Cdcompiler.Profiles.gccx "O2") tp in
+        (Cdvm.Exec.run ~config:{ Cdvm.Exec.default_config with Cdvm.Exec.input } u)
+          .Cdvm.Exec.stdout
+      in
+      (* only compare on inputs that trigger no seeded bug: on a
+         UB-triggering input the observed junk legitimately depends on
+         register numbering, which the round trip may permute *)
+      let benign input =
+        not
+          (List.exists
+             (fun (b : Projects.Project.seeded_bug) -> b.Projects.Project.trigger input)
+             p.Projects.Project.bugs)
+      in
+      List.iter
+        (fun input ->
+          if benign input then
+            Alcotest.(check string)
+              (Printf.sprintf "%s on %S" pname input)
+              (run tp1 input) (run tp2 input))
+        p.Projects.Project.seeds)
+    [ "jq"; "brotli"; "curl" ]
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "frontend.fuzz",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_lexer_total; prop_parser_total; prop_frontend_total; prop_raw_bytes;
+          prop_accepted_programs_execute ] );
+    ( "frontend.roundtrip",
+      [
+        tc "projects re-parse" test_pretty_idempotent_on_projects;
+        tc "round trip preserves behaviour" test_pretty_roundtrip_preserves_behaviour;
+      ] );
+  ]

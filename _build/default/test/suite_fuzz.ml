@@ -1,0 +1,248 @@
+(* Tests for the greybox fuzzer and the CompDiff-AFL++ integration. *)
+
+let frontend src =
+  match Minic.frontend_of_source src with
+  | Ok tp -> tp
+  | Error msg -> Alcotest.failf "front end: %s" msg
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- mutators --- *)
+
+let test_mutators_deterministic () =
+  let a = Cdutil.Rng.create 5 and b = Cdutil.Rng.create 5 in
+  Alcotest.(check string) "same seed, same mutation"
+    (Fuzz.Mutator.havoc a "hello world")
+    (Fuzz.Mutator.havoc b "hello world")
+
+let test_mutators_change_input () =
+  let rng = Cdutil.Rng.create 7 in
+  let changed = ref 0 in
+  for _ = 1 to 50 do
+    if Fuzz.Mutator.havoc rng "some input bytes" <> "some input bytes" then incr changed
+  done;
+  check_bool "mutations usually change the input" true (!changed > 40)
+
+let test_mutators_handle_empty () =
+  let rng = Cdutil.Rng.create 9 in
+  for _ = 1 to 50 do
+    ignore (Fuzz.Mutator.havoc rng "");
+    ignore (Fuzz.Mutator.splice rng "" "")
+  done
+
+let test_splice_mixes () =
+  let rng = Cdutil.Rng.create 11 in
+  let s = Fuzz.Mutator.splice rng (String.make 20 'a') (String.make 20 'b') in
+  check_bool "non-empty" true (String.length s > 0)
+
+(* --- queue --- *)
+
+let test_queue_roundrobin () =
+  let q = Fuzz.Queue.create () in
+  ignore (Fuzz.Queue.add q ~data:"a" ~fuel_used:10 ~found_at:0);
+  ignore (Fuzz.Queue.add q ~data:"b" ~fuel_used:10 ~found_at:1);
+  let s1 = Fuzz.Queue.select q and s2 = Fuzz.Queue.select q and s3 = Fuzz.Queue.select q in
+  Alcotest.(check string) "cycles" "a" s1.Fuzz.Queue.data;
+  Alcotest.(check string) "cycles" "b" s2.Fuzz.Queue.data;
+  Alcotest.(check string) "wraps" "a" s3.Fuzz.Queue.data
+
+let test_queue_energy () =
+  let small = { Fuzz.Queue.id = 0; data = "ab"; fuel_used = 100; found_at = 0 } in
+  let large = { Fuzz.Queue.id = 1; data = String.make 1000 'x'; fuel_used = 50_000; found_at = 0 } in
+  check_bool "small fast seeds get more energy" true
+    (Fuzz.Queue.energy small > Fuzz.Queue.energy large)
+
+(* --- coverage-guided loop --- *)
+
+(* a program with input-dependent branches: coverage must grow and the
+   queue must collect new seeds *)
+let branchy_src =
+  "int main() {\n\
+   \  int a = getchar();\n\
+   \  if (a == 77) {\n\
+   \    int b = getchar();\n\
+   \    if (b == 88) { print(\"deep\\n\"); }\n\
+   \    else { print(\"mid\\n\"); }\n\
+   \  }\n\
+   \  if (a > 100) { print(\"high\\n\"); }\n\
+   \  return 0;\n\
+   }"
+
+let test_fuzzer_grows_queue () =
+  let u = Cdcompiler.Pipeline.compile Cdcompiler.Profiles.fuzz_profile (frontend branchy_src) in
+  let c =
+    Fuzz.Fuzzer.run
+      ~config:{ Fuzz.Fuzzer.default_config with Fuzz.Fuzzer.max_execs = 1_500; seeds = [ "MX" ] }
+      u
+  in
+  check_bool "several seeds found" true (List.length c.Fuzz.Fuzzer.queue >= 2);
+  check_bool "edges covered" true (c.Fuzz.Fuzzer.edges_covered > 0);
+  check_int "exec budget respected" 1_500 c.Fuzz.Fuzzer.execs
+
+let test_fuzzer_reproducible () =
+  let u = Cdcompiler.Pipeline.compile Cdcompiler.Profiles.fuzz_profile (frontend branchy_src) in
+  let run () =
+    let c =
+      Fuzz.Fuzzer.run
+        ~config:{ Fuzz.Fuzzer.default_config with Fuzz.Fuzzer.max_execs = 600; rng_seed = 42 }
+        u
+    in
+    List.map (fun e -> e.Fuzz.Queue.data) c.Fuzz.Fuzzer.queue
+  in
+  Alcotest.(check (list string)) "identical campaigns" (run ()) (run ())
+
+let test_fuzzer_finds_crash () =
+  (* crash guarded by a 1-byte comparison: easily reached *)
+  let src =
+    "int main() {\n\
+     \  int a = getchar();\n\
+     \  if (a == 75) { int *p = (int *) 0; return *p; }\n\
+     \  return 0;\n\
+     }"
+  in
+  let u = Cdcompiler.Pipeline.compile Cdcompiler.Profiles.fuzz_profile (frontend src) in
+  let c =
+    Fuzz.Fuzzer.run
+      ~config:{ Fuzz.Fuzzer.default_config with Fuzz.Fuzzer.max_execs = 3_000; seeds = [ "K" ] }
+      u
+  in
+  check_bool "crash found" true (List.length c.Fuzz.Fuzzer.crashes >= 1)
+
+let test_fuzzer_sanitizer_reports () =
+  let src =
+    "int main() {\n\
+     \  int a = getchar();\n\
+     \  int buf[4];\n\
+     \  buf[0] = 0;\n\
+     \  if (a >= 52) { buf[a - 48] = 7; }\n\
+     \  return buf[0];\n\
+     }"
+  in
+  let u = Cdcompiler.Pipeline.compile Cdcompiler.Profiles.fuzz_profile (frontend src) in
+  let c =
+    Fuzz.Fuzzer.run
+      ~config:
+        {
+          Fuzz.Fuzzer.default_config with
+          Fuzz.Fuzzer.max_execs = 3_000;
+          seeds = [ "0" ];
+          hooks = Sanitizers.Asan.hooks;
+        }
+      u
+  in
+  check_bool "ASan report found while fuzzing" true
+    (List.length c.Fuzz.Fuzzer.san_reports >= 1)
+
+(* --- CompDiff-AFL++ --- *)
+
+let unstable_parser_src =
+  (* divergence only on a guarded path: the fuzzer must find the byte *)
+  "int main() {\n\
+   \  int tag = getchar();\n\
+   \  if (tag == 85) {\n\
+   \    int l;\n\
+   \    print(\"field=%d\\n\", l);\n\
+   \  } else {\n\
+   \    print(\"tag=%d\\n\", tag);\n\
+   \  }\n\
+   \  return 0;\n\
+   }"
+
+let test_compdiff_afl_finds_divergence () =
+  let c =
+    Fuzz.Compdiff_afl.run
+      ~config:
+        {
+          Fuzz.Compdiff_afl.default_config with
+          Fuzz.Compdiff_afl.max_execs = 1_200;
+          seeds = [ "T" ];
+        }
+      (frontend unstable_parser_src)
+  in
+  check_bool "divergence found" true (Fuzz.Compdiff_afl.found_divergence c);
+  check_bool "oracle ran" true (c.Fuzz.Compdiff_afl.diff_checks > 0)
+
+let test_compdiff_afl_stable_program_clean () =
+  let c =
+    Fuzz.Compdiff_afl.run
+      ~config:
+        { Fuzz.Compdiff_afl.default_config with Fuzz.Compdiff_afl.max_execs = 800 }
+      (frontend branchy_src)
+  in
+  check_int "no divergence on stable program" 0
+    (Compdiff.Triage.total_count c.Fuzz.Compdiff_afl.diffs)
+
+let test_compdiff_afl_diff_every () =
+  let c =
+    Fuzz.Compdiff_afl.run
+      ~config:
+        {
+          Fuzz.Compdiff_afl.default_config with
+          Fuzz.Compdiff_afl.max_execs = 400;
+          diff_every = 4;
+        }
+      (frontend branchy_src)
+  in
+  check_bool "reduced oracle rate" true
+    (c.Fuzz.Compdiff_afl.diff_checks * 4 <= c.Fuzz.Compdiff_afl.fuzz.Fuzz.Fuzzer.execs + 4)
+
+(* the Section 5 extension: a previously-unseen divergence signature
+   makes the input interesting even without coverage gain *)
+let test_divergence_feedback_mechanism () =
+  (* straight-line program: every input takes the same path, so coverage
+     never grows after the first execution; masking the junk with the
+     input byte makes different bytes group the implementations
+     differently, i.e. produce distinct divergence signatures *)
+  let src =
+    "int main() {\n\
+     \  int junk;\n\
+     \  print(\"%d\\n\", junk & getchar());\n\
+     \  return 0;\n\
+     }"
+  in
+  let run feedback =
+    let c =
+      Fuzz.Compdiff_afl.run
+        ~config:
+          {
+            Fuzz.Compdiff_afl.default_config with
+            Fuzz.Compdiff_afl.max_execs = 300;
+            seeds = [ "A" ];
+            divergence_feedback = feedback;
+          }
+        (frontend src)
+    in
+    List.length c.Fuzz.Compdiff_afl.fuzz.Fuzz.Fuzzer.queue
+  in
+  let with_fb = run true and without = run false in
+  check_bool "feedback enqueues divergent inputs" true (with_fb > without)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "fuzz.mutator",
+      [
+        tc "deterministic" test_mutators_deterministic;
+        tc "changes input" test_mutators_change_input;
+        tc "empty input" test_mutators_handle_empty;
+        tc "splice" test_splice_mixes;
+      ] );
+    ( "fuzz.queue",
+      [ tc "round robin" test_queue_roundrobin; tc "energy" test_queue_energy ] );
+    ( "fuzz.fuzzer",
+      [
+        tc "queue grows" test_fuzzer_grows_queue;
+        tc "reproducible" test_fuzzer_reproducible;
+        tc "finds crash" test_fuzzer_finds_crash;
+        tc "sanitizer integration" test_fuzzer_sanitizer_reports;
+      ] );
+    ( "fuzz.compdiff_afl",
+      [
+        tc "finds divergence" test_compdiff_afl_finds_divergence;
+        tc "stable program clean" test_compdiff_afl_stable_program_clean;
+        tc "diff_every" test_compdiff_afl_diff_every;
+        tc "divergence feedback" test_divergence_feedback_mechanism;
+      ] );
+  ]

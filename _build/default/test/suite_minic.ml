@@ -1,0 +1,423 @@
+(* Tests for the MiniC front end: lexer, parser, pretty-printer round trip,
+   type checker (acceptance and rejection). *)
+
+open Minic
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parse_ok src =
+  match Parser.parse_program_result src with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "unexpected parse error: %s" msg
+
+let parse_err src =
+  match Parser.parse_program_result src with
+  | Ok _ -> Alcotest.failf "expected a parse error for: %s" src
+  | Error _ -> ()
+
+let typecheck_ok src =
+  match Minic.frontend_of_source src with
+  | Ok tp -> tp
+  | Error msg -> Alcotest.failf "unexpected front-end error: %s" msg
+
+let typecheck_err src =
+  match Minic.frontend_of_source src with
+  | Ok _ -> Alcotest.failf "expected a type error for: %s" src
+  | Error _ -> ()
+
+(* --- lexer --- *)
+
+let test_lex_basic () =
+  let toks = Lexer.tokenize "int x = 42;" in
+  check_int "token count (incl. eof)" 6 (List.length toks)
+
+let test_lex_line_tracking () =
+  let toks = Lexer.tokenize "int\nx\n=\n1;" in
+  let lines = List.map (fun t -> t.Lexer.tline) toks in
+  Alcotest.(check (list int)) "lines" [ 1; 2; 3; 4; 4; 4 ] lines
+
+let test_lex_comments () =
+  let toks = Lexer.tokenize "// comment\nint /* inline */ x;" in
+  check_int "comments skipped" 4 (List.length toks)
+
+let test_lex_operators () =
+  let toks = Lexer.tokenize "<< >> <= >= == != && || += -= *= ++ --" in
+  check_int "all multi-char operators" 14 (List.length toks)
+
+let test_lex_literals () =
+  let open Lexer in
+  (match tokenize "0x10" with
+  | [ { tok = INT 16L; _ }; _ ] -> ()
+  | _ -> Alcotest.fail "hex literal");
+  (match tokenize "7L" with
+  | [ { tok = LONGLIT 7L; _ }; _ ] -> ()
+  | _ -> Alcotest.fail "long literal");
+  (match tokenize "1.5" with
+  | [ { tok = FLOAT 1.5; _ }; _ ] -> ()
+  | _ -> Alcotest.fail "float literal");
+  (match tokenize "'A'" with
+  | [ { tok = INT 65L; _ }; _ ] -> ()
+  | _ -> Alcotest.fail "char literal");
+  match tokenize "\"a\\n\"" with
+  | [ { tok = STR "a\n"; _ }; _ ] -> ()
+  | _ -> Alcotest.fail "string escape"
+
+let test_lex_errors () =
+  (match Lexer.tokenize "@" with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected lex error");
+  match Lexer.tokenize "\"unterminated" with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected lex error"
+
+(* --- parser --- *)
+
+let test_parse_minimal () =
+  let p = parse_ok "int main() { return 0; }" in
+  check_int "one function" 1 (List.length p.Ast.funcs)
+
+let test_parse_globals () =
+  let p = parse_ok "int g; int buf[10]; int init = 5; int tab[3] = {1, 2, 3};\nint main() { return 0; }" in
+  check_int "four globals" 4 (List.length p.Ast.globals);
+  let tab = List.nth p.Ast.globals 3 in
+  Alcotest.(check (list int64)) "init cells" [ 1L; 2L; 3L ]
+    tab.Ast.ginit
+
+let test_parse_precedence () =
+  let p = parse_ok "int main() { return 1 + 2 * 3; }" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ { Ast.s = Ast.SReturn (Some { Ast.e = Ast.EBinop (Ast.Add, _, rhs); _ }); _ } ] ->
+    (match rhs.Ast.e with
+    | Ast.EBinop (Ast.Mul, _, _) -> ()
+    | _ -> Alcotest.fail "expected * to bind tighter than +")
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_assoc () =
+  (* 10 - 4 - 3 must parse as (10 - 4) - 3 *)
+  let p = parse_ok "int main() { return 10 - 4 - 3; }" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ { Ast.s = Ast.SReturn (Some { Ast.e = Ast.EBinop (Ast.Sub, lhs, _); _ }); _ } ] ->
+    (match lhs.Ast.e with
+    | Ast.EBinop (Ast.Sub, _, _) -> ()
+    | _ -> Alcotest.fail "subtraction must be left-associative")
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_for_desugar () =
+  let p = parse_ok "int main() { for (int i = 0; i < 3; i++) { } return 0; }" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | { Ast.s = Ast.SBlock [ _; { Ast.s = Ast.SWhile _; _ } ]; _ } :: _ -> ()
+  | _ -> Alcotest.fail "for should desugar to { init; while }"
+
+let test_parse_if_else () =
+  let p = parse_ok "int main() { if (1) return 1; else return 2; }" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ { Ast.s = Ast.SIf (_, [ _ ], [ _ ]); _ } ] -> ()
+  | _ -> Alcotest.fail "if/else with single statements"
+
+let test_parse_cast_vs_paren () =
+  let p = parse_ok "int main() { int x; x = (int) 1; x = (x); return x; }" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ _; { Ast.s = Ast.SExpr { Ast.e = Ast.EAssign (_, r1); _ }; _ };
+      { Ast.s = Ast.SExpr { Ast.e = Ast.EAssign (_, r2); _ }; _ }; _ ] ->
+    (match (r1.Ast.e, r2.Ast.e) with
+    | Ast.ECast (Ast.Tint, _), Ast.EVar "x" -> ()
+    | _ -> Alcotest.fail "cast vs parenthesised expression")
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_pointer_decls () =
+  let p = parse_ok "int main() { int *p; int **q; long *r; return 0; }" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ { Ast.s = Ast.SDecl { Ast.dtyp = Ast.Tptr Ast.Tint; _ }; _ };
+      { Ast.s = Ast.SDecl { Ast.dtyp = Ast.Tptr (Ast.Tptr Ast.Tint); _ }; _ };
+      { Ast.s = Ast.SDecl { Ast.dtyp = Ast.Tptr Ast.Tlong; _ }; _ }; _ ] -> ()
+  | _ -> Alcotest.fail "pointer declarator shapes"
+
+let test_parse_line_macro () =
+  let p = parse_ok "int main() {\n  return\n  __LINE__;\n}" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ { Ast.s = Ast.SReturn (Some { Ast.e = Ast.ELine; eloc }); _ } ] ->
+    check_int "token line" 3 eloc.Ast.line;
+    check_int "stmt line" 2 eloc.Ast.stmt_line
+  | _ -> Alcotest.fail "__LINE__ locations"
+
+let test_parse_print () =
+  let p = parse_ok "int main() { print(\"x=%d y=%s\\n\", 1, \"s\"); return 0; }" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ { Ast.s = Ast.SPrint ("x=%d y=%s\n", [ _; _ ]); _ }; _ ] -> ()
+  | _ -> Alcotest.fail "print statement"
+
+let test_parse_errors () =
+  parse_err "int main() { return 0 }";
+  parse_err "int main() { if }";
+  parse_err "int main( { }";
+  parse_err "int 3x;";
+  parse_err "int main() { int a[x]; }"
+
+(* --- pretty-printer round trip --- *)
+
+let roundtrip src =
+  let p1 = parse_ok src in
+  let printed = Pretty.program_to_string p1 in
+  let p2 =
+    match Parser.parse_program_result printed with
+    | Ok p -> p
+    | Error msg -> Alcotest.failf "re-parse failed: %s\n%s" msg printed
+  in
+  let printed2 = Pretty.program_to_string p2 in
+  Alcotest.(check string) "print . parse . print is stable" printed printed2
+
+let test_roundtrip_simple () = roundtrip "int main() { return 1 + 2 * 3; }"
+
+let test_roundtrip_rich () =
+  roundtrip
+    "int g = 3;\n\
+     int buf[8];\n\
+     int helper(int a, int *p) { *p = a; return a * 2; }\n\
+     int main() {\n\
+     \  int x = getchar();\n\
+     \  long y = 100L;\n\
+     \  double d = 1.5;\n\
+     \  static int count = 0;\n\
+     \  if (x > 0 && x < 10) { print(\"small %d\\n\", x); } else { x = -x; }\n\
+     \  while (x > 0) { x = x - 1; if (x == 5) break; }\n\
+     \  buf[0] = helper(x, &g);\n\
+     \  print(\"%d %ld %f\\n\", buf[0], y, d);\n\
+     \  return 0;\n\
+     }"
+
+let test_roundtrip_precedence_preserved () =
+  (* (1+2)*3 must keep parentheses when printed *)
+  let p = parse_ok "int main() { return (1 + 2) * 3; }" in
+  let printed = Pretty.program_to_string p in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "parens kept" true (contains printed "(1 + 2) * 3")
+
+(* --- typecheck --- *)
+
+let test_typecheck_ok_basics () =
+  let _ = typecheck_ok "int main() { int x = 1; long y = x; double d = y; return (int) d; }" in
+  ()
+
+let test_typecheck_promotions () =
+  let tp = typecheck_ok "int main() { int a = 1; long b = 2L; return (int) (a + b); }" in
+  let f = List.hd tp.Tast.tfuncs in
+  (* a + b must be computed at type long with a cast inserted on [a] *)
+  match List.rev f.Tast.tbody with
+  | { Tast.ts = Tast.TSReturn (Some { Tast.te = Tast.TCast (Ast.Tint, inner); _ }); _ } :: _ ->
+    (match inner.Tast.te with
+    | Tast.TBinop (Ast.Add, l, _) ->
+      Alcotest.(check string) "join type" "long" (Ast.typ_to_string inner.Tast.tty);
+      (match l.Tast.te with
+      | Tast.TCast (Ast.Tlong, _) -> ()
+      | _ -> Alcotest.fail "expected widening cast on int operand")
+    | _ -> Alcotest.fail "expected binop")
+  | _ -> Alcotest.fail "unexpected body shape"
+
+let test_typecheck_array_decay () =
+  let tp = typecheck_ok "int main() { int a[4]; int *p = a; return p[0]; }" in
+  let f = List.hd tp.Tast.tfuncs in
+  match f.Tast.tbody with
+  | _ :: { Tast.ts = Tast.TSDecl (_, _, Some init); _ } :: _ ->
+    (match init.Tast.te with
+    | Tast.TDecay _ -> ()
+    | _ -> Alcotest.fail "expected array decay node")
+  | _ -> Alcotest.fail "unexpected body shape"
+
+let test_typecheck_static_hoisting () =
+  let tp =
+    typecheck_ok
+      "int counter() { static int n = 10; n = n + 1; return n; }\n\
+       int main() { return counter(); }"
+  in
+  check_bool "static local became a global" true
+    (List.exists
+       (fun g -> g.Ast.ginit = [ 10L ])
+       tp.Tast.tglobals)
+
+let test_typecheck_string_hoisting () =
+  let tp = typecheck_ok "int main() { print(\"%s\", \"hi\"); return 0; }" in
+  check_bool "string literal hoisted with NUL" true
+    (List.exists
+       (fun g -> g.Ast.ginit = [ 104L; 105L; 0L ])
+       tp.Tast.tglobals)
+
+let test_typecheck_string_dedup () =
+  let tp =
+    typecheck_ok
+      "int main() { print(\"%s%s\", \"dup\", \"dup\"); return 0; }"
+  in
+  let dups =
+    List.filter (fun g -> g.Ast.ginit = [ 100L; 117L; 112L; 0L ]) tp.Tast.tglobals
+  in
+  check_int "identical literals shared" 1 (List.length dups)
+
+let test_typecheck_shadowing () =
+  let tp =
+    typecheck_ok
+      "int main() { int x = 1; { int x = 2; print(\"%d\", x); } return x; }"
+  in
+  let f = List.hd tp.Tast.tfuncs in
+  let names = ref [] in
+  let rec walk_stmt (s : Tast.tstmt) =
+    match s.Tast.ts with
+    | Tast.TSDecl (_, n, _) -> names := n :: !names
+    | Tast.TSBlock b -> List.iter walk_stmt b
+    | Tast.TSIf (_, a, b) ->
+      List.iter walk_stmt a;
+      List.iter walk_stmt b
+    | Tast.TSWhile (_, b) -> List.iter walk_stmt b
+    | _ -> ()
+  in
+  List.iter walk_stmt f.Tast.tbody;
+  check_int "two distinct locals" 2 (List.length (List.sort_uniq compare !names))
+
+let test_typecheck_pointer_rules () =
+  let _ = typecheck_ok "int main() { int a[4]; int *p = a + 1; int d = p - a; return d; }" in
+  let _ = typecheck_ok "int main() { int a[4]; int b[4]; return a < b; }" in
+  ()
+
+let test_typecheck_rejects () =
+  typecheck_err "int main() { return \"str\"; }";
+  typecheck_err "int main() { undefined_fn(); return 0; }";
+  typecheck_err "int main() { return y; }";
+  typecheck_err "int main() { int x; x[0] = 1; return 0; }";
+  typecheck_err "int main() { 3 = 4; return 0; }";
+  typecheck_err "int main() { break; }";
+  typecheck_err "void f() { return 3; } int main() { return 0; }";
+  typecheck_err "int f() { return; } int main() { return 0; }";
+  typecheck_err "int main() { print(\"%d\"); return 0; }";
+  typecheck_err "int main() { print(\"%s\", 3); return 0; }";
+  typecheck_err "int main() { getchar(1); return 0; }";
+  typecheck_err "int f(int a) { return a; } int f(int a) { return a; } int main() { return 0; }";
+  typecheck_err "int g; int g; int main() { return 0; }";
+  typecheck_err "int getchar() { return 0; } int main() { return 0; }";
+  typecheck_err "int notmain() { return 0; }"
+
+let test_typecheck_div_types () =
+  typecheck_err "int main() { int *p; return p * 2; }";
+  typecheck_err "int main() { double d; return d % 2.0; }";
+  typecheck_err "int main() { double d; return d << 1; }"
+
+(* --- builder --- *)
+
+let test_builder_program_typechecks () =
+  let open Builder in
+  let p =
+    main_program
+      ~globals:[ global_arr "buf" Ast.Tint 16 ]
+      [
+        decl Ast.Tint "x" ~init:(call "getchar" []);
+        if_ (var "x" >: int 0)
+          [ set_idx (var "buf") (int 0) (var "x"); print "got %d\n" [ var "x" ] ]
+          [ print "eof\n" [] ];
+        ret (int 0);
+      ]
+  in
+  match Typecheck.check_program_result p with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "builder program failed: %s" msg
+
+let test_builder_for_up () =
+  let open Builder in
+  let p = main_program [ for_up "i" (int 0) (int 5) [ print "%d" [ var "i" ] ]; ret (int 0) ] in
+  match Typecheck.check_program_result p with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "for_up failed: %s" msg
+
+(* --- property tests --- *)
+
+let gen_small_expr_src =
+  (* random arithmetic expression over literals, rendered as source *)
+  let open QCheck.Gen in
+  let rec go depth =
+    if depth = 0 then map (fun n -> string_of_int n) (int_range 0 99)
+    else
+      frequency
+        [
+          (2, map (fun n -> string_of_int n) (int_range 0 99));
+          ( 3,
+            map3
+              (fun op a b -> Printf.sprintf "(%s %s %s)" a op b)
+              (oneofl [ "+"; "-"; "*" ])
+              (go (depth - 1)) (go (depth - 1)) );
+        ]
+  in
+  go 3
+
+let minic_props =
+  let open QCheck in
+  [
+    Test.make ~name:"random arithmetic expressions parse and typecheck" ~count:200
+      (make gen_small_expr_src) (fun src ->
+        let prog = Printf.sprintf "int main() { return %s; }" src in
+        match Minic.frontend_of_source prog with Ok _ -> true | Error _ -> false);
+    Test.make ~name:"pretty/parse round-trip is stable" ~count:200
+      (make gen_small_expr_src) (fun src ->
+        let prog = Printf.sprintf "int main() { return %s; }" src in
+        match Parser.parse_program_result prog with
+        | Error _ -> false
+        | Ok p1 ->
+          let s1 = Pretty.program_to_string p1 in
+          (match Parser.parse_program_result s1 with
+          | Error _ -> false
+          | Ok p2 -> Pretty.program_to_string p2 = s1));
+  ]
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "minic.lexer",
+      [
+        tc "basic" test_lex_basic;
+        tc "line tracking" test_lex_line_tracking;
+        tc "comments" test_lex_comments;
+        tc "operators" test_lex_operators;
+        tc "literals" test_lex_literals;
+        tc "errors" test_lex_errors;
+      ] );
+    ( "minic.parser",
+      [
+        tc "minimal" test_parse_minimal;
+        tc "globals" test_parse_globals;
+        tc "precedence" test_parse_precedence;
+        tc "associativity" test_parse_assoc;
+        tc "for desugar" test_parse_for_desugar;
+        tc "if/else" test_parse_if_else;
+        tc "cast vs paren" test_parse_cast_vs_paren;
+        tc "pointer declarators" test_parse_pointer_decls;
+        tc "__LINE__ locations" test_parse_line_macro;
+        tc "print" test_parse_print;
+        tc "errors" test_parse_errors;
+      ] );
+    ( "minic.pretty",
+      [
+        tc "round trip simple" test_roundtrip_simple;
+        tc "round trip rich" test_roundtrip_rich;
+        tc "precedence preserved" test_roundtrip_precedence_preserved;
+      ] );
+    ( "minic.typecheck",
+      [
+        tc "basics" test_typecheck_ok_basics;
+        tc "promotions" test_typecheck_promotions;
+        tc "array decay" test_typecheck_array_decay;
+        tc "static hoisting" test_typecheck_static_hoisting;
+        tc "string hoisting" test_typecheck_string_hoisting;
+        tc "string dedup" test_typecheck_string_dedup;
+        tc "shadowing" test_typecheck_shadowing;
+        tc "pointer rules" test_typecheck_pointer_rules;
+        tc "rejections" test_typecheck_rejects;
+        tc "operand type errors" test_typecheck_div_types;
+      ] );
+    ( "minic.builder",
+      [
+        tc "program typechecks" test_builder_program_typechecks;
+        tc "for_up" test_builder_for_up;
+      ] );
+    ("minic.properties", List.map QCheck_alcotest.to_alcotest minic_props);
+  ]

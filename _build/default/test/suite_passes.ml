@@ -1,0 +1,408 @@
+(* IR-level tests of the individual optimization passes, plus a stronger
+   random-program agreement property with control flow and guarded array
+   accesses (the "legal compilers" invariant under realistic programs). *)
+
+open Cdcompiler
+open Ir
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk_func code nregs =
+  {
+    name = "f";
+    nparams = 0;
+    nregs;
+    slots = [||];
+    code = Array.of_list code;
+    label_cache = None;
+  }
+
+let has f pred = Array.exists pred f.code
+let count f pred = Array.fold_left (fun a i -> if pred i then a + 1 else a) 0 f.code
+
+(* --- constfold --- *)
+
+let test_constfold_chain () =
+  (* r0=2; r1=3; r2=r0*r1; r3=r2+4 -> all constants *)
+  let f =
+    mk_func
+      [
+        Iconst (0, ImmI 2L);
+        Iconst (1, ImmI 3L);
+        Ibin (Bmul, W32, Csigned, 2, Reg 0, Reg 1);
+        Ibin (Badd, W32, Csigned, 3, Reg 2, ImmI 4L);
+        Iret (Some (Reg 3));
+      ]
+      4
+  in
+  let f' = Opt_constfold.run f in
+  check_bool "chain folded" true
+    (has f' (function Iconst (3, ImmI 10L) -> true | _ -> false))
+
+let test_constfold_branch () =
+  let f =
+    mk_func
+      [ Iconst (0, ImmI 1L); Ibr (Reg 0, 1, 2); Ilabel 1; Iret None; Ilabel 2; Iret None ]
+      1
+  in
+  let f' = Opt_constfold.run f in
+  check_bool "constant branch became a jump" true
+    (has f' (function Ijmp 1 -> true | _ -> false))
+
+let test_constfold_shift_poison () =
+  (* x << 40 folds to 0 even with x unknown: the UB-exploiting choice *)
+  let f = mk_func [ Ibin (Bshl, W32, Csigned, 1, Reg 0, ImmI 40L); Iret (Some (Reg 1)) ] 2 in
+  let f' = Opt_constfold.run f in
+  check_bool "poisoned shift" true
+    (has f' (function Iconst (1, ImmI 0L) -> true | _ -> false))
+
+let test_constfold_resets_at_labels () =
+  (* the constant map must not survive a block boundary (a jump may enter
+     at the label with a different value in r0) *)
+  let f =
+    mk_func
+      [
+        Iconst (0, ImmI 5L);
+        Ijmp 1;
+        Ilabel 1;
+        Ibin (Badd, W32, Csigned, 1, Reg 0, ImmI 1L);
+        Iret (Some (Reg 1));
+      ]
+      2
+  in
+  let f' = Opt_constfold.run f in
+  check_bool "no folding across labels" true
+    (has f' (function Ibin (Badd, _, _, 1, _, _) -> true | _ -> false))
+
+(* --- copyprop --- *)
+
+let test_copyprop_invalidation () =
+  (* r1 = r0; r0 = 9; r2 = r1 + 0 -- r1 must NOT become the new r0 *)
+  let f =
+    mk_func
+      [
+        Imov (1, Reg 0);
+        Iconst (0, ImmI 9L);
+        Ibin (Badd, W32, Csigned, 2, Reg 1, ImmI 0L);
+        Iret (Some (Reg 2));
+      ]
+      3
+  in
+  let f' = Opt_copyprop.run f in
+  check_bool "stale copy not propagated" false
+    (has f' (function Ibin (_, _, _, 2, Reg 0, _) -> true | _ -> false))
+
+(* --- cse --- *)
+
+let test_cse_dedups_lea_and_load () =
+  let f =
+    mk_func
+      [
+        Ilea (0, Sglobal "g");
+        Iload (1, Reg 0);
+        Ilea (2, Sglobal "g");
+        Iload (3, Reg 2);
+        Ibin (Badd, W32, Csigned, 4, Reg 1, Reg 3);
+        Iret (Some (Reg 4));
+      ]
+      5
+  in
+  let f' = Opt_cse.run ~unsafe:false f in
+  check_int "one lea survives" 1 (count f' (function Ilea _ -> true | _ -> false));
+  check_int "one load survives" 1 (count f' (function Iload _ -> true | _ -> false))
+
+let test_cse_store_clobbers_loads () =
+  let f =
+    mk_func
+      [
+        Ilea (0, Sglobal "g");
+        Iload (1, Reg 0);
+        Istore (Reg 0, ImmI 5L);
+        Iload (2, Reg 0);
+        Ibin (Badd, W32, Csigned, 3, Reg 1, Reg 2);
+        Iret (Some (Reg 3));
+      ]
+      4
+  in
+  let safe = Opt_cse.run ~unsafe:false f in
+  check_int "safe CSE keeps both loads" 2
+    (count safe (function Iload _ -> true | _ -> false));
+  let unsafe = Opt_cse.run ~unsafe:true f in
+  check_int "the buggy CSE merges across the store" 1
+    (count unsafe (function Iload _ -> true | _ -> false))
+
+(* --- ubfold --- *)
+
+let test_ubfold_add_pattern () =
+  (* (x + y) < x  ~~>  y < 0 *)
+  let f =
+    mk_func
+      [
+        Ibin (Badd, W32, Csigned, 1, Reg 0, Reg 9);
+        Icmp (Clt, W32, 2, Reg 1, Reg 0);
+        Iret (Some (Reg 2));
+      ]
+      10
+  in
+  let f' = Opt_ubfold.run ~null_fold:false f in
+  check_bool "rewritten to y<0" true
+    (has f' (function Icmp (Clt, W32, 2, Reg 9, ImmI 0L) -> true | _ -> false))
+
+let test_ubfold_sub_pattern () =
+  (* (x - y) > x  ~~>  y < 0 *)
+  let f =
+    mk_func
+      [
+        Ibin (Bsub, W32, Csigned, 1, Reg 0, Reg 9);
+        Icmp (Cgt, W32, 2, Reg 1, Reg 0);
+        Iret (Some (Reg 2));
+      ]
+      10
+  in
+  let f' = Opt_ubfold.run ~null_fold:false f in
+  check_bool "rewritten to y<0" true
+    (has f' (function Icmp (Clt, W32, 2, Reg 9, ImmI 0L) -> true | _ -> false))
+
+let test_ubfold_requires_signed () =
+  (* the same shape with wrap semantics (compiler-introduced) must stay *)
+  let f =
+    mk_func
+      [
+        Ibin (Badd, W32, Cwrap, 1, Reg 0, Reg 9);
+        Icmp (Clt, W32, 2, Reg 1, Reg 0);
+        Iret (Some (Reg 2));
+      ]
+      10
+  in
+  let f' = Opt_ubfold.run ~null_fold:false f in
+  check_bool "wrap arithmetic not rewritten" true
+    (has f' (function Icmp (Clt, W32, 2, Reg 1, Reg 0) -> true | _ -> false))
+
+let test_ubfold_null_check_after_deref () =
+  let f =
+    mk_func
+      [
+        Iload (1, Reg 0);
+        Ipcmp (Ceq, 2, Reg 0, Nullptr);
+        Ibr (Reg 2, 1, 2);
+        Ilabel 1;
+        Iret (Some (ImmI 1L));
+        Ilabel 2;
+        Iret (Some (Reg 1));
+      ]
+      3
+  in
+  let f' = Opt_ubfold.run ~null_fold:true f in
+  check_bool "null test folded to false" true
+    (has f' (function Iconst (2, ImmI 0L) -> true | _ -> false))
+
+let test_ubfold_null_trap () =
+  let f = mk_func [ Iload (1, Nullptr); Iret (Some (Reg 1)) ] 2 in
+  let f' = Opt_ubfold.run ~null_trap:true ~null_fold:false f in
+  check_bool "load from null became a trap" true
+    (has f' (function Itrap _ -> true | _ -> false))
+
+(* --- dce --- *)
+
+let test_dce_unreachable_after_trap () =
+  let f =
+    mk_func
+      [ Itrap "x"; Iconst (0, ImmI 1L); Iprint [ Flit "dead" ]; Iret None ]
+      1
+  in
+  let f' = Opt_dce.run f in
+  check_bool "code after a trap removed" false
+    (has f' (function Iprint _ -> true | _ -> false))
+
+let test_dce_keeps_side_effects () =
+  let f =
+    mk_func
+      [
+        Iconst (0, ImmI 1L);
+        Istore (Reg 0, ImmI 2L); (* not removable even if r0 dead later *)
+        Iprint [ Flit "hi" ];
+        Iret None;
+      ]
+      1
+  in
+  let f' = Opt_dce.run f in
+  check_bool "store kept" true (has f' (function Istore _ -> true | _ -> false));
+  check_bool "print kept" true (has f' (function Iprint _ -> true | _ -> false))
+
+let test_dce_removes_dead_division () =
+  let f =
+    mk_func
+      [
+        Iconst (0, ImmI 0L);
+        Ibin (Bdiv, W32, Csigned, 1, ImmI 7L, Reg 0);
+        Iret (Some (ImmI 0L));
+      ]
+      2
+  in
+  let f' = Opt_dce.run f in
+  check_bool "dead division removed" false
+    (has f' (function Ibin (Bdiv, _, _, _, _, _) -> true | _ -> false))
+
+(* --- inline --- *)
+
+let test_inline_respects_recursion () =
+  let src =
+    "int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }\n\
+     int main() { return fact(5); }"
+  in
+  match Minic.frontend_of_source src with
+  | Error e -> Alcotest.failf "frontend: %s" e
+  | Ok tp ->
+    let u = Pipeline.compile (Profiles.clangx "O3") tp in
+    (* recursive callee is never inlined; the call must survive *)
+    let main_f = Option.get (Ir.func u "main") in
+    check_bool "recursive call survives" true
+      (has main_f (function Icall (_, "fact", _) -> true | _ -> false));
+    let r = Cdvm.Exec.run ~config:Cdvm.Exec.default_config u in
+    check_bool "factorial correct" true (r.Cdvm.Exec.status = Cdvm.Trap.Exit 120)
+
+let test_inline_chain_folds () =
+  let src =
+    "int three() { return 3; }\n\
+     int four() { return three() + 1; }\n\
+     int main() { return four() * 10; }"
+  in
+  match Minic.frontend_of_source src with
+  | Error e -> Alcotest.failf "frontend: %s" e
+  | Ok tp ->
+    let u = Pipeline.compile (Profiles.clangx "O3") tp in
+    let main_f = Option.get (Ir.func u "main") in
+    check_int "no calls remain" 0 (count main_f (function Icall _ -> true | _ -> false));
+    let r = Cdvm.Exec.run ~config:Cdvm.Exec.default_config u in
+    check_bool "value" true (r.Cdvm.Exec.status = Cdvm.Trap.Exit 40)
+
+(* --- peephole --- *)
+
+let test_strength_pow2 () =
+  let f = mk_func [ Ibin (Bmul, W32, Csigned, 1, Reg 0, ImmI 16L); Iret (Some (Reg 1)) ] 2 in
+  let f' = Opt_peephole.strength f in
+  check_bool "mul by 16 -> shl 4" true
+    (has f' (function Ibin (Bshl, W32, Cwrap, 1, Reg 0, ImmI 4L) -> true | _ -> false))
+
+let test_strength_non_pow2_kept () =
+  let f = mk_func [ Ibin (Bmul, W32, Csigned, 1, Reg 0, ImmI 12L); Iret (Some (Reg 1)) ] 2 in
+  let f' = Opt_peephole.strength f in
+  check_bool "mul by 12 kept" true
+    (has f' (function Ibin (Bmul, _, _, _, _, _) -> true | _ -> false))
+
+let test_promote_mul_pattern () =
+  let f =
+    mk_func
+      [
+        Ibin (Bmul, W32, Csigned, 1, Reg 0, Reg 0);
+        Icast (Sext3264, 2, Reg 1);
+        Iret (Some (Reg 2));
+      ]
+      3
+  in
+  let f' = Opt_peephole.promote_mul f in
+  check_bool "widened to a 64-bit multiply" true
+    (has f' (function Ibin (Bmul, W64, _, 2, _, _) -> true | _ -> false))
+
+(* --- whole-pipeline agreement property --- *)
+
+(* random "parser-like" programs: loops over input with guarded array
+   accesses and mixed arithmetic; all well-defined by construction *)
+let gen_program_src =
+  let open QCheck.Gen in
+  let arith_op = oneofl [ "+"; "-"; "*" ] in
+  let small = int_range 1 9 in
+  let* n = int_range 4 8 in
+  let* op1 = arith_op and* op2 = arith_op in
+  let* k1 = small and* k2 = small and* k3 = small in
+  let* use_while = bool in
+  let loop_body =
+    Printf.sprintf
+      "    int c = peek(i);\n\
+      \    if (c < 0) { break; }\n\
+      \    int slot = (c %s %d) %% %d;\n\
+      \    if (slot < 0) { slot = 0 - slot; }\n\
+      \    tab[slot] = tab[slot] + 1;\n\
+      \    acc = acc %s (c %% %d) %s %d;\n"
+      op1 k1 n op2 (k2 + 1) op2 k3
+  in
+  let loop =
+    if use_while then
+      Printf.sprintf
+        "  int i = 0;\n  while (i < input_len() && i < 24) {\n%s    i = i + 1;\n  }\n"
+        loop_body
+    else
+      Printf.sprintf "  for (int i = 0; i < 24; i++) {\n%s  }\n"
+        (String.concat ""
+           [ "    if (i >= input_len()) { break; }\n"; loop_body ])
+  in
+  return
+    (Printf.sprintf
+       "int main() {\n\
+       \  int tab[%d];\n\
+       \  for (int z = 0; z < %d; z++) tab[z] = 0;\n\
+       \  int acc = 0;\n\
+        %s\
+       \  for (int z = 0; z < %d; z++) print(\"%%d \", tab[z]);\n\
+       \  print(\"| %%d\\n\", acc);\n\
+       \  return 0;\n\
+        }"
+       n n loop n)
+
+let prop_parsers_agree =
+  QCheck.Test.make ~name:"all implementations agree on well-defined parsers"
+    ~count:40
+    QCheck.(pair (make gen_program_src) (string_of_size (QCheck.Gen.int_range 0 12)))
+    (fun (src, input) ->
+      match Minic.frontend_of_source src with
+      | Error _ -> false
+      | Ok tp ->
+        let oracle = Compdiff.Oracle.create ~fuel:100_000 tp in
+        not (Compdiff.Oracle.is_divergence (Compdiff.Oracle.check oracle ~input)))
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "passes.constfold",
+      [
+        tc "chain" test_constfold_chain;
+        tc "branch" test_constfold_branch;
+        tc "shift poison" test_constfold_shift_poison;
+        tc "block boundaries" test_constfold_resets_at_labels;
+      ] );
+    ("passes.copyprop", [ tc "invalidation" test_copyprop_invalidation ]);
+    ( "passes.cse",
+      [
+        tc "lea/load dedup" test_cse_dedups_lea_and_load;
+        tc "store clobbers" test_cse_store_clobbers_loads;
+      ] );
+    ( "passes.ubfold",
+      [
+        tc "add pattern" test_ubfold_add_pattern;
+        tc "sub pattern" test_ubfold_sub_pattern;
+        tc "signedness required" test_ubfold_requires_signed;
+        tc "null check after deref" test_ubfold_null_check_after_deref;
+        tc "null trap" test_ubfold_null_trap;
+      ] );
+    ( "passes.dce",
+      [
+        tc "unreachable after trap" test_dce_unreachable_after_trap;
+        tc "side effects kept" test_dce_keeps_side_effects;
+        tc "dead division removed" test_dce_removes_dead_division;
+      ] );
+    ( "passes.inline",
+      [
+        tc "recursion guard" test_inline_respects_recursion;
+        tc "call chains" test_inline_chain_folds;
+      ] );
+    ( "passes.peephole",
+      [
+        tc "strength pow2" test_strength_pow2;
+        tc "strength non-pow2" test_strength_non_pow2_kept;
+        tc "promote mul" test_promote_mul_pattern;
+      ] );
+    ( "passes.agreement",
+      [ QCheck_alcotest.to_alcotest prop_parsers_agree ] );
+  ]

@@ -1,0 +1,207 @@
+(* Tests for Cdutil: deterministic RNG, MurmurHash3 reference vectors,
+   descriptive statistics. *)
+
+open Cdutil
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next64 a) (Rng.next64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.next64 a <> Rng.next64 b then differs := true
+  done;
+  check_bool "streams differ across seeds" true !differs
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r (-5) 5 in
+    check_bool "in inclusive range" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_copy_independent () =
+  let a = Rng.create 3 in
+  let _ = Rng.next64 a in
+  let b = Rng.copy a in
+  check_int "copies agree" 0 (Int64.compare (Rng.next64 a) (Rng.next64 b))
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 11 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_mix_stable () =
+  check_int "mix is a function" (Rng.mix 12 34) (Rng.mix 12 34);
+  check_bool "mix separates pairs" true (Rng.mix 12 34 <> Rng.mix 34 12);
+  check_bool "mix non-negative" true (Rng.mix 5 6 >= 0)
+
+let test_rng_bytes_len () =
+  let r = Rng.create 5 in
+  check_int "requested length" 33 (Bytes.length (Rng.bytes r 33))
+
+let rng_props =
+  let open QCheck in
+  [
+    Test.make ~name:"Rng.int always within bound" ~count:500
+      (pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let r = Rng.create seed in
+        let v = Rng.int r bound in
+        v >= 0 && v < bound);
+    Test.make ~name:"Rng.float in [0,1)" ~count:500 small_int (fun seed ->
+        let r = Rng.create seed in
+        let f = Rng.float r in
+        f >= 0. && f < 1.);
+  ]
+
+(* --- Murmur3: reference vectors from the canonical C++ implementation --- *)
+
+let test_murmur_empty () =
+  Alcotest.(check int32) "empty/0" 0l (Murmur3.hash32 "")
+
+let test_murmur_vectors () =
+  (* Known-answer tests for MurmurHash3_x86_32. *)
+  let cases =
+    [
+      ("", 0x1l, 0x514E28B7l);
+      ("", 0xffffffffl, 0x81F16F39l);
+      ("hello", 0l, 0x248BFA47l);
+      ("hello, world", 0l, 0x149BBB7Fl);
+      ("The quick brown fox jumps over the lazy dog", 0l, 0x2E4FF723l);
+      ("aaaa", 0x9747b28cl, 0x5A97808Al);
+      ("aaa", 0x9747b28cl, 0x283E0130l);
+      ("aa", 0x9747b28cl, 0x5D211726l);
+      ("a", 0x9747b28cl, 0x7FA09EA6l);
+    ]
+  in
+  List.iter
+    (fun (s, seed, want) ->
+      Alcotest.(check int32) (Printf.sprintf "murmur3(%S)" s) want
+        (Murmur3.hash32 ~seed s))
+    cases
+
+let test_murmur_distinct () =
+  check_bool "different strings hash differently" true
+    (Murmur3.hash32 "output A" <> Murmur3.hash32 "output B")
+
+let test_murmur_hash_nonneg () =
+  List.iter
+    (fun s -> check_bool "non-negative" true (Murmur3.hash s >= 0))
+    [ ""; "x"; "hello"; String.make 1000 'z' ]
+
+(* --- Stats --- *)
+
+let test_stats_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ])
+
+let test_stats_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  Alcotest.(check (float 1e-9)) "median" 3. (Stats.percentile 0.5 xs);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.percentile 0. xs);
+  Alcotest.(check (float 1e-9)) "max" 5. (Stats.percentile 1. xs);
+  Alcotest.(check (float 1e-9)) "q1" 2. (Stats.percentile 0.25 xs)
+
+let test_stats_box () =
+  let b = Stats.box_of_ints [ 5; 1; 3; 2; 4 ] in
+  Alcotest.(check (float 1e-9)) "median" 3. b.Stats.median;
+  Alcotest.(check (float 1e-9)) "min" 1. b.Stats.minimum;
+  Alcotest.(check (float 1e-9)) "max" 5. b.Stats.maximum;
+  check_int "count" 5 b.Stats.count
+
+let test_stats_singleton () =
+  let b = Stats.box_of [ 7. ] in
+  Alcotest.(check (float 1e-9)) "all equal" 7. b.Stats.q1;
+  Alcotest.(check (float 1e-9)) "all equal" 7. b.Stats.q3
+
+let stats_props =
+  let open QCheck in
+  [
+    Test.make ~name:"percentile is monotone in p" ~count:300
+      (list_of_size (Gen.int_range 1 30) (float_bound_exclusive 100.))
+      (fun xs ->
+        let p25 = Stats.percentile 0.25 xs
+        and p75 = Stats.percentile 0.75 xs in
+        p25 <= p75);
+    Test.make ~name:"mean within [min,max]" ~count:300
+      (list_of_size (Gen.int_range 1 30) (float_bound_exclusive 100.))
+      (fun xs ->
+        let b = Stats.box_of xs in
+        b.Stats.mean >= b.Stats.minimum -. 1e-9
+        && b.Stats.mean <= b.Stats.maximum +. 1e-9);
+  ]
+
+(* --- Tablefmt --- *)
+
+let test_table_render () =
+  let out =
+    Tablefmt.render ~header:[ "a"; "bb" ] [ [ "xxx"; "y" ]; [ "z"; "wwww" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  check_int "4 lines" 4 (List.length lines);
+  (* all lines share the same width *)
+  match lines with
+  | first :: rest ->
+    List.iter
+      (fun l -> check_int "aligned" (String.length first) (String.length l))
+      rest
+  | [] -> Alcotest.fail "no output"
+
+let test_table_pct () =
+  Alcotest.(check string) "pct" "37%" (Tablefmt.pct 0.372);
+  Alcotest.(check string) "pct0" "0%" (Tablefmt.pct 0.);
+  Alcotest.(check string) "pct100" "100%" (Tablefmt.pct 1.)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "util.rng",
+      [
+        tc "determinism" test_rng_determinism;
+        tc "seed sensitivity" test_rng_seed_sensitivity;
+        tc "bounds" test_rng_bounds;
+        tc "int_in bounds" test_rng_int_in;
+        tc "copy" test_rng_copy_independent;
+        tc "shuffle permutes" test_rng_shuffle_permutation;
+        tc "mix stable" test_rng_mix_stable;
+        tc "bytes length" test_rng_bytes_len;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest rng_props );
+    ( "util.murmur3",
+      [
+        tc "empty" test_murmur_empty;
+        tc "reference vectors" test_murmur_vectors;
+        tc "distinct" test_murmur_distinct;
+        tc "hash non-negative" test_murmur_hash_nonneg;
+      ] );
+    ( "util.stats",
+      [
+        tc "mean" test_stats_mean;
+        tc "percentile" test_stats_percentile;
+        tc "box" test_stats_box;
+        tc "singleton" test_stats_singleton;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest stats_props );
+    ( "util.tablefmt",
+      [ tc "render alignment" test_table_render; tc "pct" test_table_pct ] );
+  ]

@@ -1,0 +1,334 @@
+(* Tests for the VM substrate: the memory model (layout, provenance,
+   allocator policies, stack reuse), value coercions, traps, coverage
+   accounting, and builtin semantics. *)
+
+open Cdvm
+open Cdcompiler
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let runtime_of profile = profile.Policy.runtime
+
+let mem_of ?(globals = []) profile = Mem.create (runtime_of profile) globals
+
+let gccx_O0 = Profiles.gccx "O0"
+let clangx_O0 = Profiles.clangx "O0"
+
+(* --- globals layout --- *)
+
+let two_globals =
+  [
+    { Ir.g_name = "a"; g_size = 4; g_init = [ 1L; 2L; 3L; 4L ] };
+    { Ir.g_name = "b"; g_size = 2; g_init = [ 9L ] };
+  ]
+
+let test_globals_zero_init () =
+  let m = mem_of ~globals:two_globals gccx_O0 in
+  let ids = Mem.global_ids m in
+  let b = Hashtbl.find ids "b" in
+  (* b[1] has no initializer: C semantics zero-initialize *)
+  let o = Option.get (Mem.obj m b) in
+  let v, taint = Mem.read_abs m (o.Mem.base + 1) in
+  check_bool "zero" true (v = Value.Vint 0L);
+  check_bool "globals are initialized memory" false taint
+
+let test_globals_order_policy () =
+  let addr_of m name =
+    let ids = Mem.global_ids m in
+    (Option.get (Mem.obj m (Hashtbl.find ids name))).Mem.base
+  in
+  let mg = mem_of ~globals:two_globals gccx_O0 in
+  let mc = mem_of ~globals:two_globals clangx_O0 in
+  check_bool "gccx: a before b" true (addr_of mg "a" < addr_of mg "b");
+  check_bool "clangx reverses global order" true (addr_of mc "a" > addr_of mc "b")
+
+let test_oob_global_resolves_to_neighbor () =
+  let m = mem_of ~globals:two_globals gccx_O0 in
+  let ids = Mem.global_ids m in
+  let a = Hashtbl.find ids "a" in
+  let oa = Option.get (Mem.obj m a) in
+  (* gccx has no global gap: a[4] is b[0] *)
+  let v, _ = Mem.read_abs m (oa.Mem.base + 4) in
+  check_bool "a[4] lands on b[0]" true (v = Value.Vint 9L)
+
+(* --- heap allocator --- *)
+
+let test_heap_reuse_policy () =
+  (* gccx reuses freed blocks LIFO; clangx-O0 does not *)
+  let mg = mem_of gccx_O0 in
+  let p1 = Mem.malloc mg 4 in
+  ignore (Mem.free mg p1);
+  let p2 = Mem.malloc mg 4 in
+  check_bool "gccx reuses the block" true
+    (Mem.addr_of_ptr mg p1 = Mem.addr_of_ptr mg p2);
+  let mc = mem_of clangx_O0 in
+  let q1 = Mem.malloc mc 4 in
+  ignore (Mem.free mc q1);
+  let q2 = Mem.malloc mc 4 in
+  check_bool "clangx-O0 allocates fresh" true
+    (Mem.addr_of_ptr mc q1 <> Mem.addr_of_ptr mc q2)
+
+let test_heap_free_classification () =
+  let m = mem_of gccx_O0 in
+  let p = Mem.malloc m 4 in
+  check_bool "ok" true (Mem.free m p = `Ok);
+  check_bool "double" true (Mem.free m p = `Double);
+  check_bool "null" true (Mem.free m Value.null = `Null);
+  let q = Mem.malloc m 4 in
+  check_bool "interior is invalid" true
+    (Mem.free m { q with Value.off = 1 } = `Invalid)
+
+let test_heap_uaf_reads_leftover () =
+  let m = mem_of clangx_O0 in
+  let p = Mem.malloc m 4 in
+  Mem.write_abs m (Mem.addr_of_ptr m p) (Value.Vint 77L) ~taint:false;
+  ignore (Mem.free m p);
+  (* no reuse at clangx-O0: the stale pointer still reads the old cell *)
+  let v, _ = Mem.read_abs m (Mem.addr_of_ptr m p) in
+  check_bool "leftover value" true (v = Value.Vint 77L)
+
+let test_malloc_limits () =
+  let m = mem_of gccx_O0 in
+  check_bool "zero-size is null" true (Value.is_null (Mem.malloc m 0));
+  check_bool "negative is null" true (Value.is_null (Mem.malloc m (-3)));
+  check_bool "huge is null" true (Value.is_null (Mem.malloc m 100_000_000))
+
+(* --- stack frames --- *)
+
+let slots sizes =
+  Array.of_list
+    (List.mapi (fun i n -> { Ir.slot_name = Printf.sprintf "s%d" i; slot_size = n }) sizes)
+
+let test_stack_reuse_leftovers () =
+  let m = mem_of gccx_O0 in
+  let ids = Mem.push_frame m (slots [ 2 ]) in
+  let o = Option.get (Mem.obj m ids.(0)) in
+  Mem.write_abs m o.Mem.base (Value.Vint 4242L) ~taint:false;
+  Mem.pop_frame m;
+  (* the next frame of the same shape lands on the same cells *)
+  let ids2 = Mem.push_frame m (slots [ 2 ]) in
+  let o2 = Option.get (Mem.obj m ids2.(0)) in
+  check_int "same address reused" o.Mem.base o2.Mem.base;
+  let v, taint = Mem.read_abs m o2.Mem.base in
+  check_bool "leftover value visible" true (v = Value.Vint 4242L);
+  check_bool "but tainted as uninitialized for the new frame" true taint;
+  Mem.pop_frame m
+
+let test_slot_order_policy () =
+  let layout_of profile =
+    let m = mem_of profile in
+    let ids = Mem.push_frame m (slots [ 1; 1 ]) in
+    let a = (Option.get (Mem.obj m ids.(0))).Mem.base in
+    let b = (Option.get (Mem.obj m ids.(1))).Mem.base in
+    Mem.pop_frame m;
+    compare a b
+  in
+  check_bool "families lay slots in opposite orders" true
+    (layout_of gccx_O0 <> layout_of clangx_O0)
+
+let test_stack_overflow_trap () =
+  let m = mem_of gccx_O0 in
+  match
+    for _ = 1 to 100_000 do
+      ignore (Mem.push_frame m (slots [ 8 ]))
+    done
+  with
+  | () -> Alcotest.fail "expected a stack overflow"
+  | exception Mem.Trapped Trap.Stack_overflow -> ()
+
+let test_object_at_resolution () =
+  let m = mem_of ~globals:two_globals gccx_O0 in
+  let ids = Mem.global_ids m in
+  let a = Hashtbl.find ids "a" in
+  let oa = Option.get (Mem.obj m a) in
+  (match Mem.object_at m (oa.Mem.base + 2) with
+  | Some (o, off) ->
+    check_int "object" a o.Mem.id;
+    check_int "offset" 2 off
+  | None -> Alcotest.fail "expected to resolve a[2]");
+  check_bool "unmapped address resolves to nothing" true
+    (Mem.object_at m 0xDEAD00 = None)
+
+let test_wild_pointer_roundtrip () =
+  let m = mem_of ~globals:two_globals gccx_O0 in
+  let ids = Mem.global_ids m in
+  let a = Hashtbl.find ids "a" in
+  let oa = Option.get (Mem.obj m a) in
+  let p = Mem.ptr_of_addr m (oa.Mem.base + 1) in
+  check_bool "forged pointer has provenance" true (p.Value.obj = a && p.Value.off = 1);
+  let wild = Mem.ptr_of_addr m 0x777777 in
+  check_bool "unmapped forge is wild" true (Value.is_wild wild)
+
+(* --- trap/status signatures --- *)
+
+let test_segfault_signature_ignores_address () =
+  check_bool "same signature" true
+    (Trap.equal_status (Trap.Trap (Trap.Segfault 1)) (Trap.Trap (Trap.Segfault 2)));
+  check_bool "different kinds differ" false
+    (Trap.equal_status (Trap.Trap Trap.Null_deref) (Trap.Trap Trap.Div_by_zero));
+  check_bool "exit codes compare" false
+    (Trap.equal_status (Trap.Exit 0) (Trap.Exit 1))
+
+(* --- coverage --- *)
+
+let test_coverage_buckets () =
+  check_int "0" 0 (Coverage.bucket 0);
+  check_int "1" 1 (Coverage.bucket 1);
+  check_int "3" 4 (Coverage.bucket 3);
+  check_int "10" 16 (Coverage.bucket 10);
+  check_int "200" 128 (Coverage.bucket 200)
+
+let test_coverage_merge () =
+  let cov = Coverage.create () in
+  let virgin = Bytes.make Coverage.size '\000' in
+  Coverage.hit cov 42;
+  check_bool "first merge is novel" true (Coverage.merge_into ~virgin cov);
+  Coverage.reset cov;
+  Coverage.hit cov 42;
+  check_bool "same edge same count is stale" false (Coverage.merge_into ~virgin cov);
+  (* hitting the same edge more times moves to a new bucket *)
+  Coverage.reset cov;
+  for _ = 1 to 5 do
+    Coverage.hit cov 42;
+    Coverage.hit cov 99
+  done;
+  check_bool "new bucket is novel" true (Coverage.merge_into ~virgin cov)
+
+let test_coverage_edges_differ_by_order () =
+  let c1 = Coverage.create () in
+  Coverage.hit c1 10;
+  Coverage.hit c1 20;
+  let c2 = Coverage.create () in
+  Coverage.hit c2 20;
+  Coverage.hit c2 10;
+  check_bool "edge hashing is direction-sensitive" true
+    (Coverage.count_nonzero c1 = 2 && c1.Coverage.map <> c2.Coverage.map)
+
+(* --- builtins through the interpreter --- *)
+
+let run_src ?(input = "") ?(profile = gccx_O0) src =
+  match Minic.frontend_of_source src with
+  | Error e -> Alcotest.failf "frontend: %s" e
+  | Ok tp ->
+    let u = Pipeline.compile profile tp in
+    Exec.run ~config:{ Exec.default_config with Exec.input } u
+
+let test_builtin_memset_memcpy () =
+  let r =
+    run_src
+      "int main() {\n\
+       \  int a[6];\n\
+       \  memset(a, 7, 6);\n\
+       \  int b[6];\n\
+       \  memcpy(b, a, 6);\n\
+       \  print(\"%d %d\\n\", b[0], b[5]);\n\
+       \  return 0;\n\
+       }"
+  in
+  Alcotest.(check string) "copied" "7 7\n" r.Exec.stdout
+
+let test_builtin_memcpy_direction_policy () =
+  (* overlapping copy: the families copy in opposite directions *)
+  let src =
+    "int main() {\n\
+     \  int a[5];\n\
+     \  for (int i = 0; i < 5; i++) a[i] = i + 1;\n\
+     \  memcpy(a + 1, a, 4);\n\
+     \  print(\"%d %d %d %d %d\\n\", a[0], a[1], a[2], a[3], a[4]);\n\
+     \  return 0;\n\
+     }"
+  in
+  let g = run_src ~profile:gccx_O0 src in
+  let c = run_src ~profile:clangx_O0 src in
+  Alcotest.(check string) "forward smears" "1 1 1 1 1\n" g.Exec.stdout;
+  Alcotest.(check string) "backward shifts" "1 1 2 3 4\n" c.Exec.stdout
+
+let test_builtin_strlen () =
+  let r =
+    run_src "int main() { print(\"%d %d\\n\", strlen(\"hello\"), strlen(\"\")); return 0; }"
+  in
+  Alcotest.(check string) "lengths" "5 0\n" r.Exec.stdout
+
+let test_builtin_peek_input_len () =
+  let r =
+    run_src ~input:"xyz"
+      "int main() { print(\"%d %d %d %d\\n\", input_len(), peek(0), peek(2), peek(9)); return 0; }"
+  in
+  Alcotest.(check string) "peeks" "3 120 122 -1\n" r.Exec.stdout
+
+let test_builtin_exit_code () =
+  let r = run_src "int main() { exit(7); return 0; }" in
+  check_bool "exit(7)" true (r.Exec.status = Trap.Exit 7);
+  let r2 = run_src "int main() { abort(); return 0; }" in
+  check_bool "abort traps" true (r2.Exec.status = Trap.Trap Trap.Abort_called)
+
+let test_output_limit () =
+  let r =
+    run_src ~profile:gccx_O0
+      "int main() { while (1) { print(\"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\\n\"); } return 0; }"
+  in
+  check_bool "output limit trap" true (r.Exec.status = Trap.Trap Trap.Output_limit)
+
+let test_fuel_accounting () =
+  let r1 = run_src "int main() { return 0; }" in
+  let r2 =
+    run_src "int main() { int s = 0; for (int i = 0; i < 100; i++) s += i; return s & 0; }"
+  in
+  check_bool "loops consume more fuel" true (r2.Exec.fuel_used > r1.Exec.fuel_used)
+
+let test_format_specifiers () =
+  let r =
+    run_src
+      "int main() {\n\
+       \  print(\"%d %u %x %c %ld %f %%\\n\", -1, -1, 255, 65, 1234567890123L, 1.5);\n\
+       \  return 0;\n\
+       }"
+  in
+  Alcotest.(check string) "formats" "-1 4294967295 ff A 1234567890123 1.500000 %\n"
+    r.Exec.stdout
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "vm.globals",
+      [
+        tc "zero init" test_globals_zero_init;
+        tc "order policy" test_globals_order_policy;
+        tc "OOB neighbour" test_oob_global_resolves_to_neighbor;
+      ] );
+    ( "vm.heap",
+      [
+        tc "reuse policy" test_heap_reuse_policy;
+        tc "free classification" test_heap_free_classification;
+        tc "UAF leftover" test_heap_uaf_reads_leftover;
+        tc "malloc limits" test_malloc_limits;
+      ] );
+    ( "vm.stack",
+      [
+        tc "reuse leftovers" test_stack_reuse_leftovers;
+        tc "slot order policy" test_slot_order_policy;
+        tc "overflow trap" test_stack_overflow_trap;
+        tc "object resolution" test_object_at_resolution;
+        tc "wild pointers" test_wild_pointer_roundtrip;
+      ] );
+    ("vm.trap", [ tc "signatures" test_segfault_signature_ignores_address ]);
+    ( "vm.coverage",
+      [
+        tc "buckets" test_coverage_buckets;
+        tc "merge" test_coverage_merge;
+        tc "edge direction" test_coverage_edges_differ_by_order;
+      ] );
+    ( "vm.builtins",
+      [
+        tc "memset/memcpy" test_builtin_memset_memcpy;
+        tc "memcpy direction policy" test_builtin_memcpy_direction_policy;
+        tc "strlen" test_builtin_strlen;
+        tc "peek/input_len" test_builtin_peek_input_len;
+        tc "exit/abort" test_builtin_exit_code;
+        tc "output limit" test_output_limit;
+        tc "fuel accounting" test_fuel_accounting;
+        tc "format specifiers" test_format_specifiers;
+      ] );
+  ]
