@@ -52,7 +52,7 @@ let table3 () =
     let sp (d, fp) = [ pct d; pct fp ] in
     [ r.Juliet.Eval.label; string_of_int r.Juliet.Eval.total ]
     @ sp r.Juliet.Eval.r_coverity @ sp r.Juliet.Eval.r_cppcheck
-    @ sp r.Juliet.Eval.r_infer
+    @ sp r.Juliet.Eval.r_infer @ sp r.Juliet.Eval.r_unstable
     @ [
         pct r.Juliet.Eval.r_asan;
         pct r.Juliet.Eval.r_ubsan;
@@ -66,14 +66,35 @@ let table3 () =
     ~title:"Table 3: Bug detection rates and false positive rates on the generated suite"
     ~header:
       [
-        "CWE-IDs"; "#"; "Covty"; "FP"; "Cppchk"; "FP"; "Infer"; "FP"; "ASan";
-        "UBSan"; "MSan"; "SanTot"; "CompDiff"; "#Unique";
+        "CWE-IDs"; "#"; "Covty"; "FP"; "Cppchk"; "FP"; "Infer"; "FP";
+        "UnstChk"; "FP"; "ASan"; "UBSan"; "MSan"; "SanTot"; "CompDiff";
+        "#Unique";
       ]
     (List.map render rows);
   let fps = Juliet.Eval.false_positive_counts evals in
   Printf.printf "False positives on good variants (Finding 5 expects 0):\n";
   List.iter (fun (name, n) -> Printf.printf "  %-9s %d\n" name n) fps;
-  print_newline ()
+  print_newline ();
+  (* static-vs-dynamic cross-validation: how does the IR-level analyzer
+     line up with the differential oracle's ground truth? *)
+  let count f = List.length (List.filter f evals) in
+  let total = List.length evals in
+  let u_det = count (fun e -> fst e.Juliet.Eval.unstable) in
+  let u_fp = count (fun e -> snd e.Juliet.Eval.unstable) in
+  let both = count (fun e -> fst e.Juliet.Eval.unstable && fst e.Juliet.Eval.compdiff) in
+  let only_static =
+    count (fun e -> fst e.Juliet.Eval.unstable && not (fst e.Juliet.Eval.compdiff))
+  in
+  let only_dyn =
+    count (fun e -> fst e.Juliet.Eval.compdiff && not (fst e.Juliet.Eval.unstable))
+  in
+  Printf.printf
+    "UnstableCheck vs differential oracle (%d tests):\n\
+    \  static+dynamic agree on %d bugs; static-only %d; dynamic-only %d\n\
+    \  UnstableCheck: %d detections, %d good-variant reports (FP rate %s)\n\n"
+    total both only_static only_dyn u_det u_fp
+    (Cdutil.Tablefmt.pct
+       (Juliet.Eval.fp_rate ~detections:u_det ~good_flags:u_fp))
 
 let figure1 () =
   let evals = evaluate_full_suite () in

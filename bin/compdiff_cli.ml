@@ -7,6 +7,7 @@
      compdiff diff FILE --input 'AB'
      compdiff fuzz FILE --execs 5000
      compdiff juliet --per-cwe 8
+     compdiff static FILE --tool unstable
      compdiff projects --name tcpdump --execs 4000
 *)
 
@@ -22,6 +23,13 @@ let read_file path =
 let frontend_of_file path =
   match Minic.frontend_of_source (read_file path) with
   | Ok tp -> tp
+  | Error msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 2
+
+let ast_of_file path =
+  match Minic.Parser.parse_program_result (read_file path) with
+  | Ok p -> p
   | Error msg ->
     Printf.eprintf "%s: %s\n" path msg;
     exit 2
@@ -168,6 +176,9 @@ let localize_cmd =
       with
       | Some l ->
         print_string (Compdiff.Localize.to_string l);
+        (match Compdiff.Triage.suggest_root_cause (ast_of_file file) l with
+        | Some rc -> print_string (Compdiff.Triage.root_cause_to_string rc)
+        | None -> ());
         1
       | None ->
         Printf.printf
@@ -303,6 +314,74 @@ let projects_cmd =
     (Cmd.info "projects" ~doc:"Fuzz the synthetic real-world targets (Table 5).")
     Term.(const action $ target_name $ execs)
 
+(* --- static --- *)
+
+let static_cmd =
+  let tool_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tool" ] ~docv:"TOOL"
+          ~doc:
+            "Run a single analyzer (coverity, cppcheck, infer, unstable); \
+             default: all four.")
+  in
+  let warnings =
+    Arg.(
+      value & flag
+      & info [ "warnings" ] ~doc:"Also print downgraded (warning) findings.")
+  in
+  let action file tool warnings =
+    let p = ast_of_file file in
+    let tools =
+      match tool with
+      | None -> Staticcheck.Static_tools.all
+      | Some n -> (
+        let norm = String.lowercase_ascii n in
+        match
+          List.find_opt
+            (fun t ->
+              let name =
+                String.lowercase_ascii (Staticcheck.Static_tools.name t)
+              in
+              name = norm || String.length norm > 0
+                             && String.length name >= String.length norm
+                             && String.sub name 0 (String.length norm) = norm)
+            Staticcheck.Static_tools.all
+        with
+        | Some t -> [ t ]
+        | None ->
+          Printf.eprintf "unknown tool %s; available: %s\n" n
+            (String.concat ", "
+               (List.map Staticcheck.Static_tools.name
+                  Staticcheck.Static_tools.all));
+          exit 2)
+    in
+    let errors = ref 0 in
+    List.iter
+      (fun t ->
+        let findings = Staticcheck.Static_tools.check t p in
+        List.iter
+          (fun (f : Staticcheck.Finding.t) ->
+            match f.Staticcheck.Finding.severity with
+            | Staticcheck.Finding.Error ->
+              incr errors;
+              Format.printf "%a@." Staticcheck.Finding.pp f
+            | Staticcheck.Finding.Warning ->
+              if warnings then Format.printf "%a@." Staticcheck.Finding.pp f)
+          findings)
+      tools;
+    if !errors = 0 then begin
+      Printf.printf "no detection-grade findings\n";
+      0
+    end
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "static"
+       ~doc:"Run the static analyzers (Table 3 tools) over a MiniC file.")
+    Term.(const action $ file_arg $ tool_arg $ warnings)
+
 (* --- profiles --- *)
 
 let profiles_cmd =
@@ -328,6 +407,6 @@ let main_cmd =
   let doc = "compiler-driven differential testing for MiniC programs" in
   Cmd.group
     (Cmd.info "compdiff" ~version:"1.0.0" ~doc)
-    [ compile_cmd; run_cmd; diff_cmd; trace_cmd; localize_cmd; fuzz_cmd; juliet_cmd; projects_cmd; profiles_cmd ]
+    [ compile_cmd; run_cmd; diff_cmd; trace_cmd; localize_cmd; fuzz_cmd; juliet_cmd; static_cmd; projects_cmd; profiles_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,28 @@
+// The fixed variant of the out-of-bounds example: the short-circuit
+// guard constrains the index, branch refinement transports the facts
+// through the lowered 0/1 join, and UnstableCheck stays silent.
+//
+//   compdiff static examples/stable_guarded.c   (exits 0)
+
+int test_case(void) {
+  int buf[8];
+  buf[0] = 0;
+  buf[1] = 0;
+  buf[2] = 0;
+  buf[3] = 0;
+  buf[4] = 0;
+  buf[5] = 0;
+  buf[6] = 0;
+  buf[7] = 0;
+  int i = getchar() - 48;
+  if (i >= 0 && i < 8) {
+    buf[i] = 7;
+    print("wrote %d\n", buf[i]);
+  }
+  return 0;
+}
+
+int main(void) {
+  test_case();
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Signed overflow and a zero divisor: both intervals are fully known to
+// the dataflow analysis, so UnstableCheck reports both sites as errors.
+//
+//   compdiff static examples/unstable_arith.c   (exits 1)
+
+int test_case(void) {
+  int x = getchar();
+  print("scaled: %d\n", x * 100000000);
+  int d = 0;
+  print("ratio: %d\n", 10 / d);
+  return 0;
+}
+
+int main(void) {
+  test_case();
+  return 0;
+}

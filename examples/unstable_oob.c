@@ -1,0 +1,17 @@
+// Out-of-bounds address math: the index interval [0,255] escapes the
+// 8-cell buffer, and no guard constrains it before the store.
+//
+//   compdiff static examples/unstable_oob.c   (exits 1)
+
+int test_case(void) {
+  int buf[8];
+  int i = getchar();
+  buf[i] = 7;
+  print("wrote %d\n", buf[0]);
+  return 0;
+}
+
+int main(void) {
+  test_case();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Listing-4 shape (exiv2): a scalar read before any store. The junk
+// value is implementation-dependent, so implementations diverge and
+// UnstableCheck reports a detection-grade uninitialized-use.
+//
+//   compdiff static examples/unstable_uninit.c   (exits 1)
+
+int test_case(void) {
+  int count;
+  if (getchar() == 65) {
+    count = 1;
+  }
+  print("count: %d\n", count);
+  return 0;
+}
+
+int main(void) {
+  test_case();
+  return 0;
+}

@@ -102,10 +102,19 @@ type ifunc = {
   mutable nregs : int;
   mutable slots : frame_slot array;
   mutable code : instr array;
+  mutable code_lines : int array;
+      (* source line of the statement each instruction was lowered from,
+         parallel to [code]. Optimization passes renumber instructions
+         and drop the table (length 0); consumers fall back to the pc. *)
   mutable label_cache : (int, int) Hashtbl.t option;
       (* label -> pc map, computed once per compiled function and shared
          by every execution of the binary *)
 }
+
+(* source line of [pc], when the line table survived *)
+let line_of_pc (f : ifunc) (pc : int) : int option =
+  if pc >= 0 && pc < Array.length f.code_lines then Some f.code_lines.(pc)
+  else None
 
 type iglobal = { g_name : string; g_size : int; g_init : int64 list }
 

@@ -26,9 +26,13 @@ type lenv = {
   mutable nslots : int;
   mutable loop_stack : (label * label) list; (* (break, continue) *)
   globals : (string, Ast.typ) Hashtbl.t;
+  mutable rev_lines : int list;  (* statement line per emitted instruction *)
+  mutable cur_line : int;        (* line of the statement being lowered *)
 }
 
-let emit env i = env.rev_code <- i :: env.rev_code
+let emit env i =
+  env.rev_code <- i :: env.rev_code;
+  env.rev_lines <- env.cur_line :: env.rev_lines
 
 let fresh_reg env =
   let r = env.nregs in
@@ -415,6 +419,7 @@ and lower_cast env to_ty (a : Tast.texpr) =
 (* --- statements --- *)
 
 let rec lower_stmt env (s : Tast.tstmt) =
+  env.cur_line <- s.Tast.tsloc.Ast.stmt_line;
   match s.Tast.ts with
   | Tast.TSExpr e -> ignore (lower_expr env e)
   | Tast.TSDecl (_, name, init) ->
@@ -558,6 +563,8 @@ let lower_func profile globals (f : Tast.tfunc) : ifunc =
       nslots = 0;
       loop_stack = [];
       globals;
+      rev_lines = [];
+      cur_line = 0;
     }
   in
   let taken = taken_block [] f.Tast.tbody in
@@ -607,6 +614,7 @@ let lower_func profile globals (f : Tast.tfunc) : ifunc =
     nregs = env.nregs;
     slots = slot_arr;
     code = Array.of_list (List.rev env.rev_code);
+    code_lines = Array.of_list (List.rev env.rev_lines);
     label_cache = None;
   }
 

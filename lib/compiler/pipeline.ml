@@ -5,9 +5,15 @@
 
 open Ir
 
+(* passes renumber instructions, so the lowering's line table is stale
+   the moment any of them ran *)
+let strip_lines (f : ifunc) : ifunc =
+  if Array.length f.code_lines = 0 then f else { f with code_lines = [||] }
+
 let apply_func_passes (flags : Policy.opt_flags) (f : ifunc) : ifunc =
   let ( |>? ) f (cond, pass) = if cond then pass f else f in
-  f
+  let f' =
+    f
   |>? (flags.Policy.constfold, Opt_constfold.run)
   |>? (flags.Policy.copyprop, Opt_copyprop.run)
   |>? (flags.Policy.cse, Opt_cse.run ~unsafe:flags.Policy.unsafe_copyprop)
@@ -21,6 +27,8 @@ let apply_func_passes (flags : Policy.opt_flags) (f : ifunc) : ifunc =
   |>? (flags.Policy.fp_contract, Opt_peephole.fp_contract)
   |>? (flags.Policy.pow_to_exp2, Opt_peephole.pow_to_exp2)
   |>? (flags.Policy.dce, Opt_dce.run)
+  in
+  if f' == f then f else strip_lines f'
 
 let compile (profile : Policy.profile) (tp : Minic.Tast.tprogram) : unit_ =
   let u0 = Lower.lower_program profile tp in
@@ -35,7 +43,12 @@ let compile (profile : Policy.profile) (tp : Minic.Tast.tprogram) : unit_ =
   if flags.Policy.inline_limit > 0 then begin
     let round u =
       let u' = Opt_inline.run ~limit:flags.Policy.inline_limit u in
-      { u' with funcs = List.map (fun (n, f) -> (n, apply_func_passes flags f)) u'.funcs }
+      { u' with
+        funcs =
+          List.map
+            (fun (n, f) -> (n, strip_lines (apply_func_passes flags f)))
+            u'.funcs;
+      }
     in
     round (round u1)
   end

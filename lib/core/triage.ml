@@ -65,3 +65,70 @@ let representatives t : diff_entry list =
         true
       end)
     (List.rev t.entries)
+
+(* --- root-cause suggestion (Table 5) ---
+
+   A localized divergence names the function where the observable
+   behaviour first differs; UnstableCheck names the sites whose semantics
+   are implementation-defined. Intersecting the two attributes the
+   divergence to a root-cause category of Table 5. *)
+
+let table5_label (k : Staticcheck.Finding.kind) : string =
+  match k with
+  | Staticcheck.Finding.Uninit -> "UninitMem"
+  | Staticcheck.Finding.Int_error | Staticcheck.Finding.Div_zero -> "IntError"
+  | Staticcheck.Finding.Mem_error | Staticcheck.Finding.Null_deref -> "MemError"
+  | Staticcheck.Finding.Ptr_sub -> "PointerCmp"
+  | Staticcheck.Finding.Bad_call | Staticcheck.Finding.Ub_generic -> "Misc."
+
+type root_cause = {
+  rc_label : string;                    (* Table 5 category *)
+  rc_finding : Staticcheck.Finding.t;   (* the supporting static finding *)
+  rc_in_function : bool;  (* finding lies in the function that diverged *)
+}
+
+let suggest_root_cause (p : Minic.Ast.program)
+    (l : Localize.localization) : root_cause option =
+  let findings =
+    Staticcheck.Static_tools.check Staticcheck.Static_tools.Unstable p
+  in
+  let diverging_fns =
+    List.filter_map
+      (fun e -> Option.map (fun e -> e.Localize.ev_fn) e)
+      [ l.Localize.at_a; l.Localize.at_b ]
+  in
+  let in_fn (f : Staticcheck.Finding.t) =
+    match f.Staticcheck.Finding.func with
+    | Some fn -> List.mem fn diverging_fns
+    | None -> false
+  in
+  (* prefer findings inside the diverging function, then detection-grade
+     over downgraded ones, then the earliest site *)
+  let score (f : Staticcheck.Finding.t) =
+    ( (if in_fn f then 0 else 1),
+      (match f.Staticcheck.Finding.severity with
+      | Staticcheck.Finding.Error -> 0
+      | Staticcheck.Finding.Warning -> 1),
+      f.Staticcheck.Finding.line )
+  in
+  List.fold_left
+    (fun acc f ->
+      match acc with
+      | Some g when score g <= score f -> acc
+      | _ -> Some f)
+    None findings
+  |> Option.map (fun (f : Staticcheck.Finding.t) ->
+         {
+           rc_label = table5_label f.Staticcheck.Finding.kind;
+           rc_finding = f;
+           rc_in_function = in_fn f;
+         })
+
+let root_cause_to_string (rc : root_cause) : string =
+  let f = rc.rc_finding in
+  Printf.sprintf "suggested root cause: %s -- %s at line %d%s%s\n" rc.rc_label
+    f.Staticcheck.Finding.message f.Staticcheck.Finding.line
+    (match f.Staticcheck.Finding.func with
+    | Some fn -> " in '" ^ fn ^ "'"
+    | None -> "")
+    (if rc.rc_in_function then "" else " (outside the diverging function)")

@@ -32,3 +32,30 @@ val entries : t -> diff_entry list
 
 val representatives : t -> diff_entry list
 (** One entry per unique signature, oldest first. *)
+
+(** {2 Root-cause suggestion}
+
+    Maps a localized divergence through UnstableCheck's static findings
+    to a Table 5 root-cause label: the analyzer names the sites whose
+    semantics are implementation-defined, the localization names the
+    function where behaviour first diverged, and their intersection
+    attributes the bug. *)
+
+type root_cause = {
+  rc_label : string;                    (** Table 5 category *)
+  rc_finding : Staticcheck.Finding.t;   (** the supporting static finding *)
+  rc_in_function : bool;
+      (** the finding lies in the function that diverged *)
+}
+
+val table5_label : Staticcheck.Finding.kind -> string
+(** Finding kind -> Table 5 category name ([UninitMem], [IntError],
+    [MemError], [PointerCmp], [Misc.]). *)
+
+val suggest_root_cause :
+  Minic.Ast.program -> Localize.localization -> root_cause option
+(** Run UnstableCheck over the (untyped) program and pick the finding
+    that best explains the localization; [None] when the analyzer is
+    silent. *)
+
+val root_cause_to_string : root_cause -> string

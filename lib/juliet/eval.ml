@@ -8,6 +8,7 @@ type test_eval = {
   coverity : bool * bool;
   cppcheck : bool * bool;
   infer : bool * bool;
+  unstable : bool * bool;
   (* sanitizers: detected on bad / reported on good *)
   asan : bool * bool;
   ubsan : bool * bool;
@@ -57,6 +58,7 @@ let evaluate ?(fuel = 100_000) (t : Testcase.t) : test_eval =
     coverity = eval_static Staticcheck.Static_tools.Coverity t category;
     cppcheck = eval_static Staticcheck.Static_tools.Cppcheck t category;
     infer = eval_static Staticcheck.Static_tools.Infer t category;
+    unstable = eval_static Staticcheck.Static_tools.Unstable t category;
     asan = eval_sanitizer ~fuel Sanitizers.San.Asan ~bad ~good ~inputs;
     ubsan = eval_sanitizer ~fuel Sanitizers.San.Ubsan ~bad ~good ~inputs;
     msan = eval_sanitizer ~fuel Sanitizers.San.Msan ~bad ~good ~inputs;
@@ -77,6 +79,7 @@ type row = {
   r_coverity : float * float;
   r_cppcheck : float * float;
   r_infer : float * float;
+  r_unstable : float * float;
   r_asan : float;
   r_ubsan : float;
   r_msan : float;
@@ -132,6 +135,7 @@ let aggregate (evals : test_eval list) : row list =
         r_coverity = static_pair (fun e -> e.coverity);
         r_cppcheck = static_pair (fun e -> e.cppcheck);
         r_infer = static_pair (fun e -> e.infer);
+        r_unstable = static_pair (fun e -> e.unstable);
         r_asan = rate (count (fun e -> fst e.asan)) total;
         r_ubsan = rate (count (fun e -> fst e.ubsan)) total;
         r_msan = rate (count (fun e -> fst e.msan)) total;

@@ -1,0 +1,309 @@
+(* Composite abstract state for the IR-level analyses: the product of the
+   interval, initialization and provenance domains over registers and
+   memory cells, plus the path facts used for branch refinement.
+
+   Path facts deserve a note. The lowering materializes short-circuit
+   conditions as 0/1 joins ([lower_logic] in lib/compiler/lower.ml), so
+   by the time [Ibr] tests the combined value, the individual comparisons
+   are out of scope. We keep refinement information in two places:
+
+   - every value carries [truthy]/[falsy] predicate sets: atomic facts
+     that hold whenever the value is nonzero (resp. zero). Comparison
+     results mint atoms about the cells their operands were loaded from;
+     0/1 constants mint the [Universe] marker on the impossible side and
+     snapshot the current path facts on the other; copies absorb path
+     facts. Intersection at joins keeps exactly the facts valid on every
+     arriving path.
+   - the state's [facts] list accumulates atoms applied on branch edges,
+     so a constant materialized under a guard remembers the guard.
+
+   Facts are invalidated wholesale at any memory write or call, which is
+   crude but safe: the lowering never interleaves a store between a
+   comparison and the branch consuming it. *)
+
+type cell = Provenance.base * int
+
+type rhs = Rconst of Interval.t | Rnull
+
+type atom = {
+  a_cell : cell;
+  a_rel : Cdcompiler.Ir.cmp;   (* current value of a_cell REL rhs *)
+  a_rhs : rhs;
+}
+
+type preds = Universe | Atoms of atom list
+
+type aval = {
+  itv : Interval.t;
+  init : Initdom.t;
+  ptr : Provenance.t;
+  nz : bool;             (* known nonzero: a hole the interval can't express *)
+  orig : cell option;    (* freshly loaded from this cell *)
+  truthy : preds;
+  falsy : preds;
+}
+
+type heap_state = Alive | Freed | MaybeFreed
+
+type obj = {
+  o_size : Interval.t;             (* in cells *)
+  o_cells : aval array option;     (* per-cell values when size is small+known *)
+  o_rest : aval;                   (* summary for untracked cells *)
+  o_heap : heap_state option;      (* None for slots and globals *)
+  o_multi : bool;                  (* allocation site may execute repeatedly *)
+}
+
+type t = {
+  regs : aval array;
+  mem : (Provenance.base * obj) list;   (* sorted by base *)
+  facts : atom list;                    (* sorted, for canonical equality *)
+}
+
+(* --- value constructors --- *)
+
+let no_preds = Atoms []
+
+let bottom_preds = Universe
+
+let mk_val ?(init = Initdom.Init) ?(ptr = Provenance.Pint) ?(nz = false)
+    ?(orig = None) ?(truthy = no_preds) ?(falsy = no_preds) itv =
+  { itv; init; ptr; nz; orig; truthy; falsy }
+
+let vint itv = mk_val itv
+let vconst v = mk_val ~nz:(v <> 0L) (Interval.const v)
+
+(* completely unknown but initialized: could be an int or a pointer *)
+let vunknown = mk_val ~ptr:Provenance.Ptop Interval.top
+
+(* junk: uninitialized memory or register; its concrete bits differ per
+   implementation, which is the instability being modeled *)
+let vjunk = mk_val ~init:Initdom.Uninit ~ptr:Provenance.Ptop Interval.top
+
+let vnull = mk_val ~ptr:Provenance.null ~truthy:bottom_preds Interval.top
+let vfloat = mk_val Interval.top
+let vptr p = mk_val ~ptr:p ~nz:true Interval.top
+
+(* --- predicate sets --- *)
+
+let atoms_inter a b =
+  match (a, b) with
+  | Universe, x | x, Universe -> x
+  | Atoms xa, Atoms xb -> Atoms (List.filter (fun x -> List.mem x xb) xa)
+
+let atoms_union a b =
+  match (a, b) with
+  | Universe, _ | _, Universe -> Universe
+  | Atoms xa, Atoms xb ->
+    Atoms (xa @ List.filter (fun x -> not (List.mem x xa)) xb)
+
+let facts_inter fa fb = List.filter (fun x -> List.mem x fb) fa
+
+(* --- joins / widening --- *)
+
+let join_aval a b =
+  {
+    itv = Interval.join a.itv b.itv;
+    init = Initdom.join a.init b.init;
+    ptr = Provenance.join a.ptr b.ptr;
+    nz = a.nz && b.nz;
+    orig = (if a.orig = b.orig then a.orig else None);
+    truthy = atoms_inter a.truthy b.truthy;
+    falsy = atoms_inter a.falsy b.falsy;
+  }
+
+let widen_aval old_ new_ =
+  let j = join_aval old_ new_ in
+  { j with itv = Interval.widen old_.itv (Interval.join old_.itv new_.itv) }
+
+let join_heap a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> Some (if x = y then x else MaybeFreed)
+
+let summarize (o : obj) : aval =
+  match o.o_cells with
+  | None -> o.o_rest
+  | Some cells -> Array.fold_left join_aval o.o_rest cells
+
+let join_obj ~w a b =
+  let jv = if w then widen_aval else join_aval in
+  let cells =
+    match (a.o_cells, b.o_cells) with
+    | Some ca, Some cb when Array.length ca = Array.length cb ->
+      Some (Array.map2 jv ca cb)
+    | _, _ -> None
+  in
+  let rest =
+    match cells with
+    | Some _ -> jv a.o_rest b.o_rest
+    | None -> jv (summarize a) (summarize b)
+  in
+  {
+    o_size = (if w then Interval.widen a.o_size (Interval.join a.o_size b.o_size)
+              else Interval.join a.o_size b.o_size);
+    o_cells = cells;
+    o_rest = rest;
+    o_heap = join_heap a.o_heap b.o_heap;
+    o_multi = a.o_multi || b.o_multi;
+  }
+
+let rec join_mem ~w ma mb =
+  match (ma, mb) with
+  | [], r | r, [] -> r    (* object exists on one path only: keep it *)
+  | (ba, oa) :: ra, (bb, ob) :: rb ->
+    let c = compare ba bb in
+    if c = 0 then (ba, join_obj ~w oa ob) :: join_mem ~w ra rb
+    else if c < 0 then (ba, oa) :: join_mem ~w ra ((bb, ob) :: rb)
+    else (bb, ob) :: join_mem ~w ((ba, oa) :: ra) rb
+
+let combine ~w a b =
+  let jv = if w then widen_aval else join_aval in
+  {
+    regs = Array.map2 jv a.regs b.regs;
+    mem = join_mem ~w a.mem b.mem;
+    facts = facts_inter a.facts b.facts;
+  }
+
+let join a b = combine ~w:false a b
+let widen old_ new_ = combine ~w:true old_ new_
+let equal (a : t) (b : t) = a = b
+
+(* --- memory access --- *)
+
+let get_obj st base = List.assoc_opt base st.mem
+
+let set_obj st base o =
+  let rec go = function
+    | [] -> [ (base, o) ]
+    | (b, _) :: r when b = base -> (base, o) :: r
+    | (b, x) :: r when compare b base > 0 -> (base, o) :: (b, x) :: r
+    | p :: r -> p :: go r
+  in
+  { st with mem = go st.mem }
+
+(* join of all cell values an access with offsets [off] may read *)
+let read_obj (o : obj) (off : Interval.t) : aval =
+  match o.o_cells with
+  | None -> summarize o
+  | Some cells ->
+    let n = Array.length cells in
+    let lo = max 0 (Int64.to_int (max (-1L) off.Interval.lo)) in
+    let hi = min (n - 1) (Int64.to_int (min (Int64.of_int n) off.Interval.hi)) in
+    if lo > hi then o.o_rest
+    else begin
+      let acc = ref cells.(lo) in
+      for i = lo + 1 to hi do
+        acc := join_aval !acc cells.(i)
+      done;
+      !acc
+    end
+
+(* strong update when the destination is a single tracked cell of a
+   single-instance object; weak (join) otherwise *)
+let write_obj (o : obj) (off : Interval.t) (v : aval) : obj =
+  match o.o_cells with
+  | None -> { o with o_rest = join_aval o.o_rest v }
+  | Some cells ->
+    let n = Array.length cells in
+    let cells = Array.copy cells in
+    (match Interval.singleton off with
+    | Some k when (not o.o_multi) && k >= 0L && k < Int64.of_int n ->
+      cells.(Int64.to_int k) <- v
+    | _ ->
+      let lo = max 0 (Int64.to_int (max (-1L) off.Interval.lo)) in
+      let hi = min (n - 1) (Int64.to_int (min (Int64.of_int n) off.Interval.hi)) in
+      for i = lo to hi do
+        cells.(i) <- join_aval cells.(i) v
+      done);
+    { o with o_cells = Some cells }
+
+(* forget everything about an object except its size: the callee may have
+   written arbitrary data into it. We optimistically assume the callee
+   initialized what it touched (the classic tool compromise: treating
+   every out-parameter as possibly-skipped would drown real uninit reads
+   in false positives). *)
+let bless_obj (o : obj) : obj = { o with o_cells = None; o_rest = vunknown }
+
+(* --- refinement --- *)
+
+let refine_itv (rel : Cdcompiler.Ir.cmp) (rhs : Interval.t) (v : Interval.t) :
+    Interval.t option =
+  let open Cdcompiler.Ir in
+  match rel with
+  | Clt -> Interval.meet v { Interval.lo = Interval.neg_big; hi = Int64.sub rhs.Interval.hi 1L }
+  | Cle -> Interval.meet v { Interval.lo = Interval.neg_big; hi = rhs.Interval.hi }
+  | Cgt -> Interval.meet v { Interval.lo = Int64.add rhs.Interval.lo 1L; hi = Interval.big }
+  | Cge -> Interval.meet v { Interval.lo = rhs.Interval.lo; hi = Interval.big }
+  | Ceq -> Interval.meet v rhs
+  | Cne -> (
+    match Interval.singleton rhs with
+    | Some k ->
+      if v.Interval.lo = k && v.Interval.hi = k then None
+      else if v.Interval.lo = k then Some { v with Interval.lo = Int64.add k 1L }
+      else if v.Interval.hi = k then Some { v with Interval.hi = Int64.sub k 1L }
+      else Some v
+    | None -> Some v)
+
+(* Apply one atom to the state; [None] means the constraint is
+   unsatisfiable, i.e. the refined edge is dead. Refinement is a strong
+   (narrowing) update, so it only applies to tracked single-instance
+   cells. *)
+let refine_atom (st : t) (a : atom) : t option =
+  let base, idx = a.a_cell in
+  match get_obj st base with
+  | None -> Some st
+  | Some o when o.o_multi -> Some st
+  | Some o -> (
+    match o.o_cells with
+    | Some cells when idx >= 0 && idx < Array.length cells -> (
+      let v = cells.(idx) in
+      match a.a_rhs with
+      | Rnull -> (
+        let open Cdcompiler.Ir in
+        match a.a_rel with
+        | Ceq -> (
+          match Provenance.only_null v.ptr with
+          | None -> None
+          | Some p ->
+            let cells = Array.copy cells in
+            cells.(idx) <- { v with ptr = p; nz = false };
+            Some (set_obj st base { o with o_cells = Some cells }))
+        | Cne ->
+          if Provenance.definitely_null v.ptr then None
+          else begin
+            let cells = Array.copy cells in
+            cells.(idx) <- { v with ptr = Provenance.drop_null v.ptr; nz = true };
+            Some (set_obj st base { o with o_cells = Some cells })
+          end
+        | _ -> Some st)
+      | Rconst rhs -> (
+        match refine_itv a.a_rel rhs v.itv with
+        | None -> None
+        | Some itv ->
+          let nz = v.nz || not (Interval.contains_zero itv)
+                   || (a.a_rel = Cdcompiler.Ir.Cne && Interval.singleton rhs = Some 0L)
+          in
+          let cells = Array.copy cells in
+          cells.(idx) <- { v with itv; nz };
+          Some (set_obj st base { o with o_cells = Some cells })))
+    | _ -> Some st)
+
+let refine_atoms (st : t) (atoms : atom list) : t option =
+  List.fold_left
+    (fun acc a ->
+      match acc with
+      | None -> None
+      | Some st ->
+        (match refine_atom st a with
+        | None -> None
+        | Some st' -> Some { st' with facts = a :: st'.facts }))
+    (Some st) atoms
+
+(* memory was written or a callee ran: every transported fact is stale *)
+let clear_facts (st : t) : t =
+  let strip = function Universe -> Universe | Atoms _ -> Atoms [] in
+  {
+    st with
+    facts = [];
+    regs = Array.map (fun v -> { v with truthy = strip v.truthy; falsy = strip v.falsy }) st.regs;
+  }

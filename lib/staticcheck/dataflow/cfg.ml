@@ -1,0 +1,107 @@
+(* Control-flow graph over the linear register IR.
+
+   Basic blocks are maximal instruction ranges: a leader is the function
+   entry, every [Ilabel], and every instruction following a terminator
+   ([Ijmp]/[Ibr]/[Iret]/[Itrap]). Successors come from the final
+   instruction of the block; a block whose last instruction is not a
+   terminator falls through to the next block. *)
+
+open Cdcompiler.Ir
+
+type block = {
+  id : int;
+  first : int;            (* index of the first instruction *)
+  last : int;             (* index of the last instruction, inclusive *)
+  succs : int list;
+  preds : int list;
+}
+
+type t = {
+  func : ifunc;
+  blocks : block array;
+  entry : int;            (* always 0 when the function is non-empty *)
+  rpo : int array;        (* block ids in reverse postorder from entry *)
+}
+
+let is_terminator = function
+  | Ijmp _ | Ibr _ | Iret _ | Itrap _ -> true
+  | _ -> false
+
+let instrs cfg (b : block) =
+  Array.sub cfg.func.code b.first (b.last - b.first + 1)
+
+let build (f : ifunc) : t =
+  let n = Array.length f.code in
+  let leader = Array.make (max n 1) false in
+  if n > 0 then leader.(0) <- true;
+  Array.iteri
+    (fun i ins ->
+      (match ins with Ilabel _ -> leader.(i) <- true | _ -> ());
+      if is_terminator ins && i + 1 < n then leader.(i + 1) <- true)
+    f.code;
+  (* block index for every leader, and label -> block map *)
+  let starts = ref [] in
+  for i = n - 1 downto 0 do
+    if leader.(i) then starts := i :: !starts
+  done;
+  let starts = Array.of_list !starts in
+  let nblocks = Array.length starts in
+  let block_of_start = Hashtbl.create 16 in
+  Array.iteri (fun id s -> Hashtbl.add block_of_start s id) starts;
+  let block_of_label = Hashtbl.create 16 in
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Ilabel l -> Hashtbl.replace block_of_label l (Hashtbl.find block_of_start i)
+      | _ -> ())
+    f.code;
+  let target l =
+    match Hashtbl.find_opt block_of_label l with
+    | Some b -> b
+    | None -> invalid_arg "Cfg.build: jump to unknown label"
+  in
+  let blocks =
+    Array.init nblocks (fun id ->
+        let first = starts.(id) in
+        let last = if id + 1 < nblocks then starts.(id + 1) - 1 else n - 1 in
+        let succs =
+          match f.code.(last) with
+          | Ijmp l -> [ target l ]
+          | Ibr (_, t, e) ->
+            let t = target t and e = target e in
+            if t = e then [ t ] else [ t; e ]
+          | Iret _ | Itrap _ -> []
+          | _ -> if id + 1 < nblocks then [ id + 1 ] else []
+        in
+        { id; first; last; succs; preds = [] })
+  in
+  let preds = Array.make nblocks [] in
+  Array.iter
+    (fun b -> List.iter (fun s -> preds.(s) <- b.id :: preds.(s)) b.succs)
+    blocks;
+  let blocks = Array.map (fun b -> { b with preds = List.rev preds.(b.id) }) blocks in
+  (* reverse postorder via DFS from the entry *)
+  let seen = Array.make nblocks false in
+  let order = ref [] in
+  let rec dfs id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter dfs blocks.(id).succs;
+      order := id :: !order
+    end
+  in
+  if nblocks > 0 then dfs 0;
+  { func = f; blocks; entry = 0; rpo = Array.of_list !order }
+
+let nblocks cfg = Array.length cfg.blocks
+
+let to_string cfg =
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "B%d [%d..%d] -> {%s} <- {%s}\n" b.id b.first b.last
+           (String.concat "," (List.map string_of_int b.succs))
+           (String.concat "," (List.map string_of_int b.preds))))
+    cfg.blocks;
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(* Three-valued initialization lattice for frame slots, heap cells and
+   registers: Uninit < Maybe < Init is not the order — the lattice is
+   the flat join of the two definite states:
+
+        Maybe
+        /   \
+     Uninit  Init
+
+   A read of [Uninit] is a definite bug; a read of [Maybe] is only a
+   may-bug (one path initializes), which the checker downgrades. *)
+
+type t = Uninit | Maybe | Init
+
+let join a b = if a = b then a else Maybe
+let leq a b = a = b || b = Maybe
+
+let to_string = function
+  | Uninit -> "uninit"
+  | Maybe -> "maybe-init"
+  | Init -> "init"

@@ -1,0 +1,162 @@
+(* Interval domain over int64, saturating at +-2^61.
+
+   The saturation bound is a sentinel: a bound equal to [big] (resp.
+   [-big]) means "unknown in this direction" — either the value came from
+   widening or an operation overflowed the analyzer's own arithmetic.
+   {!informed} distinguishes bounds that genuinely derive from program
+   constants and inputs from saturated junk; the checker only trusts
+   informed intervals when deciding to report. *)
+
+type t = { lo : int64; hi : int64 }   (* invariant: lo <= hi *)
+
+let big = 0x2000_0000_0000_0000L      (* 2^61 *)
+let neg_big = Int64.neg big
+
+let clamp v = if v < neg_big then neg_big else if v > big then big else v
+
+let make lo hi =
+  if lo > hi then invalid_arg "Interval.make";
+  { lo = clamp lo; hi = clamp hi }
+
+let const v = make v v
+let of_int v = const (Int64.of_int v)
+let top = { lo = neg_big; hi = big }
+let bool_range = { lo = 0L; hi = 1L }
+
+let is_singleton i = i.lo = i.hi
+let singleton i = if is_singleton i then Some i.lo else None
+let contains i v = i.lo <= v && v <= i.hi
+let contains_zero i = contains i 0L
+
+(* neither bound is the saturation sentinel *)
+let informed i = i.lo > neg_big && i.hi < big
+
+let int32_min = -2147483648L
+let int32_max = 2147483647L
+let in_int32 i = i.lo >= int32_min && i.hi <= int32_max
+
+(* the value range of a C int / long; used to model wrap-around results *)
+let full_of_width = function
+  | Cdcompiler.Ir.W32 -> { lo = int32_min; hi = int32_max }
+  | Cdcompiler.Ir.W64 -> top
+
+let join a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+let leq a b = b.lo <= a.lo && a.hi <= b.hi
+
+let meet a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo > hi then None else Some { lo; hi }
+
+(* widen [old_] [new_]: keep stable bounds, blow unstable ones to the
+   sentinel. Guarantees termination of ascending chains. *)
+let widen old_ new_ =
+  {
+    lo = (if new_.lo < old_.lo then neg_big else old_.lo);
+    hi = (if new_.hi > old_.hi then big else old_.hi);
+  }
+
+(* --- saturating scalar ops (operands are within +-2^61, so int64
+   arithmetic below never overflows except through mul, which is
+   checked) --- *)
+
+let sat_add a b = clamp (Int64.add a b)
+let sat_sub a b = clamp (Int64.sub a b)
+
+let sat_mul a b =
+  if a = 0L || b = 0L then 0L
+  else
+    let p = Int64.mul a b in
+    if Int64.div p a <> b then (if (a < 0L) = (b < 0L) then big else neg_big)
+    else clamp p
+
+let add a b = { lo = sat_add a.lo b.lo; hi = sat_add a.hi b.hi }
+let sub a b = { lo = sat_sub a.lo b.hi; hi = sat_sub a.hi b.lo }
+let neg a = { lo = clamp (Int64.neg a.hi); hi = clamp (Int64.neg a.lo) }
+
+let mul a b =
+  let p1 = sat_mul a.lo b.lo and p2 = sat_mul a.lo b.hi in
+  let p3 = sat_mul a.hi b.lo and p4 = sat_mul a.hi b.hi in
+  { lo = min (min p1 p2) (min p3 p4); hi = max (max p1 p2) (max p3 p4) }
+
+(* C division truncates toward zero; [div] assumes the divisor side that
+   contains zero has been handled by the caller. *)
+let div_nonzero a b =
+  let q x y = Int64.div x y in
+  let cands =
+    [ q a.lo b.lo; q a.lo b.hi; q a.hi b.lo; q a.hi b.hi ]
+    @ (if contains b 1L then [ a.lo; a.hi ] else [])
+    @ if contains b (-1L) then [ Int64.neg a.lo; Int64.neg a.hi ] else []
+  in
+  let lo = List.fold_left min (List.hd cands) cands in
+  let hi = List.fold_left max (List.hd cands) cands in
+  { lo = clamp lo; hi = clamp hi }
+
+let div a b =
+  let parts =
+    List.filter_map
+      (fun side -> Option.map (div_nonzero a) side)
+      [ meet b { lo = neg_big; hi = -1L }; meet b { lo = 1L; hi = big } ]
+  in
+  match parts with
+  | [] -> top                       (* divisor can only be zero: UB anyway *)
+  | p :: ps -> List.fold_left join p ps
+
+let rem a b =
+  let m = max (Int64.abs b.lo) (Int64.abs b.hi) in
+  if m = 0L then top
+  else
+    let bound = Int64.sub m 1L in
+    if a.lo >= 0L then { lo = 0L; hi = clamp (min a.hi bound) }
+    else { lo = clamp (Int64.neg bound); hi = clamp bound }
+
+let shl a b =
+  match singleton b with
+  | Some k when k >= 0L && k < 62L ->
+    mul a (const (Int64.shift_left 1L (Int64.to_int k)))
+  | _ ->
+    if a.lo >= 0L && b.lo >= 0L && b.hi < 62L then
+      {
+        lo = a.lo;
+        hi = sat_mul a.hi (Int64.shift_left 1L (Int64.to_int b.hi));
+      }
+    else top
+
+let shr a b =
+  if b.lo >= 0L && b.hi <= 63L then begin
+    let s x k = Int64.shift_right x (Int64.to_int k) in
+    let cands = [ s a.lo b.lo; s a.lo b.hi; s a.hi b.lo; s a.hi b.hi ] in
+    {
+      lo = clamp (List.fold_left min (List.hd cands) cands);
+      hi = clamp (List.fold_left max (List.hd cands) cands);
+    }
+  end
+  else top
+
+let rec pow2_above v acc =
+  if acc > v || acc >= big then Int64.mul acc 2L else pow2_above v (Int64.mul acc 2L)
+
+let band a b =
+  match (singleton a, singleton b) with
+  | _, Some c when c >= 0L -> { lo = 0L; hi = c }
+  | Some c, _ when c >= 0L -> { lo = 0L; hi = c }
+  | _ ->
+    if a.lo >= 0L && b.lo >= 0L then { lo = 0L; hi = min a.hi b.hi } else top
+
+let bor a b =
+  if a.lo >= 0L && b.lo >= 0L then
+    { lo = max a.lo b.lo; hi = clamp (Int64.sub (pow2_above (max a.hi b.hi) 1L) 1L) }
+  else top
+
+let bxor a b =
+  if a.lo >= 0L && b.lo >= 0L then
+    { lo = 0L; hi = clamp (Int64.sub (pow2_above (max a.hi b.hi) 1L) 1L) }
+  else top
+
+let lognot a = sub (const (-1L)) a   (* ~x = -x - 1 *)
+
+let to_string i =
+  if i = top then "[T]"
+  else
+    Printf.sprintf "[%s,%s]"
+      (if i.lo = neg_big then "-inf" else Int64.to_string i.lo)
+      (if i.hi = big then "+inf" else Int64.to_string i.hi)

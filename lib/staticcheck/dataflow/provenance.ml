@@ -1,0 +1,105 @@
+(* Pointer-provenance domain: which object a pointer may point into, at
+   which cell offsets, and whether it may be null.
+
+   Provenance is what makes "unstable" pointer operations statically
+   visible: subtracting or ordering pointers with distinct bases has an
+   implementation-defined answer (the paper's CWE-469 family), and the
+   differential oracle observes exactly those operations diverging. *)
+
+type base =
+  | Bglobal of string
+  | Bslot of int        (* frame slot of the analyzed function *)
+  | Bheap of int        (* allocation site: pc of the malloc *)
+
+type t =
+  | Pint                                       (* not a pointer *)
+  | Ptop                                       (* unknown pointer *)
+  | Pto of {
+      may_null : bool;
+      targets : (base * Interval.t) list;      (* sorted by base *)
+    }
+
+let null = Pto { may_null = true; targets = [] }
+let to_base b = Pto { may_null = false; targets = [ (b, Interval.const 0L) ] }
+
+let definitely_null = function
+  | Pto { may_null = true; targets = [] } -> true
+  | _ -> false
+
+let may_be_null = function
+  | Pto { may_null; _ } -> may_null
+  | Pint | Ptop -> false
+
+let targets = function Pto { targets; _ } -> targets | Pint | Ptop -> []
+
+let merge_targets ta tb =
+  let rec go ta tb =
+    match (ta, tb) with
+    | [], r | r, [] -> r
+    | (ba, oa) :: ra, (bb, ob) :: rb ->
+      let c = compare ba bb in
+      if c = 0 then (ba, Interval.join oa ob) :: go ra rb
+      else if c < 0 then (ba, oa) :: go ra ((bb, ob) :: rb)
+      else (bb, ob) :: go ((ba, oa) :: ra) rb
+  in
+  go ta tb
+
+let join a b =
+  match (a, b) with
+  | Pint, Pint -> Pint
+  | Pto a', Pto b' ->
+    Pto
+      {
+        may_null = a'.may_null || b'.may_null;
+        targets = merge_targets a'.targets b'.targets;
+      }
+  | (Pto _ as p), Pint | Pint, (Pto _ as p) ->
+    (* an integer (e.g. 0 materialized on one branch) joined with a
+       pointer: keep the pointer view, conservatively nullable *)
+    (match p with
+    | Pto p' -> Pto { p' with may_null = true }
+    | _ -> assert false)
+  | Ptop, _ | _, Ptop -> Ptop
+
+(* shift every target offset by [d] cells *)
+let shift p d =
+  match p with
+  | Pint | Ptop -> p
+  | Pto p' ->
+    Pto { p' with targets = List.map (fun (b, o) -> (b, Interval.add o d)) p'.targets }
+
+(* drop the null possibility (after a successful null check) *)
+let drop_null = function
+  | Pto p -> Pto { p with may_null = false }
+  | p -> p
+
+(* keep only the null possibility (after a failed null check); [None]
+   when the pointer cannot be null, i.e. the edge is dead *)
+let only_null = function
+  | Pto { may_null = true; _ } -> Some null
+  | Pto { may_null = false; _ } -> None
+  | p -> Some p
+
+(* two pointers definitely address distinct objects *)
+let disjoint a b =
+  match (a, b) with
+  | Pto { targets = ta; may_null = false }, Pto { targets = tb; may_null = false }
+    when ta <> [] && tb <> [] ->
+    List.for_all (fun (ba, _) -> List.for_all (fun (bb, _) -> ba <> bb) tb) ta
+  | _ -> false
+
+let base_to_string = function
+  | Bglobal g -> "@" ^ g
+  | Bslot i -> Printf.sprintf "slot[%d]" i
+  | Bheap pc -> Printf.sprintf "heap@%d" pc
+
+let to_string = function
+  | Pint -> "int"
+  | Ptop -> "ptr?"
+  | Pto { may_null; targets } ->
+    Printf.sprintf "ptr{%s%s}"
+      (String.concat ","
+         (List.map
+            (fun (b, o) -> base_to_string b ^ "+" ^ Interval.to_string o)
+            targets))
+      (if may_null then ",null?" else "")

@@ -1,0 +1,104 @@
+(* Generic monotone-framework worklist solver.
+
+   Functorized over an abstract domain; the transfer function is
+   edge-sensitive: for a block and its in-state it returns one out-state
+   per live successor edge, which lets clients refine on branch outcomes
+   and kill statically-dead edges (an omitted successor receives
+   nothing). Unreachable blocks keep no state ([None]).
+
+   Widening kicks in at any block whose in-state has changed
+   [widen_delay] times, which covers loop heads without computing a loop
+   forest; [max_visits] bounds the per-block iteration count as a safety
+   net against a non-stabilizing domain. *)
+
+module type DOMAIN = sig
+  type t
+
+  val join : t -> t -> t
+  val widen : t -> t -> t   (* widen old new, result must cover new *)
+  val equal : t -> t -> bool
+end
+
+exception Diverged
+
+module Make (D : DOMAIN) = struct
+  type result = {
+    input : D.t option array;   (* in-state per block; None = unreachable *)
+    iterations : int;           (* total block visits until the fixpoint *)
+  }
+
+  let solve ?(widen_delay = 3) ?(max_visits = 80) ?(narrow_passes = 3)
+      (cfg : Cfg.t) ~(entry : D.t)
+      ~(transfer : Cfg.block -> D.t -> (int * D.t) list) : result =
+    let n = Cfg.nblocks cfg in
+    let input = Array.make n None in
+    let changes = Array.make n 0 in
+    let visits = ref 0 in
+    if n = 0 then { input; iterations = 0 }
+    else begin
+      input.(cfg.entry) <- Some entry;
+      (* worklist ordered by reverse postorder for fast convergence *)
+      let rpo_index = Array.make n 0 in
+      Array.iteri (fun i id -> rpo_index.(id) <- i) cfg.rpo;
+      let module Q = Set.Make (struct
+        type t = int * int
+        let compare = compare
+      end) in
+      let queue = ref (Q.singleton (rpo_index.(cfg.entry), cfg.entry)) in
+      while not (Q.is_empty !queue) do
+        let ((_, id) as item) = Q.min_elt !queue in
+        queue := Q.remove item !queue;
+        incr visits;
+        match input.(id) with
+        | None -> ()
+        | Some in_state ->
+          List.iter
+            (fun (succ, out) ->
+              let updated =
+                match input.(succ) with
+                | None -> Some out
+                | Some old ->
+                  let joined = D.join old out in
+                  let next =
+                    if changes.(succ) >= widen_delay then D.widen old joined
+                    else joined
+                  in
+                  if D.equal old next then None else Some next
+              in
+              match updated with
+              | None -> ()
+              | Some next ->
+                changes.(succ) <- changes.(succ) + 1;
+                if changes.(succ) > max_visits then raise Diverged;
+                input.(succ) <- Some next;
+                queue := Q.add (rpo_index.(succ), succ) !queue)
+            (transfer cfg.blocks.(id) in_state)
+      done;
+      (* Decreasing (narrowing) passes: widening overshoots loop-carried
+         values, and the join-with-old in the main loop can never undo
+         that, even though branch refinement keeps producing the tight
+         edge states. The solution to the fixpoint equations applied once
+         more *from* a post-fixpoint descends by monotonicity, so a few
+         Jacobi rounds of [in'(b) = join of predecessor out-edges] recover
+         the refined bounds. *)
+      for _ = 1 to narrow_passes do
+        let acc = Array.make n None in
+        acc.(cfg.entry) <- Some entry;
+        Array.iteri
+          (fun id st ->
+            match st with
+            | None -> ()
+            | Some s ->
+              List.iter
+                (fun (succ, out) ->
+                  acc.(succ) <-
+                    (match acc.(succ) with
+                    | None -> Some out
+                    | Some a -> Some (D.join a out)))
+                (transfer cfg.blocks.(id) s))
+          input;
+        Array.blit acc 0 input 0 n
+      done;
+      { input; iterations = !visits }
+    end
+end

@@ -10,10 +10,17 @@ type kind =
   | Ptr_sub        (* pointer subtraction across objects *)
   | Ub_generic     (* other undefined behaviour *)
 
+(* [Error] is a detection-grade report (counted in Table 3); [Warning] is
+   a downgraded report the analyzer is not confident enough in — typically
+   because interval or points-to information was imprecise. *)
+type severity = Error | Warning
+
 type t = {
   tool : string;
   kind : kind;
   line : int;
+  severity : severity;
+  func : string option;  (* enclosing function, when the analyzer knows it *)
   message : string;
 }
 
@@ -27,8 +34,15 @@ let kind_to_string = function
   | Ptr_sub -> "pointer-subtraction"
   | Ub_generic -> "undefined-behavior"
 
-let make ~tool ~kind ~line message = { tool; kind; line; message }
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+(* The three AST pattern matchers predate severities and only report what
+   they are sure of, hence the [Error] default. *)
+let make ?(severity = Error) ?func ~tool ~kind ~line message =
+  { tool; kind; line; severity; func; message }
 
 let pp ppf f =
-  Format.fprintf ppf "[%s] line %d: %s (%s)" f.tool f.line f.message
-    (kind_to_string f.kind)
+  Format.fprintf ppf "[%s] %s at line %d%s: %s (%s)" f.tool
+    (severity_to_string f.severity) f.line
+    (match f.func with None -> "" | Some fn -> " in '" ^ fn ^ "'")
+    f.message (kind_to_string f.kind)

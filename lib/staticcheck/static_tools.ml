@@ -1,23 +1,47 @@
-(* Registry and uniform interface over the three static analyzers. *)
+(* Registry and uniform interface over the static analyzers: the three
+   AST pattern matchers modeled after off-the-shelf tools, plus the
+   IR-level dataflow analyzer ({!Unstable_check}). *)
 
-type tool = Coverity | Cppcheck | Infer
+type tool = Coverity | Cppcheck | Infer | Unstable
 
 let name = function
   | Coverity -> "Coverity-like"
   | Cppcheck -> "Cppcheck-like"
   | Infer -> "Infer-like"
+  | Unstable -> "UnstableCheck"
 
-let all = [ Coverity; Cppcheck; Infer ]
+let all = [ Coverity; Cppcheck; Infer; Unstable ]
+
+(* findings deduplicated by (kind, line): the replay of a block that is
+   reachable along several paths must not inflate the report count *)
+let dedup (fs : Finding.t list) : Finding.t list =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (f : Finding.t) ->
+      let key = (f.Finding.kind, f.Finding.line) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    fs
 
 let check (t : tool) (p : Minic.Ast.program) : Finding.t list =
-  match t with
-  | Coverity -> Coverity_like.check p
-  | Cppcheck -> Cppcheck_like.check p
-  | Infer -> Infer_like.check p
+  dedup
+    (match t with
+    | Coverity -> Coverity_like.check p
+    | Cppcheck -> Cppcheck_like.check p
+    | Infer -> Infer_like.check p
+    | Unstable -> Unstable_check.check p)
 
-(* does the tool report anything at all on this program? *)
-let flags_program (t : tool) (p : Minic.Ast.program) : bool = check t p <> []
+(* does the tool report anything at all on this program? Only
+   detection-grade ([Error]) findings count. *)
+let flags_program (t : tool) (p : Minic.Ast.program) : bool =
+  List.exists (fun f -> f.Finding.severity = Finding.Error) (check t p)
 
-(* does it report a finding of one of the given kinds? *)
+(* does it report an [Error]-severity finding of one of the given kinds? *)
 let flags_kinds (t : tool) (p : Minic.Ast.program) (kinds : Finding.kind list) : bool =
-  List.exists (fun f -> List.mem f.Finding.kind kinds) (check t p)
+  List.exists
+    (fun f ->
+      f.Finding.severity = Finding.Error && List.mem f.Finding.kind kinds)
+    (check t p)

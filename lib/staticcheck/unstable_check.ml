@@ -1,0 +1,994 @@
+(* UnstableCheck: an IR-level abstract interpreter that statically flags
+   the instability classes the differential oracle detects dynamically.
+
+   Unlike the three AST pattern matchers, this analyzer runs on the
+   compiler IR (the gccx-O0 lowering: no optimizations, every local in a
+   frame slot), builds a CFG, and solves a forward dataflow problem over
+   the product of the interval, initialization and provenance domains
+   (lib/staticcheck/dataflow/). It then replays every reachable block at
+   the fixpoint and reports:
+
+   - [Int_error]  signed arithmetic whose interval admits overflow, and
+                  value-changing long->int truncation;
+   - [Uninit]     reads of (maybe-)uninitialized slots, heap cells and
+                  the junk register of a missing return;
+   - [Ptr_sub]    subtraction or relational comparison of pointers with
+                  distinct provenances (also through int casts);
+   - [Mem_error]  out-of-bounds address math and accesses, use after
+                  free, double free, free of non-heap pointers;
+   - [Div_zero]   division/mod by a zero-admitting interval;
+   - [Null_deref] loads/stores through (possibly) null pointers;
+   - [Bad_call]   overlapping memcpy ranges;
+   - [Ub_generic] layout-dependent pointer<->integer casts, shift-range.
+
+   Reports on imprecise evidence (widened intervals, joined init states,
+   may-null) are downgraded to [Warning]; only [Error] findings count as
+   detections in Table 3. *)
+
+open Cdcompiler.Ir
+module I = Dataflow.Interval
+module P = Dataflow.Provenance
+module D = Dataflow.Initdom
+module S = Dataflow.Absstate
+module Cfg = Dataflow.Cfg
+
+let tool_name = "UnstableCheck"
+
+(* the analysis runs on the unoptimized lowering: closest to the source,
+   before any implementation exploits the UB we are trying to find *)
+let analysis_profile = Cdcompiler.Profiles.fuzz_profile
+
+module Sol = Dataflow.Solver.Make (struct
+  type t = S.t
+
+  let join = S.join
+  let widen = S.widen
+  let equal = S.equal
+end)
+
+type emit = kind:Finding.kind -> sev:Finding.severity -> pc:int -> string -> unit
+
+exception Halt   (* exit()/abort(): the rest of the block is dead *)
+
+let negate_cmp = function
+  | Clt -> Cge | Cle -> Cgt | Cgt -> Cle | Cge -> Clt | Ceq -> Cne | Cne -> Ceq
+
+let swap_cmp = function
+  | Clt -> Cgt | Cle -> Cge | Cgt -> Clt | Cge -> Cle | Ceq -> Ceq | Cne -> Cne
+
+let itv_true = I.const 1L
+let itv_false = I.const 0L
+
+(* drop 0 from the edge of an interval when possible; [None] = the value
+   can only be zero *)
+let refine_itv_ne (itv : I.t) : I.t option =
+  if itv.I.lo = 0L && itv.I.hi = 0L then None
+  else if itv.I.lo = 0L then Some { itv with I.lo = 1L }
+  else if itv.I.hi = 0L then Some { itv with I.hi = -1L }
+  else Some itv
+
+(* decide a comparison from interval evidence when possible *)
+let eval_cmp c (va : S.aval) (vb : S.aval) : I.t =
+  let a = va.S.itv and b = vb.S.itv in
+  let known_ne () =
+    I.meet a b = None
+    || (va.S.nz && I.singleton b = Some 0L)
+    || (vb.S.nz && I.singleton a = Some 0L)
+  in
+  match c with
+  | Clt -> if a.I.hi < b.I.lo then itv_true else if a.I.lo >= b.I.hi then itv_false else I.bool_range
+  | Cle -> if a.I.hi <= b.I.lo then itv_true else if a.I.lo > b.I.hi then itv_false else I.bool_range
+  | Cgt -> if a.I.lo > b.I.hi then itv_true else if a.I.hi <= b.I.lo then itv_false else I.bool_range
+  | Cge -> if a.I.lo >= b.I.hi then itv_true else if a.I.hi < b.I.lo then itv_false else I.bool_range
+  | Ceq ->
+    if I.is_singleton a && a = b then itv_true
+    else if known_ne () then itv_false
+    else I.bool_range
+  | Cne ->
+    if I.is_singleton a && a = b then itv_false
+    else if known_ne () then itv_true
+    else I.bool_range
+
+(* transfer function for one basic block, emitting findings as a side
+   effect; used both during the fixpoint (silent) and the replay *)
+let step ~(emit : emit) (cfg : Cfg.t) (block : Cfg.block) (st0 : S.t) :
+    (int * S.t) list =
+  let f = cfg.Cfg.func in
+  let st = ref st0 in
+  let getr r = (!st).S.regs.(r) in
+  let setr r v =
+    let regs = Array.copy (!st).S.regs in
+    regs.(r) <- v;
+    st := { !st with S.regs = regs }
+  in
+  let ev = function
+    | Reg r -> getr r
+    | ImmI v -> S.vconst v
+    | ImmF _ -> S.vfloat
+    | Nullptr -> S.vnull
+  in
+  let clear_facts () = st := S.clear_facts !st in
+
+  (* --- memory access checking --- *)
+  (* resolve the targets of an access at cell offsets [span]; flags null,
+     freed and out-of-bounds problems along the way *)
+  let check_access ~pc ~what (pv : S.aval) (span : I.t) :
+      (P.base * S.obj * I.t) list =
+    match pv.S.ptr with
+    | P.Pint | P.Ptop -> []
+    | p when P.definitely_null p ->
+      emit ~kind:Finding.Null_deref ~sev:Finding.Error ~pc
+        (what ^ " through null pointer");
+      []
+    | p ->
+      if P.may_be_null p then
+        emit ~kind:Finding.Null_deref ~sev:Finding.Warning ~pc
+          ("possible " ^ what ^ " through null pointer");
+      List.filter_map
+        (fun (base, off) ->
+          let off = I.add off span in
+          match S.get_obj !st base with
+          | None -> None
+          | Some o ->
+            (match o.S.o_heap with
+            | Some S.Freed ->
+              emit ~kind:Finding.Mem_error ~sev:Finding.Error ~pc (what ^ " after free")
+            | Some S.MaybeFreed ->
+              emit ~kind:Finding.Mem_error ~sev:Finding.Warning ~pc
+                ("possible " ^ what ^ " after free")
+            | _ -> ());
+            let size = o.S.o_size in
+            let sev = if I.informed off then Finding.Error else Finding.Warning in
+            if off.I.lo >= size.I.hi || off.I.hi < 0L then
+              emit ~kind:Finding.Mem_error ~sev ~pc (what ^ " out of bounds")
+            else if off.I.hi >= size.I.lo || off.I.lo < 0L then
+              emit ~kind:Finding.Mem_error ~sev ~pc (what ^ " may be out of bounds");
+            Some (base, o, off))
+        (P.targets p)
+  in
+
+  let flag_init ~pc ~what (v : S.aval) =
+    match v.S.init with
+    | D.Uninit ->
+      emit ~kind:Finding.Uninit ~sev:Finding.Error ~pc (what ^ " of uninitialized memory")
+    | D.Maybe ->
+      emit ~kind:Finding.Uninit ~sev:Finding.Warning ~pc
+        (what ^ " of possibly-uninitialized memory")
+    | D.Init -> ()
+  in
+
+  let do_load ~pc (pv : S.aval) : S.aval =
+    match check_access ~pc ~what:"read" pv (I.const 0L) with
+    | [] -> S.vunknown
+    | ts ->
+      let v =
+        List.fold_left
+          (fun acc (_, o, off) ->
+            let cv = S.read_obj o off in
+            (match cv.S.init with
+            | D.Uninit ->
+              emit ~kind:Finding.Uninit ~sev:Finding.Error ~pc
+                "read of uninitialized memory"
+            | D.Maybe ->
+              (* a scalar that is only initialized on some paths is the
+                 classic unstable shape; a maybe-initialized array cell is
+                 usually loop-fill imprecision, so only warn *)
+              let sev =
+                if I.singleton o.S.o_size = Some 1L then Finding.Error
+                else Finding.Warning
+              in
+              emit ~kind:Finding.Uninit ~sev ~pc
+                "read of possibly-uninitialized memory"
+            | D.Init -> ());
+            match acc with None -> Some cv | Some a -> Some (S.join_aval a cv))
+          None ts
+        |> Option.get
+      in
+      let orig =
+        match ts with
+        | [ (base, o, off) ] when not o.S.o_multi -> (
+          match I.singleton off with
+          | Some k -> Some (base, Int64.to_int k)
+          | None -> None)
+        | _ -> None
+      in
+      { v with S.orig; truthy = S.no_preds; falsy = S.no_preds }
+  in
+
+  let do_store ~pc (pv : S.aval) (v : S.aval) =
+    let ts = check_access ~pc ~what:"write" pv (I.const 0L) in
+    let weak = List.length ts > 1 in
+    let v = { v with S.truthy = S.no_preds; falsy = S.no_preds; orig = None } in
+    List.iter
+      (fun (base, _, off) ->
+        match S.get_obj !st base with
+        | None -> ()
+        | Some o ->
+          let v = if weak then S.join_aval (S.read_obj o off) v else v in
+          st := S.set_obj !st base (S.write_obj o off v))
+      ts;
+    clear_facts ()
+  in
+
+  (* scan a %s / strlen string: reads cells until the first possible NUL;
+     returns the possible length range *)
+  let scan_string ~pc (pv : S.aval) : I.t =
+    ignore (check_access ~pc ~what:"string read" pv (I.const 0L));
+    match pv.S.ptr with
+    | P.Pto { targets = [ (base, off) ]; _ } -> (
+      match (S.get_obj !st base, I.singleton off) with
+      | Some ({ S.o_cells = Some cells; _ } as o), Some k0
+        when (not o.S.o_multi) && o.S.o_heap <> Some S.Freed ->
+        let n = Array.length cells in
+        let k0 = Int64.to_int k0 in
+        if k0 < 0 || k0 >= n then I.top
+        else begin
+          let rec go i =
+            if i >= n then begin
+              emit ~kind:Finding.Mem_error ~sev:Finding.Error ~pc
+                "string read runs past the end of the object (no terminator)";
+              I.top
+            end
+            else begin
+              let cv = cells.(i) in
+              flag_init ~pc ~what:"string read" cv;
+              if I.singleton cv.S.itv = Some 0L then I.of_int (i - k0)
+              else if I.contains_zero cv.S.itv && not cv.S.nz then
+                (* may stop here; stop scanning to stay conservative *)
+                I.make (Int64.of_int (i - k0)) (Int64.of_int (n - k0))
+              else go (i + 1)
+            end
+          in
+          go k0
+        end
+      | _ -> I.top)
+    | _ -> I.top
+  in
+
+  let bless_bases bases =
+    List.iter
+      (fun base ->
+        match S.get_obj !st base with
+        | Some o -> st := S.set_obj !st base (S.bless_obj o)
+        | None -> ())
+      bases
+  in
+
+  (* --- the instruction interpreter --- *)
+  let exec pc ins =
+    match ins with
+    | Ilabel _ | Ijmp _ | Ibr _ | Iret _ | Itrap _ -> ()   (* handled by caller *)
+    | Iconst (r, op) | Imov (r, op) -> (
+      let v = ev op in
+      let facts = S.Atoms (!st).S.facts in
+      match op with
+      | ImmI 0L | Nullptr ->
+        setr r { v with S.truthy = S.Universe; falsy = facts }
+      | ImmI _ -> setr r { v with S.truthy = facts; falsy = S.Universe }
+      | Reg _ ->
+        setr r
+          {
+            v with
+            S.truthy = S.atoms_union v.S.truthy facts;
+            falsy = S.atoms_union v.S.falsy facts;
+          }
+      | ImmF _ -> setr r v)
+    | Ibin (op, w, sem, r, a, b) ->
+      let va = ev a and vb = ev b in
+      let ia = va.S.itv and ib = vb.S.itv in
+      (* pointer subtraction smuggled through integer casts *)
+      if op = Bsub && P.disjoint va.S.ptr vb.S.ptr then
+        emit ~kind:Finding.Ptr_sub ~sev:Finding.Error ~pc
+          "subtraction of pointers to distinct objects (via integer casts)";
+      (match op with
+      | Bdiv | Bmod ->
+        if I.singleton ib = Some 0L then
+          emit ~kind:Finding.Div_zero ~sev:Finding.Error ~pc "division by zero"
+        else if I.informed ib && I.contains_zero ib && not vb.S.nz then
+          emit ~kind:Finding.Div_zero ~sev:Finding.Warning ~pc
+            "divisor interval admits zero"
+      | Bshl | Bshr ->
+        let width = match w with W32 -> 32L | W64 -> 64L in
+        if I.informed ib then begin
+          if ib.I.hi < 0L || ib.I.lo >= width then
+            emit ~kind:Finding.Ub_generic ~sev:Finding.Error ~pc
+              "shift amount exceeds the width"
+          else if ib.I.lo < 0L || ib.I.hi >= width then
+            emit ~kind:Finding.Ub_generic ~sev:Finding.Warning ~pc
+              "shift amount may exceed the width"
+        end;
+        if op = Bshl && sem = Csigned && I.informed ia && ia.I.lo < 0L then
+          emit ~kind:Finding.Int_error ~sev:Finding.Error ~pc
+            "left shift of a negative value"
+      | _ -> ());
+      let raw =
+        match op with
+        | Badd -> I.add ia ib
+        | Bsub -> I.sub ia ib
+        | Bmul -> I.mul ia ib
+        | Bdiv -> I.div ia ib
+        | Bmod -> I.rem ia ib
+        | Bshl -> I.shl ia ib
+        | Bshr -> I.shr ia ib
+        | Band -> I.band ia ib
+        | Bor -> I.bor ia ib
+        | Bxor -> I.bxor ia ib
+      in
+      (match (sem, op) with
+      | Csigned, (Badd | Bsub | Bmul | Bshl) when I.informed ia && I.informed ib ->
+        (* an out-of-range shift count blows [raw] up on its own; the
+           range diagnostic above already covers that case *)
+        let count_ok =
+          op <> Bshl
+          || (ib.I.lo >= 0L && ib.I.hi < (match w with W32 -> 32L | W64 -> 64L))
+        in
+        let possible =
+          match w with W32 -> not (I.in_int32 raw) | W64 -> not (I.informed raw)
+        in
+        if possible && count_ok then
+          emit ~kind:Finding.Int_error ~sev:Finding.Error ~pc
+            (Printf.sprintf "signed %d-bit %s may overflow"
+               (match w with W32 -> 32 | W64 -> 64)
+               (string_of_ibin op))
+      | _ -> ());
+      let res =
+        (* Csigned overflow is UB: it is reported above when provable, and
+           the continuation assumes it does not happen (keeping widened
+           sentinel bounds intact). Cwrap is defined wrap-around and must
+           be modeled. *)
+        match sem with
+        | Csigned -> raw
+        | Cwrap -> (
+          match w with
+          | W32 -> if I.in_int32 raw then raw else I.full_of_width W32
+          | W64 -> raw)
+      in
+      setr r (S.mk_val ~init:(D.join va.S.init vb.S.init) res)
+    | Ineg (w, sem, r, a) ->
+      let va = ev a in
+      (if sem = Csigned && w = W32 && I.informed va.S.itv
+          && I.contains va.S.itv I.int32_min
+       then
+         emit ~kind:Finding.Int_error ~sev:Finding.Error ~pc
+           "negation of INT_MIN overflows");
+      setr r (S.mk_val ~init:va.S.init (I.neg va.S.itv))
+    | Inot (_, r, a) ->
+      let va = ev a in
+      setr r (S.mk_val ~init:va.S.init (I.lognot va.S.itv))
+    | Ifbin (_, r, _, _) | Ifma (r, _, _, _) | Ifneg (r, _) -> setr r S.vfloat
+    | Ifcmp (_, r, _, _) -> setr r (S.mk_val I.bool_range)
+    | Icmp (c, _, r, a, b) ->
+      let va = ev a and vb = ev b in
+      let res = eval_cmp c va vb in
+      let mint rel =
+        (match va.S.orig with
+        | Some cell when I.informed vb.S.itv ->
+          [ { S.a_cell = cell; a_rel = rel; a_rhs = S.Rconst vb.S.itv } ]
+        | _ -> [])
+        @
+        match vb.S.orig with
+        | Some cell when I.informed va.S.itv ->
+          [ { S.a_cell = cell; a_rel = swap_cmp rel; a_rhs = S.Rconst va.S.itv } ]
+        | _ -> []
+      in
+      let facts = (!st).S.facts in
+      let truthy =
+        if res = itv_false then S.Universe else S.Atoms (mint c @ facts)
+      in
+      let falsy =
+        if res = itv_true then S.Universe
+        else S.Atoms (mint (negate_cmp c) @ facts)
+      in
+      (* [cmp.ne x, 0] is the identity on truthiness and [cmp.eq x, 0]
+         its negation (the lowering normalizes short-circuit operands
+         this way), so the result inherits the operand's predicate
+         sets; without this the comparison chain forgets every atom a
+         nested comparison minted. *)
+      let transported =
+        match c with
+        | Cne | Ceq ->
+          let src =
+            if I.singleton vb.S.itv = Some 0L then Some va
+            else if I.singleton va.S.itv = Some 0L then Some vb
+            else None
+          in
+          (match src with
+          | Some v when c = Cne -> Some (v.S.truthy, v.S.falsy)
+          | Some v -> Some (v.S.falsy, v.S.truthy)
+          | None -> None)
+        | _ -> None
+      in
+      let truthy, falsy =
+        match transported with
+        | Some (t, f) -> (S.atoms_union truthy t, S.atoms_union falsy f)
+        | None -> (truthy, falsy)
+      in
+      setr r { (S.mk_val ~init:(D.join va.S.init vb.S.init) res) with S.truthy; falsy }
+    | Ipcmp (c, r, a, b) ->
+      let va = ev a and vb = ev b in
+      (match c with
+      | Clt | Cle | Cgt | Cge ->
+        if P.disjoint va.S.ptr vb.S.ptr then
+          emit ~kind:Finding.Ptr_sub ~sev:Finding.Error ~pc
+            "relational comparison of pointers to distinct objects"
+      | Ceq | Cne -> ());
+      (* null tests mint provenance atoms for branch refinement *)
+      let is_null_op o (v : S.aval) =
+        (match o with Nullptr -> true | _ -> false) || P.definitely_null v.S.ptr
+      in
+      let other =
+        if is_null_op a va then Some vb
+        else if is_null_op b vb then Some va
+        else None
+      in
+      let res =
+        match other with
+        | Some v -> (
+          let nonnull =
+            match v.S.ptr with
+            | P.Pto { may_null = false; targets = _ :: _ } -> true
+            | _ -> v.S.nz
+          in
+          let isnull = P.definitely_null v.S.ptr in
+          match c with
+          | Ceq -> if nonnull then itv_false else if isnull then itv_true else I.bool_range
+          | Cne -> if nonnull then itv_true else if isnull then itv_false else I.bool_range
+          | _ -> I.bool_range)
+        | None -> I.bool_range
+      in
+      let mint rel =
+        match other with
+        | Some { S.orig = Some cell; _ } when rel = Ceq || rel = Cne ->
+          [ { S.a_cell = cell; a_rel = rel; a_rhs = S.Rnull } ]
+        | _ -> []
+      in
+      let facts = (!st).S.facts in
+      let truthy = if res = itv_false then S.Universe else S.Atoms (mint c @ facts) in
+      let falsy =
+        if res = itv_true then S.Universe else S.Atoms (mint (negate_cmp c) @ facts)
+      in
+      setr r { (S.mk_val res) with S.truthy; falsy }
+    | Ipadd (r, p, off) ->
+      let vp = ev p and vo = ev off in
+      let np = P.shift vp.S.ptr vo.S.itv in
+      (match np with
+      | P.Pto { targets; _ } ->
+        List.iter
+          (fun (base, o_off) ->
+            match S.get_obj !st base with
+            | None -> ()
+            | Some o ->
+              if I.informed o_off then begin
+                (* one-past-the-end is legal; beyond it is not *)
+                if o_off.I.lo > o.S.o_size.I.hi then
+                  emit ~kind:Finding.Mem_error ~sev:Finding.Error ~pc
+                    "pointer arithmetic past the end of the object"
+                else if o_off.I.hi < 0L then
+                  emit ~kind:Finding.Mem_error ~sev:Finding.Error ~pc
+                    "pointer arithmetic before the start of the object"
+              end)
+          targets
+      | _ -> ());
+      setr r { (S.vptr np) with S.init = D.join vp.S.init vo.S.init }
+    | Ipdiff (r, a, b) ->
+      let va = ev a and vb = ev b in
+      if P.disjoint va.S.ptr vb.S.ptr then
+        emit ~kind:Finding.Ptr_sub ~sev:Finding.Error ~pc
+          "subtraction of pointers to distinct objects";
+      let itv =
+        match (va.S.ptr, vb.S.ptr) with
+        | P.Pto { targets = [ (b1, o1) ]; _ }, P.Pto { targets = [ (b2, o2) ]; _ }
+          when b1 = b2 ->
+          I.sub o1 o2
+        | _ -> I.top
+      in
+      setr r (S.mk_val ~init:(D.join va.S.init vb.S.init) itv)
+    | Icast (k, r, a) -> (
+      let va = ev a in
+      match k with
+      | Sext3264 -> setr r { va with S.orig = None }
+      | Trunc6432 ->
+        if I.informed va.S.itv && not (I.in_int32 va.S.itv) then
+          emit ~kind:Finding.Int_error ~sev:Finding.Error ~pc
+            "long-to-int truncation changes the value";
+        let itv = if I.in_int32 va.S.itv then va.S.itv else I.full_of_width W32 in
+        setr r (S.mk_val ~init:va.S.init itv)
+      | I2F _ | F2I _ -> setr r { S.vfloat with S.init = va.S.init }
+      | P2I _ ->
+        emit ~kind:Finding.Ub_generic ~sev:Finding.Warning ~pc
+          "pointer-to-integer cast depends on the memory layout";
+        (* keep the provenance: cross-object arithmetic on the integers
+           is still a Ptr_sub *)
+        setr r { (S.mk_val ~init:va.S.init I.top) with S.ptr = va.S.ptr }
+      | I2P ->
+        (* a null pointer constant is lowered as [i2p 0]; a pointer
+           that round-tripped through an integer keeps its provenance *)
+        let ptr =
+          if I.singleton va.S.itv = Some 0L then P.null
+          else match va.S.ptr with P.Pint -> P.Ptop | p -> p
+        in
+        setr r { (S.mk_val ~init:va.S.init I.top) with S.ptr })
+    | Ilea (r, sym) ->
+      let base =
+        match sym with Sglobal g -> P.Bglobal g | Sslot i -> P.Bslot i
+      in
+      setr r (S.vptr (P.to_base base))
+    | Iload (r, p) -> setr r (do_load ~pc (ev p))
+    | Istore (p, v) -> do_store ~pc (ev p) (ev v)
+    | Icall (r, _, args) ->
+      (* intraprocedural: the callee may initialize and overwrite any
+         object reachable from its arguments, and any global *)
+      List.iter
+        (fun a ->
+          match (ev a).S.ptr with
+          | P.Pto { targets; _ } -> bless_bases (List.map fst targets)
+          | _ -> ())
+        args;
+      bless_bases
+        (List.filter_map
+           (fun (b, _) -> match b with P.Bglobal _ -> Some b | _ -> None)
+           (!st).S.mem);
+      clear_facts ();
+      Option.iter (fun r -> setr r S.vunknown) r
+    | Ibuiltin (r, name, args) -> (
+      let vargs = List.map ev args in
+      match (name, vargs) with
+      | ("getchar" | "peek"), _ ->
+        Option.iter (fun r -> setr r (S.vint (I.make (-1L) 255L))) r
+      | "input_len", _ -> Option.iter (fun r -> setr r (S.vint (I.make 0L 4096L))) r
+      | "malloc", [ vn ] ->
+        Option.iter
+          (fun r ->
+            if vn.S.itv.I.hi <= 0L then setr r S.vnull
+            else begin
+              let base = P.Bheap pc in
+              let may_null = vn.S.itv.I.lo <= 0L in
+              let size =
+                match I.meet vn.S.itv (I.make 1L I.big) with
+                | Some s -> s
+                | None -> vn.S.itv
+              in
+              let existing = S.get_obj !st base in
+              let cells =
+                match (I.singleton size, existing) with
+                | Some k, None when k <= 128L ->
+                  Some (Array.make (Int64.to_int k) S.vjunk)
+                | _ -> None
+              in
+              let fresh =
+                {
+                  S.o_size = size;
+                  o_cells = cells;
+                  o_rest = S.vjunk;
+                  o_heap = Some S.Alive;
+                  o_multi = existing <> None;
+                }
+              in
+              let o =
+                match existing with
+                | None -> fresh
+                | Some old ->
+                  { (S.join_obj ~w:false old fresh) with S.o_multi = true }
+              in
+              st := S.set_obj !st base o;
+              setr r
+                (S.vptr (P.Pto { may_null; targets = [ (base, I.const 0L) ] }))
+            end)
+          r
+      | "free", [ pv ] ->
+        (match pv.S.ptr with
+        | P.Pint | P.Ptop -> ()
+        | p when P.definitely_null p -> ()   (* free(NULL) is fine *)
+        | p ->
+          List.iter
+            (fun (base, off) ->
+              match base with
+              | P.Bslot _ | P.Bglobal _ ->
+                emit ~kind:Finding.Mem_error ~sev:Finding.Error ~pc
+                  "free of a pointer that does not come from malloc"
+              | P.Bheap _ -> (
+                match S.get_obj !st base with
+                | None -> ()
+                | Some o ->
+                  if I.informed off && not (I.contains_zero off) then
+                    emit ~kind:Finding.Mem_error ~sev:Finding.Error ~pc
+                      "free of an interior pointer";
+                  (match o.S.o_heap with
+                  | Some S.Freed ->
+                    emit ~kind:Finding.Mem_error ~sev:Finding.Error ~pc "double free"
+                  | Some S.MaybeFreed ->
+                    emit ~kind:Finding.Mem_error ~sev:Finding.Warning ~pc
+                      "possible double free"
+                  | _ -> ());
+                  let heap =
+                    if o.S.o_multi then S.join_heap o.S.o_heap (Some S.Freed)
+                    else Some S.Freed
+                  in
+                  st := S.set_obj !st base { o with S.o_heap = heap }))
+            (P.targets p))
+      | "memset", [ pv; vc; vl ] ->
+        if vl.S.itv.I.hi > 0L then begin
+          let span = I.make 0L (max 0L (Int64.sub vl.S.itv.I.hi 1L)) in
+          let ts = check_access ~pc ~what:"memset write" pv span in
+          let fill = S.mk_val ~nz:(vc.S.nz) vc.S.itv in
+          List.iter
+            (fun (base, _, span_off) ->
+              match S.get_obj !st base with
+              | None -> ()
+              | Some o -> (
+                match
+                  ( I.singleton
+                      (match P.targets pv.S.ptr with
+                      | [ (_, off) ] -> off
+                      | _ -> I.top),
+                    I.singleton vl.S.itv,
+                    o.S.o_cells )
+                with
+                | Some k0, Some len, Some cells
+                  when (not o.S.o_multi) && List.length ts = 1 ->
+                  let cells = Array.copy cells in
+                  let n = Array.length cells in
+                  let k0 = Int64.to_int k0 and len = Int64.to_int len in
+                  for i = max 0 k0 to min (n - 1) (k0 + len - 1) do
+                    cells.(i) <- fill
+                  done;
+                  st := S.set_obj !st base { o with S.o_cells = Some cells }
+                | _ ->
+                  st :=
+                    S.set_obj !st base
+                      (S.write_obj o span_off
+                         (S.join_aval fill (S.read_obj o span_off)))))
+            ts;
+          clear_facts ()
+        end
+      | "memcpy", [ pd; ps; vl ] ->
+        if vl.S.itv.I.hi > 0L then begin
+          let span = I.make 0L (max 0L (Int64.sub vl.S.itv.I.hi 1L)) in
+          (* overlapping src/dst is UB for memcpy, and the two memcpy
+             directions of the implementations genuinely diverge on it *)
+          (match (pd.S.ptr, ps.S.ptr) with
+          | P.Pto { targets = [ (bd, od) ]; _ }, P.Pto { targets = [ (bs, os_) ]; _ }
+            when bd = bs && I.informed od && I.informed os_ && I.informed vl.S.itv
+            -> (
+            let de = I.add od span and se = I.add os_ span in
+            match (I.singleton od, I.singleton os_, I.singleton vl.S.itv) with
+            | Some d0, Some s0, Some l ->
+              if d0 < Int64.add s0 l && s0 < Int64.add d0 l then
+                emit ~kind:Finding.Bad_call ~sev:Finding.Error ~pc
+                  "memcpy source and destination overlap"
+            | _ ->
+              if I.meet de se <> None then
+                emit ~kind:Finding.Bad_call ~sev:Finding.Warning ~pc
+                  "memcpy source and destination may overlap")
+          | _ -> ());
+          let src_ts = check_access ~pc ~what:"memcpy read" ps span in
+          let src_val =
+            List.fold_left
+              (fun acc (_, o, off) ->
+                let cv = S.read_obj o off in
+                flag_init ~pc ~what:"memcpy read" cv;
+                match acc with
+                | None -> Some cv
+                | Some a -> Some (S.join_aval a cv))
+              None src_ts
+            |> Option.value ~default:S.vunknown
+          in
+          let dst_ts = check_access ~pc ~what:"memcpy write" pd span in
+          List.iter
+            (fun (base, _, off) ->
+              match S.get_obj !st base with
+              | None -> ()
+              | Some o -> st := S.set_obj !st base (S.write_obj o off src_val))
+            dst_ts;
+          clear_facts ()
+        end
+      | "strlen", [ pv ] ->
+        let len = scan_string ~pc pv in
+        Option.iter
+          (fun r -> setr r (S.vint (match I.meet len (I.make 0L I.big) with
+                                    | Some l -> l
+                                    | None -> I.make 0L I.big)))
+          r
+      | ("exit" | "abort"), _ -> raise Halt
+      | _ -> Option.iter (fun r -> setr r S.vfloat) r)
+    | Iprint items ->
+      List.iter
+        (function
+          | Fstr op -> ignore (scan_string ~pc (ev op))
+          | _ -> ())
+        items
+  in
+
+  (* --- branch edges with refinement --- *)
+  let refine_with_facts st atoms =
+    match S.refine_atoms st atoms with
+    | None -> None
+    | Some st' -> Some { st' with S.facts = List.sort_uniq compare st'.S.facts }
+  in
+  let branch_edges pc cnd =
+    let vc = ev cnd in
+    let can_true =
+      vc.S.truthy <> S.Universe
+      && (not (P.definitely_null vc.S.ptr))
+      && not (vc.S.ptr = P.Pint && vc.S.itv = itv_false)
+    in
+    let can_false =
+      vc.S.falsy <> S.Universe && (not vc.S.nz)
+      &&
+      match vc.S.ptr with
+      | P.Pto { may_null; _ } -> may_null
+      | P.Pint -> I.contains_zero vc.S.itv
+      | P.Ptop -> true
+    in
+    ignore pc;
+    let self_atom rel =
+      match vc.S.orig with
+      | None -> []
+      | Some cell ->
+        if vc.S.ptr = P.Pint then
+          [ { S.a_cell = cell; a_rel = rel; a_rhs = S.Rconst (I.const 0L) } ]
+        else [ { S.a_cell = cell; a_rel = rel; a_rhs = S.Rnull } ]
+    in
+    let mk_edge can preds extra self_refine =
+      if not can then None
+      else begin
+        let atoms = (match preds with S.Universe -> [] | S.Atoms l -> l) @ extra in
+        match refine_with_facts !st atoms with
+        | None -> None
+        | Some st' -> (
+          match cnd with
+          | Reg r ->
+            let regs = Array.copy st'.S.regs in
+            regs.(r) <- self_refine regs.(r);
+            Some { st' with S.regs = regs }
+          | _ -> Some st')
+      end
+    in
+    let on_true =
+      mk_edge can_true vc.S.truthy (self_atom Cne) (fun v ->
+          let itv =
+            if v.S.itv = I.bool_range then itv_true
+            else
+              match refine_itv_ne v.S.itv with Some i -> i | None -> v.S.itv
+          in
+          { v with S.itv; nz = true; ptr = P.drop_null v.S.ptr })
+    in
+    let on_false =
+      mk_edge can_false vc.S.falsy (self_atom Ceq) (fun v ->
+          let itv =
+            match I.meet v.S.itv (I.const 0L) with
+            | Some i -> i
+            | None -> v.S.itv
+          in
+          let ptr =
+            match P.only_null v.S.ptr with Some p -> p | None -> v.S.ptr
+          in
+          { v with S.itv; ptr })
+    in
+    (on_true, on_false)
+  in
+
+  (* --- walk the block --- *)
+  try
+    let last = block.Cfg.last in
+    for i = block.Cfg.first to last - 1 do
+      exec i f.code.(i)
+    done;
+    match f.code.(last) with
+    | Ijmp _ -> (
+      match block.Cfg.succs with [ s ] -> [ (s, !st) ] | _ -> [])
+    | Ibr (cnd, _, _) -> (
+      let on_true, on_false = branch_edges last cnd in
+      match block.Cfg.succs with
+      | [ t; e ] ->
+        (match on_true with Some s -> [ (t, s) ] | None -> [])
+        @ (match on_false with Some s -> [ (e, s) ] | None -> [])
+      | [ s ] ->
+        (* both labels equal: no refinement possible *)
+        [ (s, !st) ]
+      | _ -> [])
+    | Iret op ->
+      (match op with
+      | Some (Reg r) when (getr r).S.init = D.Uninit ->
+        emit ~kind:Finding.Uninit ~sev:Finding.Error ~pc:last
+          "function may return without a value (junk register)"
+      | Some (Reg r) when (getr r).S.init = D.Maybe ->
+        emit ~kind:Finding.Uninit ~sev:Finding.Warning ~pc:last
+          "function may return a possibly-uninitialized value"
+      | _ -> ());
+      []
+    | Itrap _ -> []
+    | ins ->
+      exec last ins;
+      (match block.Cfg.succs with [ s ] -> [ (s, !st) ] | _ -> [])
+  with Halt -> []
+
+(* --- interprocedural constant seeding ---
+
+   Parameters normally enter as unknown values. When every call site of
+   a function passes a compile-time constant at some parameter position,
+   that parameter is seeded with the join of those constants — the
+   one-level constant propagation that catches a helper always invoked
+   with an overflowing offset, or a null literal handed to a
+   dereferencing callee. Call arguments are resolved only through
+   registers defined exactly once in the caller, so control flow cannot
+   smuggle in a different value. *)
+
+type seed = Sint of I.t | Snull
+
+let join_seed a b =
+  match (a, b) with
+  | Sint x, Sint y -> Some (Sint (I.join x y))
+  | Snull, Snull -> Some Snull
+  | _ -> None
+
+let param_seeds (u : unit_) : (string, seed option array) Hashtbl.t =
+  let seeds : (string, seed option array) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ((_, f) : string * ifunc) ->
+      (* constants held by single-definition registers of this caller *)
+      let ndefs = Hashtbl.create 16 in
+      Array.iter
+        (fun ins ->
+          match Cdcompiler.Ir.def ins with
+          | Some r ->
+            Hashtbl.replace ndefs r
+              (1 + Option.value ~default:0 (Hashtbl.find_opt ndefs r))
+          | None -> ())
+        f.code;
+      let consts = Hashtbl.create 16 in
+      let resolve = function
+        | ImmI k -> Some (Sint (I.const k))
+        | Nullptr -> Some Snull
+        | ImmF _ -> None
+        | Reg r ->
+          if Hashtbl.find_opt ndefs r = Some 1 then Hashtbl.find_opt consts r
+          else None
+      in
+      Array.iter
+        (fun ins ->
+          (match ins with
+          | Iconst (r, op) | Imov (r, op) -> (
+            match resolve op with
+            | Some s -> Hashtbl.replace consts r s
+            | None -> ())
+          | Icast (I2P, r, op) -> (
+            match resolve op with
+            | Some (Sint itv) when I.singleton itv = Some 0L ->
+              Hashtbl.replace consts r Snull
+            | _ -> ())
+          | _ -> ());
+          match ins with
+          | Icall (_, callee, args) ->
+            let here = Array.of_list (List.map resolve args) in
+            (match Hashtbl.find_opt seeds callee with
+            | None -> Hashtbl.replace seeds callee here
+            | Some acc ->
+              let n = min (Array.length acc) (Array.length here) in
+              let joined =
+                Array.init n (fun i ->
+                    match (acc.(i), here.(i)) with
+                    | Some a, Some b -> join_seed a b
+                    | _ -> None)
+              in
+              Hashtbl.replace seeds callee joined)
+          | _ -> ())
+        f.code)
+    u.funcs;
+  seeds
+
+(* --- per-function driver --- *)
+
+let entry_state (u : unit_) (f : ifunc) : S.t =
+  let regs = Array.make (max f.nregs 1) S.vjunk in
+  let seeds =
+    match Hashtbl.find_opt (param_seeds u) f.name with
+    | Some arr -> arr
+    | None -> [||]
+  in
+  for i = 0 to min (f.nparams - 1) (Array.length regs - 1) do
+    regs.(i) <-
+      (match if i < Array.length seeds then seeds.(i) else None with
+      | Some (Sint itv) -> S.vint itv
+      | Some Snull -> S.vnull
+      | None -> S.vunknown)
+  done;
+  let slot_objs =
+    Array.to_list
+      (Array.mapi
+         (fun i (s : frame_slot) ->
+           let cells =
+             if s.slot_size <= 128 && s.slot_size > 0 then
+               Some (Array.make s.slot_size S.vjunk)
+             else None
+           in
+           ( P.Bslot i,
+             {
+               S.o_size = I.of_int s.slot_size;
+               o_cells = cells;
+               o_rest = S.vjunk;
+               o_heap = None;
+               o_multi = false;
+             } ))
+         f.slots)
+  in
+  let global_objs =
+    List.map
+      (fun (g : iglobal) ->
+        let cells =
+          if g.g_size <= 128 && g.g_size > 0 then
+            Some
+              (Array.init g.g_size (fun i ->
+                   match List.nth_opt g.g_init i with
+                   | Some v -> S.vconst v
+                   | None -> S.vconst 0L))
+          else None
+        in
+        ( P.Bglobal g.g_name,
+          {
+            S.o_size = I.of_int g.g_size;
+            o_cells = cells;
+            o_rest = S.vunknown;
+            o_heap = None;
+            o_multi = false;
+          } ))
+      u.globals
+  in
+  {
+    S.regs;
+    mem = List.sort (fun (a, _) (b, _) -> compare a b) (slot_objs @ global_objs);
+    facts = [];
+  }
+
+type raw_finding = {
+  rf_kind : Finding.kind;
+  rf_sev : Finding.severity;
+  rf_func : string;
+  rf_pc : int;
+  rf_msg : string;
+}
+
+let analyze_func (u : unit_) (fname : string) (f : ifunc) : raw_finding list =
+  if Array.length f.code = 0 then []
+  else begin
+    let cfg = Cfg.build f in
+    let silent ~kind:_ ~sev:_ ~pc:_ _ = () in
+    match Sol.solve cfg ~entry:(entry_state u f) ~transfer:(step ~emit:silent cfg) with
+    | exception Dataflow.Solver.Diverged -> []   (* refuse to report half-baked facts *)
+    | { Sol.input; _ } ->
+      let acc = ref [] in
+      let record ~kind ~sev ~pc msg =
+        acc :=
+          { rf_kind = kind; rf_sev = sev; rf_func = fname; rf_pc = pc; rf_msg = msg }
+          :: !acc
+      in
+      Array.iteri
+        (fun bid in_st ->
+          match in_st with
+          | None -> ()
+          | Some st -> ignore (step ~emit:record cfg cfg.Cfg.blocks.(bid) st))
+        input;
+      List.rev !acc
+  end
+
+let check_unit (u : unit_) : Finding.t list =
+  List.concat_map
+    (fun (fname, f) ->
+      analyze_func u fname f
+      |> List.map (fun rf ->
+             let line =
+               match Cdcompiler.Ir.line_of_pc f rf.rf_pc with
+               | Some l when l > 0 -> l
+               | _ -> rf.rf_pc   (* line table gone: pc still keys dedup *)
+             in
+             Finding.make ~tool:tool_name ~kind:rf.rf_kind ~severity:rf.rf_sev
+               ~func:rf.rf_func ~line rf.rf_msg))
+    u.funcs
+
+(* Entry point matching the other analyzers: AST in, findings out. The
+   program is type-checked and lowered with the analysis profile first;
+   programs that do not type-check produce no findings. *)
+let check (p : Minic.Ast.program) : Finding.t list =
+  match Minic.Typecheck.check_program_result p with
+  | Error _ -> []
+  | Ok tp -> check_unit (Cdcompiler.Pipeline.compile analysis_profile tp)

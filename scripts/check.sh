@@ -1,0 +1,42 @@
+#!/bin/sh
+# Repo check: build, run the test suites, then smoke-test the static
+# analyzers over the example MiniC inputs. Any unexpected exit fails.
+#
+#   scripts/check.sh
+#
+# The static smoke test asserts the documented verdicts: examples named
+# unstable_*.c must produce detection-grade findings (exit 1), examples
+# named stable_*.c must be clean (exit 0). Exit code 2 (parse/usage
+# error) always fails.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== static smoke test over examples/*.c"
+status=0
+for f in examples/*.c; do
+  [ -e "$f" ] || continue
+  case "$(basename "$f")" in
+    stable_*) want=0 ;;
+    *) want=1 ;;
+  esac
+  set +e
+  dune exec bin/compdiff_cli.exe -- static "$f" > /dev/null 2>&1
+  got=$?
+  set -e
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL $f: compdiff static exited $got, expected $want"
+    status=1
+  else
+    echo "ok   $f (exit $got)"
+  fi
+done
+
+exit $status

@@ -15,6 +15,7 @@ let mk_func code nregs =
     nregs;
     slots = [||];
     code = Array.of_list code;
+    code_lines = [||];
     label_cache = None;
   }
 

@@ -175,6 +175,190 @@ let test_tools_disagree () =
   check_bool "infer blind to the division" false (flags Static_tools.Infer src Finding.Div_zero);
   check_bool "cppcheck blind to the index" false (flags Static_tools.Cppcheck src Finding.Mem_error)
 
+(* --- dataflow layer: CFG + solver --- *)
+
+module I = Dataflow.Interval
+module Cfg = Dataflow.Cfg
+
+let compile_unit src =
+  match Minic.frontend_of_source src with
+  | Ok tp -> Cdcompiler.Pipeline.compile Unstable_check.analysis_profile tp
+  | Error msg -> Alcotest.failf "frontend: %s" msg
+
+let func_of u name =
+  match Cdcompiler.Ir.func u name with
+  | Some f -> f
+  | None -> Alcotest.failf "no function %s" name
+
+let loop_src =
+  "int main() {\n\
+   \  int s = 0;\n\
+   \  int i = 0;\n\
+   \  while (i < 10) { s = s + i; i = i + 1; }\n\
+   \  return s;\n\
+   }"
+
+let test_cfg_loop_structure () =
+  let u = compile_unit loop_src in
+  let cfg = Cfg.build (func_of u "main") in
+  Alcotest.(check bool) "several blocks" true (Cfg.nblocks cfg > 2);
+  (* the loop condition branches two ways *)
+  Alcotest.(check bool) "a two-way branch exists" true
+    (Array.exists (fun b -> List.length b.Cfg.succs = 2) cfg.Cfg.blocks);
+  (* a back edge: some successor precedes its source in reverse postorder *)
+  let rpo_index = Array.make (Cfg.nblocks cfg) 0 in
+  Array.iteri (fun i id -> rpo_index.(id) <- i) cfg.Cfg.rpo;
+  Alcotest.(check bool) "a back edge exists" true
+    (Array.exists
+       (fun b -> List.exists (fun s -> rpo_index.(s) <= rpo_index.(b.Cfg.id)) b.Cfg.succs)
+       cfg.Cfg.blocks);
+  (* every block reachable from the entry has a predecessor (or is it) *)
+  Array.iter
+    (fun b ->
+      if b.Cfg.id <> cfg.Cfg.entry && b.Cfg.preds = [] then
+        Alcotest.(check bool) "unreachable only past a return" true
+          (b.Cfg.first > 0))
+    cfg.Cfg.blocks
+
+let test_solver_fixpoint_loop () =
+  let u = compile_unit loop_src in
+  let f = func_of u "main" in
+  let cfg = Cfg.build f in
+  let silent ~kind:_ ~sev:_ ~pc:_ _ = () in
+  let r =
+    Unstable_check.Sol.solve cfg
+      ~entry:(Unstable_check.entry_state u f)
+      ~transfer:(Unstable_check.step ~emit:silent cfg)
+  in
+  (* reached a fixpoint: every block got revisited at most a bounded
+     number of times, and the loop made the solver iterate *)
+  Alcotest.(check bool) "iterated beyond one pass" true
+    (r.Unstable_check.Sol.iterations > Cfg.nblocks cfg);
+  Alcotest.(check bool) "exit block reachable" true
+    (Array.exists
+       (fun b ->
+         b.Cfg.succs = []
+         && r.Unstable_check.Sol.input.(b.Cfg.id) <> None)
+       cfg.Cfg.blocks)
+
+let test_solver_dead_edge () =
+  (* the else branch is statically dead: its OOB store must not leak out *)
+  check_bool "dead branch suppressed" true
+    (silent Static_tools.Unstable
+       "int main() {\n\
+        \  int a[4];\n\
+        \  a[0] = 1;\n\
+        \  int x = 5;\n\
+        \  if (x == 5) { a[1] = 2; } else { a[99] = 3; }\n\
+        \  return a[0] + a[1];\n\
+        }")
+
+let test_widening_terminates () =
+  (* the loop bound is input-dependent, so without widening the interval
+     of [i] climbs one step per solver visit and never stabilizes *)
+  let u =
+    compile_unit
+      "int main() {\n\
+       \  int i = 0;\n\
+       \  while (i != getchar()) { i = i + 1; }\n\
+       \  return i;\n\
+       }"
+  in
+  let f = func_of u "main" in
+  let cfg = Cfg.build f in
+  let silent ~kind:_ ~sev:_ ~pc:_ _ = () in
+  let r =
+    Unstable_check.Sol.solve cfg
+      ~entry:(Unstable_check.entry_state u f)
+      ~transfer:(Unstable_check.step ~emit:silent cfg)
+  in
+  Alcotest.(check bool) "stabilized within the visit budget" true
+    (r.Unstable_check.Sol.iterations < 80 * Cfg.nblocks cfg)
+
+let test_interval_widening_chain () =
+  (* domain-level property behind the previous test: widening jumps to
+     the bound in one step, and is then a fixpoint of further growth *)
+  let w1 = I.widen (I.const 0L) (I.join (I.const 0L) (I.make 0L 1L)) in
+  Alcotest.(check bool) "unstable bound saturates" true (w1.I.hi = I.big);
+  let w2 = I.widen w1 (I.join w1 (I.make 0L 2L)) in
+  Alcotest.(check bool) "widening is a fixpoint" true (w1 = w2)
+
+(* --- UnstableCheck golden good/bad pairs, one per CWE family --- *)
+
+let errors tool src =
+  List.filter_map
+    (fun (f : Finding.t) ->
+      if f.Finding.severity = Finding.Error then Some f.Finding.kind else None)
+    (Static_tools.check tool (parse src))
+
+let juliet_pair cwe =
+  let t =
+    List.find
+      (fun (t : Juliet.Testcase.t) -> t.Juliet.Testcase.cwe = cwe)
+      (Juliet.Suite.quick ~per_cwe:1 ())
+  in
+  (t.Juliet.Testcase.bad, t.Juliet.Testcase.good)
+
+let juliet_errors p =
+  List.filter_map
+    (fun (f : Finding.t) ->
+      if f.Finding.severity = Finding.Error then Some f.Finding.kind else None)
+    (Static_tools.check Static_tools.Unstable p)
+
+let test_uc_int_pair () =
+  Alcotest.(check bool) "bad variant flagged" true
+    (List.mem Finding.Int_error
+       (errors Static_tools.Unstable
+          "int main() { int x = getchar(); return x * 100000000; }"));
+  Alcotest.(check (list unit)) "good variant clean" []
+    (List.map ignore
+       (errors Static_tools.Unstable
+          "int main() { int x = getchar(); return x * 2; }"))
+
+let test_uc_uninit_pair () =
+  Alcotest.(check bool) "bad variant flagged" true
+    (List.mem Finding.Uninit
+       (errors Static_tools.Unstable "int main() { int x; return x + 1; }"));
+  Alcotest.(check (list unit)) "good variant clean" []
+    (List.map ignore
+       (errors Static_tools.Unstable "int main() { int x = 1; return x + 1; }"))
+
+let test_uc_ptrsub_pair () =
+  let bad, good = juliet_pair 469 in
+  Alcotest.(check bool) "bad variant flagged" true
+    (List.mem Finding.Ptr_sub (juliet_errors bad));
+  Alcotest.(check (list unit)) "good variant clean" []
+    (List.map ignore (juliet_errors good))
+
+let test_uc_memory_pair () =
+  Alcotest.(check bool) "bad variant flagged" true
+    (List.mem Finding.Mem_error
+       (errors Static_tools.Unstable
+          "int main() { int a[4]; int i = getchar(); a[i] = 1; return 0; }"));
+  (* the fixed shape: a short-circuit guard the branch refinement must
+     transport through the lowered 0/1 join *)
+  Alcotest.(check (list unit)) "guarded variant clean" []
+    (List.map ignore
+       (errors Static_tools.Unstable
+          "int main() {\n\
+           \  int a[4];\n\
+           \  int i = getchar();\n\
+           \  if (i >= 0 && i < 4) { a[i] = 1; }\n\
+           \  return 0;\n\
+           }"))
+
+let test_uc_null_pair () =
+  let bad, good = juliet_pair 476 in
+  Alcotest.(check bool) "bad variant flagged" true
+    (List.mem Finding.Null_deref (juliet_errors bad));
+  Alcotest.(check (list unit)) "good variant clean" []
+    (List.map ignore (juliet_errors good))
+
+let test_registry_has_four_tools () =
+  Alcotest.(check int) "four analyzers" 4 (List.length Static_tools.all);
+  Alcotest.(check bool) "UnstableCheck registered" true
+    (List.mem Static_tools.Unstable Static_tools.all)
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let suites =
@@ -209,4 +393,21 @@ let suites =
         tc "arithmetic blindness" test_infer_ignores_arithmetic;
       ] );
     ("static.cross", [ tc "complementary scopes" test_tools_disagree ]);
+    ( "static.dataflow",
+      [
+        tc "CFG loop structure" test_cfg_loop_structure;
+        tc "solver fixpoint on a loop" test_solver_fixpoint_loop;
+        tc "dead edges killed" test_solver_dead_edge;
+        tc "widening terminates" test_widening_terminates;
+        tc "interval widening chain" test_interval_widening_chain;
+      ] );
+    ( "static.unstable",
+      [
+        tc "registry" test_registry_has_four_tools;
+        tc "int pair" test_uc_int_pair;
+        tc "uninit pair" test_uc_uninit_pair;
+        tc "ptrsub pair" test_uc_ptrsub_pair;
+        tc "memory pair" test_uc_memory_pair;
+        tc "null pair" test_uc_null_pair;
+      ] );
   ]
