@@ -1,10 +1,11 @@
 (* Benchmark harness entry point: regenerates every table and figure of
-   the paper's evaluation section, plus the Section 5 overhead numbers
-   and the design-choice ablations from DESIGN.md.
+   the paper's evaluation section, plus the Section 5 overhead numbers,
+   the parallel-oracle bench (BENCH_oracle.json) and the design-choice
+   ablations from DESIGN.md.
 
-   Usage:  dune exec bench/main.exe [section...]
+   Usage:  dune exec bench/main.exe [--jobs N] [section...]
    Sections: table2 table3 figure1 table4 table5 table6 figure2 overhead
-             ablations (default: all). *)
+             oracle ablations (default: all). *)
 
 let sections : (string * (unit -> unit)) list =
   [
@@ -16,11 +17,25 @@ let sections : (string * (unit -> unit)) list =
     ("table6", Table_projects.table6);
     ("figure2", Table_projects.figure2);
     ("overhead", Overhead.run);
+    ("oracle", Overhead.oracle_bench);
     ("ablations", Ablations.run);
   ]
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse acc = function
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+          Cdutil.Pool.set_default_jobs n;
+          parse acc rest
+        | _ ->
+          Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+          exit 2)
+    | s :: rest -> parse (s :: acc) rest
+    | [] -> List.rev acc
+  in
+  let requested = parse [] args in
   let to_run =
     if requested = [] then sections
     else

@@ -137,6 +137,207 @@ let microbench () =
     merged;
   print_newline ()
 
+(* --- parallel-oracle benchmark (emits BENCH_oracle.json) ---
+
+   Measures oracle throughput in oracle checks per second ("execs/sec"
+   as the fuzzer sees them: one check = one input judged against the
+   whole differential set).  The workload mixes a cheap branchy program
+   (the Listing-1 pattern) with an input-dependent escalator whose O0
+   builds exceed the base fuel while the optimized builds finish —
+   exercising both binary dedup and incremental fuel escalation. *)
+
+let escalator_tp =
+  lazy
+    (match
+       Minic.frontend_of_source
+         "int main() {\n\
+          \  int c = getchar();\n\
+          \  int n = 600;\n\
+          \  if (c > 64) { n = 20000; }\n\
+          \  int i = 0;\n\
+          \  int acc = 0;\n\
+          \  while (i < n) { acc = acc + i * 3 + 1; i = i + 1; }\n\
+          \  print(\"%d %d\\n\", c, acc);\n\
+          \  return 0;\n\
+          }"
+     with
+    | Ok tp -> tp
+    | Error e -> failwith e)
+
+let oracle_workload () =
+  let listing_inputs = List.init 40 (fun i -> String.make 1 (Char.chr (32 + i))) in
+  let escal_inputs =
+    (* 12 cheap inputs, 4 that trigger the mixed hang + escalation *)
+    List.init 12 (fun i -> String.make 1 (Char.chr (33 + i)))
+    @ [ "z"; "q"; "x"; "~" ]
+  in
+  [ (Lazy.force listing1_tp, listing_inputs);
+    (Lazy.force escalator_tp, escal_inputs) ]
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let oracle_bench () =
+  let par_jobs = 4 in
+  Cdutil.Pool.set_default_jobs par_jobs;
+  let fuel = 300_000 and max_fuel = 4_800_000 in
+  let workload = oracle_workload () in
+  let nchecks =
+    List.fold_left (fun a (_, inputs) -> a + List.length inputs) 0 workload
+  in
+  (* one oracle pair per program: a sequential dedup-free baseline and
+     the deduped pooled one; compilation happens outside the timers *)
+  let seq_oracles =
+    List.map
+      (fun (tp, inputs) ->
+        (Compdiff.Oracle.create ~fuel ~max_fuel ~jobs:1 ~dedup:false tp, inputs))
+      workload
+  in
+  let par_oracles =
+    List.map
+      (fun (tp, inputs) ->
+        (Compdiff.Oracle.create ~fuel ~max_fuel ~jobs:par_jobs ~dedup:true tp,
+         inputs))
+      workload
+  in
+  let reps = 3 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let seq_time, seq_verdicts =
+    time (fun () ->
+        List.concat_map
+          (fun _ ->
+            List.concat_map
+              (fun (o, inputs) ->
+                List.map (fun input -> Compdiff.Oracle.check_naive o ~input) inputs)
+              seq_oracles)
+          (List.init reps Fun.id))
+  in
+  let par_time, par_verdicts =
+    time (fun () ->
+        List.concat_map
+          (fun _ ->
+            List.concat_map
+              (fun (o, inputs) ->
+                List.map (fun input -> Compdiff.Oracle.check o ~input) inputs)
+              par_oracles)
+          (List.init reps Fun.id))
+  in
+  let verdicts_match = seq_verdicts = par_verdicts in
+  let total_checks = reps * nchecks in
+  let seq_cps = float_of_int total_checks /. seq_time in
+  let par_cps = float_of_int total_checks /. par_time in
+  let pstats =
+    List.fold_left
+      (fun (e, d, s) (o, _) ->
+        let st = Compdiff.Oracle.stats o in
+        ( e + st.Compdiff.Oracle.vm_execs,
+          d + st.Compdiff.Oracle.dedup_saved,
+          s + st.Compdiff.Oracle.escalation_saved ))
+      (0, 0, 0) par_oracles
+  in
+  let par_execs, dedup_saved, escal_saved = pstats in
+  let naive_execs = par_execs + dedup_saved + escal_saved in
+  let class_info =
+    List.map
+      (fun (o, _) ->
+        (Compdiff.Oracle.class_count o, List.length (Compdiff.Oracle.binaries o)))
+      par_oracles
+  in
+  (* binary-dedup ratio on Juliet CWE categories: fraction of binaries
+     the oracle does not need to execute *)
+  let juliet_dedup =
+    List.map
+      (fun cwe ->
+        let tests =
+          List.filter
+            (fun (t : Juliet.Testcase.t) -> t.Juliet.Testcase.cwe = cwe)
+            (Juliet.Suite.quick ~per_cwe:2 ())
+        in
+        let ratios =
+          List.map
+            (fun (t : Juliet.Testcase.t) ->
+              let o =
+                Compdiff.Oracle.create ~jobs:1 (Juliet.Testcase.frontend_bad t)
+              in
+              let k = List.length (Compdiff.Oracle.binaries o) in
+              1. -. (float_of_int (Compdiff.Oracle.class_count o) /. float_of_int k))
+            tests
+        in
+        let avg =
+          if ratios = [] then 0.
+          else List.fold_left ( +. ) 0. ratios /. float_of_int (List.length ratios)
+        in
+        (cwe, avg))
+      [ 190; 369; 457; 476 ]
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"oracle\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"metric\": \"%s\",\n"
+       (json_escape
+          "execs/sec = oracle checks per second (one check = one input \
+           judged against the full differential set)"));
+  Buffer.add_string buf (Printf.sprintf "  \"jobs_parallel\": %d,\n" par_jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"checks\": %d,\n" total_checks);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"sequential\": { \"seconds\": %.4f, \"execs_per_sec\": %.1f, \
+        \"vm_execs\": %d },\n"
+       seq_time seq_cps naive_execs);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"parallel\": { \"seconds\": %.4f, \"execs_per_sec\": %.1f, \
+        \"vm_execs\": %d, \"dedup_saved\": %d, \"escalation_saved\": %d },\n"
+       par_time par_cps par_execs dedup_saved escal_saved);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup\": %.2f,\n" (par_cps /. seq_cps));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"verdicts_match\": %b,\n" verdicts_match);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"class_counts\": [%s],\n"
+       (String.concat ", "
+          (List.map
+             (fun (c, k) -> Printf.sprintf "{ \"classes\": %d, \"k\": %d }" c k)
+             class_info)));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"juliet_dedup\": [%s]\n"
+       (String.concat ", "
+          (List.map
+             (fun (cwe, r) ->
+               Printf.sprintf "{ \"cwe\": %d, \"dedup_ratio\": %.3f }" cwe r)
+             juliet_dedup)));
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_oracle.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf
+    "Parallel oracle bench (%d checks, %d jobs):\n\
+    \  sequential naive: %.1f checks/s (%d VM execs)\n\
+    \  deduped+parallel: %.1f checks/s (%d VM execs; %d saved by dedup, %d \
+     by incremental escalation)\n\
+    \  speedup: %.2fx   verdicts match: %b\n\
+     wrote %s\n\n"
+    total_checks par_jobs seq_cps naive_execs par_cps par_execs dedup_saved
+    escal_saved (par_cps /. seq_cps) verdicts_match path;
+  if not verdicts_match then failwith "oracle bench: verdict mismatch"
+
 let run () =
   wallclock ();
   microbench ()

@@ -37,11 +37,18 @@ let evaluate_full_suite =
     | Some evals -> evals
     | None ->
       let tests = Juliet.Suite.full () in
-      Printf.printf "[juliet] evaluating %d generated tests...\n%!"
-        (List.length tests);
+      let jobs = Cdutil.Pool.default_jobs () in
+      Printf.printf "[juliet] evaluating %d generated tests (jobs=%d)...\n%!"
+        (List.length tests) jobs;
       let t0 = Unix.gettimeofday () in
-      let evals = Juliet.Eval.evaluate_suite tests in
-      Printf.printf "[juliet] done in %.1fs\n%!" (Unix.gettimeofday () -. t0);
+      (* ~validate cross-checks, on every input of every test, that the
+         deduped/parallel oracle verdict is structurally identical to
+         the sequential naive oracle's (it raises on any mismatch) *)
+      let evals = Juliet.Eval.evaluate_suite ~jobs ~validate:true tests in
+      Printf.printf
+        "[juliet] done in %.1fs (parallel oracle cross-validated against \
+         the naive oracle on all tests)\n%!"
+        (Unix.gettimeofday () -. t0);
       cache := Some evals;
       evals
 

@@ -10,10 +10,11 @@ let campaign_results =
     match !cache with
     | Some r -> r
     | None ->
-      Printf.printf "[projects] fuzzing %d targets...\n%!"
-        (List.length Projects.Registry.all);
+      let jobs = Pool.default_jobs () in
+      Printf.printf "[projects] fuzzing %d targets (jobs=%d)...\n%!"
+        (List.length Projects.Registry.all) jobs;
       let t0 = Unix.gettimeofday () in
-      let r = Projects.Campaign.run_all ~max_execs:6_000 () in
+      let r = Projects.Campaign.run_all ~max_execs:6_000 ~jobs () in
       Printf.printf "[projects] done in %.0fs\n%!" (Unix.gettimeofday () -. t0);
       cache := Some r;
       r

@@ -68,6 +68,18 @@ let fuel_arg =
     value & opt int 200_000
     & info [ "fuel" ] ~docv:"N" ~doc:"Execution fuel (instruction budget).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel compilation/execution (default: \
+           $(b,Domain.recommended_domain_count()) - 1, or the \
+           $(b,COMPDIFF_JOBS) environment variable).")
+
+(* 0 = keep the default (COMPDIFF_JOBS or the domain count heuristic) *)
+let apply_jobs n = if n > 0 then Cdutil.Pool.set_default_jobs n
+
 (* --- compile --- *)
 
 let compile_cmd =
@@ -116,7 +128,8 @@ let diff_cmd =
       value & flag
       & info [ "strip-addresses" ] ~doc:"Normalize 0x... addresses before comparing.")
   in
-  let action file input fuel strip =
+  let action file input fuel strip jobs =
+    apply_jobs jobs;
     let tp = frontend_of_file file in
     let normalize =
       if strip then Compdiff.Normalize.strip_hex_addresses
@@ -137,7 +150,7 @@ let diff_cmd =
   Cmd.v
     (Cmd.info "diff"
        ~doc:"Run one input through every implementation and compare outputs.")
-    Term.(const action $ file_arg $ input_arg $ fuel_arg $ strip_addr)
+    Term.(const action $ file_arg $ input_arg $ fuel_arg $ strip_addr $ jobs_arg)
 
 (* --- trace --- *)
 
@@ -205,7 +218,8 @@ let fuzz_cmd =
       value & opt_all string []
       & info [ "i"; "corpus" ] ~docv:"BYTES" ~doc:"Initial seed input (repeatable).")
   in
-  let action file execs seed corpus =
+  let action file execs seed corpus jobs =
+    apply_jobs jobs;
     let tp = frontend_of_file file in
     let config =
       {
@@ -237,7 +251,7 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Fuzz a MiniC file with CompDiff-AFL++ (Algorithm 1).")
-    Term.(const action $ file_arg $ execs $ seed $ corpus)
+    Term.(const action $ file_arg $ execs $ seed $ corpus $ jobs_arg)
 
 (* --- juliet --- *)
 
@@ -247,7 +261,8 @@ let juliet_cmd =
       value & opt int 8
       & info [ "per-cwe" ] ~docv:"N" ~doc:"Variants per CWE (0 = full scaled suite).")
   in
-  let action per_cwe =
+  let action per_cwe jobs =
+    apply_jobs jobs;
     let tests =
       if per_cwe <= 0 then Juliet.Suite.full () else Juliet.Suite.quick ~per_cwe ()
     in
@@ -267,7 +282,7 @@ let juliet_cmd =
   in
   Cmd.v
     (Cmd.info "juliet" ~doc:"Evaluate tools on the generated benchmark suite.")
-    Term.(const action $ per_cwe)
+    Term.(const action $ per_cwe $ jobs_arg)
 
 (* --- projects --- *)
 
@@ -280,7 +295,8 @@ let projects_cmd =
   let execs =
     Arg.(value & opt int 4_000 & info [ "execs" ] ~docv:"N" ~doc:"Budget per target.")
   in
-  let action target_name execs =
+  let action target_name execs jobs =
+    apply_jobs jobs;
     let targets =
       match target_name with
       | None -> Projects.Registry.all
@@ -312,7 +328,7 @@ let projects_cmd =
   in
   Cmd.v
     (Cmd.info "projects" ~doc:"Fuzz the synthetic real-world targets (Table 5).")
-    Term.(const action $ target_name $ execs)
+    Term.(const action $ target_name $ execs $ jobs_arg)
 
 (* --- static --- *)
 
@@ -331,7 +347,8 @@ let static_cmd =
       value & flag
       & info [ "warnings" ] ~doc:"Also print downgraded (warning) findings.")
   in
-  let action file tool warnings =
+  let action file tool warnings jobs =
+    apply_jobs jobs;
     let p = ast_of_file file in
     let tools =
       match tool with
@@ -380,7 +397,7 @@ let static_cmd =
   Cmd.v
     (Cmd.info "static"
        ~doc:"Run the static analyzers (Table 3 tools) over a MiniC file.")
-    Term.(const action $ file_arg $ tool_arg $ warnings)
+    Term.(const action $ file_arg $ tool_arg $ warnings $ jobs_arg)
 
 (* --- profiles --- *)
 

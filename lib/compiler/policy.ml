@@ -105,6 +105,34 @@ let no_opt =
     unsafe_copyprop = false;
   }
 
+(* --- canonical serializations (for structural binary dedup) --- *)
+
+(* These strings are injective per policy component: two components
+   serialize equally iff they are structurally equal, so they can be
+   used as equivalence-class keys. *)
+
+let uninit_signature = function
+  | Uzero -> "z"
+  | Upattern seed -> "p" ^ string_of_int seed
+
+let layout_signature (l : layout) =
+  Printf.sprintf "gb%d,gg%d,gr%b,sb%d,ss%d,fa%d,sg%d,sr%b,hb%d,hg%d,hr%b"
+    l.globals_base l.global_gap l.globals_reversed l.stack_base l.stack_size
+    l.frame_align l.slot_gap l.slots_reversed l.heap_base l.heap_gap
+    l.heap_reuse
+
+let memory_runtime_signature (r : runtime) =
+  Printf.sprintf "L{%s},uh%s,sk%d,pc%s,mb%b"
+    (layout_signature r.layout)
+    (uninit_signature r.uninit_heap)
+    r.stack_seed
+    (match r.ptrcmp with Pabs -> "abs" | Pobjseq -> "seq")
+    r.memcpy_backward
+
+let runtime_signature (r : runtime) =
+  Printf.sprintf "%s,ur%s" (memory_runtime_signature r)
+    (uninit_signature r.uninit_reg)
+
 (* Deterministic junk value for an uninitialized location. *)
 let uninit_value policy ~addr =
   match policy with

@@ -1,0 +1,198 @@
+(* Canonical signatures of compiled binaries, for oracle dedup.
+
+   Two binaries with equal signatures behave identically on every input
+   when executed by the plain VM (no hooks), so the oracle can execute
+   one representative per signature class and share the observation.
+
+   The signature covers:
+   - the full code, slots and globals of every function (with float
+     immediates serialized by their IEEE bits, since ["%g"] printing can
+     collapse distinct values, and cast widths spelled out);
+   - only the *behaviorally relevant* part of the runtime policy:
+     [uninit_reg] matters only if some register may be read before it is
+     written (decided by a must-init dataflow analysis), and the memory
+     policies (layout, [uninit_heap], [stack_seed], [ptrcmp],
+     [memcpy_backward]) matter only if the unit can touch the address
+     space at all.  Note that a function with frame slots depends on the
+     layout even if it never loads or stores: frame placement alone can
+     raise [Stack_overflow] ([Mem.push_frame]).
+
+   [impl_name], [code_lines] and [label_cache] never affect execution
+   and are excluded. *)
+
+open Cdcompiler
+
+(* --- may some register be read before it is written? ---
+
+   Forward must-init dataflow: a register is initialized at [pc] if it
+   is written on *every* path from entry to [pc] (parameters start
+   initialized).  Meet is set intersection; states only shrink, and the
+   flag below is re-evaluated on every re-visit, so the final visit of
+   each pc checks uses against its fixpoint state. *)
+
+let may_read_uninit_func (f : Ir.ifunc) : bool =
+  let n = Array.length f.Ir.code in
+  if n = 0 then false
+  else begin
+    let nregs = max f.Ir.nregs (max f.Ir.nparams 1) in
+    let label_pc = Hashtbl.create 16 in
+    Array.iteri
+      (fun i ins ->
+        match ins with Ir.Ilabel l -> Hashtbl.replace label_pc l i | _ -> ())
+      f.Ir.code;
+    let inits : Bytes.t option array = Array.make n None in
+    let queue = Queue.create () in
+    let suspicious = ref false in
+    let join pc (s : Bytes.t) =
+      match inits.(pc) with
+      | None ->
+          inits.(pc) <- Some (Bytes.copy s);
+          Queue.add pc queue
+      | Some old ->
+          let changed = ref false in
+          for r = 0 to nregs - 1 do
+            if Bytes.get old r <> '\000' && Bytes.get s r = '\000' then begin
+              Bytes.set old r '\000';
+              changed := true
+            end
+          done;
+          if !changed then Queue.add pc queue
+    in
+    let jump_target l =
+      match Hashtbl.find_opt label_pc l with
+      | Some pc -> Some pc
+      | None ->
+          (* malformed code: give up soundly *)
+          suspicious := true;
+          None
+    in
+    let entry = Bytes.make nregs '\000' in
+    for r = 0 to min f.Ir.nparams nregs - 1 do
+      Bytes.set entry r '\001'
+    done;
+    join 0 entry;
+    while (not !suspicious) && not (Queue.is_empty queue) do
+      let pc = Queue.pop queue in
+      match inits.(pc) with
+      | None -> ()
+      | Some s ->
+          let ins = f.Ir.code.(pc) in
+          List.iter
+            (fun r ->
+              if r >= nregs || Bytes.get s r = '\000' then suspicious := true)
+            (Ir.uses ins);
+          let out = Bytes.copy s in
+          (match Ir.def ins with
+          | Some r when r < nregs -> Bytes.set out r '\001'
+          | _ -> ());
+          (match ins with
+          | Ir.Ijmp l -> Option.iter (fun pc' -> join pc' out) (jump_target l)
+          | Ir.Ibr (_, lt, lf) ->
+              Option.iter (fun pc' -> join pc' out) (jump_target lt);
+              Option.iter (fun pc' -> join pc' out) (jump_target lf)
+          | Ir.Iret _ | Ir.Itrap _ -> ()
+          | _ -> if pc + 1 < n then join (pc + 1) out)
+    done;
+    !suspicious
+  end
+
+let may_read_uninit_reg (u : Ir.unit_) : bool =
+  List.exists (fun (_, f) -> may_read_uninit_func f) u.Ir.funcs
+
+(* --- can the unit touch the address space? --- *)
+
+let builtin_touches_memory = function
+  | "malloc" | "free" | "memset" | "memcpy" | "strlen" -> true
+  | _ -> false
+
+let instr_touches_memory = function
+  | Ir.Ilea _ | Ir.Iload _ | Ir.Istore _ | Ir.Ipadd _ | Ir.Ipdiff _
+  | Ir.Ipcmp _ ->
+      true
+  | Ir.Icast ((Ir.P2I _ | Ir.I2P), _, _) -> true
+  | Ir.Ibuiltin (_, name, _) -> builtin_touches_memory name
+  | Ir.Iprint items ->
+      List.exists
+        (function Ir.Fptr _ | Ir.Fstr _ -> true | _ -> false)
+        items
+  | _ -> false
+
+let touches_memory (u : Ir.unit_) : bool =
+  u.Ir.globals <> []
+  || List.exists
+       (fun (_, f) ->
+         Array.length f.Ir.slots > 0
+         || Array.exists instr_touches_memory f.Ir.code)
+       u.Ir.funcs
+
+(* --- serialization --- *)
+
+(* [Ir.string_of_instr] is almost injective; patch up the cases where it
+   is not: float immediates print with "%g" (lossy), cast widths are
+   omitted for i2f/f2i/p2i, and neg omits its csem marker. *)
+
+let float_bits_of_operand = function
+  | Ir.ImmF f -> [ Int64.bits_of_float f ]
+  | Ir.Reg _ | Ir.ImmI _ | Ir.Nullptr -> []
+
+let float_bits_of_instr ins =
+  let op = float_bits_of_operand in
+  match ins with
+  | Ir.Iconst (_, o) | Ir.Imov (_, o) | Ir.Ineg (_, _, _, o)
+  | Ir.Inot (_, _, o) | Ir.Ifneg (_, o) | Ir.Icast (_, _, o)
+  | Ir.Iload (_, o) | Ir.Ibr (o, _, _) | Ir.Iret (Some o) ->
+      op o
+  | Ir.Ibin (_, _, _, _, a, b) | Ir.Ifbin (_, _, a, b)
+  | Ir.Icmp (_, _, _, a, b) | Ir.Ifcmp (_, _, a, b) | Ir.Ipcmp (_, _, a, b)
+  | Ir.Ipadd (_, a, b) | Ir.Ipdiff (_, a, b) | Ir.Istore (a, b) ->
+      op a @ op b
+  | Ir.Ifma (_, a, b, c) -> op a @ op b @ op c
+  | Ir.Icall (_, _, args) | Ir.Ibuiltin (_, _, args) ->
+      List.concat_map op args
+  | Ir.Iprint items -> List.concat_map op (Ir.fmt_operands items)
+  | Ir.Ilea _ | Ir.Ijmp _ | Ir.Iret None | Ir.Ilabel _ | Ir.Itrap _ -> []
+
+let add_instr buf ins =
+  Buffer.add_string buf (Ir.string_of_instr ins);
+  (match ins with
+  | Ir.Icast ((Ir.I2F w | Ir.F2I w | Ir.P2I w), _, _) ->
+      Buffer.add_string buf (" #w" ^ Ir.string_of_width w)
+  | Ir.Ineg (_, sem, _, _) ->
+      Buffer.add_string buf
+        (match sem with Ir.Csigned -> " #s" | Ir.Cwrap -> " #w")
+  | _ -> ());
+  List.iter
+    (fun bits ->
+      Buffer.add_string buf (" #f" ^ Int64.to_string bits))
+    (float_bits_of_instr ins);
+  Buffer.add_char buf '\n'
+
+let signature (u : Ir.unit_) : string =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun (name, f) ->
+      Buffer.add_string buf
+        (Printf.sprintf "func %s p%d r%d\n" name f.Ir.nparams f.Ir.nregs);
+      Array.iter
+        (fun (s : Ir.frame_slot) ->
+          Buffer.add_string buf (Printf.sprintf "slot %d\n" s.Ir.slot_size))
+        f.Ir.slots;
+      Array.iter (add_instr buf) f.Ir.code)
+    u.Ir.funcs;
+  List.iter
+    (fun (g : Ir.iglobal) ->
+      Buffer.add_string buf
+        (Printf.sprintf "global %s %d [%s]\n" g.Ir.g_name g.Ir.g_size
+           (String.concat "," (List.map Int64.to_string g.Ir.g_init))))
+    u.Ir.globals;
+  if touches_memory u then begin
+    Buffer.add_string buf "mem ";
+    Buffer.add_string buf (Policy.memory_runtime_signature u.Ir.runtime);
+    Buffer.add_char buf '\n'
+  end;
+  if may_read_uninit_reg u then begin
+    Buffer.add_string buf "ureg ";
+    Buffer.add_string buf (Policy.uninit_signature u.Ir.runtime.Policy.uninit_reg);
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.contents buf

@@ -8,7 +8,23 @@
    Timeouts follow RQ6: if only some binaries hang, the fuel budget is
    escalated (up to a cap) until the set of hanging binaries stabilizes;
    a residual mixed hang is reported as a divergence, an all-hang as
-   agreement. *)
+   agreement.
+
+   Execution strategy (a verdict-preserving liberty with the paper):
+   - binaries with equal {!Binsig.signature} form equivalence classes;
+     one representative per class is executed and the observation is
+     fanned out to every member;
+   - the per-class runs of one fuel round go through the shared
+     {!Cdutil.Pool} when [jobs > 1];
+   - fuel escalation is incremental: only classes whose last observation
+     hung are re-run at the higher budget.  This is observationally
+     identical to re-running everything because the VM is deterministic
+     at a fixed fuel and a terminating run consumes the same fuel under
+     any sufficient budget — finished observations (including their
+     [fuel_used]) can simply be reused.
+
+   [observe_naive]/[check_naive] keep the sequential, dedup-free
+   reference semantics for cross-validation. *)
 
 open Cdcompiler
 
@@ -23,29 +39,119 @@ type verdict =
   | Diverge of (string * observation) list
       (* every implementation's observation, in implementation order *)
 
+type stats = {
+  checks : int;            (* oracle checks (inputs judged) *)
+  vm_execs : int;          (* VM executions actually performed *)
+  dedup_saved : int;       (* executions avoided by binary dedup *)
+  escalation_saved : int;  (* executions avoided by incremental escalation *)
+}
+
 type t = {
   binaries : (string * Ir.unit_) list;
   normalize : Normalize.filter;
   base_fuel : int;
   max_fuel : int;
   compare_status : bool;    (* ablation knob: include exit/trap status *)
+  jobs : int;
+  nbinaries : int;
+  class_of : int array;        (* binary index -> class index *)
+  class_repr : Ir.unit_ array; (* class index -> representative binary *)
+  class_size : int array;      (* class index -> number of members *)
+  c_checks : int Atomic.t;
+  c_execs : int Atomic.t;
+  c_dedup_saved : int Atomic.t;
+  c_escal_saved : int Atomic.t;
 }
+
+(* Partition the binaries into behavioral equivalence classes by their
+   canonical signature (exact string equality: no hash-collision risk). *)
+let build_classes ~dedup (binaries : (string * Ir.unit_) list) =
+  let n = List.length binaries in
+  let class_of = Array.make n 0 in
+  if not dedup then begin
+    let repr = Array.of_list (List.map snd binaries) in
+    Array.iteri (fun i _ -> class_of.(i) <- i) repr;
+    (class_of, repr, Array.make n 1)
+  end
+  else begin
+    let table : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    let reprs = ref [] and nclasses = ref 0 in
+    List.iteri
+      (fun i (_, u) ->
+        let key = Binsig.signature u in
+        match Hashtbl.find_opt table key with
+        | Some ci -> class_of.(i) <- ci
+        | None ->
+            let ci = !nclasses in
+            incr nclasses;
+            Hashtbl.add table key ci;
+            reprs := u :: !reprs;
+            class_of.(i) <- ci)
+      binaries;
+    let repr = Array.of_list (List.rev !reprs) in
+    let size = Array.make (max 1 !nclasses) 0 in
+    Array.iter (fun ci -> size.(ci) <- size.(ci) + 1) class_of;
+    (class_of, repr, size)
+  end
+
+let mk ~normalize ~fuel ~max_fuel ~compare_status ~jobs ~dedup binaries =
+  (* filling the label caches now keeps the binaries read-only during
+     (possibly parallel) execution *)
+  List.iter (fun (_, u) -> Cdvm.Exec.warm_label_caches u) binaries;
+  let class_of, class_repr, class_size = build_classes ~dedup binaries in
+  {
+    binaries;
+    normalize;
+    base_fuel = fuel;
+    max_fuel;
+    compare_status;
+    jobs;
+    nbinaries = List.length binaries;
+    class_of;
+    class_repr;
+    class_size;
+    c_checks = Atomic.make 0;
+    c_execs = Atomic.make 0;
+    c_dedup_saved = Atomic.make 0;
+    c_escal_saved = Atomic.make 0;
+  }
 
 let create ?(profiles = Profiles.all) ?(normalize = Normalize.identity)
     ?(fuel = 200_000) ?(max_fuel = 3_200_000) ?(compare_status = true)
+    ?(jobs = Cdutil.Pool.default_jobs ()) ?(dedup = true)
     (tp : Minic.Tast.tprogram) : t =
+  let compile p = (p.Policy.pname, Pipeline.compile p tp) in
   let binaries =
-    List.map (fun p -> (p.Policy.pname, Pipeline.compile p tp)) profiles
+    if jobs > 1 then Cdutil.Pool.map compile profiles
+    else List.map compile profiles
   in
-  { binaries; normalize; base_fuel = fuel; max_fuel; compare_status }
+  mk ~normalize ~fuel ~max_fuel ~compare_status ~jobs ~dedup binaries
 
 let of_binaries ?(normalize = Normalize.identity) ?(fuel = 200_000)
     ?(max_fuel = 3_200_000) ?(compare_status = true)
+    ?(jobs = Cdutil.Pool.default_jobs ()) ?(dedup = true)
     (binaries : (string * Ir.unit_) list) : t =
-  { binaries; normalize; base_fuel = fuel; max_fuel; compare_status }
+  mk ~normalize ~fuel ~max_fuel ~compare_status ~jobs ~dedup binaries
 
 let names t = List.map fst t.binaries
 let binaries t = t.binaries
+let jobs t = t.jobs
+let class_count t = Array.length t.class_repr
+let classes t = Array.copy t.class_of
+
+let stats t =
+  {
+    checks = Atomic.get t.c_checks;
+    vm_execs = Atomic.get t.c_execs;
+    dedup_saved = Atomic.get t.c_dedup_saved;
+    escalation_saved = Atomic.get t.c_escal_saved;
+  }
+
+let reset_stats t =
+  Atomic.set t.c_checks 0;
+  Atomic.set t.c_execs 0;
+  Atomic.set t.c_dedup_saved 0;
+  Atomic.set t.c_escal_saved 0
 
 let run_one t ~fuel ~input (u : Ir.unit_) : observation =
   let r =
@@ -59,14 +165,15 @@ let run_one t ~fuel ~input (u : Ir.unit_) : observation =
     fuel_used = r.Cdvm.Exec.fuel_used;
   }
 
-(* checksum of what CompDiff compares for one observation *)
+(* checksum of what CompDiff compares for one observation; hashed
+   incrementally so the hot path never concatenates *)
 let checksum t (o : observation) : int32 =
   let status_part = if t.compare_status then Cdvm.Trap.signature o.status else "" in
-  Cdutil.Murmur3.hash32 (o.output ^ "\x00" ^ status_part)
+  Cdutil.Murmur3.hash32_parts [ o.output; "\x00"; status_part ]
 
-(* Run every binary on [input], escalating fuel while the hang set is
-   mixed (some binaries hang, some do not). *)
-let observe t ~(input : string) : (string * observation) list =
+(* Sequential, dedup-free reference: run every binary on [input],
+   escalating fuel while the hang set is mixed. *)
+let observe_naive t ~(input : string) : (string * observation) list =
   let rec attempt fuel =
     let obs = List.map (fun (n, u) -> (n, run_one t ~fuel ~input u)) t.binaries in
     let hangs, finished =
@@ -78,6 +185,55 @@ let observe t ~(input : string) : (string * observation) list =
   in
   attempt t.base_fuel
 
+(* Deduped, pooled, incrementally escalating execution.  Produces the
+   same observation list as [observe_naive] (see the header comment). *)
+let observe t ~(input : string) : (string * observation) list =
+  Atomic.incr t.c_checks;
+  let nclasses = Array.length t.class_repr in
+  let class_obs : observation option array = Array.make nclasses None in
+  let run_round fuel (pending : int list) =
+    let run ci =
+      Atomic.incr t.c_execs;
+      (ci, run_one t ~fuel ~input t.class_repr.(ci))
+    in
+    let npending = List.length pending in
+    let obs =
+      if t.jobs > 1 && npending > 1 then Cdutil.Pool.map run pending
+      else List.map run pending
+    in
+    List.iter (fun (ci, o) -> class_obs.(ci) <- Some o) obs;
+    (* accounting, relative to the naive oracle's [nbinaries] runs per
+       round: dedup covers the members beyond each representative,
+       incremental escalation covers the classes not re-run at all *)
+    let covered = List.fold_left (fun a ci -> a + t.class_size.(ci)) 0 pending in
+    ignore (Atomic.fetch_and_add t.c_dedup_saved (covered - npending));
+    ignore (Atomic.fetch_and_add t.c_escal_saved (t.nbinaries - covered))
+  in
+  let rec escalate fuel pending =
+    run_round fuel pending;
+    let hung = ref [] and hung_members = ref 0 in
+    for ci = nclasses - 1 downto 0 do
+      match class_obs.(ci) with
+      | Some o when o.status = Cdvm.Trap.Hang ->
+          hung := ci :: !hung;
+          hung_members := !hung_members + t.class_size.(ci)
+      | _ -> ()
+    done;
+    (* [hung = []]: everything terminated. [hung_members = nbinaries]:
+       an all-hang, which (as in the naive loop) is only possible in the
+       first round and counts as agreement. *)
+    if !hung = [] || !hung_members = t.nbinaries then ()
+    else if fuel >= t.max_fuel then ()
+    else escalate (fuel * 4) !hung
+  in
+  escalate t.base_fuel (List.init nclasses Fun.id);
+  List.mapi
+    (fun i (name, _) ->
+      match class_obs.(t.class_of.(i)) with
+      | Some o -> (name, o)
+      | None -> assert false)
+    t.binaries
+
 let verdict_of_observations t (obs : (string * observation) list) : verdict =
   match obs with
   | [] -> invalid_arg "Oracle: no binaries"
@@ -88,6 +244,9 @@ let verdict_of_observations t (obs : (string * observation) list) : verdict =
 
 let check t ~(input : string) : verdict =
   verdict_of_observations t (observe t ~input)
+
+let check_naive t ~(input : string) : verdict =
+  verdict_of_observations t (observe_naive t ~input)
 
 let is_divergence = function Diverge _ -> true | Agree _ -> false
 

@@ -10,7 +10,16 @@
     Timeouts follow the paper's RQ6: when only part of the binaries hang,
     the fuel budget is escalated (up to [max_fuel]) until the hang set
     stabilizes; an all-hang is agreement, a residual mixed hang a
-    divergence. *)
+    divergence.
+
+    Execution is optimized without changing verdicts: binaries with
+    equal {!Binsig.signature} are grouped into equivalence classes and
+    executed once per class, class runs go through the shared
+    {!Cdutil.Pool} when [jobs > 1], and fuel escalation re-runs only the
+    classes that hung, reusing finished observations (and their
+    [fuel_used]).  {!observe_naive}/{!check_naive} provide the
+    sequential dedup-free reference for cross-validation; both paths
+    produce structurally identical results. *)
 
 type observation = {
   output : string;          (** normalized stdout *)
@@ -24,6 +33,17 @@ type verdict =
   | Diverge of (string * observation) list
       (** per-implementation observations, in implementation order *)
 
+type stats = {
+  checks : int;            (** oracle checks (inputs judged) *)
+  vm_execs : int;          (** VM executions actually performed *)
+  dedup_saved : int;       (** executions avoided by binary dedup *)
+  escalation_saved : int;  (** executions avoided by incremental escalation *)
+}
+(** Cumulative execution counters of one oracle ({!observe}/{!check}
+    only; the naive path is never counted).
+    [vm_execs + dedup_saved + escalation_saved] is what the naive oracle
+    would have executed for the same checks. *)
+
 type t
 
 val create :
@@ -32,6 +52,8 @@ val create :
   ?fuel:int ->
   ?max_fuel:int ->
   ?compare_status:bool ->
+  ?jobs:int ->
+  ?dedup:bool ->
   Minic.Tast.tprogram ->
   t
 (** [create tp] compiles [tp] with every profile (default: the paper's ten
@@ -39,13 +61,17 @@ val create :
     (default: identity). [fuel] is the base execution budget (default
     200k instructions), escalated ×4 up to [max_fuel] under partial
     timeout. [compare_status:false] restricts the oracle to stdout only
-    (the ablation of DESIGN.md). *)
+    (the ablation of DESIGN.md). [jobs] (default {!Cdutil.Pool.default_jobs})
+    enables pooled compilation and execution when [> 1]; [dedup:false]
+    disables equivalence-class grouping. *)
 
 val of_binaries :
   ?normalize:Normalize.filter ->
   ?fuel:int ->
   ?max_fuel:int ->
   ?compare_status:bool ->
+  ?jobs:int ->
+  ?dedup:bool ->
   (string * Cdcompiler.Ir.unit_) list ->
   t
 (** Like {!create} for already-compiled binaries. *)
@@ -56,15 +82,35 @@ val names : t -> string list
 val binaries : t -> (string * Cdcompiler.Ir.unit_) list
 (** The compiled binaries, for re-execution (e.g. trace localization). *)
 
+val jobs : t -> int
+
+val class_count : t -> int
+(** Number of behavioral equivalence classes among the binaries
+    (equals the binary count when [~dedup:false]). *)
+
+val classes : t -> int array
+(** Class index per binary, in implementation order. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
 val checksum : t -> observation -> int32
 (** The MurmurHash3 checksum CompDiff compares (paper §3.2, "Output
     examination"). *)
 
 val observe : t -> input:string -> (string * observation) list
-(** Run every binary on [input] with timeout escalation. *)
+(** Run every binary on [input] with timeout escalation (deduped,
+    pooled, incremental — observationally identical to
+    {!observe_naive}). *)
+
+val observe_naive : t -> input:string -> (string * observation) list
+(** The sequential reference: every binary, full re-runs on escalation. *)
 
 val check : t -> input:string -> verdict
 (** [observe] followed by checksum comparison. *)
+
+val check_naive : t -> input:string -> verdict
+(** [observe_naive] followed by checksum comparison. *)
 
 val is_divergence : verdict -> bool
 

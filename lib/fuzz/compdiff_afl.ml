@@ -23,6 +23,7 @@ type config = {
       (* the paper's Section 5 proposal (NEZHA-style): treat an input
          exhibiting a previously unseen divergence signature as
          interesting, feeding it back into the mutation queue *)
+  jobs : int;                       (* oracle parallelism; 0 = Pool.default_jobs *)
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     normalize = Compdiff.Normalize.identity;
     diff_every = 1;
     divergence_feedback = false;
+    jobs = 0;
   }
 
 type campaign = {
@@ -47,9 +49,12 @@ type campaign = {
 
 let run ?(config = default_config) (tp : Minic.Tast.tprogram) : campaign =
   let fuzz_unit = Pipeline.compile Profiles.fuzz_profile tp in
+  let jobs =
+    if config.jobs > 0 then config.jobs else Cdutil.Pool.default_jobs ()
+  in
   let oracle =
     Compdiff.Oracle.create ~profiles:config.profiles ~normalize:config.normalize
-      ~fuel:config.fuel tp
+      ~fuel:config.fuel ~jobs tp
   in
   let triage = Compdiff.Triage.create () in
   let counter = ref 0 in

@@ -26,6 +26,9 @@ type config = {
       (** the paper's Section 5 proposal (NEZHA-style): an input with a
           previously unseen divergence signature is fed back into the
           mutation queue even without new coverage *)
+  jobs : int;
+      (** worker parallelism of the differential oracle;
+          [0] (the default) means {!Cdutil.Pool.default_jobs} *)
 }
 
 val default_config : config

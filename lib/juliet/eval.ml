@@ -33,9 +33,25 @@ let eval_sanitizer ?fuel (kind : Sanitizers.San.kind) ~(bad : Minic.Tast.tprogra
   ( Sanitizers.San.detects ?fuel kind bad ~inputs,
     Sanitizers.San.detects ?fuel kind good ~inputs )
 
-let eval_compdiff ?(fuel = 100_000) ~(bad : Minic.Tast.tprogram)
-    ~(good : Minic.Tast.tprogram) ~(inputs : string list) () :
-    (bool * bool) * int array =
+(* Cross-validation (acceptance gate of the parallel oracle): on every
+   input, the deduped/pooled verdict must be structurally identical to
+   the sequential naive one. *)
+let validate_oracle (oracle : Compdiff.Oracle.t) ~(inputs : string list) : unit =
+  List.iter
+    (fun input ->
+      let fast = Compdiff.Oracle.check oracle ~input in
+      let naive = Compdiff.Oracle.check_naive oracle ~input in
+      if fast <> naive then
+        failwith
+          (Printf.sprintf
+             "Oracle cross-validation failed on input %S: deduped/parallel \
+              verdict differs from the naive oracle"
+             input))
+    inputs
+
+let eval_compdiff ?(fuel = 100_000) ?(validate = false)
+    ~(bad : Minic.Tast.tprogram) ~(good : Minic.Tast.tprogram)
+    ~(inputs : string list) () : (bool * bool) * int array =
   let oracle_bad = Compdiff.Oracle.create ~fuel bad in
   let detected, partition =
     match Compdiff.Oracle.find_bug oracle_bad ~inputs with
@@ -44,14 +60,18 @@ let eval_compdiff ?(fuel = 100_000) ~(bad : Minic.Tast.tprogram)
   in
   let oracle_good = Compdiff.Oracle.create ~fuel good in
   let fp = Compdiff.Oracle.detects oracle_good ~inputs in
+  if validate then begin
+    validate_oracle oracle_bad ~inputs;
+    validate_oracle oracle_good ~inputs
+  end;
   ((detected, fp), partition)
 
-let evaluate ?(fuel = 100_000) (t : Testcase.t) : test_eval =
+let evaluate ?(fuel = 100_000) ?validate (t : Testcase.t) : test_eval =
   let category = (Cwe.info t.Testcase.cwe).Cwe.category in
   let bad = Testcase.frontend_bad t in
   let good = Testcase.frontend_good t in
   let inputs = t.Testcase.inputs in
-  let compdiff, partition = eval_compdiff ~fuel ~bad ~good ~inputs () in
+  let compdiff, partition = eval_compdiff ~fuel ?validate ~bad ~good ~inputs () in
   {
     test = t;
     category;
@@ -66,8 +86,12 @@ let evaluate ?(fuel = 100_000) (t : Testcase.t) : test_eval =
     partition;
   }
 
-let evaluate_suite ?fuel (tests : Testcase.t list) : test_eval list =
-  List.map (evaluate ?fuel) tests
+(* Evaluating one test touches no shared mutable state, so the suite can
+   be spread over the pool; results keep suite order. *)
+let evaluate_suite ?fuel ?validate ?(jobs = Cdutil.Pool.default_jobs ())
+    (tests : Testcase.t list) : test_eval list =
+  let eval t = evaluate ?fuel ?validate t in
+  if jobs > 1 then Cdutil.Pool.map eval tests else List.map eval tests
 
 (* --- Table 3 aggregation --- *)
 

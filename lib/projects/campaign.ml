@@ -59,8 +59,14 @@ let run_project ?(max_execs = 6_000) ?(rng_seed = 7) (p : Project.t) :
     unattributed = !unattributed;
   }
 
-let run_all ?max_execs ?rng_seed () : project_result list =
-  List.map (fun p -> run_project ?max_execs ?rng_seed p) Registry.all
+(* Campaigns are deterministic (seeded RNG, deterministic VM), so
+   running the projects through the pool yields the same results in the
+   same order as the sequential map. *)
+let run_all ?max_execs ?rng_seed ?(jobs = Cdutil.Pool.default_jobs ()) () :
+    project_result list =
+  let run p = run_project ?max_execs ?rng_seed p in
+  if jobs > 1 then Cdutil.Pool.map run Registry.all
+  else List.map run Registry.all
 
 (* --- Table 5 aggregation --- *)
 

@@ -53,3 +53,56 @@ let hash32 ?(seed = 0l) s =
   fmix32 h1
 
 let hash ?seed s = Int32.to_int (hash32 ?seed s) land 0x3FFFFFFF
+
+(* Streaming interface.  Feeding parts [p1; p2; ...] must produce the
+   exact bits of [hash32 (p1 ^ p2 ^ ...)], so pending bytes that do not
+   yet fill a 4-byte block are buffered (little-endian, in [tail]) and
+   completed by the next [feed]. *)
+module Stream = struct
+  type t = {
+    mutable h1 : int32;
+    mutable tail : int;   (* 0-3 pending bytes, little-endian packed *)
+    mutable ntail : int;  (* number of pending bytes *)
+    mutable total : int;  (* total bytes fed so far *)
+  }
+
+  let init ?(seed = 0l) () = { h1 = seed; tail = 0; ntail = 0; total = 0 }
+
+  let feed st s =
+    let len = String.length s in
+    st.total <- st.total + len;
+    let i = ref 0 in
+    if st.ntail > 0 then begin
+      while st.ntail < 4 && !i < len do
+        st.tail <- st.tail lor (Char.code (String.unsafe_get s !i) lsl (8 * st.ntail));
+        st.ntail <- st.ntail + 1;
+        incr i
+      done;
+      if st.ntail = 4 then begin
+        st.h1 <- mix_h1 st.h1 (mix_k1 (Int32.of_int st.tail));
+        st.tail <- 0;
+        st.ntail <- 0
+      end
+    end;
+    while !i + 4 <= len do
+      st.h1 <- mix_h1 st.h1 (mix_k1 (block s !i));
+      i := !i + 4
+    done;
+    while !i < len do
+      st.tail <- st.tail lor (Char.code (String.unsafe_get s !i) lsl (8 * st.ntail));
+      st.ntail <- st.ntail + 1;
+      incr i
+    done
+
+  let finalize st =
+    let h1 =
+      if st.ntail > 0 then Int32.logxor st.h1 (mix_k1 (Int32.of_int st.tail))
+      else st.h1
+    in
+    fmix32 (Int32.logxor h1 (Int32.of_int st.total))
+end
+
+let hash32_parts ?seed parts =
+  let st = Stream.init ?seed () in
+  List.iter (Stream.feed st) parts;
+  Stream.finalize st

@@ -11,3 +11,18 @@ val hash32 : ?seed:int32 -> string -> int32
 val hash : ?seed:int32 -> string -> int
 (** [hash ?seed s] is [hash32] reinterpreted as a non-negative [int],
     convenient as a hashtable key. *)
+
+(** Incremental hashing.  [finalize] after feeding parts [p1; p2; ...]
+    returns exactly [hash32 (p1 ^ p2 ^ ...)] — bit-identical — without
+    materializing the concatenation. *)
+module Stream : sig
+  type t
+
+  val init : ?seed:int32 -> unit -> t
+  val feed : t -> string -> unit
+  val finalize : t -> int32
+end
+
+val hash32_parts : ?seed:int32 -> string list -> int32
+(** [hash32_parts parts] is [hash32 (String.concat "" parts)] computed
+    without allocating the concatenation. *)

@@ -1,0 +1,54 @@
+(** A small work pool built on OCaml 5 domains.
+
+    The pool owns [jobs - 1] worker domains; the domain that submits a
+    batch participates in executing it ("caller helps"), so a pool with
+    [jobs = 1] degenerates to plain sequential execution with no domain
+    spawned, and nested [map] calls issued from inside a task cannot
+    deadlock: the nesting task drains its own batch while workers help
+    opportunistically.
+
+    All functions are safe to call from any domain. *)
+
+type t
+(** A handle to a pool of worker domains. *)
+
+val auto_jobs : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]: one slot is left
+    for the submitting domain itself. *)
+
+val default_jobs : unit -> int
+(** Job count used when none is given explicitly: the value of
+    {!set_default_jobs} if called, else the [COMPDIFF_JOBS] environment
+    variable if set to a positive integer, else {!auto_jobs}. *)
+
+val set_default_jobs : int -> unit
+(** Override {!default_jobs} for the rest of the process (clamped to at
+    least 1).  If the shared global pool already exists with a different
+    size it is drained and rebuilt lazily on next use. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (default
+    {!default_jobs}). *)
+
+val jobs : t -> int
+(** Parallelism of the pool, including the submitting domain. *)
+
+val shutdown : t -> unit
+(** Signal the workers to stop and join them.  Idempotent.  A pool keeps
+    working after [shutdown] — batches then run entirely on the calling
+    domain. *)
+
+val map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] applies [f] to every element, possibly in parallel, and
+    returns the results in input order.  Uses the shared global pool
+    when [?pool] is omitted (created on first use, shut down at exit).
+    If one or more applications raise, every task still runs to
+    completion and the exception of the smallest-index failure is
+    re-raised (with its original backtrace) on the calling domain. *)
+
+val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+(** Array variant of {!map}. *)
+
+val run : ?pool:t -> (unit -> 'a) list -> 'a list
+(** [run thunks] executes the thunks, possibly in parallel; results in
+    input order.  Same failure contract as {!map}. *)

@@ -70,6 +70,12 @@ let label_map _st (f : ifunc) =
     f.label_cache <- Some m;
     m
 
+(* Force the per-function label caches now, so that a binary shared by
+   several domains is never mutated concurrently (the lazy fill in
+   [label_map] is an unsynchronized write). *)
+let warm_label_caches (u : unit_) =
+  List.iter (fun (_, f) -> ignore (label_map () f : (int, int) Hashtbl.t)) u.funcs
+
 (* --- coercions: make every value usable at every type --- *)
 
 let as_int st (v : Value.t) : int64 =

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Oracle benchmark: measures differential-oracle throughput (checks/sec)
+# sequential-naive vs pooled+deduped+incremental, and the Juliet dedup
+# ratios, then writes BENCH_oracle.json into the repo root.
+#
+#   scripts/bench.sh            # oracle bench only (BENCH_oracle.json)
+#   scripts/bench.sh all        # every bench section (tables + figures)
+#
+# The JSON reports execs/sec (oracle checks per second), the dedup and
+# escalation savings, the parallel/sequential speedup, and a
+# verdicts_match cross-validation bit. The bench aborts if the optimized
+# oracle ever disagrees with the naive reference.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build
+
+if [ "${1:-oracle}" = "all" ]; then
+  echo "== full bench suite"
+  dune exec bench/main.exe
+else
+  echo "== oracle bench (writes BENCH_oracle.json)"
+  dune exec bench/main.exe -- oracle
+fi
+
+echo "== BENCH_oracle.json"
+cat BENCH_oracle.json

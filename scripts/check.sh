@@ -39,4 +39,23 @@ for f in examples/*.c; do
   fi
 done
 
+echo "== parallel-vs-sequential oracle smoke test"
+# The pooled+deduped oracle must produce byte-identical diff reports and
+# exit codes to the sequential one on every example.
+for f in examples/*.c; do
+  [ -e "$f" ] || continue
+  set +e
+  out1=$(COMPDIFF_JOBS=1 dune exec bin/compdiff_cli.exe -- diff "$f" 2>&1)
+  got1=$?
+  out4=$(COMPDIFF_JOBS=4 dune exec bin/compdiff_cli.exe -- diff "$f" --jobs 4 2>&1)
+  got4=$?
+  set -e
+  if [ "$got1" -ne "$got4" ] || [ "$out1" != "$out4" ]; then
+    echo "FAIL $f: jobs=1 and jobs=4 disagree (exit $got1 vs $got4)"
+    status=1
+  else
+    echo "ok   $f (jobs=1 == jobs=4, exit $got1)"
+  fi
+done
+
 exit $status

@@ -264,6 +264,120 @@ let test_triage_dedup () =
   check_int "representatives match uniques" (Triage.unique_count t)
     (List.length (Triage.representatives t))
 
+(* --- parallel oracle: dedup, incremental escalation, equivalence --- *)
+
+let hang_src = "int main() { while (1) { } return 0; }"
+
+(* terminates everywhere; -O0 needs ~420k fuel, the optimized pipelines
+   ~220k, so a 300k base budget forces exactly one escalation round in
+   which only the -O0 class is re-run *)
+let escalation_src =
+  "int main() {\n\
+   \  int acc = 0;\n\
+   \  int i = 0;\n\
+   \  while (i < 20000) { acc = acc + i * 3 + 1; i = i + 1; }\n\
+   \  print(\"%d\\n\", acc);\n\
+   \  return 0;\n\
+   }"
+
+let test_oracle_dedup_classes () =
+  let deduped = Oracle.create ~jobs:2 (frontend stable_src) in
+  let naive = Oracle.create ~dedup:false (frontend stable_src) in
+  check_bool "dedup merges some of the 10 binaries" true (Oracle.class_count deduped < 10);
+  check_int "dedup:false keeps 10 classes" 10 (Oracle.class_count naive);
+  check_int "one class index per binary" 10 (Array.length (Oracle.classes deduped));
+  Array.iter
+    (fun c -> check_bool "class index in range" true (c >= 0 && c < Oracle.class_count deduped))
+    (Oracle.classes deduped)
+
+let test_oracle_matches_naive () =
+  (* the optimized path must be observationally identical to the
+     sequential dedup-free reference, including fuel_used *)
+  List.iter
+    (fun src ->
+      let o = Oracle.create ~jobs:2 ~fuel:60_000 ~max_fuel:240_000 (frontend src) in
+      List.iter
+        (fun input ->
+          check_bool
+            (Printf.sprintf "observe = observe_naive on %S" input)
+            true
+            (Oracle.observe o ~input = Oracle.observe_naive o ~input);
+          check_bool
+            (Printf.sprintf "check = check_naive on %S" input)
+            true
+            (Oracle.check o ~input = Oracle.check_naive o ~input))
+        [ ""; "A"; "Z"; "!" ])
+    [ stable_src; unstable_src; hang_src ]
+
+let test_oracle_escalation_keeps_fuel_used () =
+  (* regression: observations finished in round 1 must keep their
+     original fuel_used when other classes escalate *)
+  let o = Oracle.create ~jobs:2 ~fuel:300_000 ~max_fuel:4_800_000 (frontend escalation_src) in
+  let obs = Oracle.observe o ~input:"" in
+  let finished = List.filter (fun (_, ob) -> ob.Oracle.fuel_used <= 300_000) obs in
+  let escalated = List.filter (fun (_, ob) -> ob.Oracle.fuel_used > 300_000) obs in
+  check_bool "some binaries finished within the base budget" true (finished <> []);
+  check_bool "the -O0 class needed escalation" true (escalated <> []);
+  List.iter
+    (fun (name, ob) ->
+      check_bool
+        (name ^ " keeps a sub-budget fuel_used")
+        true
+        (ob.Oracle.status = Cdvm.Trap.Exit 0 && ob.Oracle.fuel_used < 300_000))
+    finished;
+  check_bool "identical to the naive escalation" true (obs = Oracle.observe_naive o ~input:"");
+  let s = Oracle.stats o in
+  check_bool "escalation skipped finished classes" true (s.Oracle.escalation_saved > 0);
+  check_bool "dedup skipped duplicate binaries" true (s.Oracle.dedup_saved > 0);
+  match Oracle.check o ~input:"" with
+  | Oracle.Agree _ -> ()
+  | Oracle.Diverge _ -> Alcotest.fail "escalation must converge to agreement"
+
+let test_oracle_stats_invariant () =
+  let o = Oracle.create ~jobs:2 (frontend unstable_src) in
+  List.iter (fun input -> ignore (Oracle.check o ~input)) [ ""; "A"; "Z" ];
+  let s = Oracle.stats o in
+  check_int "checks counted" 3 s.Oracle.checks;
+  (* every check runs each of the 10 binaries exactly once here (no
+     escalation in this program), so the naive total is 30 *)
+  check_int "vm_execs + saved = naive execs" 30
+    (s.Oracle.vm_execs + s.Oracle.dedup_saved + s.Oracle.escalation_saved);
+  check_bool "dedup saved something" true (s.Oracle.dedup_saved > 0);
+  Oracle.reset_stats o;
+  check_int "reset" 0 (Oracle.stats o).Oracle.checks
+
+(* same token soup the front-end fuzz suite uses *)
+let gen_soup =
+  let open QCheck.Gen in
+  let token =
+    oneofl
+      [
+        "int "; "long "; "double "; "if"; "else"; "while"; "return "; "break";
+        "print"; "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "+"; "-"; "*"; "/";
+        "%"; "="; "=="; "<"; ">"; "&&"; "||"; "&"; "|"; "^"; "<<"; ">>"; "!";
+        "~"; "?"; ":"; "x"; "y"; "foo"; "main"; "0"; "1"; "42"; "2147483647";
+        "0x1F"; "7L"; "1.5"; "\"str\""; "'c'"; "__LINE__"; "static "; "for";
+        "getchar()"; "malloc"; "free"; " "; "\n"; "//c\n"; "/*c*/";
+      ]
+  in
+  let* n = int_range 0 40 in
+  let* parts = list_repeat n token in
+  return (String.concat "" parts)
+
+let prop_parallel_oracle_matches_naive =
+  QCheck.Test.make
+    ~name:"deduped+pooled verdicts = sequential naive on random programs" ~count:80
+    (QCheck.make gen_soup)
+    (fun soup ->
+      let src = "int main() { " ^ soup ^ " ; return 0; }" in
+      match Minic.frontend_of_source src with
+      | Error _ -> true
+      | Ok tp ->
+        let o = Oracle.create ~jobs:2 ~fuel:20_000 ~max_fuel:80_000 tp in
+        List.for_all
+          (fun input -> Oracle.check o ~input = Oracle.check_naive o ~input)
+          [ ""; "A"; "zz" ])
+
 let test_triage_signature_canonical () =
   let s1 = Triage.signature_of_partition [| 0; 0; 1; 1 |] in
   let s2 = Triage.signature_of_partition [| 1; 1; 0; 0 |] in
@@ -308,6 +422,14 @@ let suites =
         tc "listing1" test_localize_listing1;
         tc "shared prefix" test_localize_shared_prefix;
         tc "status-only divergence" test_localize_none_on_status_only;
+      ] );
+    ( "compdiff.parallel_oracle",
+      [
+        tc "dedup classes" test_oracle_dedup_classes;
+        tc "matches naive reference" test_oracle_matches_naive;
+        tc "escalation keeps fuel_used" test_oracle_escalation_keeps_fuel_used;
+        tc "stats invariant" test_oracle_stats_invariant;
+        QCheck_alcotest.to_alcotest prop_parallel_oracle_matches_naive;
       ] );
     ( "compdiff.triage",
       [

@@ -114,6 +114,13 @@ let test_aggregate_rows () =
   let mem_row = List.hd rows in
   check_int "memory row counts only its tests" 3 mem_row.Juliet.Eval.total
 
+let test_parallel_validated_suite () =
+  (* the pooled evaluator cross-validates every oracle verdict against
+     the sequential naive reference; validate_oracle raises on mismatch *)
+  let tests = Juliet.Suite.quick ~per_cwe:1 () in
+  let evals = Juliet.Eval.evaluate_suite ~jobs:2 ~validate:true tests in
+  check_int "one eval per test" (List.length tests) (List.length evals)
+
 let tc name f = Alcotest.test_case name `Quick f
 
 
@@ -136,4 +143,6 @@ let suites =
         tc "partition shape" test_partition_shape;
         tc "aggregation rows" test_aggregate_rows;
       ] );
+    ( "juliet.parallel",
+      [ tc "pooled suite cross-validates against naive" test_parallel_validated_suite ] );
   ]

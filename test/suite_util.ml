@@ -109,6 +109,109 @@ let test_murmur_hash_nonneg () =
     (fun s -> check_bool "non-negative" true (Murmur3.hash s >= 0))
     [ ""; "x"; "hello"; String.make 1000 'z' ]
 
+(* --- Murmur3 streaming: bit-identical to hashing the concatenation --- *)
+
+let test_murmur_stream_cases () =
+  let cases =
+    [
+      [];
+      [ "" ];
+      [ "hello"; ", "; "world" ];
+      [ "a"; ""; "b"; "cd"; "efghij" ];
+      [ "out\x00put"; "\x00"; "exit(0)" ];
+      [ String.make 1023 'q'; "x" ];
+      [ "1"; "2"; "3"; "4"; "5" ];
+    ]
+  in
+  List.iter
+    (fun parts ->
+      Alcotest.(check int32)
+        (Printf.sprintf "parts %s" (String.concat "|" parts))
+        (Murmur3.hash32 (String.concat "" parts))
+        (Murmur3.hash32_parts parts))
+    cases
+
+let murmur_stream_props =
+  let open QCheck in
+  [
+    Test.make ~name:"hash32_parts = hash32 of concat" ~count:500
+      (pair small_int (small_list (string_gen_of_size (Gen.int_range 0 9) Gen.char)))
+      (fun (seed, parts) ->
+        let seed = Int32.of_int seed in
+        Murmur3.hash32_parts ~seed parts
+        = Murmur3.hash32 ~seed (String.concat "" parts));
+  ]
+
+(* --- Pool --- *)
+
+let test_pool_map_order () =
+  let p = Pool.create ~jobs:4 () in
+  let xs = List.init 200 Fun.id in
+  let got = Pool.map ~pool:p (fun i -> (i * i) + 1) xs in
+  Pool.shutdown p;
+  Alcotest.(check (list int)) "results in input order"
+    (List.map (fun i -> (i * i) + 1) xs)
+    got
+
+let test_pool_jobs1_inline () =
+  let p = Pool.create ~jobs:1 () in
+  let got = Pool.map ~pool:p string_of_int [ 1; 2; 3 ] in
+  Pool.shutdown p;
+  Alcotest.(check (list string)) "sequential degenerate" [ "1"; "2"; "3" ] got
+
+let test_pool_exception_propagation () =
+  let p = Pool.create ~jobs:4 () in
+  let ran = Atomic.make 0 in
+  (try
+     ignore
+       (Pool.map ~pool:p
+          (fun i ->
+            Atomic.incr ran;
+            if i = 37 then failwith "boom";
+            i)
+          (List.init 64 Fun.id));
+     Alcotest.fail "expected Failure"
+   with Failure msg -> Alcotest.(check string) "original exn" "boom" msg);
+  (* every task still ran to completion, and the pool stays usable *)
+  check_int "all tasks ran" 64 (Atomic.get ran);
+  let again = Pool.map ~pool:p (fun i -> i + 1) [ 1; 2; 3 ] in
+  Pool.shutdown p;
+  Alcotest.(check (list int)) "pool usable after failure" [ 2; 3; 4 ] again
+
+let test_pool_nested_map () =
+  let p = Pool.create ~jobs:3 () in
+  let got =
+    Pool.map ~pool:p
+      (fun i -> List.fold_left ( + ) 0 (Pool.map ~pool:p (fun j -> (i * 10) + j) [ 1; 2; 3 ]))
+      [ 1; 2; 3; 4 ]
+  in
+  Pool.shutdown p;
+  Alcotest.(check (list int)) "nested maps don't deadlock"
+    (List.map (fun i -> (3 * i * 10) + 6) [ 1; 2; 3; 4 ])
+    got
+
+let test_pool_run_and_shutdown_idempotent () =
+  let p = Pool.create ~jobs:2 () in
+  let got = Pool.run ~pool:p [ (fun () -> "a"); (fun () -> "b") ] in
+  Alcotest.(check (list string)) "run order" [ "a"; "b" ] got;
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* a shut-down pool still executes batches on the caller *)
+  let late = Pool.map ~pool:p (fun i -> -i) [ 4; 5 ] in
+  Alcotest.(check (list int)) "works after shutdown" [ -4; -5 ] late
+
+let pool_props =
+  let open QCheck in
+  [
+    Test.make ~name:"Pool.map agrees with List.map" ~count:50
+      (pair (int_range 1 4) (small_list small_int))
+      (fun (jobs, xs) ->
+        let p = Pool.create ~jobs () in
+        let got = Pool.map ~pool:p (fun x -> (x * 7) - 1) xs in
+        Pool.shutdown p;
+        got = List.map (fun x -> (x * 7) - 1) xs);
+  ]
+
 (* --- Stats --- *)
 
 let test_stats_mean () =
@@ -193,7 +296,18 @@ let suites =
         tc "reference vectors" test_murmur_vectors;
         tc "distinct" test_murmur_distinct;
         tc "hash non-negative" test_murmur_hash_nonneg;
-      ] );
+        tc "streaming matches concat" test_murmur_stream_cases;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest murmur_stream_props );
+    ( "util.pool",
+      [
+        tc "map preserves order" test_pool_map_order;
+        tc "jobs=1 is inline" test_pool_jobs1_inline;
+        tc "exception propagation" test_pool_exception_propagation;
+        tc "nested map" test_pool_nested_map;
+        tc "run + idempotent shutdown" test_pool_run_and_shutdown_idempotent;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest pool_props );
     ( "util.stats",
       [
         tc "mean" test_stats_mean;
