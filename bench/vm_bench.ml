@@ -1,0 +1,164 @@
+(* VM executor benchmark (emits BENCH_vm.json): raw interpretation
+   throughput of the tree-walking reference vs the linked-image executor
+   with a persistent arena, plus the end-to-end effect on oracle
+   throughput.
+
+   "execs/sec" here is plain VM executions per second of a single
+   binary; "checks/sec" is full oracle checks (one input judged against
+   the whole differential set), reusing the oracle's pooled arenas.  The
+   two executors must stay byte-identical, so every timed run is also
+   compared against the reference result. *)
+
+let workload () =
+  [ (Lazy.force Overhead.listing1_tp, List.init 32 (fun i -> String.make 1 (Char.chr (33 + i))));
+    (Lazy.force Overhead.escalator_tp,
+     List.init 8 (fun i -> String.make 1 (Char.chr (40 + i))) @ [ "z"; "~" ]) ]
+
+let fuel = 100_000
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let run () =
+  let profile = Cdcompiler.Profiles.gccx "O0" in
+  let units =
+    List.map
+      (fun (tp, inputs) -> (Cdcompiler.Pipeline.compile profile tp, inputs))
+      (workload ())
+  in
+  let images = List.map (fun (u, inputs) -> (Cdvm.Image.link u, inputs)) units in
+  let nexecs_round =
+    List.fold_left (fun a (_, inputs) -> a + List.length inputs) 0 units
+  in
+  let reps = 400 in
+  let total = reps * nexecs_round in
+  let config input = { Cdvm.Exec.default_config with Cdvm.Exec.input; fuel } in
+  (* reference: tree-walking interpreter, fresh state per run *)
+  let ref_words0 = Gc.minor_words () in
+  let ref_time, ref_results =
+    time (fun () ->
+        let last = ref [] in
+        for _ = 1 to reps do
+          last :=
+            List.concat_map
+              (fun (u, inputs) ->
+                List.map
+                  (fun input -> Cdvm.Exec.run ~config:(config input) u)
+                  inputs)
+              units
+        done;
+        !last)
+  in
+  let ref_words = Gc.minor_words () -. ref_words0 in
+  (* linked: pre-resolved image + one persistent arena per image *)
+  let arenas = List.map (fun (img, inputs) -> (img, Cdvm.Arena.create img, inputs)) images in
+  let lin_words0 = Gc.minor_words () in
+  let lin_time, lin_results =
+    time (fun () ->
+        let last = ref [] in
+        for _ = 1 to reps do
+          last :=
+            List.concat_map
+              (fun (img, arena, inputs) ->
+                List.map
+                  (fun input ->
+                    Cdvm.Exec.run_linked ~config:(config input) ~arena img)
+                  inputs)
+              arenas
+        done;
+        !last)
+  in
+  let lin_words = Gc.minor_words () -. lin_words0 in
+  let execs_match = ref_results = lin_results in
+  let ref_eps = float_of_int total /. ref_time in
+  let lin_eps = float_of_int total /. lin_time in
+  let exec_speedup = lin_eps /. ref_eps in
+  (* end-to-end: oracle checks/sec, naive reference path vs the linked
+     path with pooled arenas (both sequential so only the executor and
+     linking differ) *)
+  let oracles =
+    List.map
+      (fun (tp, inputs) ->
+        (Compdiff.Oracle.create ~fuel ~jobs:1 ~dedup:true tp, inputs))
+      (workload ())
+  in
+  let oreps = 8 in
+  let nchecks =
+    oreps
+    * List.fold_left (fun a (_, inputs) -> a + List.length inputs) 0 oracles
+  in
+  let naive_time, naive_verdicts =
+    time (fun () ->
+        List.concat_map
+          (fun _ ->
+            List.concat_map
+              (fun (o, inputs) ->
+                List.map (fun input -> Compdiff.Oracle.check_naive o ~input) inputs)
+              oracles)
+          (List.init oreps Fun.id))
+  in
+  let linked_time, linked_verdicts =
+    time (fun () ->
+        List.concat_map
+          (fun _ ->
+            List.concat_map
+              (fun (o, inputs) ->
+                List.map (fun input -> Compdiff.Oracle.check o ~input) inputs)
+              oracles)
+          (List.init oreps Fun.id))
+  in
+  let verdicts_match = execs_match && naive_verdicts = linked_verdicts in
+  let naive_cps = float_of_int nchecks /. naive_time in
+  let linked_cps = float_of_int nchecks /. linked_time in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"vm\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"metric\": \"%s\",\n"
+       (Overhead.json_escape
+          "execs/sec = raw VM executions per second of one binary; \
+           checks/sec = oracle checks per second"));
+  Buffer.add_string buf (Printf.sprintf "  \"execs\": %d,\n" total);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"reference\": { \"seconds\": %.4f, \"execs_per_sec\": %.1f, \
+        \"minor_words_per_exec\": %.0f },\n"
+       ref_time ref_eps
+       (ref_words /. float_of_int total));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"linked\": { \"seconds\": %.4f, \"execs_per_sec\": %.1f, \
+        \"minor_words_per_exec\": %.0f },\n"
+       lin_time lin_eps
+       (lin_words /. float_of_int total));
+  Buffer.add_string buf (Printf.sprintf "  \"speedup\": %.2f,\n" exec_speedup);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"oracle\": { \"checks\": %d, \"naive_checks_per_sec\": %.1f, \
+        \"linked_checks_per_sec\": %.1f, \"speedup\": %.2f },\n"
+       nchecks naive_cps linked_cps
+       (linked_cps /. naive_cps));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"verdicts_match\": %b\n" verdicts_match);
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_vm.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf
+    "VM executor bench (%d execs, gccx-O0 binary):\n\
+    \  reference interpreter: %.0f execs/s (%.0f minor words/exec)\n\
+    \  linked image + arena:  %.0f execs/s (%.0f minor words/exec)\n\
+    \  speedup: %.2fx   results byte-identical: %b\n\
+    \  oracle: %.1f -> %.1f checks/s (%.2fx), verdicts match: %b\n\
+     wrote %s\n\n"
+    total ref_eps
+    (ref_words /. float_of_int total)
+    lin_eps
+    (lin_words /. float_of_int total)
+    exec_speedup execs_match naive_cps linked_cps
+    (linked_cps /. naive_cps)
+    verdicts_match path;
+  if not verdicts_match then failwith "vm bench: executor mismatch"

@@ -105,11 +105,21 @@ let compile_cmd =
 (* --- run --- *)
 
 let run_cmd =
-  let action file pname input fuel =
+  let reference =
+    Arg.(
+      value & flag
+      & info [ "reference" ]
+          ~doc:
+            "Use the tree-walking reference interpreter instead of the linked \
+             image executor (both are byte-identical; see vmcheck).")
+  in
+  let action file pname input fuel reference =
     let tp = frontend_of_file file in
     let u = Cdcompiler.Pipeline.compile (profile_of_name pname) tp in
+    let config = { Cdvm.Exec.default_config with Cdvm.Exec.input; fuel } in
     let r =
-      Cdvm.Exec.run ~config:{ Cdvm.Exec.default_config with Cdvm.Exec.input; fuel } u
+      if reference then Cdvm.Exec.run ~config u
+      else Cdvm.Exec.run_linked ~config (Cdvm.Image.link u)
     in
     print_string r.Cdvm.Exec.stdout;
     Printf.printf "[%s: %s, fuel used %d]\n" pname
@@ -118,7 +128,65 @@ let run_cmd =
     match r.Cdvm.Exec.status with Cdvm.Trap.Exit c -> c | _ -> 1
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a MiniC file.")
-    Term.(const action $ file_arg $ profile_arg $ input_arg $ fuel_arg)
+    Term.(const action $ file_arg $ profile_arg $ input_arg $ fuel_arg $ reference)
+
+(* --- vmcheck --- *)
+
+(* Differentially test the two executors against each other: every
+   profile, several inputs, each input run twice through the same arena
+   (so arena reuse is exercised too). *)
+let vmcheck_cmd =
+  let inputs_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "input" ] ~docv:"BYTES"
+          ~doc:"Input to check (repeatable; default: a small builtin set).")
+  in
+  let action file inputs fuel =
+    let tp = frontend_of_file file in
+    let inputs = if inputs = [] then [ ""; "A"; "zz9"; "\x00\xffB" ] else inputs in
+    let mismatches = ref 0 in
+    List.iter
+      (fun (p : Cdcompiler.Policy.profile) ->
+        let u = Cdcompiler.Pipeline.compile p tp in
+        let img = Cdvm.Image.link u in
+        let arena = Cdvm.Arena.create img in
+        List.iter
+          (fun input ->
+            let config = { Cdvm.Exec.default_config with Cdvm.Exec.input; fuel } in
+            let want = Cdvm.Exec.run ~config u in
+            let check label (got : Cdvm.Exec.result) =
+              if got <> want then begin
+                incr mismatches;
+                Printf.printf
+                  "MISMATCH %s %s input %S:\n  reference: %s, fuel %d, %S\n  %s: %s, fuel %d, %S\n"
+                  p.Cdcompiler.Policy.pname label input
+                  (Cdvm.Trap.status_to_string want.Cdvm.Exec.status)
+                  want.Cdvm.Exec.fuel_used want.Cdvm.Exec.stdout label
+                  (Cdvm.Trap.status_to_string got.Cdvm.Exec.status)
+                  got.Cdvm.Exec.fuel_used got.Cdvm.Exec.stdout
+              end
+            in
+            check "linked" (Cdvm.Exec.run_linked ~config ~arena img);
+            check "linked-reused" (Cdvm.Exec.run_linked ~config ~arena img))
+          inputs)
+      Cdcompiler.Profiles.all;
+    if !mismatches = 0 then begin
+      Printf.printf "vmcheck %s: %d profiles x %d inputs x 2 runs, all byte-identical\n"
+        file
+        (List.length Cdcompiler.Profiles.all)
+        (List.length inputs);
+      0
+    end
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "vmcheck"
+       ~doc:
+         "Check that the linked-image executor is byte-identical to the \
+          reference interpreter on a MiniC file (all profiles, arena reuse \
+          included).")
+    Term.(const action $ file_arg $ inputs_arg $ fuel_arg)
 
 (* --- diff --- *)
 
@@ -424,6 +492,6 @@ let main_cmd =
   let doc = "compiler-driven differential testing for MiniC programs" in
   Cmd.group
     (Cmd.info "compdiff" ~version:"1.0.0" ~doc)
-    [ compile_cmd; run_cmd; diff_cmd; trace_cmd; localize_cmd; fuzz_cmd; juliet_cmd; static_cmd; projects_cmd; profiles_cmd ]
+    [ compile_cmd; run_cmd; vmcheck_cmd; diff_cmd; trace_cmd; localize_cmd; fuzz_cmd; juliet_cmd; static_cmd; projects_cmd; profiles_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

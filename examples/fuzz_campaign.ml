@@ -38,11 +38,12 @@ let () =
 
   (* the complementarity story: which of these do sanitizers also see? *)
   print_newline ();
+  let san_build = Sanitizers.San.build (Projects.Project.frontend p) in
   List.iter
     (fun (f : Projects.Campaign.found_bug) ->
       let covered =
         List.filter
-          (fun k -> Projects.Campaign.sanitizer_covers p k f)
+          (fun k -> Projects.Campaign.sanitizer_covers san_build k f)
           Sanitizers.San.all
       in
       Printf.printf "  %-28s sanitizers: %s\n"

@@ -106,9 +106,6 @@ type ifunc = {
       (* source line of the statement each instruction was lowered from,
          parallel to [code]. Optimization passes renumber instructions
          and drop the table (length 0); consumers fall back to the pc. *)
-  mutable label_cache : (int, int) Hashtbl.t option;
-      (* label -> pc map, computed once per compiled function and shared
-         by every execution of the binary *)
 }
 
 (* source line of [pc], when the line table survived *)

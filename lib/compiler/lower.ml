@@ -615,7 +615,6 @@ let lower_func profile globals (f : Tast.tfunc) : ifunc =
     slots = slot_arr;
     code = Array.of_list (List.rev env.rev_code);
     code_lines = Array.of_list (List.rev env.rev_lines);
-    label_cache = None;
   }
 
 let lower_program (profile : Policy.profile) (tp : Tast.tprogram) : Ir.unit_ =

@@ -107,4 +107,4 @@ let run (f : ifunc) : ifunc =
     | Ibr (Nullptr, _, e) -> [ Ijmp e ]
     | _ -> [ ins ]
   in
-  { f with code = Opt_common.rewrite_local ~reset rewrite f.code; label_cache = None }
+  { f with code = Opt_common.rewrite_local ~reset rewrite f.code }

@@ -27,4 +27,4 @@ let run (f : ifunc) : ifunc =
     | _ -> ());
     [ ins ]
   in
-  { f with code = Opt_common.rewrite_local ~reset rewrite f.code; label_cache = None }
+  { f with code = Opt_common.rewrite_local ~reset rewrite f.code }

@@ -107,4 +107,4 @@ let run ~unsafe (f : ifunc) : ifunc =
       [ ins ]
     | _, None -> [ ins ]
   in
-  { f with code = Opt_common.rewrite_local ~reset rewrite f.code; label_cache = None }
+  { f with code = Opt_common.rewrite_local ~reset rewrite f.code }

@@ -46,7 +46,7 @@ let remove_unreachable (f : ifunc) : ifunc * bool =
         | Ilabel _ -> out := ins :: !out (* keep labels: cheap and safe *)
         | _ -> changed := true)
     f.code;
-  ({ f with code = Array.of_list (List.rev !out); label_cache = None }, !changed)
+  ({ f with code = Array.of_list (List.rev !out) }, !changed)
 
 let remove_dead_defs (f : ifunc) : ifunc * bool =
   let use_count = Hashtbl.create 64 in
@@ -61,7 +61,7 @@ let remove_dead_defs (f : ifunc) : ifunc * bool =
     | _ -> true
   in
   let code = Array.of_list (List.filter keep (Array.to_list f.code)) in
-  ({ f with code; label_cache = None }, !changed)
+  ({ f with code }, !changed)
 
 let run (f : ifunc) : ifunc =
   let rec fixpoint f n =

@@ -129,7 +129,6 @@ let inline_into ~limit (unit_funcs : (string * ifunc) list) (caller : ifunc) :
       nregs = !nregs;
       slots = Array.of_list !slots;
       code = Array.of_list (List.rev !out);
-      label_cache = None;
     },
     !changed )
 

@@ -36,7 +36,7 @@ let strength (f : ifunc) : ifunc =
         | other -> other)
       f.code
   in
-  { f with code; label_cache = None }
+  { f with code }
 
 (* single-use analysis over a whole function *)
 let use_counts (f : ifunc) =
@@ -80,7 +80,7 @@ let promote_mul (f : ifunc) : ifunc =
         (match Ir.def ins with Some r -> Hashtbl.remove mul_def r | None -> ());
         out := ins :: !out)
     f.code;
-  { f with nregs = !nregs; code = Array.of_list (List.rev !out); label_cache = None }
+  { f with nregs = !nregs; code = Array.of_list (List.rev !out) }
 
 let fp_contract (f : ifunc) : ifunc =
   let uses = use_counts f in
@@ -107,7 +107,7 @@ let fp_contract (f : ifunc) : ifunc =
         (match Ir.def ins with Some r -> Hashtbl.remove mul_def r | None -> ());
         out := ins :: !out)
     f.code;
-  { f with code = Array.of_list (List.rev !out); label_cache = None }
+  { f with code = Array.of_list (List.rev !out) }
 
 let pow_to_exp2 (f : ifunc) : ifunc =
   let code =
@@ -118,4 +118,4 @@ let pow_to_exp2 (f : ifunc) : ifunc =
         | other -> other)
       f.code
   in
-  { f with code; label_cache = None }
+  { f with code }

@@ -137,4 +137,4 @@ let run ?(null_trap = false) ~null_fold (f : ifunc) : ifunc =
     | _ -> ());
     result
   in
-  { f with code = Opt_common.rewrite_local ~reset rewrite f.code; label_cache = None }
+  { f with code = Opt_common.rewrite_local ~reset rewrite f.code }

@@ -17,8 +17,8 @@
      layout even if it never loads or stores: frame placement alone can
      raise [Stack_overflow] ([Mem.push_frame]).
 
-   [impl_name], [code_lines] and [label_cache] never affect execution
-   and are excluded. *)
+   [impl_name] and [code_lines] never affect execution and are
+   excluded. *)
 
 open Cdcompiler
 

@@ -12,8 +12,10 @@
 
    Execution strategy (a verdict-preserving liberty with the paper):
    - binaries with equal {!Binsig.signature} form equivalence classes;
-     one representative per class is executed and the observation is
-     fanned out to every member;
+     one representative per class is linked into a {!Cdvm.Image.t} at
+     oracle creation, executed via {!Cdvm.Exec.run_linked} with a
+     pooled per-class {!Cdvm.Arena.t}, and the observation is fanned
+     out to every member;
    - the per-class runs of one fuel round go through the shared
      {!Cdutil.Pool} when [jobs > 1];
    - fuel escalation is incremental: only classes whose last observation
@@ -57,6 +59,11 @@ type t = {
   class_of : int array;        (* binary index -> class index *)
   class_repr : Ir.unit_ array; (* class index -> representative binary *)
   class_size : int array;      (* class index -> number of members *)
+  class_images : Cdvm.Image.t array;  (* linked once per class *)
+  class_arenas : Cdvm.Arena.t option Atomic.t array;
+      (* one pooled arena per class: exchanged out for the duration of a
+         run so concurrent checks never share scratch state (a late
+         taker just creates a fresh arena) *)
   c_checks : int Atomic.t;
   c_execs : int Atomic.t;
   c_dedup_saved : int Atomic.t;
@@ -95,10 +102,11 @@ let build_classes ~dedup (binaries : (string * Ir.unit_) list) =
   end
 
 let mk ~normalize ~fuel ~max_fuel ~compare_status ~jobs ~dedup binaries =
-  (* filling the label caches now keeps the binaries read-only during
-     (possibly parallel) execution *)
-  List.iter (fun (_, u) -> Cdvm.Exec.warm_label_caches u) binaries;
   let class_of, class_repr, class_size = build_classes ~dedup binaries in
+  (* link each class representative once; every execution of the class
+     runs the image (the reference interpreter stays on [observe_naive]) *)
+  let class_images = Array.map Cdvm.Image.link class_repr in
+  let class_arenas = Array.map (fun _ -> Atomic.make None) class_images in
   {
     binaries;
     normalize;
@@ -110,6 +118,8 @@ let mk ~normalize ~fuel ~max_fuel ~compare_status ~jobs ~dedup binaries =
     class_of;
     class_repr;
     class_size;
+    class_images;
+    class_arenas;
     c_checks = Atomic.make 0;
     c_execs = Atomic.make 0;
     c_dedup_saved = Atomic.make 0;
@@ -165,6 +175,30 @@ let run_one t ~fuel ~input (u : Ir.unit_) : observation =
     fuel_used = r.Cdvm.Exec.fuel_used;
   }
 
+(* Run class [ci]'s linked image, borrowing the class arena for the
+   duration (or creating a fresh one if another check holds it). *)
+let run_linked_one t ~fuel ~input ci : observation =
+  let img = t.class_images.(ci) in
+  let slot = t.class_arenas.(ci) in
+  let arena =
+    match Atomic.exchange slot None with
+    | Some a -> a
+    | None -> Cdvm.Arena.create img
+  in
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Atomic.set slot (Some arena))
+      (fun () ->
+        Cdvm.Exec.run_linked
+          ~config:{ Cdvm.Exec.default_config with Cdvm.Exec.input; fuel }
+          ~arena img)
+  in
+  {
+    output = t.normalize r.Cdvm.Exec.stdout;
+    status = r.Cdvm.Exec.status;
+    fuel_used = r.Cdvm.Exec.fuel_used;
+  }
+
 (* checksum of what CompDiff compares for one observation; hashed
    incrementally so the hot path never concatenates *)
 let checksum t (o : observation) : int32 =
@@ -194,7 +228,7 @@ let observe t ~(input : string) : (string * observation) list =
   let run_round fuel (pending : int list) =
     let run ci =
       Atomic.incr t.c_execs;
-      (ci, run_one t ~fuel ~input t.class_repr.(ci))
+      (ci, run_linked_one t ~fuel ~input ci)
     in
     let npending = List.length pending in
     let obs =

@@ -55,6 +55,8 @@ type campaign = {
 
 type state = {
   target : Cdcompiler.Ir.unit_;
+  image : Cdvm.Image.t;          (* target, linked once per campaign *)
+  arena : Cdvm.Arena.t;          (* persistent-mode scratch, reset per exec *)
   cfg : config;
   rng : Rng.t;
   cov : Cdvm.Coverage.t;
@@ -69,7 +71,7 @@ type state = {
 let execute st (input : string) : Cdvm.Exec.result * bool =
   Cdvm.Coverage.reset st.cov;
   let r =
-    Cdvm.Exec.run
+    Cdvm.Exec.run_linked
       ~config:
         {
           Cdvm.Exec.default_config with
@@ -78,7 +80,7 @@ let execute st (input : string) : Cdvm.Exec.result * bool =
           coverage = Some st.cov;
           hooks = st.cfg.hooks;
         }
-      st.target
+      ~arena:st.arena st.image
   in
   st.execs <- st.execs + 1;
   let novel = Cdvm.Coverage.merge_into ~virgin:st.virgin st.cov in
@@ -114,9 +116,12 @@ let consider st (input : string) =
          ~found_at:st.execs)
 
 let run ?(config = default_config) (target : Cdcompiler.Ir.unit_) : campaign =
+  let image = Cdvm.Image.link target in
   let st =
     {
       target;
+      image;
+      arena = Cdvm.Arena.create image;
       cfg = config;
       rng = Rng.create config.rng_seed;
       cov = Cdvm.Coverage.create ();

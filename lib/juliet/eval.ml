@@ -28,10 +28,13 @@ let eval_static (tool : Staticcheck.Static_tools.tool) (t : Testcase.t)
   ( Staticcheck.Static_tools.flags_kinds tool t.Testcase.bad kinds,
     Staticcheck.Static_tools.flags_kinds tool t.Testcase.good kinds )
 
-let eval_sanitizer ?fuel (kind : Sanitizers.San.kind) ~(bad : Minic.Tast.tprogram)
-    ~(good : Minic.Tast.tprogram) ~(inputs : string list) : bool * bool =
-  ( Sanitizers.San.detects ?fuel kind bad ~inputs,
-    Sanitizers.San.detects ?fuel kind good ~inputs )
+(* one sanitizer build per variant serves all three kinds: the hook set
+   is per-run, so ASan/UBSan/MSan share the compiled+linked binary *)
+let eval_sanitizer ?fuel (kind : Sanitizers.San.kind)
+    ~(bad_build : Sanitizers.San.build) ~(good_build : Sanitizers.San.build)
+    ~(inputs : string list) : bool * bool =
+  ( Sanitizers.San.detects_built ?fuel kind bad_build ~inputs,
+    Sanitizers.San.detects_built ?fuel kind good_build ~inputs )
 
 (* Cross-validation (acceptance gate of the parallel oracle): on every
    input, the deduped/pooled verdict must be structurally identical to
@@ -72,6 +75,8 @@ let evaluate ?(fuel = 100_000) ?validate (t : Testcase.t) : test_eval =
   let good = Testcase.frontend_good t in
   let inputs = t.Testcase.inputs in
   let compdiff, partition = eval_compdiff ~fuel ?validate ~bad ~good ~inputs () in
+  let bad_build = Sanitizers.San.build bad in
+  let good_build = Sanitizers.San.build good in
   {
     test = t;
     category;
@@ -79,9 +84,9 @@ let evaluate ?(fuel = 100_000) ?validate (t : Testcase.t) : test_eval =
     cppcheck = eval_static Staticcheck.Static_tools.Cppcheck t category;
     infer = eval_static Staticcheck.Static_tools.Infer t category;
     unstable = eval_static Staticcheck.Static_tools.Unstable t category;
-    asan = eval_sanitizer ~fuel Sanitizers.San.Asan ~bad ~good ~inputs;
-    ubsan = eval_sanitizer ~fuel Sanitizers.San.Ubsan ~bad ~good ~inputs;
-    msan = eval_sanitizer ~fuel Sanitizers.San.Msan ~bad ~good ~inputs;
+    asan = eval_sanitizer ~fuel Sanitizers.San.Asan ~bad_build ~good_build ~inputs;
+    ubsan = eval_sanitizer ~fuel Sanitizers.San.Ubsan ~bad_build ~good_build ~inputs;
+    msan = eval_sanitizer ~fuel Sanitizers.San.Msan ~bad_build ~good_build ~inputs;
     compdiff;
     partition;
   }

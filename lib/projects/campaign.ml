@@ -120,13 +120,23 @@ type t6_row = {
 
 (* check a sanitizer against a found bug: run the sanitizer-instrumented
    build on the bug's witness and found inputs *)
-let sanitizer_covers (p : Project.t) (kind : Sanitizers.San.kind) (f : found_bug) :
-    bool =
-  let tp = Project.frontend p in
-  Sanitizers.San.detects ~fuel:60_000 kind tp
+let sanitizer_covers (b : Sanitizers.San.build) (kind : Sanitizers.San.kind)
+    (f : found_bug) : bool =
+  Sanitizers.San.detects_built ~fuel:60_000 kind b
     ~inputs:[ f.bug.Project.witness; f.found_input ]
 
 let table6 (results : project_result list) : t6_row list * int =
+  (* one instrumented build per project, shared by every (category, kind,
+     bug) probe below instead of recompiling each time *)
+  let builds : (string, Sanitizers.San.build) Hashtbl.t = Hashtbl.create 8 in
+  let build_for (p : Project.t) : Sanitizers.San.build =
+    match Hashtbl.find_opt builds p.Project.pname with
+    | Some b -> b
+    | None ->
+      let b = Sanitizers.San.build (Project.frontend p) in
+      Hashtbl.add builds p.Project.pname b;
+      b
+  in
   let rows =
     List.filter_map
       (fun category ->
@@ -144,7 +154,9 @@ let table6 (results : project_result list) : t6_row list * int =
         else begin
           let count kind =
             List.length
-              (List.filter (fun (p, f) -> sanitizer_covers p kind f) per_project)
+              (List.filter
+                 (fun (p, f) -> sanitizer_covers (build_for p) kind f)
+                 per_project)
           in
           let asan = count Sanitizers.San.Asan in
           let ubsan = count Sanitizers.San.Ubsan in
@@ -153,7 +165,9 @@ let table6 (results : project_result list) : t6_row list * int =
             List.length
               (List.filter
                  (fun (p, f) ->
-                   List.exists (fun k -> sanitizer_covers p k f) Sanitizers.San.all)
+                   List.exists
+                     (fun k -> sanitizer_covers (build_for p) k f)
+                     Sanitizers.San.all)
                  per_project)
           in
           Some

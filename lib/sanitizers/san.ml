@@ -20,30 +20,50 @@ let all = [ Asan; Ubsan; Msan ]
 (* the build sanitizers instrument: unoptimized, every local observable *)
 let build_profile = Profiles.gccx "O0"
 
-let run ?(fuel = 200_000) (kind : kind) (tp : Minic.Tast.tprogram) ~(input : string) :
+(* A reusable sanitizer build: the instrumented binary compiled and
+   linked once, paired with a persistent arena.  The hook set is a
+   per-run config, so one build serves all three sanitizers.  The arena
+   is single-domain scratch: share a build within one task only. *)
+type build = {
+  image : Cdvm.Image.t;
+  arena : Cdvm.Arena.t;
+}
+
+let build (tp : Minic.Tast.tprogram) : build =
+  let image = Cdvm.Image.link (Pipeline.compile build_profile tp) in
+  { image; arena = Cdvm.Arena.create image }
+
+let run_built ?(fuel = 200_000) (kind : kind) (b : build) ~(input : string) :
     Cdvm.Exec.result =
-  let u = Pipeline.compile build_profile tp in
-  Cdvm.Exec.run
+  Cdvm.Exec.run_linked
     ~config:
       { Cdvm.Exec.default_config with Cdvm.Exec.input; fuel; hooks = hooks kind }
-    u
+    ~arena:b.arena b.image
+
+let run ?fuel (kind : kind) (tp : Minic.Tast.tprogram) ~(input : string) :
+    Cdvm.Exec.result =
+  run_built ?fuel kind (build tp) ~input
 
 (* Did this sanitizer report anything on any of the inputs? *)
-let detects ?fuel (kind : kind) (tp : Minic.Tast.tprogram) ~(inputs : string list) :
-    bool =
+let detects_built ?fuel (kind : kind) (b : build) ~(inputs : string list) : bool =
   List.exists
     (fun input ->
-      match (run ?fuel kind tp ~input).Cdvm.Exec.status with
+      match (run_built ?fuel kind b ~input).Cdvm.Exec.status with
       | Cdvm.Trap.San_report _ -> true
       | Cdvm.Trap.Exit _ | Cdvm.Trap.Trap _ | Cdvm.Trap.Hang -> false)
     inputs
 
+let detects ?fuel (kind : kind) (tp : Minic.Tast.tprogram) ~(inputs : string list) :
+    bool =
+  detects_built ?fuel kind (build tp) ~inputs
+
 (* First report message, for diagnostics. *)
 let first_report ?fuel (kind : kind) (tp : Minic.Tast.tprogram)
     ~(inputs : string list) : string option =
+  let b = build tp in
   List.find_map
     (fun input ->
-      match (run ?fuel kind tp ~input).Cdvm.Exec.status with
+      match (run_built ?fuel kind b ~input).Cdvm.Exec.status with
       | Cdvm.Trap.San_report msg -> Some msg
       | Cdvm.Trap.Exit _ | Cdvm.Trap.Trap _ | Cdvm.Trap.Hang -> None)
     inputs

@@ -18,8 +18,21 @@ val all : kind list
 val build_profile : Cdcompiler.Policy.profile
 (** The compiler configuration sanitizer builds use. *)
 
+type build
+(** A reusable sanitizer build: the instrumented binary compiled and
+    linked once ({!Cdvm.Image.link}), with a persistent execution arena.
+    One build serves all three sanitizers (the hook set is per-run), but
+    it is single-domain scratch: do not share across concurrent tasks. *)
+
+val build : Minic.Tast.tprogram -> build
+
+val run_built : ?fuel:int -> kind -> build -> input:string -> Cdvm.Exec.result
+
+val detects_built : ?fuel:int -> kind -> build -> inputs:string list -> bool
+
 val run :
   ?fuel:int -> kind -> Minic.Tast.tprogram -> input:string -> Cdvm.Exec.result
+(** One-shot [build] + [run_built]. *)
 
 val detects : ?fuel:int -> kind -> Minic.Tast.tprogram -> inputs:string list -> bool
 (** Did the sanitizer report anything on any of the inputs? *)

@@ -1,0 +1,52 @@
+(* Persistent execution arenas.
+
+   A fresh run of the reference interpreter allocates an entire address
+   space ({!Mem.create}: several stack-sized arrays plus global
+   placement), an output buffer, and three register-file arrays per
+   call.  An arena owns all of that scratch state for one linked image
+   and is *reset* between runs instead of reallocated:
+
+   - the memory returns to its post-create state via {!Mem.reset}
+     (see the soundness argument there);
+   - the output buffer is cleared but keeps its backing storage;
+   - register files live in a per-call-depth scratch pool.  A frame at
+     depth [d] always uses [scratch.(d)], so caller and callee never
+     alias; acquisition clears only the written-flags (values and taint
+     are gated by them), and the junk a never-written register reads is
+     derived from [(frame_seq, reg)] alone, which {!Exec.run_linked}
+     restarts at 0 every run -- so reused scratch is indistinguishable
+     from fresh arrays.
+
+   Arenas are single-domain scratch: share one per pool worker, never
+   across concurrent runs. *)
+
+type scratch = {
+  mutable s_regs : Value.t array;
+  mutable s_taint : bool array;
+  mutable s_written : bool array;
+  mutable s_slots : int array;     (* slot object ids, slot-index order *)
+}
+
+type t = {
+  image : Image.t;
+  mem : Mem.t;
+  out : Buffer.t;
+  scratch : scratch array;         (* indexed by call depth *)
+}
+
+(* call-depth limit; [Trap.Stack_overflow] past this *)
+let max_depth = 256
+
+let create (image : Image.t) : t =
+  {
+    image;
+    mem = Mem.create image.Image.runtime image.Image.globals;
+    out = Buffer.create 256;
+    scratch =
+      Array.init max_depth (fun _ ->
+          { s_regs = [||]; s_taint = [||]; s_written = [||]; s_slots = [||] });
+  }
+
+let reset (a : t) : unit =
+  Mem.reset a.mem;
+  Buffer.clear a.out

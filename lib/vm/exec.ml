@@ -8,7 +8,17 @@
 
    Fuel plays the role of AFL++'s execution timeout: when it runs out the
    status is [Hang], which the oracle treats with timeout escalation
-   rather than as an output. *)
+   rather than as an output.
+
+   Two executors share every semantic helper in this file:
+
+   - [run] is the tree-walking *reference*: it interprets [Ir.instr]
+     directly, allocating a fresh address space and register files per
+     run, resolving labels and call targets through per-run tables.
+   - [run_linked] executes a pre-resolved {!Image.t}, reusing an
+     {!Arena.t} across runs.  It exists for throughput; the reference
+     exists to check it (mirroring [Oracle.check_naive]): both must
+     produce byte-identical [(stdout, status, fuel_used)]. *)
 
 open Cdcompiler
 open Ir
@@ -45,11 +55,11 @@ type result = {
   fuel_used : int;
 }
 
+(* mutable per-run state shared by both executors *)
 type state = {
-  unit_ : Ir.unit_;
   mem : Mem.t;
+  runtime : Policy.runtime;
   global_ids : (string, int) Hashtbl.t;
-  label_maps : (string, (int, int) Hashtbl.t) Hashtbl.t;
   cfg : config;
   out : Buffer.t;
   mutable fuel_left : int;
@@ -59,22 +69,7 @@ type state = {
   uninit_reg : Policy.uninit_policy;
 }
 
-let label_map _st (f : ifunc) =
-  match f.label_cache with
-  | Some m -> m
-  | None ->
-    let m = Hashtbl.create 16 in
-    Array.iteri
-      (fun i ins -> match ins with Ilabel l -> Hashtbl.replace m l i | _ -> ())
-      f.code;
-    f.label_cache <- Some m;
-    m
-
-(* Force the per-function label caches now, so that a binary shared by
-   several domains is never mutated concurrently (the lazy fill in
-   [label_map] is an unsynchronized write). *)
-let warm_label_caches (u : unit_) =
-  List.iter (fun (_, f) -> ignore (label_map () f : (int, int) Hashtbl.t)) u.funcs
+let max_depth = Arena.max_depth
 
 (* --- coercions: make every value usable at every type --- *)
 
@@ -97,8 +92,17 @@ and as_ptr st (v : Value.t) : Value.ptr =
   | Value.Vint x -> Mem.ptr_of_addr st.mem (Int64.to_int x)
   | Value.Vfloat f -> Mem.ptr_of_addr st.mem (int_of_float f)
 
-(* --- per-call frame --- *)
+(* --- registers --- *)
 
+(* junk depends only on (frame sequence number, register index): frame
+   1 of run N sees the same junk as frame 1 of run 1 *)
+let reg_junk st fseq r =
+  match st.uninit_reg with
+  | Policy.Uzero -> Value.Vint 0L
+  | Policy.Upattern _ as p ->
+    Value.Vint (Policy.uninit_value p ~addr:((fseq * 131) + r))
+
+(* reference per-call frame *)
 type frame = {
   func : ifunc;
   regs : Value.t array;
@@ -108,15 +112,9 @@ type frame = {
   fseq : int;
 }
 
-let reg_junk st fr r =
-  match st.uninit_reg with
-  | Policy.Uzero -> Value.Vint 0L
-  | Policy.Upattern _ as p ->
-    Value.Vint (Policy.uninit_value p ~addr:((fr.fseq * 131) + r))
-
 let read_reg st fr r : Value.t * bool =
   if fr.rwritten.(r) then (fr.regs.(r), fr.rtaint.(r))
-  else (reg_junk st fr r, true)
+  else (reg_junk st fr.fseq r, true)
 
 let write_reg fr r (v : Value.t) (taint : bool) =
   fr.regs.(r) <- v;
@@ -227,8 +225,8 @@ let read_cstring st (p : Value.ptr) : string =
   go 0;
   Buffer.contents buf
 
-let print_item st fr (item : fmt_item) =
-  let value o = fst (eval_operand st fr o) in
+(* [value] abstracts over which register file the executor reads *)
+let print_item st (value : operand -> Value.t) (item : fmt_item) =
   match item with
   | Flit s -> put st s
   | Fint o ->
@@ -247,60 +245,92 @@ let print_item st fr (item : fmt_item) =
     let addr = if Value.is_null p then 0 else Mem.addr_of_ptr st.mem p in
     put st (Printf.sprintf "0x%x" addr)
 
+(* --- pointer comparison / casts --- *)
+
+let eval_pcmp st c (a : Value.ptr) (b : Value.ptr) : int64 =
+  let abs p = if Value.is_null p then 0 else Mem.addr_of_ptr st.mem p in
+  match c with
+  | Ceq -> if abs a = abs b then 1L else 0L
+  | Cne -> if abs a <> abs b then 1L else 0L
+  | Clt | Cle | Cgt | Cge ->
+    let xa, xb =
+      match st.runtime.Policy.ptrcmp with
+      | Policy.Pabs -> (abs a, abs b)
+      | Policy.Pobjseq ->
+        (* compare by allocation sequence, then offset; encode as a pair *)
+        ((a.Value.obj * 1_000_000) + a.Value.off, (b.Value.obj * 1_000_000) + b.Value.off)
+    in
+    eval_cmp c (Int64.of_int xa) (Int64.of_int xb)
+
+let eval_cast st k (v : Value.t) : Value.t =
+  match k with
+  | Sext3264 -> Value.Vint (as_int st v) (* W32 already sign-extended *)
+  | Trunc6432 -> Value.Vint (Value.norm32 (as_int st v))
+  | I2F _ -> Value.Vfloat (Int64.to_float (as_int st v))
+  | F2I w ->
+    let f = as_float v in
+    let x =
+      if Float.is_nan f || f >= 9.22e18 || f <= -9.22e18 then Int64.min_int
+      else Int64.of_float f
+    in
+    Value.Vint (norm w x)
+  | P2I w -> Value.Vint (norm w (as_int st v))
+  | I2P -> Value.Vptr (as_ptr st v)
+
 (* --- builtins --- *)
 
-let exec_builtin st fr name (args : (Value.t * bool) list) : Value.t * bool =
-  ignore fr;
-  let int_arg i = as_int st (fst (List.nth args i)) in
-  let ptr_arg i = as_ptr st (fst (List.nth args i)) in
-  let float_arg i = as_float (fst (List.nth args i)) in
-  match name with
-  | "getchar" ->
+(* builtins only look at argument *values* and always return untainted
+   results, so one core serves both executors *)
+let exec_builtin_v st (b : Image.builtin) (argv : Value.t array) : Value.t =
+  let int_arg i = as_int st argv.(i) in
+  let ptr_arg i = as_ptr st argv.(i) in
+  let float_arg i = as_float argv.(i) in
+  match b with
+  | Image.Bgetchar ->
     if st.in_pos < String.length st.cfg.input then begin
       let c = Char.code st.cfg.input.[st.in_pos] in
       st.in_pos <- st.in_pos + 1;
-      (Value.Vint (Int64.of_int c), false)
+      Value.Vint (Int64.of_int c)
     end
-    else (Value.Vint (-1L), false)
-  | "input_len" -> (Value.Vint (Int64.of_int (String.length st.cfg.input)), false)
-  | "peek" ->
+    else Value.Vint (-1L)
+  | Image.Binput_len -> Value.Vint (Int64.of_int (String.length st.cfg.input))
+  | Image.Bpeek ->
     let i = Int64.to_int (int_arg 0) in
     if i >= 0 && i < String.length st.cfg.input then
-      (Value.Vint (Int64.of_int (Char.code st.cfg.input.[i])), false)
-    else (Value.Vint (-1L), false)
-  | "malloc" ->
+      Value.Vint (Int64.of_int (Char.code st.cfg.input.[i]))
+    else Value.Vint (-1L)
+  | Image.Bmalloc ->
     let n = Int64.to_int (int_arg 0) in
-    (Value.Vptr (Mem.malloc st.mem n), false)
-  | "free" ->
+    Value.Vptr (Mem.malloc st.mem n)
+  | Image.Bfree ->
     let p = ptr_arg 0 in
     let cls = Mem.free st.mem p in
     st.cfg.hooks.Hooks.on_free st.mem p cls;
     (match cls with
     | `Invalid -> raise (Mem.Trapped Trap.Invalid_free)
     | `Ok | `Double | `Null -> ());
-    (Value.zero, false)
-  | "memset" ->
+    Value.zero
+  | Image.Bmemset ->
     let p = ptr_arg 0 and v = int_arg 1 and n = Int64.to_int (int_arg 2) in
     for i = 0 to n - 1 do
       store st { p with Value.off = p.Value.off + i } ~ptaint:false
         (Value.Vint (Value.norm32 v)) false
     done;
-    (Value.zero, false)
-  | "memcpy" ->
+    Value.zero
+  | Image.Bmemcpy ->
     (* copy direction is unspecified for overlapping regions; each libc
        (i.e. each implementation's runtime) picks its own *)
     let d = ptr_arg 0 and s = ptr_arg 1 and n = Int64.to_int (int_arg 2) in
-    let idx =
-      if st.unit_.runtime.Policy.memcpy_backward then List.init (max 0 n) (fun i -> n - 1 - i)
-      else List.init (max 0 n) (fun i -> i)
+    let copy i =
+      let v, t = load st { s with Value.off = s.Value.off + i } ~ptaint:false in
+      store st { d with Value.off = d.Value.off + i } ~ptaint:false v t
     in
-    List.iter
-      (fun i ->
-        let v, t = load st { s with Value.off = s.Value.off + i } ~ptaint:false in
-        store st { d with Value.off = d.Value.off + i } ~ptaint:false v t)
-      idx;
-    (Value.zero, false)
-  | "strlen" ->
+    if st.runtime.Policy.memcpy_backward then
+      for i = n - 1 downto 0 do copy i done
+    else
+      for i = 0 to n - 1 do copy i done;
+    Value.zero
+  | Image.Bstrlen ->
     let p = ptr_arg 0 in
     let rec go i =
       if i >= 4096 then i
@@ -309,26 +339,45 @@ let exec_builtin st fr name (args : (Value.t * bool) list) : Value.t * bool =
         if as_int st v = 0L then i else go (i + 1)
       end
     in
-    (Value.Vint (Int64.of_int (go 0)), false)
-  | "exit" -> raise (Exit_program (Int64.to_int (int_arg 0) land 0xff))
-  | "abort" -> raise (Mem.Trapped Trap.Abort_called)
-  | "pow" -> (Value.Vfloat (Float.pow (float_arg 0) (float_arg 1)), false)
-  | "sqrt" -> (Value.Vfloat (Float.sqrt (float_arg 0)), false)
-  | "exp2" ->
+    Value.Vint (Int64.of_int (go 0))
+  | Image.Bexit -> raise (Exit_program (Int64.to_int (int_arg 0) land 0xff))
+  | Image.Babort -> raise (Mem.Trapped Trap.Abort_called)
+  | Image.Bpow -> Value.Vfloat (Float.pow (float_arg 0) (float_arg 1))
+  | Image.Bsqrt -> Value.Vfloat (Float.sqrt (float_arg 0))
+  | Image.Bexp2 ->
     (* deliberately computed as e^(x ln 2): bit-level different from
        pow(2,x), the floating-point divergence of RQ2 *)
-    (Value.Vfloat (Float.exp (float_arg 0 *. Float.log 2.)), false)
-  | "floor" -> (Value.Vfloat (Float.floor (float_arg 0)), false)
-  | _ -> invalid_arg ("Exec: unknown builtin " ^ name)
+    Value.Vfloat (Float.exp (float_arg 0 *. Float.log 2.))
+  | Image.Bfloor -> Value.Vfloat (Float.floor (float_arg 0))
+  | Image.Bunknown name -> invalid_arg ("Exec: unknown builtin " ^ name)
 
-(* --- main interpreter loop --- *)
+(* ===== reference executor ===== *)
 
-let max_depth = 256
+(* per-run function table: name -> (ifunc, eagerly linked label map).
+   Labels use [replace] so the last duplicate wins, matching the image
+   linker. *)
+type ftab = (string, ifunc * (int, int) Hashtbl.t) Hashtbl.t
 
-let rec call st (fname : string) (args : (Value.t * bool) list) : Value.t * bool =
-  let f =
-    match Ir.func st.unit_ fname with
-    | Some f -> f
+let build_ftab (u : unit_) : ftab =
+  let h = Hashtbl.create 16 in
+  List.iter
+    (fun (name, f) ->
+      if not (Hashtbl.mem h name) then begin
+        let labels = Hashtbl.create 16 in
+        Array.iteri
+          (fun i ins ->
+            match ins with Ilabel l -> Hashtbl.replace labels l i | _ -> ())
+          f.code;
+        Hashtbl.add h name (f, labels)
+      end)
+    u.funcs;
+  h
+
+let rec call st (tab : ftab) (fname : string) (args : (Value.t * bool) list) :
+    Value.t * bool =
+  let f, labels =
+    match Hashtbl.find_opt tab fname with
+    | Some fl -> fl
     | None -> invalid_arg ("Exec: unknown function " ^ fname)
   in
   if st.depth >= max_depth then raise (Mem.Trapped Trap.Stack_overflow);
@@ -351,13 +400,12 @@ let rec call st (fname : string) (args : (Value.t * bool) list) : Value.t * bool
   (match st.cfg.coverage with
   | Some cov -> Coverage.hit cov (Coverage.block_id ~fname ~label:(-1))
   | None -> ());
-  let labels = label_map st f in
-  let result = run_code st fr labels in
+  let result = run_code st tab fr labels in
   Mem.pop_frame st.mem;
   st.depth <- st.depth - 1;
   result
 
-and run_code st fr labels : Value.t * bool =
+and run_code st tab fr labels : Value.t * bool =
   let code = fr.func.code in
   let n = Array.length code in
   let pc = ref 0 in
@@ -468,18 +516,19 @@ and run_code st fr labels : Value.t * bool =
         store st (as_ptr st vp) ~ptaint:tp vx tx
       | Icall (dest, fname, args) ->
         let argv = List.map (eval_operand st fr) args in
-        let v, t = call st fname argv in
+        let v, t = call st tab fname argv in
         (match dest with Some r -> write_reg fr r v t | None -> ())
       | Ibuiltin (dest, bname, args) ->
-        let argv = List.map (eval_operand st fr) args in
-        let v, t = exec_builtin st fr bname argv in
-        (match dest with Some r -> write_reg fr r v t | None -> ())
+        let argv = Array.of_list (List.map (fun o -> fst (eval_operand st fr o)) args) in
+        let v = exec_builtin_v st (Image.builtin_of_name bname) argv in
+        (match dest with Some r -> write_reg fr r v false | None -> ())
       | Iprint items ->
+        let value o = fst (eval_operand st fr o) in
         (match st.cfg.on_print with
-        | None -> List.iter (print_item st fr) items
+        | None -> List.iter (print_item st value) items
         | Some notify ->
           let before = Buffer.length st.out in
-          List.iter (print_item st fr) items;
+          List.iter (print_item st value) items;
           let text =
             Buffer.sub st.out before (Buffer.length st.out - before)
           in
@@ -500,46 +549,15 @@ and run_code st fr labels : Value.t * bool =
   done;
   !return_value
 
-and eval_pcmp st c (a : Value.ptr) (b : Value.ptr) : int64 =
-  let abs p = if Value.is_null p then 0 else Mem.addr_of_ptr st.mem p in
-  match c with
-  | Ceq -> if abs a = abs b then 1L else 0L
-  | Cne -> if abs a <> abs b then 1L else 0L
-  | Clt | Cle | Cgt | Cge ->
-    let xa, xb =
-      match st.unit_.runtime.Policy.ptrcmp with
-      | Policy.Pabs -> (abs a, abs b)
-      | Policy.Pobjseq ->
-        (* compare by allocation sequence, then offset; encode as a pair *)
-        ((a.Value.obj * 1_000_000) + a.Value.off, (b.Value.obj * 1_000_000) + b.Value.off)
-    in
-    eval_cmp c (Int64.of_int xa) (Int64.of_int xb)
-
-and eval_cast st k (v : Value.t) : Value.t =
-  match k with
-  | Sext3264 -> Value.Vint (as_int st v) (* W32 already sign-extended *)
-  | Trunc6432 -> Value.Vint (Value.norm32 (as_int st v))
-  | I2F _ -> Value.Vfloat (Int64.to_float (as_int st v))
-  | F2I w ->
-    let f = as_float v in
-    let x =
-      if Float.is_nan f || f >= 9.22e18 || f <= -9.22e18 then Int64.min_int
-      else Int64.of_float f
-    in
-    Value.Vint (norm w x)
-  | P2I w -> Value.Vint (norm w (as_int st v))
-  | I2P -> Value.Vptr (as_ptr st v)
-
-(* --- entry point --- *)
+(* --- reference entry point --- *)
 
 let run ?(config = default_config) (u : Ir.unit_) : result =
   let mem = Mem.create u.runtime u.globals in
   let st =
     {
-      unit_ = u;
       mem;
+      runtime = u.runtime;
       global_ids = Mem.global_ids mem;
-      label_maps = Hashtbl.create 16;
       cfg = config;
       out = Buffer.create 256;
       fuel_left = config.fuel;
@@ -549,9 +567,276 @@ let run ?(config = default_config) (u : Ir.unit_) : result =
       uninit_reg = u.runtime.Policy.uninit_reg;
     }
   in
+  let tab = build_ftab u in
   let status =
     try
-      let v, _ = call st "main" [] in
+      let v, _ = call st tab "main" [] in
+      Trap.Exit (Int64.to_int (as_int st v) land 0xff)
+    with
+    | Exit_program code -> Trap.Exit code
+    | Mem.Trapped t -> Trap.Trap t
+    | Fuel_out -> Trap.Hang
+    | Output_limit_exc -> Trap.Trap Trap.Output_limit
+    | Hooks.Report msg -> Trap.San_report msg
+  in
+  {
+    stdout = Buffer.contents st.out;
+    status;
+    fuel_used = config.fuel - st.fuel_left;
+  }
+
+(* ===== linked executor ===== *)
+
+let leval st (sc : Arena.scratch) (fseq : int) (o : operand) : Value.t * bool =
+  match o with
+  | Reg r ->
+    if sc.Arena.s_written.(r) then (sc.Arena.s_regs.(r), sc.Arena.s_taint.(r))
+    else (reg_junk st fseq r, true)
+  | ImmI v -> (Value.Vint v, false)
+  | ImmF f -> (Value.Vfloat f, false)
+  | Nullptr -> (Value.Vptr Value.null, false)
+
+(* make the depth's scratch usable for [lf]: grow if needed, and clear
+   the written flags (values and taint are only read through them) *)
+let acquire_scratch (sc : Arena.scratch) (lf : Image.lfunc) =
+  let n = max 1 lf.Image.l_nregs in
+  if Array.length sc.Arena.s_regs < n then begin
+    sc.Arena.s_regs <- Array.make n Value.zero;
+    sc.Arena.s_taint <- Array.make n false;
+    sc.Arena.s_written <- Array.make n false
+  end
+  else Array.fill sc.Arena.s_written 0 n false;
+  let k = Array.length lf.Image.l_slots in
+  if Array.length sc.Arena.s_slots < k then
+    sc.Arena.s_slots <- Array.make k 0
+
+(* [caller]/[caller_fseq] evaluate the argument operands; the entry call
+   passes an arbitrary scratch (its argument array is empty) *)
+let rec lcall st (arena : Arena.t) (img : Image.t) (fi : int)
+    (args : operand array) (caller : Arena.scratch) (caller_fseq : int) :
+    Value.t * bool =
+  let lf = img.Image.funcs.(fi) in
+  if st.depth >= max_depth then raise (Mem.Trapped Trap.Stack_overflow);
+  let sc = arena.Arena.scratch.(st.depth) in
+  st.depth <- st.depth + 1;
+  st.frame_seq <- st.frame_seq + 1;
+  let fseq = st.frame_seq in
+  acquire_scratch sc lf;
+  let nregs = lf.Image.l_nregs in
+  for i = 0 to Array.length args - 1 do
+    if i < nregs then begin
+      let v, t = leval st caller caller_fseq args.(i) in
+      sc.Arena.s_regs.(i) <- v;
+      sc.Arena.s_taint.(i) <- t;
+      sc.Arena.s_written.(i) <- true
+    end
+  done;
+  Mem.push_frame_laid st.mem lf.Image.l_slots lf.Image.l_frame sc.Arena.s_slots;
+  (match st.cfg.coverage with
+  | Some cov -> Coverage.hit cov lf.Image.l_entry_block
+  | None -> ());
+  let result = lrun st arena img lf sc fseq in
+  Mem.pop_frame st.mem;
+  st.depth <- st.depth - 1;
+  result
+
+and lrun st (arena : Arena.t) (img : Image.t) (lf : Image.lfunc)
+    (sc : Arena.scratch) (fseq : int) : Value.t * bool =
+  let code = lf.Image.l_code in
+  let n = Array.length code in
+  let regs = sc.Arena.s_regs in
+  let rtaint = sc.Arena.s_taint in
+  let rwritten = sc.Arena.s_written in
+  let slot_ids = sc.Arena.s_slots in
+  let wr r v t =
+    regs.(r) <- v;
+    rtaint.(r) <- t;
+    rwritten.(r) <- true
+  in
+  let ev o =
+    match o with
+    | Reg r ->
+      if rwritten.(r) then (regs.(r), rtaint.(r)) else (reg_junk st fseq r, true)
+    | ImmI v -> (Value.Vint v, false)
+    | ImmF f -> (Value.Vfloat f, false)
+    | Nullptr -> (Value.Vptr Value.null, false)
+  in
+  let pc = ref 0 in
+  (* negative targets encode a label the linker could not resolve; fault
+     only when taken, with the reference's message *)
+  let jump t =
+    if t >= 0 then pc := t
+    else
+      invalid_arg
+        (Printf.sprintf "Exec: missing label L%d in %s" (-1 - t) lf.Image.l_name)
+  in
+  let return_value = ref (Value.zero, false) in
+  let running = ref true in
+  while !running do
+    if !pc >= n then running := false
+    else begin
+      st.fuel_left <- st.fuel_left - 1;
+      if st.fuel_left <= 0 then raise Fuel_out;
+      let ins = code.(!pc) in
+      incr pc;
+      match ins with
+      | Image.Llabel blk ->
+        (match st.cfg.coverage with
+        | Some cov -> Coverage.hit cov blk
+        | None -> ())
+      | Image.Lconst (r, o) ->
+        let v, t = ev o in
+        wr r v t
+      | Image.Lbin (op, w, sem, r, a, b) ->
+        let va, ta = ev a in
+        let vb, tb = ev b in
+        let ia = as_int st va and ib = as_int st vb in
+        if sem = Csigned then st.cfg.hooks.Hooks.on_signed_arith op w ia ib;
+        wr r (Value.Vint (eval_ibin op w ia ib)) (ta || tb)
+      | Image.Lneg (w, sem, r, a) ->
+        let va, ta = ev a in
+        let ia = as_int st va in
+        if sem = Csigned then st.cfg.hooks.Hooks.on_signed_arith Bsub w 0L ia;
+        wr r (Value.Vint (norm w (Int64.neg ia))) ta
+      | Image.Lnot (w, r, a) ->
+        let va, ta = ev a in
+        wr r (Value.Vint (norm w (Int64.lognot (as_int st va)))) ta
+      | Image.Lfbin (op, r, a, b) ->
+        let va, ta = ev a in
+        let vb, tb = ev b in
+        let x = as_float va and y = as_float vb in
+        let z =
+          match op with
+          | FAdd -> x +. y
+          | FSub -> x -. y
+          | FMul -> x *. y
+          | FDiv -> x /. y
+        in
+        wr r (Value.Vfloat z) (ta || tb)
+      | Image.Lfma (r, a, b, c) ->
+        let va, ta = ev a in
+        let vb, tb = ev b in
+        let vc, tc = ev c in
+        wr r
+          (Value.Vfloat (Float.fma (as_float va) (as_float vb) (as_float vc)))
+          (ta || tb || tc)
+      | Image.Lfneg (r, a) ->
+        let va, ta = ev a in
+        wr r (Value.Vfloat (-.as_float va)) ta
+      | Image.Lcmp (c, r, a, b) ->
+        let va, ta = ev a in
+        let vb, tb = ev b in
+        wr r (Value.Vint (eval_cmp c (as_int st va) (as_int st vb))) (ta || tb)
+      | Image.Lfcmp (c, r, a, b) ->
+        let va, ta = ev a in
+        let vb, tb = ev b in
+        wr r (Value.Vint (eval_fcmp c (as_float va) (as_float vb))) (ta || tb)
+      | Image.Lpcmp (c, r, a, b) ->
+        let va, ta = ev a in
+        let vb, tb = ev b in
+        let pa = as_ptr st va and pb = as_ptr st vb in
+        wr r (Value.Vint (eval_pcmp st c pa pb)) (ta || tb)
+      | Image.Lpadd (r, p, off) ->
+        let vp, tp = ev p in
+        let voff, toff = ev off in
+        let pp = as_ptr st vp in
+        let d = Int64.to_int (as_int st voff) in
+        wr r (Value.Vptr { pp with Value.off = pp.Value.off + d }) (tp || toff)
+      | Image.Lpdiff (r, a, b) ->
+        let va, ta = ev a in
+        let vb, tb = ev b in
+        let pa = as_ptr st va and pb = as_ptr st vb in
+        let aa = if Value.is_null pa then 0 else Mem.addr_of_ptr st.mem pa in
+        let ab = if Value.is_null pb then 0 else Mem.addr_of_ptr st.mem pb in
+        wr r (Value.Vint (Value.norm32 (Int64.of_int (aa - ab)))) (ta || tb)
+      | Image.Lcast (k, r, a) ->
+        let va, ta = ev a in
+        wr r (eval_cast st k va) ta
+      | Image.Llea_global (r, id) ->
+        wr r (Value.Vptr { Value.obj = id; off = 0 }) false
+      | Image.Llea_slot (r, i) ->
+        wr r (Value.Vptr { Value.obj = slot_ids.(i); off = 0 }) false
+      | Image.Lload (r, p) ->
+        let vp, tp = ev p in
+        let v, t = load st (as_ptr st vp) ~ptaint:tp in
+        wr r v t
+      | Image.Lstore (p, x) ->
+        let vp, tp = ev p in
+        let vx, tx = ev x in
+        store st (as_ptr st vp) ~ptaint:tp vx tx
+      | Image.Lcall (dest, fi, args) ->
+        let v, t = lcall st arena img fi args sc fseq in
+        (match dest with Some r -> wr r v t | None -> ())
+      | Image.Lcall_unknown (fname, args) ->
+        Array.iter (fun o -> ignore (ev o)) args;
+        invalid_arg ("Exec: unknown function " ^ fname)
+      | Image.Lbuiltin (dest, b, args) ->
+        let argv = Array.map (fun o -> fst (ev o)) args in
+        let v = exec_builtin_v st b argv in
+        (match dest with Some r -> wr r v false | None -> ())
+      | Image.Lprint items ->
+        let value o = fst (ev o) in
+        (match st.cfg.on_print with
+        | None -> List.iter (print_item st value) items
+        | Some notify ->
+          let before = Buffer.length st.out in
+          List.iter (print_item st value) items;
+          let text =
+            Buffer.sub st.out before (Buffer.length st.out - before)
+          in
+          notify ~fn:lf.Image.l_name text)
+      | Image.Ljmp t -> jump t
+      | Image.Lbr (c, lt, lf_) ->
+        let vc, tc = ev c in
+        st.cfg.hooks.Hooks.on_branch ~taint:tc;
+        if Value.truthy vc then jump lt else jump lf_
+      | Image.Lret None ->
+        return_value := (Value.zero, false);
+        running := false
+      | Image.Lret (Some o) ->
+        return_value := ev o;
+        running := false
+      | Image.Lfail msg -> invalid_arg msg
+      | Image.Ltrap -> raise (Mem.Trapped Trap.Abort_called)
+    end
+  done;
+  !return_value
+
+(* --- linked entry point --- *)
+
+(* Run a linked image.  With [?arena], all scratch state is reused: the
+   arena is reset first, so a caller only needs [Arena.create] once per
+   image (per domain -- arenas are not shareable across domains). *)
+let run_linked ?(config = default_config) ?arena (img : Image.t) : result =
+  let a =
+    match arena with
+    | Some a ->
+      if a.Arena.image != img then
+        invalid_arg "Exec.run_linked: arena was created for a different image";
+      Arena.reset a;
+      a
+    | None -> Arena.create img
+  in
+  let st =
+    {
+      mem = a.Arena.mem;
+      runtime = img.Image.runtime;
+      global_ids = img.Image.global_ids;
+      cfg = config;
+      out = a.Arena.out;
+      fuel_left = config.fuel;
+      in_pos = 0;
+      depth = 0;
+      frame_seq = 0;
+      uninit_reg = img.Image.runtime.Policy.uninit_reg;
+    }
+  in
+  let status =
+    try
+      if img.Image.entry < 0 then invalid_arg "Exec: unknown function main";
+      let v, _ =
+        lcall st a img img.Image.entry [||] a.Arena.scratch.(0) 0
+      in
       Trap.Exit (Int64.to_int (as_int st v) land 0xff)
     with
     | Exit_program code -> Trap.Exit code

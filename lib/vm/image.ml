@@ -1,0 +1,204 @@
+(* The load/link stage: pre-resolve a compiled {!Ir.unit_} into an
+   immutable executable image.
+
+   The tree-walking reference interpreter pays per-dispatch costs that
+   have nothing to do with the semantics under test: label lookups go
+   through a hashtable on every jump, call targets through an
+   association list, builtins through string comparison, and globals
+   through a name table.  Linking resolves all of those once:
+
+   - branch targets become instruction indices (an [Ljmp]/[Lbr] target
+     is the pc of the [Llabel] itself, so fuel accounting and coverage
+     are unchanged);
+   - call targets become integer indices into a function table;
+   - builtin names become an enum;
+   - [Ilea] on a global becomes the object id it will resolve to (the
+     global object table is a pure function of the runtime layout and
+     the global list, so ids computed at link time are exactly the ids
+     any fresh {!Mem.t} for this unit assigns);
+   - per-function metadata is precomputed: frame placement
+     ({!Mem.layout_frame}) and the coverage block ids ([Llabel] carries
+     the hashed id, [l_entry_block] the function-entry id).
+
+   [l_code] is parallel to the source [code] array -- same length, same
+   pc for every instruction -- so the linked executor's fuel and
+   coverage behaviour is index-for-index identical to the reference.
+
+   Link-time resolution failures (unknown function, global or builtin,
+   missing label) are *deferred*, not raised: the reference interpreter
+   only faults when the bad instruction actually executes, and the
+   linked executor must be byte-identical to it.  A missing label [l]
+   is encoded as the negative target [-1 - l]; unknown names keep their
+   own constructors and raise the reference's exact message when
+   reached. *)
+
+open Cdcompiler
+
+type builtin =
+  | Bgetchar
+  | Binput_len
+  | Bpeek
+  | Bmalloc
+  | Bfree
+  | Bmemset
+  | Bmemcpy
+  | Bstrlen
+  | Bexit
+  | Babort
+  | Bpow
+  | Bsqrt
+  | Bexp2
+  | Bfloor
+  | Bunknown of string  (* raises when executed, like the reference *)
+
+let builtin_of_name = function
+  | "getchar" -> Bgetchar
+  | "input_len" -> Binput_len
+  | "peek" -> Bpeek
+  | "malloc" -> Bmalloc
+  | "free" -> Bfree
+  | "memset" -> Bmemset
+  | "memcpy" -> Bmemcpy
+  | "strlen" -> Bstrlen
+  | "exit" -> Bexit
+  | "abort" -> Babort
+  | "pow" -> Bpow
+  | "sqrt" -> Bsqrt
+  | "exp2" -> Bexp2
+  | "floor" -> Bfloor
+  | n -> Bunknown n
+
+(* Pre-decoded instructions.  [Iconst]/[Imov] collapse into [Lconst]
+   (the reference treats them identically); [Icmp]'s width is dropped
+   (the reference ignores it).  Branch targets < 0 encode a missing
+   label [-1 - l]. *)
+type linstr =
+  | Lconst of Ir.reg * Ir.operand
+  | Lbin of Ir.ibin * Ir.width * Ir.csem * Ir.reg * Ir.operand * Ir.operand
+  | Lneg of Ir.width * Ir.csem * Ir.reg * Ir.operand
+  | Lnot of Ir.width * Ir.reg * Ir.operand
+  | Lfbin of Ir.fbin * Ir.reg * Ir.operand * Ir.operand
+  | Lfma of Ir.reg * Ir.operand * Ir.operand * Ir.operand
+  | Lfneg of Ir.reg * Ir.operand
+  | Lcmp of Ir.cmp * Ir.reg * Ir.operand * Ir.operand
+  | Lfcmp of Ir.cmp * Ir.reg * Ir.operand * Ir.operand
+  | Lpcmp of Ir.cmp * Ir.reg * Ir.operand * Ir.operand
+  | Lpadd of Ir.reg * Ir.operand * Ir.operand
+  | Lpdiff of Ir.reg * Ir.operand * Ir.operand
+  | Lcast of Ir.cast * Ir.reg * Ir.operand
+  | Llea_global of Ir.reg * int            (* resolved object id *)
+  | Llea_slot of Ir.reg * int
+  | Lload of Ir.reg * Ir.operand
+  | Lstore of Ir.operand * Ir.operand
+  | Lcall of Ir.reg option * int * Ir.operand array
+  | Lcall_unknown of string * Ir.operand array
+  | Lbuiltin of Ir.reg option * builtin * Ir.operand array
+  | Lprint of Ir.fmt_item list
+  | Ljmp of int
+  | Lbr of Ir.operand * int * int
+  | Lret of Ir.operand option
+  | Llabel of int                          (* precomputed coverage block id *)
+  | Lfail of string                        (* link error, raised on execution *)
+  | Ltrap
+
+type lfunc = {
+  l_name : string;
+  l_nparams : int;
+  l_nregs : int;                           (* as in the source ifunc *)
+  l_slots : Ir.frame_slot array;
+  l_frame : Mem.frame_layout;              (* precomputed placement *)
+  l_code : linstr array;                   (* parallel to the source code *)
+  l_entry_block : int;                     (* coverage id of function entry *)
+}
+
+type t = {
+  unit_ : Ir.unit_;                        (* the source binary *)
+  runtime : Policy.runtime;
+  globals : Ir.iglobal list;
+  funcs : lfunc array;
+  entry : int;                             (* index of "main", or -1 *)
+  global_ids : (string, int) Hashtbl.t;    (* name -> object id *)
+}
+
+(* first binding wins, like [List.assoc_opt] on [unit_.funcs] *)
+let index_funcs (funcs : (string * Ir.ifunc) list) : (string, int) Hashtbl.t =
+  let h = Hashtbl.create 16 in
+  List.iteri
+    (fun i (name, _) -> if not (Hashtbl.mem h name) then Hashtbl.add h name i)
+    funcs;
+  h
+
+let link_func ~(fidx : (string, int) Hashtbl.t)
+    ~(gids : (string, int) Hashtbl.t) ~(layout : Policy.layout)
+    (fname : string) (f : Ir.ifunc) : lfunc =
+  let label_pc = Hashtbl.create 16 in
+  (* [Hashtbl.replace]: the last occurrence of a duplicate label wins,
+     exactly as the reference interpreter's label map fills *)
+  Array.iteri
+    (fun i ins ->
+      match ins with Ir.Ilabel l -> Hashtbl.replace label_pc l i | _ -> ())
+    f.Ir.code;
+  let target l =
+    match Hashtbl.find_opt label_pc l with Some i -> i | None -> -1 - l
+  in
+  let link_instr (ins : Ir.instr) : linstr =
+    match ins with
+    | Ir.Iconst (r, o) | Ir.Imov (r, o) -> Lconst (r, o)
+    | Ir.Ibin (op, w, sem, r, a, b) -> Lbin (op, w, sem, r, a, b)
+    | Ir.Ineg (w, sem, r, a) -> Lneg (w, sem, r, a)
+    | Ir.Inot (w, r, a) -> Lnot (w, r, a)
+    | Ir.Ifbin (op, r, a, b) -> Lfbin (op, r, a, b)
+    | Ir.Ifma (r, a, b, c) -> Lfma (r, a, b, c)
+    | Ir.Ifneg (r, a) -> Lfneg (r, a)
+    | Ir.Icmp (c, _w, r, a, b) -> Lcmp (c, r, a, b)
+    | Ir.Ifcmp (c, r, a, b) -> Lfcmp (c, r, a, b)
+    | Ir.Ipcmp (c, r, a, b) -> Lpcmp (c, r, a, b)
+    | Ir.Ipadd (r, p, o) -> Lpadd (r, p, o)
+    | Ir.Ipdiff (r, a, b) -> Lpdiff (r, a, b)
+    | Ir.Icast (k, r, a) -> Lcast (k, r, a)
+    | Ir.Ilea (r, Ir.Sglobal g) -> (
+        match Hashtbl.find_opt gids g with
+        | Some id -> Llea_global (r, id)
+        | None -> Lfail ("Exec: unknown global " ^ g))
+    | Ir.Ilea (r, Ir.Sslot i) -> Llea_slot (r, i)
+    | Ir.Iload (r, p) -> Lload (r, p)
+    | Ir.Istore (p, x) -> Lstore (p, x)
+    | Ir.Icall (dest, callee, args) -> (
+        let args = Array.of_list args in
+        match Hashtbl.find_opt fidx callee with
+        | Some i -> Lcall (dest, i, args)
+        | None -> Lcall_unknown (callee, args))
+    | Ir.Ibuiltin (dest, bname, args) ->
+        Lbuiltin (dest, builtin_of_name bname, Array.of_list args)
+    | Ir.Iprint items -> Lprint items
+    | Ir.Ijmp l -> Ljmp (target l)
+    | Ir.Ibr (c, lt, lf) -> Lbr (c, target lt, target lf)
+    | Ir.Iret o -> Lret o
+    | Ir.Ilabel l -> Llabel (Coverage.block_id ~fname ~label:l)
+    | Ir.Itrap _ -> Ltrap
+  in
+  {
+    l_name = fname;
+    l_nparams = f.Ir.nparams;
+    l_nregs = f.Ir.nregs;
+    l_slots = f.Ir.slots;
+    l_frame = Mem.layout_frame layout f.Ir.slots;
+    l_code = Array.map link_instr f.Ir.code;
+    l_entry_block = Coverage.block_id ~fname ~label:(-1);
+  }
+
+let link (u : Ir.unit_) : t =
+  let runtime = u.Ir.runtime in
+  let fidx = index_funcs u.Ir.funcs in
+  (* the global object table is deterministic in (layout, globals), so a
+     throwaway memory yields the ids every execution memory will use *)
+  let gids = Mem.global_ids (Mem.create runtime u.Ir.globals) in
+  let layout = runtime.Policy.layout in
+  let funcs =
+    Array.of_list
+      (List.map (fun (name, f) -> link_func ~fidx ~gids ~layout name f) u.Ir.funcs)
+  in
+  let entry =
+    match Hashtbl.find_opt fidx "main" with Some i -> i | None -> -1
+  in
+  { unit_ = u; runtime; globals = u.Ir.globals; funcs; entry; global_ids = gids }

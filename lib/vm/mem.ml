@@ -40,12 +40,16 @@ type t = {
   (* globals region *)
   globals_mem : Value.t array;
   globals_taint : bool array;
+  globals_init : Value.t array;       (* post-create snapshot, for [reset] *)
   globals_len : int;                  (* mapped extent in cells *)
   globals_by_base : (int * int) array; (* (base, id), sorted by base *)
+  initial_nobjects : int;             (* object-table size right after create *)
   (* stack region: cells persist across frames (stack reuse) *)
   stack_mem : Value.t array;
   stack_taint : bool array;
   stack_written : bool array;         (* lazily materialized junk *)
+  mutable stack_wlo : int;            (* dirty range of stack_written/taint, *)
+  mutable stack_whi : int;            (* inclusive indices; wlo > whi = clean *)
   mutable sp : int;                   (* next free address (grows down) *)
   mutable frames : frame list;        (* innermost first *)
   (* heap region *)
@@ -99,11 +103,15 @@ let create (runtime : Policy.runtime) (globals : Ir.iglobal list) : t =
       nobjects = 1;
       globals_mem;
       globals_taint;
+      globals_init = [||];
       globals_len = total;
       globals_by_base = [||];
+      initial_nobjects = 1;
       stack_mem = Array.make layout.Policy.stack_size Value.zero;
       stack_taint = Array.make layout.Policy.stack_size true;
       stack_written = Array.make layout.Policy.stack_size false;
+      stack_wlo = max_int;
+      stack_whi = -1;
       sp = layout.Policy.stack_base + layout.Policy.stack_size;
       frames = [];
       heap_mem = Array.make 256 Value.zero;
@@ -129,7 +137,52 @@ let create (runtime : Policy.runtime) (globals : Ir.iglobal list) : t =
       by_base := (base, o.id) :: !by_base;
       cursor := !cursor + g.Ir.g_size + gap)
     placement;
-  { m with globals_by_base = Array.of_list (List.rev !by_base) }
+  {
+    m with
+    globals_by_base = Array.of_list (List.rev !by_base);
+    globals_init = Array.copy globals_mem;
+    initial_nobjects = m.nobjects;
+  }
+
+(* Return the address space to its post-[create] state, reusing every
+   allocation.  Equivalence argument (per region):
+   - globals: values restored from the snapshot, taint cleared;
+   - stack: values are never cleared between frames even in a fresh
+     memory (stack reuse), and a cell with [stack_written = false] reads
+     deterministic junk derived only from [(stack_seed, addr)] — so
+     clearing the written/taint flags over the dirtied range makes every
+     cell read exactly what a fresh stack would;
+   - heap: the break returns to [heap_base] and the free list empties,
+     so every future [malloc] takes the fresh-block path (which
+     re-junks its cells); the used prefix is re-zeroed because
+     inter-block gap cells are readable and a fresh memory holds zeros
+     there;
+   - objects: ids restart at the post-create count, so allocation
+     sequence numbers (Pobjseq ordering) replay identically. *)
+let reset (m : t) : unit =
+  Array.blit m.globals_init 0 m.globals_mem 0 (Array.length m.globals_init);
+  Array.fill m.globals_taint 0 (Array.length m.globals_taint) false;
+  if m.stack_wlo <= m.stack_whi then begin
+    let len = m.stack_whi - m.stack_wlo + 1 in
+    Array.fill m.stack_written m.stack_wlo len false;
+    Array.fill m.stack_taint m.stack_wlo len true;
+    m.stack_wlo <- max_int;
+    m.stack_whi <- -1
+  end;
+  m.sp <- stack_top m;
+  m.frames <- [];
+  let heap_used = m.heap_break - m.layout.Policy.heap_base in
+  if heap_used > 0 then begin
+    Array.fill m.heap_mem 0 heap_used Value.zero;
+    Array.fill m.heap_taint 0 heap_used true
+  end;
+  m.heap_break <- m.layout.Policy.heap_base;
+  m.free_list <- [];
+  Hashtbl.reset m.heap_by_base;
+  for id = 1 to m.initial_nobjects - 1 do
+    m.objects.(id).alive <- true
+  done;
+  m.nobjects <- m.initial_nobjects
 
 (* name -> object id, for Ilea *)
 let global_ids (m : t) : (string, int) Hashtbl.t =
@@ -180,7 +233,9 @@ let write_abs m addr (v : Value.t) ~(taint : bool) =
   | Cstack i ->
     m.stack_mem.(i) <- v;
     m.stack_written.(i) <- true;
-    m.stack_taint.(i) <- taint
+    m.stack_taint.(i) <- taint;
+    if i < m.stack_wlo then m.stack_wlo <- i;
+    if i > m.stack_whi then m.stack_whi <- i
   | Cheap i ->
     m.heap_mem.(i) <- v;
     m.heap_taint.(i) <- taint
@@ -259,44 +314,71 @@ let ptr_of_addr m addr : Value.ptr =
 
 let grow_gap n = n (* identity; kept for clarity *)
 
-(* Compute a frame layout for [slots] (size list in slot-index order) and
-   push it. Returns the slot object ids in slot-index order. *)
-let push_frame m (slots : Ir.frame_slot array) : int array =
-  let l = m.layout in
+(* Frame placement depends only on the layout policy and the slot sizes,
+   so it can be computed once per function at link time: total frame size
+   (gaps and alignment applied) plus per-slot offsets in slot-index
+   order.  Slot *object ids* are allocation sequence numbers and must
+   still be drawn at push time, in layout order. *)
+type frame_layout = {
+  fl_size : int;
+  fl_offsets : int array;              (* slot-index order *)
+}
+
+let layout_frame (l : Policy.layout) (slots : Ir.frame_slot array) :
+    frame_layout =
   let n = Array.length slots in
-  let order = Array.init n (fun i -> i) in
-  let order =
-    if l.Policy.slots_reversed then Array.init n (fun i -> n - 1 - i) else order
-  in
   let gap = grow_gap l.Policy.slot_gap in
-  (* total size with gaps and alignment *)
   let raw =
     Array.fold_left (fun acc (s : Ir.frame_slot) -> acc + s.Ir.slot_size + gap) 0 slots
   in
   let align = max 1 l.Policy.frame_align in
   let size = max align ((raw + align - 1) / align * align) in
-  let base = m.sp - size in
-  if base < l.Policy.stack_base then raise (Trapped Trap.Stack_overflow);
-  m.sp <- base;
-  let ids = Array.make n 0 in
   let offsets = Array.make n 0 in
   let cursor = ref 0 in
-  Array.iter
-    (fun idx ->
-      let s = slots.(idx) in
-      offsets.(idx) <- !cursor;
-      let o = fresh_obj m Kstack (base + !cursor) s.Ir.slot_size s.Ir.slot_name in
-      ids.(idx) <- o.id;
-      cursor := !cursor + s.Ir.slot_size + gap)
-    order;
+  let place k =
+    offsets.(k) <- !cursor;
+    cursor := !cursor + slots.(k).Ir.slot_size + gap
+  in
+  if l.Policy.slots_reversed then
+    for k = n - 1 downto 0 do place k done
+  else
+    for k = 0 to n - 1 do place k done;
+  { fl_size = size; fl_offsets = offsets }
+
+(* Push a frame with a precomputed placement, filling [ids] (length >= n,
+   slot-index order) with the fresh slot object ids. *)
+let push_frame_laid m (slots : Ir.frame_slot array) (fl : frame_layout)
+    (ids : int array) : unit =
+  let l = m.layout in
+  let n = Array.length slots in
+  let base = m.sp - fl.fl_size in
+  if base < l.Policy.stack_base then raise (Trapped Trap.Stack_overflow);
+  m.sp <- base;
+  let alloc k =
+    let s = slots.(k) in
+    let o = fresh_obj m Kstack (base + fl.fl_offsets.(k)) s.Ir.slot_size s.Ir.slot_name in
+    ids.(k) <- o.id
+  in
+  (* ids are sequence numbers: allocate in layout order, like placement *)
+  if l.Policy.slots_reversed then
+    for k = n - 1 downto 0 do alloc k done
+  else
+    for k = 0 to n - 1 do alloc k done;
   (* mark the frame's cells as uninitialized for taint purposes, but do NOT
      clear values: stack reuse *)
   let lo = base - l.Policy.stack_base in
-  for i = lo to lo + size - 1 do
+  for i = lo to lo + fl.fl_size - 1 do
     m.stack_taint.(i) <- true
   done;
-  let f_slots = Array.init n (fun i -> (offsets.(i), ids.(i))) in
-  m.frames <- { f_base = base; f_size = size; f_slots } :: m.frames;
+  let f_slots = Array.init n (fun i -> (fl.fl_offsets.(i), ids.(i))) in
+  m.frames <- { f_base = base; f_size = fl.fl_size; f_slots } :: m.frames
+
+(* Compute a frame layout for [slots] (size list in slot-index order) and
+   push it. Returns the slot object ids in slot-index order. *)
+let push_frame m (slots : Ir.frame_slot array) : int array =
+  let fl = layout_frame m.layout slots in
+  let ids = Array.make (Array.length slots) 0 in
+  push_frame_laid m slots fl ids;
   ids
 
 let pop_frame m =

@@ -1,15 +1,16 @@
 #!/bin/sh
-# Oracle benchmark: measures differential-oracle throughput (checks/sec)
-# sequential-naive vs pooled+deduped+incremental, and the Juliet dedup
-# ratios, then writes BENCH_oracle.json into the repo root.
+# Oracle + VM benchmarks: differential-oracle throughput (checks/sec)
+# sequential-naive vs pooled+deduped+incremental plus the Juliet dedup
+# ratios (BENCH_oracle.json), and raw executor throughput of the
+# tree-walking reference vs the linked-image executor with persistent
+# arenas (BENCH_vm.json). Both JSONs land in the repo root.
 #
-#   scripts/bench.sh            # oracle bench only (BENCH_oracle.json)
+#   scripts/bench.sh            # oracle + vm benches (both JSONs)
 #   scripts/bench.sh all        # every bench section (tables + figures)
 #
-# The JSON reports execs/sec (oracle checks per second), the dedup and
-# escalation savings, the parallel/sequential speedup, and a
-# verdicts_match cross-validation bit. The bench aborts if the optimized
-# oracle ever disagrees with the naive reference.
+# The JSONs report execs/sec, the dedup/escalation savings, the
+# speedups, and a verdicts_match cross-validation bit. Each bench aborts
+# if an optimized path ever disagrees with its naive reference.
 
 set -eu
 
@@ -22,9 +23,11 @@ if [ "${1:-oracle}" = "all" ]; then
   echo "== full bench suite"
   dune exec bench/main.exe
 else
-  echo "== oracle bench (writes BENCH_oracle.json)"
-  dune exec bench/main.exe -- oracle
+  echo "== oracle + vm benches (write BENCH_oracle.json, BENCH_vm.json)"
+  dune exec bench/main.exe -- oracle vm
 fi
 
 echo "== BENCH_oracle.json"
 cat BENCH_oracle.json
+echo "== BENCH_vm.json"
+cat BENCH_vm.json

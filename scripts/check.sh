@@ -39,6 +39,22 @@ for f in examples/*.c; do
   fi
 done
 
+echo "== linked-vs-reference executor smoke test"
+# The linked-image executor (the default everywhere) must be
+# byte-identical to the tree-walking reference interpreter on every
+# example, across all 10 profiles, including arena reuse.
+for f in examples/*.c; do
+  [ -e "$f" ] || continue
+  set +e
+  dune exec bin/compdiff_cli.exe -- vmcheck "$f"
+  got=$?
+  set -e
+  if [ "$got" -ne 0 ]; then
+    echo "FAIL $f: compdiff vmcheck exited $got"
+    status=1
+  fi
+done
+
 echo "== parallel-vs-sequential oracle smoke test"
 # The pooled+deduped oracle must produce byte-identical diff reports and
 # exit codes to the sequential one on every example.

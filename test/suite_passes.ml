@@ -16,7 +16,6 @@ let mk_func code nregs =
     slots = [||];
     code = Array.of_list code;
     code_lines = [||];
-    label_cache = None;
   }
 
 let has f pred = Array.exists pred f.code

@@ -288,6 +288,160 @@ let test_format_specifiers () =
   Alcotest.(check string) "formats" "-1 4294967295 ff A 1234567890123 1.500000 %\n"
     r.Exec.stdout
 
+(* --- linked-image executor vs reference interpreter --- *)
+
+let triple (r : Exec.result) = (r.Exec.stdout, r.Exec.status, r.Exec.fuel_used)
+
+(* run the reference once and the linked executor twice through the same
+   arena (the second run exercises arena reuse after reset) *)
+let check_linked ?(input = "") ?(fuel = 200_000) profile src =
+  match Minic.frontend_of_source src with
+  | Error e -> Alcotest.failf "frontend: %s" e
+  | Ok tp ->
+    let u = Pipeline.compile profile tp in
+    let config = { Exec.default_config with Exec.input; fuel } in
+    let want = triple (Exec.run ~config u) in
+    let img = Image.link u in
+    let arena = Arena.create img in
+    let got1 = triple (Exec.run_linked ~config ~arena img) in
+    let got2 = triple (Exec.run_linked ~config ~arena img) in
+    check_bool "linked matches reference" true (got1 = want);
+    check_bool "arena reuse is deterministic" true (got2 = want)
+
+let check_linked_all_profiles ?input ?fuel src =
+  List.iter (fun p -> check_linked ?input ?fuel p src) Profiles.all
+
+let test_linked_basic () =
+  check_linked_all_profiles
+    "int main() {\n\
+     \  int s = 0;\n\
+     \  for (int i = 0; i < 20; i++) s += i * 3;\n\
+     \  print(\"%d\\n\", s);\n\
+     \  return s & 1;\n\
+     }"
+
+let test_linked_uninit_junk () =
+  (* uninitialized reads surface the per-profile junk policy: the linked
+     executor must reproduce the exact junk values, and arena reuse must
+     not change them (frame_seq and stack leftovers restart per run) *)
+  check_linked_all_profiles ~input:"AB"
+    "int helper(int x) { int a[3]; a[0] = x; return a[0] + a[2]; }\n\
+     int main() {\n\
+     \  int v;\n\
+     \  print(\"%d %d %d\\n\", v, helper(getchar()), helper(getchar()));\n\
+     \  return 0;\n\
+     }"
+
+let test_linked_heap_and_memcpy () =
+  check_linked_all_profiles ~input:"x"
+    "int main() {\n\
+     \  int *p = malloc(6);\n\
+     \  memset(p, getchar(), 6);\n\
+     \  int q[6];\n\
+     \  memcpy(q, p, 6);\n\
+     \  memcpy(q + 1, q, 4);\n\
+     \  free(p);\n\
+     \  int *r = malloc(4);\n\
+     \  print(\"%d %d %d\\n\", q[1], q[4], r[0]);\n\
+     \  return 0;\n\
+     }"
+
+let test_linked_traps () =
+  check_linked_all_profiles
+    "int main() { int a[2]; int i = 5; print(\"%d\\n\", a[i * 7]); return 0; }";
+  check_linked_all_profiles "int main() { int z = 0; return 1 / z; }"
+
+let test_linked_hang_fuel () =
+  (* fuel exhaustion must happen at the identical instruction count *)
+  check_linked_all_profiles ~fuel:5_000
+    "int main() { int i = 0; while (1) { i = i + 1; } return i; }"
+
+let test_linked_output_limit () =
+  check_linked_all_profiles ~fuel:10_000_000
+    "int main() { while (1) { print(\"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\\n\"); } return 0; }"
+
+let test_linked_missing_main () =
+  (* the frontend requires main, so build the unit directly *)
+  let f =
+    {
+      Ir.name = "f";
+      nparams = 0;
+      nregs = 1;
+      slots = [||];
+      code = [| Ir.Iconst (0, Ir.ImmI 1L); Ir.Iret (Some (Ir.Reg 0)) |];
+      code_lines = [| 1; 1 |];
+    }
+  in
+  let u =
+    {
+      Ir.funcs = [ ("f", f) ];
+      globals = [];
+      runtime = gccx_O0.Policy.runtime;
+      impl_name = "test";
+    }
+  in
+  let img = Image.link u in
+  check_bool "no entry" true (img.Image.entry < 0);
+  match Exec.run_linked img with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_arena_wrong_image_rejected () =
+  let compile src =
+    match Minic.frontend_of_source src with
+    | Ok tp -> Image.link (Pipeline.compile gccx_O0 tp)
+    | Error e -> Alcotest.failf "frontend: %s" e
+  in
+  let img1 = compile "int main() { return 0; }" in
+  let img2 = compile "int main() { return 1; }" in
+  let arena = Arena.create img1 in
+  match Exec.run_linked ~arena img2 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* same token soup the other fuzz suites use *)
+let gen_soup =
+  let open QCheck.Gen in
+  let token =
+    oneofl
+      [
+        "int "; "long "; "double "; "if"; "else"; "while"; "return "; "break";
+        "print"; "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "+"; "-"; "*"; "/";
+        "%"; "="; "=="; "<"; ">"; "&&"; "||"; "&"; "|"; "^"; "<<"; ">>"; "!";
+        "~"; "?"; ":"; "x"; "y"; "foo"; "main"; "0"; "1"; "42"; "2147483647";
+        "0x1F"; "7L"; "1.5"; "\"str\""; "'c'"; "__LINE__"; "static "; "for";
+        "getchar()"; "malloc"; "free"; " "; "\n"; "//c\n"; "/*c*/";
+      ]
+  in
+  let* n = int_range 0 40 in
+  let* parts = list_repeat n token in
+  return (String.concat "" parts)
+
+let prop_linked_matches_reference =
+  QCheck.Test.make
+    ~name:"linked executor = reference interpreter on random programs" ~count:60
+    (QCheck.make gen_soup)
+    (fun soup ->
+      let src = "int main() { " ^ soup ^ " ; return 0; }" in
+      match Minic.frontend_of_source src with
+      | Error _ -> true
+      | Ok tp ->
+        List.for_all
+          (fun profile ->
+            let u = Pipeline.compile profile tp in
+            let img = Image.link u in
+            let arena = Arena.create img in
+            List.for_all
+              (fun input ->
+                let config =
+                  { Exec.default_config with Exec.input; fuel = 20_000 }
+                in
+                let want = triple (Exec.run ~config u) in
+                triple (Exec.run_linked ~config ~arena img) = want
+                && triple (Exec.run_linked ~config ~arena img) = want)
+              [ ""; "A"; "zz" ])
+          Profiles.all)
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let suites =
@@ -330,5 +484,17 @@ let suites =
         tc "output limit" test_output_limit;
         tc "fuel accounting" test_fuel_accounting;
         tc "format specifiers" test_format_specifiers;
+      ] );
+    ( "vm.linked",
+      [
+        tc "basic program, all profiles" test_linked_basic;
+        tc "uninit junk reproduced" test_linked_uninit_junk;
+        tc "heap + memcpy direction" test_linked_heap_and_memcpy;
+        tc "traps" test_linked_traps;
+        tc "hang at identical fuel" test_linked_hang_fuel;
+        tc "output limit" test_linked_output_limit;
+        tc "missing main" test_linked_missing_main;
+        tc "arena bound to its image" test_arena_wrong_image_rejected;
+        QCheck_alcotest.to_alcotest prop_linked_matches_reference;
       ] );
   ]
