@@ -67,6 +67,7 @@ let table3 () =
         pct r.Juliet.Eval.r_san_total;
         pct r.Juliet.Eval.r_compdiff;
         string_of_int r.Juliet.Eval.unique;
+        pct r.Juliet.Eval.r_reduction;
       ]
   in
   Tablefmt.print
@@ -75,7 +76,7 @@ let table3 () =
       [
         "CWE-IDs"; "#"; "Covty"; "FP"; "Cppchk"; "FP"; "Infer"; "FP";
         "UnstChk"; "FP"; "ASan"; "UBSan"; "MSan"; "SanTot"; "CompDiff";
-        "#Unique";
+        "#Unique"; "Reduce";
       ]
     (List.map render rows);
   let fps = Juliet.Eval.false_positive_counts evals in

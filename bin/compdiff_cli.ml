@@ -63,6 +63,18 @@ let input_arg =
     value & opt string ""
     & info [ "input" ] ~docv:"BYTES" ~doc:"Program input (stdin bytes).")
 
+let input_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "input-file" ] ~docv:"PATH"
+        ~doc:
+          "Read the program input from a file (raw bytes; overrides \
+           $(b,--input)).")
+
+let resolve_input input input_file =
+  match input_file with Some path -> read_file path | None -> input
+
 let fuel_arg =
   Arg.(
     value & opt int 200_000
@@ -196,8 +208,9 @@ let diff_cmd =
       value & flag
       & info [ "strip-addresses" ] ~doc:"Normalize 0x... addresses before comparing.")
   in
-  let action file input fuel strip jobs =
+  let action file input input_file fuel strip jobs =
     apply_jobs jobs;
+    let input = resolve_input input input_file in
     let tp = frontend_of_file file in
     let normalize =
       if strip then Compdiff.Normalize.strip_hex_addresses
@@ -218,7 +231,9 @@ let diff_cmd =
   Cmd.v
     (Cmd.info "diff"
        ~doc:"Run one input through every implementation and compare outputs.")
-    Term.(const action $ file_arg $ input_arg $ fuel_arg $ strip_addr $ jobs_arg)
+    Term.(
+      const action $ file_arg $ input_arg $ input_file_arg $ fuel_arg
+      $ strip_addr $ jobs_arg)
 
 (* --- trace --- *)
 
@@ -251,8 +266,11 @@ let localize_cmd =
       Printf.printf "no divergence on this input; nothing to localize\n";
       0
     | Compdiff.Oracle.Diverge obs -> (
+      (* no explicit ~fuel: localization replays at the fuel the verdict
+         was actually obtained at (it may have been escalated past the
+         base budget; replaying at the base would fake a hang) *)
       match
-        Compdiff.Localize.of_divergence ~fuel o (Compdiff.Oracle.binaries o) obs
+        Compdiff.Localize.of_divergence o (Compdiff.Oracle.binaries o) obs
           ~input
       with
       | Some l ->
@@ -271,6 +289,199 @@ let localize_cmd =
        ~doc:
          "Locate the first divergent observable event between two disagreeing implementations.")
     Term.(const action $ file_arg $ input_arg $ fuel_arg)
+
+(* --- reduce --- *)
+
+(* The §5 reporting pipeline: take diverging inputs (given explicitly,
+   or found by a short fuzz campaign), shrink each with the
+   oracle-validated reducer, and print reduced reproducers + ratios. *)
+let reduce_cmd =
+  let inputs_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "input" ] ~docv:"BYTES"
+          ~doc:"A diverging input to reduce (repeatable).")
+  in
+  let input_files_arg =
+    Arg.(
+      value & opt_all file []
+      & info [ "input-file" ] ~docv:"PATH"
+          ~doc:"Read a diverging input from a file (raw bytes; repeatable).")
+  in
+  let execs =
+    Arg.(
+      value & opt int 1_500
+      & info [ "execs" ] ~docv:"N"
+          ~doc:
+            "Fuzzing budget used to find divergences when no $(b,--input) \
+             is given.")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print aggregate reduction statistics (median ratio, checks).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH"
+          ~doc:
+            "Write the first reduced input to PATH (raw bytes) and the raw \
+             input it came from to PATH.orig.")
+  in
+  let dump_program =
+    Arg.(
+      value & flag
+      & info [ "dump-program" ]
+          ~doc:"Print the structurally reduced program when it shrank.")
+  in
+  let max_checks =
+    Arg.(
+      value & opt int 1_000
+      & info [ "max-checks" ] ~docv:"N"
+          ~doc:"Oracle-validation budget per divergence.")
+  in
+  let action file inputs input_files execs stats out dump_program max_checks
+      fuel jobs =
+    apply_jobs jobs;
+    let tp = frontend_of_file file in
+    let ast = ast_of_file file in
+    let explicit = inputs @ List.map read_file input_files in
+    (* (oracle, raw input, observations) per divergence *)
+    let oracle, divergences =
+      if explicit <> [] then begin
+        let oracle = Compdiff.Oracle.create ~fuel tp in
+        let divs =
+          List.filter_map
+            (fun input ->
+              match Compdiff.Oracle.check oracle ~input with
+              | Compdiff.Oracle.Diverge obs -> Some (input, obs)
+              | Compdiff.Oracle.Agree _ ->
+                Printf.eprintf "input %S does not diverge; skipping\n" input;
+                None)
+            explicit
+        in
+        (oracle, divs)
+      end
+      else begin
+        let c =
+          Fuzz.Compdiff_afl.run
+            ~config:
+              {
+                Fuzz.Compdiff_afl.default_config with
+                Fuzz.Compdiff_afl.max_execs = execs;
+                fuel;
+                (* batch-reduce below instead of on save *)
+                reduce_on_save = false;
+              }
+            tp
+        in
+        Printf.printf "fuzzed %d execs: %d divergent inputs, %d signatures\n"
+          c.Fuzz.Compdiff_afl.fuzz.Fuzz.Fuzzer.execs
+          (Compdiff.Triage.total_count c.Fuzz.Compdiff_afl.diffs)
+          (Compdiff.Triage.unique_count c.Fuzz.Compdiff_afl.diffs);
+        ( c.Fuzz.Compdiff_afl.oracle,
+          List.map
+            (fun (e : Compdiff.Triage.diff_entry) ->
+              (e.Compdiff.Triage.input, e.Compdiff.Triage.observations))
+            (Compdiff.Triage.representatives c.Fuzz.Compdiff_afl.diffs) )
+      end
+    in
+    if divergences = [] then begin
+      Printf.printf "no divergence to reduce\n";
+      0
+    end
+    else begin
+      (* reductions are independent: one pool task per divergence *)
+      let reduce_one (input, obs) =
+        (input, Compdiff.Reduce.reduce ~max_checks ~program:ast oracle ~input obs)
+      in
+      let results =
+        if List.length divergences > 1 && Cdutil.Pool.default_jobs () > 1 then
+          Cdutil.Pool.map reduce_one divergences
+        else List.map reduce_one divergences
+      in
+      let reduced = List.filter_map (fun (i, r) -> Option.map (fun r -> (i, r)) r) results in
+      List.iteri
+        (fun i (input, (r : Compdiff.Reduce.result)) ->
+          let s = r.Compdiff.Reduce.red_stats in
+          Printf.printf
+            "divergence %d: input %d -> %d bytes (%.0f%% smaller), %d checks\n"
+            (i + 1) s.Compdiff.Reduce.input_before s.Compdiff.Reduce.input_after
+            (100. *. Compdiff.Reduce.input_ratio s)
+            s.Compdiff.Reduce.checks;
+          Printf.printf "  raw input:     %S\n" input;
+          Printf.printf "  reduced input: %S\n" r.Compdiff.Reduce.red_input;
+          (match r.Compdiff.Reduce.red_class.Compdiff.Reduce.cls_pair with
+          | Some (a, b) -> Printf.printf "  diverges between %s and %s\n" a b
+          | None -> ());
+          (match r.Compdiff.Reduce.red_class.Compdiff.Reduce.cls_fn with
+          | Some fn -> Printf.printf "  localized to function '%s'\n" fn
+          | None -> ());
+          (match r.Compdiff.Reduce.red_program with
+          | Some p ->
+            Printf.printf "  program: %d -> %d statements\n"
+              s.Compdiff.Reduce.stmts_before s.Compdiff.Reduce.stmts_after;
+            if dump_program then print_string (Minic.Pretty.program_to_string p)
+          | None -> ());
+          print_string
+            (Compdiff.Oracle.report_to_string ~input:r.Compdiff.Reduce.red_input
+               r.Compdiff.Reduce.red_observations))
+        reduced;
+      (match (out, reduced) with
+      | Some path, (raw, (r : Compdiff.Reduce.result)) :: _ ->
+        let write p s =
+          let oc = open_out_bin p in
+          output_string oc s;
+          close_out oc
+        in
+        write path r.Compdiff.Reduce.red_input;
+        write (path ^ ".orig") raw
+      | _ -> ());
+      if stats then begin
+        let ratios =
+          List.sort compare
+            (List.map
+               (fun (_, (r : Compdiff.Reduce.result)) ->
+                 Compdiff.Reduce.input_ratio r.Compdiff.Reduce.red_stats)
+               reduced)
+        in
+        let median =
+          match ratios with
+          | [] -> 0.
+          | _ ->
+            let n = List.length ratios in
+            if n mod 2 = 1 then List.nth ratios (n / 2)
+            else (List.nth ratios ((n / 2) - 1) +. List.nth ratios (n / 2)) /. 2.
+        in
+        let sum f =
+          List.fold_left
+            (fun a (_, (r : Compdiff.Reduce.result)) ->
+              a + f r.Compdiff.Reduce.red_stats)
+            0 reduced
+        in
+        Printf.printf
+          "reduce stats: %d divergences, median input reduction %.0f%%, total \
+           %d -> %d bytes, %d oracle checks\n"
+          (List.length reduced)
+          (100. *. median)
+          (sum (fun s -> s.Compdiff.Reduce.input_before))
+          (sum (fun s -> s.Compdiff.Reduce.input_after))
+          (sum (fun s -> s.Compdiff.Reduce.checks))
+      end;
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:
+         "Shrink diverging inputs (and the program) into reduced \
+          reproducers, validating every step through the oracle.")
+    Term.(
+      const action $ file_arg $ inputs_arg $ input_files_arg $ execs
+      $ stats_flag $ out_arg $ dump_program $ max_checks $ fuel_arg $ jobs_arg)
 
 (* --- fuzz --- *)
 
@@ -305,16 +516,37 @@ let fuzz_cmd =
       c.Fuzz.Compdiff_afl.fuzz.Fuzz.Fuzzer.edges_covered;
     Printf.printf "crashes:          %d\n"
       (List.length c.Fuzz.Compdiff_afl.fuzz.Fuzz.Fuzzer.crashes);
-    Printf.printf "divergent inputs: %d (%d unique)\n"
+    Printf.printf "divergent inputs: %d (%d unique, %d reduced)\n"
       (Compdiff.Triage.total_count c.Fuzz.Compdiff_afl.diffs)
-      (Compdiff.Triage.unique_count c.Fuzz.Compdiff_afl.diffs);
+      (Compdiff.Triage.unique_count c.Fuzz.Compdiff_afl.diffs)
+      (Compdiff.Triage.reduced_count c.Fuzz.Compdiff_afl.diffs);
+    (* report one entry per (localized function, root cause), reduced
+       reproducer first when the on-save reducer produced one *)
     List.iter
-      (fun (e : Compdiff.Triage.diff_entry) ->
+      (fun ((key, entries) :
+             Compdiff.Triage.report_key * Compdiff.Triage.diff_entry list) ->
+        let e = List.hd entries in
         print_newline ();
-        print_string
-          (Compdiff.Oracle.report_to_string ~input:e.Compdiff.Triage.input
-             e.Compdiff.Triage.observations))
-      (Compdiff.Triage.representatives c.Fuzz.Compdiff_afl.diffs);
+        Printf.printf "bug bucket: %s (%d signature%s)\n"
+          (Compdiff.Triage.report_key_to_string key)
+          (List.length entries)
+          (if List.length entries = 1 then "" else "s");
+        match e.Compdiff.Triage.reduced with
+        | Some r ->
+          Printf.printf "reduced from %d to %d bytes (%d checks)\n"
+            (String.length e.Compdiff.Triage.input)
+            (String.length r.Compdiff.Triage.red_input)
+            r.Compdiff.Triage.red_checks;
+          print_string
+            (Compdiff.Oracle.report_to_string
+               ~input:r.Compdiff.Triage.red_input
+               r.Compdiff.Triage.red_observations)
+        | None ->
+          print_string
+            (Compdiff.Oracle.report_to_string ~input:e.Compdiff.Triage.input
+               e.Compdiff.Triage.observations))
+      (Compdiff.Triage.report_buckets c.Fuzz.Compdiff_afl.diffs
+         c.Fuzz.Compdiff_afl.oracle ~program:(ast_of_file file) ());
     if Compdiff.Triage.total_count c.Fuzz.Compdiff_afl.diffs > 0 then 1 else 0
   in
   Cmd.v
@@ -340,11 +572,14 @@ let juliet_cmd =
     let rows = Juliet.Eval.aggregate evals in
     List.iter
       (fun (r : Juliet.Eval.row) ->
-        Printf.printf "%-36s n=%-4d CompDiff %3.0f%%  sanitizers %3.0f%%  unique %d\n"
+        Printf.printf
+          "%-36s n=%-4d CompDiff %3.0f%%  sanitizers %3.0f%%  unique %d  \
+           reduce %3.0f%%\n"
           r.Juliet.Eval.label r.Juliet.Eval.total
           (100. *. r.Juliet.Eval.r_compdiff)
           (100. *. r.Juliet.Eval.r_san_total)
-          r.Juliet.Eval.unique)
+          r.Juliet.Eval.unique
+          (100. *. r.Juliet.Eval.r_reduction))
       rows;
     0
   in
@@ -377,21 +612,33 @@ let projects_cmd =
                (List.map (fun p -> p.Projects.Project.pname) Projects.Registry.all));
           exit 2)
     in
-    List.iter
-      (fun (p : Projects.Project.t) ->
-        let r = Projects.Campaign.run_project ~max_execs:execs p in
-        Printf.printf "%-12s seeded=%d found=%d\n%!" p.Projects.Project.pname
-          (List.length p.Projects.Project.bugs)
-          (List.length r.Projects.Campaign.found);
-        List.iter
-          (fun (f : Projects.Campaign.found_bug) ->
-            Printf.printf "  [%s] %s (input %S)\n"
-              (Projects.Project.category_to_string
-                 f.Projects.Campaign.bug.Projects.Project.category)
-              f.Projects.Campaign.bug.Projects.Project.bug_id
-              f.Projects.Campaign.found_input)
-          r.Projects.Campaign.found)
-      targets;
+    let results =
+      List.map
+        (fun (p : Projects.Project.t) ->
+          let r = Projects.Campaign.run_project ~max_execs:execs p in
+          Printf.printf "%-12s seeded=%d found=%d\n%!" p.Projects.Project.pname
+            (List.length p.Projects.Project.bugs)
+            (List.length r.Projects.Campaign.found);
+          List.iter
+            (fun (f : Projects.Campaign.found_bug) ->
+              Printf.printf "  [%s] %s (input %S)\n"
+                (Projects.Project.category_to_string
+                   f.Projects.Campaign.bug.Projects.Project.category)
+                f.Projects.Campaign.bug.Projects.Project.bug_id
+                f.Projects.Campaign.found_input)
+            r.Projects.Campaign.found;
+          r)
+        targets
+    in
+    let s = Projects.Campaign.summarize_reductions results in
+    if s.Projects.Campaign.rs_divergences > 0 then
+      Printf.printf
+        "reduced %d divergence reproducers: %d -> %d bytes, median reduction \
+         %.0f%% (%d oracle checks)\n"
+        s.Projects.Campaign.rs_divergences s.Projects.Campaign.rs_raw_bytes
+        s.Projects.Campaign.rs_reduced_bytes
+        (100. *. s.Projects.Campaign.rs_median_ratio)
+        s.Projects.Campaign.rs_checks;
     0
   in
   Cmd.v
@@ -492,6 +739,6 @@ let main_cmd =
   let doc = "compiler-driven differential testing for MiniC programs" in
   Cmd.group
     (Cmd.info "compdiff" ~version:"1.0.0" ~doc)
-    [ compile_cmd; run_cmd; vmcheck_cmd; diff_cmd; trace_cmd; localize_cmd; fuzz_cmd; juliet_cmd; static_cmd; projects_cmd; profiles_cmd ]
+    [ compile_cmd; run_cmd; vmcheck_cmd; diff_cmd; trace_cmd; localize_cmd; reduce_cmd; fuzz_cmd; juliet_cmd; static_cmd; projects_cmd; profiles_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

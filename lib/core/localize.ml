@@ -25,13 +25,13 @@ type localization = {
   at_b : event option;
 }
 
-(* run one binary collecting its observable-event trace *)
-let trace ?(fuel = 200_000) (u : Cdcompiler.Ir.unit_) ~(input : string) :
+(* Run one pre-linked binary collecting its observable-event trace. *)
+let trace_image ?(fuel = 200_000) (img : Cdvm.Image.t) ~(input : string) :
     event list * Cdvm.Trap.status =
   let events = ref [] in
   let on_print ~fn text = events := { ev_fn = fn; ev_text = text } :: !events in
   let r =
-    Cdvm.Exec.run
+    Cdvm.Exec.run_linked
       ~config:
         {
           Cdvm.Exec.default_config with
@@ -39,9 +39,14 @@ let trace ?(fuel = 200_000) (u : Cdcompiler.Ir.unit_) ~(input : string) :
           fuel;
           on_print = Some on_print;
         }
-      u
+      img
   in
   (List.rev !events, r.Cdvm.Exec.status)
+
+(* run one binary collecting its observable-event trace *)
+let trace ?fuel (u : Cdcompiler.Ir.unit_) ~(input : string) :
+    event list * Cdvm.Trap.status =
+  trace_image ?fuel (Cdvm.Image.link u) ~input
 
 let rec first_diff i (a : event list) (b : event list) =
   match (a, b) with
@@ -72,27 +77,41 @@ let between ?fuel ~(impl_a : string * Cdcompiler.Ir.unit_)
     in
     Some { impl_a = name_a; impl_b = name_b; event_index = i; before; at_a = ea; at_b = eb }
 
+(* The first pair of implementations whose observations disagree: the
+   leftmost binary plus the leftmost one differing from it.  The pair is
+   a function of the behaviour partition, so any reduction step that
+   preserves the partition signature preserves it too. *)
+let divergent_pair (oracle : Oracle.t)
+    (obs : (string * Oracle.observation) list) : (string * string) option =
+  match obs with
+  | [] -> None
+  | (first_name, first_obs) :: rest ->
+    let c0 = Oracle.checksum oracle first_obs in
+    Option.map
+      (fun (other_name, _) -> (first_name, other_name))
+      (List.find_opt (fun (_, o) -> Oracle.checksum oracle o <> c0) rest)
+
 (* Pick two implementations with differing observations from an oracle
-   divergence and localize between them. *)
+   divergence and localize between them.  Traces replay at the fuel the
+   verdict was actually obtained at ({!Oracle.verdict_fuel}) unless the
+   caller overrides it: a divergence found after escalation would
+   otherwise localize as a spurious hang. *)
 let of_divergence ?fuel (oracle : Oracle.t)
     (binaries : (string * Cdcompiler.Ir.unit_) list)
     (obs : (string * Oracle.observation) list) ~(input : string) :
     localization option =
-  match obs with
-  | [] -> None
-  | (first_name, first_obs) :: rest -> (
-    let c0 = Oracle.checksum oracle first_obs in
+  match divergent_pair oracle obs with
+  | None -> None
+  | Some (first_name, other_name) -> (
+    let fuel =
+      match fuel with Some f -> f | None -> Oracle.verdict_fuel oracle obs
+    in
     match
-      List.find_opt (fun (_, o) -> Oracle.checksum oracle o <> c0) rest
+      ( List.find_opt (fun (n, _) -> n = first_name) binaries,
+        List.find_opt (fun (n, _) -> n = other_name) binaries )
     with
-    | None -> None
-    | Some (other_name, _) -> (
-      match
-        ( List.find_opt (fun (n, _) -> n = first_name) binaries,
-          List.find_opt (fun (n, _) -> n = other_name) binaries )
-      with
-      | Some a, Some b -> between ?fuel ~impl_a:a ~impl_b:b ~input ()
-      | _ -> None))
+    | Some a, Some b -> between ~fuel ~impl_a:a ~impl_b:b ~input ()
+    | _ -> None)
 
 let to_string (l : localization) : string =
   let buf = Buffer.create 128 in

@@ -146,6 +146,18 @@ let of_binaries ?(normalize = Normalize.identity) ?(fuel = 200_000)
 let names t = List.map fst t.binaries
 let binaries t = t.binaries
 let jobs t = t.jobs
+let base_fuel t = t.base_fuel
+let fuel_limit t = t.max_fuel
+let normalize t = t.normalize
+
+(* The budget needed to replay a set of observations faithfully: a
+   terminating run behaves identically under any budget >= its
+   [fuel_used], and a hang's [fuel_used] equals the (escalated) budget
+   it was observed at.  Localization and reduction re-executions must
+   use this, not the base fuel: a divergence found after escalation
+   replayed at base fuel manufactures spurious hangs. *)
+let verdict_fuel t (obs : (string * observation) list) : int =
+  List.fold_left (fun acc (_, o) -> max acc o.fuel_used) t.base_fuel obs
 let class_count t = Array.length t.class_repr
 let classes t = Array.copy t.class_of
 

@@ -84,6 +84,23 @@ val binaries : t -> (string * Cdcompiler.Ir.unit_) list
 
 val jobs : t -> int
 
+val base_fuel : t -> int
+(** The base execution budget this oracle was created with. *)
+
+val fuel_limit : t -> int
+(** The escalation cap ([max_fuel] of {!create}). *)
+
+val normalize : t -> Normalize.filter
+
+val verdict_fuel : t -> (string * observation) list -> int
+(** The execution budget needed to replay these observations faithfully:
+    the maximum [fuel_used] (at least [base_fuel]).  A terminating run
+    is identical under any budget at least its [fuel_used]; a hang's
+    [fuel_used] is the escalated budget it was observed at.  Trace
+    re-executions (localization, reduction) must use this rather than
+    the base fuel, or a divergence found after escalation replays as a
+    spurious hang. *)
+
 val class_count : t -> int
 (** Number of behavioral equivalence classes among the binaries
     (equals the binary count when [~dedup:false]). *)

@@ -1,0 +1,313 @@
+(* Oracle-validated divergence reduction (paper Section 5).
+
+   A saved divergence is a raw havoc-mutated blob; the paper's reports
+   are reduced reproducers.  This module shrinks the (program, input)
+   pair while preserving the *divergence class*:
+
+     - the canonical signature of the behaviour partition (which
+       implementations agree with which), which also pins the first
+       disagreeing implementation pair, and
+     - the function the divergence localizes to, traced at the fuel the
+       verdict was obtained at (Oracle.verdict_fuel) on the linked
+       executor.
+
+   Every candidate — a shorter input, a canonicalized byte, a program
+   with a statement dropped — is re-validated through Oracle.check
+   before it is accepted, so a candidate that diverges *differently*
+   (an unrelated bug uncovered by the edit) is rejected rather than
+   silently swapped in.  Soundness is therefore trivial: the final pair
+   was validated by the very oracle that will judge the report. *)
+
+type cls = {
+  cls_signature : int;
+  cls_pair : (string * string) option;
+  cls_fn : string option;
+}
+
+type stats = {
+  checks : int;
+  input_before : int;
+  input_after : int;
+  stmts_before : int;
+  stmts_after : int;
+}
+
+type result = {
+  red_input : string;
+  red_observations : (string * Oracle.observation) list;
+  red_program : Minic.Ast.program option;
+  red_class : cls;
+  red_stats : stats;
+}
+
+let class_of (oracle : Oracle.t) ~(input : string)
+    (obs : (string * Oracle.observation) list) : cls =
+  let cls_signature =
+    Triage.signature_of_partition (Oracle.partition oracle obs)
+  in
+  let cls_pair = Localize.divergent_pair oracle obs in
+  let cls_fn =
+    match Localize.of_divergence oracle (Oracle.binaries oracle) obs ~input with
+    | Some l -> (
+      match (l.Localize.at_a, l.Localize.at_b) with
+      | Some e, _ | None, Some e -> Some e.Localize.ev_fn
+      | None, None -> None)
+    | None -> None
+  in
+  { cls_signature; cls_pair; cls_fn }
+
+let same_class a b = a.cls_signature = b.cls_signature && a.cls_fn = b.cls_fn
+
+let input_ratio (s : stats) : float =
+  if s.input_before = 0 then 0.
+  else 1. -. (float_of_int s.input_after /. float_of_int s.input_before)
+
+(* --- input reduction: ddmin, then byte canonicalization --- *)
+
+(* ddmin in its complement-removal form: split the input into [n]
+   chunks, try dropping each; on success restart from the shorter input
+   at granularity [n - 1], otherwise double [n] until chunks are single
+   bytes.  [test] must accept the candidate for it to be kept, so every
+   intermediate input still exhibits the original divergence class. *)
+let ddmin ~(test : string -> bool) (s0 : string) : string =
+  let current = ref s0 in
+  let n = ref 2 in
+  let continue_ = ref (String.length s0 > 0) in
+  while !continue_ do
+    let len = String.length !current in
+    if len = 0 then continue_ := false
+    else begin
+      let n' = min !n len in
+      let chunk = (len + n' - 1) / n' in
+      let rec try_drop i =
+        if i * chunk >= len then None
+        else begin
+          let lo = i * chunk and hi = min len ((i + 1) * chunk) in
+          let cand =
+            String.sub !current 0 lo ^ String.sub !current hi (len - hi)
+          in
+          if test cand then Some cand else try_drop (i + 1)
+        end
+      in
+      match try_drop 0 with
+      | Some cand ->
+        current := cand;
+        n := max 2 (n' - 1)
+      | None ->
+        if chunk <= 1 then continue_ := false else n := min (2 * n') len
+    end
+  done;
+  !current
+
+(* Canonicalize the surviving bytes: prefer '\000', else a printable
+   digit, so the reproducer reads as regular structure plus the few
+   bytes that actually matter.  Length never changes. *)
+let canonicalize ~(test : string -> bool) (s0 : string) : string =
+  let current = ref s0 in
+  String.iteri
+    (fun i c ->
+      let try_byte r =
+        if c = r then false
+        else begin
+          let b = Bytes.of_string !current in
+          Bytes.set b i r;
+          let cand = Bytes.to_string b in
+          if test cand then begin
+            current := cand;
+            true
+          end
+          else false
+        end
+      in
+      if not (try_byte '\000') then ignore (try_byte '0'))
+    s0;
+  !current
+
+(* --- structural program reduction --- *)
+
+open Minic.Ast
+
+(* Pre-order traversal assigning every statement (nested ones included)
+   an index; [f i s = Some repl] substitutes [repl] for the statement
+   without descending into it, [None] keeps it and descends. *)
+let map_stmts (f : int -> stmt -> stmt list option) (p : program) :
+    program * int =
+  let counter = ref 0 in
+  let rec map_block (b : block) : block =
+    List.concat_map
+      (fun s ->
+        let i = !counter in
+        incr counter;
+        match f i s with
+        | Some repl -> repl
+        | None ->
+          let s' =
+            match s.s with
+            | SIf (c, a, b2) -> { s with s = SIf (c, map_block a, map_block b2) }
+            | SWhile (c, b2) -> { s with s = SWhile (c, map_block b2) }
+            | SBlock b2 -> { s with s = SBlock (map_block b2) }
+            | SExpr _ | SDecl _ | SReturn _ | SBreak | SContinue | SPrint _ ->
+              s
+          in
+          [ s' ])
+      b
+  in
+  let funcs = List.map (fun fn -> { fn with body = map_block fn.body }) p.funcs in
+  ({ p with funcs }, !counter)
+
+let count_stmts (p : program) : int = snd (map_stmts (fun _ _ -> None) p)
+
+let collect_stmts (p : program) : (int * stmt) list =
+  let acc = ref [] in
+  ignore
+    (map_stmts
+       (fun i s ->
+         acc := (i, s) :: !acc;
+         None)
+       p);
+  List.rev !acc
+
+let zero = { e = EInt 0L; eloc = no_loc }
+
+let is_zero e = match e.e with EInt 0L -> true | _ -> false
+
+(* Candidate replacements for one statement, most aggressive first:
+   drop it, flatten branches, zero the expressions it evaluates. *)
+let stmt_rewrites (s : stmt) : stmt list list =
+  let keep d = [ { s with s = d } ] in
+  [ [] ]
+  @ (match s.s with
+    | SIf (_, a, b) ->
+      (if a <> [] then [ keep (SBlock a) ] else [])
+      @ if b <> [] then [ keep (SBlock b) ] else []
+    | SWhile (_, b) -> if b <> [] then [ keep (SBlock b) ] else []
+    | SDecl d when d.dinit <> None && d.dinit <> Some zero ->
+      [ keep (SDecl { d with dinit = Some zero }) ]
+    | SReturn (Some e) when not (is_zero e) -> [ keep (SReturn (Some zero)) ]
+    | SExpr { e = EAssign (l, r); eloc } when not (is_zero r) ->
+      [ keep (SExpr { e = EAssign (l, zero); eloc }) ]
+    | SPrint (fmt, args) when List.exists (fun a -> not (is_zero a)) args ->
+      [ keep (SPrint (fmt, List.map (fun _ -> zero) args)) ]
+    | _ -> [])
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+(* All one-step program simplifications, lazily: function drops first
+   (the biggest wins), then globals, then per-statement rewrites. *)
+let candidates (p : program) : program Seq.t =
+  let func_drops =
+    Seq.filter_map
+      (fun i ->
+        if (List.nth p.funcs i).fname = "main" then None
+        else Some { p with funcs = drop_nth p.funcs i })
+      (Seq.init (List.length p.funcs) Fun.id)
+  in
+  let global_drops =
+    Seq.map
+      (fun i -> { p with globals = drop_nth p.globals i })
+      (Seq.init (List.length p.globals) Fun.id)
+  in
+  let stmt_edits =
+    Seq.concat_map
+      (fun (i, s) ->
+        Seq.map
+          (fun repl ->
+            fst (map_stmts (fun j _ -> if j = i then Some repl else None) p))
+          (List.to_seq (stmt_rewrites s)))
+      (List.to_seq (collect_stmts p))
+  in
+  Seq.append func_drops (Seq.append global_drops stmt_edits)
+
+(* --- the reducer --- *)
+
+let default_reoracle (oracle : Oracle.t) (tp : Minic.Tast.tprogram) : Oracle.t =
+  Oracle.create
+    ~normalize:(Oracle.normalize oracle)
+    ~fuel:(Oracle.base_fuel oracle)
+    ~max_fuel:(Oracle.fuel_limit oracle)
+    ~jobs:(Oracle.jobs oracle) tp
+
+let reduce ?(max_checks = 1_000) ?program ?reoracle (oracle : Oracle.t)
+    ~(input : string) (obs : (string * Oracle.observation) list) :
+    result option =
+  let cls = class_of oracle ~input obs in
+  if cls.cls_pair = None then None
+  else begin
+    let checks = ref 0 in
+    let best_obs = ref obs in
+    (* one validation = one oracle check (plus the two localization
+       traces); a candidate passes iff it still diverges in the same
+       class *)
+    let test_input cand =
+      !checks < max_checks
+      && begin
+           incr checks;
+           match Oracle.check oracle ~input:cand with
+           | Oracle.Agree _ -> false
+           | Oracle.Diverge obs' ->
+             if same_class cls (class_of oracle ~input:cand obs') then begin
+               best_obs := obs';
+               true
+             end
+             else false
+         end
+    in
+    let red_input = canonicalize ~test:test_input (ddmin ~test:test_input input) in
+    let red_program, red_observations, stmts_before, stmts_after =
+      match program with
+      | None -> (None, !best_obs, 0, 0)
+      | Some p0 ->
+        let reoracle =
+          match reoracle with Some f -> f | None -> default_reoracle oracle
+        in
+        let prog_obs = ref None in
+        let test_program cand =
+          !checks < max_checks
+          && begin
+               match Minic.Typecheck.check_program_result cand with
+               | Error _ -> false
+               | Ok tp -> (
+                 incr checks;
+                 let o = reoracle tp in
+                 match Oracle.check o ~input:red_input with
+                 | Oracle.Agree _ -> false
+                 | Oracle.Diverge obs' ->
+                   if same_class cls (class_of o ~input:red_input obs') then begin
+                     prog_obs := Some obs';
+                     true
+                   end
+                   else false)
+             end
+        in
+        (* greedy fixpoint: apply the first validating one-step
+           simplification, rescan from the simplified program *)
+        let cur = ref p0 in
+        let progressed = ref true in
+        while !progressed && !checks < max_checks do
+          match Seq.find test_program (candidates !cur) with
+          | Some p' -> cur := p'
+          | None -> progressed := false
+        done;
+        if !prog_obs = None then (None, !best_obs, 0, 0)
+        else
+          ( Some !cur,
+            Option.get !prog_obs,
+            count_stmts p0,
+            count_stmts !cur )
+    in
+    Some
+      {
+        red_input;
+        red_observations;
+        red_program;
+        red_class = cls;
+        red_stats =
+          {
+            checks = !checks;
+            input_before = String.length input;
+            input_after = String.length red_input;
+            stmts_before;
+            stmts_after;
+          };
+      }
+  end

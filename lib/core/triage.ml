@@ -5,10 +5,17 @@
    the behaviour partition: which implementations agree with which (not
    the concrete outputs, which often vary with the input bytes). *)
 
+type reduced = {
+  red_input : string;
+  red_observations : (string * Oracle.observation) list;
+  red_checks : int;
+}
+
 type diff_entry = {
   input : string;
   observations : (string * Oracle.observation) list;
   signature : int;
+  mutable reduced : reduced option;
 }
 
 (* canonical-form partition signature: rename class ids in first-seen
@@ -40,7 +47,7 @@ let add t (oracle : Oracle.t) ~(input : string)
     (obs : (string * Oracle.observation) list) : [ `New | `Duplicate ] =
   let classes = Oracle.partition oracle obs in
   let signature = signature_of_partition classes in
-  let entry = { input; observations = obs; signature } in
+  let entry = { input; observations = obs; signature; reduced = None } in
   t.entries <- entry :: t.entries;
   match Hashtbl.find_opt t.signatures signature with
   | Some n ->
@@ -53,6 +60,25 @@ let add t (oracle : Oracle.t) ~(input : string)
 let unique_count t = Hashtbl.length t.signatures
 let total_count t = List.length t.entries
 let entries t = List.rev t.entries
+
+(* Attach a reduced reproducer to the (most recent) entry holding the
+   raw input it was reduced from. *)
+let attach_reduced t ~(input : string) (r : reduced) : unit =
+  match List.find_opt (fun e -> e.input = input) t.entries with
+  | Some e -> e.reduced <- Some r
+  | None -> ()
+
+let reduced_count t =
+  List.length (List.filter (fun e -> e.reduced <> None) t.entries)
+
+(* total (raw, reduced) input bytes over the entries that were reduced *)
+let reduction_bytes t : int * int =
+  List.fold_left
+    (fun (raw, red) e ->
+      match e.reduced with
+      | Some r -> (raw + String.length e.input, red + String.length r.red_input)
+      | None -> (raw, red))
+    (0, 0) t.entries
 
 (* one representative entry per signature *)
 let representatives t : diff_entry list =
@@ -123,6 +149,76 @@ let suggest_root_cause (p : Minic.Ast.program)
            rc_finding = f;
            rc_in_function = in_fn f;
          })
+
+(* --- second-level dedup for reporting ---
+
+   The partition signature is the cheap online dedup of Algorithm 1.
+   For the final report the paper groups by root cause: once reduced
+   reproducers exist we can afford the expensive key — the function the
+   divergence localizes to plus the Table 5 label UnstableCheck suggests
+   for it.  Distinct partition signatures frequently collapse here
+   (many behaviour shapes, one bug). *)
+
+type report_key = { rk_fn : string option; rk_label : string option }
+
+let report_key_to_string k =
+  Printf.sprintf "%s / %s"
+    (Option.value ~default:"(no localized function)" k.rk_fn)
+    (Option.value ~default:"(no root cause)" k.rk_label)
+
+(* Key of one entry, computed on the reduced reproducer when present.
+   Localization replays on the oracle's binaries at the verdict fuel. *)
+let entry_key (oracle : Oracle.t) ?program (e : diff_entry) : report_key =
+  let input, obs =
+    match e.reduced with
+    | Some r -> (r.red_input, r.red_observations)
+    | None -> (e.input, e.observations)
+  in
+  let l = Localize.of_divergence oracle (Oracle.binaries oracle) obs ~input in
+  let rk_fn =
+    match l with
+    | Some l -> (
+      match (l.Localize.at_a, l.Localize.at_b) with
+      | Some e, _ | None, Some e -> Some e.Localize.ev_fn
+      | None, None -> None)
+    | None -> None
+  in
+  let rk_label =
+    match (program, l) with
+    | Some p, Some l ->
+      Option.map (fun rc -> rc.rc_label) (suggest_root_cause p l)
+    | _ -> None
+  in
+  { rk_fn; rk_label }
+
+(* One bucket per (localized function, root cause), in first-seen order;
+   inside a bucket the smallest reproducer leads.  Operates on the
+   signature representatives, so both dedup levels compose. *)
+let report_buckets t (oracle : Oracle.t) ?program () :
+    (report_key * diff_entry list) list =
+  let buckets = ref [] in
+  List.iter
+    (fun e ->
+      let k = entry_key oracle ?program e in
+      if List.mem_assoc k !buckets then
+        buckets :=
+          List.map
+            (fun (k', es) -> if k' = k then (k', e :: es) else (k', es))
+            !buckets
+      else buckets := !buckets @ [ (k, [ e ]) ])
+    (representatives t);
+  let size e =
+    match e.reduced with
+    | Some r -> String.length r.red_input
+    | None -> String.length e.input
+  in
+  List.map
+    (fun (k, es) ->
+      (k, List.stable_sort (fun a b -> compare (size a) (size b)) (List.rev es)))
+    !buckets
+
+let report_representatives t oracle ?program () : diff_entry list =
+  List.map (fun (_, es) -> List.hd es) (report_buckets t oracle ?program ())
 
 let root_cause_to_string (rc : root_cause) : string =
   let f = rc.rc_finding in

@@ -5,10 +5,19 @@
     implementations agree with which), the differential analogue of AFL
     crash deduplication. *)
 
+type reduced = {
+  red_input : string;
+      (** the shrunk reproducer ({!Reduce}-validated: same class) *)
+  red_observations : (string * Oracle.observation) list;
+  red_checks : int;  (** oracle validations the reduction spent *)
+}
+
 type diff_entry = {
   input : string;
   observations : (string * Oracle.observation) list;
   signature : int;
+  mutable reduced : reduced option;
+      (** filled in by {!attach_reduced} once the reducer has run *)
 }
 
 type t
@@ -32,6 +41,40 @@ val entries : t -> diff_entry list
 
 val representatives : t -> diff_entry list
 (** One entry per unique signature, oldest first. *)
+
+val attach_reduced : t -> input:string -> reduced -> unit
+(** Record a reduced reproducer on the entry whose raw input is
+    [input]; no-op if no such entry exists. *)
+
+val reduced_count : t -> int
+
+val reduction_bytes : t -> int * int
+(** Total (raw, reduced) input bytes over the reduced entries — the
+    campaign-level reduction ratio is [1 - reduced/raw]. *)
+
+(** {2 Report-level dedup}
+
+    The partition signature is the cheap online dedup; reports group
+    one level further, by (localized function, suggested root cause),
+    computed on the reduced reproducer when one is attached. *)
+
+type report_key = {
+  rk_fn : string option;     (** function the divergence localizes to *)
+  rk_label : string option;  (** Table 5 label, when [program] given *)
+}
+
+val report_key_to_string : report_key -> string
+
+val report_buckets :
+  t -> Oracle.t -> ?program:Minic.Ast.program -> unit ->
+  (report_key * diff_entry list) list
+(** One bucket per key over {!representatives}, first-seen order;
+    inside a bucket the smallest reproducer leads. *)
+
+val report_representatives :
+  t -> Oracle.t -> ?program:Minic.Ast.program -> unit -> diff_entry list
+(** The lead entry of every {!report_buckets} bucket: what a human
+    should actually read. *)
 
 (** {2 Root-cause suggestion}
 

@@ -24,6 +24,11 @@ type config = {
          exhibiting a previously unseen divergence signature as
          interesting, feeding it back into the mutation queue *)
   jobs : int;                       (* oracle parallelism; 0 = Pool.default_jobs *)
+  reduce_on_save : bool;
+      (* the Section 5 reporting step: ddmin every first-of-its-signature
+         divergent input as it is saved, so diffs/ holds reduced
+         reproducers, not raw havoc blobs *)
+  reduce_checks : int;              (* validation budget per reduction *)
 }
 
 let default_config =
@@ -38,6 +43,8 @@ let default_config =
     diff_every = 1;
     divergence_feedback = false;
     jobs = 0;
+    reduce_on_save = true;
+    reduce_checks = 400;
   }
 
 type campaign = {
@@ -66,6 +73,22 @@ let run ?(config = default_config) (tp : Minic.Tast.tprogram) : campaign =
       match Compdiff.Oracle.check oracle ~input with
       | Compdiff.Oracle.Diverge obs ->
         let freshness = Compdiff.Triage.add triage oracle ~input obs in
+        (* reduce on save: only first-of-signature entries, so the cost
+           is bounded by the number of unique divergences, not inputs *)
+        if freshness = `New && config.reduce_on_save then begin
+          match
+            Compdiff.Reduce.reduce ~max_checks:config.reduce_checks oracle
+              ~input obs
+          with
+          | Some r ->
+            Compdiff.Triage.attach_reduced triage ~input
+              {
+                Compdiff.Triage.red_input = r.Compdiff.Reduce.red_input;
+                red_observations = r.Compdiff.Reduce.red_observations;
+                red_checks = r.Compdiff.Reduce.red_stats.Compdiff.Reduce.checks;
+              }
+          | None -> ()
+        end;
         if config.divergence_feedback && freshness = `New then
           Fuzzer.Interesting
         else Fuzzer.Boring

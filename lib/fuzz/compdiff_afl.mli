@@ -29,6 +29,12 @@ type config = {
   jobs : int;
       (** worker parallelism of the differential oracle;
           [0] (the default) means {!Cdutil.Pool.default_jobs} *)
+  reduce_on_save : bool;
+      (** run {!Compdiff.Reduce} on every first-of-its-signature
+          divergent input as it is saved (default [true]), so the triage
+          store holds reduced reproducers alongside the raw blobs *)
+  reduce_checks : int;
+      (** per-divergence validation budget of the on-save reduction *)
 }
 
 val default_config : config

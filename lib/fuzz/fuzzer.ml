@@ -116,6 +116,9 @@ let consider st (input : string) =
          ~found_at:st.execs)
 
 let run ?(config = default_config) (target : Cdcompiler.Ir.unit_) : campaign =
+  (* an empty corpus is a valid configuration, not a crash: fall back to
+     the empty input, exactly what AFL does with a null seed *)
+  let seeds = match config.seeds with [] -> [ "" ] | l -> l in
   let image = Cdvm.Image.link target in
   let st =
     {
@@ -134,7 +137,7 @@ let run ?(config = default_config) (target : Cdcompiler.Ir.unit_) : campaign =
     }
   in
   (* seed the queue *)
-  List.iter (fun s -> consider st s) config.seeds;
+  List.iter (fun s -> consider st s) seeds;
   (* deterministic stage on the initial corpus: enumerate every byte value
      at the first few payload positions (position 0 is the record tag the
      corpus already covers) *)
@@ -150,11 +153,11 @@ let run ?(config = default_config) (target : Cdcompiler.Ir.unit_) : campaign =
           end
         done
       done)
-    config.seeds;
+    seeds;
   if Queue.is_empty st.queue then
     (* ensure progress even if no seed increased coverage (e.g. duplicate
        seeds): keep the first one *)
-    ignore (Queue.add st.queue ~data:(List.hd config.seeds) ~fuel_used:0 ~found_at:0);
+    ignore (Queue.add st.queue ~data:(List.hd seeds) ~fuel_used:0 ~found_at:0);
   (* main loop *)
   while st.execs < config.max_execs do
     let seed = Queue.select st.queue in

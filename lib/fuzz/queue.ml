@@ -36,10 +36,18 @@ let add t ~(data : string) ~(fuel_used : int) ~(found_at : int) : entry =
 
 let is_empty t = t.n = 0
 
-(* round-robin selection *)
+(* Round-robin selection.
+
+   The cursor is kept in [0, n] and wrapped explicitly: an unbounded
+   cursor reduced with [mod t.n] changes meaning whenever the queue
+   grows mid-cycle (the same seed can be revisited twice per cycle while
+   a fresh seed is skipped).  Entries are append-only, so positions
+   never move, appends land ahead of the sweep front, and one sweep
+   visits every entry present when it passes exactly once. *)
 let select t : entry =
   if t.n = 0 then invalid_arg "Queue.select: empty queue";
-  let e = t.entries.(t.cursor mod t.n) in
+  if t.cursor >= t.n then t.cursor <- 0;
+  let e = t.entries.(t.cursor) in
   t.cursor <- t.cursor + 1;
   e
 

@@ -18,6 +18,9 @@ type test_eval = {
   (* behaviour partition of the 10 implementations on the bad variant's
      first bug-triggering input (all-zero when no divergence was found) *)
   partition : int array;
+  (* §5 reporting: reduction of the bug-triggering input, when one was
+     found and the reducer validated a (possibly equal) smaller one *)
+  reduction : Compdiff.Reduce.stats option;
 }
 
 let nimpls = List.length Cdcompiler.Profiles.all
@@ -52,14 +55,23 @@ let validate_oracle (oracle : Compdiff.Oracle.t) ~(inputs : string list) : unit 
              input))
     inputs
 
-let eval_compdiff ?(fuel = 100_000) ?(validate = false)
+let eval_compdiff ?(fuel = 100_000) ?(validate = false) ?(reduce = true)
     ~(bad : Minic.Tast.tprogram) ~(good : Minic.Tast.tprogram)
-    ~(inputs : string list) () : (bool * bool) * int array =
+    ~(inputs : string list) () : (bool * bool) * int array
+    * Compdiff.Reduce.stats option =
   let oracle_bad = Compdiff.Oracle.create ~fuel bad in
-  let detected, partition =
+  let detected, partition, reduction =
     match Compdiff.Oracle.find_bug oracle_bad ~inputs with
-    | Some (_, obs) -> (true, Compdiff.Oracle.partition oracle_bad obs)
-    | None -> (false, Array.make nimpls 0)
+    | Some (input, obs) ->
+      let reduction =
+        if reduce then
+          Option.map
+            (fun (r : Compdiff.Reduce.result) -> r.Compdiff.Reduce.red_stats)
+            (Compdiff.Reduce.reduce ~max_checks:200 oracle_bad ~input obs)
+        else None
+      in
+      (true, Compdiff.Oracle.partition oracle_bad obs, reduction)
+    | None -> (false, Array.make nimpls 0, None)
   in
   let oracle_good = Compdiff.Oracle.create ~fuel good in
   let fp = Compdiff.Oracle.detects oracle_good ~inputs in
@@ -67,14 +79,16 @@ let eval_compdiff ?(fuel = 100_000) ?(validate = false)
     validate_oracle oracle_bad ~inputs;
     validate_oracle oracle_good ~inputs
   end;
-  ((detected, fp), partition)
+  ((detected, fp), partition, reduction)
 
-let evaluate ?(fuel = 100_000) ?validate (t : Testcase.t) : test_eval =
+let evaluate ?(fuel = 100_000) ?validate ?reduce (t : Testcase.t) : test_eval =
   let category = (Cwe.info t.Testcase.cwe).Cwe.category in
   let bad = Testcase.frontend_bad t in
   let good = Testcase.frontend_good t in
   let inputs = t.Testcase.inputs in
-  let compdiff, partition = eval_compdiff ~fuel ?validate ~bad ~good ~inputs () in
+  let compdiff, partition, reduction =
+    eval_compdiff ~fuel ?validate ?reduce ~bad ~good ~inputs ()
+  in
   let bad_build = Sanitizers.San.build bad in
   let good_build = Sanitizers.San.build good in
   {
@@ -89,13 +103,14 @@ let evaluate ?(fuel = 100_000) ?validate (t : Testcase.t) : test_eval =
     msan = eval_sanitizer ~fuel Sanitizers.San.Msan ~bad_build ~good_build ~inputs;
     compdiff;
     partition;
+    reduction;
   }
 
 (* Evaluating one test touches no shared mutable state, so the suite can
    be spread over the pool; results keep suite order. *)
-let evaluate_suite ?fuel ?validate ?(jobs = Cdutil.Pool.default_jobs ())
+let evaluate_suite ?fuel ?validate ?reduce ?(jobs = Cdutil.Pool.default_jobs ())
     (tests : Testcase.t list) : test_eval list =
-  let eval t = evaluate ?fuel ?validate t in
+  let eval t = evaluate ?fuel ?validate ?reduce t in
   if jobs > 1 then Cdutil.Pool.map eval tests else List.map eval tests
 
 (* --- Table 3 aggregation --- *)
@@ -115,6 +130,9 @@ type row = {
   r_san_total : float;       (* any sanitizer *)
   r_compdiff : float;
   unique : int;               (* CompDiff-only detections vs sanitizers *)
+  r_reduction : float;
+      (* mean input-size reduction of the bug-triggering inputs
+         (1 - reduced/raw), over the detections the reducer validated *)
 }
 
 let rows_spec : (string * Cwe.category list) list =
@@ -153,6 +171,15 @@ let aggregate (evals : test_eval list) : row list =
         count (fun e -> fst e.asan || fst e.ubsan || fst e.msan)
       in
       let compdiff_det = count (fun e -> fst e.compdiff) in
+      let r_reduction =
+        let rs =
+          List.filter_map (fun e -> e.reduction) sel
+          |> List.map Compdiff.Reduce.input_ratio
+        in
+        match rs with
+        | [] -> 0.
+        | _ -> List.fold_left ( +. ) 0. rs /. float_of_int (List.length rs)
+      in
       let unique =
         count (fun e ->
             fst e.compdiff && not (fst e.asan || fst e.ubsan || fst e.msan))
@@ -171,6 +198,7 @@ let aggregate (evals : test_eval list) : row list =
         r_san_total = rate san_total total;
         r_compdiff = rate compdiff_det total;
         unique;
+        r_reduction;
       })
     rows_spec
 

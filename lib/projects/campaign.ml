@@ -12,10 +12,48 @@ type project_result = {
   campaign : Fuzz.Compdiff_afl.campaign;
   found : found_bug list;
   unattributed : int;                 (* divergent inputs matching no seeded bug *)
+  reductions : Compdiff.Reduce.stats list;
+      (* one per reduced signature representative (reporting workload) *)
 }
 
-let run_project ?(max_execs = 6_000) ?(rng_seed = 7) (p : Project.t) :
-    project_result =
+(* The paper's reporting step (§5): shrink one representative per
+   signature.  Reductions are independent of each other — each owns its
+   candidate oracles and the shared campaign oracle is thread-safe — so
+   they spread over the pool, one divergence per task; the per-candidate
+   executions inside a reduction run on the linked images as usual. *)
+let reduce_representatives ?(max_checks = 160) (p : Project.t)
+    (campaign : Fuzz.Compdiff_afl.campaign) : Compdiff.Reduce.stats list =
+  let reoracle tp =
+    Compdiff.Oracle.create
+      ~profiles:(Project.profiles_for p)
+      ~normalize:p.Project.normalize ~fuel:60_000 tp
+  in
+  let reduce_one (e : Compdiff.Triage.diff_entry) =
+    Compdiff.Reduce.reduce ~max_checks ~program:p.Project.program ~reoracle
+      campaign.Fuzz.Compdiff_afl.oracle ~input:e.Compdiff.Triage.input
+      e.Compdiff.Triage.observations
+    |> Option.map (fun (r : Compdiff.Reduce.result) ->
+           (e.Compdiff.Triage.input, r))
+  in
+  let reps = Compdiff.Triage.representatives campaign.Fuzz.Compdiff_afl.diffs in
+  let reduced =
+    (if List.length reps > 1 then Cdutil.Pool.map reduce_one reps
+     else List.map reduce_one reps)
+    |> List.filter_map Fun.id
+  in
+  List.map
+    (fun (input, (r : Compdiff.Reduce.result)) ->
+      Compdiff.Triage.attach_reduced campaign.Fuzz.Compdiff_afl.diffs ~input
+        {
+          Compdiff.Triage.red_input = r.Compdiff.Reduce.red_input;
+          red_observations = r.Compdiff.Reduce.red_observations;
+          red_checks = r.Compdiff.Reduce.red_stats.Compdiff.Reduce.checks;
+        };
+      r.Compdiff.Reduce.red_stats)
+    reduced
+
+let run_project ?(max_execs = 6_000) ?(rng_seed = 7) ?(reduce = true)
+    (p : Project.t) : project_result =
   let tp = Project.frontend p in
   let config =
     {
@@ -26,9 +64,13 @@ let run_project ?(max_execs = 6_000) ?(rng_seed = 7) (p : Project.t) :
       fuel = 60_000;
       profiles = Project.profiles_for p;
       normalize = p.Project.normalize;
+      (* reduction happens in batch below (with program reduction and
+         pool parallelism), not inline on save *)
+      reduce_on_save = false;
     }
   in
   let campaign = Fuzz.Compdiff_afl.run ~config tp in
+  let reductions = if reduce then reduce_representatives p campaign else [] in
   (* triage: attribute each divergent input to the seeded bug whose
      trigger it satisfies; remember one representative per bug *)
   let entries = Compdiff.Triage.entries campaign.Fuzz.Compdiff_afl.diffs in
@@ -57,16 +99,51 @@ let run_project ?(max_execs = 6_000) ?(rng_seed = 7) (p : Project.t) :
     campaign;
     found = Hashtbl.fold (fun _ f acc -> f :: acc) found_tbl [];
     unattributed = !unattributed;
+    reductions;
   }
 
 (* Campaigns are deterministic (seeded RNG, deterministic VM), so
    running the projects through the pool yields the same results in the
    same order as the sequential map. *)
-let run_all ?max_execs ?rng_seed ?(jobs = Cdutil.Pool.default_jobs ()) () :
-    project_result list =
-  let run p = run_project ?max_execs ?rng_seed p in
+let run_all ?max_execs ?rng_seed ?reduce ?(jobs = Cdutil.Pool.default_jobs ())
+    () : project_result list =
+  let run p = run_project ?max_execs ?rng_seed ?reduce p in
   if jobs > 1 then Cdutil.Pool.map run Registry.all
   else List.map run Registry.all
+
+(* --- reduction reporting (the §5 workload summary) --- *)
+
+type reduction_summary = {
+  rs_divergences : int;       (* representatives reduced *)
+  rs_raw_bytes : int;
+  rs_reduced_bytes : int;
+  rs_median_ratio : float;    (* median per-divergence input reduction *)
+  rs_checks : int;            (* oracle validations spent reducing *)
+}
+
+let summarize_reductions (results : project_result list) : reduction_summary =
+  let all = List.concat_map (fun r -> r.reductions) results in
+  let ratios =
+    List.sort compare (List.map Compdiff.Reduce.input_ratio all)
+  in
+  let median =
+    match ratios with
+    | [] -> 0.
+    | _ ->
+      let n = List.length ratios in
+      if n mod 2 = 1 then List.nth ratios (n / 2)
+      else (List.nth ratios ((n / 2) - 1) +. List.nth ratios (n / 2)) /. 2.
+  in
+  {
+    rs_divergences = List.length all;
+    rs_raw_bytes =
+      List.fold_left (fun a (s : Compdiff.Reduce.stats) -> a + s.input_before) 0 all;
+    rs_reduced_bytes =
+      List.fold_left (fun a (s : Compdiff.Reduce.stats) -> a + s.input_after) 0 all;
+    rs_median_ratio = median;
+    rs_checks =
+      List.fold_left (fun a (s : Compdiff.Reduce.stats) -> a + s.checks) 0 all;
+  }
 
 (* --- Table 5 aggregation --- *)
 

@@ -74,4 +74,46 @@ for f in examples/*.c; do
   fi
 done
 
+echo "== reduce smoke test"
+# Reduce a known divergence and assert the contract: the reduced input
+# is no larger than the original, and still diverges under compdiff diff.
+red=$(mktemp)
+set +e
+reduce_out=$(dune exec bin/compdiff_cli.exe -- reduce examples/unstable_uninit.c \
+  --input 'XYZQRS' --stats --out "$red" 2>&1)
+got=$?
+set -e
+if [ "$got" -ne 1 ]; then
+  echo "FAIL reduce: exited $got, expected 1 (divergence reduced)"
+  status=1
+else
+  raw_size=$(wc -c < "$red.orig")
+  red_size=$(wc -c < "$red")
+  if [ "$red_size" -gt "$raw_size" ]; then
+    echo "FAIL reduce: reduced input grew ($raw_size -> $red_size bytes)"
+    status=1
+  else
+    set +e
+    dune exec bin/compdiff_cli.exe -- diff examples/unstable_uninit.c \
+      --input-file "$red" > /dev/null 2>&1
+    diffgot=$?
+    set -e
+    if [ "$diffgot" -ne 1 ]; then
+      echo "FAIL reduce: reduced input no longer flagged (diff exit $diffgot)"
+      status=1
+    else
+      # the acceptance bar: median input reduction of at least 50%
+      median=$(printf '%s\n' "$reduce_out" \
+        | sed -n 's/.*median input reduction \([0-9]*\)%.*/\1/p')
+      if [ -z "$median" ] || [ "$median" -lt 50 ]; then
+        echo "FAIL reduce: median input reduction ${median:-?}% < 50%"
+        status=1
+      else
+        echo "ok   reduce ($raw_size -> $red_size bytes, median ${median}%, still diverges)"
+      fi
+    fi
+  fi
+fi
+rm -f "$red" "$red.orig"
+
 exit $status

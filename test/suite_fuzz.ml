@@ -47,6 +47,74 @@ let test_queue_roundrobin () =
   Alcotest.(check string) "cycles" "b" s2.Fuzz.Queue.data;
   Alcotest.(check string) "wraps" "a" s3.Fuzz.Queue.data
 
+(* regression for the cursor-drift bug: with an unbounded cursor reduced
+   [mod n] at selection time, a queue growing mid-cycle shifts the
+   meaning of the cursor — after [add a; add b; select x3; add c] the
+   old code re-served "a" (visited twice this cycle) and pushed "c" a
+   full extra cycle out.  The explicit wrap keeps the sweep front
+   stable: the next selections must be "b" then "c". *)
+let test_queue_growth_no_drift () =
+  let q = Fuzz.Queue.create () in
+  ignore (Fuzz.Queue.add q ~data:"a" ~fuel_used:10 ~found_at:0);
+  ignore (Fuzz.Queue.add q ~data:"b" ~fuel_used:10 ~found_at:1);
+  for _ = 1 to 3 do ignore (Fuzz.Queue.select q) done;
+  (* cursor sits just past "a" on the second sweep *)
+  ignore (Fuzz.Queue.add q ~data:"c" ~fuel_used:10 ~found_at:2);
+  Alcotest.(check string) "sweep continues at b" "b"
+    (Fuzz.Queue.select q).Fuzz.Queue.data;
+  Alcotest.(check string) "fresh seed served this sweep" "c"
+    (Fuzz.Queue.select q).Fuzz.Queue.data
+
+(* one full sweep (n consecutive selects, no adds in between) serves
+   every entry exactly once, wherever the cursor starts *)
+let test_queue_sweep_covers_all () =
+  let q = Fuzz.Queue.create () in
+  for i = 0 to 4 do
+    ignore (Fuzz.Queue.add q ~data:(string_of_int i) ~fuel_used:1 ~found_at:i)
+  done;
+  (* desynchronize the cursor from position 0 *)
+  for _ = 1 to 7 do ignore (Fuzz.Queue.select q) done;
+  let seen = Hashtbl.create 8 in
+  for _ = 1 to Fuzz.Queue.length q do
+    let e = Fuzz.Queue.select q in
+    Alcotest.(check bool) "no repeat within a sweep" false
+      (Hashtbl.mem seen e.Fuzz.Queue.id);
+    Hashtbl.replace seen e.Fuzz.Queue.id ()
+  done;
+  check_int "every entry visited" (Fuzz.Queue.length q) (Hashtbl.length seen)
+
+(* model-based property: the queue against a reference model (plain list
+   plus an explicitly wrapped cursor) over random add/select programs *)
+let queue_props =
+  let open QCheck in
+  let ops_gen =
+    (* true = add (with a fresh payload), false = select *)
+    small_list bool
+  in
+  [
+    Test.make ~name:"Queue.select agrees with the wrapped-cursor model"
+      ~count:300 ops_gen (fun ops ->
+        let q = Fuzz.Queue.create () in
+        let model = ref [] (* reversed *) and cursor = ref 0 and k = ref 0 in
+        List.for_all
+          (fun is_add ->
+            if is_add || !model = [] then begin
+              let data = string_of_int !k in
+              incr k;
+              ignore (Fuzz.Queue.add q ~data ~fuel_used:1 ~found_at:!k);
+              model := data :: !model;
+              true
+            end
+            else begin
+              let entries = List.rev !model in
+              if !cursor >= List.length entries then cursor := 0;
+              let expect = List.nth entries !cursor in
+              incr cursor;
+              (Fuzz.Queue.select q).Fuzz.Queue.data = expect
+            end)
+          ops);
+  ]
+
 let test_queue_energy () =
   let small = { Fuzz.Queue.id = 0; data = "ab"; fuel_used = 100; found_at = 0 } in
   let large = { Fuzz.Queue.id = 1; data = String.make 1000 'x'; fuel_used = 50_000; found_at = 0 } in
@@ -79,6 +147,30 @@ let test_fuzzer_grows_queue () =
   check_bool "several seeds found" true (List.length c.Fuzz.Fuzzer.queue >= 2);
   check_bool "edges covered" true (c.Fuzz.Fuzzer.edges_covered > 0);
   check_int "exec budget respected" 1_500 c.Fuzz.Fuzzer.execs
+
+(* regression: [seeds = []] used to crash in the deterministic stage
+   ([List.hd] of the empty corpus); it now falls back to the empty
+   input and completes the full budget *)
+let test_fuzzer_empty_seeds () =
+  let u = Cdcompiler.Pipeline.compile Cdcompiler.Profiles.fuzz_profile (frontend branchy_src) in
+  let c =
+    Fuzz.Fuzzer.run
+      ~config:{ Fuzz.Fuzzer.default_config with Fuzz.Fuzzer.max_execs = 500; seeds = [] }
+      u
+  in
+  check_int "budget spent despite empty corpus" 500 c.Fuzz.Fuzzer.execs;
+  check_bool "queue seeded with fallback input" true
+    (List.length c.Fuzz.Fuzzer.queue >= 1)
+
+let test_fuzzer_single_byte_seed () =
+  let u = Cdcompiler.Pipeline.compile Cdcompiler.Profiles.fuzz_profile (frontend branchy_src) in
+  let c =
+    Fuzz.Fuzzer.run
+      ~config:{ Fuzz.Fuzzer.default_config with Fuzz.Fuzzer.max_execs = 1_000; seeds = [ "M" ] }
+      u
+  in
+  check_int "budget spent" 1_000 c.Fuzz.Fuzzer.execs;
+  check_bool "edges covered" true (c.Fuzz.Fuzzer.edges_covered > 0)
 
 let test_fuzzer_reproducible () =
   let u = Cdcompiler.Pipeline.compile Cdcompiler.Profiles.fuzz_profile (frontend branchy_src) in
@@ -230,10 +322,18 @@ let suites =
         tc "splice" test_splice_mixes;
       ] );
     ( "fuzz.queue",
-      [ tc "round robin" test_queue_roundrobin; tc "energy" test_queue_energy ] );
+      [
+        tc "round robin" test_queue_roundrobin;
+        tc "growth keeps sweep front" test_queue_growth_no_drift;
+        tc "sweep covers all" test_queue_sweep_covers_all;
+        tc "energy" test_queue_energy;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest queue_props );
     ( "fuzz.fuzzer",
       [
         tc "queue grows" test_fuzzer_grows_queue;
+        tc "empty seed corpus" test_fuzzer_empty_seeds;
+        tc "single-byte seed" test_fuzzer_single_byte_seed;
         tc "reproducible" test_fuzzer_reproducible;
         tc "finds crash" test_fuzzer_finds_crash;
         tc "sanitizer integration" test_fuzzer_sanitizer_reports;
