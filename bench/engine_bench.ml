@@ -1,0 +1,121 @@
+(* Engine session-layer benchmark (emits BENCH_engine.json).
+
+   Measures Juliet-suite evaluation throughput (tests/sec; compile the
+   bad+good variants for all ten profiles, run the oracle over the bug
+   inputs, probe the three sanitizer builds) under three regimes:
+
+   - [nocache]   a caching-disabled session — every stage recomputes
+                 (the reference the caches are validated against);
+   - [cold]      a fresh caching session — first pass pays the misses
+                 but already shares work within the suite (the
+                 sanitizer builds reuse the oracle's gccx-O0 unit);
+   - [warm]      the same session again — compiles, links and
+                 observations are served from the caches.
+
+   Cross-validation: all three passes must produce structurally
+   identical verdicts (detections, partitions, sanitizer results); a
+   mismatch fails the bench.  The headline speedup is warm vs nocache
+   and the acceptance floor is 1.5x. *)
+
+let json_escape = Overhead.json_escape
+
+let sample () = Juliet.Suite.quick ~per_cwe:2 ()
+
+(* the behavioural essence of a test evaluation: everything except the
+   execution counters (which legitimately differ across regimes) *)
+let essence (e : Juliet.Eval.test_eval) =
+  ( e.Juliet.Eval.compdiff,
+    e.Juliet.Eval.partition,
+    e.Juliet.Eval.asan,
+    e.Juliet.Eval.ubsan,
+    e.Juliet.Eval.msan )
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let run () =
+  let tests = sample () in
+  let n = List.length tests in
+  let eval session =
+    Juliet.Eval.evaluate_suite ~session ~reduce:false ~jobs:1 tests
+  in
+  let nocache = Engine.Session.create ~cache_mb:0 () in
+  let cached = Engine.Session.create ~cache_mb:128 () in
+  let base_time, base_evals = time (fun () -> eval nocache) in
+  let cold_time, cold_evals = time (fun () -> eval cached) in
+  let warm_time, warm_evals = time (fun () -> eval cached) in
+  let verdicts_match =
+    List.map essence base_evals = List.map essence cold_evals
+    && List.map essence cold_evals = List.map essence warm_evals
+  in
+  let tps t = float_of_int n /. t in
+  let speedup_cold = base_time /. cold_time in
+  let speedup_warm = base_time /. warm_time in
+  let st = Engine.Session.stats cached in
+  let cache_json name (c : Engine.Session.cache_stats) =
+    Printf.sprintf
+      "  \"%s\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f, \
+       \"evictions\": %d, \"entries\": %d, \"bytes\": %d },\n"
+      name c.Engine.Session.hits c.Engine.Session.misses
+      (Engine.Session.hit_rate c)
+      c.Engine.Session.evictions c.Engine.Session.entries
+      c.Engine.Session.bytes
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"engine\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"metric\": \"%s\",\n"
+       (json_escape
+          "tests/sec = Juliet evaluations per second (oracle + sanitizer \
+           probes per test); speedup = warm cached pass vs caching-disabled \
+           session"));
+  Buffer.add_string buf (Printf.sprintf "  \"tests\": %d,\n" n);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"nocache\": { \"seconds\": %.4f, \"tests_per_sec\": %.2f },\n"
+       base_time (tps base_time));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"cold\": { \"seconds\": %.4f, \"tests_per_sec\": %.2f, \
+        \"speedup\": %.2f },\n"
+       cold_time (tps cold_time) speedup_cold);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"warm\": { \"seconds\": %.4f, \"tests_per_sec\": %.2f, \
+        \"speedup\": %.2f },\n"
+       warm_time (tps warm_time) speedup_warm);
+  Buffer.add_string buf (cache_json "unit_cache" st.Engine.Session.units);
+  Buffer.add_string buf (cache_json "image_cache" st.Engine.Session.images);
+  Buffer.add_string buf
+    (cache_json "observation_store" st.Engine.Session.observations);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup\": %.2f,\n" speedup_warm);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup_target_met\": %b,\n" (speedup_warm >= 1.5));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"verdicts_match\": %b\n" verdicts_match);
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_engine.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf
+    "Engine session bench (%d Juliet tests):\n\
+    \  caching disabled: %.2f tests/s\n\
+    \  cold session:     %.2f tests/s (%.2fx)\n\
+    \  warm session:     %.2f tests/s (%.2fx)\n\
+    \  unit cache %.0f%% hits, image cache %.0f%% hits, observation store \
+     %.0f%% hits\n\
+    \  verdicts match: %b\n\
+     wrote %s\n\n"
+    n (tps base_time) (tps cold_time) speedup_cold (tps warm_time)
+    speedup_warm
+    (100. *. Engine.Session.hit_rate st.Engine.Session.units)
+    (100. *. Engine.Session.hit_rate st.Engine.Session.images)
+    (100. *. Engine.Session.hit_rate st.Engine.Session.observations)
+    verdicts_match path;
+  if not verdicts_match then
+    failwith "engine bench: cached verdicts differ from the fresh path"

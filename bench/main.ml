@@ -5,7 +5,7 @@
 
    Usage:  dune exec bench/main.exe [--jobs N] [section...]
    Sections: table2 table3 figure1 table4 table5 table6 figure2 overhead
-             oracle vm ablations (default: all). *)
+             oracle engine vm ablations (default: all). *)
 
 let sections : (string * (unit -> unit)) list =
   [
@@ -18,6 +18,7 @@ let sections : (string * (unit -> unit)) list =
     ("figure2", Table_projects.figure2);
     ("overhead", Overhead.run);
     ("oracle", Overhead.oracle_bench);
+    ("engine", Engine_bench.run);
     ("vm", Vm_bench.run);
     ("ablations", Ablations.run);
   ]

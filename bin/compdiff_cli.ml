@@ -80,17 +80,91 @@ let fuel_arg =
     value & opt int 200_000
     & info [ "fuel" ] ~docv:"N" ~doc:"Execution fuel (instruction budget).")
 
-let jobs_arg =
-  Arg.(
-    value & opt int 0
-    & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:
-          "Worker domains for parallel compilation/execution (default: \
-           $(b,Domain.recommended_domain_count()) - 1, or the \
-           $(b,COMPDIFF_JOBS) environment variable).")
-
 (* 0 = keep the default (COMPDIFF_JOBS or the domain count heuristic) *)
 let apply_jobs n = if n > 0 then Cdutil.Pool.set_default_jobs n
+
+(* --- the shared pipeline block: --jobs/--fuel/--profiles/--cache-mb
+   (and --stats), one definition for every differential subcommand
+   instead of a copy per subcommand.  Evaluating the term applies the
+   job count and opens the engine session. --- *)
+
+type common = {
+  co_fuel : int option;       (* None = the subcommand's own default *)
+  co_profiles : Cdcompiler.Policy.profile list;
+  co_session : Engine.Session.t;
+  co_stats : bool;
+}
+
+let common_term =
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Execution fuel (instruction budget); default: the \
+             subcommand's own budget.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for parallel compilation/execution (default: \
+             $(b,Domain.recommended_domain_count()) - 1, or the \
+             $(b,COMPDIFF_JOBS) environment variable).")
+  in
+  let profiles =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profiles" ] ~docv:"P1,P2,..."
+          ~doc:
+            "Comma-separated implementation set (default: all ten; see \
+             $(b,compdiff profiles)).")
+  in
+  let cache_mb =
+    Arg.(
+      value & opt int 128
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:
+            "Engine session cache budget in MiB (compiled units, linked \
+             images, observations); 0 disables caching.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print oracle and engine-session cache statistics at the end.")
+  in
+  let mk fuel jobs profiles cache_mb stats =
+    apply_jobs jobs;
+    let co_profiles =
+      match profiles with
+      | None -> Cdcompiler.Profiles.all
+      | Some s ->
+        List.map profile_of_name
+          (List.filter (fun n -> n <> "") (String.split_on_char ',' s))
+    in
+    {
+      co_fuel = fuel;
+      co_profiles;
+      co_session = Engine.Session.create ~cache_mb ();
+      co_stats = stats;
+    }
+  in
+  Term.(const mk $ fuel $ jobs $ profiles $ cache_mb $ stats)
+
+let print_session_stats (c : common) =
+  print_string
+    (Engine.Session.stats_to_string (Engine.Session.stats c.co_session))
+
+let print_oracle_stats (s : Compdiff.Oracle.stats) =
+  Printf.printf
+    "oracle: %d checks, %d observations requested, %d saved by dedup, %d \
+     saved by incremental escalation\n"
+    s.Compdiff.Oracle.checks s.Compdiff.Oracle.vm_execs
+    s.Compdiff.Oracle.dedup_saved s.Compdiff.Oracle.escalation_saved
 
 (* --- compile --- *)
 
@@ -208,32 +282,43 @@ let diff_cmd =
       value & flag
       & info [ "strip-addresses" ] ~doc:"Normalize 0x... addresses before comparing.")
   in
-  let action file input input_file fuel strip jobs =
-    apply_jobs jobs;
+  let action file input input_file strip (c : common) =
     let input = resolve_input input input_file in
     let tp = frontend_of_file file in
     let normalize =
       if strip then Compdiff.Normalize.strip_hex_addresses
       else Compdiff.Normalize.identity
     in
-    let o = Compdiff.Oracle.create ~fuel ~normalize tp in
-    match Compdiff.Oracle.check o ~input with
-    | Compdiff.Oracle.Agree obs ->
-      Printf.printf "all %d implementations agree (%s)\n"
-        (List.length (Compdiff.Oracle.names o))
-        (Cdvm.Trap.status_to_string obs.Compdiff.Oracle.status);
-      print_string obs.Compdiff.Oracle.output;
-      0
-    | Compdiff.Oracle.Diverge obs ->
-      print_string (Compdiff.Oracle.report_to_string ~input obs);
-      1
+    let fuel = Option.value c.co_fuel ~default:200_000 in
+    let o =
+      Compdiff.Oracle.create ~session:c.co_session ~profiles:c.co_profiles
+        ~fuel ~normalize tp
+    in
+    let verdict = Compdiff.Oracle.check o ~input in
+    let code =
+      match verdict with
+      | Compdiff.Oracle.Agree obs ->
+        Printf.printf "all %d implementations agree (%s)\n"
+          (List.length (Compdiff.Oracle.names o))
+          (Cdvm.Trap.status_to_string obs.Compdiff.Oracle.status);
+        print_string obs.Compdiff.Oracle.output;
+        0
+      | Compdiff.Oracle.Diverge obs ->
+        print_string (Compdiff.Oracle.report_to_string ~input obs);
+        1
+    in
+    if c.co_stats then begin
+      print_oracle_stats (Compdiff.Oracle.stats o);
+      print_session_stats c
+    end;
+    code
   in
   Cmd.v
     (Cmd.info "diff"
        ~doc:"Run one input through every implementation and compare outputs.")
     Term.(
-      const action $ file_arg $ input_arg $ input_file_arg $ fuel_arg
-      $ strip_addr $ jobs_arg)
+      const action $ file_arg $ input_arg $ input_file_arg $ strip_addr
+      $ common_term)
 
 (* --- trace --- *)
 
@@ -258,9 +343,13 @@ let trace_cmd =
 (* --- localize --- *)
 
 let localize_cmd =
-  let action file input fuel =
+  let action file input (c : common) =
     let tp = frontend_of_file file in
-    let o = Compdiff.Oracle.create ~fuel tp in
+    let fuel = Option.value c.co_fuel ~default:200_000 in
+    let o =
+      Compdiff.Oracle.create ~session:c.co_session ~profiles:c.co_profiles
+        ~fuel tp
+    in
     match Compdiff.Oracle.check o ~input with
     | Compdiff.Oracle.Agree _ ->
       Printf.printf "no divergence on this input; nothing to localize\n";
@@ -288,7 +377,7 @@ let localize_cmd =
     (Cmd.info "localize"
        ~doc:
          "Locate the first divergent observable event between two disagreeing implementations.")
-    Term.(const action $ file_arg $ input_arg $ fuel_arg)
+    Term.(const action $ file_arg $ input_arg $ common_term)
 
 (* --- reduce --- *)
 
@@ -316,12 +405,6 @@ let reduce_cmd =
             "Fuzzing budget used to find divergences when no $(b,--input) \
              is given.")
   in
-  let stats_flag =
-    Arg.(
-      value & flag
-      & info [ "stats" ]
-          ~doc:"Print aggregate reduction statistics (median ratio, checks).")
-  in
   let out_arg =
     Arg.(
       value
@@ -343,16 +426,19 @@ let reduce_cmd =
       & info [ "max-checks" ] ~docv:"N"
           ~doc:"Oracle-validation budget per divergence.")
   in
-  let action file inputs input_files execs stats out dump_program max_checks
-      fuel jobs =
-    apply_jobs jobs;
+  let action file inputs input_files execs out dump_program max_checks
+      (c : common) =
+    let fuel = Option.value c.co_fuel ~default:200_000 in
     let tp = frontend_of_file file in
     let ast = ast_of_file file in
     let explicit = inputs @ List.map read_file input_files in
     (* (oracle, raw input, observations) per divergence *)
     let oracle, divergences =
       if explicit <> [] then begin
-        let oracle = Compdiff.Oracle.create ~fuel tp in
+        let oracle =
+          Compdiff.Oracle.create ~session:c.co_session
+            ~profiles:c.co_profiles ~fuel tp
+        in
         let divs =
           List.filter_map
             (fun input ->
@@ -366,27 +452,29 @@ let reduce_cmd =
         (oracle, divs)
       end
       else begin
-        let c =
+        let camp =
           Fuzz.Compdiff_afl.run
             ~config:
               {
                 Fuzz.Compdiff_afl.default_config with
                 Fuzz.Compdiff_afl.max_execs = execs;
                 fuel;
+                profiles = c.co_profiles;
+                session = Some c.co_session;
                 (* batch-reduce below instead of on save *)
                 reduce_on_save = false;
               }
             tp
         in
         Printf.printf "fuzzed %d execs: %d divergent inputs, %d signatures\n"
-          c.Fuzz.Compdiff_afl.fuzz.Fuzz.Fuzzer.execs
-          (Compdiff.Triage.total_count c.Fuzz.Compdiff_afl.diffs)
-          (Compdiff.Triage.unique_count c.Fuzz.Compdiff_afl.diffs);
-        ( c.Fuzz.Compdiff_afl.oracle,
+          camp.Fuzz.Compdiff_afl.fuzz.Fuzz.Fuzzer.execs
+          (Compdiff.Triage.total_count camp.Fuzz.Compdiff_afl.diffs)
+          (Compdiff.Triage.unique_count camp.Fuzz.Compdiff_afl.diffs);
+        ( camp.Fuzz.Compdiff_afl.oracle,
           List.map
             (fun (e : Compdiff.Triage.diff_entry) ->
               (e.Compdiff.Triage.input, e.Compdiff.Triage.observations))
-            (Compdiff.Triage.representatives c.Fuzz.Compdiff_afl.diffs) )
+            (Compdiff.Triage.representatives camp.Fuzz.Compdiff_afl.diffs) )
       end
     in
     if divergences = [] then begin
@@ -440,7 +528,7 @@ let reduce_cmd =
         write path r.Compdiff.Reduce.red_input;
         write (path ^ ".orig") raw
       | _ -> ());
-      if stats then begin
+      if c.co_stats then begin
         let ratios =
           List.sort compare
             (List.map
@@ -469,7 +557,9 @@ let reduce_cmd =
           (100. *. median)
           (sum (fun s -> s.Compdiff.Reduce.input_before))
           (sum (fun s -> s.Compdiff.Reduce.input_after))
-          (sum (fun s -> s.Compdiff.Reduce.checks))
+          (sum (fun s -> s.Compdiff.Reduce.checks));
+        print_oracle_stats (Compdiff.Oracle.stats oracle);
+        print_session_stats c
       end;
       1
     end
@@ -481,7 +571,7 @@ let reduce_cmd =
           reproducers, validating every step through the oracle.")
     Term.(
       const action $ file_arg $ inputs_arg $ input_files_arg $ execs
-      $ stats_flag $ out_arg $ dump_program $ max_checks $ fuel_arg $ jobs_arg)
+      $ out_arg $ dump_program $ max_checks $ common_term)
 
 (* --- fuzz --- *)
 
@@ -497,8 +587,7 @@ let fuzz_cmd =
       value & opt_all string []
       & info [ "i"; "corpus" ] ~docv:"BYTES" ~doc:"Initial seed input (repeatable).")
   in
-  let action file execs seed corpus jobs =
-    apply_jobs jobs;
+  let action file execs seed corpus (co : common) =
     let tp = frontend_of_file file in
     let config =
       {
@@ -506,6 +595,11 @@ let fuzz_cmd =
         Fuzz.Compdiff_afl.max_execs = execs;
         rng_seed = seed;
         seeds = (if corpus = [] then [ "" ] else corpus);
+        fuel =
+          Option.value co.co_fuel
+            ~default:Fuzz.Compdiff_afl.default_config.Fuzz.Compdiff_afl.fuel;
+        profiles = co.co_profiles;
+        session = Some co.co_session;
       }
     in
     let c = Fuzz.Compdiff_afl.run ~config tp in
@@ -547,11 +641,15 @@ let fuzz_cmd =
                e.Compdiff.Triage.observations))
       (Compdiff.Triage.report_buckets c.Fuzz.Compdiff_afl.diffs
          c.Fuzz.Compdiff_afl.oracle ~program:(ast_of_file file) ());
+    if co.co_stats then begin
+      print_oracle_stats (Compdiff.Oracle.stats c.Fuzz.Compdiff_afl.oracle);
+      print_session_stats co
+    end;
     if Compdiff.Triage.total_count c.Fuzz.Compdiff_afl.diffs > 0 then 1 else 0
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Fuzz a MiniC file with CompDiff-AFL++ (Algorithm 1).")
-    Term.(const action $ file_arg $ execs $ seed $ corpus $ jobs_arg)
+    Term.(const action $ file_arg $ execs $ seed $ corpus $ common_term)
 
 (* --- juliet --- *)
 
@@ -561,14 +659,15 @@ let juliet_cmd =
       value & opt int 8
       & info [ "per-cwe" ] ~docv:"N" ~doc:"Variants per CWE (0 = full scaled suite).")
   in
-  let action per_cwe jobs =
-    apply_jobs jobs;
+  let action per_cwe (c : common) =
     let tests =
       if per_cwe <= 0 then Juliet.Suite.full () else Juliet.Suite.quick ~per_cwe ()
     in
     Printf.printf "evaluating %d generated Juliet-style tests...\n%!"
       (List.length tests);
-    let evals = Juliet.Eval.evaluate_suite tests in
+    let evals =
+      Juliet.Eval.evaluate_suite ~session:c.co_session ?fuel:c.co_fuel tests
+    in
     let rows = Juliet.Eval.aggregate evals in
     List.iter
       (fun (r : Juliet.Eval.row) ->
@@ -581,11 +680,15 @@ let juliet_cmd =
           r.Juliet.Eval.unique
           (100. *. r.Juliet.Eval.r_reduction))
       rows;
+    if c.co_stats then begin
+      print_oracle_stats (Juliet.Eval.sum_oracle_stats evals);
+      print_session_stats c
+    end;
     0
   in
   Cmd.v
     (Cmd.info "juliet" ~doc:"Evaluate tools on the generated benchmark suite.")
-    Term.(const action $ per_cwe $ jobs_arg)
+    Term.(const action $ per_cwe $ common_term)
 
 (* --- projects --- *)
 
@@ -598,8 +701,7 @@ let projects_cmd =
   let execs =
     Arg.(value & opt int 4_000 & info [ "execs" ] ~docv:"N" ~doc:"Budget per target.")
   in
-  let action target_name execs jobs =
-    apply_jobs jobs;
+  let action target_name execs (c : common) =
     let targets =
       match target_name with
       | None -> Projects.Registry.all
@@ -615,7 +717,10 @@ let projects_cmd =
     let results =
       List.map
         (fun (p : Projects.Project.t) ->
-          let r = Projects.Campaign.run_project ~max_execs:execs p in
+          let r =
+            Projects.Campaign.run_project ~session:c.co_session
+              ~max_execs:execs p
+          in
           Printf.printf "%-12s seeded=%d found=%d\n%!" p.Projects.Project.pname
             (List.length p.Projects.Project.bugs)
             (List.length r.Projects.Campaign.found);
@@ -639,11 +744,12 @@ let projects_cmd =
         s.Projects.Campaign.rs_reduced_bytes
         (100. *. s.Projects.Campaign.rs_median_ratio)
         s.Projects.Campaign.rs_checks;
+    if c.co_stats then print_session_stats c;
     0
   in
   Cmd.v
     (Cmd.info "projects" ~doc:"Fuzz the synthetic real-world targets (Table 5).")
-    Term.(const action $ target_name $ execs $ jobs_arg)
+    Term.(const action $ target_name $ execs $ common_term)
 
 (* --- static --- *)
 
@@ -662,8 +768,7 @@ let static_cmd =
       value & flag
       & info [ "warnings" ] ~doc:"Also print downgraded (warning) findings.")
   in
-  let action file tool warnings jobs =
-    apply_jobs jobs;
+  let action file tool warnings (_ : common) =
     let p = ast_of_file file in
     let tools =
       match tool with
@@ -712,7 +817,7 @@ let static_cmd =
   Cmd.v
     (Cmd.info "static"
        ~doc:"Run the static analyzers (Table 3 tools) over a MiniC file.")
-    Term.(const action $ file_arg $ tool_arg $ warnings $ jobs_arg)
+    Term.(const action $ file_arg $ tool_arg $ warnings $ common_term)
 
 (* --- profiles --- *)
 

@@ -43,10 +43,18 @@ let trace_image ?(fuel = 200_000) (img : Cdvm.Image.t) ~(input : string) :
   in
   (List.rev !events, r.Cdvm.Exec.status)
 
-(* run one binary collecting its observable-event trace *)
-let trace ?fuel (u : Cdcompiler.Ir.unit_) ~(input : string) :
+(* Run one binary collecting its observable-event trace.  With a session
+   the (re-)link is served by the image cache; the traced execution
+   itself must NOT go through the observation store ([on_print] makes it
+   more than a function of (image, input, fuel)), so it always runs. *)
+let trace ?session ?fuel (u : Cdcompiler.Ir.unit_) ~(input : string) :
     event list * Cdvm.Trap.status =
-  trace_image ?fuel (Cdvm.Image.link u) ~input
+  let img =
+    match session with
+    | Some s -> Engine.Session.image (Engine.Session.link s u)
+    | None -> Cdvm.Image.link u
+  in
+  trace_image ?fuel img ~input
 
 let rec first_diff i (a : event list) (b : event list) =
   match (a, b) with
@@ -61,12 +69,12 @@ let take n l = List.filteri (fun i _ -> i < n) l
 (* Localize a divergence between two named implementations. Returns
    [None] when their observable traces are identical (the divergence is
    then in the termination status only). *)
-let between ?fuel ~(impl_a : string * Cdcompiler.Ir.unit_)
+let between ?session ?fuel ~(impl_a : string * Cdcompiler.Ir.unit_)
     ~(impl_b : string * Cdcompiler.Ir.unit_) ~(input : string) () :
     localization option =
   let name_a, ua = impl_a and name_b, ub = impl_b in
-  let ta, _ = trace ?fuel ua ~input in
-  let tb, _ = trace ?fuel ub ~input in
+  let ta, _ = trace ?session ?fuel ua ~input in
+  let tb, _ = trace ?session ?fuel ub ~input in
   match first_diff 0 ta tb with
   | None -> None
   | Some (i, ea, eb) ->
@@ -110,7 +118,9 @@ let of_divergence ?fuel (oracle : Oracle.t)
       ( List.find_opt (fun (n, _) -> n = first_name) binaries,
         List.find_opt (fun (n, _) -> n = other_name) binaries )
     with
-    | Some a, Some b -> between ~fuel ~impl_a:a ~impl_b:b ~input ()
+    | Some a, Some b ->
+      between ~session:(Oracle.session oracle) ~fuel ~impl_a:a ~impl_b:b
+        ~input ()
     | _ -> None)
 
 let to_string (l : localization) : string =

@@ -11,11 +11,14 @@
    agreement.
 
    Execution strategy (a verdict-preserving liberty with the paper):
+   - compilation, linking and plain execution go through an
+     {!Engine.Session} (a private caching-disabled one when the caller
+     passes none), so shared sessions reuse compiled units, linked
+     images and stored observations across oracles;
    - binaries with equal {!Binsig.signature} form equivalence classes;
-     one representative per class is linked into a {!Cdvm.Image.t} at
-     oracle creation, executed via {!Cdvm.Exec.run_linked} with a
-     pooled per-class {!Cdvm.Arena.t}, and the observation is fanned
-     out to every member;
+     one representative per class is linked at oracle creation and
+     executed via {!Engine.Session.run} (linked executor with a pooled
+     per-class arena), the observation fanned out to every member;
    - the per-class runs of one fuel round go through the shared
      {!Cdutil.Pool} when [jobs > 1];
    - fuel escalation is incremental: only classes whose last observation
@@ -26,7 +29,10 @@
      [fuel_used]) can simply be reused.
 
    [observe_naive]/[check_naive] keep the sequential, dedup-free
-   reference semantics for cross-validation. *)
+   reference semantics for cross-validation; they bypass the session
+   entirely (tree-walking interpreter on the uncached units), so
+   comparing [check] against [check_naive] also cross-validates the
+   session's cached path against a fresh one. *)
 
 open Cdcompiler
 
@@ -43,13 +49,18 @@ type verdict =
 
 type stats = {
   checks : int;            (* oracle checks (inputs judged) *)
-  vm_execs : int;          (* VM executions actually performed *)
+  vm_execs : int;          (* observations requested from the engine;
+                              actual VM executions when the session does
+                              not cache (hits replay from the store) *)
   dedup_saved : int;       (* executions avoided by binary dedup *)
   escalation_saved : int;  (* executions avoided by incremental escalation *)
 }
 
 type t = {
   binaries : (string * Ir.unit_) list;
+  session : Engine.Session.t;
+      (* owns linking and plain execution; caching-disabled when the
+         creator passed no session of their own *)
   normalize : Normalize.filter;
   base_fuel : int;
   max_fuel : int;
@@ -59,11 +70,9 @@ type t = {
   class_of : int array;        (* binary index -> class index *)
   class_repr : Ir.unit_ array; (* class index -> representative binary *)
   class_size : int array;      (* class index -> number of members *)
-  class_images : Cdvm.Image.t array;  (* linked once per class *)
-  class_arenas : Cdvm.Arena.t option Atomic.t array;
-      (* one pooled arena per class: exchanged out for the duration of a
-         run so concurrent checks never share scratch state (a late
-         taker just creates a fresh arena) *)
+  class_linked : Engine.Session.linked array;
+      (* linked once per class through the session (image cache + pooled
+         arena + observation store) *)
   c_checks : int Atomic.t;
   c_execs : int Atomic.t;
   c_dedup_saved : int Atomic.t;
@@ -101,14 +110,21 @@ let build_classes ~dedup (binaries : (string * Ir.unit_) list) =
     (class_of, repr, size)
   end
 
-let mk ~normalize ~fuel ~max_fuel ~compare_status ~jobs ~dedup binaries =
+(* oracles created without an explicit session still route linking and
+   execution through the engine, just without caching *)
+let private_session () = Engine.Session.create ~cache_mb:0 ()
+
+let mk ~session ~normalize ~fuel ~max_fuel ~compare_status ~jobs ~dedup
+    binaries =
+  let session = match session with Some s -> s | None -> private_session () in
   let class_of, class_repr, class_size = build_classes ~dedup binaries in
-  (* link each class representative once; every execution of the class
-     runs the image (the reference interpreter stays on [observe_naive]) *)
-  let class_images = Array.map Cdvm.Image.link class_repr in
-  let class_arenas = Array.map (fun _ -> Atomic.make None) class_images in
+  (* link each class representative once through the session; every
+     execution of the class runs the image (the reference interpreter
+     stays on [observe_naive]) *)
+  let class_linked = Array.map (Engine.Session.link session) class_repr in
   {
     binaries;
+    session;
     normalize;
     base_fuel = fuel;
     max_fuel;
@@ -118,33 +134,31 @@ let mk ~normalize ~fuel ~max_fuel ~compare_status ~jobs ~dedup binaries =
     class_of;
     class_repr;
     class_size;
-    class_images;
-    class_arenas;
+    class_linked;
     c_checks = Atomic.make 0;
     c_execs = Atomic.make 0;
     c_dedup_saved = Atomic.make 0;
     c_escal_saved = Atomic.make 0;
   }
 
-let create ?(profiles = Profiles.all) ?(normalize = Normalize.identity)
+let create ?session ?(profiles = Profiles.all) ?(normalize = Normalize.identity)
     ?(fuel = 200_000) ?(max_fuel = 3_200_000) ?(compare_status = true)
     ?(jobs = Cdutil.Pool.default_jobs ()) ?(dedup = true)
     (tp : Minic.Tast.tprogram) : t =
-  let compile p = (p.Policy.pname, Pipeline.compile p tp) in
-  let binaries =
-    if jobs > 1 then Cdutil.Pool.map compile profiles
-    else List.map compile profiles
-  in
-  mk ~normalize ~fuel ~max_fuel ~compare_status ~jobs ~dedup binaries
+  let session = match session with Some s -> s | None -> private_session () in
+  let binaries = Engine.Session.compile_profiles ~jobs session profiles tp in
+  mk ~session:(Some session) ~normalize ~fuel ~max_fuel ~compare_status ~jobs
+    ~dedup binaries
 
-let of_binaries ?(normalize = Normalize.identity) ?(fuel = 200_000)
+let of_binaries ?session ?(normalize = Normalize.identity) ?(fuel = 200_000)
     ?(max_fuel = 3_200_000) ?(compare_status = true)
     ?(jobs = Cdutil.Pool.default_jobs ()) ?(dedup = true)
     (binaries : (string * Ir.unit_) list) : t =
-  mk ~normalize ~fuel ~max_fuel ~compare_status ~jobs ~dedup binaries
+  mk ~session ~normalize ~fuel ~max_fuel ~compare_status ~jobs ~dedup binaries
 
 let names t = List.map fst t.binaries
 let binaries t = t.binaries
+let session t = t.session
 let jobs t = t.jobs
 let base_fuel t = t.base_fuel
 let fuel_limit t = t.max_fuel
@@ -187,28 +201,16 @@ let run_one t ~fuel ~input (u : Ir.unit_) : observation =
     fuel_used = r.Cdvm.Exec.fuel_used;
   }
 
-(* Run class [ci]'s linked image, borrowing the class arena for the
-   duration (or creating a fresh one if another check holds it). *)
+(* Observe class [ci] through the session: linked execution with the
+   handle's pooled arena, served from the observation store when the
+   session caches (the store holds raw output; normalization is this
+   oracle's concern). *)
 let run_linked_one t ~fuel ~input ci : observation =
-  let img = t.class_images.(ci) in
-  let slot = t.class_arenas.(ci) in
-  let arena =
-    match Atomic.exchange slot None with
-    | Some a -> a
-    | None -> Cdvm.Arena.create img
-  in
-  let r =
-    Fun.protect
-      ~finally:(fun () -> Atomic.set slot (Some arena))
-      (fun () ->
-        Cdvm.Exec.run_linked
-          ~config:{ Cdvm.Exec.default_config with Cdvm.Exec.input; fuel }
-          ~arena img)
-  in
+  let o = Engine.Session.run t.session t.class_linked.(ci) ~input ~fuel in
   {
-    output = t.normalize r.Cdvm.Exec.stdout;
-    status = r.Cdvm.Exec.status;
-    fuel_used = r.Cdvm.Exec.fuel_used;
+    output = t.normalize o.Engine.Session.obs_stdout;
+    status = o.Engine.Session.obs_status;
+    fuel_used = o.Engine.Session.obs_fuel;
   }
 
 (* checksum of what CompDiff compares for one observation; hashed

@@ -35,7 +35,11 @@ type verdict =
 
 type stats = {
   checks : int;            (** oracle checks (inputs judged) *)
-  vm_execs : int;          (** VM executions actually performed *)
+  vm_execs : int;
+      (** observations requested from the engine; equals actual VM
+          executions when the session does not cache — with a caching
+          session, observation-store hits replay without re-executing
+          (see {!Engine.Session.stats}) *)
   dedup_saved : int;       (** executions avoided by binary dedup *)
   escalation_saved : int;  (** executions avoided by incremental escalation *)
 }
@@ -47,6 +51,7 @@ type stats = {
 type t
 
 val create :
+  ?session:Engine.Session.t ->
   ?profiles:Cdcompiler.Policy.profile list ->
   ?normalize:Normalize.filter ->
   ?fuel:int ->
@@ -57,15 +62,21 @@ val create :
   Minic.Tast.tprogram ->
   t
 (** [create tp] compiles [tp] with every profile (default: the paper's ten
-    implementations). [normalize] post-processes outputs before comparison
-    (default: identity). [fuel] is the base execution budget (default
-    200k instructions), escalated ×4 up to [max_fuel] under partial
-    timeout. [compare_status:false] restricts the oracle to stdout only
-    (the ablation of DESIGN.md). [jobs] (default {!Cdutil.Pool.default_jobs})
-    enables pooled compilation and execution when [> 1]; [dedup:false]
-    disables equivalence-class grouping. *)
+    implementations). [session] routes compilation, linking and plain
+    execution through a shared {!Engine.Session} (unit/image caches and
+    observation store); without one the oracle uses a private
+    caching-disabled session, which recomputes every stage — the
+    historical behaviour. [normalize] post-processes outputs before
+    comparison (default: identity). [fuel] is the base execution budget
+    (default 200k instructions), escalated ×4 up to [max_fuel] under
+    partial timeout. [compare_status:false] restricts the oracle to
+    stdout only (the ablation of DESIGN.md). [jobs] (default
+    {!Cdutil.Pool.default_jobs}) enables pooled compilation and
+    execution when [> 1]; [dedup:false] disables equivalence-class
+    grouping. *)
 
 val of_binaries :
+  ?session:Engine.Session.t ->
   ?normalize:Normalize.filter ->
   ?fuel:int ->
   ?max_fuel:int ->
@@ -81,6 +92,12 @@ val names : t -> string list
 
 val binaries : t -> (string * Cdcompiler.Ir.unit_) list
 (** The compiled binaries, for re-execution (e.g. trace localization). *)
+
+val session : t -> Engine.Session.t
+(** The engine session this oracle compiles, links and executes through
+    (a private caching-disabled one when none was passed to {!create}).
+    Derived pipelines — reduction's re-oracles, localization's trace
+    images — reuse it so their replays share the caches. *)
 
 val jobs : t -> int
 

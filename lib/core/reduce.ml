@@ -221,7 +221,10 @@ let candidates (p : program) : program Seq.t =
 (* --- the reducer --- *)
 
 let default_reoracle (oracle : Oracle.t) (tp : Minic.Tast.tprogram) : Oracle.t =
+  (* re-oracles share the parent's session, so revalidating a candidate
+     already seen (and re-checking the surviving input) hits the caches *)
   Oracle.create
+    ~session:(Oracle.session oracle)
     ~normalize:(Oracle.normalize oracle)
     ~fuel:(Oracle.base_fuel oracle)
     ~max_fuel:(Oracle.fuel_limit oracle)

@@ -4,7 +4,15 @@
    implementation (same class = same normalized output). A subset of
    implementations detects the bug iff it straddles at least two classes.
    Subsets are bitmasks over the implementation list, enumerated for every
-   size from 2 to n. *)
+   size from 2 to n.
+
+   The study is computed purely from the cached partition arrays — zero
+   VM executions: for each bug, a subset mask is UNdetected iff it is a
+   (nonempty) submask of one behaviour class's member mask, so
+   enumerating each class's submasks once ([s := (s-1) land m]) scores
+   every one of the 2^n - 1 masks per bug in output-linear time, instead
+   of the reference's per-subset re-scan of every partition.  The
+   reference ([study_reference]) is retained for cross-validation. *)
 
 type study_row = {
   size : int;
@@ -25,29 +33,61 @@ let detects_mask (classes : int array) (mask : int) : bool =
     classes;
   !distinct
 
+(* --- popcount: one 16-bit table lookup per half-word --- *)
+
+let popcount16 =
+  lazy
+    (let t = Bytes.make 65536 '\000' in
+     for i = 1 to 65535 do
+       Bytes.set t i
+         (Char.chr (Char.code (Bytes.get t (i lsr 1)) + (i land 1)))
+     done;
+     t)
+
 let popcount mask =
-  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  let t = Lazy.force popcount16 in
+  let rec go m acc =
+    if m = 0 then acc else go (m lsr 16) (acc + Char.code (Bytes.get t (m land 0xffff)))
+  in
   go mask 0
 
-(* all bitmasks over n implementations with the given population *)
+(* --- mask enumeration: bucket all 2^n - 1 masks by popcount in ONE
+   pass (the study asks for every size anyway), memoized per n --- *)
+
+let buckets_mutex = Mutex.create ()
+let buckets_memo : (int, int list array) Hashtbl.t = Hashtbl.create 4
+
+let masks_by_popcount ~(n : int) : int list array =
+  Mutex.lock buckets_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock buckets_mutex)
+    (fun () ->
+      match Hashtbl.find_opt buckets_memo n with
+      | Some b -> b
+      | None ->
+          let buckets = Array.make (n + 1) [] in
+          (* downto + cons keeps each bucket in increasing mask order *)
+          for mask = (1 lsl n) - 1 downto 1 do
+            let k = popcount mask in
+            buckets.(k) <- mask :: buckets.(k)
+          done;
+          Hashtbl.add buckets_memo n buckets;
+          buckets)
+
 let masks_of_size ~n ~size : int list =
-  let out = ref [] in
-  for mask = 1 to (1 lsl n) - 1 do
-    if popcount mask = size then out := mask :: !out
-  done;
-  List.rev !out
+  if size < 0 || size > n then [] else (masks_by_popcount ~n).(size)
 
 let count_detected (partitions : int array list) (mask : int) : int =
   List.fold_left
     (fun acc classes -> if detects_mask classes mask then acc + 1 else acc)
     0 partitions
 
-(* full study: one row per subset size *)
-let study ?(min_size = 2) ~(n : int) (partitions : int array list) : study_row list =
+(* one row per subset size, scoring each mask with [score] *)
+let rows_of_scores ~min_size ~n (score : int -> int) : study_row list =
   List.init (n - min_size + 1) (fun i ->
       let size = min_size + i in
       let masks = masks_of_size ~n ~size in
-      let scored = List.map (fun m -> (m, count_detected partitions m)) masks in
+      let scored = List.map (fun m -> (m, score m)) masks in
       let counts = List.map snd scored in
       let best =
         List.fold_left (fun (bm, bc) (m, c) -> if c > bc then (m, c) else (bm, bc))
@@ -59,19 +99,109 @@ let study ?(min_size = 2) ~(n : int) (partitions : int array list) : study_row l
       in
       { size; box = Cdutil.Stats.box_of_ints counts; best; worst })
 
+(* the per-subset recomputation reference: every mask re-scans every
+   partition *)
+let study_reference ?(min_size = 2) ~(n : int) (partitions : int array list) :
+    study_row list =
+  rows_of_scores ~min_size ~n (count_detected partitions)
+
+(* Per-bug submask counting: a nonempty mask misses a bug iff all its
+   members share one behaviour class, i.e. iff it is a submask of that
+   class's member mask (classes partition the implementations, so of at
+   most one).  Enumerating every class's nonempty submasks once counts
+   the undetecting masks of this bug exactly once each. *)
+let undetected_counts ~(n : int) (partitions : int array list) : int array =
+  let undetected = Array.make (1 lsl n) 0 in
+  List.iter
+    (fun (classes : int array) ->
+      let member_mask : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      Array.iteri
+        (fun i c ->
+          let cur = Option.value ~default:0 (Hashtbl.find_opt member_mask c) in
+          Hashtbl.replace member_mask c (cur lor (1 lsl i)))
+        classes;
+      Hashtbl.iter
+        (fun _ m ->
+          let s = ref m in
+          while !s <> 0 do
+            undetected.(!s) <- undetected.(!s) + 1;
+            s := (!s - 1) land m
+          done)
+        member_mask)
+    partitions;
+  undetected
+
+(* Full study from the cached partitions alone.  The fast path needs
+   every partition to cover exactly the n implementations (mask bits at
+   or beyond a short partition's length would count as detected where
+   [detects_mask] ignores them), and 2^n counters in memory; otherwise
+   fall back to the reference. *)
+let study ?(min_size = 2) ~(n : int) (partitions : int array list) :
+    study_row list =
+  let exact = List.for_all (fun p -> Array.length p = n) partitions in
+  if (not exact) || n > 24 then study_reference ~min_size ~n partitions
+  else begin
+    let nbugs = List.length partitions in
+    let undetected = undetected_counts ~n partitions in
+    rows_of_scores ~min_size ~n (fun mask -> nbugs - undetected.(mask))
+  end
+
 let mask_to_names ~(names : string list) (mask : int) : string list =
   List.filteri (fun i _ -> mask land (1 lsl i) <> 0) names
 
-(* The paper's practical recommendation (§4.2): at least two instances
-   from different compilers, one unoptimizing and one aggressively
-   optimizing. *)
-let recommend ~(names : string list) : string list =
-  let pick pred = List.find_opt pred names in
-  let a = pick (fun n -> n = "gccx-O0") in
-  let b = pick (fun n -> n = "clangx-O3") in
-  match (a, b) with
-  | Some x, Some y -> [ x; y ]
+(* --- the paper's practical recommendation (§4.2): at least two
+   instances from different compilers, one unoptimizing and one
+   aggressively optimizing --- *)
+
+(* how aggressively a profile rewrites: enabled optimization passes,
+   with the inlining budget breaking ties between same-count levels *)
+let opt_score (p : Cdcompiler.Policy.profile) : int =
+  let f = p.Cdcompiler.Policy.flags in
+  let b x = if x then 1 else 0 in
+  let nflags =
+    b f.Cdcompiler.Policy.constfold + b f.Cdcompiler.Policy.copyprop
+    + b f.Cdcompiler.Policy.cse + b f.Cdcompiler.Policy.ub_branch_fold
+    + b f.Cdcompiler.Policy.null_check_fold
+    + b f.Cdcompiler.Policy.null_deref_trap + b f.Cdcompiler.Policy.dce
+    + b f.Cdcompiler.Policy.strength + b f.Cdcompiler.Policy.promote_mul
+    + b f.Cdcompiler.Policy.fp_contract + b f.Cdcompiler.Policy.pow_to_exp2
+    + b f.Cdcompiler.Policy.promote_scalars
+    + b f.Cdcompiler.Policy.unsafe_copyprop
+  in
+  (nflags * 128) + min f.Cdcompiler.Policy.inline_limit 127
+
+let recommend ?(profiles = Cdcompiler.Profiles.all) ~(names : string list) () :
+    string list =
+  (* the profiles actually in play, in [names] order *)
+  let known =
+    List.filter_map
+      (fun nm ->
+        List.find_opt (fun p -> p.Cdcompiler.Policy.pname = nm) profiles)
+      names
+  in
+  let pick better = function
+    | [] -> None
+    | p :: ps ->
+        Some (List.fold_left (fun a b -> if better b a then b else a) p ps)
+  in
+  let least = pick (fun a b -> opt_score a < opt_score b) known in
+  match least with
+  | Some lo when List.length known >= 2 ->
+      let rest =
+        List.filter (fun p -> p.Cdcompiler.Policy.pname <> lo.Cdcompiler.Policy.pname) known
+      in
+      let other_family =
+        List.filter
+          (fun p -> p.Cdcompiler.Policy.family <> lo.Cdcompiler.Policy.family)
+          rest
+      in
+      let candidates = if other_family <> [] then other_family else rest in
+      let hi =
+        Option.get (pick (fun a b -> opt_score a > opt_score b) candidates)
+      in
+      [ lo.Cdcompiler.Policy.pname; hi.Cdcompiler.Policy.pname ]
   | _ -> (
+    (* names outside the profile list: degrade to the endpoints *)
     match names with
     | x :: _ -> (
       match List.rev names with

@@ -4,7 +4,13 @@
     A detected bug is summarized by its behaviour partition — one class id
     per implementation (see {!Oracle.partition}). A subset of
     implementations detects the bug iff it spans at least two classes.
-    Subsets are bitmasks over the implementation list. *)
+    Subsets are bitmasks over the implementation list.
+
+    {!study} runs entirely on the cached partition arrays (no VM
+    executions): per bug, the masks that miss it are exactly the
+    nonempty submasks of its behaviour classes' member masks, counted
+    once each by submask enumeration.  {!study_reference} keeps the
+    per-subset recomputation for cross-validation. *)
 
 type study_row = {
   size : int;                        (** subset size *)
@@ -18,19 +24,36 @@ val detects_mask : int array -> int -> bool
     classes? *)
 
 val popcount : int -> int
+(** Table-driven (16-bit lookups). *)
+
+val masks_by_popcount : n:int -> int list array
+(** All masks over [n] implementations bucketed by popcount in a single
+    enumeration pass; index [k] holds the C(n,k) masks of size [k] in
+    increasing order (index 0 is empty).  Memoized per [n]. *)
 
 val masks_of_size : n:int -> size:int -> int list
-(** All C(n, size) subsets as bitmasks. *)
+(** All C(n, size) subsets as bitmasks ([masks_by_popcount] bucket). *)
 
 val count_detected : int array list -> int -> int
 (** Bugs (partitions) detected by one subset. *)
 
 val study : ?min_size:int -> n:int -> int array list -> study_row list
 (** One row per subset size from [min_size] (default 2) to [n]: the data
-    behind the box plots of Figures 1 and 2. *)
+    behind the box plots of Figures 1 and 2.  Computed from the
+    partitions alone; falls back to {!study_reference} when a partition
+    does not cover exactly [n] implementations. *)
+
+val study_reference : ?min_size:int -> n:int -> int array list -> study_row list
+(** The per-subset recomputation reference ({!count_detected} on every
+    mask); structurally identical results to {!study}. *)
 
 val mask_to_names : names:string list -> int -> string list
 
-val recommend : names:string list -> string list
+val recommend :
+  ?profiles:Cdcompiler.Policy.profile list -> names:string list -> unit ->
+  string list
 (** The paper's practical advice (§4.2): two instances from different
-    compilers, one unoptimizing and one aggressively optimizing. *)
+    compilers, one unoptimizing and one aggressively optimizing — chosen
+    by each profile's enabled-optimization score from [profiles]
+    (default {!Cdcompiler.Profiles.all}), restricted to [names].  Names
+    not in the profile list degrade to the first/last endpoints. *)

@@ -1,0 +1,248 @@
+(* An engine session: the compile -> link -> observe pipeline behind
+   content-addressed caches.
+
+   Every consumer of the pipeline (oracle, reduction, localization,
+   fuzzing, sanitizer builds, benchmarks, CLI) used to re-run each stage
+   ad hoc; a session makes the three stages shared services:
+
+     compile : typed program  -> per-profile binary   (unit cache)
+     link    : binary         -> executable image     (image cache)
+     run     : image x input  -> raw observation      (observation store)
+
+   Cache keys are content hashes: a typed program or compiled unit is
+   keyed by (length, murmur3 seed A, murmur3 seed B) of its [Marshal]
+   serialization.  Both types are pure data (no closures, no custom
+   blocks), so equal serializations imply structural equality, which
+   implies behavioural equality of everything derived from them — a hit
+   can only substitute an identical artefact, up to the ~2^-64 residual
+   collision probability of the double 32-bit hash over equal lengths.
+
+   The observation store memoizes [run] keyed by (image id, fuel,
+   input).  The VM is deterministic: a linked image run on a given input
+   under a given fuel budget produces exactly one (stdout, status,
+   fuel_used) triple, so replaying from the store is observationally
+   identical to re-executing.  Two restrictions keep this sound:
+   - observations are stored RAW (pre-normalization); callers apply
+     their own output filter on retrieval, so oracles with different
+     normalizers can share a store;
+   - only plain runs go through [run].  Executions that differ in more
+     than (image, input, fuel) — sanitizer hooks, coverage, print
+     tracing — must call the VM directly ([image] exposes the linked
+     image for exactly that).
+
+   Image ids are interned per unit key and never reused, so an image
+   evicted from the cache and re-linked later gets the same id and its
+   stored observations stay valid.
+
+   Bounded memory: each cache is an {!Lru} bounded in bytes; the
+   [cache_mb] budget is split 25% units / 25% images / 50% observations.
+   [cache_mb = 0] disables caching entirely — every stage recomputes,
+   which is the reference behaviour cross-validation compares against. *)
+
+open Cdcompiler
+
+type cache_stats = Lru.stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+}
+
+type stats = {
+  units : cache_stats;
+  images : cache_stats;
+  observations : cache_stats;
+  budget_bytes : int;
+  caching : bool;
+}
+
+type exec_obs = {
+  obs_stdout : string;  (* raw, NOT normalized *)
+  obs_status : Cdvm.Trap.status;
+  obs_fuel : int;
+}
+
+(* content key: serialization length + two independent 32-bit hashes *)
+type key = int * int * int
+
+type linked = {
+  image : Cdvm.Image.t;
+  image_id : int;
+  arena : Cdvm.Arena.t option Atomic.t;
+      (* pooled scratch: exchanged out for the duration of a run, so
+         concurrent runs of one image never share it (a late taker just
+         creates a fresh arena) *)
+}
+
+type t = {
+  caching : bool;
+  budget_bytes : int;
+  unit_cache : (key * string, Ir.unit_) Lru.t;
+  image_cache : (key, linked) Lru.t;
+  obs_cache : (int * int * string, exec_obs) Lru.t;
+  ids : (key, int) Hashtbl.t;  (* interned image ids, never evicted *)
+  ids_mutex : Mutex.t;
+  mutable next_id : int;
+}
+
+let key_of_string (s : string) : key =
+  ( String.length s,
+    Cdutil.Murmur3.hash s,
+    Cdutil.Murmur3.hash ~seed:0x9747b28cl s )
+
+let prog_key (tp : Minic.Tast.tprogram) : key =
+  key_of_string (Marshal.to_string tp [])
+
+let unit_key (u : Ir.unit_) : key = key_of_string (Marshal.to_string u [])
+
+let create ?(cache_mb = 128) () : t =
+  let cache_mb = max 0 cache_mb in
+  let budget_bytes = cache_mb * 1024 * 1024 in
+  {
+    caching = cache_mb > 0;
+    budget_bytes;
+    unit_cache = Lru.create ~budget_bytes:(budget_bytes / 4);
+    image_cache = Lru.create ~budget_bytes:(budget_bytes / 4);
+    obs_cache = Lru.create ~budget_bytes:(budget_bytes / 2);
+    ids = Hashtbl.create 64;
+    ids_mutex = Mutex.create ();
+    next_id = 0;
+  }
+
+let caching t = t.caching
+let budget_bytes t = t.budget_bytes
+
+let intern t (key : key) : int =
+  Mutex.lock t.ids_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.ids_mutex)
+    (fun () ->
+      match Hashtbl.find_opt t.ids key with
+      | Some id -> id
+      | None ->
+          let id = t.next_id in
+          t.next_id <- t.next_id + 1;
+          Hashtbl.add t.ids key id;
+          id)
+
+(* ids for detached (uncached) images: negative, never interned, so they
+   cannot collide with stored observations *)
+let detached_ids = Atomic.make (-1)
+let fresh_detached_id () = Atomic.fetch_and_add detached_ids (-1)
+
+let words_weight v = Obj.reachable_words (Obj.repr v) * (Sys.word_size / 8)
+
+(* --- compile --- *)
+
+let compile_keyed t (pkey : key) (profile : Policy.profile)
+    (tp : Minic.Tast.tprogram) : Ir.unit_ =
+  if not t.caching then Pipeline.compile profile tp
+  else
+    Lru.find_or_compute t.unit_cache
+      (pkey, profile.Policy.pname)
+      ~weight:words_weight
+      (fun () -> Pipeline.compile profile tp)
+
+let compile t (profile : Policy.profile) (tp : Minic.Tast.tprogram) : Ir.unit_ =
+  let pkey = if t.caching then prog_key tp else (0, 0, 0) in
+  compile_keyed t pkey profile tp
+
+let compile_profiles ?(jobs = Cdutil.Pool.default_jobs ()) t
+    (profiles : Policy.profile list) (tp : Minic.Tast.tprogram) :
+    (string * Ir.unit_) list =
+  (* serialize the program once for all profiles *)
+  let pkey = if t.caching then prog_key tp else (0, 0, 0) in
+  let one p = (p.Policy.pname, compile_keyed t pkey p tp) in
+  if jobs > 1 then Cdutil.Pool.map one profiles else List.map one profiles
+
+(* --- link --- *)
+
+let link_fresh t key_opt (u : Ir.unit_) : linked =
+  let image = Cdvm.Image.link u in
+  let image_id =
+    match key_opt with
+    | Some key -> intern t key
+    | None -> fresh_detached_id ()
+  in
+  { image; image_id; arena = Atomic.make None }
+
+let link t (u : Ir.unit_) : linked =
+  if not t.caching then link_fresh t None u
+  else
+    let key = unit_key u in
+    Lru.find_or_compute t.image_cache key
+      ~weight:(fun l -> words_weight l.image)
+      (fun () -> link_fresh t (Some key) u)
+
+let image (l : linked) = l.image
+
+(* --- run --- *)
+
+let obs_overhead_bytes = 64
+
+let execute (l : linked) ~(input : string) ~(fuel : int) : exec_obs =
+  let arena =
+    match Atomic.exchange l.arena None with
+    | Some a -> a
+    | None -> Cdvm.Arena.create l.image
+  in
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Atomic.set l.arena (Some arena))
+      (fun () ->
+        Cdvm.Exec.run_linked
+          ~config:{ Cdvm.Exec.default_config with Cdvm.Exec.input; fuel }
+          ~arena l.image)
+  in
+  {
+    obs_stdout = r.Cdvm.Exec.stdout;
+    obs_status = r.Cdvm.Exec.status;
+    obs_fuel = r.Cdvm.Exec.fuel_used;
+  }
+
+let run t (l : linked) ~(input : string) ~(fuel : int) : exec_obs =
+  if not t.caching then execute l ~input ~fuel
+  else
+    Lru.find_or_compute t.obs_cache
+      (l.image_id, fuel, input)
+      ~weight:(fun o ->
+        String.length o.obs_stdout + String.length input + obs_overhead_bytes)
+      (fun () -> execute l ~input ~fuel)
+
+(* --- stats --- *)
+
+let stats t =
+  {
+    units = Lru.stats t.unit_cache;
+    images = Lru.stats t.image_cache;
+    observations = Lru.stats t.obs_cache;
+    budget_bytes = t.budget_bytes;
+    caching = t.caching;
+  }
+
+let reset_stats t =
+  Lru.reset_stats t.unit_cache;
+  Lru.reset_stats t.image_cache;
+  Lru.reset_stats t.obs_cache
+
+let hit_rate (c : cache_stats) =
+  let total = c.hits + c.misses in
+  if total = 0 then 0. else float_of_int c.hits /. float_of_int total
+
+let stats_to_string (s : stats) : string =
+  if not s.caching then "engine session: caching disabled (cache-mb 0)\n"
+  else
+    let line name (c : cache_stats) =
+      Printf.sprintf
+        "  %-12s %7d hits %7d misses (%5.1f%% hit rate) %6d evictions \
+         %6d entries %8.1f KiB\n"
+        name c.hits c.misses
+        (100. *. hit_rate c)
+        c.evictions c.entries
+        (float_of_int c.bytes /. 1024.)
+    in
+    Printf.sprintf "engine session caches (budget %d MiB):\n%s%s%s"
+      (s.budget_bytes / (1024 * 1024))
+      (line "units" s.units) (line "images" s.images)
+      (line "observations" s.observations)

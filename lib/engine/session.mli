@@ -1,0 +1,94 @@
+(** An engine session: the compile → link → observe pipeline behind
+    content-addressed caches (see DESIGN.md §10).
+
+    A session owns three bounded LRU caches:
+    - a {b compiled-unit cache} keyed by (program content hash, profile
+      name) — a typed program is compiled at most once per profile per
+      session;
+    - a {b linked-image cache} keyed by the compiled unit's content
+      hash, shared across oracle, localization, reduction, fuzzing and
+      sanitizer builds;
+    - an {b observation store} keyed by (image id, fuel, input) that
+      turns replayed executions (reduction re-validation, localization,
+      escalation replays, triage) into lookups.
+
+    Content keys are (length, murmur3{_A}, murmur3{_B}) over the value's
+    [Marshal] serialization; both program types are pure data, so equal
+    keys substitute structurally identical artefacts.  Observations are
+    stored raw (pre-normalization) and the VM is deterministic at fixed
+    fuel, so a hit is observationally identical to a re-execution.
+    Executions that differ in more than (image, input, fuel) — sanitizer
+    hooks, coverage, print tracing — must bypass {!run} and call the VM
+    directly on {!image}.
+
+    [cache_mb = 0] disables caching: every stage recomputes, which is
+    the reference behaviour cross-validation compares against. *)
+
+type cache_stats = Lru.stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+}
+
+type stats = {
+  units : cache_stats;
+  images : cache_stats;
+  observations : cache_stats;
+  budget_bytes : int;
+  caching : bool;
+}
+
+type exec_obs = {
+  obs_stdout : string;  (** raw stdout, {e not} normalized *)
+  obs_status : Cdvm.Trap.status;
+  obs_fuel : int;
+}
+
+type linked
+(** A linked executable image plus its interned id and a pooled arena.
+    Handles from a caching session are shared: callers must not mutate
+    the underlying image. *)
+
+type t
+
+val create : ?cache_mb:int -> unit -> t
+(** [create ()] makes a session with a [cache_mb] MiB budget (default
+    128), split 25% units / 25% images / 50% observations, each side
+    evicted least-recently-used.  [cache_mb = 0] disables caching. *)
+
+val caching : t -> bool
+val budget_bytes : t -> int
+
+val prog_key : Minic.Tast.tprogram -> int * int * int
+(** Content key of a typed program (exposed for diagnostics/tests). *)
+
+val compile : t -> Cdcompiler.Policy.profile -> Minic.Tast.tprogram ->
+  Cdcompiler.Ir.unit_
+(** Cached {!Cdcompiler.Pipeline.compile}. *)
+
+val compile_profiles : ?jobs:int -> t -> Cdcompiler.Policy.profile list ->
+  Minic.Tast.tprogram -> (string * Cdcompiler.Ir.unit_) list
+(** [compile_profiles t ps tp]: [(pname, unit)] per profile, in order;
+    the program is serialized once, misses go through the shared
+    {!Cdutil.Pool} when [jobs > 1]. *)
+
+val link : t -> Cdcompiler.Ir.unit_ -> linked
+(** Cached {!Cdvm.Image.link}.  Re-linking an evicted unit re-interns
+    the same image id, so stored observations survive eviction. *)
+
+val image : linked -> Cdvm.Image.t
+(** The underlying image, for executions the observation store must not
+    serve (hooks, coverage, tracing). *)
+
+val run : t -> linked -> input:string -> fuel:int -> exec_obs
+(** Observation-store-backed plain execution of a linked image (arena
+    pooled per handle; safe from any domain). *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+(** Reset hit/miss/eviction counters (cache contents are kept). *)
+
+val hit_rate : cache_stats -> float
+val stats_to_string : stats -> string

@@ -29,6 +29,9 @@ type config = {
          divergent input as it is saved, so diffs/ holds reduced
          reproducers, not raw havoc blobs *)
   reduce_checks : int;              (* validation budget per reduction *)
+  session : Engine.Session.t option;
+      (* engine session for B_fuzz compilation, the oracle, and the
+         on-save reductions; None = a private uncached one *)
 }
 
 let default_config =
@@ -45,6 +48,7 @@ let default_config =
     jobs = 0;
     reduce_on_save = true;
     reduce_checks = 400;
+    session = None;
   }
 
 type campaign = {
@@ -55,13 +59,17 @@ type campaign = {
 }
 
 let run ?(config = default_config) (tp : Minic.Tast.tprogram) : campaign =
-  let fuzz_unit = Pipeline.compile Profiles.fuzz_profile tp in
+  let fuzz_unit =
+    match config.session with
+    | Some s -> Engine.Session.compile s Profiles.fuzz_profile tp
+    | None -> Pipeline.compile Profiles.fuzz_profile tp
+  in
   let jobs =
     if config.jobs > 0 then config.jobs else Cdutil.Pool.default_jobs ()
   in
   let oracle =
-    Compdiff.Oracle.create ~profiles:config.profiles ~normalize:config.normalize
-      ~fuel:config.fuel ~jobs tp
+    Compdiff.Oracle.create ?session:config.session ~profiles:config.profiles
+      ~normalize:config.normalize ~fuel:config.fuel ~jobs tp
   in
   let triage = Compdiff.Triage.create () in
   let counter = ref 0 in

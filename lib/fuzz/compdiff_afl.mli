@@ -35,6 +35,10 @@ type config = {
           store holds reduced reproducers alongside the raw blobs *)
   reduce_checks : int;
       (** per-divergence validation budget of the on-save reduction *)
+  session : Engine.Session.t option;
+      (** engine session shared by the [B_fuzz] compile, the oracle, and
+          the on-save reductions ([None], the default, uses a private
+          caching-disabled session) *)
 }
 
 val default_config : config

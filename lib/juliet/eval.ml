@@ -21,6 +21,9 @@ type test_eval = {
   (* §5 reporting: reduction of the bug-triggering input, when one was
      found and the reducer validated a (possibly equal) smaller one *)
   reduction : Compdiff.Reduce.stats option;
+  (* combined execution counters of this test's bad+good oracles, for
+     the suite-level `juliet --stats` summary *)
+  oracle_stats : Compdiff.Oracle.stats;
 }
 
 let nimpls = List.length Cdcompiler.Profiles.all
@@ -55,11 +58,22 @@ let validate_oracle (oracle : Compdiff.Oracle.t) ~(inputs : string list) : unit 
              input))
     inputs
 
-let eval_compdiff ?(fuel = 100_000) ?(validate = false) ?(reduce = true)
-    ~(bad : Minic.Tast.tprogram) ~(good : Minic.Tast.tprogram)
-    ~(inputs : string list) () : (bool * bool) * int array
-    * Compdiff.Reduce.stats option =
-  let oracle_bad = Compdiff.Oracle.create ~fuel bad in
+let add_oracle_stats (a : Compdiff.Oracle.stats) (b : Compdiff.Oracle.stats) :
+    Compdiff.Oracle.stats =
+  {
+    Compdiff.Oracle.checks = a.Compdiff.Oracle.checks + b.Compdiff.Oracle.checks;
+    vm_execs = a.Compdiff.Oracle.vm_execs + b.Compdiff.Oracle.vm_execs;
+    dedup_saved = a.Compdiff.Oracle.dedup_saved + b.Compdiff.Oracle.dedup_saved;
+    escalation_saved =
+      a.Compdiff.Oracle.escalation_saved + b.Compdiff.Oracle.escalation_saved;
+  }
+
+let eval_compdiff ?session ?(fuel = 100_000) ?(validate = false)
+    ?(reduce = true) ~(bad : Minic.Tast.tprogram)
+    ~(good : Minic.Tast.tprogram) ~(inputs : string list) () :
+    (bool * bool) * int array * Compdiff.Reduce.stats option
+    * Compdiff.Oracle.stats =
+  let oracle_bad = Compdiff.Oracle.create ?session ~fuel bad in
   let detected, partition, reduction =
     match Compdiff.Oracle.find_bug oracle_bad ~inputs with
     | Some (input, obs) ->
@@ -73,24 +87,33 @@ let eval_compdiff ?(fuel = 100_000) ?(validate = false) ?(reduce = true)
       (true, Compdiff.Oracle.partition oracle_bad obs, reduction)
     | None -> (false, Array.make nimpls 0, None)
   in
-  let oracle_good = Compdiff.Oracle.create ~fuel good in
+  let oracle_good = Compdiff.Oracle.create ?session ~fuel good in
   let fp = Compdiff.Oracle.detects oracle_good ~inputs in
   if validate then begin
     validate_oracle oracle_bad ~inputs;
     validate_oracle oracle_good ~inputs
   end;
-  ((detected, fp), partition, reduction)
+  let ostats =
+    add_oracle_stats
+      (Compdiff.Oracle.stats oracle_bad)
+      (Compdiff.Oracle.stats oracle_good)
+  in
+  ((detected, fp), partition, reduction, ostats)
 
-let evaluate ?(fuel = 100_000) ?validate ?reduce (t : Testcase.t) : test_eval =
+let evaluate ?session ?(fuel = 100_000) ?validate ?reduce (t : Testcase.t) :
+    test_eval =
   let category = (Cwe.info t.Testcase.cwe).Cwe.category in
   let bad = Testcase.frontend_bad t in
   let good = Testcase.frontend_good t in
   let inputs = t.Testcase.inputs in
-  let compdiff, partition, reduction =
-    eval_compdiff ~fuel ?validate ?reduce ~bad ~good ~inputs ()
+  let compdiff, partition, reduction, oracle_stats =
+    eval_compdiff ?session ~fuel ?validate ?reduce ~bad ~good ~inputs ()
   in
-  let bad_build = Sanitizers.San.build bad in
-  let good_build = Sanitizers.San.build good in
+  (* the sanitizer builds reuse the session's unit/image caches (the
+     bad/good programs were just compiled for the oracles under the
+     same gccx-O0 profile) *)
+  let bad_build = Sanitizers.San.build ?session bad in
+  let good_build = Sanitizers.San.build ?session good in
   {
     test = t;
     category;
@@ -104,14 +127,25 @@ let evaluate ?(fuel = 100_000) ?validate ?reduce (t : Testcase.t) : test_eval =
     compdiff;
     partition;
     reduction;
+    oracle_stats;
   }
 
-(* Evaluating one test touches no shared mutable state, so the suite can
-   be spread over the pool; results keep suite order. *)
-let evaluate_suite ?fuel ?validate ?reduce ?(jobs = Cdutil.Pool.default_jobs ())
-    (tests : Testcase.t list) : test_eval list =
-  let eval t = evaluate ?fuel ?validate ?reduce t in
+(* Evaluating one test touches no shared mutable state of its own, so
+   the suite can be spread over the pool; a shared session is safe (its
+   caches are mutex-protected) and results keep suite order. *)
+let evaluate_suite ?session ?fuel ?validate ?reduce
+    ?(jobs = Cdutil.Pool.default_jobs ()) (tests : Testcase.t list) :
+    test_eval list =
+  let eval t = evaluate ?session ?fuel ?validate ?reduce t in
   if jobs > 1 then Cdutil.Pool.map eval tests else List.map eval tests
+
+(* combined oracle counters over the whole suite (juliet --stats) *)
+let sum_oracle_stats (evals : test_eval list) : Compdiff.Oracle.stats =
+  List.fold_left
+    (fun acc e -> add_oracle_stats acc e.oracle_stats)
+    { Compdiff.Oracle.checks = 0; vm_execs = 0; dedup_saved = 0;
+      escalation_saved = 0 }
+    evals
 
 (* --- Table 3 aggregation --- *)
 

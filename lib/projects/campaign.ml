@@ -23,8 +23,13 @@ type project_result = {
    executions inside a reduction run on the linked images as usual. *)
 let reduce_representatives ?(max_checks = 160) (p : Project.t)
     (campaign : Fuzz.Compdiff_afl.campaign) : Compdiff.Reduce.stats list =
+  (* candidate oracles share the campaign oracle's session: repeated
+     candidate programs and re-checked inputs hit its caches *)
+  let session =
+    Compdiff.Oracle.session campaign.Fuzz.Compdiff_afl.oracle
+  in
   let reoracle tp =
-    Compdiff.Oracle.create
+    Compdiff.Oracle.create ~session
       ~profiles:(Project.profiles_for p)
       ~normalize:p.Project.normalize ~fuel:60_000 tp
   in
@@ -52,7 +57,7 @@ let reduce_representatives ?(max_checks = 160) (p : Project.t)
       r.Compdiff.Reduce.red_stats)
     reduced
 
-let run_project ?(max_execs = 6_000) ?(rng_seed = 7) ?(reduce = true)
+let run_project ?session ?(max_execs = 6_000) ?(rng_seed = 7) ?(reduce = true)
     (p : Project.t) : project_result =
   let tp = Project.frontend p in
   let config =
@@ -67,6 +72,7 @@ let run_project ?(max_execs = 6_000) ?(rng_seed = 7) ?(reduce = true)
       (* reduction happens in batch below (with program reduction and
          pool parallelism), not inline on save *)
       reduce_on_save = false;
+      session;
     }
   in
   let campaign = Fuzz.Compdiff_afl.run ~config tp in
@@ -105,9 +111,9 @@ let run_project ?(max_execs = 6_000) ?(rng_seed = 7) ?(reduce = true)
 (* Campaigns are deterministic (seeded RNG, deterministic VM), so
    running the projects through the pool yields the same results in the
    same order as the sequential map. *)
-let run_all ?max_execs ?rng_seed ?reduce ?(jobs = Cdutil.Pool.default_jobs ())
-    () : project_result list =
-  let run p = run_project ?max_execs ?rng_seed ?reduce p in
+let run_all ?session ?max_execs ?rng_seed ?reduce
+    ?(jobs = Cdutil.Pool.default_jobs ()) () : project_result list =
+  let run p = run_project ?session ?max_execs ?rng_seed ?reduce p in
   if jobs > 1 then Cdutil.Pool.map run Registry.all
   else List.map run Registry.all
 
@@ -202,7 +208,7 @@ let sanitizer_covers (b : Sanitizers.San.build) (kind : Sanitizers.San.kind)
   Sanitizers.San.detects_built ~fuel:60_000 kind b
     ~inputs:[ f.bug.Project.witness; f.found_input ]
 
-let table6 (results : project_result list) : t6_row list * int =
+let table6 ?session (results : project_result list) : t6_row list * int =
   (* one instrumented build per project, shared by every (category, kind,
      bug) probe below instead of recompiling each time *)
   let builds : (string, Sanitizers.San.build) Hashtbl.t = Hashtbl.create 8 in
@@ -210,7 +216,7 @@ let table6 (results : project_result list) : t6_row list * int =
     match Hashtbl.find_opt builds p.Project.pname with
     | Some b -> b
     | None ->
-      let b = Sanitizers.San.build (Project.frontend p) in
+      let b = Sanitizers.San.build ?session (Project.frontend p) in
       Hashtbl.add builds p.Project.pname b;
       b
   in

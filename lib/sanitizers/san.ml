@@ -29,8 +29,19 @@ type build = {
   arena : Cdvm.Arena.t;
 }
 
-let build (tp : Minic.Tast.tprogram) : build =
-  let image = Cdvm.Image.link (Pipeline.compile build_profile tp) in
+(* With a session, the compile and the link are served by its caches
+   (the instrumented binary is the plain unoptimized one; hooks are
+   per-run config).  Sanitized executions must never go through the
+   session's observation store — hooks make a run more than a function
+   of (image, input, fuel) — so this keeps a private arena and runs the
+   image directly. *)
+let build ?session (tp : Minic.Tast.tprogram) : build =
+  let image =
+    match session with
+    | Some s ->
+        Engine.Session.image (Engine.Session.link s (Engine.Session.compile s build_profile tp))
+    | None -> Cdvm.Image.link (Pipeline.compile build_profile tp)
+  in
   { image; arena = Cdvm.Arena.create image }
 
 let run_built ?(fuel = 200_000) (kind : kind) (b : build) ~(input : string) :

@@ -24,7 +24,10 @@ type build
     One build serves all three sanitizers (the hook set is per-run), but
     it is single-domain scratch: do not share across concurrent tasks. *)
 
-val build : Minic.Tast.tprogram -> build
+val build : ?session:Engine.Session.t -> Minic.Tast.tprogram -> build
+(** [build ?session tp]: with a session, the compile and link are served
+    by its unit/image caches; the sanitized executions themselves always
+    run directly (hooked runs must bypass the observation store). *)
 
 val run_built : ?fuel:int -> kind -> build -> input:string -> Cdvm.Exec.result
 

@@ -5,7 +5,7 @@
 # tree-walking reference vs the linked-image executor with persistent
 # arenas (BENCH_vm.json). Both JSONs land in the repo root.
 #
-#   scripts/bench.sh            # oracle + vm benches (both JSONs)
+#   scripts/bench.sh            # oracle + vm + engine benches (three JSONs)
 #   scripts/bench.sh all        # every bench section (tables + figures)
 #
 # The JSONs report execs/sec, the dedup/escalation savings, the
@@ -23,11 +23,13 @@ if [ "${1:-oracle}" = "all" ]; then
   echo "== full bench suite"
   dune exec bench/main.exe
 else
-  echo "== oracle + vm benches (write BENCH_oracle.json, BENCH_vm.json)"
-  dune exec bench/main.exe -- oracle vm
+  echo "== oracle + vm + engine benches (write BENCH_oracle.json, BENCH_vm.json, BENCH_engine.json)"
+  dune exec bench/main.exe -- oracle vm engine
 fi
 
 echo "== BENCH_oracle.json"
 cat BENCH_oracle.json
 echo "== BENCH_vm.json"
 cat BENCH_vm.json
+echo "== BENCH_engine.json"
+cat BENCH_engine.json

@@ -74,6 +74,35 @@ for f in examples/*.c; do
   fi
 done
 
+echo "== engine session smoke test"
+# Cached vs fresh: the same diff with caching disabled and enabled must
+# produce identical reports and exit codes, and a second cached juliet
+# pass must be served from the session caches (nonzero hit rate).
+for f in examples/unstable_uninit.c examples/stable_guarded.c; do
+  set +e
+  out0=$(dune exec bin/compdiff_cli.exe -- diff "$f" --cache-mb 0 2>&1)
+  got0=$?
+  out1=$(dune exec bin/compdiff_cli.exe -- diff "$f" --cache-mb 128 2>&1)
+  got1=$?
+  set -e
+  if [ "$got0" -ne "$got1" ] || [ "$out0" != "$out1" ]; then
+    echo "FAIL $f: cached and uncached diff disagree (exit $got0 vs $got1)"
+    status=1
+  else
+    echo "ok   $f (cache-mb 0 == cache-mb 128, exit $got0)"
+  fi
+done
+juliet_stats=$(dune exec bin/compdiff_cli.exe -- juliet --per-cwe 1 --stats 2>&1)
+hits=$(printf '%s\n' "$juliet_stats" \
+  | sed -n 's/^ *units *\([0-9]*\) hits.*/\1/p')
+if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+  echo "FAIL juliet --stats: expected a nonzero unit-cache hit count"
+  printf '%s\n' "$juliet_stats" | tail -5
+  status=1
+else
+  echo "ok   juliet --stats (unit cache: $hits hits)"
+fi
+
 echo "== reduce smoke test"
 # Reduce a known divergence and assert the contract: the reduced input
 # is no larger than the original, and still diverges under compdiff diff.

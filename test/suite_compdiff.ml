@@ -179,7 +179,7 @@ let test_subset_full_set_detects_all_detectable () =
 let test_subset_recommend () =
   let names = List.map (fun p -> p.Cdcompiler.Policy.pname) Cdcompiler.Profiles.all in
   Alcotest.(check (list string)) "recommendation" [ "gccx-O0"; "clangx-O3" ]
-    (Subset.recommend ~names)
+    (Subset.recommend ~names ())
 
 (* --- localize (the Section 5 prototype) --- *)
 

@@ -3,5 +3,7 @@
 let () =
   Alcotest.run "compdiff"
     (Suite_util.suites @ Suite_minic.suites @ Suite_compiler.suites
-   @ Suite_sanitizers.suites @ Suite_compdiff.suites @ Suite_static.suites
-   @ Suite_fuzz.suites @ Suite_reduce.suites @ Suite_juliet.suites @ Suite_projects.suites @ Suite_vm.suites @ Suite_passes.suites @ Suite_frontend_fuzz.suites)
+   @ Suite_sanitizers.suites @ Suite_engine.suites @ Suite_compdiff.suites
+   @ Suite_static.suites @ Suite_fuzz.suites @ Suite_reduce.suites
+   @ Suite_juliet.suites @ Suite_projects.suites @ Suite_vm.suites
+   @ Suite_passes.suites @ Suite_frontend_fuzz.suites)
