@@ -46,6 +46,22 @@ let profile_of_name name =
       exit 2
     end
 
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 (* --- common args --- *)
 
 let file_arg =
@@ -768,7 +784,20 @@ let static_cmd =
       value & flag
       & info [ "warnings" ] ~doc:"Also print downgraded (warning) findings.")
   in
-  let action file tool warnings (_ : common) =
+  let cross =
+    Arg.(
+      value & flag
+      & info [ "cross" ]
+          ~doc:
+            "Fold identical (line, kind) findings from different tools into \
+             one cross-tool row.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit machine-readable JSON findings.")
+  in
+  let action file tool warnings cross json (_ : common) =
     let p = ast_of_file file in
     let tools =
       match tool with
@@ -794,30 +823,215 @@ let static_cmd =
                   Staticcheck.Static_tools.all));
           exit 2)
     in
+    let finding_json ?tools (f : Staticcheck.Finding.t) =
+      Printf.sprintf
+        "{\"tool\": \"%s\", \"kind\": \"%s\", \"line\": %d, \"severity\": \
+         \"%s\", \"message\": \"%s\"%s}"
+        (json_escape f.Staticcheck.Finding.tool)
+        (Staticcheck.Finding.kind_to_string f.Staticcheck.Finding.kind)
+        f.Staticcheck.Finding.line
+        (Staticcheck.Finding.severity_to_string f.Staticcheck.Finding.severity)
+        (json_escape f.Staticcheck.Finding.message)
+        (match tools with
+        | None -> ""
+        | Some ts ->
+          Printf.sprintf ", \"agreed_by\": [%s]"
+            (String.concat ", "
+               (List.map
+                  (fun t ->
+                    Printf.sprintf "\"%s\"" (Staticcheck.Static_tools.name t))
+                  ts)))
+    in
     let errors = ref 0 in
-    List.iter
-      (fun t ->
-        let findings = Staticcheck.Static_tools.check t p in
-        List.iter
-          (fun (f : Staticcheck.Finding.t) ->
-            match f.Staticcheck.Finding.severity with
-            | Staticcheck.Finding.Error ->
-              incr errors;
-              Format.printf "%a@." Staticcheck.Finding.pp f
-            | Staticcheck.Finding.Warning ->
-              if warnings then Format.printf "%a@." Staticcheck.Finding.pp f)
-          findings)
-      tools;
-    if !errors = 0 then begin
-      Printf.printf "no detection-grade findings\n";
-      0
-    end
-    else 1
+    let json_rows = ref [] in
+    if cross then
+      (* one row per (kind, line) across every tool *)
+      List.iter
+        (fun (cx : Staticcheck.Static_tools.cross) ->
+          let f = cx.Staticcheck.Static_tools.cx_finding in
+          let is_error =
+            f.Staticcheck.Finding.severity = Staticcheck.Finding.Error
+          in
+          if is_error then incr errors;
+          if is_error || warnings then
+            if json then
+              json_rows :=
+                finding_json ~tools:cx.Staticcheck.Static_tools.cx_tools f
+                :: !json_rows
+            else
+              print_endline (Staticcheck.Static_tools.cross_to_string cx))
+        (Staticcheck.Static_tools.check_all p)
+    else
+      List.iter
+        (fun t ->
+          let findings = Staticcheck.Static_tools.check t p in
+          List.iter
+            (fun (f : Staticcheck.Finding.t) ->
+              let is_error =
+                f.Staticcheck.Finding.severity = Staticcheck.Finding.Error
+              in
+              if is_error then incr errors;
+              if is_error || warnings then
+                if json then json_rows := finding_json f :: !json_rows
+                else Format.printf "%a@." Staticcheck.Finding.pp f)
+            findings)
+        tools;
+    if json then
+      Printf.printf "{\"file\": \"%s\", \"findings\": [%s]}\n"
+        (json_escape file)
+        (String.concat ", " (List.rev !json_rows))
+    else if !errors = 0 then Printf.printf "no detection-grade findings\n";
+    if !errors = 0 then 0 else 1
   in
   Cmd.v
     (Cmd.info "static"
        ~doc:"Run the static analyzers (Table 3 tools) over a MiniC file.")
-    Term.(const action $ file_arg $ tool_arg $ warnings $ common_term)
+    Term.(
+      const action $ file_arg $ tool_arg $ warnings $ cross $ json
+      $ common_term)
+
+(* --- metacheck --- *)
+
+let metacheck_cmd =
+  let file_opt =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "MiniC source file to meta-check; when omitted the generated \
+             Juliet-style suite is used.")
+  in
+  let inputs_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "input" ] ~docv:"STR"
+          ~doc:"Program input for dynamic checking (repeatable; default: one \
+                empty input).")
+  in
+  let per_cwe =
+    Arg.(
+      value & opt int 1
+      & info [ "per-cwe" ] ~docv:"N"
+          ~doc:"Juliet mode: variants per CWE (default 1).")
+  in
+  let limit =
+    Arg.(
+      value & opt int 2
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Preserving twins per transformation rule (default 2).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit machine-readable JSON flags.")
+  in
+  let flag_json (f : Metacheck.Driver.flag) =
+    Printf.sprintf
+      "{\"tool\": \"%s\", \"rule\": \"%s\", \"what\": \"%s\", \"kind\": %s, \
+       \"detail\": \"%s\"}"
+      (json_escape f.Metacheck.Driver.fl_tool)
+      (json_escape f.Metacheck.Driver.fl_rule)
+      (Metacheck.Driver.what_to_string f.Metacheck.Driver.fl_what)
+      (match f.Metacheck.Driver.fl_kind with
+      | Some k ->
+        Printf.sprintf "\"%s\"" (Staticcheck.Finding.kind_to_string k)
+      | None -> "null")
+      (json_escape f.Metacheck.Driver.fl_detail)
+  in
+  let result_json (r : Metacheck.Driver.result) =
+    Printf.sprintf
+      "{\"name\": \"%s\", \"preserving\": %d, \"eliminating\": %d, \
+       \"retype_failures\": %d, \"flags\": [%s]}"
+      (json_escape r.Metacheck.Driver.mc_name)
+      r.Metacheck.Driver.mc_preserving r.Metacheck.Driver.mc_eliminating
+      (List.length r.Metacheck.Driver.mc_retype_failures)
+      (String.concat ", " (List.map flag_json r.Metacheck.Driver.mc_flags))
+  in
+  let action file_opt inputs per_cwe limit json (c : common) =
+    let programs =
+      match file_opt with
+      | Some file ->
+        let inputs = if inputs = [] then [ "" ] else inputs in
+        [ (file, frontend_of_file file, inputs) ]
+      | None ->
+        let tests = Juliet.Suite.quick ~per_cwe:(max 1 per_cwe) () in
+        if not json then
+          Printf.printf "meta-checking %d generated Juliet-style tests...\n%!"
+            (List.length tests);
+        List.map
+          (fun (t : Juliet.Testcase.t) ->
+            ( t.Juliet.Testcase.name,
+              Juliet.Testcase.frontend_bad t,
+              t.Juliet.Testcase.inputs ))
+          tests
+    in
+    let results =
+      List.map
+        (fun (name, tp, inputs) ->
+          let r =
+            Metacheck.Driver.analyze ~session:c.co_session
+              ~profiles:c.co_profiles ?fuel:c.co_fuel ~limit ~name tp ~inputs
+          in
+          if not json then print_string (Metacheck.Driver.result_to_string r);
+          r)
+        programs
+    in
+    let tally = Compdiff.Triage.Tally.create () in
+    List.iter
+      (fun (r : Metacheck.Driver.result) ->
+        List.iter
+          (fun (f : Metacheck.Driver.flag) ->
+            let bucket =
+              match f.Metacheck.Driver.fl_kind with
+              | Some k -> Compdiff.Triage.table5_label k
+              | None -> "(divergence)"
+            in
+            Compdiff.Triage.Tally.bump tally ~tool:f.Metacheck.Driver.fl_tool
+              ~bucket
+              (match f.Metacheck.Driver.fl_what with
+              | Metacheck.Driver.Fp -> `Fp
+              | Metacheck.Driver.Fn_instability -> `Fn
+              | Metacheck.Driver.Xval_fn -> `Xfn
+              | Metacheck.Driver.Drift -> `Drift))
+          r.Metacheck.Driver.mc_flags)
+      results;
+    let total f = List.fold_left (fun n r -> n + f r) 0 results in
+    let preserving = total (fun r -> r.Metacheck.Driver.mc_preserving) in
+    let eliminating = total (fun r -> r.Metacheck.Driver.mc_eliminating) in
+    let failures =
+      total (fun r -> List.length r.Metacheck.Driver.mc_retype_failures)
+    in
+    if json then
+      Printf.printf
+        "{\"programs\": %d, \"preserving\": %d, \"eliminating\": %d, \
+         \"retype_failures\": %d, \"results\": [%s]}\n"
+        (List.length results) preserving eliminating failures
+        (String.concat ", " (List.map result_json results))
+    else begin
+      Printf.printf "\nprograms: %d\n" (List.length results);
+      Printf.printf "preserving twins: %d\n" preserving;
+      Printf.printf "eliminating twins: %d\n" eliminating;
+      Printf.printf "retype failures: %d\n" failures;
+      print_newline ();
+      print_string (Compdiff.Triage.Tally.to_string tally);
+      let t = Compdiff.Triage.Tally.total tally in
+      Printf.printf
+        "\ntotals: %d FP, %d FN-instability, %d cross-validated FN, %d drift\n"
+        t.Compdiff.Triage.Tally.fp t.Compdiff.Triage.Tally.fn
+        t.Compdiff.Triage.Tally.xfn t.Compdiff.Triage.Tally.drift
+    end;
+    if c.co_stats then print_session_stats c;
+    if failures > 0 then 2 else 0
+  in
+  Cmd.v
+    (Cmd.info "metacheck"
+       ~doc:
+         "Metamorphic meta-checking: turn the differential oracle on the \
+          sanitizers and static analyzers.")
+    Term.(
+      const action $ file_opt $ inputs_arg $ per_cwe $ limit $ json
+      $ common_term)
 
 (* --- profiles --- *)
 
@@ -844,6 +1058,6 @@ let main_cmd =
   let doc = "compiler-driven differential testing for MiniC programs" in
   Cmd.group
     (Cmd.info "compdiff" ~version:"1.0.0" ~doc)
-    [ compile_cmd; run_cmd; vmcheck_cmd; diff_cmd; trace_cmd; localize_cmd; reduce_cmd; fuzz_cmd; juliet_cmd; static_cmd; projects_cmd; profiles_cmd ]
+    [ compile_cmd; run_cmd; vmcheck_cmd; diff_cmd; trace_cmd; localize_cmd; reduce_cmd; fuzz_cmd; juliet_cmd; static_cmd; metacheck_cmd; projects_cmd; profiles_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

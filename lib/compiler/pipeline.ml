@@ -30,6 +30,107 @@ let apply_func_passes (flags : Policy.opt_flags) (f : ifunc) : ifunc =
   in
   if f' == f then f else strip_lines f'
 
+(* --- line-table reconstruction ---
+
+   Passes drop the line table ({!strip_lines}); diagnostics that run on
+   optimized code (UnstableCheck's replay, divergence localization)
+   then fall back to raw pcs. After the pass stack settles we rebuild
+   an approximate table by aligning the optimized instruction stream
+   against the unoptimized lowering of the same function (whose table
+   is exact) with an LCS over register/label-insensitive instruction
+   keys: matched instructions take the reference line, inserted ones
+   inherit the nearest preceding match. Inlined bodies thus read as the
+   call site's line — the right answer for a source-level report. *)
+
+let op_key = function
+  | Reg _ -> 1 (* registers are renumbered freely; identity is noise *)
+  | ImmI v -> Hashtbl.hash v
+  | ImmF f -> Hashtbl.hash f
+  | Nullptr -> 2
+
+let instr_key (i : instr) : int =
+  let k x = Hashtbl.hash x in
+  match i with
+  | Iconst (_, o) -> k ("const", op_key o)
+  | Imov (_, o) -> k ("mov", op_key o)
+  | Ibin (b, w, c, _, x, y) -> k ("bin", b, w, c, op_key x, op_key y)
+  | Ineg (w, c, _, x) -> k ("neg", w, c, op_key x)
+  | Inot (w, _, x) -> k ("not", w, op_key x)
+  | Ifbin (b, _, x, y) -> k ("fbin", b, op_key x, op_key y)
+  | Ifma (_, a, b, c) -> k ("fma", op_key a, op_key b, op_key c)
+  | Ifneg (_, x) -> k ("fneg", op_key x)
+  | Icmp (c, w, _, x, y) -> k ("cmp", c, w, op_key x, op_key y)
+  | Ifcmp (c, _, x, y) -> k ("fcmp", c, op_key x, op_key y)
+  | Ipcmp (c, _, x, y) -> k ("pcmp", c, op_key x, op_key y)
+  | Ipadd (_, x, y) -> k ("padd", op_key x, op_key y)
+  | Ipdiff (_, x, y) -> k ("pdiff", op_key x, op_key y)
+  | Icast (c, _, x) -> k ("cast", c, op_key x)
+  | Ilea (_, s) -> k ("lea", s)
+  | Iload (_, x) -> k ("load", op_key x)
+  | Istore (x, y) -> k ("store", op_key x, op_key y)
+  | Icall (_, fn, args) -> k ("call", fn, List.length args)
+  | Ibuiltin (_, fn, args) -> k ("builtin", fn, List.length args)
+  | Iprint items ->
+    k ("print", List.map (function Flit s -> s | _ -> "%") items)
+  | Ijmp _ -> k "jmp"
+  | Ibr (x, _, _) -> k ("br", op_key x)
+  | Iret x -> k ("ret", Option.map op_key x)
+  | Ilabel _ -> k "label"
+  | Itrap m -> k ("trap", m)
+
+let rebuild_lines ~(reference : ifunc) (f : ifunc) : unit =
+  let ref_lines = reference.code_lines in
+  let m = min (Array.length reference.code) (Array.length ref_lines) in
+  let n = Array.length f.code in
+  (* quadratic DP: skip degenerate and absurdly large inputs *)
+  if m = 0 || n = 0 || n * m > 4_000_000 then ()
+  else begin
+    let a = Array.map instr_key f.code in
+    let b = Array.init m (fun j -> instr_key reference.code.(j)) in
+    (* dp.(i).(j) = LCS length of a[i..) vs b[j..) *)
+    let dp = Array.make_matrix (n + 1) (m + 1) 0 in
+    for i = n - 1 downto 0 do
+      for j = m - 1 downto 0 do
+        dp.(i).(j) <-
+          (if a.(i) = b.(j) then 1 + dp.(i + 1).(j + 1) else 0)
+          |> max dp.(i + 1).(j)
+          |> max dp.(i).(j + 1)
+      done
+    done;
+    let lines = Array.make n ref_lines.(0) in
+    let cur = ref ref_lines.(0) in
+    let i = ref 0 and j = ref 0 in
+    while !i < n && !j < m do
+      if a.(!i) = b.(!j) && dp.(!i).(!j) = 1 + dp.(!i + 1).(!j + 1) then begin
+        cur := ref_lines.(!j);
+        lines.(!i) <- !cur;
+        incr i;
+        incr j
+      end
+      else if dp.(!i + 1).(!j) >= dp.(!i).(!j + 1) then begin
+        lines.(!i) <- !cur; (* inserted by optimization *)
+        incr i
+      end
+      else incr j (* deleted by optimization *)
+    done;
+    while !i < n do
+      lines.(!i) <- !cur;
+      incr i
+    done;
+    f.code_lines <- lines
+  end
+
+(* restore every stripped table in [u] from the unoptimized unit [u0] *)
+let restore_lines (u0 : unit_) (u : unit_) : unit_ =
+  List.iter
+    (fun (n, f) ->
+      if Array.length f.code_lines = 0 then
+        match List.assoc_opt n u0.funcs with
+        | Some reference -> rebuild_lines ~reference f
+        | None -> ())
+    u.funcs;
+  u
+
 let compile (profile : Policy.profile) (tp : Minic.Tast.tprogram) : unit_ =
   let u0 = Lower.lower_program profile tp in
   let flags = profile.Policy.flags in
@@ -50,9 +151,9 @@ let compile (profile : Policy.profile) (tp : Minic.Tast.tprogram) : unit_ =
             u'.funcs;
       }
     in
-    round (round u1)
+    restore_lines u0 (round (round u1))
   end
-  else u1
+  else restore_lines u0 u1
 
 let compile_source (profile : Policy.profile) (src : string) :
     (unit_, string) result =

@@ -228,3 +228,86 @@ let root_cause_to_string (rc : root_cause) : string =
     | Some fn -> " in '" ^ fn ^ "'"
     | None -> "")
     (if rc.rc_in_function then "" else " (outside the diverging function)")
+
+(* --- meta-checker tally (Table-3-style FP/FN accounting per tool) ---
+
+   The metamorphic meta-checker flags per-tool verdict changes; this
+   accumulates them into one row per (tool, Table 5 bucket), the same
+   bucketing the divergence reports use, so checker weaknesses and
+   oracle root causes line up in the output. *)
+
+module Tally = struct
+  type counts = {
+    mutable fp : int;      (* reports surviving a UB-eliminating rewrite *)
+    mutable fn : int;      (* reports lost under a UB-preserving rewrite *)
+    mutable xfn : int;     (* oracle-cross-validated silent sanitizers *)
+    mutable drift : int;   (* informational verdict changes *)
+  }
+
+  type t = ((string * string) * counts) list ref  (* (tool, bucket) rows *)
+
+  let create () : t = ref []
+
+  let find (t : t) (key : string * string) : counts =
+    match List.assoc_opt key !t with
+    | Some c -> c
+    | None ->
+      let c = { fp = 0; fn = 0; xfn = 0; drift = 0 } in
+      t := !t @ [ (key, c) ];
+      c
+
+  let bump (t : t) ~tool ~bucket what =
+    let c = find t (tool, bucket) in
+    match what with
+    | `Fp -> c.fp <- c.fp + 1
+    | `Fn -> c.fn <- c.fn + 1
+    | `Xfn -> c.xfn <- c.xfn + 1
+    | `Drift -> c.drift <- c.drift + 1
+
+  let rows (t : t) : ((string * string) * counts) list = !t
+
+  let total (t : t) : counts =
+    let acc = { fp = 0; fn = 0; xfn = 0; drift = 0 } in
+    List.iter
+      (fun (_, c) ->
+        acc.fp <- acc.fp + c.fp;
+        acc.fn <- acc.fn + c.fn;
+        acc.xfn <- acc.xfn + c.xfn;
+        acc.drift <- acc.drift + c.drift)
+      !t;
+    acc
+
+  let to_string (t : t) : string =
+    let cells =
+      List.map
+        (fun ((tool, bucket), c) ->
+          [
+            tool;
+            bucket;
+            string_of_int c.fp;
+            string_of_int c.fn;
+            string_of_int c.xfn;
+            string_of_int c.drift;
+          ])
+        !t
+    in
+    let tot = total t in
+    let cells =
+      cells
+      @ [
+          [
+            "total";
+            "";
+            string_of_int tot.fp;
+            string_of_int tot.fn;
+            string_of_int tot.xfn;
+            string_of_int tot.drift;
+          ];
+        ]
+    in
+    Cdutil.Tablefmt.render
+      ~aligns:
+        Cdutil.Tablefmt.[ Left; Left; Right; Right; Right; Right ]
+      ~header:[ "tool"; "bucket"; "FP"; "FN"; "xval-FN"; "drift" ]
+      cells
+end

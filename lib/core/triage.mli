@@ -102,3 +102,32 @@ val suggest_root_cause :
     silent. *)
 
 val root_cause_to_string : root_cause -> string
+
+(** {2 Meta-checker tally}
+
+    Table-3-style FP/FN accounting per (tool, Table 5 bucket), fed by
+    the metamorphic meta-checker's flags. *)
+
+module Tally : sig
+  type counts = {
+    mutable fp : int;      (** reports surviving a UB-eliminating rewrite *)
+    mutable fn : int;      (** reports lost under a UB-preserving rewrite *)
+    mutable xfn : int;     (** oracle-cross-validated silent sanitizers *)
+    mutable drift : int;   (** informational verdict changes *)
+  }
+
+  type t
+
+  val create : unit -> t
+
+  val bump :
+    t -> tool:string -> bucket:string -> [ `Fp | `Fn | `Xfn | `Drift ] -> unit
+
+  val rows : t -> ((string * string) * counts) list
+  (** Rows in first-bump order, keyed by (tool, bucket). *)
+
+  val total : t -> counts
+
+  val to_string : t -> string
+  (** Rendered table with a trailing total row. *)
+end

@@ -161,3 +161,9 @@ let pp_program ppf p =
 let program_to_string p = Format.asprintf "%a\n" pp_program p
 let expr_to_string e = Format.asprintf "%a" pp_expr e
 let stmt_to_string s = Format.asprintf "%a" (pp_stmt 0) s
+
+(* Typed programs print through erasure: what you see is the MiniC
+   source whose re-elaboration is the typed program (used to dump the
+   metamorphic twins for inspection). *)
+let pp_tprogram ppf tp = pp_program ppf (Tast.erase_program tp)
+let tprogram_to_string tp = Format.asprintf "%a\n" pp_tprogram tp

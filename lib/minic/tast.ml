@@ -59,3 +59,138 @@ let rec is_lvalue e =
   | TCast (_, inner) -> is_lvalue inner
   | TConstI _ | TConstF _ | TStr _ | TLine | TUnop _ | TBinop _ | TCall _
   | TAddr _ | TAssign _ | TDecay _ | TCond _ -> false
+
+(* --- structure-preserving traversal ---
+
+   An open-recursion mapper in the style of Ast_mapper: each hook
+   receives the whole mapper so overridden hooks can delegate the
+   descent back to the defaults.  [m_stmt] returns a statement *list*,
+   so a rewrite can drop a statement or splice in several (the
+   metamorphic transforms need both). *)
+
+type mapper = {
+  m_expr : mapper -> texpr -> texpr;
+  m_stmt : mapper -> tstmt -> tstmt list;
+  m_block : mapper -> tblock -> tblock;
+  m_func : mapper -> tfunc -> tfunc;
+}
+
+let default_expr (m : mapper) (e : texpr) : texpr =
+  let sub = m.m_expr m in
+  let te' =
+    match e.te with
+    | (TConstI _ | TConstF _ | TStr _ | TVar _ | TLine) as d -> d
+    | TUnop (op, a) -> TUnop (op, sub a)
+    | TBinop (op, a, b) -> TBinop (op, sub a, sub b)
+    | TCall (f, args) -> TCall (f, List.map sub args)
+    | TIndex (a, i) -> TIndex (sub a, sub i)
+    | TDeref a -> TDeref (sub a)
+    | TAddr a -> TAddr (sub a)
+    | TAssign (l, r) -> TAssign (sub l, sub r)
+    | TCast (t, a) -> TCast (t, sub a)
+    | TDecay a -> TDecay (sub a)
+    | TCond (c, t, f) -> TCond (sub c, sub t, sub f)
+  in
+  { e with te = te' }
+
+let default_stmt (m : mapper) (s : tstmt) : tstmt list =
+  let sub = m.m_expr m in
+  let ts' =
+    match s.ts with
+    | TSExpr e -> TSExpr (sub e)
+    | TSDecl (t, n, init) -> TSDecl (t, n, Option.map sub init)
+    | TSIf (c, a, b) -> TSIf (sub c, m.m_block m a, m.m_block m b)
+    | TSWhile (c, b) -> TSWhile (sub c, m.m_block m b)
+    | TSReturn e -> TSReturn (Option.map sub e)
+    | (TSBreak | TSContinue) as d -> d
+    | TSPrint (fmt, args) -> TSPrint (fmt, List.map sub args)
+    | TSBlock b -> TSBlock (m.m_block m b)
+  in
+  [ { s with ts = ts' } ]
+
+let default_block (m : mapper) (b : tblock) : tblock =
+  List.concat_map (m.m_stmt m) b
+
+let default_func (m : mapper) (f : tfunc) : tfunc =
+  { f with tbody = m.m_block m f.tbody }
+
+let default_mapper =
+  {
+    m_expr = default_expr;
+    m_stmt = default_stmt;
+    m_block = default_block;
+    m_func = default_func;
+  }
+
+let map_program (m : mapper) (tp : tprogram) : tprogram =
+  { tp with tfuncs = List.map (m.m_func m) tp.tfuncs }
+
+(* --- erasure back to the untyped AST ---
+
+   Inverse of elaboration, up to the normalizations the type checker
+   already performed: string literals stay references to their hoisted
+   globals (no [EStr] is reintroduced), static locals stay globals,
+   alpha-renamed locals keep their unique names, and the explicit
+   [TCast]/[TDecay] nodes become source casts / plain array uses.  The
+   result re-typechecks to a [tprogram] that lowers identically, which
+   is what lets a transformed typed AST be fed back through the full
+   front end. *)
+
+let rec erase_expr (e : texpr) : Ast.expr =
+  let d =
+    match e.te with
+    | TConstI v -> (
+      match e.tty with Ast.Tlong -> Ast.ELong v | _ -> Ast.EInt v)
+    | TConstF f -> Ast.EFloat f
+    | TStr g -> Ast.EVar g
+    | TVar (_, n) -> Ast.EVar n
+    | TLine -> Ast.ELine
+    | TUnop (op, a) -> Ast.EUnop (op, erase_expr a)
+    | TBinop (op, a, b) -> Ast.EBinop (op, erase_expr a, erase_expr b)
+    | TCall (f, args) -> Ast.ECall (f, List.map erase_expr args)
+    | TIndex (a, i) -> Ast.EIndex (erase_expr a, erase_expr i)
+    | TDeref a -> Ast.EDeref (erase_expr a)
+    | TAddr a -> Ast.EAddr (erase_expr a)
+    | TAssign (l, r) -> Ast.EAssign (erase_expr l, erase_expr r)
+    | TCast (t, a) -> Ast.ECast (t, erase_expr a)
+    | TDecay a -> (erase_expr a).Ast.e (* decay is implicit in the source *)
+    | TCond (c, t, f) -> Ast.ECond (erase_expr c, erase_expr t, erase_expr f)
+  in
+  { Ast.e = d; eloc = e.tloc }
+
+let rec erase_stmt (s : tstmt) : Ast.stmt =
+  let d =
+    match s.ts with
+    | TSExpr e -> Ast.SExpr (erase_expr e)
+    | TSDecl (t, n, init) ->
+      Ast.SDecl
+        {
+          Ast.dtyp = t;
+          dname = n;
+          dinit = Option.map erase_expr init;
+          dstatic = false;
+        }
+    | TSIf (c, a, b) -> Ast.SIf (erase_expr c, erase_block a, erase_block b)
+    | TSWhile (c, b) -> Ast.SWhile (erase_expr c, erase_block b)
+    | TSReturn e -> Ast.SReturn (Option.map erase_expr e)
+    | TSBreak -> Ast.SBreak
+    | TSContinue -> Ast.SContinue
+    | TSPrint (fmt, args) -> Ast.SPrint (fmt, List.map erase_expr args)
+    | TSBlock b -> Ast.SBlock (erase_block b)
+  in
+  { Ast.s = d; sloc = s.tsloc }
+
+and erase_block (b : tblock) : Ast.block = List.map erase_stmt b
+
+let erase_func (f : tfunc) : Ast.func =
+  {
+    Ast.fname = f.tfname;
+    params = f.tparams;
+    fret = f.tfret;
+    body = erase_block f.tbody;
+    floc =
+      (match f.tbody with s :: _ -> s.tsloc | [] -> Ast.no_loc);
+  }
+
+let erase_program (tp : tprogram) : Ast.program =
+  { Ast.globals = tp.tglobals; funcs = List.map erase_func tp.tfuncs }

@@ -69,12 +69,15 @@ let detects ?fuel (kind : kind) (tp : Minic.Tast.tprogram) ~(inputs : string lis
   detects_built ?fuel kind (build tp) ~inputs
 
 (* First report message, for diagnostics. *)
-let first_report ?fuel (kind : kind) (tp : Minic.Tast.tprogram)
+let first_report_built ?fuel (kind : kind) (b : build)
     ~(inputs : string list) : string option =
-  let b = build tp in
   List.find_map
     (fun input ->
       match (run_built ?fuel kind b ~input).Cdvm.Exec.status with
       | Cdvm.Trap.San_report msg -> Some msg
       | Cdvm.Trap.Exit _ | Cdvm.Trap.Trap _ | Cdvm.Trap.Hang -> None)
     inputs
+
+let first_report ?fuel (kind : kind) (tp : Minic.Tast.tprogram)
+    ~(inputs : string list) : string option =
+  first_report_built ?fuel kind (build tp) ~inputs

@@ -40,5 +40,10 @@ val run :
 val detects : ?fuel:int -> kind -> Minic.Tast.tprogram -> inputs:string list -> bool
 (** Did the sanitizer report anything on any of the inputs? *)
 
+val first_report_built :
+  ?fuel:int -> kind -> build -> inputs:string list -> string option
+(** First report message over the inputs on an existing build, [None]
+    when the sanitizer stays silent. *)
+
 val first_report :
   ?fuel:int -> kind -> Minic.Tast.tprogram -> inputs:string list -> string option

@@ -1,11 +1,13 @@
 #!/bin/sh
 # Oracle + VM benchmarks: differential-oracle throughput (checks/sec)
 # sequential-naive vs pooled+deduped+incremental plus the Juliet dedup
-# ratios (BENCH_oracle.json), and raw executor throughput of the
+# ratios (BENCH_oracle.json), raw executor throughput of the
 # tree-walking reference vs the linked-image executor with persistent
-# arenas (BENCH_vm.json). Both JSONs land in the repo root.
+# arenas (BENCH_vm.json), and metamorphic twin-analysis throughput
+# batched vs naive (BENCH_metacheck.json). All JSONs land in the repo
+# root.
 #
-#   scripts/bench.sh            # oracle + vm + engine benches (three JSONs)
+#   scripts/bench.sh            # oracle + vm + engine + metacheck benches
 #   scripts/bench.sh all        # every bench section (tables + figures)
 #
 # The JSONs report execs/sec, the dedup/escalation savings, the
@@ -23,8 +25,8 @@ if [ "${1:-oracle}" = "all" ]; then
   echo "== full bench suite"
   dune exec bench/main.exe
 else
-  echo "== oracle + vm + engine benches (write BENCH_oracle.json, BENCH_vm.json, BENCH_engine.json)"
-  dune exec bench/main.exe -- oracle vm engine
+  echo "== oracle + vm + engine + metacheck benches (write BENCH_*.json)"
+  dune exec bench/main.exe -- oracle vm engine metacheck
 fi
 
 echo "== BENCH_oracle.json"
@@ -33,3 +35,5 @@ echo "== BENCH_vm.json"
 cat BENCH_vm.json
 echo "== BENCH_engine.json"
 cat BENCH_engine.json
+echo "== BENCH_metacheck.json"
+cat BENCH_metacheck.json

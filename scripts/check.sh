@@ -103,6 +103,47 @@ else
   echo "ok   juliet --stats (unit cache: $hits hits)"
 fi
 
+echo "== metacheck smoke test"
+# The metamorphic meta-checker on the canonical eval-order seed (the
+# oracle diverges on argument evaluation order, every sanitizer is
+# silent) must cross-validate a sanitizer FN and generate at least 5
+# UB-preserving twins, all of which re-typecheck (exit 2 otherwise).
+seed=$(mktemp --suffix=.c)
+cat > "$seed" <<'SEED'
+int *addr_string(int v) {
+  static int buffer[8];
+  buffer[0] = 48 + v;
+  buffer[1] = 0;
+  return buffer;
+}
+int main() {
+  print("who-is %s tell %s\n", addr_string(1), addr_string(2));
+  return 0;
+}
+SEED
+set +e
+meta_out=$(dune exec bin/compdiff_cli.exe -- metacheck "$seed" 2>&1)
+got=$?
+set -e
+rm -f "$seed"
+if [ "$got" -ne 0 ]; then
+  echo "FAIL metacheck: exited $got (retype failure or error)"
+  printf '%s\n' "$meta_out" | tail -5
+  status=1
+else
+  twins=$(printf '%s\n' "$meta_out" \
+    | sed -n 's/^preserving twins: \([0-9]*\)$/\1/p' | head -1)
+  if [ -z "$twins" ] || [ "$twins" -lt 5 ]; then
+    echo "FAIL metacheck: ${twins:-0} preserving twins < 5"
+    status=1
+  elif ! printf '%s\n' "$meta_out" | grep -q "cross-validated FN"; then
+    echo "FAIL metacheck: known sanitizer FN not cross-validated"
+    status=1
+  else
+    echo "ok   metacheck ($twins preserving twins, sanitizer FN cross-validated)"
+  fi
+fi
+
 echo "== reduce smoke test"
 # Reduce a known divergence and assert the contract: the reduced input
 # is no larger than the original, and still diverges under compdiff diff.

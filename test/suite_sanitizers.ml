@@ -145,6 +145,63 @@ let test_scopes_disjoint () =
   let ovf = "int main() { int x = 2147483647; return x + getchar(); }" in
   Alcotest.(check bool) "ASan silent on overflow" false (detects San.Asan ovf [ "A" ])
 
+(* --- verdict edges ---
+
+   Exact boundaries of each sanitizer's detection, pinned down so the
+   metamorphic meta-checker's verdict extraction can rely on them. *)
+
+let test_asan_one_past_end_boundary () =
+  check_silent "last element is in bounds" San.Asan
+    "int main() { int a[4]; a[3] = 1; return 0; }" [ "" ];
+  check_detect "one past the end is out" San.Asan
+    "int main() { int a[4]; a[4] = 1; return 0; }" [ "" ]
+
+(* shift exponent fed from input so no pass can fold the site away *)
+let shift32_src =
+  "int main() { int w = getchar(); print(\"%d\\n\", 1 << w); return 0; }"
+
+let shift64_src =
+  "int main() { int w = getchar(); print(\"%ld\\n\", 1L << w); return 0; }"
+
+let test_ubsan_shift_width_edges () =
+  (* int is 32-bit: exponent 30 legal, 31 overflows 1<<31, 32 out of range,
+     EOF (-1) negative *)
+  check_silent "1 << 30 legal" San.Ubsan shift32_src [ "\x1e" ];
+  check_detect "1 << 31 overflows int" San.Ubsan shift32_src [ "\x1f" ];
+  check_detect "1 << 32 out of range" San.Ubsan shift32_src [ "\x20" ];
+  check_detect "negative exponent" San.Ubsan shift32_src [ "" ]
+
+let test_ubsan_shift_long_edges () =
+  (* long is 64-bit: the int-illegal exponent 32 is legal, 63 overflows,
+     64 out of range *)
+  check_silent "1L << 32 legal" San.Ubsan shift64_src [ "\x20" ];
+  check_detect "1L << 63 overflows long" San.Ubsan shift64_src [ "\x3f" ];
+  check_detect "1L << 64 out of range" San.Ubsan shift64_src [ "\x40" ]
+
+let test_msan_partial_array_init () =
+  check_detect "uninitialized element of a partly written array" San.Msan
+    "int main() { int a[2]; a[0] = 1; if (a[1] > 0) { print(\"y\\n\"); } return 0; }"
+    [ "" ]
+
+let test_msan_overwrite_clears_taint () =
+  check_silent "write clears the taint" San.Msan
+    "int main() { int x; x = 3; if (x > 1) { print(\"y\\n\"); } return 0; }" [ "" ]
+
+let test_first_report_built_edges () =
+  let b = San.build (frontend shift32_src) in
+  (match San.first_report_built San.Ubsan b ~inputs:[ "\x20" ] with
+  | Some msg ->
+    Alcotest.(check bool) "out-of-range message mentions the exponent" true
+      (let has sub =
+         let n = String.length msg and m = String.length sub in
+         let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+         go 0
+       in
+       has "shift")
+  | None -> Alcotest.fail "expected a UBSan report for 1 << 32");
+  Alcotest.(check bool) "silent run yields no report" true
+    (San.first_report_built San.Ubsan b ~inputs:[ "\x1e" ] = None)
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let suites =
@@ -185,4 +242,13 @@ let suites =
         tc "taint propagation" test_msan_taint_propagates;
       ] );
     ("sanitizers.scopes", [ tc "disjoint scopes" test_scopes_disjoint ]);
+    ( "sanitizers.edges",
+      [
+        tc "asan one-past-end boundary" test_asan_one_past_end_boundary;
+        tc "ubsan shift width (int)" test_ubsan_shift_width_edges;
+        tc "ubsan shift width (long)" test_ubsan_shift_long_edges;
+        tc "msan partial array init" test_msan_partial_array_init;
+        tc "msan overwrite clears taint" test_msan_overwrite_clears_taint;
+        tc "first_report_built" test_first_report_built_edges;
+      ] );
   ]

@@ -6,4 +6,5 @@ let () =
    @ Suite_sanitizers.suites @ Suite_engine.suites @ Suite_compdiff.suites
    @ Suite_static.suites @ Suite_fuzz.suites @ Suite_reduce.suites
    @ Suite_juliet.suites @ Suite_projects.suites @ Suite_vm.suites
-   @ Suite_passes.suites @ Suite_frontend_fuzz.suites)
+   @ Suite_passes.suites @ Suite_frontend_fuzz.suites
+   @ Suite_metacheck.suites)
