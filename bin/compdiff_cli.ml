@@ -147,13 +147,23 @@ let common_term =
             "Engine session cache budget in MiB (compiled units, linked \
              images, observations); 0 disables caching.")
   in
+  let disk_cache =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "disk-cache" ] ~docv:"DIR"
+          ~doc:
+            "Persistent on-disk cache directory behind the session's \
+             in-memory caches (compiled units and observations survive \
+             process restarts); inert with $(b,--cache-mb) 0.")
+  in
   let stats =
     Arg.(
       value & flag
       & info [ "stats" ]
           ~doc:"Print oracle and engine-session cache statistics at the end.")
   in
-  let mk fuel jobs profiles cache_mb stats =
+  let mk fuel jobs profiles cache_mb disk_cache stats =
     apply_jobs jobs;
     let co_profiles =
       match profiles with
@@ -165,11 +175,11 @@ let common_term =
     {
       co_fuel = fuel;
       co_profiles;
-      co_session = Engine.Session.create ~cache_mb ();
+      co_session = Engine.Session.create ~cache_mb ?disk_dir:disk_cache ();
       co_stats = stats;
     }
   in
-  Term.(const mk $ fuel $ jobs $ profiles $ cache_mb $ stats)
+  Term.(const mk $ fuel $ jobs $ profiles $ cache_mb $ disk_cache $ stats)
 
 let print_session_stats (c : common) =
   print_string

@@ -282,6 +282,107 @@ let observe t ~(input : string) : (string * observation) list =
       | None -> assert false)
     t.binaries
 
+(* Batched observation of many inputs: per-class, all inputs that still
+   need the class at the current fuel level run through ONE
+   {!Engine.Session.run_batch} (single arena acquisition, amortized
+   reset).  Escalation is level-synchronous — every input walks the same
+   base, ×4, ×16, … fuel sequence as the sequential loop, inputs just
+   drop out when their hang set stabilizes — so element [k] of the
+   result is exactly [observe t ~input:inputs.(k)], and the per-round
+   stats accounting below mirrors [observe]'s per input. *)
+let observe_batch t ~(inputs : string array) :
+    (string * observation) list array =
+  let ninputs = Array.length inputs in
+  ignore (Atomic.fetch_and_add t.c_checks ninputs);
+  let nclasses = Array.length t.class_repr in
+  let class_obs : observation option array array =
+    Array.init ninputs (fun _ -> Array.make nclasses None)
+  in
+  (* pending.(k): classes input k still has to run at the current level *)
+  let pending = Array.make ninputs (List.init nclasses Fun.id) in
+  if ninputs = 0 then [||]
+  else begin
+    let fuel = ref t.base_fuel in
+    let continue_ = ref true in
+    while !continue_ do
+      (* accounting, per input, identical to [observe]'s run_round *)
+      Array.iter
+        (fun pend ->
+          if pend <> [] then begin
+            let npending = List.length pend in
+            let covered =
+              List.fold_left (fun a ci -> a + t.class_size.(ci)) 0 pend
+            in
+            ignore (Atomic.fetch_and_add t.c_execs npending);
+            ignore (Atomic.fetch_and_add t.c_dedup_saved (covered - npending));
+            ignore (Atomic.fetch_and_add t.c_escal_saved (t.nbinaries - covered))
+          end)
+        pending;
+      (* transpose: which inputs does each class run this round? *)
+      let by_class = Array.make nclasses [] in
+      Array.iteri
+        (fun k pend ->
+          List.iter (fun ci -> by_class.(ci) <- k :: by_class.(ci)) pend)
+        pending;
+      let run_class ci =
+        let ks = Array.of_list (List.rev by_class.(ci)) in
+        let batch = Array.map (fun k -> inputs.(k)) ks in
+        let obs =
+          Engine.Session.run_batch t.session t.class_linked.(ci) ~inputs:batch
+            ~fuel:!fuel
+        in
+        Array.iteri
+          (fun j o ->
+            class_obs.(ks.(j)).(ci) <-
+              Some
+                {
+                  output = t.normalize o.Engine.Session.obs_stdout;
+                  status = o.Engine.Session.obs_status;
+                  fuel_used = o.Engine.Session.obs_fuel;
+                })
+          obs;
+        ci
+      in
+      let cis =
+        List.filter (fun ci -> by_class.(ci) <> []) (List.init nclasses Fun.id)
+      in
+      if t.jobs > 1 && List.length cis > 1 then
+        ignore (Cdutil.Pool.map run_class cis)
+      else List.iter (fun ci -> ignore (run_class ci)) cis;
+      (* recompute each input's pending set, exactly as [escalate] does *)
+      let any = ref false in
+      Array.iteri
+        (fun k pend ->
+          if pend <> [] then begin
+            let hung = ref [] and hung_members = ref 0 in
+            for ci = nclasses - 1 downto 0 do
+              match class_obs.(k).(ci) with
+              | Some o when o.status = Cdvm.Trap.Hang ->
+                  hung := ci :: !hung;
+                  hung_members := !hung_members + t.class_size.(ci)
+              | _ -> ()
+            done;
+            if !hung = [] || !hung_members = t.nbinaries then pending.(k) <- []
+            else if !fuel >= t.max_fuel then pending.(k) <- []
+            else begin
+              pending.(k) <- !hung;
+              any := true
+            end
+          end)
+        pending;
+      if !any then fuel := !fuel * 4 else continue_ := false
+    done;
+    Array.map
+      (fun co ->
+        List.mapi
+          (fun i (name, _) ->
+            match co.(t.class_of.(i)) with
+            | Some o -> (name, o)
+            | None -> assert false)
+          t.binaries)
+      class_obs
+  end
+
 let verdict_of_observations t (obs : (string * observation) list) : verdict =
   match obs with
   | [] -> invalid_arg "Oracle: no binaries"
@@ -296,6 +397,9 @@ let check t ~(input : string) : verdict =
 let check_naive t ~(input : string) : verdict =
   verdict_of_observations t (observe_naive t ~input)
 
+let check_batch t ~(inputs : string array) : verdict array =
+  Array.map (verdict_of_observations t) (observe_batch t ~inputs)
+
 let is_divergence = function Diverge _ -> true | Agree _ -> false
 
 (* Scan an input set; return the first bug-triggering input, like the
@@ -309,7 +413,11 @@ let find_bug t ~(inputs : string list) : (string * (string * observation) list) 
       | Agree _ -> None)
     inputs
 
-let detects t ~(inputs : string list) : bool = find_bug t ~inputs <> None
+(* Detection only needs the boolean, so the whole input set goes through
+   one batched observation per class instead of a check per input.
+   (Worth it because the common answer during fuzzing is "no".) *)
+let detects t ~(inputs : string list) : bool =
+  Array.exists is_divergence (check_batch t ~inputs:(Array.of_list inputs))
 
 (* Group implementations by observed behaviour: the equivalence classes
    that drive the subset studies of Figures 1 and 2. Returns a class id

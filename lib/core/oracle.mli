@@ -140,11 +140,23 @@ val observe : t -> input:string -> (string * observation) list
 val observe_naive : t -> input:string -> (string * observation) list
 (** The sequential reference: every binary, full re-runs on escalation. *)
 
+val observe_batch : t -> inputs:string array -> (string * observation) list array
+(** [observe_batch t ~inputs]: element [k] equals
+    [observe t ~input:inputs.(k)] (same observations, same cumulative
+    stats), but all inputs pending at one fuel level run through a
+    single batched VM session per class ({!Engine.Session.run_batch}),
+    amortizing arena acquisition and reset.  Escalation is
+    level-synchronous: every input follows the base, ×4, … sequence and
+    drops out when its hang set stabilizes. *)
+
 val check : t -> input:string -> verdict
 (** [observe] followed by checksum comparison. *)
 
 val check_naive : t -> input:string -> verdict
 (** [observe_naive] followed by checksum comparison. *)
+
+val check_batch : t -> inputs:string array -> verdict array
+(** {!observe_batch} followed by per-input checksum comparison. *)
 
 val is_divergence : verdict -> bool
 
@@ -154,6 +166,8 @@ val find_bug :
     "save to diffs/" step of Algorithm 1. *)
 
 val detects : t -> inputs:string list -> bool
+(** Whether any input of the set triggers a divergence (batched: the
+    whole set is observed per class in one VM batch per fuel level). *)
 
 val partition : t -> (string * observation) list -> int array
 (** Behaviour classes per implementation (same class = same checksum):

@@ -67,9 +67,11 @@ let input_ratio (s : stats) : float =
 (* ddmin in its complement-removal form: split the input into [n]
    chunks, try dropping each; on success restart from the shorter input
    at granularity [n - 1], otherwise double [n] until chunks are single
-   bytes.  [test] must accept the candidate for it to be kept, so every
-   intermediate input still exhibits the original divergence class. *)
-let ddmin ~(test : string -> bool) (s0 : string) : string =
+   bytes.  One round's candidates are independent edits of the same
+   input, so they are screened as a batch ([test_batch], one batched
+   oracle pass) — but acceptance must still be the FIRST passing
+   candidate in order, which [test_batch] guarantees. *)
+let ddmin ~(test_batch : string array -> string option) (s0 : string) : string =
   let current = ref s0 in
   let n = ref 2 in
   let continue_ = ref (String.length s0 > 0) in
@@ -79,17 +81,13 @@ let ddmin ~(test : string -> bool) (s0 : string) : string =
     else begin
       let n' = min !n len in
       let chunk = (len + n' - 1) / n' in
-      let rec try_drop i =
-        if i * chunk >= len then None
-        else begin
-          let lo = i * chunk and hi = min len ((i + 1) * chunk) in
-          let cand =
-            String.sub !current 0 lo ^ String.sub !current hi (len - hi)
-          in
-          if test cand then Some cand else try_drop (i + 1)
-        end
+      let nchunks = (len + chunk - 1) / chunk in
+      let cands =
+        Array.init nchunks (fun i ->
+            let lo = i * chunk and hi = min len ((i + 1) * chunk) in
+            String.sub !current 0 lo ^ String.sub !current hi (len - hi))
       in
-      match try_drop 0 with
+      match test_batch cands with
       | Some cand ->
         current := cand;
         n := max 2 (n' - 1)
@@ -255,7 +253,43 @@ let reduce ?(max_checks = 1_000) ?program ?reoracle (oracle : Oracle.t)
              else false
          end
     in
-    let red_input = canonicalize ~test:test_input (ddmin ~test:test_input input) in
+    (* Batched round screening for ddmin: every candidate of the round
+       goes through one batched oracle pass, then the verdicts are
+       walked in candidate order — the accepted candidate, the class
+       validations performed, and the consumed check budget are
+       identical to testing candidates one by one.  (Candidates past
+       the first acceptance are observed but not charged, mirroring the
+       sequential loop, which never reaches them.) *)
+    let screen_batch (cands : string array) : string option =
+      let budget = max_checks - !checks in
+      if budget <= 0 then None
+      else begin
+        let cands =
+          if Array.length cands > budget then Array.sub cands 0 budget
+          else cands
+        in
+        let verdicts = Oracle.check_batch oracle ~inputs:cands in
+        let rec walk i =
+          if i >= Array.length cands then None
+          else begin
+            incr checks;
+            match verdicts.(i) with
+            | Oracle.Agree _ -> walk (i + 1)
+            | Oracle.Diverge obs' ->
+              if same_class cls (class_of oracle ~input:cands.(i) obs')
+              then begin
+                best_obs := obs';
+                Some cands.(i)
+              end
+              else walk (i + 1)
+          end
+        in
+        walk 0
+      end
+    in
+    let red_input =
+      canonicalize ~test:test_input (ddmin ~test_batch:screen_batch input)
+    in
     let red_program, red_observations, stmts_before, stmts_after =
       match program with
       | None -> (None, !best_obs, 0, 0)

@@ -1,0 +1,209 @@
+(* A content-addressed on-disk store: the persistent layer behind the
+   session's in-memory LRUs, so warm state survives process restarts and
+   can be shared between fleet nodes over a common directory.
+
+   Layout: [dir/<kind>/<hh>/<hh>/<hash>] — a two-level hash-prefix fan
+   out (256 × 256 directories, populated lazily) keeps any single
+   directory small under fleet-scale entry counts.
+
+   Entry format (everything little-endian u32):
+
+     "CDC1" | payload length | murmur3(payload) | payload
+
+   where payload = [Marshal] of [(kind ^ ":" ^ key, value)].  Reads are
+   guarded in depth: magic, length and checksum are verified *before*
+   [Marshal.from_string] ever sees the bytes (unmarshalling corrupt data
+   is unsafe), and the unmarshalled key must echo the requested one
+   (same-hash collisions read as misses, never as wrong hits).  Any
+   truncated, corrupt or unreadable entry is a miss.
+
+   Writes are atomic: the entry is written to a unique temp file in the
+   same directory and [Sys.rename]d into place, so a crashed or
+   concurrent writer can never leave a half-written entry under the
+   final name — and concurrent writers of the same key are idempotent
+   (both write the same deterministic bytes).
+
+   Size cap: every [gc_every] stores, if the tree exceeds [cap_bytes],
+   entries are deleted oldest-mtime-first until 3/4 of the cap.  GC is
+   advisory (stat/unlink races with other processes are ignored). *)
+
+type stats = {
+  disk_hits : int;
+  disk_misses : int;
+  disk_stores : int;
+}
+
+type t = {
+  dir : string;
+  cap_bytes : int;
+  gc_mutex : Mutex.t;
+  mutable stores_since_gc : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  stores : int Atomic.t;
+}
+
+let magic = "CDC1"
+let gc_every = 64
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir ?(cap_mb = 512) () : t =
+  mkdir_p dir;
+  {
+    dir;
+    cap_bytes = max 1 cap_mb * 1024 * 1024;
+    gc_mutex = Mutex.create ();
+    stores_since_gc = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    stores = Atomic.make 0;
+  }
+
+let dir t = t.dir
+
+(* entry path: two independent 30-bit hashes give a 60-bit name, with
+   the first hash's low bits doubling as the directory prefix *)
+let path_of t ~(kind : string) (key : string) : string =
+  let h1 = Cdutil.Murmur3.hash key in
+  let h2 = Cdutil.Murmur3.hash ~seed:0x9747b28cl key in
+  Printf.sprintf "%s/%s/%02x/%02x/%08x%08x" t.dir kind (h1 land 0xff)
+    ((h1 lsr 8) land 0xff)
+    h1 h2
+
+let u32_to_bytes n =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr (n land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 3 (Char.chr ((n lsr 24) land 0xff));
+  b
+
+let u32_of_string s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let full_key ~kind key = kind ^ ":" ^ key
+
+(* --- read --- *)
+
+let read_file path : string option =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          let b = Bytes.create len in
+          really_input ic b 0 len;
+          Some (Bytes.unsafe_to_string b))
+
+let get (type v) (t : t) ~(kind : string) (key : string) : v option =
+  let miss () =
+    Atomic.incr t.misses;
+    None
+  in
+  match read_file (path_of t ~kind key) with
+  | None -> miss ()
+  | Some raw -> (
+      let hdr = 12 in
+      if
+        String.length raw < hdr
+        || not (String.equal (String.sub raw 0 4) magic)
+      then miss ()
+      else
+        let plen = u32_of_string raw 4 in
+        let crc = u32_of_string raw 8 in
+        if String.length raw <> hdr + plen then miss ()
+        else
+          let payload = String.sub raw hdr plen in
+          if Cdutil.Murmur3.hash payload <> crc land 0x3FFFFFFF then miss ()
+          else
+            match (Marshal.from_string payload 0 : string * v) with
+            | exception _ -> miss ()
+            | stored_key, value ->
+                if String.equal stored_key (full_key ~kind key) then begin
+                  Atomic.incr t.hits;
+                  Some value
+                end
+                else miss ())
+
+(* --- garbage collection --- *)
+
+let rec walk_files acc path =
+  match Sys.readdir path with
+  | exception Sys_error _ -> acc
+  | names ->
+      Array.fold_left
+        (fun acc name ->
+          let p = Filename.concat path name in
+          match Unix.lstat p with
+          | exception Unix.Unix_error (_, _, _) -> acc
+          | st -> (
+              match st.Unix.st_kind with
+              | Unix.S_DIR -> walk_files acc p
+              | Unix.S_REG -> (st.Unix.st_mtime, st.Unix.st_size, p) :: acc
+              | _ -> acc))
+        acc names
+
+let gc t =
+  let files = walk_files [] t.dir in
+  let total = List.fold_left (fun a (_, sz, _) -> a + sz) 0 files in
+  if total > t.cap_bytes then begin
+    let target = t.cap_bytes * 3 / 4 in
+    let oldest_first = List.sort compare files in
+    ignore
+      (List.fold_left
+         (fun remaining (_, sz, p) ->
+           if remaining > target then begin
+             (try Sys.remove p with Sys_error _ -> ());
+             remaining - sz
+           end
+           else remaining)
+         total oldest_first)
+  end
+
+(* --- write --- *)
+
+let put (t : t) ~(kind : string) (key : string) (value : 'a) : unit =
+  let payload = Marshal.to_string (full_key ~kind key, value) [] in
+  let path = path_of t ~kind key in
+  mkdir_p (Filename.dirname path);
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Domain.self () :> int)
+  in
+  (try
+     let oc = open_out_bin tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         output_string oc magic;
+         output_bytes oc (u32_to_bytes (String.length payload));
+         output_bytes oc (u32_to_bytes (Cdutil.Murmur3.hash payload));
+         output_string oc payload);
+     Sys.rename tmp path;
+     Atomic.incr t.stores
+   with Sys_error _ | Unix.Unix_error (_, _, _) ->
+     (try Sys.remove tmp with Sys_error _ -> ()));
+  Mutex.lock t.gc_mutex;
+  t.stores_since_gc <- t.stores_since_gc + 1;
+  let do_gc = t.stores_since_gc >= gc_every in
+  if do_gc then t.stores_since_gc <- 0;
+  Mutex.unlock t.gc_mutex;
+  if do_gc then gc t
+
+let stats t =
+  {
+    disk_hits = Atomic.get t.hits;
+    disk_misses = Atomic.get t.misses;
+    disk_stores = Atomic.get t.stores;
+  }

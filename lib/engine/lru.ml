@@ -98,6 +98,11 @@ let find_opt t key =
           t.misses <- t.misses + 1;
           None)
 
+(* [put t key value ~weight]: insert a value computed elsewhere (batch
+   executions, disk-cache hits).  Like the tail of [find_or_compute]: a
+   concurrent insert of the same key wins and this one is dropped. *)
+let put t key value ~weight = locked t (fun () -> insert t key value weight)
+
 (* [find_or_compute t key ~weight compute]: cached value for [key], or
    [compute ()] (run unlocked) inserted with [weight value] bytes. *)
 let find_or_compute t key ~weight compute =

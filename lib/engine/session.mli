@@ -1,28 +1,39 @@
 (** An engine session: the compile → link → observe pipeline behind
-    content-addressed caches (see DESIGN.md §10).
+    content-addressed caches (see DESIGN.md §10 and §12).
 
     A session owns three bounded LRU caches:
     - a {b compiled-unit cache} keyed by (program content hash, profile
       name) — a typed program is compiled at most once per profile per
       session;
-    - a {b linked-image cache} keyed by the compiled unit's content
-      hash, shared across oracle, localization, reduction, fuzzing and
-      sanitizer builds;
+    - a {b linked-image cache} keyed by the same (program, profile)
+      identity when the unit came out of {!compile} (no re-serialization
+      at link time), or by the unit's own content hash otherwise;
     - an {b observation store} keyed by (image id, fuel, input) that
       turns replayed executions (reduction re-validation, localization,
       escalation replays, triage) into lookups.
 
     Content keys are (length, murmur3{_A}, murmur3{_B}) over the value's
     [Marshal] serialization; both program types are pure data, so equal
-    keys substitute structurally identical artefacts.  Observations are
+    keys substitute structurally identical artefacts.  Hot paths never
+    re-serialize: bounded identity memos remember the key of recently
+    seen programs/units, so a cold cache pass costs one serialization
+    per distinct program rather than one per lookup.  Observations are
     stored raw (pre-normalization) and the VM is deterministic at fixed
     fuel, so a hit is observationally identical to a re-execution.
     Executions that differ in more than (image, input, fuel) — sanitizer
     hooks, coverage, print tracing — must bypass {!run} and call the VM
     directly on {!image}.
 
+    When [disk_dir] is given, a persistent {!Diskcache} layers behind
+    the unit cache and the observation store: in-memory misses consult
+    the directory before recomputing, and fresh results are written
+    through, so warm state survives process restarts.  Linked images are
+    never stored on disk (linking from a cached unit is cheap and the
+    image holds pre-decoded closures).
+
     [cache_mb = 0] disables caching: every stage recomputes, which is
-    the reference behaviour cross-validation compares against. *)
+    the reference behaviour cross-validation compares against (the disk
+    layer is inert in that mode too). *)
 
 type cache_stats = Lru.stats = {
   hits : int;
@@ -32,12 +43,21 @@ type cache_stats = Lru.stats = {
   bytes : int;
 }
 
+type disk_stats = Diskcache.stats = {
+  disk_hits : int;
+  disk_misses : int;
+  disk_stores : int;
+}
+
 type stats = {
   units : cache_stats;
   images : cache_stats;
   observations : cache_stats;
   budget_bytes : int;
   caching : bool;
+  key_calls : int;  (** content-key computations (Marshal + hash) *)
+  key_seconds : float;  (** wall time spent computing content keys *)
+  disk : disk_stats option;  (** [None] without a disk directory *)
 }
 
 type exec_obs = {
@@ -53,10 +73,12 @@ type linked
 
 type t
 
-val create : ?cache_mb:int -> unit -> t
+val create : ?cache_mb:int -> ?disk_dir:string -> ?disk_mb:int -> unit -> t
 (** [create ()] makes a session with a [cache_mb] MiB budget (default
     128), split 25% units / 25% images / 50% observations, each side
-    evicted least-recently-used.  [cache_mb = 0] disables caching. *)
+    evicted least-recently-used.  [cache_mb = 0] disables caching.
+    [disk_dir] adds a persistent store (capped at [disk_mb] MiB,
+    default 512) behind the unit cache and observation store. *)
 
 val caching : t -> bool
 val budget_bytes : t -> int
@@ -76,7 +98,8 @@ val compile_profiles : ?jobs:int -> t -> Cdcompiler.Policy.profile list ->
 
 val link : t -> Cdcompiler.Ir.unit_ -> linked
 (** Cached {!Cdvm.Image.link}.  Re-linking an evicted unit re-interns
-    the same image id, so stored observations survive eviction. *)
+    the same image id, so stored observations survive eviction.  Units
+    produced by {!compile} on this session link without serializing. *)
 
 val image : linked -> Cdvm.Image.t
 (** The underlying image, for executions the observation store must not
@@ -86,9 +109,16 @@ val run : t -> linked -> input:string -> fuel:int -> exec_obs
 (** Observation-store-backed plain execution of a linked image (arena
     pooled per handle; safe from any domain). *)
 
+val run_batch : t -> linked -> inputs:string array -> fuel:int ->
+  exec_obs array
+(** [run_batch t l ~inputs ~fuel]: positionally identical to mapping
+    {!run} over [inputs], but all store misses execute through a single
+    arena acquisition ({!Cdvm.Exec.run_batch}), amortizing the
+    per-execution reset. *)
+
 val stats : t -> stats
 val reset_stats : t -> unit
-(** Reset hit/miss/eviction counters (cache contents are kept). *)
+(** Reset hit/miss/key-time counters (cache contents are kept). *)
 
 val hit_rate : cache_stats -> float
 val stats_to_string : stats -> string

@@ -86,8 +86,7 @@ let execute st (input : string) : Cdvm.Exec.result * bool =
   let novel = Cdvm.Coverage.merge_into ~virgin:st.virgin st.cov in
   (r, novel)
 
-let consider st (input : string) =
-  let r, novel = execute st input in
+let process st (input : string) (r : Cdvm.Exec.result) ~(novel : bool) =
   (match r.Cdvm.Exec.status with
   | Cdvm.Trap.Trap t ->
     let sig_ = Cdvm.Trap.to_string t in
@@ -115,6 +114,39 @@ let consider st (input : string) =
       (Queue.add st.queue ~data:input ~fuel_used:r.Cdvm.Exec.fuel_used
          ~found_at:st.execs)
 
+let consider st (input : string) =
+  let r, novel = execute st input in
+  process st input r ~novel
+
+(* Run a pre-computed input list as ONE VM batch on the campaign arena
+   (amortized reset), replaying the per-exec bookkeeping in order from
+   [on_each]: execs counter, virgin-map merge, crash/report dedup, queue
+   updates and the oracle hook all see exactly the state they would have
+   seen under sequential [consider] calls.  Only stages whose inputs do
+   not depend on execution results may batch (seed import and the
+   deterministic sweep); havoc mutations read the evolving queue and
+   stay sequential. *)
+let consider_batch st (inputs : string array) =
+  if Array.length inputs > 0 then begin
+    Cdvm.Coverage.reset st.cov;
+    let config =
+      {
+        Cdvm.Exec.default_config with
+        Cdvm.Exec.fuel = st.cfg.fuel;
+        coverage = Some st.cov;
+        hooks = st.cfg.hooks;
+      }
+    in
+    ignore
+      (Cdvm.Exec.run_batch ~config ~arena:st.arena
+         ~on_each:(fun i r ->
+           st.execs <- st.execs + 1;
+           let novel = Cdvm.Coverage.merge_into ~virgin:st.virgin st.cov in
+           process st inputs.(i) r ~novel;
+           Cdvm.Coverage.reset st.cov)
+         st.image ~inputs)
+  end
+
 let run ?(config = default_config) (target : Cdcompiler.Ir.unit_) : campaign =
   (* an empty corpus is a valid configuration, not a crash: fall back to
      the empty input, exactly what AFL does with a null seed *)
@@ -136,24 +168,32 @@ let run ?(config = default_config) (target : Cdcompiler.Ir.unit_) : campaign =
       crash_signatures = Hashtbl.create 16;
     }
   in
-  (* seed the queue *)
-  List.iter (fun s -> consider st s) seeds;
+  (* seed the queue (one VM batch: the corpus is fixed up front) *)
+  consider_batch st (Array.of_list seeds);
   (* deterministic stage on the initial corpus: enumerate every byte value
      at the first few payload positions (position 0 is the record tag the
-     corpus already covers) *)
+     corpus already covers).  The candidate set is input-independent, so
+     it is generated up front, truncated to the exec budget (the batch
+     runs exactly the candidates the sequential loop would have), and
+     executed as one batch. *)
+  let det_cands = ref [] in
   List.iter
     (fun s ->
       let n = String.length s in
       for pos = 1 to min config.det_bytes (n - 1) do
         for v = 0 to 255 do
-          if st.execs < config.max_execs && s.[pos] <> Char.chr v then begin
+          if s.[pos] <> Char.chr v then begin
             let b = Bytes.of_string s in
             Bytes.set b pos (Char.chr v);
-            consider st (Bytes.to_string b)
+            det_cands := Bytes.to_string b :: !det_cands
           end
         done
       done)
     seeds;
+  let remaining = max 0 (config.max_execs - st.execs) in
+  consider_batch st
+    (Array.of_list
+       (List.filteri (fun i _ -> i < remaining) (List.rev !det_cands)));
   if Queue.is_empty st.queue then
     (* ensure progress even if no seed increased coverage (e.g. duplicate
        seeds): keep the first one *)

@@ -72,13 +72,17 @@ let verdicts_of ?session ?profiles ?fuel (tp : Minic.Tast.tprogram)
   in
   let o = Oracle.create ?session ?profiles ?fuel ~jobs:1 tp in
   let v_oracle =
-    List.filter_map
-      (fun input ->
-        match Oracle.check o ~input with
-        | Oracle.Agree _ -> None
-        | Oracle.Diverge obs ->
-          Some (input, Triage.signature_of_partition (Oracle.partition o obs)))
-      inputs
+    (* one batched oracle pass over the whole input set *)
+    let inputs_arr = Array.of_list inputs in
+    let verdicts = Oracle.check_batch o ~inputs:inputs_arr in
+    List.concat
+      (List.mapi
+         (fun i input ->
+           match verdicts.(i) with
+           | Oracle.Agree _ -> []
+           | Oracle.Diverge obs ->
+             [ (input, Triage.signature_of_partition (Oracle.partition o obs)) ])
+         inputs)
   in
   { v_static; v_san; v_oracle }
 

@@ -55,14 +55,24 @@ let run ?fuel (kind : kind) (tp : Minic.Tast.tprogram) ~(input : string) :
     Cdvm.Exec.result =
   run_built ?fuel kind (build tp) ~input
 
-(* Did this sanitizer report anything on any of the inputs? *)
-let detects_built ?fuel (kind : kind) (b : build) ~(inputs : string list) : bool =
-  List.exists
-    (fun input ->
-      match (run_built ?fuel kind b ~input).Cdvm.Exec.status with
+(* Did this sanitizer report anything on any of the inputs?  The whole
+   set runs as one VM batch on the build's arena (hooks are per-run
+   config, so batching never touches an observation store). *)
+let detects_built ?(fuel = 200_000) (kind : kind) (b : build)
+    ~(inputs : string list) : bool =
+  let config =
+    { Cdvm.Exec.default_config with Cdvm.Exec.fuel; hooks = hooks kind }
+  in
+  let results =
+    Cdvm.Exec.run_batch ~config ~arena:b.arena b.image
+      ~inputs:(Array.of_list inputs)
+  in
+  Array.exists
+    (fun r ->
+      match r.Cdvm.Exec.status with
       | Cdvm.Trap.San_report _ -> true
       | Cdvm.Trap.Exit _ | Cdvm.Trap.Trap _ | Cdvm.Trap.Hang -> false)
-    inputs
+    results
 
 let detects ?fuel (kind : kind) (tp : Minic.Tast.tprogram) ~(inputs : string list) :
     bool =

@@ -162,29 +162,68 @@ let eval_ibin op w (a : int64) (b : int64) : int64 =
   | Bor -> Int64.logor a b
   | Bxor -> Int64.logxor a b
 
+let cmp_holds c (a : int64) (b : int64) : bool =
+  match c with
+  | Clt -> a < b
+  | Cle -> a <= b
+  | Cgt -> a > b
+  | Cge -> a >= b
+  | Ceq -> a = b
+  | Cne -> a <> b
+
 let eval_cmp c (a : int64) (b : int64) : int64 =
-  let r =
-    match c with
-    | Clt -> a < b
-    | Cle -> a <= b
-    | Cgt -> a > b
-    | Cge -> a >= b
-    | Ceq -> a = b
-    | Cne -> a <> b
-  in
-  if r then 1L else 0L
+  if cmp_holds c a b then 1L else 0L
+
+let fcmp_holds c (a : float) (b : float) : bool =
+  match c with
+  | Clt -> a < b
+  | Cle -> a <= b
+  | Cgt -> a > b
+  | Cge -> a >= b
+  | Ceq -> a = b
+  | Cne -> a <> b
 
 let eval_fcmp c (a : float) (b : float) : int64 =
-  let r =
-    match c with
-    | Clt -> a < b
-    | Cle -> a <= b
-    | Cgt -> a > b
-    | Cge -> a >= b
-    | Ceq -> a = b
-    | Cne -> a <> b
-  in
-  if r then 1L else 0L
+  if fcmp_holds c a b then 1L else 0L
+
+(* shared result boxes: comparison results never allocate *)
+let value_one = Value.Vint 1L
+
+(* Small-constant box table: 32-bit results in [0, 4096) reuse a
+   preallocated box, so counter-style arithmetic in the threaded
+   executor allocates nothing at all. *)
+let small_boxes = Array.init 4096 (fun i -> Value.Vint (Int64.of_int i))
+
+let box_i32 (x : int) : Value.t =
+  if x >= 0 && x < 4096 then Array.unsafe_get small_boxes x
+  else Value.Vint (Int64.of_int x)
+
+(* Sign-extend the low 32 bits of a native int.  Every stored W32 value
+   is norm32-sign-extended, so both operands of a 32-bit binop fit a
+   native 63-bit int; add/sub/shift cannot overflow it, and the one
+   multiply corner that wraps mod 2^63 (|a*b| = 2^62) preserves the low
+   32 bits, which is all [Value.norm32] keeps.  Taking the low 32 bits
+   of the native result is therefore exactly the Int64 semantics. *)
+let wrap32 (x : int) : int = (x lsl 31) asr 31
+
+(* Native-int fast path for the threaded executor's integer binops:
+   bit-for-bit [eval_ibin] with the Int64 boxing removed.  Division and
+   remainder keep the trapping slow path. *)
+let eval_bin_boxed op w (ia : int64) (ib : int64) : Value.t =
+  match w with
+  | W64 -> Value.Vint (eval_ibin op w ia ib)
+  | W32 -> (
+    let a = Int64.to_int ia and b = Int64.to_int ib in
+    match op with
+    | Badd -> box_i32 (wrap32 (a + b))
+    | Bsub -> box_i32 (wrap32 (a - b))
+    | Bmul -> box_i32 (wrap32 (a * b))
+    | Band -> box_i32 (a land b)
+    | Bor -> box_i32 (a lor b)
+    | Bxor -> box_i32 (a lxor b)
+    | Bshl -> box_i32 (wrap32 (a lsl (b land 31)))
+    | Bshr -> box_i32 (a asr (b land 31))
+    | Bdiv | Bmod -> Value.Vint (eval_ibin op w ia ib))
 
 (* --- memory access with hooks --- *)
 
@@ -201,6 +240,14 @@ let store st (p : Value.ptr) ~(ptaint : bool) (v : Value.t) (taint : bool) =
   st.cfg.hooks.Hooks.on_access st.mem p Hooks.Awrite;
   if Value.is_null p then raise (Mem.Trapped Trap.Null_deref);
   Mem.write_abs st.mem (Mem.addr_of_ptr st.mem p) v ~taint
+
+(* Hook-free pointer resolution for the threaded executor: when a run is
+   uninstrumented ([hooks == Hooks.none]) the only observable effects of
+   [load]/[store] are the null trap and the cell access itself, so the
+   no-op closure calls and the result tuple can be dropped. *)
+let[@inline] plain_addr st (p : Value.ptr) : int =
+  if Value.is_null p then raise (Mem.Trapped Trap.Null_deref);
+  Mem.addr_of_ptr st.mem p
 
 (* --- output --- *)
 
@@ -585,16 +632,22 @@ let run ?(config = default_config) (u : Ir.unit_) : result =
     fuel_used = config.fuel - st.fuel_left;
   }
 
-(* ===== linked executor ===== *)
+(* ===== threaded linked executor ===== *)
 
-let leval st (sc : Arena.scratch) (fseq : int) (o : operand) : Value.t * bool =
+(* Operand evaluation is split into a value read and a taint read so the
+   hot loop never allocates an intermediate [(value, taint)] tuple --
+   that tuple was the single largest allocation source of the previous
+   linked executor.  Immediates ([Tval]) are boxed once at link time. *)
+let tev_v st (sc : Arena.scratch) (fseq : int) (o : Image.topnd) : Value.t =
   match o with
-  | Reg r ->
-    if sc.Arena.s_written.(r) then (sc.Arena.s_regs.(r), sc.Arena.s_taint.(r))
-    else (reg_junk st fseq r, true)
-  | ImmI v -> (Value.Vint v, false)
-  | ImmF f -> (Value.Vfloat f, false)
-  | Nullptr -> (Value.Vptr Value.null, false)
+  | Image.Treg r ->
+    if sc.Arena.s_written.(r) then sc.Arena.s_regs.(r) else reg_junk st fseq r
+  | Image.Tval v -> v
+
+let tev_t (sc : Arena.scratch) (o : Image.topnd) : bool =
+  match o with
+  | Image.Treg r -> (not sc.Arena.s_written.(r)) || sc.Arena.s_taint.(r)
+  | Image.Tval _ -> false
 
 (* make the depth's scratch usable for [lf]: grow if needed, and clear
    the written flags (values and taint are only read through them) *)
@@ -613,7 +666,7 @@ let acquire_scratch (sc : Arena.scratch) (lf : Image.lfunc) =
 (* [caller]/[caller_fseq] evaluate the argument operands; the entry call
    passes an arbitrary scratch (its argument array is empty) *)
 let rec lcall st (arena : Arena.t) (img : Image.t) (fi : int)
-    (args : operand array) (caller : Arena.scratch) (caller_fseq : int) :
+    (args : Image.topnd array) (caller : Arena.scratch) (caller_fseq : int) :
     Value.t * bool =
   let lf = img.Image.funcs.(fi) in
   if st.depth >= max_depth then raise (Mem.Trapped Trap.Stack_overflow);
@@ -625,9 +678,8 @@ let rec lcall st (arena : Arena.t) (img : Image.t) (fi : int)
   let nregs = lf.Image.l_nregs in
   for i = 0 to Array.length args - 1 do
     if i < nregs then begin
-      let v, t = leval st caller caller_fseq args.(i) in
-      sc.Arena.s_regs.(i) <- v;
-      sc.Arena.s_taint.(i) <- t;
+      sc.Arena.s_regs.(i) <- tev_v st caller caller_fseq args.(i);
+      sc.Arena.s_taint.(i) <- tev_t caller args.(i);
       sc.Arena.s_written.(i) <- true
     end
   done;
@@ -635,31 +687,43 @@ let rec lcall st (arena : Arena.t) (img : Image.t) (fi : int)
   (match st.cfg.coverage with
   | Some cov -> Coverage.hit cov lf.Image.l_entry_block
   | None -> ());
-  let result = lrun st arena img lf sc fseq in
+  let result = trun st arena img lf sc fseq in
   Mem.pop_frame st.mem;
   st.depth <- st.depth - 1;
   result
 
-and lrun st (arena : Arena.t) (img : Image.t) (lf : Image.lfunc)
+and trun st (arena : Arena.t) (img : Image.t) (lf : Image.lfunc)
     (sc : Arena.scratch) (fseq : int) : Value.t * bool =
-  let code = lf.Image.l_code in
+  let code = lf.Image.l_ops in
   let n = Array.length code in
+  let hooks = st.cfg.hooks in
+  let plain = hooks == Hooks.none in
+  let coverage = st.cfg.coverage in
   let regs = sc.Arena.s_regs in
   let rtaint = sc.Arena.s_taint in
   let rwritten = sc.Arena.s_written in
   let slot_ids = sc.Arena.s_slots in
+  (* register indices were validated against [l_nregs] when the image
+     was linked and the arena arrays are sized from it, so the register
+     file can skip bounds checks *)
   let wr r v t =
-    regs.(r) <- v;
-    rtaint.(r) <- t;
-    rwritten.(r) <- true
+    Array.unsafe_set regs r v;
+    Array.unsafe_set rtaint r t;
+    Array.unsafe_set rwritten r true
   in
-  let ev o =
+  (* split value/taint reads: no tuple allocation per operand *)
+  let ev_v (o : Image.topnd) =
     match o with
-    | Reg r ->
-      if rwritten.(r) then (regs.(r), rtaint.(r)) else (reg_junk st fseq r, true)
-    | ImmI v -> (Value.Vint v, false)
-    | ImmF f -> (Value.Vfloat f, false)
-    | Nullptr -> (Value.Vptr Value.null, false)
+    | Image.Treg r ->
+      if Array.unsafe_get rwritten r then Array.unsafe_get regs r
+      else reg_junk st fseq r
+    | Image.Tval v -> v
+  in
+  let ev_t (o : Image.topnd) =
+    match o with
+    | Image.Treg r ->
+      (not (Array.unsafe_get rwritten r)) || Array.unsafe_get rtaint r
+    | Image.Tval _ -> false
   in
   let pc = ref 0 in
   (* negative targets encode a label the linker could not resolve; fault
@@ -670,6 +734,13 @@ and lrun st (arena : Arena.t) (img : Image.t) (lf : Image.lfunc)
       invalid_arg
         (Printf.sprintf "Exec: missing label L%d in %s" (-1 - t) lf.Image.l_name)
   in
+  (* a fused op covers two source instructions; the second one's fuel
+     tick happens between the halves, exactly where the reference's
+     per-instruction check sits *)
+  let fuel_tick () =
+    st.fuel_left <- st.fuel_left - 1;
+    if st.fuel_left <= 0 then raise Fuel_out
+  in
   let return_value = ref (Value.zero, false) in
   let running = ref true in
   while !running do
@@ -677,34 +748,40 @@ and lrun st (arena : Arena.t) (img : Image.t) (lf : Image.lfunc)
     else begin
       st.fuel_left <- st.fuel_left - 1;
       if st.fuel_left <= 0 then raise Fuel_out;
-      let ins = code.(!pc) in
+      (* pc stays within [0, n): the loop guard covers fall-off and every
+         linker-resolved jump target is an in-range index *)
+      let ins = Array.unsafe_get code !pc in
       incr pc;
       match ins with
-      | Image.Llabel blk ->
-        (match st.cfg.coverage with
+      | Image.Tlabel blk ->
+        (match coverage with
         | Some cov -> Coverage.hit cov blk
         | None -> ())
-      | Image.Lconst (r, o) ->
-        let v, t = ev o in
-        wr r v t
-      | Image.Lbin (op, w, sem, r, a, b) ->
-        let va, ta = ev a in
-        let vb, tb = ev b in
+      | Image.Tconst (r, o) -> wr r (ev_v o) (ev_t o)
+      | Image.Tconst2 (r1, v1, r2, v2) ->
+        wr r1 v1 false;
+        fuel_tick ();
+        wr r2 v2 false;
+        incr pc (* the fused op consumed the slot at pc+1 *)
+      | Image.Tbin (op, w, sem, r, a, b) ->
+        let va = ev_v a in
+        let vb = ev_v b in
         let ia = as_int st va and ib = as_int st vb in
-        if sem = Csigned then st.cfg.hooks.Hooks.on_signed_arith op w ia ib;
-        wr r (Value.Vint (eval_ibin op w ia ib)) (ta || tb)
-      | Image.Lneg (w, sem, r, a) ->
-        let va, ta = ev a in
-        let ia = as_int st va in
-        if sem = Csigned then st.cfg.hooks.Hooks.on_signed_arith Bsub w 0L ia;
-        wr r (Value.Vint (norm w (Int64.neg ia))) ta
-      | Image.Lnot (w, r, a) ->
-        let va, ta = ev a in
-        wr r (Value.Vint (norm w (Int64.lognot (as_int st va)))) ta
-      | Image.Lfbin (op, r, a, b) ->
-        let va, ta = ev a in
-        let vb, tb = ev b in
-        let x = as_float va and y = as_float vb in
+        if sem = Csigned then hooks.Hooks.on_signed_arith op w ia ib;
+        wr r (eval_bin_boxed op w ia ib) (ev_t a || ev_t b)
+      | Image.Tneg (w, sem, r, a) ->
+        let ia = as_int st (ev_v a) in
+        if sem = Csigned then hooks.Hooks.on_signed_arith Bsub w 0L ia;
+        let v =
+          match w with
+          | W32 -> box_i32 (wrap32 (-Int64.to_int ia))
+          | W64 -> Value.Vint (Int64.neg ia)
+        in
+        wr r v (ev_t a)
+      | Image.Tnot (w, r, a) ->
+        wr r (Value.Vint (norm w (Int64.lognot (as_int st (ev_v a))))) (ev_t a)
+      | Image.Tfbin (op, r, a, b) ->
+        let x = as_float (ev_v a) and y = as_float (ev_v b) in
         let z =
           match op with
           | FAdd -> x +. y
@@ -712,70 +789,150 @@ and lrun st (arena : Arena.t) (img : Image.t) (lf : Image.lfunc)
           | FMul -> x *. y
           | FDiv -> x /. y
         in
-        wr r (Value.Vfloat z) (ta || tb)
-      | Image.Lfma (r, a, b, c) ->
-        let va, ta = ev a in
-        let vb, tb = ev b in
-        let vc, tc = ev c in
+        wr r (Value.Vfloat z) (ev_t a || ev_t b)
+      | Image.Tfma (r, a, b, c) ->
         wr r
-          (Value.Vfloat (Float.fma (as_float va) (as_float vb) (as_float vc)))
-          (ta || tb || tc)
-      | Image.Lfneg (r, a) ->
-        let va, ta = ev a in
-        wr r (Value.Vfloat (-.as_float va)) ta
-      | Image.Lcmp (c, r, a, b) ->
-        let va, ta = ev a in
-        let vb, tb = ev b in
-        wr r (Value.Vint (eval_cmp c (as_int st va) (as_int st vb))) (ta || tb)
-      | Image.Lfcmp (c, r, a, b) ->
-        let va, ta = ev a in
-        let vb, tb = ev b in
-        wr r (Value.Vint (eval_fcmp c (as_float va) (as_float vb))) (ta || tb)
-      | Image.Lpcmp (c, r, a, b) ->
-        let va, ta = ev a in
-        let vb, tb = ev b in
-        let pa = as_ptr st va and pb = as_ptr st vb in
-        wr r (Value.Vint (eval_pcmp st c pa pb)) (ta || tb)
-      | Image.Lpadd (r, p, off) ->
-        let vp, tp = ev p in
-        let voff, toff = ev off in
-        let pp = as_ptr st vp in
-        let d = Int64.to_int (as_int st voff) in
-        wr r (Value.Vptr { pp with Value.off = pp.Value.off + d }) (tp || toff)
-      | Image.Lpdiff (r, a, b) ->
-        let va, ta = ev a in
-        let vb, tb = ev b in
-        let pa = as_ptr st va and pb = as_ptr st vb in
+          (Value.Vfloat
+             (Float.fma (as_float (ev_v a)) (as_float (ev_v b))
+                (as_float (ev_v c))))
+          (ev_t a || ev_t b || ev_t c)
+      | Image.Tfneg (r, a) -> wr r (Value.Vfloat (-.as_float (ev_v a))) (ev_t a)
+      | Image.Tcmp (c, r, a, b) ->
+        let res = cmp_holds c (as_int st (ev_v a)) (as_int st (ev_v b)) in
+        wr r (if res then value_one else Value.zero) (ev_t a || ev_t b)
+      | Image.Tcmp_br (c, r, a, b, lt, lf_) ->
+        (* cmp half *)
+        let res = cmp_holds c (as_int st (ev_v a)) (as_int st (ev_v b)) in
+        let t = ev_t a || ev_t b in
+        wr r (if res then value_one else Value.zero) t;
+        (* branch half (reads the register just written) *)
+        fuel_tick ();
+        if not plain then hooks.Hooks.on_branch ~taint:t;
+        if res then jump lt else jump lf_
+      | Image.Tfcmp (c, r, a, b) ->
+        let res = fcmp_holds c (as_float (ev_v a)) (as_float (ev_v b)) in
+        wr r (if res then value_one else Value.zero) (ev_t a || ev_t b)
+      | Image.Tpcmp (c, r, a, b) ->
+        let pa = as_ptr st (ev_v a) and pb = as_ptr st (ev_v b) in
+        wr r (Value.Vint (eval_pcmp st c pa pb)) (ev_t a || ev_t b)
+      | Image.Tpadd (r, p, off) ->
+        let pp = as_ptr st (ev_v p) in
+        let d = Int64.to_int (as_int st (ev_v off)) in
+        wr r
+          (Value.Vptr { pp with Value.off = pp.Value.off + d })
+          (ev_t p || ev_t off)
+      | Image.Tpdiff (r, a, b) ->
+        let pa = as_ptr st (ev_v a) and pb = as_ptr st (ev_v b) in
         let aa = if Value.is_null pa then 0 else Mem.addr_of_ptr st.mem pa in
         let ab = if Value.is_null pb then 0 else Mem.addr_of_ptr st.mem pb in
-        wr r (Value.Vint (Value.norm32 (Int64.of_int (aa - ab)))) (ta || tb)
-      | Image.Lcast (k, r, a) ->
-        let va, ta = ev a in
-        wr r (eval_cast st k va) ta
-      | Image.Llea_global (r, id) ->
+        wr r (Value.Vint (Value.norm32 (Int64.of_int (aa - ab)))) (ev_t a || ev_t b)
+      | Image.Tcast (k, r, a) -> wr r (eval_cast st k (ev_v a)) (ev_t a)
+      | Image.Tlea_global (r, id) ->
         wr r (Value.Vptr { Value.obj = id; off = 0 }) false
-      | Image.Llea_slot (r, i) ->
+      | Image.Tlea_slot (r, i) ->
         wr r (Value.Vptr { Value.obj = slot_ids.(i); off = 0 }) false
-      | Image.Lload (r, p) ->
-        let vp, tp = ev p in
-        let v, t = load st (as_ptr st vp) ~ptaint:tp in
-        wr r v t
-      | Image.Lstore (p, x) ->
-        let vp, tp = ev p in
-        let vx, tx = ev x in
-        store st (as_ptr st vp) ~ptaint:tp vx tx
-      | Image.Lcall (dest, fi, args) ->
+      | Image.Tload (r, p) ->
+        let vp = ev_v p in
+        if plain then begin
+          let addr = plain_addr st (as_ptr st vp) in
+          wr r (Mem.read_abs_v st.mem addr) (Mem.read_abs_taint st.mem addr)
+        end
+        else begin
+          let v, t = load st (as_ptr st vp) ~ptaint:(ev_t p) in
+          wr r v t
+        end
+      | Image.Tload_bin (r1, p, op, w, sem, r2, b) ->
+        if plain then begin
+          (* load half, hook-free *)
+          let addr = plain_addr st (as_ptr st (ev_v p)) in
+          let v = Mem.read_abs_v st.mem addr in
+          let t = Mem.read_abs_taint st.mem addr in
+          wr r1 v t;
+          (* binop half: its left operand is the register just written *)
+          fuel_tick ();
+          let vb = ev_v b in
+          let ia = as_int st v and ib = as_int st vb in
+          wr r2 (eval_bin_boxed op w ia ib) (t || ev_t b);
+          incr pc (* the fused op consumed the slot at pc+1 *)
+        end
+        else begin
+          (* load half *)
+          let vp = ev_v p in
+          let v, t = load st (as_ptr st vp) ~ptaint:(ev_t p) in
+          wr r1 v t;
+          (* binop half: its left operand is the register just written *)
+          fuel_tick ();
+          let vb = ev_v b in
+          let ia = as_int st v and ib = as_int st vb in
+          if sem = Csigned then hooks.Hooks.on_signed_arith op w ia ib;
+          wr r2 (eval_bin_boxed op w ia ib) (t || ev_t b);
+          incr pc (* the fused op consumed the slot at pc+1 *)
+        end
+      | Image.Tstore (p, x) ->
+        let vp = ev_v p in
+        let vx = ev_v x in
+        if plain then
+          Mem.write_abs st.mem (plain_addr st (as_ptr st vp)) vx ~taint:(ev_t x)
+        else store st (as_ptr st vp) ~ptaint:(ev_t p) vx (ev_t x)
+      | Image.Tload_slot (r, i) ->
+        (* lea half: the pointer register is link-proven dead, so its
+           write is elided; only the fuel tick remains *)
+        fuel_tick ();
+        let sid = Array.unsafe_get slot_ids i in
+        if plain then begin
+          let addr = Mem.base_of_obj st.mem sid in
+          wr r (Mem.read_abs_v st.mem addr) (Mem.read_abs_taint st.mem addr)
+        end
+        else begin
+          (* lea-produced pointers carry taint [false] *)
+          let v, t = load st { Value.obj = sid; Value.off = 0 } ~ptaint:false in
+          wr r v t
+        end;
+        incr pc (* the fused op consumed the slot at pc+1 *)
+      | Image.Tstore_slot (i, x) ->
+        fuel_tick ();
+        let vx = ev_v x in
+        let sid = Array.unsafe_get slot_ids i in
+        if plain then
+          Mem.write_abs st.mem (Mem.base_of_obj st.mem sid) vx ~taint:(ev_t x)
+        else store st { Value.obj = sid; Value.off = 0 } ~ptaint:false vx (ev_t x);
+        incr pc
+      | Image.Tload_global (r, gid) ->
+        fuel_tick ();
+        if plain then begin
+          let addr = Mem.base_of_obj st.mem gid in
+          wr r (Mem.read_abs_v st.mem addr) (Mem.read_abs_taint st.mem addr)
+        end
+        else begin
+          let v, t = load st { Value.obj = gid; Value.off = 0 } ~ptaint:false in
+          wr r v t
+        end;
+        incr pc
+      | Image.Tstore_global (gid, x) ->
+        fuel_tick ();
+        let vx = ev_v x in
+        if plain then
+          Mem.write_abs st.mem (Mem.base_of_obj st.mem gid) vx ~taint:(ev_t x)
+        else store st { Value.obj = gid; Value.off = 0 } ~ptaint:false vx (ev_t x);
+        incr pc
+      | Image.Tcall (dest, fi, args) ->
         let v, t = lcall st arena img fi args sc fseq in
-        (match dest with Some r -> wr r v t | None -> ())
-      | Image.Lcall_unknown (fname, args) ->
-        Array.iter (fun o -> ignore (ev o)) args;
+        if dest >= 0 then wr dest v t
+      | Image.Tcall_unknown (fname, args) ->
+        Array.iter (fun o -> ignore (ev_v o)) args;
         invalid_arg ("Exec: unknown function " ^ fname)
-      | Image.Lbuiltin (dest, b, args) ->
-        let argv = Array.map (fun o -> fst (ev o)) args in
+      | Image.Tbuiltin (dest, b, args) ->
+        let argv = Array.map ev_v args in
         let v = exec_builtin_v st b argv in
-        (match dest with Some r -> wr r v false | None -> ())
-      | Image.Lprint items ->
-        let value o = fst (ev o) in
+        if dest >= 0 then wr dest v false
+      | Image.Tprint items ->
+        let value (o : operand) =
+          match o with
+          | Reg r -> if rwritten.(r) then regs.(r) else reg_junk st fseq r
+          | ImmI v -> Value.Vint v
+          | ImmF f -> Value.Vfloat f
+          | Nullptr -> Value.Vptr Value.null
+        in
         (match st.cfg.on_print with
         | None -> List.iter (print_item st value) items
         | Some notify ->
@@ -785,19 +942,19 @@ and lrun st (arena : Arena.t) (img : Image.t) (lf : Image.lfunc)
             Buffer.sub st.out before (Buffer.length st.out - before)
           in
           notify ~fn:lf.Image.l_name text)
-      | Image.Ljmp t -> jump t
-      | Image.Lbr (c, lt, lf_) ->
-        let vc, tc = ev c in
-        st.cfg.hooks.Hooks.on_branch ~taint:tc;
+      | Image.Tjmp t -> jump t
+      | Image.Tbr (c, lt, lf_) ->
+        let vc = ev_v c in
+        if not plain then hooks.Hooks.on_branch ~taint:(ev_t c);
         if Value.truthy vc then jump lt else jump lf_
-      | Image.Lret None ->
+      | Image.Tret None ->
         return_value := (Value.zero, false);
         running := false
-      | Image.Lret (Some o) ->
-        return_value := ev o;
+      | Image.Tret (Some o) ->
+        return_value := (ev_v o, ev_t o);
         running := false
-      | Image.Lfail msg -> invalid_arg msg
-      | Image.Ltrap -> raise (Mem.Trapped Trap.Abort_called)
+      | Image.Tfail msg -> invalid_arg msg
+      | Image.Ttrap -> raise (Mem.Trapped Trap.Abort_called)
     end
   done;
   !return_value
@@ -850,3 +1007,28 @@ let run_linked ?(config = default_config) ?arena (img : Image.t) : result =
     status;
     fuel_used = config.fuel - st.fuel_left;
   }
+
+(* Run many inputs against one image through one arena, without
+   re-validating or re-creating per-run structure.  [Arena.reset]
+   between runs is the only per-input setup; the globals blit inside it
+   is skipped when the previous run never wrote a global ({!Mem.reset}'s
+   dirty gate).  [on_each i r] fires after input [i] completes, before
+   the next run starts -- the fuzzer uses it to harvest coverage between
+   runs.  Results are positionally identical to mapping {!run_linked}
+   over [inputs] with the same config and arena. *)
+let run_batch ?(config = default_config) ?arena ?on_each (img : Image.t)
+    ~(inputs : string array) : result array =
+  let a =
+    match arena with
+    | Some a ->
+      if a.Arena.image != img then
+        invalid_arg "Exec.run_batch: arena was created for a different image";
+      a
+    | None -> Arena.create img
+  in
+  Array.mapi
+    (fun i input ->
+      let r = run_linked ~config:{ config with input } ~arena:a img in
+      (match on_each with Some f -> f i r | None -> ());
+      r)
+    inputs

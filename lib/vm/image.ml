@@ -101,6 +101,69 @@ type linstr =
   | Lfail of string                        (* link error, raised on execution *)
   | Ltrap
 
+(* Threaded operands: immediates are boxed once at link time, so the
+   executor's operand evaluation never allocates for constants.  [Tval]
+   carries taint [false] by construction (immediates are never junk). *)
+type topnd =
+  | Treg of int
+  | Tval of Value.t                        (* pre-boxed immediate *)
+
+(* The threaded opstream: one [tinstr] per source instruction (same
+   length, same pc -- the identity pc map), except that a fused
+   superinstruction at pc [i] *also* performs the work of pc [i+1].
+   Fusion is sound because branch targets are always [Tlabel] pcs: a
+   non-label instruction at [i+1] is only ever reached by fallthrough
+   from [i], so when [i] is fused the slot at [i+1] is unreachable (it
+   still holds the normal translation, defensively).  Each fused op
+   burns fuel twice with the reference's exact intermediate check, so
+   [Fuel_out] fires at the identical instruction count. *)
+type tinstr =
+  | Tconst of int * topnd
+  | Tbin of Ir.ibin * Ir.width * Ir.csem * int * topnd * topnd
+  | Tneg of Ir.width * Ir.csem * int * topnd
+  | Tnot of Ir.width * int * topnd
+  | Tfbin of Ir.fbin * int * topnd * topnd
+  | Tfma of int * topnd * topnd * topnd
+  | Tfneg of int * topnd
+  | Tcmp of Ir.cmp * int * topnd * topnd
+  | Tfcmp of Ir.cmp * int * topnd * topnd
+  | Tpcmp of Ir.cmp * int * topnd * topnd
+  | Tpadd of int * topnd * topnd
+  | Tpdiff of int * topnd * topnd
+  | Tcast of Ir.cast * int * topnd
+  | Tlea_global of int * int
+  | Tlea_slot of int * int
+  | Tload of int * topnd
+  | Tstore of topnd * topnd
+  | Tcall of int * int * topnd array       (* dest reg, or -1 for none *)
+  | Tcall_unknown of string * topnd array
+  | Tbuiltin of int * builtin * topnd array
+  | Tprint of Ir.fmt_item list
+  | Tjmp of int
+  | Tbr of topnd * int * int
+  | Tret of topnd option
+  | Tlabel of int
+  | Tfail of string
+  | Ttrap
+  (* fused superinstructions (2 source instructions each) *)
+  | Tcmp_br of Ir.cmp * int * topnd * topnd * int * int
+      (* cmp into r immediately consumed by a branch on r *)
+  | Tconst2 of int * Value.t * int * Value.t
+      (* two adjacent immediate constant loads *)
+  | Tload_bin of int * topnd * Ir.ibin * Ir.width * Ir.csem * int * topnd
+      (* load into r immediately consumed as the binop's left operand *)
+  | Tload_slot of int * int
+      (* lea slot[i] into a link-proven dead register immediately
+         dereferenced by a load: (dest reg, slot index).  The pointer
+         write is elided -- sound because the lea's register is read
+         nowhere else in the function *)
+  | Tstore_slot of int * topnd
+      (* lea slot[i] + store through it: (slot index, stored operand) *)
+  | Tload_global of int * int
+      (* lea global + load: (dest reg, resolved object id) *)
+  | Tstore_global of int * topnd
+      (* lea global + store: (resolved object id, stored operand) *)
+
 type lfunc = {
   l_name : string;
   l_nparams : int;
@@ -108,6 +171,7 @@ type lfunc = {
   l_slots : Ir.frame_slot array;
   l_frame : Mem.frame_layout;              (* precomputed placement *)
   l_code : linstr array;                   (* parallel to the source code *)
+  l_ops : tinstr array;                    (* threaded form, same pcs *)
   l_entry_block : int;                     (* coverage id of function entry *)
 }
 
@@ -128,9 +192,140 @@ let index_funcs (funcs : (string * Ir.ifunc) list) : (string, int) Hashtbl.t =
     funcs;
   h
 
+(* --- threaded translation --- *)
+
+let topnd_of (o : Ir.operand) : topnd =
+  match o with
+  | Ir.Reg r -> Treg r
+  | Ir.ImmI v -> Tval (Value.Vint v)
+  | Ir.ImmF f -> Tval (Value.Vfloat f)
+  | Ir.Nullptr -> Tval (Value.Vptr Value.null)
+
+(* an immediate whose box can be folded into the instruction itself *)
+let imm_value (o : Ir.operand) : Value.t option =
+  match o with
+  | Ir.Reg _ -> None
+  | Ir.ImmI v -> Some (Value.Vint v)
+  | Ir.ImmF f -> Some (Value.Vfloat f)
+  | Ir.Nullptr -> Some (Value.Vptr Value.null)
+
+let dest_of = function Some r -> r | None -> -1
+
+(* single-instruction translation; fusion happens in a second scan *)
+let tinstr_of (ins : linstr) : tinstr =
+  match ins with
+  | Lconst (r, o) -> Tconst (r, topnd_of o)
+  | Lbin (op, w, sem, r, a, b) -> Tbin (op, w, sem, r, topnd_of a, topnd_of b)
+  | Lneg (w, sem, r, a) -> Tneg (w, sem, r, topnd_of a)
+  | Lnot (w, r, a) -> Tnot (w, r, topnd_of a)
+  | Lfbin (op, r, a, b) -> Tfbin (op, r, topnd_of a, topnd_of b)
+  | Lfma (r, a, b, c) -> Tfma (r, topnd_of a, topnd_of b, topnd_of c)
+  | Lfneg (r, a) -> Tfneg (r, topnd_of a)
+  | Lcmp (c, r, a, b) -> Tcmp (c, r, topnd_of a, topnd_of b)
+  | Lfcmp (c, r, a, b) -> Tfcmp (c, r, topnd_of a, topnd_of b)
+  | Lpcmp (c, r, a, b) -> Tpcmp (c, r, topnd_of a, topnd_of b)
+  | Lpadd (r, p, o) -> Tpadd (r, topnd_of p, topnd_of o)
+  | Lpdiff (r, a, b) -> Tpdiff (r, topnd_of a, topnd_of b)
+  | Lcast (k, r, a) -> Tcast (k, r, topnd_of a)
+  | Llea_global (r, id) -> Tlea_global (r, id)
+  | Llea_slot (r, i) -> Tlea_slot (r, i)
+  | Lload (r, p) -> Tload (r, topnd_of p)
+  | Lstore (p, x) -> Tstore (topnd_of p, topnd_of x)
+  | Lcall (dest, fi, args) -> Tcall (dest_of dest, fi, Array.map topnd_of args)
+  | Lcall_unknown (fname, args) -> Tcall_unknown (fname, Array.map topnd_of args)
+  | Lbuiltin (dest, b, args) -> Tbuiltin (dest_of dest, b, Array.map topnd_of args)
+  | Lprint items -> Tprint items
+  | Ljmp t -> Tjmp t
+  | Lbr (c, lt, lf) -> Tbr (topnd_of c, lt, lf)
+  | Lret o -> Tret (Option.map topnd_of o)
+  | Llabel blk -> Tlabel blk
+  | Lfail msg -> Tfail msg
+  | Ltrap -> Ttrap
+
+(* Per-register read counts over a whole function, for dead-register
+   fusion: a lea whose register is read exactly once (by the adjacent
+   load/store) leaves no other way to observe the pointer write, so the
+   fused form may elide it entirely. *)
+let reg_reads ~(nregs : int) (code : linstr array) : int array =
+  let reads = Array.make (max 1 nregs) 0 in
+  let op (o : Ir.operand) =
+    match o with
+    | Ir.Reg r -> if r >= 0 && r < Array.length reads then reads.(r) <- reads.(r) + 1
+    | Ir.ImmI _ | Ir.ImmF _ | Ir.Nullptr -> ()
+  in
+  let item (it : Ir.fmt_item) =
+    match it with
+    | Ir.Flit _ -> ()
+    | Ir.Fint o | Ir.Flong o | Ir.Fuint o | Ir.Fhex o | Ir.Fchar o
+    | Ir.Fstr o | Ir.Ffloat o | Ir.Fptr o -> op o
+  in
+  Array.iter
+    (fun ins ->
+      match ins with
+      | Lconst (_, a) | Lneg (_, _, _, a) | Lnot (_, _, a) | Lfneg (_, a)
+      | Lcast (_, _, a) | Lload (_, a) | Lbr (a, _, _) | Lret (Some a) ->
+        op a
+      | Lbin (_, _, _, _, a, b) | Lfbin (_, _, a, b) | Lcmp (_, _, a, b)
+      | Lfcmp (_, _, a, b) | Lpcmp (_, _, a, b) | Lpadd (_, a, b)
+      | Lpdiff (_, a, b) | Lstore (a, b) ->
+        op a; op b
+      | Lfma (_, a, b, c) -> op a; op b; op c
+      | Lcall (_, _, args) | Lcall_unknown (_, args) | Lbuiltin (_, _, args) ->
+        Array.iter op args
+      | Lprint items -> List.iter item items
+      | Llea_global _ | Llea_slot _ | Ljmp _ | Lret None | Llabel _
+      | Lfail _ | Ltrap -> ())
+    code;
+  reads
+
+(* Fuse common adjacent pairs.  Safe because only [Llabel] pcs are jump
+   targets (see [target]): a fused second half can never be entered
+   directly.  Each fused op replicates the reference's per-instruction
+   fuel ticks, so verdicts (incl. mid-pair [Fuel_out]) are unchanged. *)
+let translate ~(nregs : int) (code : linstr array) : tinstr array =
+  let n = Array.length code in
+  let ops = Array.map tinstr_of code in
+  let reads = reg_reads ~nregs code in
+  let dead r = r >= 0 && r < Array.length reads && reads.(r) = 1 in
+  let i = ref 0 in
+  while !i < n - 1 do
+    (match (code.(!i), code.(!i + 1)) with
+    | Lcmp (c, r, a, b), Lbr (Ir.Reg r', lt, lf) when r = r' ->
+        ops.(!i) <- Tcmp_br (c, r, topnd_of a, topnd_of b, lt, lf);
+        incr i
+    | Lconst (r1, o1), Lconst (r2, o2) -> (
+        match (imm_value o1, imm_value o2) with
+        | Some v1, Some v2 ->
+            ops.(!i) <- Tconst2 (r1, v1, r2, v2);
+            incr i
+        | _ -> ())
+    | Lload (r1, p), Lbin (op, w, sem, r2, Ir.Reg a, b) when a = r1 ->
+        ops.(!i) <- Tload_bin (r1, topnd_of p, op, w, sem, r2, topnd_of b);
+        incr i
+    (* slot/global address formation feeding a single adjacent access:
+       the pointer register is read exactly once, so its write (value,
+       taint, written flag alike) is unobservable and can be elided *)
+    | Llea_slot (r, s), Lload (r2, Ir.Reg pr) when pr = r && dead r ->
+        ops.(!i) <- Tload_slot (r2, s);
+        incr i
+    | Llea_slot (r, s), Lstore (Ir.Reg pr, x) when pr = r && dead r ->
+        ops.(!i) <- Tstore_slot (s, topnd_of x);
+        incr i
+    | Llea_global (r, id), Lload (r2, Ir.Reg pr) when pr = r && dead r ->
+        ops.(!i) <- Tload_global (r2, id);
+        incr i
+    | Llea_global (r, id), Lstore (Ir.Reg pr, x) when pr = r && dead r ->
+        ops.(!i) <- Tstore_global (id, topnd_of x);
+        incr i
+    | _ -> ());
+    incr i
+  done;
+  ops
+
 let link_func ~(fidx : (string, int) Hashtbl.t)
     ~(gids : (string, int) Hashtbl.t) ~(layout : Policy.layout)
-    (fname : string) (f : Ir.ifunc) : lfunc =
+    ~(intern_builtin : string -> builtin) (fname : string) (f : Ir.ifunc) :
+    lfunc =
   let label_pc = Hashtbl.create 16 in
   (* [Hashtbl.replace]: the last occurrence of a duplicate label wins,
      exactly as the reference interpreter's label map fills *)
@@ -169,7 +364,7 @@ let link_func ~(fidx : (string, int) Hashtbl.t)
         | Some i -> Lcall (dest, i, args)
         | None -> Lcall_unknown (callee, args))
     | Ir.Ibuiltin (dest, bname, args) ->
-        Lbuiltin (dest, builtin_of_name bname, Array.of_list args)
+        Lbuiltin (dest, intern_builtin bname, Array.of_list args)
     | Ir.Iprint items -> Lprint items
     | Ir.Ijmp l -> Ljmp (target l)
     | Ir.Ibr (c, lt, lf) -> Lbr (c, target lt, target lf)
@@ -177,13 +372,15 @@ let link_func ~(fidx : (string, int) Hashtbl.t)
     | Ir.Ilabel l -> Llabel (Coverage.block_id ~fname ~label:l)
     | Ir.Itrap _ -> Ltrap
   in
+  let l_code = Array.map link_instr f.Ir.code in
   {
     l_name = fname;
     l_nparams = f.Ir.nparams;
     l_nregs = f.Ir.nregs;
     l_slots = f.Ir.slots;
     l_frame = Mem.layout_frame layout f.Ir.slots;
-    l_code = Array.map link_instr f.Ir.code;
+    l_code;
+    l_ops = translate ~nregs:f.Ir.nregs l_code;
     l_entry_block = Coverage.block_id ~fname ~label:(-1);
   }
 
@@ -194,9 +391,23 @@ let link (u : Ir.unit_) : t =
      throwaway memory yields the ids every execution memory will use *)
   let gids = Mem.global_ids (Mem.create runtime u.Ir.globals) in
   let layout = runtime.Policy.layout in
+  (* builtin names resolve once per unit, not once per call-site; the
+     memo also shares one [Bunknown] block per unresolved name *)
+  let builtins : (string, builtin) Hashtbl.t = Hashtbl.create 8 in
+  let intern_builtin name =
+    match Hashtbl.find_opt builtins name with
+    | Some b -> b
+    | None ->
+        let b = builtin_of_name name in
+        Hashtbl.add builtins name b;
+        b
+  in
   let funcs =
     Array.of_list
-      (List.map (fun (name, f) -> link_func ~fidx ~gids ~layout name f) u.Ir.funcs)
+      (List.map
+         (fun (name, f) ->
+           link_func ~fidx ~gids ~layout ~intern_builtin name f)
+         u.Ir.funcs)
   in
   let entry =
     match Hashtbl.find_opt fidx "main" with Some i -> i | None -> -1

@@ -19,6 +19,25 @@ open Cdcompiler
 
 exception Trapped of Trap.t
 
+(* Taint/written flag vectors are [Bytes.t] rather than [bool array]: a
+   bool array costs a full word per element and is scanned on every
+   major-GC mark pass, which made each pooled arena ~192 KiB of live
+   marked set (the engine's image cache retains hundreds of arenas).
+   Bytes cost one byte per flag and the collector skips their contents.
+   The unsafe accessors are justified because every index has already
+   passed the same region bounds check as the adjacent value-array
+   access. *)
+module Flags = struct
+  let make n (v : bool) = Bytes.make n (if v then '\001' else '\000')
+  let[@inline] get (b : Bytes.t) i = Bytes.unsafe_get b i <> '\000'
+
+  let[@inline] set (b : Bytes.t) i (v : bool) =
+    Bytes.unsafe_set b i (if v then '\001' else '\000')
+
+  let fill (b : Bytes.t) pos len (v : bool) =
+    Bytes.fill b pos len (if v then '\001' else '\000')
+end
+
 type obj_kind = Kglobal | Kstack | Kheap
 
 type obj = {
@@ -39,22 +58,23 @@ type t = {
   mutable nobjects : int;
   (* globals region *)
   globals_mem : Value.t array;
-  globals_taint : bool array;
+  globals_taint : Bytes.t;
   globals_init : Value.t array;       (* post-create snapshot, for [reset] *)
   globals_len : int;                  (* mapped extent in cells *)
+  mutable globals_dirty : bool;       (* any global write since reset? *)
   globals_by_base : (int * int) array; (* (base, id), sorted by base *)
   initial_nobjects : int;             (* object-table size right after create *)
   (* stack region: cells persist across frames (stack reuse) *)
   stack_mem : Value.t array;
-  stack_taint : bool array;
-  stack_written : bool array;         (* lazily materialized junk *)
+  stack_taint : Bytes.t;
+  stack_written : Bytes.t;            (* lazily materialized junk *)
   mutable stack_wlo : int;            (* dirty range of stack_written/taint, *)
   mutable stack_whi : int;            (* inclusive indices; wlo > whi = clean *)
   mutable sp : int;                   (* next free address (grows down) *)
   mutable frames : frame list;        (* innermost first *)
   (* heap region *)
   mutable heap_mem : Value.t array;
-  mutable heap_taint : bool array;
+  mutable heap_taint : Bytes.t;
   mutable heap_break : int;           (* next fresh absolute address *)
   mutable free_list : (int * int * int) list; (* (base, size, old_id), LIFO *)
   mutable heap_by_base : (int, int) Hashtbl.t; (* base -> id, live or freed *)
@@ -93,7 +113,7 @@ let create (runtime : Policy.runtime) (globals : Ir.iglobal list) : t =
     List.fold_left (fun acc g -> acc + g.Ir.g_size + gap) 0 globals
   in
   let globals_mem = Array.make (max 1 total) Value.zero in
-  let globals_taint = Array.make (max 1 total) false in
+  let globals_taint = Flags.make (max 1 total) false in
   let m =
     {
       layout;
@@ -105,17 +125,18 @@ let create (runtime : Policy.runtime) (globals : Ir.iglobal list) : t =
       globals_taint;
       globals_init = [||];
       globals_len = total;
+      globals_dirty = false;
       globals_by_base = [||];
       initial_nobjects = 1;
       stack_mem = Array.make layout.Policy.stack_size Value.zero;
-      stack_taint = Array.make layout.Policy.stack_size true;
-      stack_written = Array.make layout.Policy.stack_size false;
+      stack_taint = Flags.make layout.Policy.stack_size true;
+      stack_written = Flags.make layout.Policy.stack_size false;
       stack_wlo = max_int;
       stack_whi = -1;
       sp = layout.Policy.stack_base + layout.Policy.stack_size;
       frames = [];
       heap_mem = Array.make 256 Value.zero;
-      heap_taint = Array.make 256 true;
+      heap_taint = Flags.make 256 true;
       heap_break = layout.Policy.heap_base;
       free_list = [];
       heap_by_base = Hashtbl.create 16;
@@ -160,12 +181,18 @@ let create (runtime : Policy.runtime) (globals : Ir.iglobal list) : t =
    - objects: ids restart at the post-create count, so allocation
      sequence numbers (Pobjseq ordering) replay identically. *)
 let reset (m : t) : unit =
-  Array.blit m.globals_init 0 m.globals_mem 0 (Array.length m.globals_init);
-  Array.fill m.globals_taint 0 (Array.length m.globals_taint) false;
+  (* only [write_abs] mutates the globals region after [create], so a
+     run that never stored to a global leaves it in post-create state
+     and the snapshot restore can be skipped entirely *)
+  if m.globals_dirty then begin
+    Array.blit m.globals_init 0 m.globals_mem 0 (Array.length m.globals_init);
+    Flags.fill m.globals_taint 0 (Bytes.length m.globals_taint) false;
+    m.globals_dirty <- false
+  end;
   if m.stack_wlo <= m.stack_whi then begin
     let len = m.stack_whi - m.stack_wlo + 1 in
-    Array.fill m.stack_written m.stack_wlo len false;
-    Array.fill m.stack_taint m.stack_wlo len true;
+    Flags.fill m.stack_written m.stack_wlo len false;
+    Flags.fill m.stack_taint m.stack_wlo len true;
     m.stack_wlo <- max_int;
     m.stack_whi <- -1
   end;
@@ -174,7 +201,7 @@ let reset (m : t) : unit =
   let heap_used = m.heap_break - m.layout.Policy.heap_base in
   if heap_used > 0 then begin
     Array.fill m.heap_mem 0 heap_used Value.zero;
-    Array.fill m.heap_taint 0 heap_used true
+    Flags.fill m.heap_taint 0 heap_used true
   end;
   m.heap_break <- m.layout.Policy.heap_base;
   m.free_list <- [];
@@ -202,43 +229,61 @@ let heap_junk m addr = Value.Vint (Policy.uninit_value m.uninit_heap ~addr)
 
 (* --- absolute-address cell access --- *)
 
-type cell_ref =
-  | Cglobal of int   (* index into globals_mem *)
-  | Cstack of int    (* index into stack_mem *)
-  | Cheap of int     (* index into heap_mem *)
+(* Region dispatch is inlined into each accessor (rather than shared
+   through a [cell_ref] variant) so the hot path never allocates: the
+   executor performs several cell accesses per interpreted instruction
+   and a 2-word box per access dominated its GC traffic. *)
 
-let resolve_region m addr : cell_ref =
+let[@inline] bad_addr addr = raise (Trapped (Trap.Segfault addr))
+
+(* allocation-free value read; taint lives in [read_abs_taint] *)
+let read_abs_v m addr : Value.t =
   let l = m.layout in
   if addr >= l.Policy.globals_base && addr < l.Policy.globals_base + m.globals_len
-  then Cglobal (addr - l.Policy.globals_base)
-  else if addr >= l.Policy.stack_base && addr < stack_top m then
-    Cstack (addr - l.Policy.stack_base)
+  then m.globals_mem.(addr - l.Policy.globals_base)
+  else if addr >= l.Policy.stack_base && addr < stack_top m then begin
+    let i = addr - l.Policy.stack_base in
+    if Flags.get m.stack_written i then m.stack_mem.(i) else stack_junk m addr
+  end
   else if addr >= l.Policy.heap_base && addr < m.heap_break then
-    Cheap (addr - l.Policy.heap_base)
-  else raise (Trapped (Trap.Segfault addr))
+    m.heap_mem.(addr - l.Policy.heap_base)
+  else bad_addr addr
 
-let read_abs m addr : Value.t * bool =
-  match resolve_region m addr with
-  | Cglobal i -> (m.globals_mem.(i), m.globals_taint.(i))
-  | Cstack i ->
-    let v = if m.stack_written.(i) then m.stack_mem.(i) else stack_junk m addr in
-    (v, m.stack_taint.(i))
-  | Cheap i -> (m.heap_mem.(i), m.heap_taint.(i))
+let read_abs_taint m addr : bool =
+  let l = m.layout in
+  if addr >= l.Policy.globals_base && addr < l.Policy.globals_base + m.globals_len
+  then Flags.get m.globals_taint (addr - l.Policy.globals_base)
+  else if addr >= l.Policy.stack_base && addr < stack_top m then
+    Flags.get m.stack_taint (addr - l.Policy.stack_base)
+  else if addr >= l.Policy.heap_base && addr < m.heap_break then
+    Flags.get m.heap_taint (addr - l.Policy.heap_base)
+  else bad_addr addr
+
+let read_abs m addr : Value.t * bool = (read_abs_v m addr, read_abs_taint m addr)
 
 let write_abs m addr (v : Value.t) ~(taint : bool) =
-  match resolve_region m addr with
-  | Cglobal i ->
+  let l = m.layout in
+  if addr >= l.Policy.globals_base && addr < l.Policy.globals_base + m.globals_len
+  then begin
+    let i = addr - l.Policy.globals_base in
     m.globals_mem.(i) <- v;
-    m.globals_taint.(i) <- taint
-  | Cstack i ->
+    Flags.set m.globals_taint i taint;
+    m.globals_dirty <- true
+  end
+  else if addr >= l.Policy.stack_base && addr < stack_top m then begin
+    let i = addr - l.Policy.stack_base in
     m.stack_mem.(i) <- v;
-    m.stack_written.(i) <- true;
-    m.stack_taint.(i) <- taint;
+    Flags.set m.stack_written i true;
+    Flags.set m.stack_taint i taint;
     if i < m.stack_wlo then m.stack_wlo <- i;
     if i > m.stack_whi then m.stack_whi <- i
-  | Cheap i ->
+  end
+  else if addr >= l.Policy.heap_base && addr < m.heap_break then begin
+    let i = addr - l.Policy.heap_base in
     m.heap_mem.(i) <- v;
-    m.heap_taint.(i) <- taint
+    Flags.set m.heap_taint i taint
+  end
+  else bad_addr addr
 
 (* --- pointer resolution --- *)
 
@@ -248,6 +293,14 @@ let addr_of_ptr m (p : Value.ptr) : int =
     match obj m p.Value.obj with
     | Some o -> o.base + p.Value.off
     | None -> raise (Trapped (Trap.Segfault p.Value.off))
+
+(* Base address of an object, for the executor's fused slot/global
+   accesses: equivalent to [addr_of_ptr] on [{obj = id; off = 0}]
+   (object ids start at 1, so such a pointer is never null or wild). *)
+let base_of_obj m id : int =
+  match obj m id with
+  | Some o -> o.base
+  | None -> raise (Trapped (Trap.Segfault 0))
 
 (* absolute address -> (object, offset), if any object contains it *)
 let object_at m addr : (obj * int) option =
@@ -367,9 +420,7 @@ let push_frame_laid m (slots : Ir.frame_slot array) (fl : frame_layout)
   (* mark the frame's cells as uninitialized for taint purposes, but do NOT
      clear values: stack reuse *)
   let lo = base - l.Policy.stack_base in
-  for i = lo to lo + fl.fl_size - 1 do
-    m.stack_taint.(i) <- true
-  done;
+  Flags.fill m.stack_taint lo fl.fl_size true;
   let f_slots = Array.init n (fun i -> (fl.fl_offsets.(i), ids.(i))) in
   m.frames <- { f_base = base; f_size = fl.fl_size; f_slots } :: m.frames
 
@@ -396,9 +447,9 @@ let ensure_heap_capacity m needed =
   if needed > cap then begin
     let ncap = max needed (2 * cap) in
     let nm = Array.make ncap Value.zero in
-    let nt = Array.make ncap true in
+    let nt = Flags.make ncap true in
     Array.blit m.heap_mem 0 nm 0 cap;
-    Array.blit m.heap_taint 0 nt 0 cap;
+    Bytes.blit m.heap_taint 0 nt 0 cap;
     m.heap_mem <- nm;
     m.heap_taint <- nt
   end
@@ -431,9 +482,7 @@ let malloc m (n : int) : Value.ptr =
       let o = fresh_obj m Kheap base n "heap" in
       Hashtbl.replace m.heap_by_base base o.id;
       let lo = base - l.Policy.heap_base in
-      for i = lo to lo + n - 1 do
-        m.heap_taint.(i) <- true
-      done;
+      Flags.fill m.heap_taint lo n true;
       { Value.obj = o.id; off = 0 }
     | None ->
       let base = m.heap_break in
@@ -443,9 +492,9 @@ let malloc m (n : int) : Value.ptr =
       Hashtbl.replace m.heap_by_base base o.id;
       (* fresh block: junk contents per policy *)
       let lo = base - l.Policy.heap_base in
+      Flags.fill m.heap_taint lo n true;
       for i = 0 to n - 1 do
-        m.heap_mem.(lo + i) <- heap_junk m (base + i);
-        m.heap_taint.(lo + i) <- true
+        m.heap_mem.(lo + i) <- heap_junk m (base + i)
       done;
       { Value.obj = o.id; off = 0 }
   end

@@ -37,3 +37,43 @@ echo "== BENCH_engine.json"
 cat BENCH_engine.json
 echo "== BENCH_metacheck.json"
 cat BENCH_metacheck.json
+
+# Regression gate: the linked-image executor must stay at least 2x the
+# tree-walking reference, every optimized path must agree with its naive
+# reference, and the restart-warm engine pass must actually be served
+# from the disk store.  A bench run that "succeeds" below these floors
+# is a perf regression, so fail loudly.
+echo "== regression gate"
+gate_status=0
+
+vm_speedup=$(sed -n 's/^ *"speedup": \([0-9.]*\),*$/\1/p' BENCH_vm.json | head -1)
+vm_match=$(sed -n 's/^ *"verdicts_match": \(true\|false\).*/\1/p' BENCH_vm.json | head -1)
+if [ -z "$vm_speedup" ] || ! awk "BEGIN{exit !($vm_speedup >= 2.0)}"; then
+  echo "FAIL gate: vm speedup ${vm_speedup:-?}x < 2.0x"
+  gate_status=1
+else
+  echo "ok   gate: vm speedup ${vm_speedup}x >= 2.0x"
+fi
+if [ "$vm_match" != "true" ]; then
+  echo "FAIL gate: vm verdicts_match is ${vm_match:-missing}"
+  gate_status=1
+else
+  echo "ok   gate: vm verdicts match"
+fi
+
+eng_match=$(sed -n 's/^ *"verdicts_match": \(true\|false\).*/\1/p' BENCH_engine.json | head -1)
+eng_disk_hits=$(sed -n 's/.*"restart_warm": {.*"disk_hits": \([0-9]*\),.*/\1/p' BENCH_engine.json | head -1)
+if [ "$eng_match" != "true" ]; then
+  echo "FAIL gate: engine verdicts_match is ${eng_match:-missing}"
+  gate_status=1
+else
+  echo "ok   gate: engine verdicts match"
+fi
+if [ -z "$eng_disk_hits" ] || [ "$eng_disk_hits" -eq 0 ]; then
+  echo "FAIL gate: engine restart-warm pass had ${eng_disk_hits:-no} disk hits"
+  gate_status=1
+else
+  echo "ok   gate: engine restart-warm served $eng_disk_hits disk hits"
+fi
+
+exit $gate_status

@@ -103,6 +103,36 @@ else
   echo "ok   juliet --stats (unit cache: $hits hits)"
 fi
 
+echo "== disk cache smoke test"
+# Cross-process persistence: fresh processes sharing one --disk-cache
+# directory. The second process starts with empty in-memory LRUs, so it
+# must produce byte-identical verdicts *and* report nonzero disk hits in
+# --stats (every hit it gets can only have come back from the store).
+diskdir=$(mktemp -d)
+set +e
+disk1=$(dune exec bin/compdiff_cli.exe -- juliet --per-cwe 1 \
+  --disk-cache "$diskdir" 2>&1)
+dgot1=$?
+disk2=$(dune exec bin/compdiff_cli.exe -- juliet --per-cwe 1 \
+  --disk-cache "$diskdir" 2>&1)
+dgot2=$?
+disk3=$(dune exec bin/compdiff_cli.exe -- juliet --per-cwe 1 \
+  --disk-cache "$diskdir" --stats 2>&1)
+set -e
+rm -rf "$diskdir"
+dhits=$(printf '%s\n' "$disk3" \
+  | sed -n 's/^ *disk *\([0-9]*\) hits.*/\1/p')
+if [ "$dgot1" -ne "$dgot2" ] || [ "$disk1" != "$disk2" ]; then
+  echo "FAIL disk cache: restarted process disagrees (exit $dgot1 vs $dgot2)"
+  status=1
+elif [ -z "$dhits" ] || [ "$dhits" -eq 0 ]; then
+  echo "FAIL disk cache: expected nonzero disk hits in a restarted process"
+  printf '%s\n' "$disk3" | tail -8
+  status=1
+else
+  echo "ok   disk cache (verdicts identical across restart, $dhits disk hits)"
+fi
+
 echo "== metacheck smoke test"
 # The metamorphic meta-checker on the canonical eval-order seed (the
 # oracle diverges on argument evaluation order, every sanitizer is

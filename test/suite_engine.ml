@@ -152,6 +152,105 @@ let test_oracle_replay_hits_obs_store () =
     (after.Engine.Session.observations.Engine.Session.hits
     > before.Engine.Session.observations.Engine.Session.hits)
 
+(* --- the persistent disk cache --- *)
+
+let temp_dir () =
+  (* a unique, not-yet-existing directory name; Diskcache.create mkdirs *)
+  let f = Filename.temp_file "cdc_test" "" in
+  Sys.remove f;
+  f
+
+let read_whole path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_whole path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let rec disk_files dir =
+  List.concat_map
+    (fun name ->
+      let p = Filename.concat dir name in
+      if Sys.is_directory p then disk_files p else [ p ])
+    (Array.to_list (Sys.readdir dir))
+
+let test_diskcache_roundtrip () =
+  let dir = temp_dir () in
+  let d1 = Engine.Diskcache.create ~dir () in
+  Engine.Diskcache.put d1 ~kind:"t" "k1" (42, "hello");
+  (* a fresh handle over the same directory = a process restart *)
+  let d2 = Engine.Diskcache.create ~dir () in
+  check_bool "hit across restart" true
+    (Engine.Diskcache.get d2 ~kind:"t" "k1" = Some (42, "hello"));
+  check_bool "unknown key is a miss" true
+    ((Engine.Diskcache.get d2 ~kind:"t" "nope" : (int * string) option) = None);
+  check_bool "same key under another kind is a miss" true
+    ((Engine.Diskcache.get d2 ~kind:"u" "k1" : (int * string) option) = None);
+  let st = Engine.Diskcache.stats d2 in
+  check_int "one hit counted" 1 st.Engine.Diskcache.disk_hits;
+  check_int "two misses counted" 2 st.Engine.Diskcache.disk_misses
+
+let test_diskcache_corruption_is_miss () =
+  let dir = temp_dir () in
+  let d = Engine.Diskcache.create ~dir () in
+  Engine.Diskcache.put d ~kind:"t" "key" "payload-value";
+  let get () : string option = Engine.Diskcache.get d ~kind:"t" "key" in
+  check_bool "intact entry hits" true (get () = Some "payload-value");
+  let path =
+    match disk_files dir with
+    | [ p ] -> p
+    | l -> Alcotest.failf "expected one entry file, found %d" (List.length l)
+  in
+  let original = read_whole path in
+  (* a crashed writer can only leave a prefix (writes are tmp+rename,
+     but the guard must hold for any torn file): every truncation is a
+     miss, never a wrong hit *)
+  List.iter
+    (fun len ->
+      write_whole path (String.sub original 0 len);
+      check_bool (Printf.sprintf "truncated to %d bytes is a miss" len) true
+        (get () = None))
+    [ 0; 3; 11; String.length original - 1 ];
+  (* one flipped payload byte: the checksum rejects it *)
+  let b = Bytes.of_string original in
+  let last = Bytes.length b - 1 in
+  Bytes.set b last (Char.chr ((Char.code (Bytes.get b last) + 1) land 0xff));
+  write_whole path (Bytes.to_string b);
+  check_bool "corrupt payload is a miss" true (get () = None);
+  (* restoring the bytes restores the hit: the guard is the content *)
+  write_whole path original;
+  check_bool "restored entry hits again" true (get () = Some "payload-value")
+
+let test_session_disk_restart () =
+  let dir = temp_dir () in
+  let tp = frontend unstable_src in
+  let s1 = Engine.Session.create ~cache_mb:16 ~disk_dir:dir () in
+  let l1 = Engine.Session.link s1 (Engine.Session.compile s1 profile0 tp) in
+  let o1 = Engine.Session.run s1 l1 ~input:"A" ~fuel:100_000 in
+  (* fresh session, same directory: in-memory caches are cold but the
+     disk layer serves the compiled unit and the observation *)
+  let s2 = Engine.Session.create ~cache_mb:16 ~disk_dir:dir () in
+  let l2 = Engine.Session.link s2 (Engine.Session.compile s2 profile0 tp) in
+  let o2 = Engine.Session.run s2 l2 ~input:"A" ~fuel:100_000 in
+  check_bool "observation identical across restart" true (o1 = o2);
+  (match (Engine.Session.stats s2).Engine.Session.disk with
+  | None -> Alcotest.fail "expected disk stats"
+  | Some d ->
+    check_bool "nonzero disk hits after restart" true
+      (d.Engine.Session.disk_hits > 0));
+  (* the batched path agrees with the per-input path, duplicates included *)
+  let obs =
+    Engine.Session.run_batch s2 l2 ~inputs:[| "A"; "B"; "A" |] ~fuel:100_000
+  in
+  check_bool "batch equals per-input runs" true
+    (obs.(0) = o2
+    && obs.(2) = obs.(0)
+    && obs.(1) = Engine.Session.run s2 l2 ~input:"B" ~fuel:100_000)
+
 (* --- QCheck cross-validation properties --- *)
 
 (* same token soup the front-end fuzz and oracle suites use *)
@@ -233,6 +332,12 @@ let suites =
         tc "disabled = passthrough" test_disabled_session_is_passthrough;
         tc "oracles share compiles" test_oracle_shares_session_compiles;
         tc "oracle replay hits the store" test_oracle_replay_hits_obs_store;
+      ] );
+    ( "engine.diskcache",
+      [
+        tc "round trip across handles" test_diskcache_roundtrip;
+        tc "truncated/corrupt entries are misses" test_diskcache_corruption_is_miss;
+        tc "session restart warm via disk" test_session_disk_restart;
       ] );
     ( "engine.cross_validation",
       [

@@ -386,6 +386,48 @@ let test_linked_missing_main () =
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+let test_linked_unknown_builtin_deferred () =
+  (* linking a unit that calls an unresolvable builtin must succeed —
+     the fault is deferred to execution of the call site, exactly like
+     the reference interpreter (the frontend never emits one, so build
+     the unit directly) *)
+  let func name code =
+    {
+      Ir.name;
+      nparams = 0;
+      nregs = 1;
+      slots = [||];
+      code;
+      code_lines = Array.map (fun _ -> 1) code;
+    }
+  in
+  let unit_ funcs =
+    {
+      Ir.funcs;
+      globals = [];
+      runtime = gccx_O0.Policy.runtime;
+      impl_name = "test";
+    }
+  in
+  let bad_call = Ir.Ibuiltin (Some 0, "frobnicate", []) in
+  let ret0 = [| Ir.Iconst (0, Ir.ImmI 0L); Ir.Iret (Some (Ir.Reg 0)) |] in
+  (* unknown builtin in dead code: links, runs clean *)
+  let dead =
+    unit_ [ ("dead", func "dead" [| bad_call; Ir.Iret (Some (Ir.Reg 0)) |]);
+            ("main", func "main" ret0) ]
+  in
+  let img = Image.link dead in
+  check_bool "dead unknown builtin is inert" true
+    (triple (Exec.run_linked img) = triple (Exec.run dead));
+  (* unknown builtin actually reached: the deferred fault fires *)
+  let live =
+    unit_ [ ("main", func "main" [| bad_call; Ir.Iret (Some (Ir.Reg 0)) |]) ]
+  in
+  let img2 = Image.link live in
+  match Exec.run_linked img2 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
 let test_arena_wrong_image_rejected () =
   let compile src =
     match Minic.frontend_of_source src with
@@ -442,6 +484,39 @@ let prop_linked_matches_reference =
               [ ""; "A"; "zz" ])
           Profiles.all)
 
+let prop_run_batch_matches_run_linked =
+  QCheck.Test.make
+    ~name:"run_batch = map run_linked (shuffled order, arena reuse)" ~count:30
+    (QCheck.make QCheck.Gen.(pair gen_soup (int_bound 1000)))
+    (fun (soup, salt) ->
+      let src = "int main() { " ^ soup ^ " ; return 0; }" in
+      match Minic.frontend_of_source src with
+      | Error _ -> true
+      | Ok tp ->
+        List.for_all
+          (fun profile ->
+            let u = Pipeline.compile profile tp in
+            let img = Image.link u in
+            let arena = Arena.create img in
+            (* duplicated inputs in a salt-rotated order: batching must
+               be insensitive to both *)
+            let base = [| ""; "A"; "zz"; "A"; "\x00\x01" |] in
+            let n = Array.length base in
+            let inputs = Array.init n (fun i -> base.((i + salt) mod n)) in
+            let config = { Exec.default_config with Exec.fuel = 20_000 } in
+            let batch = Exec.run_batch ~config ~arena img ~inputs in
+            let seq =
+              Array.map
+                (fun input ->
+                  Exec.run_linked ~config:{ config with Exec.input } ~arena img)
+                inputs
+            in
+            (* and again on the same arena: reuse must not leak state *)
+            let batch2 = Exec.run_batch ~config ~arena img ~inputs in
+            Array.for_all2 (fun a b -> triple a = triple b) batch seq
+            && Array.for_all2 (fun a b -> triple a = triple b) batch batch2)
+          Profiles.all)
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let suites =
@@ -494,7 +569,9 @@ let suites =
         tc "hang at identical fuel" test_linked_hang_fuel;
         tc "output limit" test_linked_output_limit;
         tc "missing main" test_linked_missing_main;
+        tc "unknown builtin deferred fault" test_linked_unknown_builtin_deferred;
         tc "arena bound to its image" test_arena_wrong_image_rejected;
         QCheck_alcotest.to_alcotest prop_linked_matches_reference;
+        QCheck_alcotest.to_alcotest prop_run_batch_matches_run_linked;
       ] );
   ]
