@@ -1,0 +1,260 @@
+(* Serve-daemon benchmark (emits BENCH_serve.json).
+
+   Measures differential-check service throughput (requests/sec) through
+   a real daemon — Unix-domain socket, framing, scheduler — under 1, 4
+   and 8 concurrent clients, against the process-per-request baseline:
+   every request pays a fresh engine session and a fresh oracle (exactly
+   the compile work a cold [compdiff diff] invocation performs, minus
+   fork/exec — a conservative floor for the per-process cost).
+
+   The workload is a pool of distinct programs times a set of inputs;
+   every client walks the full pool, so concurrent clients ask about the
+   same programs and the daemon's two levers both engage: the warm
+   oracle table plus session caches turn repeat compiles into lookups,
+   and coalesce-on-pop merges same-key checks from different clients
+   into single batched oracle flights ([joined] > 0, batching ratio =
+   checks per flight > 1).
+
+   Soundness gate: every daemon verdict — every client, every trial — is
+   compared against the verdict the oracle produces directly for that
+   (program, input); any mismatch fails the bench.  Acceptance floor:
+   4-client throughput at least 3x the baseline. *)
+
+let json_escape = Overhead.json_escape
+
+(* Distinct programs: same shape, different constants, so each is its
+   own oracle key and compiles separately.  A mix of stable and unstable
+   behaviour (the `+ n` variant of the unguarded store shifts which
+   inputs go out of bounds). *)
+let program (k : int) : string =
+  Printf.sprintf
+    "int test_case(void) {\n\
+    \  int buf[8];\n\
+    \  int i;\n\
+    \  i = 0;\n\
+    \  while (i < 8) { buf[i] = i * %d; i = i + 1; }\n\
+    \  int x = getchar() - 48 + %d;\n\
+    \  if (x < 8) {\n\
+    \    buf[x] = %d;\n\
+    \    print(\"v %%d\\n\", buf[x < 0 ? 0 : x]);\n\
+    \  }\n\
+    \  print(\"sum %%d\\n\", buf[0] + buf[3] + buf[7] + x * %d);\n\
+    \  return 0;\n\
+     }\n\
+     int main(void) { test_case(); return 0; }\n"
+    (k + 1) (k mod 3) (41 + k) (13 + k)
+
+let n_programs = 4
+let inputs = [ ""; "0"; "5"; ":" ]
+
+(* (program index, input) work items, in a fixed order every client walks *)
+let workload : (int * string) list =
+  List.concat_map
+    (fun k -> List.map (fun i -> (k, i)) inputs)
+    (List.init n_programs (fun k -> k))
+
+let fuel = 200_000
+
+(* canonical verdict form, comparable across the proto and direct paths *)
+let canon_direct (v : Compdiff.Oracle.verdict) : string =
+  match v with
+  | Compdiff.Oracle.Agree o ->
+      Printf.sprintf "A|%s|%s"
+        (Cdvm.Trap.status_to_string o.Compdiff.Oracle.status)
+        o.Compdiff.Oracle.output
+  | Compdiff.Oracle.Diverge obs ->
+      "D|"
+      ^ String.concat "|"
+          (List.map
+             (fun (name, (o : Compdiff.Oracle.observation)) ->
+               Printf.sprintf "%s:%s:%s" name
+                 (Cdvm.Trap.status_to_string o.Compdiff.Oracle.status)
+                 o.Compdiff.Oracle.output)
+             obs)
+
+let canon_proto (v : Serve.Proto.verdict) : string =
+  match v with
+  | Serve.Proto.V_agree o ->
+      Printf.sprintf "A|%s|%s" o.Serve.Proto.ob_status o.Serve.Proto.ob_output
+  | Serve.Proto.V_diverge obs ->
+      "D|"
+      ^ String.concat "|"
+          (List.map
+             (fun (o : Serve.Proto.obs) ->
+               Printf.sprintf "%s:%s:%s" o.Serve.Proto.ob_impl
+                 o.Serve.Proto.ob_status o.Serve.Proto.ob_output)
+             obs)
+
+let trials = 3
+
+let time f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to trials do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (!best, Option.get !result)
+
+let run () =
+  let sources = Array.init n_programs program in
+  (* ground truth, computed directly (one warm session of its own) *)
+  let truth_session = Engine.Session.create ~cache_mb:128 () in
+  let truth = Hashtbl.create 32 in
+  Array.iteri
+    (fun k src ->
+      let tp =
+        match Minic.frontend_of_source src with
+        | Ok tp -> tp
+        | Error m -> failwith ("serve bench: bad program: " ^ m)
+      in
+      let o = Compdiff.Oracle.create ~session:truth_session ~fuel tp in
+      List.iter
+        (fun input ->
+          Hashtbl.replace truth (k, input)
+            (canon_direct (Compdiff.Oracle.check o ~input)))
+        inputs)
+    sources;
+  (* process-per-request baseline: fresh session + fresh oracle + one
+     check, per request (the cold-CLI cost floor) *)
+  let baseline_once () =
+    List.iter
+      (fun (k, input) ->
+        let s = Engine.Session.create ~cache_mb:128 () in
+        let tp =
+          match Minic.frontend_of_source sources.(k) with
+          | Ok tp -> tp
+          | Error m -> failwith m
+        in
+        let o = Compdiff.Oracle.create ~session:s ~fuel tp in
+        let v = canon_direct (Compdiff.Oracle.check o ~input) in
+        if v <> Hashtbl.find truth (k, input) then
+          failwith "serve bench: baseline verdict mismatch")
+      workload
+  in
+  ignore (baseline_once ());
+  let base_time, () = time baseline_once in
+  (* the daemon, served from a sibling thread in this process *)
+  let socket_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "compdiff-bench-%d.sock" (Unix.getpid ()))
+  in
+  let srv =
+    Serve.Server.create
+      {
+        Serve.Server.socket_path;
+        sched =
+          {
+            (Serve.Scheduler.default_config
+               ~session:(Engine.Session.create ~cache_mb:256 ())
+               ())
+            with
+            Serve.Scheduler.executors = 2;
+            quota = 64;
+          };
+        client_timeout = 0.;
+        idle_timeout = 0.;
+        quiet = true;
+      }
+  in
+  let server_thread = Thread.create Serve.Server.serve srv in
+  (* one scenario: [n] client threads, each walking the whole workload
+     synchronously; throughput = total requests / wall time *)
+  let mismatches = Atomic.make 0 in
+  let client_pass () =
+    let cl = Serve.Client.connect socket_path in
+    List.iter
+      (fun (k, input) ->
+        match
+          Serve.Client.check cl ~fuel ~source:sources.(k) ~inputs:[ input ] ()
+        with
+        | Ok [ v ] ->
+            if canon_proto v <> Hashtbl.find truth (k, input) then
+              Atomic.incr mismatches
+        | Ok _ | Error _ -> Atomic.incr mismatches)
+      workload;
+    Serve.Client.close cl
+  in
+  let scenario n =
+    let run_all () =
+      let ths = List.init n (fun _ -> Thread.create client_pass ()) in
+      List.iter Thread.join ths
+    in
+    let t, () = time run_all in
+    let requests = n * List.length workload in
+    (t, float_of_int requests /. t)
+  in
+  (* warmup: populate the daemon's caches so every scenario measures the
+     steady serving state, not first-compile *)
+  client_pass ();
+  let t1, rps1 = scenario 1 in
+  let t4, rps4 = scenario 4 in
+  let t8, rps8 = scenario 8 in
+  let sched = Serve.Scheduler.sched_stats (Serve.Server.sched srv) in
+  Serve.Server.stop srv;
+  Thread.join server_thread;
+  let base_rps = float_of_int (List.length workload) /. base_time in
+  let speedup = rps4 /. base_rps in
+  let batching_ratio =
+    float_of_int sched.Serve.Proto.sr_checks
+    /. float_of_int (max 1 sched.Serve.Proto.sr_flights)
+  in
+  let verdicts_match = Atomic.get mismatches = 0 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"serve\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"metric\": \"%s\",\n"
+       (json_escape
+          "requests/sec = differential checks served per second through the \
+           daemon socket; baseline = fresh session + fresh oracle per \
+           request (cold-CLI cost floor); speedup = 4-client daemon vs \
+           baseline"));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"programs\": %d,\n  \"inputs_per_program\": %d,\n"
+       n_programs (List.length inputs));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"baseline\": { \"seconds\": %.4f, \"requests_per_sec\": %.2f },\n"
+       base_time base_rps);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"clients_1\": { \"seconds\": %.4f, \"requests_per_sec\": %.2f, \
+        \"speedup\": %.2f },\n"
+       t1 rps1 (rps1 /. base_rps));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"clients_4\": { \"seconds\": %.4f, \"requests_per_sec\": %.2f, \
+        \"speedup\": %.2f },\n"
+       t4 rps4 speedup);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"clients_8\": { \"seconds\": %.4f, \"requests_per_sec\": %.2f, \
+        \"speedup\": %.2f },\n"
+       t8 rps8 (rps8 /. base_rps));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"scheduler\": { \"requests\": %d, \"flights\": %d, \"checks\": \
+        %d, \"joined\": %d, \"shed\": %d, \"warm_oracles\": %d },\n"
+       sched.Serve.Proto.sr_requests sched.Serve.Proto.sr_flights
+       sched.Serve.Proto.sr_checks sched.Serve.Proto.sr_joined
+       sched.Serve.Proto.sr_shed sched.Serve.Proto.sr_oracles);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"batching_ratio\": %.3f,\n" batching_ratio);
+  Buffer.add_string buf (Printf.sprintf "  \"speedup\": %.2f,\n" speedup);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup_target_met\": %b,\n" (speedup >= 3.0));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"verdicts_match\": %b\n" verdicts_match);
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_serve.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Printf.printf "wrote %s\n" path

@@ -109,6 +109,7 @@ type common = {
   co_profiles : Cdcompiler.Policy.profile list;
   co_session : Engine.Session.t;
   co_stats : bool;
+  co_stats_json : bool;       (* machine-readable stats (implies co_stats) *)
 }
 
 let common_term =
@@ -163,7 +164,16 @@ let common_term =
       & info [ "stats" ]
           ~doc:"Print oracle and engine-session cache statistics at the end.")
   in
-  let mk fuel jobs profiles cache_mb disk_cache stats =
+  let stats_json =
+    Arg.(
+      value & flag
+      & info [ "stats-json" ]
+          ~doc:
+            "Print the end-of-run statistics as JSON objects (one line for \
+             the oracle, one for the session) instead of text; implies \
+             $(b,--stats).")
+  in
+  let mk fuel jobs profiles cache_mb disk_cache stats stats_json =
     apply_jobs jobs;
     let co_profiles =
       match profiles with
@@ -176,21 +186,32 @@ let common_term =
       co_fuel = fuel;
       co_profiles;
       co_session = Engine.Session.create ~cache_mb ?disk_dir:disk_cache ();
-      co_stats = stats;
+      co_stats = stats || stats_json;
+      co_stats_json = stats_json;
     }
   in
-  Term.(const mk $ fuel $ jobs $ profiles $ cache_mb $ disk_cache $ stats)
+  Term.(
+    const mk $ fuel $ jobs $ profiles $ cache_mb $ disk_cache $ stats
+    $ stats_json)
 
 let print_session_stats (c : common) =
-  print_string
-    (Engine.Session.stats_to_string (Engine.Session.stats c.co_session))
+  if c.co_stats_json then
+    Printf.printf "%s\n"
+      (Engine.Session.stats_to_json (Engine.Session.stats c.co_session))
+  else
+    print_string
+      (Engine.Session.stats_to_string (Engine.Session.stats c.co_session))
 
-let print_oracle_stats (s : Compdiff.Oracle.stats) =
-  Printf.printf
-    "oracle: %d checks, %d observations requested, %d saved by dedup, %d \
-     saved by incremental escalation\n"
-    s.Compdiff.Oracle.checks s.Compdiff.Oracle.vm_execs
-    s.Compdiff.Oracle.dedup_saved s.Compdiff.Oracle.escalation_saved
+let print_oracle_stats ?c (s : Compdiff.Oracle.stats) =
+  match (c : common option) with
+  | Some c when c.co_stats_json ->
+      Printf.printf "%s\n" (Compdiff.Oracle.stats_to_json s)
+  | _ ->
+      Printf.printf
+        "oracle: %d checks, %d observations requested, %d saved by dedup, %d \
+         saved by incremental escalation\n"
+        s.Compdiff.Oracle.checks s.Compdiff.Oracle.vm_execs
+        s.Compdiff.Oracle.dedup_saved s.Compdiff.Oracle.escalation_saved
 
 (* --- compile --- *)
 
@@ -302,49 +323,123 @@ let vmcheck_cmd =
 
 (* --- diff --- *)
 
+(* The daemon's verdicts carry (impl, output, status-string) tuples; the
+   report below mirrors {!Compdiff.Oracle.report_to_string} exactly
+   (same grouping, same order) so daemon and direct runs print
+   byte-identical divergence reports. *)
+let proto_report_to_string ~(input : string) (obs : Serve.Proto.obs list) :
+    string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "=== CompDiff divergence report ===\n";
+  Buffer.add_string buf
+    (Printf.sprintf "input (%d bytes): %S\n" (String.length input) input);
+  let by_output = Hashtbl.create 8 in
+  List.iter
+    (fun (o : Serve.Proto.obs) ->
+      let key = (o.Serve.Proto.ob_output, o.Serve.Proto.ob_status) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_output key) in
+      Hashtbl.replace by_output key (o.Serve.Proto.ob_impl :: cur))
+    obs;
+  Hashtbl.iter
+    (fun (out, status) names ->
+      Buffer.add_string buf
+        (Printf.sprintf "--- %s (status %s):\n%s\n"
+           (String.concat ", " (List.rev names))
+           status out))
+    by_output;
+  Buffer.contents buf
+
+(* Print one daemon verdict in the exact format of the local [diff]
+   path; returns the matching exit code. *)
+let print_proto_verdict ~(input : string) ~(nimpls : int)
+    (v : Serve.Proto.verdict) : int =
+  match v with
+  | Serve.Proto.V_agree obs ->
+      Printf.printf "all %d implementations agree (%s)\n" nimpls
+        obs.Serve.Proto.ob_status;
+      print_string obs.Serve.Proto.ob_output;
+      0
+  | Serve.Proto.V_diverge obs ->
+      print_string (proto_report_to_string ~input obs);
+      1
+
+let daemon_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "daemon" ] ~docv:"SOCKET"
+        ~doc:
+          "Route the check through a running $(b,compdiff serve) daemon at \
+           this Unix-domain socket instead of compiling locally.")
+
 let diff_cmd =
   let strip_addr =
     Arg.(
       value & flag
       & info [ "strip-addresses" ] ~doc:"Normalize 0x... addresses before comparing.")
   in
-  let action file input input_file strip (c : common) =
+  let action file input input_file strip daemon (c : common) =
     let input = resolve_input input input_file in
-    let tp = frontend_of_file file in
-    let normalize =
-      if strip then Compdiff.Normalize.strip_hex_addresses
-      else Compdiff.Normalize.identity
-    in
-    let fuel = Option.value c.co_fuel ~default:200_000 in
-    let o =
-      Compdiff.Oracle.create ~session:c.co_session ~profiles:c.co_profiles
-        ~fuel ~normalize tp
-    in
-    let verdict = Compdiff.Oracle.check o ~input in
-    let code =
-      match verdict with
-      | Compdiff.Oracle.Agree obs ->
-        Printf.printf "all %d implementations agree (%s)\n"
-          (List.length (Compdiff.Oracle.names o))
-          (Cdvm.Trap.status_to_string obs.Compdiff.Oracle.status);
-        print_string obs.Compdiff.Oracle.output;
-        0
-      | Compdiff.Oracle.Diverge obs ->
-        print_string (Compdiff.Oracle.report_to_string ~input obs);
-        1
-    in
-    if c.co_stats then begin
-      print_oracle_stats (Compdiff.Oracle.stats o);
-      print_session_stats c
-    end;
-    code
+    match daemon with
+    | Some socket -> (
+        let source = read_file file in
+        let profiles =
+          List.map
+            (fun (p : Cdcompiler.Policy.profile) -> p.Cdcompiler.Policy.pname)
+            c.co_profiles
+        in
+        let cl = Serve.Client.connect socket in
+        let r =
+          Serve.Client.check cl ~profiles
+            ~fuel:(Option.value c.co_fuel ~default:0)
+            ~strip ~source ~inputs:[ input ] ()
+        in
+        Serve.Client.close cl;
+        match r with
+        | Ok [ v ] ->
+            print_proto_verdict ~input ~nimpls:(List.length c.co_profiles) v
+        | Ok _ ->
+            Printf.eprintf "daemon returned the wrong number of verdicts\n";
+            2
+        | Error m ->
+            Printf.eprintf "daemon error: %s\n" m;
+            2)
+    | None ->
+        let tp = frontend_of_file file in
+        let normalize =
+          if strip then Compdiff.Normalize.strip_hex_addresses
+          else Compdiff.Normalize.identity
+        in
+        let fuel = Option.value c.co_fuel ~default:200_000 in
+        let o =
+          Compdiff.Oracle.create ~session:c.co_session ~profiles:c.co_profiles
+            ~fuel ~normalize tp
+        in
+        let verdict = Compdiff.Oracle.check o ~input in
+        let code =
+          match verdict with
+          | Compdiff.Oracle.Agree obs ->
+            Printf.printf "all %d implementations agree (%s)\n"
+              (List.length (Compdiff.Oracle.names o))
+              (Cdvm.Trap.status_to_string obs.Compdiff.Oracle.status);
+            print_string obs.Compdiff.Oracle.output;
+            0
+          | Compdiff.Oracle.Diverge obs ->
+            print_string (Compdiff.Oracle.report_to_string ~input obs);
+            1
+        in
+        if c.co_stats then begin
+          print_oracle_stats ~c (Compdiff.Oracle.stats o);
+          print_session_stats c
+        end;
+        code
   in
   Cmd.v
     (Cmd.info "diff"
        ~doc:"Run one input through every implementation and compare outputs.")
     Term.(
       const action $ file_arg $ input_arg $ input_file_arg $ strip_addr
-      $ common_term)
+      $ daemon_arg $ common_term)
 
 (* --- trace --- *)
 
@@ -584,7 +679,7 @@ let reduce_cmd =
           (sum (fun s -> s.Compdiff.Reduce.input_before))
           (sum (fun s -> s.Compdiff.Reduce.input_after))
           (sum (fun s -> s.Compdiff.Reduce.checks));
-        print_oracle_stats (Compdiff.Oracle.stats oracle);
+        print_oracle_stats ~c (Compdiff.Oracle.stats oracle);
         print_session_stats c
       end;
       1
@@ -668,7 +763,7 @@ let fuzz_cmd =
       (Compdiff.Triage.report_buckets c.Fuzz.Compdiff_afl.diffs
          c.Fuzz.Compdiff_afl.oracle ~program:(ast_of_file file) ());
     if co.co_stats then begin
-      print_oracle_stats (Compdiff.Oracle.stats c.Fuzz.Compdiff_afl.oracle);
+      print_oracle_stats ~c:co (Compdiff.Oracle.stats c.Fuzz.Compdiff_afl.oracle);
       print_session_stats co
     end;
     if Compdiff.Triage.total_count c.Fuzz.Compdiff_afl.diffs > 0 then 1 else 0
@@ -707,7 +802,7 @@ let juliet_cmd =
           (100. *. r.Juliet.Eval.r_reduction))
       rows;
     if c.co_stats then begin
-      print_oracle_stats (Juliet.Eval.sum_oracle_stats evals);
+      print_oracle_stats ~c (Juliet.Eval.sum_oracle_stats evals);
       print_session_stats c
     end;
     0
@@ -1043,6 +1138,314 @@ let metacheck_cmd =
       const action $ file_opt $ inputs_arg $ per_cwe $ limit $ json
       $ common_term)
 
+(* --- serve / connect --- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let quota =
+    Arg.(
+      value & opt int 32
+      & info [ "quota" ] ~docv:"N"
+          ~doc:
+            "Max outstanding work requests per client; beyond it requests \
+             are answered $(b,busy) immediately (credit-based backpressure).")
+  in
+  let executors =
+    Arg.(
+      value & opt int 2
+      & info [ "executors" ] ~docv:"N"
+          ~doc:"Worker threads draining the request queue.")
+  in
+  let max_oracles =
+    Arg.(
+      value & opt int 32
+      & info [ "max-oracles" ] ~docv:"N"
+          ~doc:
+            "Warm compiled-oracle table bound (LRU-evicted beyond this).")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 0.
+      & info [ "idle-timeout" ] ~docv:"SEC"
+          ~doc:
+            "Exit once the daemon has had no clients and no work for this \
+             long (0 = run forever).")
+  in
+  let client_timeout =
+    Arg.(
+      value & opt float 0.
+      & info [ "client-timeout" ] ~docv:"SEC"
+          ~doc:
+            "Disconnect clients with no traffic (data or ping) for this \
+             long (0 = no limit).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress connection logging.")
+  in
+  let action socket quota executors max_oracles idle_timeout client_timeout
+      quiet (c : common) =
+    let cfg =
+      {
+        Serve.Server.socket_path = socket;
+        sched =
+          {
+            Serve.Scheduler.session = c.co_session;
+            quota;
+            executors;
+            max_oracles;
+            default_fuel = Option.value c.co_fuel ~default:200_000;
+            default_profiles = c.co_profiles;
+          };
+        client_timeout;
+        idle_timeout;
+        quiet;
+      }
+    in
+    let srv = Serve.Server.create cfg in
+    Serve.Server.serve srv;
+    if c.co_stats then begin
+      print_oracle_stats ~c
+        (Serve.Scheduler.oracle_stats (Serve.Server.sched srv));
+      print_session_stats c
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the differential oracle as a persistent daemon on a \
+          Unix-domain socket: concurrent clients share one warm engine \
+          session, same-program checks coalesce into batched flights, and \
+          per-client quotas shed overload.")
+    Term.(
+      const action $ socket_arg $ quota $ executors $ max_oracles
+      $ idle_timeout $ client_timeout $ quiet $ common_term)
+
+let connect_cmd =
+  let file_opt =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"MiniC source file (required except with --ping/--remote-stats).")
+  in
+  let ping =
+    Arg.(
+      value & flag
+      & info [ "ping" ] ~doc:"Just ping the daemon and report liveness.")
+  in
+  let remote_stats =
+    Arg.(
+      value & flag
+      & info [ "remote-stats" ]
+          ~doc:
+            "Print the daemon's live statistics (session caches, warm \
+             oracles, scheduler counters, per-client queues) as JSON.")
+  in
+  let strip_addr =
+    Arg.(
+      value & flag
+      & info [ "strip-addresses" ] ~doc:"Normalize 0x... addresses before comparing.")
+  in
+  let fuel =
+    Arg.(
+      value & opt int 0
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Execution fuel (0 = the daemon's default).")
+  in
+  let profiles =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profiles" ] ~docv:"P1,P2,..."
+          ~doc:"Comma-separated implementation set (default: the daemon's).")
+  in
+  let fuzz_execs =
+    Arg.(
+      value & opt int 0
+      & info [ "fuzz-execs" ] ~docv:"N"
+          ~doc:"Run a fuzzing campaign of N executions on the daemon.")
+  in
+  let metacheck =
+    Arg.(
+      value & flag
+      & info [ "metacheck" ]
+          ~doc:"Run a metamorphic meta-check of the file on the daemon.")
+  in
+  let reduce =
+    Arg.(
+      value & flag
+      & info [ "reduce" ]
+          ~doc:
+            "Check $(b,--input) and, if it diverges, reduce it on the \
+             daemon.")
+  in
+  let action socket file input input_file strip fuel profiles ping
+      remote_stats fuzz_execs metacheck reduce =
+    let input = resolve_input input input_file in
+    let profile_names =
+      match profiles with
+      | None -> []
+      | Some s -> List.filter (fun n -> n <> "") (String.split_on_char ',' s)
+    in
+    let cl = Serve.Client.connect socket in
+    let finally () = Serve.Client.close cl in
+    Fun.protect ~finally (fun () ->
+        if ping then
+          if Serve.Client.ping cl then begin
+            print_endline "pong";
+            0
+          end
+          else begin
+            Printf.eprintf "no pong\n";
+            2
+          end
+        else if remote_stats then (
+          match Serve.Client.stats cl with
+          | Some s ->
+              print_endline (Serve.Client.stats_to_json s);
+              0
+          | None ->
+              Printf.eprintf "stats request failed\n";
+              2)
+        else
+          let source =
+            match file with
+            | Some path -> read_file path
+            | None ->
+                Printf.eprintf "FILE required (or --ping/--remote-stats)\n";
+                exit 2
+          in
+          if fuzz_execs > 0 then (
+            match
+              Serve.Client.call cl
+                (Serve.Proto.Fuzz
+                   {
+                     Serve.Proto.fz_source = source;
+                     fz_execs = fuzz_execs;
+                     fz_seed = 1;
+                     fz_seeds = (if input = "" then [] else [ input ]);
+                     fz_profiles = profile_names;
+                     fz_fuel = fuel;
+                   })
+            with
+            | Serve.Proto.Fuzz_reply r ->
+                Printf.printf "%d execs, %d divergent, %d unique\n"
+                  r.Serve.Proto.fr_execs r.Serve.Proto.fr_divergent
+                  r.Serve.Proto.fr_unique;
+                List.iter
+                  (fun (_, report) -> print_string report)
+                  r.Serve.Proto.fr_reports;
+                if r.Serve.Proto.fr_unique > 0 then 1 else 0
+            | Serve.Proto.Err m ->
+                Printf.eprintf "daemon error: %s\n" m;
+                2
+            | Serve.Proto.Busy _ ->
+                Printf.eprintf "daemon busy\n";
+                2
+            | _ ->
+                Printf.eprintf "unexpected response\n";
+                2)
+          else if metacheck then (
+            match
+              Serve.Client.call cl
+                (Serve.Proto.Metacheck
+                   {
+                     Serve.Proto.mc_source = source;
+                     mc_inputs = (if input = "" then [] else [ input ]);
+                     mc_limit = 4;
+                     mc_profiles = profile_names;
+                     mc_fuel = fuel;
+                   })
+            with
+            | Serve.Proto.Metacheck_reply r ->
+                Printf.printf
+                  "preserving twins: %d\neliminating twins: %d\nretype \
+                   failures: %d\n"
+                  r.Serve.Proto.mr_preserving r.Serve.Proto.mr_eliminating
+                  r.Serve.Proto.mr_retype_failures;
+                List.iter
+                  (fun (tool, rule, what, detail) ->
+                    Printf.printf "%s %s %s: %s\n" tool rule what detail)
+                  r.Serve.Proto.mr_flags;
+                0
+            | Serve.Proto.Err m ->
+                Printf.eprintf "daemon error: %s\n" m;
+                2
+            | Serve.Proto.Busy _ ->
+                Printf.eprintf "daemon busy\n";
+                2
+            | _ ->
+                Printf.eprintf "unexpected response\n";
+                2)
+          else if reduce then (
+            match
+              Serve.Client.call cl
+                (Serve.Proto.Reduce
+                   {
+                     Serve.Proto.rd_source = source;
+                     rd_input = input;
+                     rd_max_checks = 2_000;
+                     rd_profiles = profile_names;
+                     rd_fuel = fuel;
+                   })
+            with
+            | Serve.Proto.Reduce_reply r ->
+                if not r.Serve.Proto.rr_found then begin
+                  Printf.printf "input does not diverge\n";
+                  0
+                end
+                else begin
+                  Printf.printf "reduced %d -> %d bytes in %d checks\n"
+                    (String.length r.Serve.Proto.rr_input)
+                    (String.length r.Serve.Proto.rr_reduced)
+                    r.Serve.Proto.rr_checks;
+                  print_string r.Serve.Proto.rr_report;
+                  1
+                end
+            | Serve.Proto.Err m ->
+                Printf.eprintf "daemon error: %s\n" m;
+                2
+            | Serve.Proto.Busy _ ->
+                Printf.eprintf "daemon busy\n";
+                2
+            | _ ->
+                Printf.eprintf "unexpected response\n";
+                2)
+          else
+            let nimpls =
+              match profile_names with
+              | [] -> List.length Cdcompiler.Profiles.all
+              | l -> List.length l
+            in
+            match
+              Serve.Client.check cl ~profiles:profile_names ~fuel ~strip
+                ~source ~inputs:[ input ] ()
+            with
+            | Ok [ v ] -> print_proto_verdict ~input ~nimpls v
+            | Ok _ ->
+                Printf.eprintf "daemon returned the wrong number of verdicts\n";
+                2
+            | Error m ->
+                Printf.eprintf "daemon error: %s\n" m;
+                2)
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:
+         "Send requests to a running $(b,compdiff serve) daemon: \
+          differential checks (default), fuzz campaigns, meta-checks, \
+          reductions, pings and live statistics.")
+    Term.(
+      const action $ socket_arg $ file_opt $ input_arg $ input_file_arg
+      $ strip_addr $ fuel $ profiles $ ping $ remote_stats $ fuzz_execs
+      $ metacheck $ reduce)
+
 (* --- profiles --- *)
 
 let profiles_cmd =
@@ -1068,6 +1471,6 @@ let main_cmd =
   let doc = "compiler-driven differential testing for MiniC programs" in
   Cmd.group
     (Cmd.info "compdiff" ~version:"1.0.0" ~doc)
-    [ compile_cmd; run_cmd; vmcheck_cmd; diff_cmd; trace_cmd; localize_cmd; reduce_cmd; fuzz_cmd; juliet_cmd; static_cmd; metacheck_cmd; projects_cmd; profiles_cmd ]
+    [ compile_cmd; run_cmd; vmcheck_cmd; diff_cmd; trace_cmd; localize_cmd; reduce_cmd; fuzz_cmd; juliet_cmd; static_cmd; metacheck_cmd; projects_cmd; serve_cmd; connect_cmd; profiles_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

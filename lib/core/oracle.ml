@@ -189,6 +189,12 @@ let reset_stats t =
   Atomic.set t.c_dedup_saved 0;
   Atomic.set t.c_escal_saved 0
 
+let stats_to_json (s : stats) : string =
+  Printf.sprintf
+    "{\"checks\": %d, \"vm_execs\": %d, \"dedup_saved\": %d, \
+     \"escalation_saved\": %d}"
+    s.checks s.vm_execs s.dedup_saved s.escalation_saved
+
 let run_one t ~fuel ~input (u : Ir.unit_) : observation =
   let r =
     Cdvm.Exec.run

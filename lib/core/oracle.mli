@@ -128,6 +128,10 @@ val classes : t -> int array
 val stats : t -> stats
 val reset_stats : t -> unit
 
+val stats_to_json : stats -> string
+(** The execution counters as one JSON object (the [--stats-json]
+    form, also embedded in serve-daemon stats responses). *)
+
 val checksum : t -> observation -> int32
 (** The MurmurHash3 checksum CompDiff compares (paper §3.2, "Output
     examination"). *)

@@ -23,28 +23,37 @@
    final name — and concurrent writers of the same key are idempotent
    (both write the same deterministic bytes).
 
-   Size cap: every [gc_every] stores, if the tree exceeds [cap_bytes],
-   entries are deleted oldest-mtime-first until 3/4 of the cap.  GC is
-   advisory (stat/unlink races with other processes are ignored). *)
+   Size cap: the store keeps a RUNNING byte/entry count — seeded by one
+   directory scan at [create], then updated on every store and every GC
+   deletion — so the steady-state store path is O(1): a store only
+   triggers GC when the running total actually exceeds [cap_bytes]
+   (the old scheme walked the whole tree every 64 stores).  When GC does
+   run, entries are deleted oldest-mtime-first until 3/4 of the cap and
+   the counters are re-seeded from the surviving files.  GC is advisory
+   (stat/unlink races with other processes are ignored), and so is the
+   running count: another process storing into the same directory is
+   only observed at the next GC rescan. *)
 
 type stats = {
   disk_hits : int;
   disk_misses : int;
   disk_stores : int;
+  disk_bytes : int;    (* running on-disk byte count (advisory) *)
+  disk_entries : int;  (* running entry count (advisory) *)
 }
 
 type t = {
   dir : string;
   cap_bytes : int;
   gc_mutex : Mutex.t;
-  mutable stores_since_gc : int;
+  bytes : int Atomic.t;    (* running totals: startup scan + store/evict *)
+  entries : int Atomic.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
   stores : int Atomic.t;
 }
 
 let magic = "CDC1"
-let gc_every = 64
 
 let rec mkdir_p path =
   if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
@@ -53,13 +62,34 @@ let rec mkdir_p path =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+let rec walk_files acc path =
+  match Sys.readdir path with
+  | exception Sys_error _ -> acc
+  | names ->
+      Array.fold_left
+        (fun acc name ->
+          let p = Filename.concat path name in
+          match Unix.lstat p with
+          | exception Unix.Unix_error (_, _, _) -> acc
+          | st -> (
+              match st.Unix.st_kind with
+              | Unix.S_DIR -> walk_files acc p
+              | Unix.S_REG -> (st.Unix.st_mtime, st.Unix.st_size, p) :: acc
+              | _ -> acc))
+        acc names
+
 let create ~dir ?(cap_mb = 512) () : t =
   mkdir_p dir;
+  (* the only full-tree scan on the store path: seed the running
+     byte/entry count from whatever a previous process left behind *)
+  let existing = walk_files [] dir in
+  let bytes = List.fold_left (fun a (_, sz, _) -> a + sz) 0 existing in
   {
     dir;
     cap_bytes = max 1 cap_mb * 1024 * 1024;
     gc_mutex = Mutex.create ();
-    stores_since_gc = 0;
+    bytes = Atomic.make bytes;
+    entries = Atomic.make (List.length existing);
     hits = Atomic.make 0;
     misses = Atomic.make 0;
     stores = Atomic.make 0;
@@ -138,38 +168,30 @@ let get (type v) (t : t) ~(kind : string) (key : string) : v option =
 
 (* --- garbage collection --- *)
 
-let rec walk_files acc path =
-  match Sys.readdir path with
-  | exception Sys_error _ -> acc
-  | names ->
-      Array.fold_left
-        (fun acc name ->
-          let p = Filename.concat path name in
-          match Unix.lstat p with
-          | exception Unix.Unix_error (_, _, _) -> acc
-          | st -> (
-              match st.Unix.st_kind with
-              | Unix.S_DIR -> walk_files acc p
-              | Unix.S_REG -> (st.Unix.st_mtime, st.Unix.st_size, p) :: acc
-              | _ -> acc))
-        acc names
-
+(* Runs only when the running byte count exceeds the cap; the scan here
+   re-measures ground truth (and re-seeds the running counters), so any
+   drift the advisory count accumulated — concurrent writer processes,
+   lost unlink races — is corrected every GC. *)
 let gc t =
   let files = walk_files [] t.dir in
   let total = List.fold_left (fun a (_, sz, _) -> a + sz) 0 files in
+  let kept_bytes = ref total and kept_entries = ref (List.length files) in
   if total > t.cap_bytes then begin
     let target = t.cap_bytes * 3 / 4 in
     let oldest_first = List.sort compare files in
-    ignore
-      (List.fold_left
-         (fun remaining (_, sz, p) ->
-           if remaining > target then begin
-             (try Sys.remove p with Sys_error _ -> ());
-             remaining - sz
-           end
-           else remaining)
-         total oldest_first)
-  end
+    List.iter
+      (fun (_, sz, p) ->
+        if !kept_bytes > target then begin
+          (try
+             Sys.remove p;
+             kept_bytes := !kept_bytes - sz;
+             decr kept_entries
+           with Sys_error _ -> ())
+        end)
+      oldest_first
+  end;
+  Atomic.set t.bytes !kept_bytes;
+  Atomic.set t.entries !kept_entries
 
 (* --- write --- *)
 
@@ -190,20 +212,31 @@ let put (t : t) ~(kind : string) (key : string) (value : 'a) : unit =
          output_bytes oc (u32_to_bytes (String.length payload));
          output_bytes oc (u32_to_bytes (Cdutil.Murmur3.hash payload));
          output_string oc payload);
+     (* a re-store of an existing key overwrites the same deterministic
+        bytes: only a genuinely new file grows the running count *)
+     let fresh = not (Sys.file_exists path) in
      Sys.rename tmp path;
-     Atomic.incr t.stores
+     Atomic.incr t.stores;
+     if fresh then begin
+       ignore (Atomic.fetch_and_add t.bytes (12 + String.length payload));
+       Atomic.incr t.entries
+     end
    with Sys_error _ | Unix.Unix_error (_, _, _) ->
      (try Sys.remove tmp with Sys_error _ -> ()));
-  Mutex.lock t.gc_mutex;
-  t.stores_since_gc <- t.stores_since_gc + 1;
-  let do_gc = t.stores_since_gc >= gc_every in
-  if do_gc then t.stores_since_gc <- 0;
-  Mutex.unlock t.gc_mutex;
-  if do_gc then gc t
+  (* O(1) steady state: the cap check is one atomic read; the full-tree
+     scan only happens inside [gc], i.e. when the cap is actually hit *)
+  if Atomic.get t.bytes > t.cap_bytes then begin
+    Mutex.lock t.gc_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.gc_mutex)
+      (fun () -> if Atomic.get t.bytes > t.cap_bytes then gc t)
+  end
 
 let stats t =
   {
     disk_hits = Atomic.get t.hits;
     disk_misses = Atomic.get t.misses;
     disk_stores = Atomic.get t.stores;
+    disk_bytes = Atomic.get t.bytes;
+    disk_entries = Atomic.get t.entries;
   }

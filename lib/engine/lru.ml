@@ -1,13 +1,19 @@
 (* A mutex-protected, byte-bounded cache with least-recently-used
    eviction.
 
-   The map and its counters live behind one mutex; values are computed
-   OUTSIDE the lock ([find_or_compute] releases it around the thunk), so
-   a slow compile or VM run never serializes unrelated lookups.  The
-   price is a benign race: two domains missing on the same key both
-   compute, and the second insert is dropped in favour of the first —
-   wasted work, never an inconsistency (all cached artefacts are
-   deterministic functions of their key).
+   The map lives behind one mutex; values are computed OUTSIDE the lock
+   ([find_or_compute] releases it around the thunk), so a slow compile
+   or VM run never serializes unrelated lookups.  The price is a benign
+   race: two domains missing on the same key both compute, and the
+   second insert is dropped in favour of the first — wasted work, never
+   an inconsistency (all cached artefacts are deterministic functions of
+   their key).
+
+   The hit/miss/eviction counters are [Atomic.t], not plain ints under
+   the mutex: the serve daemon reads them from its stats endpoint while
+   every executor thread is mutating them, and an atomic read needs no
+   lock — telemetry never contends with (or miscounts under) concurrent
+   lookups.
 
    Weights are caller-provided byte estimates.  When an insert pushes
    the total past [budget_bytes], entries are evicted in
@@ -35,9 +41,9 @@ type ('k, 'v) t = {
   budget_bytes : int;
   mutable clock : int;
   mutable bytes : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
 }
 
 let create ~budget_bytes =
@@ -47,9 +53,9 @@ let create ~budget_bytes =
     budget_bytes = max 0 budget_bytes;
     clock = 0;
     bytes = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
   }
 
 let locked t f =
@@ -74,7 +80,7 @@ let evict_to t target =
         if t.bytes > target then begin
           Hashtbl.remove t.table k;
           t.bytes <- t.bytes - w;
-          t.evictions <- t.evictions + 1
+          Atomic.incr t.evictions
         end)
       oldest_first
   end
@@ -92,10 +98,10 @@ let find_opt t key =
       match Hashtbl.find_opt t.table key with
       | Some e ->
           e.stamp <- tick t;
-          t.hits <- t.hits + 1;
+          Atomic.incr t.hits;
           Some e.value
       | None ->
-          t.misses <- t.misses + 1;
+          Atomic.incr t.misses;
           None)
 
 (* [put t key value ~weight]: insert a value computed elsewhere (batch
@@ -114,20 +120,21 @@ let find_or_compute t key ~weight compute =
       v
 
 let stats t =
-  locked t (fun () ->
-      {
-        hits = t.hits;
-        misses = t.misses;
-        evictions = t.evictions;
-        entries = Hashtbl.length t.table;
-        bytes = t.bytes;
-      })
+  let entries, bytes =
+    locked t (fun () -> (Hashtbl.length t.table, t.bytes))
+  in
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    evictions = Atomic.get t.evictions;
+    entries;
+    bytes;
+  }
 
 let reset_stats t =
-  locked t (fun () ->
-      t.hits <- 0;
-      t.misses <- 0;
-      t.evictions <- 0)
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0;
+  Atomic.set t.evictions 0
 
 let clear t =
   locked t (fun () ->

@@ -53,6 +53,8 @@ type disk_stats = Diskcache.stats = {
   disk_hits : int;
   disk_misses : int;
   disk_stores : int;
+  disk_bytes : int;
+  disk_entries : int;
 }
 
 type stats = {
@@ -500,8 +502,10 @@ let stats_to_string (s : stats) : string =
       match s.disk with
       | None -> ""
       | Some d ->
-          Printf.sprintf "  %-12s %7d hits %7d misses %6d stores\n" "disk"
-            d.disk_hits d.disk_misses d.disk_stores
+          Printf.sprintf
+            "  %-12s %7d hits %7d misses %6d stores %6d entries %8.1f KiB\n"
+            "disk" d.disk_hits d.disk_misses d.disk_stores d.disk_entries
+            (float_of_int d.disk_bytes /. 1024.)
     in
     Printf.sprintf
       "engine session caches (budget %d MiB):\n%s%s%s%s  key time: %d keys \
@@ -510,3 +514,30 @@ let stats_to_string (s : stats) : string =
       (line "units" s.units) (line "images" s.images)
       (line "observations" s.observations)
       disk_line s.key_calls s.key_seconds
+
+(* machine-readable stats: one self-contained JSON object, so fleet
+   tooling (and the serve daemon's stats endpoint) can scrape a session
+   without parsing the human table above *)
+let cache_to_json (c : cache_stats) : string =
+  Printf.sprintf
+    "{\"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f, \"evictions\": %d, \
+     \"entries\": %d, \"bytes\": %d}"
+    c.hits c.misses (hit_rate c) c.evictions c.entries c.bytes
+
+let stats_to_json (s : stats) : string =
+  let disk =
+    match s.disk with
+    | None -> "null"
+    | Some d ->
+        Printf.sprintf
+          "{\"hits\": %d, \"misses\": %d, \"stores\": %d, \"bytes\": %d, \
+           \"entries\": %d}"
+          d.disk_hits d.disk_misses d.disk_stores d.disk_bytes d.disk_entries
+  in
+  Printf.sprintf
+    "{\"caching\": %b, \"budget_bytes\": %d, \"units\": %s, \"images\": %s, \
+     \"observations\": %s, \"disk\": %s, \"key_calls\": %d, \
+     \"key_seconds\": %.6f}"
+    s.caching s.budget_bytes (cache_to_json s.units) (cache_to_json s.images)
+    (cache_to_json s.observations)
+    disk s.key_calls s.key_seconds

@@ -47,6 +47,8 @@ type disk_stats = Diskcache.stats = {
   disk_hits : int;
   disk_misses : int;
   disk_stores : int;
+  disk_bytes : int;  (** running on-disk byte count (advisory) *)
+  disk_entries : int;  (** running on-disk entry count (advisory) *)
 }
 
 type stats = {
@@ -122,3 +124,7 @@ val reset_stats : t -> unit
 
 val hit_rate : cache_stats -> float
 val stats_to_string : stats -> string
+
+val stats_to_json : stats -> string
+(** The same stats block as one JSON object (the [--stats-json] form,
+    also embedded in the serve daemon's stats responses). *)

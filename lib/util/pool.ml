@@ -106,6 +106,14 @@ let global () =
   Mutex.unlock global_lock;
   t
 
+(* queued-but-unclaimed helper tasks: a utilization signal for the serve
+   daemon's stats endpoint (0 means the pool is keeping up) *)
+let pending t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
 let set_default_jobs n =
   let n = max 1 n in
   Atomic.set forced_jobs (Some n);

@@ -33,6 +33,14 @@ val create : ?jobs:int -> unit -> t
 val jobs : t -> int
 (** Parallelism of the pool, including the submitting domain. *)
 
+val global : unit -> t
+(** The shared global pool {!map}/{!run} default to (created on first
+    use, shut down at exit). *)
+
+val pending : t -> int
+(** Number of queued helper tasks not yet claimed by a worker — a
+    utilization signal for telemetry ([0] = the pool is keeping up). *)
+
 val shutdown : t -> unit
 (** Signal the workers to stop and join them.  Idempotent.  A pool keeps
     working after [shutdown] — batches then run entirely on the calling

@@ -4,10 +4,11 @@
 # ratios (BENCH_oracle.json), raw executor throughput of the
 # tree-walking reference vs the linked-image executor with persistent
 # arenas (BENCH_vm.json), and metamorphic twin-analysis throughput
-# batched vs naive (BENCH_metacheck.json). All JSONs land in the repo
-# root.
+# batched vs naive (BENCH_metacheck.json), and serve-daemon request
+# throughput under concurrent clients vs the process-per-request
+# baseline (BENCH_serve.json). All JSONs land in the repo root.
 #
-#   scripts/bench.sh            # oracle + vm + engine + metacheck benches
+#   scripts/bench.sh            # oracle + vm + engine + serve + metacheck
 #   scripts/bench.sh all        # every bench section (tables + figures)
 #
 # The JSONs report execs/sec, the dedup/escalation savings, the
@@ -25,8 +26,8 @@ if [ "${1:-oracle}" = "all" ]; then
   echo "== full bench suite"
   dune exec bench/main.exe
 else
-  echo "== oracle + vm + engine + metacheck benches (write BENCH_*.json)"
-  dune exec bench/main.exe -- oracle vm engine metacheck
+  echo "== oracle + vm + engine + serve + metacheck benches (write BENCH_*.json)"
+  dune exec bench/main.exe -- oracle vm engine serve metacheck
 fi
 
 echo "== BENCH_oracle.json"
@@ -35,6 +36,8 @@ echo "== BENCH_vm.json"
 cat BENCH_vm.json
 echo "== BENCH_engine.json"
 cat BENCH_engine.json
+echo "== BENCH_serve.json"
+cat BENCH_serve.json
 echo "== BENCH_metacheck.json"
 cat BENCH_metacheck.json
 
@@ -74,6 +77,22 @@ if [ -z "$eng_disk_hits" ] || [ "$eng_disk_hits" -eq 0 ]; then
   gate_status=1
 else
   echo "ok   gate: engine restart-warm served $eng_disk_hits disk hits"
+fi
+
+serve_target=$(sed -n 's/^ *"speedup_target_met": \(true\|false\).*/\1/p' BENCH_serve.json | head -1)
+serve_match=$(sed -n 's/^ *"verdicts_match": \(true\|false\).*/\1/p' BENCH_serve.json | head -1)
+serve_speedup=$(sed -n 's/^ *"speedup": \([0-9.]*\),*$/\1/p' BENCH_serve.json | head -1)
+if [ "$serve_target" != "true" ]; then
+  echo "FAIL gate: serve 4-client speedup ${serve_speedup:-?}x < 3.0x over process-per-request"
+  gate_status=1
+else
+  echo "ok   gate: serve 4-client speedup ${serve_speedup}x >= 3.0x"
+fi
+if [ "$serve_match" != "true" ]; then
+  echo "FAIL gate: serve verdicts_match is ${serve_match:-missing}"
+  gate_status=1
+else
+  echo "ok   gate: serve daemon verdicts match the direct oracle"
 fi
 
 exit $gate_status

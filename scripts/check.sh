@@ -216,4 +216,71 @@ else
 fi
 rm -f "$red" "$red.orig"
 
+echo "== serve daemon smoke test"
+# A daemon on a Unix socket must serve concurrent clients verdicts that
+# are byte-identical to the direct (in-process) diff path, then exit on
+# its own via the idle timeout, removing its socket.  The daemon and
+# its clients run the built binary directly: `dune exec` holds the
+# build-directory lock for the program's whole lifetime, which would
+# serialize the concurrent clients behind the daemon.
+BIN=_build/default/bin/compdiff_cli.exe
+sock="$(mktemp -u -t compdiff_check_XXXXXX).sock"
+"$BIN" serve --socket "$sock" --idle-timeout 10 --quiet &
+serve_pid=$!
+i=0
+while [ ! -S "$sock" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+if [ ! -S "$sock" ]; then
+  echo "FAIL serve: daemon socket never appeared"
+  status=1
+else
+  set +e
+  "$BIN" connect --socket "$sock" --ping > /dev/null 2>&1
+  pinged=$?
+  set -e
+  if [ "$pinged" -ne 0 ]; then
+    echo "FAIL serve: ping failed"
+    status=1
+  fi
+  # two clients at once, each asserting daemon == direct per example
+  serve_client() {
+    for f in examples/*.c; do
+      [ -e "$f" ] || continue
+      set +e
+      direct=$("$BIN" diff "$f" 2>&1)
+      dgot=$?
+      viad=$("$BIN" diff "$f" --daemon "$sock" 2>&1)
+      vgot=$?
+      set -e
+      if [ "$dgot" -ne "$vgot" ] || [ "$direct" != "$viad" ]; then
+        echo "FAIL serve[$1] $f: daemon and direct disagree (exit $dgot vs $vgot)"
+        return 1
+      fi
+    done
+  }
+  client_status=0
+  serve_client A & ca=$!
+  serve_client B & cb=$!
+  wait $ca || client_status=1
+  wait $cb || client_status=1
+  if [ "$client_status" -ne 0 ]; then
+    status=1
+  else
+    echo "ok   serve (2 concurrent clients, daemon == direct on every example)"
+  fi
+fi
+# with no clients left, the idle timeout must shut the daemon down
+set +e
+wait $serve_pid
+served=$?
+set -e
+if [ "$served" -ne 0 ]; then
+  echo "FAIL serve: daemon exited $served"
+  status=1
+elif [ -e "$sock" ]; then
+  echo "FAIL serve: socket file left behind after idle shutdown"
+  status=1
+else
+  echo "ok   serve (idle timeout shutdown, socket removed)"
+fi
+
 exit $status

@@ -225,6 +225,75 @@ let test_diskcache_corruption_is_miss () =
   write_whole path original;
   check_bool "restored entry hits again" true (get () = Some "payload-value")
 
+let test_diskcache_running_counters () =
+  let dir = temp_dir () in
+  let d1 = Engine.Diskcache.create ~dir () in
+  List.iter
+    (fun k -> Engine.Diskcache.put d1 ~kind:"t" k ("value-" ^ k))
+    [ "a"; "b"; "c" ];
+  let on_disk () =
+    let files = disk_files dir in
+    ( List.length files,
+      List.fold_left (fun a p -> a + (Unix.stat p).Unix.st_size) 0 files )
+  in
+  let entries, bytes = on_disk () in
+  let st = Engine.Diskcache.stats d1 in
+  check_int "entry count tracks fresh puts" entries
+    st.Engine.Diskcache.disk_entries;
+  check_int "byte count tracks fresh puts" bytes st.Engine.Diskcache.disk_bytes;
+  (* overwriting an existing key must not inflate the running totals *)
+  Engine.Diskcache.put d1 ~kind:"t" "b" "value-b";
+  let st = Engine.Diskcache.stats d1 in
+  check_int "overwrite leaves entry count" entries
+    st.Engine.Diskcache.disk_entries;
+  check_int "overwrite leaves byte count" bytes st.Engine.Diskcache.disk_bytes;
+  check_int "but is still a store" 4 st.Engine.Diskcache.disk_stores;
+  (* a fresh handle re-seeds the same totals from the startup scan *)
+  let st2 = Engine.Diskcache.stats (Engine.Diskcache.create ~dir ()) in
+  check_int "restart seeds entry count" entries
+    st2.Engine.Diskcache.disk_entries;
+  check_int "restart seeds byte count" bytes st2.Engine.Diskcache.disk_bytes
+
+let test_diskcache_gc_honors_cap () =
+  let dir = temp_dir () in
+  let cap_bytes = 1024 * 1024 in
+  let d = Engine.Diskcache.create ~dir ~cap_mb:1 () in
+  (* ~300KB per entry: the 4th put crosses the 1MB cap and must trigger
+     GC down to the 3/4 target without any explicit maintenance call *)
+  let total = 6 in
+  for k = 1 to total do
+    Engine.Diskcache.put d ~kind:"big" (string_of_int k)
+      (String.make 300_000 (Char.chr (64 + k)))
+  done;
+  let st = Engine.Diskcache.stats d in
+  check_bool "byte count back under the cap" true
+    (st.Engine.Diskcache.disk_bytes <= cap_bytes);
+  check_bool "entries were evicted" true
+    (st.Engine.Diskcache.disk_entries < total);
+  check_bool "some entries survive" true
+    (st.Engine.Diskcache.disk_entries > 0);
+  (* the re-seeded counters agree with what is actually on disk *)
+  let files = disk_files dir in
+  check_int "entry count re-seeded from disk" (List.length files)
+    st.Engine.Diskcache.disk_entries;
+  check_int "byte count re-seeded from disk"
+    (List.fold_left (fun a p -> a + (Unix.stat p).Unix.st_size) 0 files)
+    st.Engine.Diskcache.disk_bytes;
+  (* surviving entries still read back intact *)
+  let readable = ref 0 in
+  for k = 1 to total do
+    match
+      (Engine.Diskcache.get d ~kind:"big" (string_of_int k) : string option)
+    with
+    | Some v ->
+      check_bool "surviving entry intact" true
+        (v = String.make 300_000 (Char.chr (64 + k)));
+      incr readable
+    | None -> ()
+  done;
+  check_int "readable entries = counted entries" !readable
+    st.Engine.Diskcache.disk_entries
+
 let test_session_disk_restart () =
   let dir = temp_dir () in
   let tp = frontend unstable_src in
@@ -337,6 +406,8 @@ let suites =
       [
         tc "round trip across handles" test_diskcache_roundtrip;
         tc "truncated/corrupt entries are misses" test_diskcache_corruption_is_miss;
+        tc "running byte/entry counters" test_diskcache_running_counters;
+        tc "GC honors the size cap" test_diskcache_gc_honors_cap;
         tc "session restart warm via disk" test_session_disk_restart;
       ] );
     ( "engine.cross_validation",
