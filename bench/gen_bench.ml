@@ -1,0 +1,94 @@
+(* Labeled-corpus generator benchmark (emits BENCH_gen.json).
+
+   Two measurements:
+
+   - generator throughput: programs/sec through the full emission path
+     (effect-typed generation, pretty-printing, re-parse + typecheck of
+     the emitted source) — the floor is 500/s, far above what a fuzzing
+     campaign consumes;
+   - corpus quality on a fixed sweep: pair count, clean-twin divergence
+     count (any nonzero disproves the generator's soundness argument),
+     the oracle's measured FN rate on the injected twins, and
+     naive-vs-session verdict equality on a sample (the deduped/pooled
+     oracle must be observationally identical to the sequential one).
+
+   Throughput is the best of a few trials (wall clock is one-sided
+   noisy); quality is deterministic given the seed range. *)
+
+let trials = 3
+
+let time f =
+  let best = ref infinity in
+  for _ = 1 to trials do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let run () =
+  (* throughput: generate + print + re-elaborate [n] programs *)
+  let n = 300 in
+  let emit seed =
+    let src =
+      Minic.Pretty.program_to_string (Gen.Effgen.generate ~seed).Gen.Effgen.prog
+    in
+    match Minic.frontend_of_source src with
+    | Ok _ -> ()
+    | Error m -> failwith (Printf.sprintf "gen bench: seed %d: %s" seed m)
+  in
+  ignore (emit 0) (* warmup: touch the heap once *);
+  let dt =
+    time (fun () ->
+        for seed = 0 to n - 1 do
+          emit seed
+        done)
+  in
+  let per_sec = float_of_int n /. dt in
+  (* corpus quality on a fixed sweep *)
+  let sweep = 50 in
+  let session = Engine.Session.create ~cache_mb:64 () in
+  let results =
+    List.init sweep (fun seed -> Gen.Corpus.make ~seed ())
+  in
+  let pairs = List.filter_map Result.to_option results in
+  let gen_failures = sweep - List.length pairs in
+  let evals = Gen.Corpus.evaluate ~session pairs in
+  let report = Gen.Corpus.report ~gen_failures evals in
+  let fn_rate = Gen.Corpus.oracle_fn_rate report in
+  let verdicts_match =
+    List.for_all
+      (fun p -> Gen.Corpus.naive_agrees ~session p)
+      (List.filteri (fun i _ -> i < 10) pairs)
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"programs\": %d,\n" n;
+  Printf.bprintf buf "  \"per_sec\": %.1f,\n" per_sec;
+  Printf.bprintf buf "  \"per_sec_target_met\": %b,\n" (per_sec >= 500.);
+  Printf.bprintf buf "  \"pairs\": %d,\n" (List.length pairs);
+  Printf.bprintf buf "  \"gen_failures\": %d,\n" gen_failures;
+  Printf.bprintf buf "  \"clean_divergences\": %d,\n"
+    report.Gen.Corpus.clean_divergences;
+  Printf.bprintf buf "  \"oracle_fn_rate\": %.4f,\n" fn_rate;
+  Printf.bprintf buf "  \"verdicts_match\": %b\n" verdicts_match;
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_gen.json" in
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf
+    "Labeled-corpus generator bench:\n\
+    \  emission throughput: %.0f programs/s (floor 500)\n\
+    \  corpus: %d pairs, %d generation failures, %d clean-twin divergences\n\
+    \  oracle FN rate: %.4f\n\
+    \  naive/session verdicts match: %b\n\
+     wrote %s\n\n"
+    per_sec (List.length pairs) gen_failures
+    report.Gen.Corpus.clean_divergences fn_rate verdicts_match path;
+  if report.Gen.Corpus.clean_divergences > 0 then
+    failwith "gen bench: a clean twin diverged (generator soundness)";
+  if not verdicts_match then
+    failwith "gen bench: session and naive oracle verdicts differ"

@@ -811,6 +811,136 @@ let juliet_cmd =
     (Cmd.info "juliet" ~doc:"Evaluate tools on the generated benchmark suite.")
     Term.(const action $ per_cwe $ common_term)
 
+(* --- gen: labeled clean/injected corpus --- *)
+
+let gen_cmd =
+  let count =
+    Arg.(
+      value & opt int 20
+      & info [ "count"; "n" ] ~docv:"N"
+          ~doc:"Number of clean/injected program pairs to generate.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Base generator seed; pair $(i,i) uses seed S+$(i,i).")
+  in
+  let cls_arg =
+    let cls_conv =
+      Arg.enum
+        (List.map (fun k -> (Gen.Inject.class_name k, k)) Gen.Inject.all_classes)
+    in
+    Arg.(
+      value
+      & opt (some cls_conv) None
+      & info [ "class" ] ~docv:"CLASS"
+          ~doc:
+            "Inject only this defect class (default: cycle through all \
+             five). One of $(b,signed-overflow), $(b,uninit-read), \
+             $(b,oob-index), $(b,ptr-compare), $(b,div-by-zero).")
+  in
+  let report_flag =
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:
+            "Sweep every pair through the oracle, the sanitizer models and \
+             the static tools, and print the measured per-tool TP/FP/FN \
+             table against the injector's ground truth.")
+  in
+  let out_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Write each pair's sources ($(b,clean_S.c), $(b,inj_S.c)) and a \
+             ground-truth $(b,labels.tsv) (seed, class, defect line) into \
+             DIR.")
+  in
+  let fuzz_execs =
+    Arg.(
+      value & opt int 0
+      & info [ "fuzz" ] ~docv:"M"
+          ~doc:
+            "Additionally run an M-execution CompDiff-AFL++ campaign on \
+             each injected twin, seeded with the pair's structured inputs, \
+             and report how many campaigns reach the planted divergence \
+             (0 disables).")
+  in
+  let action count seed cls report_flag out fuzz_execs (c : common) =
+    let results =
+      List.init (max 0 count) (fun i -> Gen.Corpus.make ?cls ~seed:(seed + i) ())
+    in
+    let pairs = List.filter_map Result.to_option results in
+    let failures =
+      List.filter_map (function Error m -> Some m | Ok _ -> None) results
+    in
+    List.iter (fun m -> Printf.eprintf "generation failure: %s\n" m) failures;
+    Printf.printf "generated %d/%d labeled pairs (base seed %d)\n%!"
+      (List.length pairs) count seed;
+    (match out with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let labels = Buffer.create 256 in
+      Buffer.add_string labels "seed\tclass\tline\tclean\tinjected\n";
+      List.iter
+        (fun (p : Gen.Corpus.pair) ->
+          let write name contents =
+            let oc = open_out (Filename.concat dir name) in
+            output_string oc contents;
+            close_out oc
+          in
+          let cn = Printf.sprintf "clean_%d.c" p.Gen.Corpus.seed in
+          let inn = Printf.sprintf "inj_%d.c" p.Gen.Corpus.seed in
+          write cn p.Gen.Corpus.clean_src;
+          write inn p.Gen.Corpus.inj_src;
+          Printf.bprintf labels "%d\t%s\t%d\t%s\t%s\n" p.Gen.Corpus.seed
+            (Gen.Inject.class_name p.Gen.Corpus.cls)
+            p.Gen.Corpus.line cn inn)
+        pairs;
+      let oc = open_out (Filename.concat dir "labels.tsv") in
+      Buffer.output_buffer oc labels;
+      close_out oc;
+      Printf.printf "wrote sources and labels.tsv to %s\n%!" dir);
+    let clean_divergences =
+      if report_flag then begin
+        let evals =
+          Gen.Corpus.evaluate ~session:c.co_session
+            ~jobs:(Cdutil.Pool.default_jobs ()) ?fuel:c.co_fuel pairs
+        in
+        let r = Gen.Corpus.report ~gen_failures:(List.length failures) evals in
+        print_string (Gen.Corpus.report_to_string r);
+        r.Gen.Corpus.clean_divergences
+      end
+      else 0
+    in
+    if fuzz_execs > 0 then begin
+      let found =
+        List.length
+          (List.filter
+             (Gen.Corpus.fuzz_divergence ~max_execs:fuzz_execs)
+             pairs)
+      in
+      Printf.printf
+        "fuzz: %d/%d campaigns reached the planted divergence (%d execs \
+         each)\n%!"
+        found (List.length pairs) fuzz_execs
+    end;
+    if c.co_stats then print_session_stats c;
+    if failures <> [] || clean_divergences > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a labeled corpus of UB-free/injected program pairs and \
+          score every tool against the ground truth.")
+    Term.(
+      const action $ count $ seed $ cls_arg $ report_flag $ out_dir
+      $ fuzz_execs $ common_term)
+
 (* --- projects --- *)
 
 let projects_cmd =
@@ -1471,6 +1601,6 @@ let main_cmd =
   let doc = "compiler-driven differential testing for MiniC programs" in
   Cmd.group
     (Cmd.info "compdiff" ~version:"1.0.0" ~doc)
-    [ compile_cmd; run_cmd; vmcheck_cmd; diff_cmd; trace_cmd; localize_cmd; reduce_cmd; fuzz_cmd; juliet_cmd; static_cmd; metacheck_cmd; projects_cmd; serve_cmd; connect_cmd; profiles_cmd ]
+    [ compile_cmd; run_cmd; vmcheck_cmd; diff_cmd; gen_cmd; trace_cmd; localize_cmd; reduce_cmd; fuzz_cmd; juliet_cmd; static_cmd; metacheck_cmd; projects_cmd; serve_cmd; connect_cmd; profiles_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -65,10 +65,14 @@ type state = {
   mutable execs : int;
   mutable crashes : crash list;
   mutable san_reports : (string * string) list;
-  mutable crash_signatures : (string, unit) Hashtbl.t;
+  (* crash and sanitizer dedup are separate namespaces: a trap string
+     and a sanitizer message that happen to collide (e.g. both render
+     as "divide-by-zero") must not suppress each other's first report *)
+  mutable crash_sigs : (string, unit) Hashtbl.t;
+  mutable san_sigs : (string, unit) Hashtbl.t;
 }
 
-let execute st (input : string) : Cdvm.Exec.result * bool =
+let execute st (input : string) : Cdvm.Exec.result * int =
   Cdvm.Coverage.reset st.cov;
   let r =
     Cdvm.Exec.run_linked
@@ -83,22 +87,22 @@ let execute st (input : string) : Cdvm.Exec.result * bool =
       ~arena:st.arena st.image
   in
   st.execs <- st.execs + 1;
-  let novel = Cdvm.Coverage.merge_into ~virgin:st.virgin st.cov in
-  (r, novel)
+  let novelty = Cdvm.Coverage.merge_count ~virgin:st.virgin st.cov in
+  (r, novelty)
 
-let process st (input : string) (r : Cdvm.Exec.result) ~(novel : bool) =
+let process st (input : string) (r : Cdvm.Exec.result) ~(novelty : int) =
   (match r.Cdvm.Exec.status with
   | Cdvm.Trap.Trap t ->
     let sig_ = Cdvm.Trap.to_string t in
-    if not (Hashtbl.mem st.crash_signatures sig_) then begin
-      Hashtbl.add st.crash_signatures sig_ ();
+    if not (Hashtbl.mem st.crash_sigs sig_) then begin
+      Hashtbl.add st.crash_sigs sig_ ();
       st.crashes <-
         { crash_input = input; crash_status = r.Cdvm.Exec.status; at_exec = st.execs }
         :: st.crashes
     end
   | Cdvm.Trap.San_report msg ->
-    if not (Hashtbl.mem st.crash_signatures msg) then begin
-      Hashtbl.add st.crash_signatures msg ();
+    if not (Hashtbl.mem st.san_sigs msg) then begin
+      Hashtbl.add st.san_sigs msg ();
       st.san_reports <- (input, msg) :: st.san_reports
     end
   | Cdvm.Trap.Exit _ | Cdvm.Trap.Hang -> ());
@@ -109,14 +113,14 @@ let process st (input : string) (r : Cdvm.Exec.result) ~(novel : bool) =
     | Some f -> f input = Interesting
     | None -> false
   in
-  if novel || oracle_interest then
+  if novelty > 0 || oracle_interest then
     ignore
-      (Queue.add st.queue ~data:input ~fuel_used:r.Cdvm.Exec.fuel_used
-         ~found_at:st.execs)
+      (Queue.add st.queue ~novelty ~divergent:oracle_interest ~data:input
+         ~fuel_used:r.Cdvm.Exec.fuel_used ~found_at:st.execs)
 
 let consider st (input : string) =
-  let r, novel = execute st input in
-  process st input r ~novel
+  let r, novelty = execute st input in
+  process st input r ~novelty
 
 (* Run a pre-computed input list as ONE VM batch on the campaign arena
    (amortized reset), replaying the per-exec bookkeeping in order from
@@ -141,8 +145,8 @@ let consider_batch st (inputs : string array) =
       (Cdvm.Exec.run_batch ~config ~arena:st.arena
          ~on_each:(fun i r ->
            st.execs <- st.execs + 1;
-           let novel = Cdvm.Coverage.merge_into ~virgin:st.virgin st.cov in
-           process st inputs.(i) r ~novel;
+           let novelty = Cdvm.Coverage.merge_count ~virgin:st.virgin st.cov in
+           process st inputs.(i) r ~novelty;
            Cdvm.Coverage.reset st.cov)
          st.image ~inputs)
   end
@@ -165,7 +169,8 @@ let run ?(config = default_config) (target : Cdcompiler.Ir.unit_) : campaign =
       execs = 0;
       crashes = [];
       san_reports = [];
-      crash_signatures = Hashtbl.create 16;
+      crash_sigs = Hashtbl.create 16;
+      san_sigs = Hashtbl.create 16;
     }
   in
   (* seed the queue (one VM batch: the corpus is fixed up front) *)
@@ -201,7 +206,7 @@ let run ?(config = default_config) (target : Cdcompiler.Ir.unit_) : campaign =
   (* main loop *)
   while st.execs < config.max_execs do
     let seed = Queue.select st.queue in
-    let energy = Queue.energy seed in
+    let energy = Queue.energy st.queue seed in
     let budget = min energy (config.max_execs - st.execs) in
     for _ = 1 to budget do
       let input =

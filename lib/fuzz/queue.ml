@@ -1,14 +1,19 @@
 (* The seed queue.
 
-   Entries that exercised new coverage buckets enter the queue; selection
-   cycles round-robin with a mild power schedule favouring small, fast
-   seeds (AFL's favored heuristic, simplified). *)
+   Entries that exercised new coverage buckets (or triggered oracle
+   interest) enter the queue; selection cycles round-robin, and a
+   fitness-guided power schedule decides how many mutations each visit
+   spends on the seed. Fitness combines AFL's favored heuristic (small,
+   fast seeds) with coverage novelty, divergence feedback and an
+   exploration bonus for recent finds. *)
 
 type entry = {
   id : int;
   data : string;
   fuel_used : int;
-  found_at : int;           (* execution count when discovered *)
+  found_at : int;     (* execution count when discovered *)
+  novelty : int;      (* virgin-map positions this entry newly touched *)
+  divergent : bool;   (* the oracle declared the input interesting *)
 }
 
 type t = {
@@ -16,15 +21,24 @@ type t = {
   mutable n : int;
   mutable cursor : int;
   mutable next_id : int;
+  mutable latest_find : int; (* largest found_at over all entries *)
 }
 
-let create () = { entries = Array.make 16 { id = 0; data = ""; fuel_used = 0; found_at = 0 }; n = 0; cursor = 0; next_id = 0 }
+let dummy =
+  { id = 0; data = ""; fuel_used = 0; found_at = 0; novelty = 0;
+    divergent = false }
+
+let create () =
+  { entries = Array.make 16 dummy; n = 0; cursor = 0; next_id = 0;
+    latest_find = 0 }
 
 let length t = t.n
 
-let add t ~(data : string) ~(fuel_used : int) ~(found_at : int) : entry =
-  let e = { id = t.next_id; data; fuel_used; found_at } in
+let add ?(novelty = 0) ?(divergent = false) t ~(data : string)
+    ~(fuel_used : int) ~(found_at : int) : entry =
+  let e = { id = t.next_id; data; fuel_used; found_at; novelty; divergent } in
   t.next_id <- t.next_id + 1;
+  if found_at > t.latest_find then t.latest_find <- found_at;
   if t.n = Array.length t.entries then begin
     let bigger = Array.make (2 * t.n) e in
     Array.blit t.entries 0 bigger 0 t.n;
@@ -65,12 +79,26 @@ let random_other t rng (not_id : int) : entry option =
     pick 4
   end
 
-(* energy: how many mutations a seed receives per visit. Small and fast
-   seeds get more. *)
-let energy (e : entry) : int =
-  let base = 24 in
+(* Energy: how many mutations a seed receives per visit.
+
+   - small, fast seeds get more (AFL's favored heuristic);
+   - seeds that opened many new coverage buckets get a novelty bonus
+     proportional to how much they discovered;
+   - seeds the differential oracle declared interesting get a divergence
+     bonus (mutating near a divergence finds neighbouring ones);
+   - seeds found in the recent half of the campaign's discoveries get an
+     exploration bonus, so late finds are exercised before the cycle
+     returns to the early corpus. *)
+let energy t (e : entry) : int =
+  let base = 16 in
   let size_bonus = if String.length e.data <= 16 then 8 else 0 in
   let speed_bonus = if e.fuel_used < 2_000 then 8 else 0 in
-  base + size_bonus + speed_bonus
+  let novelty_bonus = min 24 (4 * e.novelty) in
+  let divergence_bonus = if e.divergent then 16 else 0 in
+  let exploration_bonus =
+    if t.latest_find > 0 && 2 * e.found_at >= t.latest_find then 8 else 0
+  in
+  base + size_bonus + speed_bonus + novelty_bonus + divergence_bonus
+  + exploration_bonus
 
 let to_list t = Array.to_list (Array.sub t.entries 0 t.n)

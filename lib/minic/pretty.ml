@@ -42,26 +42,79 @@ let escape_string s =
     s;
   Buffer.contents buf
 
+(* Floats must re-lex: the lexer only accepts [-]digits.digits (no
+   exponent, no inf/nan), so %.17g output like "2.5e-05" would not
+   round-trip. Finite values that %.17g cannot render lexably fall back
+   to a full decimal expansion (exact for every double, then trailing
+   zeros are stripped); non-finite values print as constant expressions
+   with the same value. *)
+let float_is_lexable s =
+  let n = String.length s in
+  let ok = ref (n > 0) and dot = ref (-1) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '0' .. '9' -> ()
+      | '-' when i = 0 -> ()
+      | '.' when !dot < 0 -> dot := i
+      | _ -> ok := false)
+    s;
+  !ok && !dot > 0 && !dot < n - 1 && (s.[0] <> '-' || !dot > 1)
+
+let strip_float_zeros s =
+  let n = String.length s in
+  match String.index_opt s '.' with
+  | None -> s
+  | Some d ->
+    let e = ref (n - 1) in
+    while !e > d + 1 && s.[!e] = '0' do decr e done;
+    String.sub s 0 (!e + 1)
+
+let finite_float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.17g" f in
+    if float_is_lexable s then s
+    else strip_float_zeros (Printf.sprintf "%.1074f" f)
+
 (* [ctx] is the precedence of the surrounding operator; parentheses are
-   emitted when the child binds less tightly. *)
+   emitted when the child binds less tightly. Levels: 12 primary,
+   11 postfix (indexing), 10 prefix (unary operators, casts, negative
+   literals), 9..0 binary operators, assignment lowest. *)
 let rec pp_expr_prec ctx ppf e =
+  let prec_wrap p body =
+    if p < ctx then Format.fprintf ppf "(%t)" body else body ppf
+  in
   match e.e with
-  | EInt v -> Format.fprintf ppf "%Ld" v
-  | ELong v -> Format.fprintf ppf "%LdL" v
+  | EInt v ->
+    prec_wrap (if v < 0L then 10 else 12) (fun ppf -> Format.fprintf ppf "%Ld" v)
+  | ELong v ->
+    prec_wrap (if v < 0L then 10 else 12) (fun ppf -> Format.fprintf ppf "%LdL" v)
   | EFloat f ->
-    if Float.is_integer f && Float.abs f < 1e15 then Format.fprintf ppf "%.1f" f
-    else Format.fprintf ppf "%.17g" f
+    if Float.is_nan f then
+      Format.pp_print_string ppf "(0.0 / 0.0)"
+    else if f = Float.infinity then Format.pp_print_string ppf "(1.0 / 0.0)"
+    else if f = Float.neg_infinity then
+      Format.pp_print_string ppf "(-1.0 / 0.0)"
+    else
+      prec_wrap
+        (if Float.sign_bit f then 10 else 12)
+        (fun ppf -> Format.pp_print_string ppf (finite_float_repr f))
   | EStr s -> Format.fprintf ppf "\"%s\"" (escape_string s)
   | EVar v -> Format.pp_print_string ppf v
   | ELine -> Format.pp_print_string ppf "__LINE__"
-  | EUnop (op, a) -> Format.fprintf ppf "%s%a" (unop_str op) (pp_expr_prec 10) a
+  | EUnop (Neg, a) when starts_with_minus a ->
+    (* "-" before an operand that renders with a leading "-" would lex
+       as the "--" token: force parentheses *)
+    prec_wrap 10 (fun ppf -> Format.fprintf ppf "-(%a)" (pp_expr_prec 0) a)
+  | EUnop (op, a) ->
+    prec_wrap 10 (fun ppf ->
+        Format.fprintf ppf "%s%a" (unop_str op) (pp_expr_prec 10) a)
   | EBinop (op, a, b) ->
     let p = prec_of_binop op in
-    let body ppf () =
-      Format.fprintf ppf "%a %s %a" (pp_expr_prec p) a (binop_str op)
-        (pp_expr_prec (p + 1)) b
-    in
-    if p < ctx then Format.fprintf ppf "(%a)" body () else body ppf ()
+    prec_wrap p (fun ppf ->
+        Format.fprintf ppf "%a %s %a" (pp_expr_prec p) a (binop_str op)
+          (pp_expr_prec (p + 1)) b)
   | ECall (f, args) ->
     Format.fprintf ppf "%s(%a)" f
       (Format.pp_print_list
@@ -69,18 +122,33 @@ let rec pp_expr_prec ctx ppf e =
          (pp_expr_prec 0))
       args
   | EIndex (a, i) ->
-    Format.fprintf ppf "%a[%a]" (pp_expr_prec 10) a (pp_expr_prec 0) i
-  | EDeref a -> Format.fprintf ppf "*%a" (pp_expr_prec 10) a
-  | EAddr a -> Format.fprintf ppf "&%a" (pp_expr_prec 10) a
+    (* postfix binds tighter than prefix: the base must render at
+       postfix level, or indexing a dereference would print as
+       "*p[i]", which re-parses with the index under the star *)
+    prec_wrap 11 (fun ppf ->
+        Format.fprintf ppf "%a[%a]" (pp_expr_prec 11) a (pp_expr_prec 0) i)
+  | EDeref a ->
+    prec_wrap 10 (fun ppf -> Format.fprintf ppf "*%a" (pp_expr_prec 10) a)
+  | EAddr a ->
+    prec_wrap 10 (fun ppf -> Format.fprintf ppf "&%a" (pp_expr_prec 10) a)
   | EAssign (l, r) ->
-    let body ppf () =
+    let body ppf =
       Format.fprintf ppf "%a = %a" (pp_expr_prec 10) l (pp_expr_prec 0) r
     in
-    if ctx > 0 then Format.fprintf ppf "(%a)" body () else body ppf ()
-  | ECast (t, a) -> Format.fprintf ppf "(%a) %a" pp_typ t (pp_expr_prec 10) a
+    if ctx > 0 then Format.fprintf ppf "(%t)" body else body ppf
+  | ECast (t, a) ->
+    prec_wrap 10 (fun ppf ->
+        Format.fprintf ppf "(%a) %a" pp_typ t (pp_expr_prec 10) a)
   | ECond (c, t, f) ->
     Format.fprintf ppf "(%a ? %a : %a)" (pp_expr_prec 1) c (pp_expr_prec 0) t
       (pp_expr_prec 0) f
+
+and starts_with_minus e =
+  match e.e with
+  | EUnop (Neg, _) -> true
+  | EInt v | ELong v -> v < 0L
+  | EFloat f -> f = Float.neg_infinity || (not (Float.is_nan f)) && Float.sign_bit f
+  | _ -> false
 
 let pp_expr ppf e = pp_expr_prec 0 ppf e
 

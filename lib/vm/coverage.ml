@@ -38,21 +38,24 @@ let bucket = function
   | n when n < 128 -> 64
   | _ -> 128
 
-(* fold the classified map into [virgin]; returns [true] if any new bucket
-   bit was seen (i.e. the input increased coverage) *)
-let merge_into ~virgin t =
-  let novel = ref false in
+(* fold the classified map into [virgin]; returns the number of map
+   positions that contributed a new bucket bit — the input's coverage
+   novelty (0 means it reached nothing new) *)
+let merge_count ~virgin t =
+  let novel = ref 0 in
   for i = 0 to size - 1 do
     let b = bucket (Char.code (Bytes.get t.map i)) in
     if b <> 0 then begin
       let seen = Char.code (Bytes.get virgin i) in
       if b land lnot seen <> 0 then begin
-        novel := true;
+        incr novel;
         Bytes.set virgin i (Char.chr (seen lor b))
       end
     end
   done;
   !novel
+
+let merge_into ~virgin t = merge_count ~virgin t > 0
 
 let count_nonzero t =
   let n = ref 0 in

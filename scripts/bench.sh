@@ -26,8 +26,8 @@ if [ "${1:-oracle}" = "all" ]; then
   echo "== full bench suite"
   dune exec bench/main.exe
 else
-  echo "== oracle + vm + engine + serve + metacheck benches (write BENCH_*.json)"
-  dune exec bench/main.exe -- oracle vm engine serve metacheck
+  echo "== oracle + vm + engine + serve + metacheck + gen benches (write BENCH_*.json)"
+  dune exec bench/main.exe -- oracle vm engine serve metacheck gen
 fi
 
 echo "== BENCH_oracle.json"
@@ -40,6 +40,8 @@ echo "== BENCH_serve.json"
 cat BENCH_serve.json
 echo "== BENCH_metacheck.json"
 cat BENCH_metacheck.json
+echo "== BENCH_gen.json"
+cat BENCH_gen.json
 
 # Regression gate: the linked-image executor must stay at least 2x the
 # tree-walking reference, every optimized path must agree with its naive
@@ -93,6 +95,40 @@ if [ "$serve_match" != "true" ]; then
   gate_status=1
 else
   echo "ok   gate: serve daemon verdicts match the direct oracle"
+fi
+
+# Generator gates: emission throughput (generate + print + re-typecheck)
+# must clear 500 programs/sec, no clean twin may diverge (the soundness
+# argument), the measured oracle FN rate must be reported, and the
+# session oracle must agree with the sequential naive one on the corpus.
+gen_target=$(sed -n 's/^ *"per_sec_target_met": \(true\|false\).*/\1/p' BENCH_gen.json | head -1)
+gen_per_sec=$(sed -n 's/^ *"per_sec": \([0-9.]*\),*$/\1/p' BENCH_gen.json | head -1)
+gen_clean=$(sed -n 's/^ *"clean_divergences": \([0-9]*\),*$/\1/p' BENCH_gen.json | head -1)
+gen_fn=$(sed -n 's/^ *"oracle_fn_rate": \([0-9.]*\),*$/\1/p' BENCH_gen.json | head -1)
+gen_match=$(sed -n 's/^ *"verdicts_match": \(true\|false\).*/\1/p' BENCH_gen.json | head -1)
+if [ "$gen_target" != "true" ]; then
+  echo "FAIL gate: generator throughput ${gen_per_sec:-?}/s < 500/s"
+  gate_status=1
+else
+  echo "ok   gate: generator throughput ${gen_per_sec}/s >= 500/s"
+fi
+if [ -z "$gen_clean" ] || [ "$gen_clean" -ne 0 ]; then
+  echo "FAIL gate: ${gen_clean:-?} clean-twin divergences (soundness)"
+  gate_status=1
+else
+  echo "ok   gate: 0 clean-twin divergences"
+fi
+if [ -z "$gen_fn" ]; then
+  echo "FAIL gate: oracle FN rate missing from BENCH_gen.json"
+  gate_status=1
+else
+  echo "ok   gate: oracle FN rate reported ($gen_fn)"
+fi
+if [ "$gen_match" != "true" ]; then
+  echo "FAIL gate: gen naive/session verdicts_match is ${gen_match:-missing}"
+  gate_status=1
+else
+  echo "ok   gate: gen naive/session oracle verdicts match"
 fi
 
 exit $gate_status

@@ -216,6 +216,33 @@ else
 fi
 rm -f "$red" "$red.orig"
 
+echo "== labeled-corpus generator smoke test"
+# 50 generated clean/injected pairs swept through every tool: all 50
+# must survive print -> parse -> typecheck (the generator emits source),
+# and no clean twin may diverge under the oracle -- a clean-twin
+# divergence disproves the generator's UB-freedom argument.
+set +e
+gen_out=$(dune exec bin/compdiff_cli.exe -- gen --count 50 --report 2>&1)
+got=$?
+set -e
+gen_fail=$(printf '%s\n' "$gen_out" \
+  | sed -n 's/.*typecheck failures: \([0-9]*\)).*/\1/p' | head -1)
+gen_clean=$(printf '%s\n' "$gen_out" \
+  | sed -n 's/^clean-twin divergences: \([0-9]*\)$/\1/p' | head -1)
+if [ "$got" -ne 0 ]; then
+  echo "FAIL gen: exited $got"
+  printf '%s\n' "$gen_out" | tail -5
+  status=1
+elif [ "${gen_fail:-1}" -ne 0 ]; then
+  echo "FAIL gen: ${gen_fail:-?} typecheck failures (expected 0)"
+  status=1
+elif [ "${gen_clean:-1}" -ne 0 ]; then
+  echo "FAIL gen: ${gen_clean:-?} clean-twin divergences (expected 0)"
+  status=1
+else
+  echo "ok   gen (50 pairs, 0 typecheck failures, 0 clean-twin divergences)"
+fi
+
 echo "== serve daemon smoke test"
 # A daemon on a Unix socket must serve concurrent clients verdicts that
 # are byte-identical to the direct (in-process) diff path, then exit on

@@ -116,10 +116,38 @@ let queue_props =
   ]
 
 let test_queue_energy () =
-  let small = { Fuzz.Queue.id = 0; data = "ab"; fuel_used = 100; found_at = 0 } in
-  let large = { Fuzz.Queue.id = 1; data = String.make 1000 'x'; fuel_used = 50_000; found_at = 0 } in
+  let q = Fuzz.Queue.create () in
+  let small = Fuzz.Queue.add q ~data:"ab" ~fuel_used:100 ~found_at:0 in
+  let large =
+    Fuzz.Queue.add q ~data:(String.make 1000 'x') ~fuel_used:50_000 ~found_at:0
+  in
   check_bool "small fast seeds get more energy" true
-    (Fuzz.Queue.energy small > Fuzz.Queue.energy large)
+    (Fuzz.Queue.energy q small > Fuzz.Queue.energy q large)
+
+(* the fitness schedule: coverage novelty and oracle divergence add
+   energy on top of the favored heuristic *)
+let test_queue_energy_fitness () =
+  let q = Fuzz.Queue.create () in
+  let plain = Fuzz.Queue.add q ~data:"a" ~fuel_used:100 ~found_at:0 in
+  let novel =
+    Fuzz.Queue.add q ~novelty:6 ~data:"b" ~fuel_used:100 ~found_at:0
+  in
+  let divergent =
+    Fuzz.Queue.add q ~divergent:true ~data:"c" ~fuel_used:100 ~found_at:0
+  in
+  check_bool "novelty earns energy" true
+    (Fuzz.Queue.energy q novel > Fuzz.Queue.energy q plain);
+  check_bool "divergence earns energy" true
+    (Fuzz.Queue.energy q divergent > Fuzz.Queue.energy q plain)
+
+(* found_at is live (the satellite bugfix): a seed found late in the
+   campaign outranks an otherwise-identical early one *)
+let test_queue_energy_exploration () =
+  let q = Fuzz.Queue.create () in
+  let early = Fuzz.Queue.add q ~data:"a" ~fuel_used:100 ~found_at:10 in
+  let late = Fuzz.Queue.add q ~data:"b" ~fuel_used:100 ~found_at:1_000 in
+  check_bool "late finds get exploration energy" true
+    (Fuzz.Queue.energy q late > Fuzz.Queue.energy q early)
 
 (* --- coverage-guided loop --- *)
 
@@ -226,6 +254,57 @@ let test_fuzzer_sanitizer_reports () =
   check_bool "ASan report found while fuzzing" true
     (List.length c.Fuzz.Fuzzer.san_reports >= 1)
 
+(* regression for the shared-dedup bug: crash signatures and sanitizer
+   messages used to go through one table, so a trap string and a
+   sanitizer message that collide (e.g. both "divide-by-zero")
+   suppressed each other's first report.  Feed the bookkeeping a trap
+   and a sanitizer report with the same signature: both must be kept. *)
+let test_dedup_tables_split () =
+  let u =
+    Cdcompiler.Pipeline.compile Cdcompiler.Profiles.fuzz_profile
+      (frontend "int main() { return 0; }")
+  in
+  let image = Cdvm.Image.link u in
+  let st =
+    {
+      Fuzz.Fuzzer.target = u;
+      image;
+      arena = Cdvm.Arena.create image;
+      cfg = Fuzz.Fuzzer.default_config;
+      rng = Cdutil.Rng.create 1;
+      cov = Cdvm.Coverage.create ();
+      virgin = Bytes.make Cdvm.Coverage.size '\000';
+      queue = Fuzz.Queue.create ();
+      execs = 2;
+      crashes = [];
+      san_reports = [];
+      crash_sigs = Hashtbl.create 4;
+      san_sigs = Hashtbl.create 4;
+    }
+  in
+  let result status =
+    { Cdvm.Exec.stdout = ""; status; fuel_used = 10 }
+  in
+  Fuzz.Fuzzer.process st "a"
+    (result (Cdvm.Trap.Trap Cdvm.Trap.Div_by_zero))
+    ~novelty:0;
+  Fuzz.Fuzzer.process st "b"
+    (result (Cdvm.Trap.San_report "divide-by-zero"))
+    ~novelty:0;
+  check_int "crash recorded" 1 (List.length st.Fuzz.Fuzzer.crashes);
+  check_int "sanitizer report recorded despite colliding signature" 1
+    (List.length st.Fuzz.Fuzzer.san_reports);
+  (* and each table still dedups within its own namespace *)
+  Fuzz.Fuzzer.process st "c"
+    (result (Cdvm.Trap.Trap Cdvm.Trap.Div_by_zero))
+    ~novelty:0;
+  Fuzz.Fuzzer.process st "d"
+    (result (Cdvm.Trap.San_report "divide-by-zero"))
+    ~novelty:0;
+  check_int "duplicate crash deduped" 1 (List.length st.Fuzz.Fuzzer.crashes);
+  check_int "duplicate sanitizer report deduped" 1
+    (List.length st.Fuzz.Fuzzer.san_reports)
+
 (* --- CompDiff-AFL++ --- *)
 
 let unstable_parser_src =
@@ -327,6 +406,8 @@ let suites =
         tc "growth keeps sweep front" test_queue_growth_no_drift;
         tc "sweep covers all" test_queue_sweep_covers_all;
         tc "energy" test_queue_energy;
+        tc "energy fitness" test_queue_energy_fitness;
+        tc "energy exploration" test_queue_energy_exploration;
       ]
       @ List.map QCheck_alcotest.to_alcotest queue_props );
     ( "fuzz.fuzzer",
@@ -337,6 +418,7 @@ let suites =
         tc "reproducible" test_fuzzer_reproducible;
         tc "finds crash" test_fuzzer_finds_crash;
         tc "sanitizer integration" test_fuzzer_sanitizer_reports;
+        tc "crash/sanitizer dedup tables split" test_dedup_tables_split;
       ] );
     ( "fuzz.compdiff_afl",
       [

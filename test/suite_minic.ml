@@ -197,6 +197,41 @@ let test_roundtrip_precedence_preserved () =
   in
   check_bool "parens kept" true (contains printed "(1 + 2) * 3")
 
+let test_pretty_prefix_postfix () =
+  (* regression: parentheses exactly where the grammar needs them.
+     "-" before an operand that renders with a leading "-" must be
+     separated (else the lexer sees "--"); a prefix operator under a
+     postfix index must be wrapped (else the index re-parses under the
+     prefix operator). *)
+  let open Builder in
+  let r expect e =
+    Alcotest.(check string) expect expect (Pretty.expr_to_string e)
+  in
+  r "-(-x)" (neg (neg (var "x")));
+  r "-(-5)" (neg (int (-5)));
+  r "(*p)[0]" (idx (deref (var "p")) (int 0));
+  r "*p[0]" (deref (idx (var "p") (int 0)));
+  r "((int*) p)[1]" (idx (cast Ast.(Tptr Tint) (var "p")) (int 1))
+
+let test_roundtrip_deref_index () =
+  (* the fixed forms survive the full front end, not just the parser *)
+  let src =
+    "int main() {\n\
+     \  int a[4];\n\
+     \  a[0] = 7;\n\
+     \  int *p = a;\n\
+     \  int **q = &p;\n\
+     \  int x = -(-a[0]);\n\
+     \  int y = (*q)[0];\n\
+     \  print(\"%d %d\\n\", x, y);\n\
+     \  return 0;\n\
+     }"
+  in
+  roundtrip src;
+  match Minic.frontend_of_source src with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "typecheck failed: %s" m
+
 (* --- typecheck --- *)
 
 let test_typecheck_ok_basics () =
@@ -349,9 +384,24 @@ let gen_small_expr_src =
   in
   go 3
 
+(* [QCheck.Gen] shadows the generator library's root module inside the
+   [open QCheck] scope below; alias what the property needs first *)
+module Effgen = Gen.Effgen
+
 let minic_props =
   let open QCheck in
   [
+    Test.make ~name:"generated programs print/parse/typecheck to a fixpoint"
+      ~count:40 (int_range 0 1_000_000) (fun seed ->
+        let p = (Effgen.generate ~seed).Effgen.prog in
+        let s1 = Pretty.program_to_string p in
+        match Minic.frontend_of_source s1 with
+        | Error _ -> false
+        | Ok tp1 -> (
+          let s2 = Pretty.tprogram_to_string tp1 in
+          match Minic.frontend_of_source s2 with
+          | Error _ -> false
+          | Ok tp2 -> Pretty.tprogram_to_string tp2 = s2));
     Test.make ~name:"random arithmetic expressions parse and typecheck" ~count:200
       (make gen_small_expr_src) (fun src ->
         let prog = Printf.sprintf "int main() { return %s; }" src in
@@ -400,6 +450,8 @@ let suites =
         tc "round trip simple" test_roundtrip_simple;
         tc "round trip rich" test_roundtrip_rich;
         tc "precedence preserved" test_roundtrip_precedence_preserved;
+        tc "prefix/postfix parenthesization" test_pretty_prefix_postfix;
+        tc "round trip deref/index" test_roundtrip_deref_index;
       ] );
     ( "minic.typecheck",
       [
