@@ -5,7 +5,8 @@
 
    Usage:  dune exec bench/main.exe [--jobs N] [section...]
    Sections: table2 table3 figure1 table4 table5 table6 figure2 overhead
-             oracle engine serve metacheck vm gen ablations (default: all). *)
+             oracle engine serve metacheck vm trace gen ablations
+             (default: all). *)
 
 let sections : (string * (unit -> unit)) list =
   [
@@ -22,6 +23,7 @@ let sections : (string * (unit -> unit)) list =
     ("serve", Serve_bench.run);
     ("metacheck", Metacheck_bench.run);
     ("vm", Vm_bench.run);
+    ("trace", Trace_bench.run);
     ("gen", Gen_bench.run);
     ("ablations", Ablations.run);
   ]

@@ -1,0 +1,217 @@
+(* Trace recorder benchmark (emits BENCH_trace.json): the cost of
+   observation at each level of the unified [Observer] interface, and
+   the payoff of snapshot-accelerated seeking in the trace store.
+
+   Three throughput rows over the BENCH_vm workload, all through the
+   linked executor:
+
+   - silent: the oracle's path, [Observer.silent] (the refactor's "no
+     observation costs nothing" claim -- bench.sh gates this against
+     BENCH_vm's linked execs/sec);
+   - prints: a per-print callback, the level classic localization uses;
+   - steps: full [Cdtrace] recording (every pc, register write, memory
+     write, call/return), the time-travel explorer's input.  The gate
+     is a <= 5x slowdown over silent.
+
+   Recording must never perturb execution: every recorded run's
+   [Exec.result] is compared byte-for-byte against the silent run's.
+
+   The seek row records one long trace (~1e5 steps) and times random
+   [seek]s with the periodic snapshots against [seek_slow]'s
+   replay-from-zero, reporting per-seek latency for both. *)
+
+let fuel = 100_000
+
+let workload () =
+  [ (Lazy.force Overhead.listing1_tp,
+     List.init 32 (fun i -> String.make 1 (Char.chr (33 + i))));
+    (Lazy.force Overhead.escalator_tp,
+     List.init 8 (fun i -> String.make 1 (Char.chr (40 + i))) @ [ "z"; "~" ]) ]
+
+let trials = 3
+
+let time ?(trials = trials) f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to trials do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    (match !result with
+    | Some prev when prev <> r -> failwith "trace bench: trial results differ"
+    | _ -> ());
+    result := Some r
+  done;
+  (!best, Option.get !result)
+
+let run () =
+  (* earlier bench sections leave idle pool domains behind, and every
+     one of them joins each stop-the-world minor collection -- which
+     taxes the allocation-heavy steps recorder ~4x.  This is a
+     single-domain measurement, so quiesce the pool first (it is
+     rebuilt lazily if a later section needs it). *)
+  Cdutil.Pool.quiesce ();
+  Gc.compact ();
+  let profile = Cdcompiler.Profiles.gccx "O0" in
+  let images =
+    List.map
+      (fun (tp, inputs) ->
+        (Cdvm.Image.link (Cdcompiler.Pipeline.compile profile tp), inputs))
+      (workload ())
+  in
+  let nexecs_round =
+    List.fold_left (fun a (_, inputs) -> a + List.length inputs) 0 images
+  in
+  let reps = 100 in
+  let total = reps * nexecs_round in
+  (* silent: default observer, pooled arena -- BENCH_vm's linked path *)
+  let arenas =
+    List.map (fun (img, inputs) -> (img, Cdvm.Arena.create img, inputs)) images
+  in
+  let sil_time, sil_results =
+    time (fun () ->
+        let last = ref [] in
+        for _ = 1 to reps do
+          last :=
+            List.concat_map
+              (fun (img, arena, inputs) ->
+                List.map
+                  (fun input ->
+                    let config =
+                      { Cdvm.Exec.default_config with Cdvm.Exec.input; fuel }
+                    in
+                    Cdvm.Exec.run_linked ~config ~arena img)
+                  inputs)
+              arenas
+        done;
+        !last)
+  in
+  (* prints: one callback per executed print statement *)
+  let printed = ref 0 in
+  let prints_obs = Cdvm.Observer.prints (fun ~fn:_ _ -> incr printed) in
+  let pr_time, pr_results =
+    time (fun () ->
+        let last = ref [] in
+        for _ = 1 to reps do
+          last :=
+            List.concat_map
+              (fun (img, arena, inputs) ->
+                List.map
+                  (fun input ->
+                    let config =
+                      {
+                        Cdvm.Exec.default_config with
+                        Cdvm.Exec.input;
+                        fuel;
+                        observer = prints_obs;
+                      }
+                    in
+                    Cdvm.Exec.run_linked ~config ~arena img)
+                  inputs)
+              arenas
+        done;
+        !last)
+  in
+  (* steps: a full Cdtrace recording per execution (fresh memory: the
+     recorder mirrors the run, so no arena on this path) *)
+  let st_time, st_results =
+    time (fun () ->
+        let last = ref [] in
+        for _ = 1 to reps do
+          last :=
+            List.concat_map
+              (fun (img, inputs) ->
+                List.map
+                  (fun input ->
+                    let _tr, r = Cdtrace.record ~fuel img ~impl:"bench" ~input in
+                    r)
+                  inputs)
+              images
+        done;
+        !last)
+  in
+  let replay_match = sil_results = pr_results && sil_results = st_results in
+  let sil_eps = float_of_int total /. sil_time in
+  let pr_eps = float_of_int total /. pr_time in
+  let st_eps = float_of_int total /. st_time in
+  let steps_slowdown = st_time /. sil_time in
+  let steps_ok = steps_slowdown <= 5.0 in
+  (* seek: one long trace, random positions, snapshots vs linear replay *)
+  let seek_img, _ = List.nth images 1 in
+  let tr, _ = Cdtrace.record ~fuel:2_000_000 seek_img ~impl:"bench" ~input:"z" in
+  let nsteps = Cdtrace.length tr in
+  let nseeks = 200 in
+  let positions =
+    (* fixed-seed LCG: deterministic, scattered over the whole trace *)
+    let s = ref 12345 in
+    Array.init nseeks (fun _ ->
+        s := ((!s * 1103515245) + 12347) land 0x3FFFFFFF;
+        !s mod max 1 nsteps)
+  in
+  let cur = Cdtrace.cursor tr in
+  let snap_time, _ =
+    time (fun () ->
+        Array.iter (fun k -> Cdtrace.seek cur k) positions;
+        Cdtrace.pos cur)
+  in
+  let slow_time, _ =
+    time ~trials:1 (fun () ->
+        Array.iter (fun k -> Cdtrace.seek_slow cur k) positions;
+        Cdtrace.pos cur)
+  in
+  let snap_us = snap_time /. float_of_int nseeks *. 1e6 in
+  let slow_us = slow_time /. float_of_int nseeks *. 1e6 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"trace\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"metric\": \"%s\",\n"
+       (Overhead.json_escape
+          "execs/sec per observer level (linked executor); seek latency \
+           is microseconds per random reposition of a replay cursor"));
+  Buffer.add_string buf (Printf.sprintf "  \"execs\": %d,\n" total);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"silent\": { \"seconds\": %.4f, \"execs_per_sec\": %.1f },\n"
+       sil_time sil_eps);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"prints\": { \"seconds\": %.4f, \"execs_per_sec\": %.1f, \
+        \"ratio\": %.3f },\n"
+       pr_time pr_eps (pr_eps /. sil_eps));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"steps\": { \"seconds\": %.4f, \"execs_per_sec\": %.1f },\n"
+       st_time st_eps);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"steps_slowdown\": %.2f,\n" steps_slowdown);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"steps_slowdown_target_met\": %b,\n" steps_ok);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"seek\": { \"trace_steps\": %d, \"seeks\": %d, \"snapshot_us\": \
+        %.1f, \"linear_us\": %.1f, \"speedup\": %.1f },\n"
+       nsteps nseeks snap_us slow_us (slow_us /. max 1e-9 snap_us));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"replay_match\": %b\n" replay_match);
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_trace.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf
+    "Trace recorder bench (%d execs, gccx-O0 binaries):\n\
+    \  silent observer:  %.0f execs/s\n\
+    \  prints observer:  %.0f execs/s (%.2fx of silent, %d prints)\n\
+    \  steps recording:  %.0f execs/s (%.2fx slowdown, target <= 5x: %b)\n\
+    \  seek (%d-step trace, %d seeks): %.1f us snapshot vs %.1f us linear \
+     (%.0fx)\n\
+    \  recorded results byte-identical to silent: %b\n\
+     wrote %s\n\n"
+    total sil_eps pr_eps (pr_eps /. sil_eps) !printed st_eps steps_slowdown
+    steps_ok nsteps nseeks snap_us slow_us
+    (slow_us /. max 1e-9 snap_us)
+    replay_match path;
+  if not replay_match then failwith "trace bench: observer perturbed execution"

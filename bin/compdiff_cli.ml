@@ -195,12 +195,16 @@ let common_term =
     $ stats_json)
 
 let print_session_stats (c : common) =
-  if c.co_stats_json then
+  if c.co_stats_json then begin
     Printf.printf "%s\n"
-      (Engine.Session.stats_to_json (Engine.Session.stats c.co_session))
-  else
+      (Engine.Session.stats_to_json (Engine.Session.stats c.co_session));
+    Printf.printf "{\"localize\": %s}\n" (Compdiff.Localize.stats_to_json ())
+  end
+  else begin
     print_string
-      (Engine.Session.stats_to_string (Engine.Session.stats c.co_session))
+      (Engine.Session.stats_to_string (Engine.Session.stats c.co_session));
+    print_string (Compdiff.Localize.stats_to_string ())
+  end
 
 let print_oracle_stats ?c (s : Compdiff.Oracle.stats) =
   match (c : common option) with
@@ -443,23 +447,37 @@ let diff_cmd =
 
 (* --- trace --- *)
 
+let trace_limit_arg =
+  Arg.(
+    value
+    & opt int Compdiff.Localize.default_event_limit
+    & info [ "trace-limit" ] ~docv:"N"
+        ~doc:"Cap on recorded observable events; excess is dropped and reported.")
+
 let trace_cmd =
-  let action file pname input fuel =
+  let action file pname input fuel limit =
     let tp = frontend_of_file file in
     let u = Cdcompiler.Pipeline.compile (profile_of_name pname) tp in
-    let events, status = Compdiff.Localize.trace ~fuel u ~input in
+    let events, status, truncated =
+      Compdiff.Localize.trace ~fuel ~limit u ~input
+    in
     List.iteri
       (fun i (e : Compdiff.Localize.event) ->
         Printf.printf "%4d  [%s] %S\n" i e.Compdiff.Localize.ev_fn
           e.Compdiff.Localize.ev_text)
       events;
+    if truncated then
+      Printf.printf "(trace truncated at %d events; raise --trace-limit)\n"
+        limit;
     Printf.printf "status: %s\n" (Cdvm.Trap.status_to_string status);
     0
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Print the observable-event trace of one implementation's execution.")
-    Term.(const action $ file_arg $ profile_arg $ input_arg $ fuel_arg)
+    Term.(
+      const action $ file_arg $ profile_arg $ input_arg $ fuel_arg
+      $ trace_limit_arg)
 
 (* --- localize --- *)
 
@@ -499,6 +517,239 @@ let localize_cmd =
        ~doc:
          "Locate the first divergent observable event between two disagreeing implementations.")
     Term.(const action $ file_arg $ input_arg $ common_term)
+
+(* --- explore --- *)
+
+(* Non-interactive time-travel driver over recorded traces (DESIGN.md
+   §15): record the diverging pair under the Steps observer (or load a
+   stored .ctr trace), report the first diverging instruction, and
+   replay both sides to any position. *)
+
+let probe_json (p : Compdiff.Localize.probe option) : string =
+  match p with
+  | None -> "null"
+  | Some p ->
+    Printf.sprintf
+      "{\"step\": %d, \"fn\": \"%s\", \"pc\": %d, \"line\": %s, \"kind\": \
+       \"%s\", \"value\": \"%s\"}"
+      p.Compdiff.Localize.pr_step
+      (json_escape p.Compdiff.Localize.pr_fn)
+      p.Compdiff.Localize.pr_pc
+      (match p.Compdiff.Localize.pr_line with
+      | Some l -> string_of_int l
+      | None -> "null")
+      (match p.Compdiff.Localize.pr_kind with `Reg -> "reg" | `Mem -> "mem")
+      (json_escape p.Compdiff.Localize.pr_value)
+
+(* replay to [k] and render; returns (clamped position, state) *)
+let replay_state (tr : Cdtrace.t) (k : int) : int * string =
+  let c = Cdtrace.cursor tr in
+  Cdtrace.seek c k;
+  (Cdtrace.pos c, Cdtrace.state_to_string c)
+
+let explore_cmd =
+  let file_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"MiniC source file (omit when $(b,--load-trace) is given).")
+  in
+  let at_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "at" ] ~docv:"K"
+          ~doc:
+            "Replay position (steps applied) — per-trace indices; default: \
+             each side's first diverging instruction.")
+  in
+  let back_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "back" ] ~docv:"N"
+          ~doc:"Step N instructions back from the chosen position.")
+  in
+  let diff_arg =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Print the full replayed VM state (call stack, registers, \
+             written memory) at the chosen position.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit one JSON object instead of text.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-trace" ] ~docv:"DIR"
+          ~doc:
+            "Save the recorded trace(s) into DIR as content-addressed .ctr \
+             files, replayable later with $(b,--load-trace).")
+  in
+  let load_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "load-trace" ] ~docv:"PATH"
+          ~doc:"Replay a stored .ctr trace instead of compiling and recording.")
+  in
+  let step_limit_arg =
+    Arg.(
+      value
+      & opt int Cdtrace.default_limit
+      & info [ "step-limit" ] ~docv:"N"
+          ~doc:
+            "Cap on recorded steps per trace; recording stops there, the \
+             run itself continues.")
+  in
+  (* single stored trace: report + replay *)
+  let explore_loaded path at back show_diff json =
+    match Cdtrace.load path with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      2
+    | Ok tr ->
+      let n = Cdtrace.length tr in
+      let base = Option.value at ~default:n in
+      let pos, state = replay_state tr (base - back) in
+      if json then begin
+        Printf.printf
+          "{\"impl\": \"%s\", \"input\": \"%s\", \"status\": \"%s\", \
+           \"steps\": %d, \"truncated\": %b, \"events\": %d, \"pos\": %d, \
+           \"state\": \"%s\"}\n"
+          (json_escape tr.Cdtrace.impl)
+          (json_escape tr.Cdtrace.input)
+          (json_escape (Cdvm.Trap.status_to_string tr.Cdtrace.status))
+          n tr.Cdtrace.truncated
+          (Array.length tr.Cdtrace.events)
+          pos (json_escape state);
+        0
+      end
+      else begin
+        Printf.printf "trace: %s on input %S — %s, %d steps%s, %d events\n"
+          tr.Cdtrace.impl tr.Cdtrace.input
+          (Cdvm.Trap.status_to_string tr.Cdtrace.status)
+          n
+          (if tr.Cdtrace.truncated then " (truncated)" else "")
+          (Array.length tr.Cdtrace.events);
+        Printf.printf "replayed to step %d/%d:\n%s" pos n
+          (if show_diff then state
+           else String.sub state 0 (String.index state '\n') ^ "\n");
+        0
+      end
+  in
+  let action file input input_file at back show_diff json save load step_limit
+      (c : common) =
+    let input = resolve_input input input_file in
+    match (load, file) with
+    | Some path, _ -> explore_loaded path at back show_diff json
+    | None, None ->
+      Printf.eprintf "explore: need a FILE argument or --load-trace\n";
+      2
+    | None, Some file -> (
+      let tp = frontend_of_file file in
+      let fuel = Option.value c.co_fuel ~default:200_000 in
+      let o =
+        Compdiff.Oracle.create ~session:c.co_session ~profiles:c.co_profiles
+          ~fuel tp
+      in
+      match Compdiff.Oracle.check o ~input with
+      | Compdiff.Oracle.Agree _ ->
+        if json then Printf.printf "{\"divergence\": false}\n"
+        else Printf.printf "no divergence on this input; nothing to explore\n";
+        0
+      | Compdiff.Oracle.Diverge obs -> (
+        match Compdiff.Localize.divergent_pair o obs with
+        | None ->
+          Printf.eprintf "divergent observations but no divergent pair\n";
+          2
+        | Some (name_a, name_b) ->
+          let binaries = Compdiff.Oracle.binaries o in
+          let find n = (n, List.assoc n binaries) in
+          (* replay at the fuel the verdict was obtained at, so fuel
+             verdicts (hangs) reproduce instead of faking *)
+          let vfuel = Compdiff.Oracle.verdict_fuel o obs in
+          let ta, tb =
+            Compdiff.Localize.record_pair ~session:c.co_session ~fuel:vfuel
+              ~limit:step_limit ~impl_a:(find name_a) ~impl_b:(find name_b)
+              ~input ()
+          in
+          let d = Compdiff.Localize.deep_of_traces ta tb in
+          let saved =
+            match save with
+            | Some dir -> [ Cdtrace.save ta ~dir; Cdtrace.save tb ~dir ]
+            | None -> []
+          in
+          let side_pos (side : Compdiff.Localize.deep_side)
+              (tr : Cdtrace.t) =
+            let base =
+              match (at, side.Compdiff.Localize.ds_at) with
+              | Some k, _ -> k
+              | None, Some p -> p.Compdiff.Localize.pr_step
+              | None, None -> Cdtrace.length tr
+            in
+            replay_state tr (base - back)
+          in
+          let pa, sa = side_pos d.Compdiff.Localize.deep_a ta in
+          let pb, sb = side_pos d.Compdiff.Localize.deep_b tb in
+          if json then
+            Printf.printf
+              "{\"divergence\": true, \"impl_a\": \"%s\", \"impl_b\": \
+               \"%s\", \"anchor_event\": %d, \"diverging_event\": %s, \
+               \"probes\": %d, \"at_a\": %s, \"at_b\": %s, \"diff\": \
+               \"%s\", \"replay\": {\"a\": {\"pos\": %d, \"steps\": %d, \
+               \"state\": \"%s\"}, \"b\": {\"pos\": %d, \"steps\": %d, \
+               \"state\": \"%s\"}}, \"saved\": [%s]}\n"
+              (json_escape ta.Cdtrace.impl)
+              (json_escape tb.Cdtrace.impl)
+              d.Compdiff.Localize.anchor_event
+              (match d.Compdiff.Localize.diverging_event with
+              | Some e -> string_of_int e
+              | None -> "null")
+              d.Compdiff.Localize.probes
+              (probe_json d.Compdiff.Localize.deep_a.Compdiff.Localize.ds_at)
+              (probe_json d.Compdiff.Localize.deep_b.Compdiff.Localize.ds_at)
+              (json_escape d.Compdiff.Localize.diff)
+              pa (Cdtrace.length ta) (json_escape sa) pb (Cdtrace.length tb)
+              (json_escape sb)
+              (String.concat ", "
+                 (List.map (fun f -> "\"" ^ json_escape f ^ "\"") saved))
+          else begin
+            print_string (Compdiff.Localize.deep_to_string d);
+            List.iter (Printf.printf "saved trace: %s\n") saved;
+            let show name tr pos state =
+              Printf.printf "%s replayed to step %d/%d:\n" name pos
+                (Cdtrace.length tr);
+              if show_diff then print_string state
+              else
+                print_string
+                  (String.sub state 0 (String.index state '\n') ^ "\n")
+            in
+            show ta.Cdtrace.impl ta pa sa;
+            show tb.Cdtrace.impl tb pb sb
+          end;
+          if c.co_stats then begin
+            print_oracle_stats ~c (Compdiff.Oracle.stats o);
+            print_session_stats c
+          end;
+          1))
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Time-travel a divergence: record the diverging pair at \
+          instruction granularity, pin the first diverging instruction, \
+          and replay either side to any step.")
+    Term.(
+      const action $ file_opt_arg $ input_arg $ input_file_arg $ at_arg
+      $ back_arg $ diff_arg $ json_arg $ save_arg $ load_arg $ step_limit_arg
+      $ common_term)
 
 (* --- reduce --- *)
 
@@ -1415,8 +1666,17 @@ let connect_cmd =
             "Check $(b,--input) and, if it diverges, reduce it on the \
              daemon.")
   in
+  let explore =
+    Arg.(
+      value & flag
+      & info [ "explore" ]
+          ~doc:
+            "Check $(b,--input) and, if it diverges, localize the first \
+             diverging instruction on the daemon (Steps-level trace \
+             alignment).")
+  in
   let action socket file input input_file strip fuel profiles ping
-      remote_stats fuzz_execs metacheck reduce =
+      remote_stats fuzz_execs metacheck reduce explore =
     let input = resolve_input input input_file in
     let profile_names =
       match profiles with
@@ -1547,6 +1807,25 @@ let connect_cmd =
             | _ ->
                 Printf.eprintf "unexpected response\n";
                 2)
+          else if explore then (
+            match
+              Serve.Client.explore cl ~profiles:profile_names ~fuel ~source
+                ~input ()
+            with
+            | Ok e ->
+                if not e.Serve.Proto.er_found then begin
+                  if e.Serve.Proto.er_report <> "" then
+                    print_endline e.Serve.Proto.er_report
+                  else Printf.printf "input does not diverge\n";
+                  0
+                end
+                else begin
+                  print_string e.Serve.Proto.er_report;
+                  1
+                end
+            | Error m ->
+                Printf.eprintf "daemon error: %s\n" m;
+                2)
           else
             let nimpls =
               match profile_names with
@@ -1570,11 +1849,11 @@ let connect_cmd =
        ~doc:
          "Send requests to a running $(b,compdiff serve) daemon: \
           differential checks (default), fuzz campaigns, meta-checks, \
-          reductions, pings and live statistics.")
+          reductions, divergence exploration, pings and live statistics.")
     Term.(
       const action $ socket_arg $ file_opt $ input_arg $ input_file_arg
       $ strip_addr $ fuel $ profiles $ ping $ remote_stats $ fuzz_execs
-      $ metacheck $ reduce)
+      $ metacheck $ reduce $ explore)
 
 (* --- profiles --- *)
 
@@ -1601,6 +1880,6 @@ let main_cmd =
   let doc = "compiler-driven differential testing for MiniC programs" in
   Cmd.group
     (Cmd.info "compdiff" ~version:"1.0.0" ~doc)
-    [ compile_cmd; run_cmd; vmcheck_cmd; diff_cmd; gen_cmd; trace_cmd; localize_cmd; reduce_cmd; fuzz_cmd; juliet_cmd; static_cmd; metacheck_cmd; projects_cmd; serve_cmd; connect_cmd; profiles_cmd ]
+    [ compile_cmd; run_cmd; vmcheck_cmd; diff_cmd; gen_cmd; trace_cmd; localize_cmd; explore_cmd; reduce_cmd; fuzz_cmd; juliet_cmd; static_cmd; metacheck_cmd; projects_cmd; serve_cmd; connect_cmd; profiles_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -25,11 +25,47 @@ type localization = {
   at_b : event option;
 }
 
-(* Run one pre-linked binary collecting its observable-event trace. *)
-let trace_image ?(fuel = 200_000) (img : Cdvm.Image.t) ~(input : string) :
-    event list * Cdvm.Trap.status =
+(* Output-heavy fuzz finds can emit one event per instruction; the cap
+   keeps a trace proportional to what a human (or the aligner) will ever
+   look at.  Generous: a 200k-fuel run cannot exceed 200k prints. *)
+let default_event_limit = 100_000
+
+(* running counters over both localization levels, surfaced via
+   {!stats_to_json} (the --stats-json form) *)
+let stat_shallow = Atomic.make 0
+let stat_deep = Atomic.make 0
+let stat_probes = Atomic.make 0
+
+let stats_to_json () : string =
+  Printf.sprintf "{\"shallow\": %d, \"deep\": %d, \"bisection_probes\": %d}"
+    (Atomic.get stat_shallow) (Atomic.get stat_deep) (Atomic.get stat_probes)
+
+let stats_to_string () : string =
+  Printf.sprintf
+    "localize: %d event-level, %d instruction-level localizations, %d \
+     bisection probes\n"
+    (Atomic.get stat_shallow) (Atomic.get stat_deep) (Atomic.get stat_probes)
+
+let reset_stats () =
+  Atomic.set stat_shallow 0;
+  Atomic.set stat_deep 0;
+  Atomic.set stat_probes 0
+
+(* Run one pre-linked binary collecting its observable-event trace.
+   Events past [limit] are dropped and the returned flag says so. *)
+let trace_image ?(fuel = 200_000) ?(limit = default_event_limit)
+    (img : Cdvm.Image.t) ~(input : string) :
+    event list * Cdvm.Trap.status * bool =
   let events = ref [] in
-  let on_print ~fn text = events := { ev_fn = fn; ev_text = text } :: !events in
+  let count = ref 0 in
+  let truncated = ref false in
+  let on_print ~fn text =
+    if !count < limit then begin
+      events := { ev_fn = fn; ev_text = text } :: !events;
+      incr count
+    end
+    else truncated := true
+  in
   let r =
     Cdvm.Exec.run_linked
       ~config:
@@ -37,24 +73,24 @@ let trace_image ?(fuel = 200_000) (img : Cdvm.Image.t) ~(input : string) :
           Cdvm.Exec.default_config with
           Cdvm.Exec.input;
           fuel;
-          on_print = Some on_print;
+          observer = Cdvm.Observer.prints on_print;
         }
       img
   in
-  (List.rev !events, r.Cdvm.Exec.status)
+  (List.rev !events, r.Cdvm.Exec.status, !truncated)
 
 (* Run one binary collecting its observable-event trace.  With a session
    the (re-)link is served by the image cache; the traced execution
-   itself must NOT go through the observation store ([on_print] makes it
-   more than a function of (image, input, fuel)), so it always runs. *)
-let trace ?session ?fuel (u : Cdcompiler.Ir.unit_) ~(input : string) :
-    event list * Cdvm.Trap.status =
+   itself must NOT go through the observation store (the observer makes
+   it more than a function of (image, input, fuel)), so it always runs. *)
+let trace ?session ?fuel ?limit (u : Cdcompiler.Ir.unit_) ~(input : string) :
+    event list * Cdvm.Trap.status * bool =
   let img =
     match session with
     | Some s -> Engine.Session.image (Engine.Session.link s u)
     | None -> Cdvm.Image.link u
   in
-  trace_image ?fuel img ~input
+  trace_image ?fuel ?limit img ~input
 
 let rec first_diff i (a : event list) (b : event list) =
   match (a, b) with
@@ -69,12 +105,22 @@ let take n l = List.filteri (fun i _ -> i < n) l
 (* Localize a divergence between two named implementations. Returns
    [None] when their observable traces are identical (the divergence is
    then in the termination status only). *)
-let between ?session ?fuel ~(impl_a : string * Cdcompiler.Ir.unit_)
+let between ?session ?fuel ?limit ~(impl_a : string * Cdcompiler.Ir.unit_)
     ~(impl_b : string * Cdcompiler.Ir.unit_) ~(input : string) () :
     localization option =
   let name_a, ua = impl_a and name_b, ub = impl_b in
-  let ta, _ = trace ?session ?fuel ua ~input in
-  let tb, _ = trace ?session ?fuel ub ~input in
+  Atomic.incr stat_shallow;
+  (* the two traced runs are independent; go through the shared pool
+     like every other pairwise path *)
+  let ta, tb =
+    match
+      Cdutil.Pool.map
+        (fun u -> let ev, _, _ = trace ?session ?fuel ?limit u ~input in ev)
+        [ ua; ub ]
+    with
+    | [ ta; tb ] -> (ta, tb)
+    | _ -> assert false
+  in
   match first_diff 0 ta tb with
   | None -> None
   | Some (i, ea, eb) ->
@@ -122,6 +168,330 @@ let of_divergence ?fuel (oracle : Oracle.t)
       between ~session:(Oracle.session oracle) ~fuel ~impl_a:a ~impl_b:b
         ~input ()
     | _ -> None)
+
+(* --- deep (instruction-level) localization (DESIGN.md §15) ---
+
+   Step indices of two different binaries are incomparable: optimization
+   reshapes the instruction stream, so "step 123 of A" names nothing in
+   B.  Deep localization therefore aligns on two things the compilers
+   must preserve:
+
+   - the observable-event skeleton (executed prints) anchors a window:
+     the divergence lies between the last event the binaries agree on
+     and the first one they disagree on;
+   - inside the window, every recorded write is projected to its
+     (source line, kind, written value) -- register numbers and frame
+     addresses are per-binary artifacts, but the values a correct
+     optimization computes per source line are not.
+
+   The first index at which the two projected write sequences differ is
+   found by bisection over prefix equality (the projections agree on a
+   prefix and disagree ever after, by construction of "first"), and maps
+   back to a concrete (step, pc, function, line, value) on each side:
+   the first diverging instruction at the granularity the trace store
+   can see. *)
+
+type probe = {
+  pr_step : int;               (* step index in that binary's trace *)
+  pr_fn : string;
+  pr_pc : int;
+  pr_line : int option;        (* via the pc -> line table *)
+  pr_kind : [ `Reg | `Mem ];
+  pr_value : string;           (* rendered written value *)
+  pr_cmp : string;             (* comparison form: object ids erased *)
+}
+
+type deep_side = {
+  ds_impl : string;
+  ds_steps : int;              (* trace length *)
+  ds_truncated : bool;
+  ds_window : int * int;       (* [lo, hi) step window searched *)
+  ds_at : probe option;        (* first diverging write, this side *)
+}
+
+type deep = {
+  deep_a : deep_side;
+  deep_b : deep_side;
+  anchor_event : int;          (* last agreeing observable event; -1 none *)
+  diverging_event : int option;(* first differing observable event *)
+  probes : int;                (* bisection probes spent *)
+  diff : string;               (* rendered value / event / status diff *)
+}
+
+let probe_key (p : probe) = (p.pr_line, p.pr_kind, p.pr_cmp)
+
+(* Pointer object ids are per-binary allocation numbering, not
+   semantics: two correct binaries laying frames out differently write
+   "different" pointers everywhere.  Compare pointers by offset only. *)
+let cmp_value (v : Cdvm.Value.t) : string =
+  match v with
+  | Cdvm.Value.Vptr p -> Printf.sprintf "<ptr+%d>" p.Cdvm.Value.off
+  | v -> Cdvm.Value.to_string v
+
+(* all writes of steps [lo, hi), projected to source coordinates *)
+let project (tr : Cdtrace.t) ~(lo : int) ~(hi : int) : probe array =
+  let out = ref [] in
+  Cdtrace.iter tr (fun sv ->
+      if sv.Cdtrace.sv_ix >= lo && sv.Cdtrace.sv_ix < hi then
+        List.iter
+          (fun it ->
+            let add kind v =
+              out :=
+                {
+                  pr_step = sv.Cdtrace.sv_ix;
+                  pr_fn = Cdtrace.func_name tr sv.Cdtrace.sv_fi;
+                  pr_pc = sv.Cdtrace.sv_pc;
+                  pr_line =
+                    Cdtrace.line_of tr ~fi:sv.Cdtrace.sv_fi ~pc:sv.Cdtrace.sv_pc;
+                  pr_kind = kind;
+                  pr_value = Cdvm.Value.to_string v;
+                  pr_cmp = cmp_value v;
+                }
+                :: !out
+            in
+            match it with
+            | Cdtrace.Wreg (_, v) -> add `Reg v
+            | Cdtrace.Wmem (_, v) -> add `Mem v
+            | Cdtrace.Call _ | Cdtrace.Ret | Cdtrace.Print _ -> ())
+          sv.Cdtrace.sv_items);
+  Array.of_list (List.rev !out)
+
+(* length of the common (line, kind, value) prefix, by bisection *)
+let common_prefix (pa : probe array) (pb : probe array) : int * int =
+  let n = min (Array.length pa) (Array.length pb) in
+  let prefix_eq k =
+    let eq = ref true in
+    let i = ref 0 in
+    while !eq && !i < k do
+      if probe_key pa.(!i) <> probe_key pb.(!i) then eq := false;
+      incr i
+    done;
+    !eq
+  in
+  let probes = ref 0 in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    incr probes;
+    if prefix_eq mid then lo := mid else hi := mid - 1
+  done;
+  (!lo, !probes)
+
+(* the (fi, pc) of step [s], for synthesizing probes at event steps *)
+let probe_at (tr : Cdtrace.t) (s : int) ~(value : string) : probe option =
+  if s < 0 || s >= Cdtrace.length tr then None
+  else begin
+    let c = Cdtrace.cursor tr in
+    Cdtrace.seek c s;
+    match Cdtrace.peek c with
+    | None -> None
+    | Some (fi, pc, _) ->
+      Some
+        {
+          pr_step = s;
+          pr_fn = Cdtrace.func_name tr fi;
+          pr_pc = pc;
+          pr_line = Cdtrace.line_of tr ~fi ~pc;
+          pr_kind = `Mem;
+          pr_value = value;
+          pr_cmp = value;
+        }
+  end
+
+let probe_place (p : probe) : string =
+  Printf.sprintf "step %d, %s@%d%s" p.pr_step p.pr_fn p.pr_pc
+    (match p.pr_line with
+    | Some l -> Printf.sprintf " (line %d)" l
+    | None -> "")
+
+(* Localize between two recorded traces of the same (program, input).
+   Total: some divergence explanation always comes back — a projected
+   write mismatch, a differing observable event, or a status/output
+   difference, in that order of preference. *)
+let deep_of_traces (ta : Cdtrace.t) (tb : Cdtrace.t) : deep =
+  Atomic.incr stat_deep;
+  let ea = ta.Cdtrace.events and eb = tb.Cdtrace.events in
+  let nshared = min (Array.length ea) (Array.length eb) in
+  let m = ref 0 in
+  while
+    !m < nshared
+    && (let _, fa, xa = ea.(!m) and _, fb, xb = eb.(!m) in
+        fa = fb && xa = xb)
+  do
+    incr m
+  done;
+  let m = !m in
+  let diverging_event =
+    if m < Array.length ea || m < Array.length eb then Some m else None
+  in
+  let window (tr : Cdtrace.t) (ev : (int * string * string) array) =
+    let lo = if m > 0 then (let s, _, _ = ev.(m - 1) in s + 1) else 0 in
+    let hi =
+      match diverging_event with
+      | Some d when d < Array.length ev -> (let s, _, _ = ev.(d) in s + 1)
+      | Some _ | None -> Cdtrace.length tr
+    in
+    (lo, max lo hi)
+  in
+  let wa = window ta ea and wb = window tb eb in
+  let pa = project ta ~lo:(fst wa) ~hi:(snd wa) in
+  let pb = project tb ~lo:(fst wb) ~hi:(snd wb) in
+  let cut, probes = common_prefix pa pb in
+  ignore (Atomic.fetch_and_add stat_probes probes);
+  let at_a = if cut < Array.length pa then Some pa.(cut) else None in
+  let at_b = if cut < Array.length pb then Some pb.(cut) else None in
+  let at_a, at_b, diff =
+    match (at_a, at_b) with
+    | Some a, Some b ->
+      let where =
+        match (a.pr_line, b.pr_line) with
+        | Some la, Some lb when la = lb -> Printf.sprintf "at line %d, " la
+        | _ -> ""
+      in
+      ( at_a, at_b,
+        Printf.sprintf "%s%s writes %s (%s); %s writes %s (%s)" where
+          ta.Cdtrace.impl a.pr_value (probe_place a) tb.Cdtrace.impl b.pr_value
+          (probe_place b) )
+    | Some a, None ->
+      ( at_a, None,
+        Printf.sprintf "only %s still writes: %s (%s); %s performs no further write"
+          ta.Cdtrace.impl a.pr_value (probe_place a) tb.Cdtrace.impl )
+    | None, Some b ->
+      ( None, at_b,
+        Printf.sprintf "only %s still writes: %s (%s); %s performs no further write"
+          tb.Cdtrace.impl b.pr_value (probe_place b) ta.Cdtrace.impl )
+    | None, None -> (
+      (* projections agree: explain by the event skeleton, then status *)
+      match diverging_event with
+      | Some d ->
+        let side ev tr =
+          if d < Array.length ev then begin
+            let s, fn, text = ev.(d) in
+            (probe_at tr s ~value:(Printf.sprintf "%S" text),
+             Printf.sprintf "[%s] %S" fn text)
+          end
+          else (None, Printf.sprintf "no further output from %s" tr.Cdtrace.impl)
+        in
+        let a, sa = side ea ta and b, sb = side eb tb in
+        (a, b,
+         Printf.sprintf "observable event #%d differs: %s vs %s" d sa sb)
+      | None ->
+        let sa = Cdvm.Trap.status_to_string ta.Cdtrace.status
+        and sb = Cdvm.Trap.status_to_string tb.Cdtrace.status in
+        ( None, None,
+          if sa <> sb then
+            Printf.sprintf "termination differs: %s (%s) vs %s (%s)"
+              ta.Cdtrace.impl sa tb.Cdtrace.impl sb
+          else
+            Printf.sprintf
+              "traces agree on writes, events and status%s; raw outputs %s"
+              (if ta.Cdtrace.truncated || tb.Cdtrace.truncated then
+                 " up to the recording cap"
+               else "")
+              (if ta.Cdtrace.stdout = tb.Cdtrace.stdout then "agree too"
+               else "differ only after normalization") ))
+  in
+  let side (tr : Cdtrace.t) w at =
+    {
+      ds_impl = tr.Cdtrace.impl;
+      ds_steps = Cdtrace.length tr;
+      ds_truncated = tr.Cdtrace.truncated;
+      ds_window = w;
+      ds_at = at;
+    }
+  in
+  {
+    deep_a = side ta wa at_a;
+    deep_b = side tb wb at_b;
+    anchor_event = m - 1;
+    diverging_event;
+    probes;
+    diff;
+  }
+
+(* Record the two traces (through the shared pool; via the session's
+   image cache and uncached traced-run path when one is given) and
+   localize between them. *)
+let record_pair ?session ?(fuel = 200_000) ?limit ?snapshot_every
+    ~(impl_a : string * Cdcompiler.Ir.unit_)
+    ~(impl_b : string * Cdcompiler.Ir.unit_) ~(input : string) () :
+    Cdtrace.t * Cdtrace.t =
+  let record (name, u) =
+    match session with
+    | Some s ->
+      let l = Engine.Session.link s u in
+      let observer, finish =
+        Cdtrace.recorder ?limit ?snapshot_every (Engine.Session.image l)
+          ~impl:name ~input ~fuel
+      in
+      finish (Engine.Session.run_traced s l ~observer ~input ~fuel)
+    | None ->
+      fst
+        (Cdtrace.record ?limit ?snapshot_every ~fuel (Cdvm.Image.link u)
+           ~impl:name ~input)
+  in
+  match Cdutil.Pool.map record [ impl_a; impl_b ] with
+  | [ ta; tb ] -> (ta, tb)
+  | _ -> assert false
+
+let deep ?session ?fuel ?limit ?snapshot_every ~impl_a ~impl_b ~input () : deep =
+  let ta, tb =
+    record_pair ?session ?fuel ?limit ?snapshot_every ~impl_a ~impl_b ~input ()
+  in
+  deep_of_traces ta tb
+
+(* Deep analogue of {!of_divergence}: pick the divergent pair and
+   localize it at instruction granularity, replaying at the verdict
+   fuel. *)
+let deep_of_divergence ?fuel ?limit (oracle : Oracle.t)
+    (binaries : (string * Cdcompiler.Ir.unit_) list)
+    (obs : (string * Oracle.observation) list) ~(input : string) :
+    deep option =
+  match divergent_pair oracle obs with
+  | None -> None
+  | Some (first_name, other_name) -> (
+    let fuel =
+      match fuel with Some f -> f | None -> Oracle.verdict_fuel oracle obs
+    in
+    match
+      ( List.find_opt (fun (n, _) -> n = first_name) binaries,
+        List.find_opt (fun (n, _) -> n = other_name) binaries )
+    with
+    | Some a, Some b ->
+      Some
+        (deep ~session:(Oracle.session oracle) ~fuel ?limit ~impl_a:a
+           ~impl_b:b ~input ())
+    | _ -> None)
+
+let deep_to_string (d : deep) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "deep localization: %s vs %s\n" d.deep_a.ds_impl
+       d.deep_b.ds_impl);
+  Buffer.add_string buf
+    (Printf.sprintf "  aligned on %d shared observable event%s%s\n"
+       (d.anchor_event + 1)
+       (if d.anchor_event = 0 then "" else "s")
+       (match d.diverging_event with
+       | Some e -> Printf.sprintf "; event #%d differs" e
+       | None -> "; event skeletons agree"));
+  let side (s : deep_side) =
+    Buffer.add_string buf
+      (Printf.sprintf "  %-12s %d steps%s, searched window [%d, %d)%s\n"
+         s.ds_impl s.ds_steps
+         (if s.ds_truncated then " (truncated)" else "")
+         (fst s.ds_window) (snd s.ds_window)
+         (match s.ds_at with
+         | Some p -> "\n               first diverging instruction: " ^ probe_place p
+         | None -> ""))
+  in
+  side d.deep_a;
+  side d.deep_b;
+  Buffer.add_string buf
+    (Printf.sprintf "  diff (%d bisection probe%s): %s\n" d.probes
+       (if d.probes = 1 then "" else "s")
+       d.diff);
+  Buffer.contents buf
 
 let to_string (l : localization) : string =
   let buf = Buffer.create 128 in

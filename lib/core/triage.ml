@@ -191,6 +191,18 @@ let entry_key (oracle : Oracle.t) ?program (e : diff_entry) : report_key =
   in
   { rk_fn; rk_label }
 
+(* Deep (instruction-level) localization of one entry, on its reduced
+   reproducer when the reducer has run: the Table-5 bucket names the
+   category, this names the first diverging instruction inside it. *)
+let entry_deep (oracle : Oracle.t) ?limit (e : diff_entry) :
+    Localize.deep option =
+  let input, obs =
+    match e.reduced with
+    | Some r -> (r.red_input, r.red_observations)
+    | None -> (e.input, e.observations)
+  in
+  Localize.deep_of_divergence ?limit oracle (Oracle.binaries oracle) obs ~input
+
 (* One bucket per (localized function, root cause), in first-seen order;
    inside a bucket the smallest reproducer leads.  Operates on the
    signature representatives, so both dedup levels compose. *)

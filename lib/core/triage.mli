@@ -76,6 +76,13 @@ val report_representatives :
 (** The lead entry of every {!report_buckets} bucket: what a human
     should actually read. *)
 
+val entry_deep : Oracle.t -> ?limit:int -> diff_entry -> Localize.deep option
+(** Instruction-level localization of one entry
+    ({!Localize.deep_of_divergence} on the reduced reproducer when one
+    is attached, else on the raw input); [None] when the observations
+    hold no divergent pair.  Expensive: records two [Steps]-level
+    traces. *)
+
 (** {2 Root-cause suggestion}
 
     Maps a localized divergence through UnstableCheck's static findings

@@ -461,6 +461,21 @@ let run_batch t (l : linked) ~(inputs : string array) ~(fuel : int) :
     Array.map Option.get out
   end
 
+(* Observed execution: an observer makes the run more than a function of
+   (image, input, fuel), so it must bypass the observation store — it
+   always executes, whatever the caching mode.  [Steps]-level runs build
+   a fresh memory inside the VM (the arena would be dead weight);
+   everything else goes through the pooled arena like [run]. *)
+let run_traced (_t : t) (l : linked) ~(observer : Cdvm.Observer.t)
+    ~(input : string) ~(fuel : int) : Cdvm.Exec.result =
+  let config =
+    { Cdvm.Exec.default_config with Cdvm.Exec.input; fuel; observer }
+  in
+  match observer.Cdvm.Observer.level with
+  | Cdvm.Observer.Steps _ -> Cdvm.Exec.run_linked ~config l.image
+  | Cdvm.Observer.Silent | Cdvm.Observer.Prints _ ->
+    with_arena l (fun arena -> Cdvm.Exec.run_linked ~config ~arena l.image)
+
 (* --- stats --- *)
 
 let stats t =

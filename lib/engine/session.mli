@@ -118,6 +118,13 @@ val run_batch : t -> linked -> inputs:string array -> fuel:int ->
     arena acquisition ({!Cdvm.Exec.run_batch}), amortizing the
     per-execution reset. *)
 
+val run_traced : t -> linked -> observer:Cdvm.Observer.t -> input:string ->
+  fuel:int -> Cdvm.Exec.result
+(** Observed execution of a linked image.  The observer makes the run
+    more than a function of (image, input, fuel), so the observation
+    store is bypassed: [run_traced] {e always} executes.  Use it for
+    trace recording and print tracing; plain runs belong in {!run}. *)
+
 val stats : t -> stats
 val reset_stats : t -> unit
 (** Reset hit/miss/key-time counters (cache contents are kept). *)

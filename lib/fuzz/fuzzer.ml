@@ -82,7 +82,7 @@ let execute st (input : string) : Cdvm.Exec.result * int =
           Cdvm.Exec.input;
           fuel = st.cfg.fuel;
           coverage = Some st.cov;
-          hooks = st.cfg.hooks;
+          observer = Cdvm.Observer.sanitize st.cfg.hooks;
         }
       ~arena:st.arena st.image
   in
@@ -138,7 +138,7 @@ let consider_batch st (inputs : string array) =
         Cdvm.Exec.default_config with
         Cdvm.Exec.fuel = st.cfg.fuel;
         coverage = Some st.cov;
-        hooks = st.cfg.hooks;
+        observer = Cdvm.Observer.sanitize st.cfg.hooks;
       }
     in
     ignore

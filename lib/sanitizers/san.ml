@@ -48,7 +48,12 @@ let run_built ?(fuel = 200_000) (kind : kind) (b : build) ~(input : string) :
     Cdvm.Exec.result =
   Cdvm.Exec.run_linked
     ~config:
-      { Cdvm.Exec.default_config with Cdvm.Exec.input; fuel; hooks = hooks kind }
+      {
+        Cdvm.Exec.default_config with
+        Cdvm.Exec.input;
+        fuel;
+        observer = Cdvm.Observer.sanitize (hooks kind);
+      }
     ~arena:b.arena b.image
 
 let run ?fuel (kind : kind) (tp : Minic.Tast.tprogram) ~(input : string) :
@@ -61,7 +66,11 @@ let run ?fuel (kind : kind) (tp : Minic.Tast.tprogram) ~(input : string) :
 let detects_built ?(fuel = 200_000) (kind : kind) (b : build)
     ~(inputs : string list) : bool =
   let config =
-    { Cdvm.Exec.default_config with Cdvm.Exec.fuel; hooks = hooks kind }
+    {
+      Cdvm.Exec.default_config with
+      Cdvm.Exec.fuel;
+      observer = Cdvm.Observer.sanitize (hooks kind);
+    }
   in
   let results =
     Cdvm.Exec.run_batch ~config ~arena:b.arena b.image

@@ -179,3 +179,21 @@ let check (t : t) ?(profiles = []) ?(fuel = 0) ?(strip = false) ~source
   | Proto.Busy q -> Error (Printf.sprintf "busy (quota %d)" q)
   | Proto.Err m -> Error m
   | _ -> Error "unexpected response"
+
+let explore (t : t) ?(profiles = []) ?(fuel = 0) ?(limit = 0) ~source
+    ~(input : string) () : (Proto.explore_reply, string) result =
+  match
+    call t
+      (Proto.Explore
+         {
+           Proto.ex_source = source;
+           ex_input = input;
+           ex_profiles = profiles;
+           ex_fuel = fuel;
+           ex_limit = limit;
+         })
+  with
+  | Proto.Explore_reply e -> Ok e
+  | Proto.Busy q -> Error (Printf.sprintf "busy (quota %d)" q)
+  | Proto.Err m -> Error m
+  | _ -> Error "unexpected response"

@@ -27,7 +27,7 @@
 
 exception Malformed of string
 
-let version = 1
+let version = 2
 let hello_magic = "CDS1"
 let hello_bytes = 8  (* magic + u32 version *)
 
@@ -70,6 +70,14 @@ type reduce_req = {
   rd_fuel : int;
 }
 
+type explore_req = {
+  ex_source : string;
+  ex_input : string;         (* the (ideally reduced) diverging input *)
+  ex_profiles : string list;
+  ex_fuel : int;
+  ex_limit : int;            (* step-recording cap; 0 = server default *)
+}
+
 type request =
   | Ping                     (* heartbeat: keeps the idle timers at bay *)
   | Get_stats
@@ -77,6 +85,7 @@ type request =
   | Fuzz of fuzz_req
   | Metacheck of metacheck_req
   | Reduce of reduce_req
+  | Explore of explore_req
 
 (* --- responses --- *)
 
@@ -139,6 +148,17 @@ type reduce_reply = {
   rr_report : string;
 }
 
+type explore_reply = {
+  er_found : bool;           (* false: the input did not diverge *)
+  er_impl_a : string;        (* "" when not found *)
+  er_impl_b : string;
+  er_step_a : int;           (* first diverging step per side; -1 = none *)
+  er_step_b : int;
+  er_line : int;             (* attributed source line; -1 = unknown *)
+  er_probes : int;           (* bisection probes spent on alignment *)
+  er_report : string;        (* Localize.deep_to_string rendering *)
+}
+
 type response =
   | Pong
   | Stats_reply of stats_reply
@@ -146,6 +166,7 @@ type response =
   | Fuzz_reply of fuzz_reply
   | Metacheck_reply of metacheck_reply
   | Reduce_reply of reduce_reply
+  | Explore_reply of explore_reply
   | Busy of int              (* backpressure: the client's quota *)
   | Err of string
 
@@ -216,6 +237,7 @@ let tag_check = 2
 let tag_fuzz = 3
 let tag_metacheck = 4
 let tag_reduce = 5
+let tag_explore = 6
 
 let encode_request ~(id : int) (r : request) : string =
   let buf = Buffer.create 128 in
@@ -251,7 +273,14 @@ let encode_request ~(id : int) (r : request) : string =
       put_str buf r.rd_input;
       put_u32 buf r.rd_max_checks;
       put_list buf put_str r.rd_profiles;
-      put_u32 buf r.rd_fuel);
+      put_u32 buf r.rd_fuel
+  | Explore e ->
+      put_u8 buf tag_explore;
+      put_str buf e.ex_source;
+      put_str buf e.ex_input;
+      put_list buf put_str e.ex_profiles;
+      put_u32 buf e.ex_fuel;
+      put_u32 buf e.ex_limit);
   Buffer.contents buf
 
 let decode_request (payload : string) : int * request =
@@ -294,6 +323,14 @@ let decode_request (payload : string) : int * request =
       let rd_fuel = get_u32 c in
       Reduce { rd_source; rd_input; rd_max_checks; rd_profiles; rd_fuel }
     end
+    else if tag = tag_explore then begin
+      let ex_source = get_str c in
+      let ex_input = get_str c in
+      let ex_profiles = get_list c get_str in
+      let ex_fuel = get_u32 c in
+      let ex_limit = get_u32 c in
+      Explore { ex_source; ex_input; ex_profiles; ex_fuel; ex_limit }
+    end
     else raise (Malformed (Printf.sprintf "unknown request tag %d" tag))
   in
   finished c;
@@ -309,6 +346,7 @@ let rtag_metacheck = 4
 let rtag_reduce = 5
 let rtag_busy = 6
 let rtag_err = 7
+let rtag_explore = 8
 
 let put_obs buf (o : obs) =
   put_str buf o.ob_impl;
@@ -406,6 +444,17 @@ let encode_response ~(id : int) (r : response) : string =
       put_str buf r.rr_reduced;
       put_u32 buf r.rr_checks;
       put_str buf r.rr_report
+  | Explore_reply e ->
+      put_u8 buf rtag_explore;
+      put_bool buf e.er_found;
+      put_str buf e.er_impl_a;
+      put_str buf e.er_impl_b;
+      (* -1 sentinels ride the wire shifted by one: u32 is unsigned *)
+      put_u32 buf (e.er_step_a + 1);
+      put_u32 buf (e.er_step_b + 1);
+      put_u32 buf (e.er_line + 1);
+      put_u32 buf e.er_probes;
+      put_str buf e.er_report
   | Busy quota ->
       put_u8 buf rtag_busy;
       put_u32 buf quota
@@ -479,6 +528,27 @@ let decode_response (payload : string) : int * response =
       let rr_checks = get_u32 c in
       let rr_report = get_str c in
       Reduce_reply { rr_found; rr_input; rr_reduced; rr_checks; rr_report }
+    end
+    else if tag = rtag_explore then begin
+      let er_found = get_bool c in
+      let er_impl_a = get_str c in
+      let er_impl_b = get_str c in
+      let er_step_a = get_u32 c - 1 in
+      let er_step_b = get_u32 c - 1 in
+      let er_line = get_u32 c - 1 in
+      let er_probes = get_u32 c in
+      let er_report = get_str c in
+      Explore_reply
+        {
+          er_found;
+          er_impl_a;
+          er_impl_b;
+          er_step_a;
+          er_step_b;
+          er_line;
+          er_probes;
+          er_report;
+        }
     end
     else if tag = rtag_busy then Busy (get_u32 c)
     else if tag = rtag_err then Err (get_str c)

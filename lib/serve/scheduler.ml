@@ -369,6 +369,85 @@ let run_reduce t (it : item) (r : Proto.reduce_req) : unit =
                   rr_report = Compdiff.Oracle.report_to_string ~input obs;
                 }))
 
+let run_explore t (it : item) (e : Proto.explore_req) : unit =
+  Atomic.incr t.c_flights;
+  guarded t it (fun () ->
+      let check : Proto.check_req =
+        {
+          Proto.ck_source = e.Proto.ex_source;
+          ck_inputs = [];
+          ck_profiles = e.Proto.ex_profiles;
+          ck_fuel = e.Proto.ex_fuel;
+          ck_strip = false;
+        }
+      in
+      let oracle = oracle_for t check in
+      let input = e.Proto.ex_input in
+      let limit =
+        if e.Proto.ex_limit > 0 then Some e.Proto.ex_limit else None
+      in
+      Atomic.incr t.c_checks;
+      match Compdiff.Oracle.check oracle ~input with
+      | Compdiff.Oracle.Agree _ ->
+          Proto.Explore_reply
+            {
+              Proto.er_found = false;
+              er_impl_a = "";
+              er_impl_b = "";
+              er_step_a = -1;
+              er_step_b = -1;
+              er_line = -1;
+              er_probes = 0;
+              er_report = "";
+            }
+      | Compdiff.Oracle.Diverge obs -> (
+          match
+            Compdiff.Localize.deep_of_divergence ?limit oracle
+              (Compdiff.Oracle.binaries oracle)
+              obs ~input
+          with
+          | None ->
+              Proto.Explore_reply
+                {
+                  Proto.er_found = false;
+                  er_impl_a = "";
+                  er_impl_b = "";
+                  er_step_a = -1;
+                  er_step_b = -1;
+                  er_line = -1;
+                  er_probes = 0;
+                  er_report = "divergence held no comparable pair";
+                }
+          | Some d ->
+              let step side =
+                match side.Compdiff.Localize.ds_at with
+                | Some p -> p.Compdiff.Localize.pr_step
+                | None -> -1
+              in
+              let line =
+                match
+                  ( d.Compdiff.Localize.deep_a.Compdiff.Localize.ds_at,
+                    d.Compdiff.Localize.deep_b.Compdiff.Localize.ds_at )
+                with
+                | Some { Compdiff.Localize.pr_line = Some l; _ }, _
+                | _, Some { Compdiff.Localize.pr_line = Some l; _ } ->
+                    l
+                | _ -> -1
+              in
+              Proto.Explore_reply
+                {
+                  Proto.er_found = true;
+                  er_impl_a =
+                    d.Compdiff.Localize.deep_a.Compdiff.Localize.ds_impl;
+                  er_impl_b =
+                    d.Compdiff.Localize.deep_b.Compdiff.Localize.ds_impl;
+                  er_step_a = step d.Compdiff.Localize.deep_a;
+                  er_step_b = step d.Compdiff.Localize.deep_b;
+                  er_line = line;
+                  er_probes = d.Compdiff.Localize.probes;
+                  er_report = Compdiff.Localize.deep_to_string d;
+                }))
+
 (* --- the executor loop --- *)
 
 (* pop one item; if it is a coalescible check, also claim every queued
@@ -424,6 +503,7 @@ let rec executor_loop t =
       | Proto.Fuzz f -> run_fuzz t it f
       | Proto.Metacheck m -> run_metacheck t it m
       | Proto.Reduce r -> run_reduce t it r
+      | Proto.Explore e -> run_explore t it e
       | Proto.Check _ | Proto.Ping | Proto.Get_stats ->
           (* checks always carry an okey; ping/stats never enqueue *)
           respond t it (Proto.Err "unschedulable request"));
@@ -557,7 +637,8 @@ let submit t (cl : client) ~(id : int) (req : Proto.request) : unit =
   | Proto.Get_stats -> (
       let r = stats_reply t in
       try cl.cl_respond id r with _ -> ())
-  | Proto.Check _ | Proto.Fuzz _ | Proto.Metacheck _ | Proto.Reduce _ ->
+  | Proto.Check _ | Proto.Fuzz _ | Proto.Metacheck _ | Proto.Reduce _
+  | Proto.Explore _ ->
       let okey =
         match req with
         | Proto.Check k -> Some (okey_of_check k)

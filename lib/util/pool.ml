@@ -106,6 +106,13 @@ let global () =
   Mutex.unlock global_lock;
   t
 
+let quiesce () =
+  Mutex.lock global_lock;
+  let p = !global_pool in
+  global_pool := None;
+  Mutex.unlock global_lock;
+  Option.iter shutdown p
+
 (* queued-but-unclaimed helper tasks: a utilization signal for the serve
    daemon's stats endpoint (0 means the pool is keeping up) *)
 let pending t =

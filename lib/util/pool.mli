@@ -37,6 +37,13 @@ val global : unit -> t
 (** The shared global pool {!map}/{!run} default to (created on first
     use, shut down at exit). *)
 
+val quiesce : unit -> unit
+(** Shut down the shared global pool if it exists; it is rebuilt lazily
+    on the next {!map}/{!run}.  Idle worker domains still participate in
+    every stop-the-world minor collection, so a single-domain
+    allocation-heavy phase (e.g. a benchmark) can reclaim real time by
+    quiescing the pool first. *)
+
 val pending : t -> int
 (** Number of queued helper tasks not yet claimed by a worker — a
     utilization signal for telemetry ([0] = the pool is keeping up). *)

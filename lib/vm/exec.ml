@@ -31,12 +31,12 @@ type config = {
   fuel : int;
   max_output : int;
   coverage : Coverage.t option;
-  hooks : Hooks.t;
   input : string;
-  on_print : (fn:string -> string -> unit) option;
-      (* observation hook: called once per executed print statement with
-         the enclosing function and the rendered text; used by the
-         fault-localization prototype (paper Section 5) *)
+  observer : Observer.t;
+      (* what the run exposes: sanitizer hooks plus an observation level
+         (Silent / Prints / Steps).  The Prints level feeds the
+         fault-localization prototype (paper Section 5); Steps feeds the
+         trace recorder. *)
 }
 
 let default_config =
@@ -44,9 +44,8 @@ let default_config =
     fuel = 200_000;
     max_output = 1 lsl 20;
     coverage = None;
-    hooks = Hooks.none;
     input = "";
-    on_print = None;
+    observer = Observer.silent;
   }
 
 type result = {
@@ -55,12 +54,17 @@ type result = {
   fuel_used : int;
 }
 
-(* mutable per-run state shared by both executors *)
+(* mutable per-run state shared by all executors.  [hooks], [notify]
+   and [smem] are resolved from the observer once per run so the
+   per-instruction paths never re-match on the observation level. *)
 type state = {
   mem : Mem.t;
   runtime : Policy.runtime;
   global_ids : (string, int) Hashtbl.t;
   cfg : config;
+  hooks : Hooks.t;
+  notify : (fn:string -> string -> unit) option;
+  smem : (int -> Value.t -> unit) option;  (* Steps-level store record *)
   out : Buffer.t;
   mutable fuel_left : int;
   mutable in_pos : int;
@@ -68,6 +72,28 @@ type state = {
   mutable frame_seq : int;
   uninit_reg : Policy.uninit_policy;
 }
+
+let make_state ~mem ~(runtime : Policy.runtime) ~global_ids ~(cfg : config)
+    ~out : state =
+  {
+    mem;
+    runtime;
+    global_ids;
+    cfg;
+    hooks = cfg.observer.Observer.hooks;
+    notify = Observer.print_cb cfg.observer;
+    smem =
+      (match cfg.observer.Observer.level with
+      | Observer.Steps s ->
+        Some (fun addr v -> s.Observer.on_mem_write ~addr v)
+      | Observer.Silent | Observer.Prints _ -> None);
+    out;
+    fuel_left = cfg.fuel;
+    in_pos = 0;
+    depth = 0;
+    frame_seq = 0;
+    uninit_reg = runtime.Policy.uninit_reg;
+  }
 
 let max_depth = Arena.max_depth
 
@@ -230,16 +256,20 @@ let eval_bin_boxed op w (ia : int64) (ib : int64) : Value.t =
 (* hooks run before the hardware consequence so a sanitizer can turn a
    would-be trap (or a silent corruption) into a report *)
 let load st (p : Value.ptr) ~(ptaint : bool) : Value.t * bool =
-  st.cfg.hooks.Hooks.on_deref_taint ~taint:ptaint;
-  st.cfg.hooks.Hooks.on_access st.mem p Hooks.Aread;
+  st.hooks.Hooks.on_deref_taint ~taint:ptaint;
+  st.hooks.Hooks.on_access st.mem p Hooks.Aread;
   if Value.is_null p then raise (Mem.Trapped Trap.Null_deref);
   Mem.read_abs st.mem (Mem.addr_of_ptr st.mem p)
 
+(* every store funnels through here (builtins included), so recording
+   the write for a Steps observer in one place catches them all *)
 let store st (p : Value.ptr) ~(ptaint : bool) (v : Value.t) (taint : bool) =
-  st.cfg.hooks.Hooks.on_deref_taint ~taint:ptaint;
-  st.cfg.hooks.Hooks.on_access st.mem p Hooks.Awrite;
+  st.hooks.Hooks.on_deref_taint ~taint:ptaint;
+  st.hooks.Hooks.on_access st.mem p Hooks.Awrite;
   if Value.is_null p then raise (Mem.Trapped Trap.Null_deref);
-  Mem.write_abs st.mem (Mem.addr_of_ptr st.mem p) v ~taint
+  let addr = Mem.addr_of_ptr st.mem p in
+  Mem.write_abs st.mem addr v ~taint;
+  match st.smem with Some record -> record addr v | None -> ()
 
 (* Hook-free pointer resolution for the threaded executor: when a run is
    uninstrumented ([hooks == Hooks.none]) the only observable effects of
@@ -352,7 +382,7 @@ let exec_builtin_v st (b : Image.builtin) (argv : Value.t array) : Value.t =
   | Image.Bfree ->
     let p = ptr_arg 0 in
     let cls = Mem.free st.mem p in
-    st.cfg.hooks.Hooks.on_free st.mem p cls;
+    st.hooks.Hooks.on_free st.mem p cls;
     (match cls with
     | `Invalid -> raise (Mem.Trapped Trap.Invalid_free)
     | `Ok | `Double | `Null -> ());
@@ -486,12 +516,12 @@ and run_code st tab fr labels : Value.t * bool =
         let va, ta = eval_operand st fr a in
         let vb, tb = eval_operand st fr b in
         let ia = as_int st va and ib = as_int st vb in
-        if sem = Csigned then st.cfg.hooks.Hooks.on_signed_arith op w ia ib;
+        if sem = Csigned then st.hooks.Hooks.on_signed_arith op w ia ib;
         write_reg fr r (Value.Vint (eval_ibin op w ia ib)) (ta || tb)
       | Ineg (w, sem, r, a) ->
         let va, ta = eval_operand st fr a in
         let ia = as_int st va in
-        if sem = Csigned then st.cfg.hooks.Hooks.on_signed_arith Bsub w 0L ia;
+        if sem = Csigned then st.hooks.Hooks.on_signed_arith Bsub w 0L ia;
         write_reg fr r (Value.Vint (norm w (Int64.neg ia))) ta
       | Inot (w, r, a) ->
         let va, ta = eval_operand st fr a in
@@ -571,7 +601,7 @@ and run_code st tab fr labels : Value.t * bool =
         (match dest with Some r -> write_reg fr r v false | None -> ())
       | Iprint items ->
         let value o = fst (eval_operand st fr o) in
-        (match st.cfg.on_print with
+        (match st.notify with
         | None -> List.iter (print_item st value) items
         | Some notify ->
           let before = Buffer.length st.out in
@@ -583,7 +613,7 @@ and run_code st tab fr labels : Value.t * bool =
       | Ijmp l -> jump l
       | Ibr (c, lt, lf) ->
         let vc, tc = eval_operand st fr c in
-        st.cfg.hooks.Hooks.on_branch ~taint:tc;
+        st.hooks.Hooks.on_branch ~taint:tc;
         if Value.truthy vc then jump lt else jump lf
       | Iret None ->
         return_value := (Value.zero, false);
@@ -599,20 +629,16 @@ and run_code st tab fr labels : Value.t * bool =
 (* --- reference entry point --- *)
 
 let run ?(config = default_config) (u : Ir.unit_) : result =
+  (match config.observer.Observer.level with
+  | Observer.Steps _ ->
+    (* step records carry function *indices* and un-fused pcs, both of
+       which only exist on a linked image *)
+    invalid_arg "Exec.run: Steps observation needs a linked image (run_linked)"
+  | Observer.Silent | Observer.Prints _ -> ());
   let mem = Mem.create u.runtime u.globals in
   let st =
-    {
-      mem;
-      runtime = u.runtime;
-      global_ids = Mem.global_ids mem;
-      cfg = config;
-      out = Buffer.create 256;
-      fuel_left = config.fuel;
-      in_pos = 0;
-      depth = 0;
-      frame_seq = 0;
-      uninit_reg = u.runtime.Policy.uninit_reg;
-    }
+    make_state ~mem ~runtime:u.runtime ~global_ids:(Mem.global_ids mem)
+      ~cfg:config ~out:(Buffer.create 256)
   in
   let tab = build_ftab u in
   let status =
@@ -696,7 +722,7 @@ and trun st (arena : Arena.t) (img : Image.t) (lf : Image.lfunc)
     (sc : Arena.scratch) (fseq : int) : Value.t * bool =
   let code = lf.Image.l_ops in
   let n = Array.length code in
-  let hooks = st.cfg.hooks in
+  let hooks = st.hooks in
   let plain = hooks == Hooks.none in
   let coverage = st.cfg.coverage in
   let regs = sc.Arena.s_regs in
@@ -933,7 +959,7 @@ and trun st (arena : Arena.t) (img : Image.t) (lf : Image.lfunc)
           | ImmF f -> Value.Vfloat f
           | Nullptr -> Value.Vptr Value.null
         in
-        (match st.cfg.on_print with
+        (match st.notify with
         | None -> List.iter (print_item st value) items
         | Some notify ->
           let before = Buffer.length st.out in
@@ -959,54 +985,294 @@ and trun st (arena : Arena.t) (img : Image.t) (lf : Image.lfunc)
   done;
   !return_value
 
+(* ===== stepped executor (Steps observation) ===== *)
+
+(* Interprets the un-fused linked code ([Image.lfunc.l_code]) with
+   reference-style per-call frames, feeding every instruction, register
+   write, memory write, call and return into the observer's step sink.
+   [l_code] is index-for-index parallel to the source code -- same pcs,
+   same fuel ticks -- so recorded pcs line up with [Ir.line_of_pc] and
+   (stdout, status, fuel_used) stays byte-identical to the other two
+   executors.  Throughput is traded for completeness: fresh arrays per
+   call, no fusion, a sink call per instruction (DESIGN.md section 15). *)
+
+type sframe = {
+  slf : Image.lfunc;
+  sfi : int;                               (* index in the image table *)
+  sregs : Value.t array;
+  srtaint : bool array;
+  srwritten : bool array;
+  sslot_ids : int array;
+  sfseq : int;
+}
+
+let sread_reg st fr r : Value.t * bool =
+  if fr.srwritten.(r) then (fr.sregs.(r), fr.srtaint.(r))
+  else (reg_junk st fr.sfseq r, true)
+
+let swrite_reg (sink : Observer.step_sink) fr r (v : Value.t) (taint : bool) =
+  sink.Observer.on_reg_write ~reg:r v;
+  fr.sregs.(r) <- v;
+  fr.srtaint.(r) <- taint;
+  fr.srwritten.(r) <- true
+
+let seval st fr (o : operand) : Value.t * bool =
+  match o with
+  | Reg r -> sread_reg st fr r
+  | ImmI v -> (Value.Vint v, false)
+  | ImmF f -> (Value.Vfloat f, false)
+  | Nullptr -> (Value.Vptr Value.null, false)
+
+let rec scall st (sink : Observer.step_sink) (img : Image.t) (fi : int)
+    (args : (Value.t * bool) list) : Value.t * bool =
+  let lf = img.Image.funcs.(fi) in
+  if st.depth >= max_depth then raise (Mem.Trapped Trap.Stack_overflow);
+  st.depth <- st.depth + 1;
+  st.frame_seq <- st.frame_seq + 1;
+  let slot_ids = Array.make (Array.length lf.Image.l_slots) 0 in
+  Mem.push_frame_laid st.mem lf.Image.l_slots lf.Image.l_frame slot_ids;
+  let fr =
+    {
+      slf = lf;
+      sfi = fi;
+      sregs = Array.make (max 1 lf.Image.l_nregs) Value.zero;
+      srtaint = Array.make (max 1 lf.Image.l_nregs) false;
+      srwritten = Array.make (max 1 lf.Image.l_nregs) false;
+      sslot_ids = slot_ids;
+      sfseq = st.frame_seq;
+    }
+  in
+  (* the call record precedes the argument writes, so a replayer knows
+     they land in the callee's frame *)
+  sink.Observer.on_call ~fi;
+  List.iteri
+    (fun i (v, t) -> if i < lf.Image.l_nregs then swrite_reg sink fr i v t)
+    args;
+  (match st.cfg.coverage with
+  | Some cov -> Coverage.hit cov lf.Image.l_entry_block
+  | None -> ());
+  let result = srun st sink img fr in
+  Mem.pop_frame st.mem;
+  st.depth <- st.depth - 1;
+  sink.Observer.on_ret ();
+  result
+
+and srun st (sink : Observer.step_sink) (img : Image.t) (fr : sframe) :
+    Value.t * bool =
+  let lf = fr.slf in
+  let code = lf.Image.l_code in
+  let n = Array.length code in
+  let pc = ref 0 in
+  let jump t =
+    if t >= 0 then pc := t
+    else
+      invalid_arg
+        (Printf.sprintf "Exec: missing label L%d in %s" (-1 - t) lf.Image.l_name)
+  in
+  let return_value = ref (Value.zero, false) in
+  let running = ref true in
+  while !running do
+    if !pc >= n then running := false
+    else begin
+      st.fuel_left <- st.fuel_left - 1;
+      if st.fuel_left <= 0 then raise Fuel_out;
+      let cur = !pc in
+      incr pc;
+      sink.Observer.on_step ~fi:fr.sfi ~pc:cur ~depth:st.depth;
+      match code.(cur) with
+      | Image.Llabel blk ->
+        (match st.cfg.coverage with
+        | Some cov -> Coverage.hit cov blk
+        | None -> ())
+      | Image.Lconst (r, o) ->
+        let v, t = seval st fr o in
+        swrite_reg sink fr r v t
+      | Image.Lbin (op, w, sem, r, a, b) ->
+        let va, ta = seval st fr a in
+        let vb, tb = seval st fr b in
+        let ia = as_int st va and ib = as_int st vb in
+        if sem = Csigned then st.hooks.Hooks.on_signed_arith op w ia ib;
+        swrite_reg sink fr r (Value.Vint (eval_ibin op w ia ib)) (ta || tb)
+      | Image.Lneg (w, sem, r, a) ->
+        let va, ta = seval st fr a in
+        let ia = as_int st va in
+        if sem = Csigned then st.hooks.Hooks.on_signed_arith Bsub w 0L ia;
+        swrite_reg sink fr r (Value.Vint (norm w (Int64.neg ia))) ta
+      | Image.Lnot (w, r, a) ->
+        let va, ta = seval st fr a in
+        swrite_reg sink fr r (Value.Vint (norm w (Int64.lognot (as_int st va)))) ta
+      | Image.Lfbin (op, r, a, b) ->
+        let va, ta = seval st fr a in
+        let vb, tb = seval st fr b in
+        let x = as_float va and y = as_float vb in
+        let z =
+          match op with
+          | FAdd -> x +. y
+          | FSub -> x -. y
+          | FMul -> x *. y
+          | FDiv -> x /. y
+        in
+        swrite_reg sink fr r (Value.Vfloat z) (ta || tb)
+      | Image.Lfma (r, a, b, c) ->
+        let va, ta = seval st fr a in
+        let vb, tb = seval st fr b in
+        let vc, tc = seval st fr c in
+        swrite_reg sink fr r
+          (Value.Vfloat (Float.fma (as_float va) (as_float vb) (as_float vc)))
+          (ta || tb || tc)
+      | Image.Lfneg (r, a) ->
+        let va, ta = seval st fr a in
+        swrite_reg sink fr r (Value.Vfloat (-.as_float va)) ta
+      | Image.Lcmp (c, r, a, b) ->
+        let va, ta = seval st fr a in
+        let vb, tb = seval st fr b in
+        swrite_reg sink fr r
+          (Value.Vint (eval_cmp c (as_int st va) (as_int st vb)))
+          (ta || tb)
+      | Image.Lfcmp (c, r, a, b) ->
+        let va, ta = seval st fr a in
+        let vb, tb = seval st fr b in
+        swrite_reg sink fr r
+          (Value.Vint (eval_fcmp c (as_float va) (as_float vb)))
+          (ta || tb)
+      | Image.Lpcmp (c, r, a, b) ->
+        let va, ta = seval st fr a in
+        let vb, tb = seval st fr b in
+        let pa = as_ptr st va and pb = as_ptr st vb in
+        swrite_reg sink fr r (Value.Vint (eval_pcmp st c pa pb)) (ta || tb)
+      | Image.Lpadd (r, p, off) ->
+        let vp, tp = seval st fr p in
+        let voff, toff = seval st fr off in
+        let pp = as_ptr st vp in
+        let d = Int64.to_int (as_int st voff) in
+        swrite_reg sink fr r
+          (Value.Vptr { pp with Value.off = pp.Value.off + d })
+          (tp || toff)
+      | Image.Lpdiff (r, a, b) ->
+        let va, ta = seval st fr a in
+        let vb, tb = seval st fr b in
+        let pa = as_ptr st va and pb = as_ptr st vb in
+        let aa = if Value.is_null pa then 0 else Mem.addr_of_ptr st.mem pa in
+        let ab = if Value.is_null pb then 0 else Mem.addr_of_ptr st.mem pb in
+        swrite_reg sink fr r (Value.Vint (Value.norm32 (Int64.of_int (aa - ab)))) (ta || tb)
+      | Image.Lcast (k, r, a) ->
+        let va, ta = seval st fr a in
+        swrite_reg sink fr r (eval_cast st k va) ta
+      | Image.Llea_global (r, id) ->
+        swrite_reg sink fr r (Value.Vptr { Value.obj = id; off = 0 }) false
+      | Image.Llea_slot (r, i) ->
+        swrite_reg sink fr r
+          (Value.Vptr { Value.obj = fr.sslot_ids.(i); off = 0 })
+          false
+      | Image.Lload (r, p) ->
+        let vp, tp = seval st fr p in
+        let v, t = load st (as_ptr st vp) ~ptaint:tp in
+        swrite_reg sink fr r v t
+      | Image.Lstore (p, x) ->
+        let vp, tp = seval st fr p in
+        let vx, tx = seval st fr x in
+        store st (as_ptr st vp) ~ptaint:tp vx tx
+      | Image.Lcall (dest, fi, args) ->
+        let argv = Array.to_list (Array.map (seval st fr) args) in
+        let v, t = scall st sink img fi argv in
+        (match dest with Some r -> swrite_reg sink fr r v t | None -> ())
+      | Image.Lcall_unknown (fname, args) ->
+        Array.iter (fun o -> ignore (seval st fr o)) args;
+        invalid_arg ("Exec: unknown function " ^ fname)
+      | Image.Lbuiltin (dest, b, args) ->
+        let argv = Array.map (fun o -> fst (seval st fr o)) args in
+        let v = exec_builtin_v st b argv in
+        (match dest with Some r -> swrite_reg sink fr r v false | None -> ())
+      | Image.Lprint items ->
+        let value o = fst (seval st fr o) in
+        (match st.notify with
+        | None -> List.iter (print_item st value) items
+        | Some notify ->
+          let before = Buffer.length st.out in
+          List.iter (print_item st value) items;
+          let text =
+            Buffer.sub st.out before (Buffer.length st.out - before)
+          in
+          notify ~fn:lf.Image.l_name text)
+      | Image.Ljmp t -> jump t
+      | Image.Lbr (c, lt, lf_) ->
+        let vc, tc = seval st fr c in
+        st.hooks.Hooks.on_branch ~taint:tc;
+        if Value.truthy vc then jump lt else jump lf_
+      | Image.Lret None ->
+        return_value := (Value.zero, false);
+        running := false
+      | Image.Lret (Some o) ->
+        return_value := seval st fr o;
+        running := false
+      | Image.Lfail msg -> invalid_arg msg
+      | Image.Ltrap -> raise (Mem.Trapped Trap.Abort_called)
+    end
+  done;
+  !return_value
+
 (* --- linked entry point --- *)
+
+let status_of_run (st : state) (body : unit -> Value.t * bool) : Trap.status =
+  try
+    let v, _ = body () in
+    Trap.Exit (Int64.to_int (as_int st v) land 0xff)
+  with
+  | Exit_program code -> Trap.Exit code
+  | Mem.Trapped t -> Trap.Trap t
+  | Fuel_out -> Trap.Hang
+  | Output_limit_exc -> Trap.Trap Trap.Output_limit
+  | Hooks.Report msg -> Trap.San_report msg
 
 (* Run a linked image.  With [?arena], all scratch state is reused: the
    arena is reset first, so a caller only needs [Arena.create] once per
-   image (per domain -- arenas are not shareable across domains). *)
+   image (per domain -- arenas are not shareable across domains).  A
+   [Steps] observer routes to the stepped executor instead, which
+   allocates fresh memory and frames: stepped runs are observation
+   tools, never the throughput path, and must not disturb pooled
+   state. *)
 let run_linked ?(config = default_config) ?arena (img : Image.t) : result =
-  let a =
-    match arena with
-    | Some a ->
-      if a.Arena.image != img then
-        invalid_arg "Exec.run_linked: arena was created for a different image";
-      Arena.reset a;
-      a
-    | None -> Arena.create img
-  in
-  let st =
+  match config.observer.Observer.level with
+  | Observer.Steps sink ->
+    let mem = Mem.create img.Image.runtime img.Image.globals in
+    let st =
+      make_state ~mem ~runtime:img.Image.runtime
+        ~global_ids:img.Image.global_ids ~cfg:config ~out:(Buffer.create 256)
+    in
+    let status =
+      status_of_run st (fun () ->
+          if img.Image.entry < 0 then invalid_arg "Exec: unknown function main";
+          scall st sink img img.Image.entry [])
+    in
     {
-      mem = a.Arena.mem;
-      runtime = img.Image.runtime;
-      global_ids = img.Image.global_ids;
-      cfg = config;
-      out = a.Arena.out;
-      fuel_left = config.fuel;
-      in_pos = 0;
-      depth = 0;
-      frame_seq = 0;
-      uninit_reg = img.Image.runtime.Policy.uninit_reg;
+      stdout = Buffer.contents st.out;
+      status;
+      fuel_used = config.fuel - st.fuel_left;
     }
-  in
-  let status =
-    try
-      if img.Image.entry < 0 then invalid_arg "Exec: unknown function main";
-      let v, _ =
-        lcall st a img img.Image.entry [||] a.Arena.scratch.(0) 0
-      in
-      Trap.Exit (Int64.to_int (as_int st v) land 0xff)
-    with
-    | Exit_program code -> Trap.Exit code
-    | Mem.Trapped t -> Trap.Trap t
-    | Fuel_out -> Trap.Hang
-    | Output_limit_exc -> Trap.Trap Trap.Output_limit
-    | Hooks.Report msg -> Trap.San_report msg
-  in
-  {
-    stdout = Buffer.contents st.out;
-    status;
-    fuel_used = config.fuel - st.fuel_left;
-  }
+  | Observer.Silent | Observer.Prints _ ->
+    let a =
+      match arena with
+      | Some a ->
+        if a.Arena.image != img then
+          invalid_arg "Exec.run_linked: arena was created for a different image";
+        Arena.reset a;
+        a
+      | None -> Arena.create img
+    in
+    let st =
+      make_state ~mem:a.Arena.mem ~runtime:img.Image.runtime
+        ~global_ids:img.Image.global_ids ~cfg:config ~out:a.Arena.out
+    in
+    let status =
+      status_of_run st (fun () ->
+          if img.Image.entry < 0 then invalid_arg "Exec: unknown function main";
+          lcall st a img img.Image.entry [||] a.Arena.scratch.(0) 0)
+    in
+    {
+      stdout = Buffer.contents st.out;
+      status;
+      fuel_used = config.fuel - st.fuel_left;
+    }
 
 (* Run many inputs against one image through one arena, without
    re-validating or re-creating per-run structure.  [Arena.reset]

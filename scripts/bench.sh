@@ -26,14 +26,16 @@ if [ "${1:-oracle}" = "all" ]; then
   echo "== full bench suite"
   dune exec bench/main.exe
 else
-  echo "== oracle + vm + engine + serve + metacheck + gen benches (write BENCH_*.json)"
-  dune exec bench/main.exe -- oracle vm engine serve metacheck gen
+  echo "== oracle + vm + trace + engine + serve + metacheck + gen benches (write BENCH_*.json)"
+  dune exec bench/main.exe -- oracle vm trace engine serve metacheck gen
 fi
 
 echo "== BENCH_oracle.json"
 cat BENCH_oracle.json
 echo "== BENCH_vm.json"
 cat BENCH_vm.json
+echo "== BENCH_trace.json"
+cat BENCH_trace.json
 echo "== BENCH_engine.json"
 cat BENCH_engine.json
 echo "== BENCH_serve.json"
@@ -64,6 +66,35 @@ if [ "$vm_match" != "true" ]; then
   gate_status=1
 else
   echo "ok   gate: vm verdicts match"
+fi
+
+# Trace gates: the Silent observer level must not tax the oracle's hot
+# path (>= 95% of BENCH_vm's linked execs/sec), Steps recording must
+# stay within its 5x budget, and every recorded run must return the
+# exact result the silent run did (observation never perturbs).
+trace_silent=$(sed -n 's/.*"silent": { "seconds": [0-9.]*, "execs_per_sec": \([0-9.]*\).*/\1/p' BENCH_trace.json | head -1)
+vm_linked=$(sed -n 's/.*"linked": { "seconds": [0-9.]*, "execs_per_sec": \([0-9.]*\).*/\1/p' BENCH_vm.json | head -1)
+trace_slowdown=$(sed -n 's/^ *"steps_slowdown": \([0-9.]*\),*$/\1/p' BENCH_trace.json | head -1)
+trace_target=$(sed -n 's/^ *"steps_slowdown_target_met": \(true\|false\).*/\1/p' BENCH_trace.json | head -1)
+trace_replay=$(sed -n 's/^ *"replay_match": \(true\|false\).*/\1/p' BENCH_trace.json | head -1)
+if [ -z "$trace_silent" ] || [ -z "$vm_linked" ] ||
+   ! awk "BEGIN{exit !($trace_silent >= 0.95 * $vm_linked)}"; then
+  echo "FAIL gate: silent-observer throughput ${trace_silent:-?} < 95% of linked ${vm_linked:-?}"
+  gate_status=1
+else
+  echo "ok   gate: silent observer keeps linked throughput (${trace_silent} vs ${vm_linked} execs/s)"
+fi
+if [ "$trace_target" != "true" ]; then
+  echo "FAIL gate: steps recording slowdown ${trace_slowdown:-?}x > 5x"
+  gate_status=1
+else
+  echo "ok   gate: steps recording slowdown ${trace_slowdown}x <= 5x"
+fi
+if [ "$trace_replay" != "true" ]; then
+  echo "FAIL gate: trace replay_match is ${trace_replay:-missing}"
+  gate_status=1
+else
+  echo "ok   gate: recorded runs byte-identical to silent runs"
 fi
 
 eng_match=$(sed -n 's/^ *"verdicts_match": \(true\|false\).*/\1/p' BENCH_engine.json | head -1)

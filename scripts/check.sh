@@ -214,6 +214,34 @@ else
     fi
   fi
 fi
+echo "== explore smoke test"
+# Time-travel the divergence the reducer just minimized: explore must
+# record both sides at instruction granularity, pin a first diverging
+# instruction on each (with a source-line attribution), and print a
+# value diff for it.
+set +e
+explore_out=$(dune exec bin/compdiff_cli.exe -- explore examples/unstable_uninit.c \
+  --input-file "$red" 2>&1)
+got=$?
+set -e
+if [ "$got" -ne 1 ]; then
+  echo "FAIL explore: exited $got, expected 1 (divergence explored)"
+  printf '%s\n' "$explore_out" | tail -5
+  status=1
+elif ! printf '%s\n' "$explore_out" \
+    | grep -q 'first diverging instruction: step [0-9]*, .*(line [0-9]*)'; then
+  echo "FAIL explore: no line-attributed first diverging instruction"
+  printf '%s\n' "$explore_out" | tail -8
+  status=1
+elif ! printf '%s\n' "$explore_out" | grep -q 'diff (.* probes): .* writes '; then
+  echo "FAIL explore: no value diff at the diverging instruction"
+  printf '%s\n' "$explore_out" | tail -8
+  status=1
+else
+  at=$(printf '%s\n' "$explore_out" \
+    | sed -n 's/.*first diverging instruction: step \([0-9]*\).*/\1/p' | head -1)
+  echo "ok   explore (first diverging instruction at step $at, value diff shown)"
+fi
 rm -f "$red" "$red.orig"
 
 echo "== labeled-corpus generator smoke test"

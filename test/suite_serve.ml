@@ -141,6 +141,14 @@ let test_proto_roundtrip () =
           rd_profiles = [];
           rd_fuel = 1;
         };
+      Serve.Proto.Explore
+        {
+          Serve.Proto.ex_source = "e";
+          ex_input = "inp";
+          ex_profiles = [ "gccx-O0" ];
+          ex_fuel = 9;
+          ex_limit = 4096;
+        };
     ]
   in
   List.iteri
@@ -188,6 +196,29 @@ let test_proto_roundtrip () =
           rr_reduced = "l";
           rr_checks = 12;
           rr_report = "rep";
+        };
+      Serve.Proto.Explore_reply
+        {
+          Serve.Proto.er_found = true;
+          er_impl_a = "gccx/O0";
+          er_impl_b = "clangx/O3";
+          er_step_a = 41;
+          er_step_b = 40;
+          er_line = 5;
+          er_probes = 7;
+          er_report = "rep";
+        };
+      (* the -1 "absent" sentinels must survive the unsigned wire *)
+      Serve.Proto.Explore_reply
+        {
+          Serve.Proto.er_found = false;
+          er_impl_a = "";
+          er_impl_b = "";
+          er_step_a = -1;
+          er_step_b = -1;
+          er_line = -1;
+          er_probes = 0;
+          er_report = "";
         };
     ]
   in
@@ -459,6 +490,26 @@ let test_fuzz_metacheck_reduce_requests () =
         <= String.length r.Serve.Proto.rr_input);
       check_bool "report rendered" true (r.Serve.Proto.rr_report <> "")
   | _ -> Alcotest.fail "reduce request failed");
+  (match
+     Serve.Client.explore cl ~fuel:100_000 ~source:unstable_src ~input:"0" ()
+   with
+  | Ok e ->
+      check_bool "explore found the divergence" true e.Serve.Proto.er_found;
+      check_bool "implementations named" true
+        (e.Serve.Proto.er_impl_a <> "" && e.Serve.Proto.er_impl_b <> "");
+      check_bool "diverging step localized" true
+        (e.Serve.Proto.er_step_a >= 0 && e.Serve.Proto.er_step_b >= 0);
+      (* the uninitialized read is on the print at line 5 *)
+      check_int "line attributed" 5 e.Serve.Proto.er_line;
+      check_bool "deep report rendered" true (e.Serve.Proto.er_report <> "")
+  | Error m -> Alcotest.failf "explore request failed: %s" m);
+  (match
+     Serve.Client.explore cl ~fuel:100_000 ~source:stable_src ~input:"A" ()
+   with
+  | Ok e ->
+      check_bool "stable program does not diverge" false
+        e.Serve.Proto.er_found
+  | Error m -> Alcotest.failf "stable explore failed: %s" m);
   (* an unparsable program is an Err, not a dead daemon *)
   (match
      Serve.Client.check cl ~source:"int main( {" ~inputs:[ "" ] ()
@@ -499,7 +550,7 @@ let suites =
           test_killed_mid_request_client;
         tc "garbage frame rejected, daemon stays up"
           test_garbage_frame_is_rejected;
-        tc "fuzz/metacheck/reduce over the wire"
+        tc "fuzz/metacheck/reduce/explore over the wire"
           test_fuzz_metacheck_reduce_requests;
         tc "idle timeout shuts down cleanly" test_idle_timeout_shutdown;
       ] );

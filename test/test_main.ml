@@ -7,4 +7,5 @@ let () =
    @ Suite_static.suites @ Suite_fuzz.suites @ Suite_reduce.suites
    @ Suite_juliet.suites @ Suite_projects.suites @ Suite_vm.suites
    @ Suite_passes.suites @ Suite_frontend_fuzz.suites
-   @ Suite_metacheck.suites @ Suite_serve.suites @ Suite_gen.suites)
+   @ Suite_metacheck.suites @ Suite_serve.suites @ Suite_gen.suites
+   @ Suite_trace.suites)
